@@ -1,0 +1,25 @@
+//! # gpu-baselines
+//!
+//! Baseline sampled-simulation methodologies the Photon paper compares
+//! against, re-implemented on the same [`gpu_sim`] hook surface:
+//!
+//! * [`PkaController`] — Principal Kernel Analysis (Baddouh et al.,
+//!   MICRO 2021): kernel-level clustering by feature counts plus
+//!   intra-kernel IPC-stability sampling (detailed simulation stops once
+//!   the IPC over the last ~3000 cycles is stable, and the rest of the
+//!   kernel is extrapolated from that IPC). The paper (§6.1) uses the
+//!   default `s = 0.25` variance threshold.
+//! * [`TbPointController`] — TBPoint (Huang et al., IPDPS 2014):
+//!   simulate a sample of thread blocks in detail, extrapolate the
+//!   rest, with no stability gate.
+//! * [`SieveController`] — Sieve (Naderan-Tahan et al., ISPASS 2023):
+//!   inter-kernel stratified sampling by kernel name + instruction
+//!   count; no intra-kernel acceleration.
+
+mod pka;
+mod sieve;
+mod tbpoint;
+
+pub use pka::{PkaConfig, PkaController, PkaStats};
+pub use sieve::{SieveConfig, SieveController, SieveStats};
+pub use tbpoint::{TbPointConfig, TbPointController, TbPointStats};

@@ -1,0 +1,396 @@
+//! Principal Kernel Analysis (PKA) baseline.
+//!
+//! PKA accelerates GPU simulation two ways (per the MICRO 2021 paper
+//! and the description in Photon §2/§6.1):
+//!
+//! 1. **Principal kernel selection** — kernels are clustered by feature
+//!    counts (instruction-class mix, warp count); only one
+//!    representative per cluster is simulated in detail, the rest are
+//!    projected from its IPC. Photon §3 Obs 5 points out the
+//!    mis-clustering failure modes of feature counting; we reproduce
+//!    the method faithfully, counts and all.
+//! 2. **Intra-kernel IPC stability** — during detailed simulation, the
+//!    IPC of recent cycle windows is monitored; once its coefficient of
+//!    variation over the trailing history drops below `s` (default
+//!    0.25), detailed simulation stops and the whole kernel's time is
+//!    extrapolated as `total_insts / stable_ipc`. Photon §3 Obs 2 shows
+//!    why this assumption breaks on workloads whose IPC never
+//!    stabilizes (or stabilizes deceptively early).
+
+#[cfg(test)]
+use gpu_isa::InstClass;
+use gpu_sim::{
+    Cycle, KernelDirective, KernelResult, KernelStartAccess, SamplingController, WarpTrace,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// PKA parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PkaConfig {
+    /// IPC coefficient-of-variation threshold `s` (paper default 0.25).
+    pub stability_threshold: f64,
+    /// Cycles of IPC history the stability test covers (paper: 3000).
+    pub history_cycles: u64,
+    /// Minimum detailed cycles before the test may pass (avoids
+    /// aborting on the very first window).
+    pub warmup_cycles: u64,
+    /// Relative feature-vector distance under which two kernels are the
+    /// same principal kernel.
+    pub kernel_distance: f64,
+    /// Enable kernel-level clustering.
+    pub kernel_level: bool,
+    /// Enable intra-kernel IPC sampling.
+    pub intra_level: bool,
+    /// Fraction of warps traced to build feature counts (stands in for
+    /// PKA's profiling pass).
+    pub sample_fraction: f64,
+    /// Replay skipped kernels functionally.
+    pub functional_replay: bool,
+}
+
+impl Default for PkaConfig {
+    fn default() -> Self {
+        PkaConfig {
+            stability_threshold: 0.25,
+            history_cycles: 3000,
+            warmup_cycles: 2000,
+            kernel_distance: 0.05,
+            kernel_level: true,
+            intra_level: true,
+            sample_fraction: 0.01,
+            functional_replay: false,
+        }
+    }
+}
+
+/// Counters describing what PKA did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PkaStats {
+    /// Kernels launched.
+    pub kernels: u64,
+    /// Kernels skipped by principal-kernel clustering.
+    pub kernels_skipped: u64,
+    /// Kernels whose detailed simulation was cut short by IPC stability.
+    pub ipc_aborts: u64,
+}
+
+/// A kernel's feature-count signature: per-class instruction counts of
+/// the sample, plus warp count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct KernelFeatures {
+    /// Normalized per-class instruction mix.
+    class_mix: [f64; 10],
+    /// Mean instructions per warp in the sample.
+    insts_per_warp: f64,
+    /// Total warps.
+    total_warps: u64,
+}
+
+impl KernelFeatures {
+    fn from_traces(traces: &[WarpTrace], launch: &gpu_isa::KernelLaunch, total_warps: u64) -> Self {
+        let program = launch.kernel.program();
+        let bb_map = program.basic_blocks();
+        let mut counts = [0.0f64; 10];
+        let mut insts = 0u64;
+        for t in traces {
+            insts += t.insts;
+            for &(bb, n) in &t.bb_counts {
+                let block = bb_map.block(bb);
+                for pc in block.start_pc..block.end_pc() {
+                    counts[program.inst(pc).class().index()] += n as f64;
+                }
+            }
+        }
+        let total: f64 = counts.iter().sum();
+        if total > 0.0 {
+            for c in &mut counts {
+                *c /= total;
+            }
+        }
+        KernelFeatures {
+            class_mix: counts,
+            insts_per_warp: insts as f64 / traces.len().max(1) as f64,
+            total_warps,
+        }
+    }
+
+    /// Relative distance: L1 over the class mix plus a relative size
+    /// term (pure feature counting — deliberately *without* Photon's
+    /// BBV structure).
+    fn distance(&self, other: &KernelFeatures) -> f64 {
+        let mix: f64 = self
+            .class_mix
+            .iter()
+            .zip(&other.class_mix)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        let ia = self.insts_per_warp.max(1.0);
+        let ib = other.insts_per_warp.max(1.0);
+        let size = ((ia / ib).max(ib / ia)) - 1.0;
+        let wa = self.total_warps.max(1) as f64;
+        let wb = other.total_warps.max(1) as f64;
+        let warps = ((wa / wb).max(wb / wa)) - 1.0;
+        mix + 0.5 * size + 0.1 * warps
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PrincipalKernel {
+    features: KernelFeatures,
+    ipc: f64,
+    est_total_insts: f64,
+}
+
+/// The PKA sampling controller.
+///
+/// # Example
+/// ```no_run
+/// use gpu_baselines::{PkaConfig, PkaController};
+/// use gpu_sim::{GpuConfig, GpuSimulator};
+/// # let launch: gpu_isa::KernelLaunch = unimplemented!();
+/// let mut gpu = GpuSimulator::new(GpuConfig::r9_nano());
+/// let mut pka = PkaController::new(PkaConfig::default());
+/// let result = gpu.run_kernel_sampled(&launch, &mut pka).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct PkaController {
+    cfg: PkaConfig,
+    stats: PkaStats,
+    principals: Vec<PrincipalKernel>,
+    // per-kernel state
+    current: Option<KernelFeatures>,
+    window_ipcs: VecDeque<f64>,
+    windows_needed: usize,
+    cycles_seen: u64,
+    pending_abort: Option<f64>,
+    aborted_this_kernel: bool,
+}
+
+impl PkaController {
+    /// Creates a PKA controller.
+    pub fn new(cfg: PkaConfig) -> Self {
+        PkaController {
+            cfg,
+            stats: PkaStats::default(),
+            principals: Vec::new(),
+            current: None,
+            window_ipcs: VecDeque::new(),
+            windows_needed: 1,
+            cycles_seen: 0,
+            pending_abort: None,
+            aborted_this_kernel: false,
+        }
+    }
+
+    /// What PKA did so far.
+    pub fn stats(&self) -> PkaStats {
+        self.stats
+    }
+}
+
+impl SamplingController for PkaController {
+    fn on_kernel_start(&mut self, ctx: &mut dyn KernelStartAccess) -> KernelDirective {
+        self.stats.kernels += 1;
+        self.window_ipcs.clear();
+        self.cycles_seen = 0;
+        self.pending_abort = None;
+        self.aborted_this_kernel = false;
+
+        let total = ctx.total_warps();
+        let k = ((total as f64 * self.cfg.sample_fraction).ceil() as u64)
+            .max(4)
+            .min(total);
+        let stride = (total / k).max(1);
+        let traces: Vec<WarpTrace> = (0..k).map(|i| ctx.trace_warp(i * stride)).collect();
+        let features = KernelFeatures::from_traces(&traces, ctx.launch(), total);
+
+        if self.cfg.kernel_level {
+            let best = self
+                .principals
+                .iter()
+                .map(|p| (p, p.features.distance(&features)))
+                .filter(|(_, d)| *d <= self.cfg.kernel_distance)
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+            if let Some((p, _)) = best {
+                let est = features.insts_per_warp * total as f64;
+                let cycles = if p.ipc > 0.0 {
+                    (est / p.ipc).round().max(1.0) as Cycle
+                } else {
+                    1
+                };
+                self.stats.kernels_skipped += 1;
+                self.current = None;
+                return KernelDirective::Skip {
+                    predicted_cycles: cycles,
+                    functional_replay: self.cfg.functional_replay,
+                };
+            }
+        }
+
+        self.current = Some(features);
+        KernelDirective::Simulate
+    }
+
+    fn on_ipc_window(&mut self, _start: Cycle, insts: u64, window: Cycle) {
+        if !self.cfg.intra_level || self.aborted_this_kernel {
+            return;
+        }
+        self.cycles_seen += window;
+        self.windows_needed = (self.cfg.history_cycles as usize).div_ceil(window as usize).max(1);
+        self.window_ipcs.push_back(insts as f64 / window as f64);
+        while self.window_ipcs.len() > self.windows_needed {
+            self.window_ipcs.pop_front();
+        }
+        if self.cycles_seen < self.cfg.warmup_cycles
+            || self.window_ipcs.len() < self.windows_needed
+        {
+            return;
+        }
+        let n = self.window_ipcs.len() as f64;
+        let mean = self.window_ipcs.iter().sum::<f64>() / n;
+        if mean <= 0.0 {
+            return;
+        }
+        let var = self
+            .window_ipcs
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n;
+        let cv = var.sqrt() / mean;
+        if cv < self.cfg.stability_threshold {
+            self.pending_abort = Some(mean);
+        }
+    }
+
+    fn check_abort(&mut self) -> Option<f64> {
+        if let Some(ipc) = self.pending_abort.take() {
+            self.aborted_this_kernel = true;
+            self.stats.ipc_aborts += 1;
+            Some(ipc)
+        } else {
+            None
+        }
+    }
+
+    fn on_kernel_end(&mut self, result: &KernelResult) {
+        if result.skipped {
+            return;
+        }
+        let Some(features) = self.current.take() else {
+            return;
+        };
+        let est = features.insts_per_warp * result.total_warps as f64;
+        let ipc = if result.cycles > 0 {
+            est / result.cycles as f64
+        } else {
+            0.0
+        };
+        self.principals.push(PrincipalKernel {
+            features,
+            ipc,
+            est_total_insts: est,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_isa::BasicBlockId;
+
+    fn features(mix_hot: usize, ipw: f64, warps: u64) -> KernelFeatures {
+        let mut class_mix = [0.0; 10];
+        class_mix[mix_hot] = 1.0;
+        KernelFeatures {
+            class_mix,
+            insts_per_warp: ipw,
+            total_warps: warps,
+        }
+    }
+
+    #[test]
+    fn identical_features_distance_zero() {
+        let a = features(2, 100.0, 1000);
+        let b = features(2, 100.0, 1000);
+        assert!(a.distance(&b) < 1e-12);
+    }
+
+    #[test]
+    fn different_mix_far_apart() {
+        let a = features(2, 100.0, 1000);
+        let b = features(3, 100.0, 1000);
+        assert!(a.distance(&b) >= 2.0);
+    }
+
+    #[test]
+    fn size_term_separates_scaled_kernels() {
+        let a = features(2, 100.0, 1000);
+        let b = features(2, 200.0, 1000);
+        assert!(a.distance(&b) >= 0.5);
+    }
+
+    #[test]
+    fn cv_test_requires_full_history() {
+        let mut pka = PkaController::new(PkaConfig::default());
+        // feed perfectly stable windows of 1000 cycles
+        for i in 0..10 {
+            pka.on_ipc_window(i * 1000, 2000, 1000);
+        }
+        // history covers 3000 cycles => needs 3 windows; warmup 2000
+        assert!(pka.check_abort().is_some());
+        assert_eq!(pka.stats().ipc_aborts, 1);
+    }
+
+    #[test]
+    fn unstable_ipc_never_aborts() {
+        let mut pka = PkaController::new(PkaConfig::default());
+        for i in 0..50u64 {
+            let insts = if i % 2 == 0 { 100 } else { 4000 };
+            pka.on_ipc_window(i * 1000, insts, 1000);
+            assert_eq!(pka.check_abort(), None, "window {i}");
+        }
+    }
+
+    #[test]
+    fn abort_fires_once_per_kernel() {
+        let mut pka = PkaController::new(PkaConfig::default());
+        for i in 0..5 {
+            pka.on_ipc_window(i * 1000, 2000, 1000);
+        }
+        assert!(pka.check_abort().is_some());
+        for i in 5..10 {
+            pka.on_ipc_window(i * 1000, 2000, 1000);
+        }
+        assert_eq!(pka.check_abort(), None);
+    }
+
+    #[test]
+    fn disabled_intra_level_never_aborts() {
+        let cfg = PkaConfig {
+            intra_level: false,
+            ..Default::default()
+        };
+        let mut pka = PkaController::new(cfg);
+        for i in 0..20 {
+            pka.on_ipc_window(i * 1000, 2000, 1000);
+        }
+        assert_eq!(pka.check_abort(), None);
+    }
+
+    #[test]
+    fn feature_extraction_counts_classes() {
+        use gpu_isa::{Kernel, KernelBuilder, KernelLaunch, VAluOp, VectorSrc};
+        let mut kb = KernelBuilder::new("t");
+        let v = kb.vreg();
+        kb.valu(VAluOp::FAdd, v, VectorSrc::LaneId, VectorSrc::Imm(0));
+        kb.valu(VAluOp::FAdd, v, VectorSrc::Reg(v), VectorSrc::Imm(0));
+        let launch = KernelLaunch::new(Kernel::new(kb.finish().unwrap()), 1, 1, vec![]);
+        let trace = WarpTrace::from_counts(vec![(BasicBlockId(0), 1)], 3);
+        let f = KernelFeatures::from_traces(&[trace], &launch, 1);
+        // 2 float ops + endpgm
+        assert!(f.class_mix[InstClass::VectorFloat.index()] > 0.6);
+        assert!(f.class_mix[InstClass::Other.index()] > 0.0);
+    }
+}

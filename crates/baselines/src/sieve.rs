@@ -1,0 +1,168 @@
+//! Sieve-style baseline (Naderan-Tahan et al., ISPASS 2023).
+//!
+//! Sieve is an *inter-kernel only* method: it stratifies kernel
+//! invocations by kernel name **and** dynamic instruction count,
+//! simulates one representative per stratum in detail, and projects the
+//! rest from the representative's behavior. Photon §2 credits it with
+//! better selection than name-only grouping, and contrasts it with
+//! Photon's intra-kernel levels (Sieve cannot accelerate a workload
+//! dominated by one huge kernel).
+//!
+//! Our rendering keys strata on `(kernel name, log-scale instruction
+//! bucket)` with instruction counts estimated from a small functional
+//! sample, and predicts a skipped invocation's time by scaling the
+//! representative's cycles with the instruction-count ratio.
+
+use gpu_sim::{Cycle, KernelDirective, KernelResult, KernelStartAccess, SamplingController};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Sieve parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SieveConfig {
+    /// Buckets per decade of dynamic instruction count.
+    pub buckets_per_decade: u32,
+    /// Fraction of warps traced to estimate the instruction count.
+    pub sample_fraction: f64,
+    /// Replay skipped kernels functionally.
+    pub functional_replay: bool,
+}
+
+impl Default for SieveConfig {
+    fn default() -> Self {
+        SieveConfig {
+            buckets_per_decade: 4,
+            sample_fraction: 0.01,
+            functional_replay: false,
+        }
+    }
+}
+
+/// Counters describing what Sieve did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SieveStats {
+    /// Kernels launched.
+    pub kernels: u64,
+    /// Kernels skipped (a stratum representative existed).
+    pub kernels_skipped: u64,
+    /// Distinct strata seen.
+    pub strata: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Representative {
+    est_insts: f64,
+    cycles: Cycle,
+}
+
+/// The Sieve-style controller.
+///
+/// # Example
+/// ```no_run
+/// use gpu_baselines::{SieveConfig, SieveController};
+/// use gpu_sim::{GpuConfig, GpuSimulator};
+/// # let launch: gpu_isa::KernelLaunch = unimplemented!();
+/// let mut gpu = GpuSimulator::new(GpuConfig::r9_nano());
+/// let mut sieve = SieveController::new(SieveConfig::default());
+/// let result = gpu.run_kernel_sampled(&launch, &mut sieve).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct SieveController {
+    cfg: SieveConfig,
+    stats: SieveStats,
+    strata: HashMap<(String, u32), Representative>,
+    pending: Option<((String, u32), f64)>,
+}
+
+impl SieveController {
+    /// Creates a Sieve controller.
+    pub fn new(cfg: SieveConfig) -> Self {
+        SieveController {
+            cfg,
+            stats: SieveStats::default(),
+            strata: HashMap::new(),
+            pending: None,
+        }
+    }
+
+    /// What Sieve did so far.
+    pub fn stats(&self) -> SieveStats {
+        self.stats
+    }
+
+    fn bucket(&self, insts: f64) -> u32 {
+        (insts.max(1.0).log10() * self.cfg.buckets_per_decade as f64) as u32
+    }
+}
+
+impl SamplingController for SieveController {
+    fn on_kernel_start(&mut self, ctx: &mut dyn KernelStartAccess) -> KernelDirective {
+        self.stats.kernels += 1;
+        let total = ctx.total_warps();
+        let k = ((total as f64 * self.cfg.sample_fraction).ceil() as u64)
+            .max(2)
+            .min(total);
+        let stride = (total / k).max(1);
+        let mut sample_insts = 0u64;
+        for i in 0..k {
+            sample_insts += ctx.trace_warp(i * stride).insts;
+        }
+        let est_insts = sample_insts as f64 / k as f64 * total as f64;
+        let key = (
+            ctx.launch().kernel.name().to_string(),
+            self.bucket(est_insts),
+        );
+
+        if let Some(rep) = self.strata.get(&key) {
+            let cycles = ((rep.cycles as f64) * (est_insts / rep.est_insts.max(1.0)))
+                .round()
+                .max(1.0) as Cycle;
+            self.stats.kernels_skipped += 1;
+            self.pending = None;
+            return KernelDirective::Skip {
+                predicted_cycles: cycles,
+                functional_replay: self.cfg.functional_replay,
+            };
+        }
+        self.pending = Some((key, est_insts));
+        KernelDirective::Simulate
+    }
+
+    fn on_kernel_end(&mut self, result: &KernelResult) {
+        if result.skipped {
+            return;
+        }
+        if let Some((key, est_insts)) = self.pending.take() {
+            self.strata.insert(
+                key,
+                Representative {
+                    est_insts,
+                    cycles: result.cycles,
+                },
+            );
+            self.stats.strata = self.strata.len() as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_is_log_scale() {
+        let s = SieveController::new(SieveConfig::default());
+        assert_eq!(s.bucket(1.0), 0);
+        assert!(s.bucket(1e3) < s.bucket(1e6));
+        // same decade-quarter → same bucket
+        assert_eq!(s.bucket(1000.0), s.bucket(1100.0));
+        // far apart within a decade → different buckets at 4/decade
+        assert_ne!(s.bucket(1000.0), s.bucket(9000.0));
+    }
+
+    #[test]
+    fn stats_start_zeroed() {
+        let s = SieveController::new(SieveConfig::default());
+        assert_eq!(s.stats(), SieveStats::default());
+    }
+}

@@ -1,0 +1,213 @@
+//! Criterion microbenchmarks for the Photon reproduction: the hot data
+//! structures (BBVs, detectors, caches), the functional and timing
+//! engines, and end-to-end sampled-vs-detailed comparisons, plus the
+//! parameter ablations DESIGN.md calls out (window sizes, projection
+//! dimensionality, sample fraction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_isa::{BasicBlockId, BasicBlockMap, Inst};
+use gpu_mem::{AccessKind, Cache, CacheConfig, MemHierarchyConfig, MemoryHierarchy};
+use gpu_sim::{GpuConfig, GpuSimulator, NullController, WarpTrace};
+use gpu_workloads::registry::Benchmark;
+use photon::{Bbv, GpuBbv, LatencyTable, Levels, PhotonConfig, PhotonController, RollingStability};
+use std::hint::black_box;
+
+fn barrier_map(n: usize) -> BasicBlockMap {
+    let mut insts = Vec::new();
+    for _ in 0..n - 1 {
+        insts.push(Inst::SBarrier);
+    }
+    insts.push(Inst::SEndpgm);
+    BasicBlockMap::from_program(&insts)
+}
+
+fn synthetic_trace(blocks: usize) -> WarpTrace {
+    WarpTrace::from_counts(
+        (0..blocks as u32)
+            .map(|b| (BasicBlockId(b), 1 + (b * 7) % 50))
+            .collect(),
+        1000,
+    )
+}
+
+fn bench_bbv(c: &mut Criterion) {
+    let map = barrier_map(64);
+    let trace = synthetic_trace(64);
+    c.bench_function("bbv/from_trace_64_blocks", |b| {
+        b.iter(|| Bbv::from_trace(black_box(&trace), &map))
+    });
+
+    // projection-dimension ablation (paper uses 16)
+    let mut group = c.benchmark_group("ablation/bbv_projection_dim");
+    for dim in [8usize, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            b.iter(|| Bbv::from_trace_with_dim(black_box(&trace), &map, dim))
+        });
+    }
+    group.finish();
+
+    let bbv_a = Bbv::from_trace(&trace, &map);
+    let gpu_a = GpuBbv::new(vec![(bbv_a.clone(), 90), (bbv_a.clone(), 10)], 1000.0);
+    let gpu_b = GpuBbv::new(vec![(bbv_a, 100)], 900.0);
+    c.bench_function("bbv/gpu_bbv_distance", |b| {
+        b.iter(|| black_box(&gpu_a).distance(black_box(&gpu_b)))
+    });
+}
+
+fn bench_detector(c: &mut Criterion) {
+    // rolling detector push+check throughput — the per-record cost of
+    // Photon's online monitoring
+    let mut group = c.benchmark_group("ablation/detector_window");
+    for window in [512usize, 1024, 2048, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            b.iter_batched(
+                || RollingStability::new(w, 0.03),
+                |mut d| {
+                    for i in 0..1000u64 {
+                        d.push(i as f64 * 10.0, i as f64 * 10.0 + 100.0);
+                        black_box(d.is_stable());
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_interval_model(c: &mut Criterion) {
+    let mut kb = gpu_isa::KernelBuilder::new("chain");
+    let v = kb.vreg();
+    for _ in 0..64 {
+        kb.valu(
+            gpu_isa::VAluOp::FAdd,
+            v,
+            gpu_isa::VectorSrc::Reg(v),
+            gpu_isa::VectorSrc::ImmF32(1.0),
+        );
+    }
+    let p = kb.finish().unwrap();
+    let table = LatencyTable::new();
+    c.bench_function("interval/predict_64_inst_block", |b| {
+        b.iter(|| photon::predict_block_interval(black_box(&p), 0, 64, &table))
+    });
+}
+
+fn bench_memory(c: &mut Criterion) {
+    c.bench_function("cache/tag_array_access", |b| {
+        let mut cache = Cache::new(&CacheConfig::new(16 * 1024, 4, 64, 28, 1));
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(4096 + 64);
+            black_box(cache.access(i % (1 << 20), AccessKind::Read, i))
+        })
+    });
+    c.bench_function("hierarchy/line_access", |b| {
+        let mut cfg = MemHierarchyConfig::r9_nano();
+        cfg.num_cus = 4;
+        let mut h = MemoryHierarchy::new(cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(h.access_line((i % 4) as usize, i * 7 % 100_000, AccessKind::Read, i))
+        })
+    });
+}
+
+fn bench_engines(c: &mut Criterion) {
+    // functional interpreter throughput
+    c.bench_function("engine/functional_trace_fir_warp", |b| {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let app = Benchmark::Fir.build(&mut gpu, 16, 1);
+        let launch = &app.launches()[0].launch;
+        b.iter(|| {
+            black_box(gpu_sim::trace_warp_isolated(
+                launch,
+                gpu.mem(),
+                0,
+                10_000_000,
+            ))
+        })
+    });
+
+    // detailed timing engine: small ReLU end to end
+    c.bench_function("engine/detailed_relu_256_warps", |b| {
+        b.iter_batched(
+            || {
+                let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+                let app = Benchmark::Relu.build(&mut gpu, 256, 1);
+                (gpu, app)
+            },
+            |(mut gpu, app)| black_box(app.run(&mut gpu, &mut NullController).unwrap()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // sampled vs detailed on the same workload: the wall-time win is
+    // the paper's headline metric
+    let mut group = c.benchmark_group("end_to_end/relu_2048_warps");
+    group.sample_size(10);
+    group.bench_function("full_detailed", |b| {
+        b.iter_batched(
+            || {
+                let mut gpu = GpuSimulator::new(GpuConfig::r9_nano().with_num_cus(8));
+                let app = Benchmark::Relu.build(&mut gpu, 2048, 1);
+                (gpu, app)
+            },
+            |(mut gpu, app)| black_box(app.run(&mut gpu, &mut NullController).unwrap()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("photon", |b| {
+        b.iter_batched(
+            || {
+                let mut gpu = GpuSimulator::new(GpuConfig::r9_nano().with_num_cus(8));
+                let app = Benchmark::Relu.build(&mut gpu, 2048, 1);
+                let ph = PhotonController::new(
+                    PhotonConfig::with_levels(Levels::all()).small_windows(128, 64),
+                    8,
+                );
+                (gpu, app, ph)
+            },
+            |(mut gpu, app, mut ph)| black_box(app.run(&mut gpu, &mut ph).unwrap()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    // sample-fraction ablation: online analysis cost
+    let mut group = c.benchmark_group("ablation/sample_fraction");
+    group.sample_size(10);
+    for pct in [1u32, 2, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |b, &pct| {
+            b.iter_batched(
+                || {
+                    let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+                    let app = Benchmark::Fir.build(&mut gpu, 512, 1);
+                    let cfg = PhotonConfig {
+                        sample_fraction: pct as f64 / 100.0,
+                        ..PhotonConfig::with_levels(Levels::all()).small_windows(128, 64)
+                    };
+                    let ph = PhotonController::new(cfg, 4);
+                    (gpu, app, ph)
+                },
+                |(mut gpu, app, mut ph)| black_box(app.run(&mut gpu, &mut ph).unwrap()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bbv,
+    bench_detector,
+    bench_interval_model,
+    bench_memory,
+    bench_engines,
+    bench_end_to_end
+);
+criterion_main!(benches);

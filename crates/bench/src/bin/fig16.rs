@@ -1,0 +1,4 @@
+//! Regenerates the data behind Figure 16 of the paper (see DESIGN.md).
+fn main() {
+    photon_bench::figures::fig16();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §6.3 online/offline tradeoff comparison.
+fn main() {
+    photon_bench::figures::offline_tradeoff();
+}

@@ -1,0 +1,119 @@
+//! A command-line runner for individual experiments, in the spirit of
+//! the artifact's `testallbench.py`.
+//!
+//! ```console
+//! $ photon_sim --workload mm --warps 4096 --method photon
+//! $ photon_sim --workload spmv --warps 1024 --method pka --arch mi100
+//! $ photon_sim --workload resnet152 --method photon
+//! $ photon_sim --workload vgg16 --method full --cus 16
+//! ```
+
+use gpu_sim::GpuSimulator;
+use gpu_workloads::dnn::DnnScale;
+use gpu_workloads::registry::{Benchmark, RealWorldApp};
+use photon_bench::{run_app_method, scaled_photon_config, Method};
+use photon::Levels;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: photon_sim --workload <name> [--warps N] [--method full|photon|pka|tbpoint|sieve|bb|warp|kernel] \
+         [--arch r9nano|mi100] [--cus N] [--seed N]\n\
+         workloads: aes fir sc mm relu spmv pr-<nodes> vgg16 vgg19 resnet18|34|50|101|152"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> std::collections::HashMap<String, String> {
+    let mut out = std::collections::HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(k) = args.next() {
+        let Some(key) = k.strip_prefix("--") else { usage() };
+        let Some(v) = args.next() else { usage() };
+        out.insert(key.to_string(), v);
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let workload = args.get("workload").cloned().unwrap_or_else(|| usage());
+    let warps: u64 = args
+        .get("warps")
+        .map(|w| w.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(4096);
+    let seed: u64 = args
+        .get("seed")
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(7);
+    let method = match args.get("method").map(String::as_str).unwrap_or("photon") {
+        "full" => Method::Full,
+        "photon" => Method::Photon(Levels::all()),
+        "pka" => Method::Pka,
+        "tbpoint" => Method::TbPoint,
+        "sieve" => Method::Sieve,
+        "bb" => Method::Photon(Levels::bb_only()),
+        "warp" => Method::Photon(Levels::warp_only()),
+        "kernel" => Method::Photon(Levels::kernel_only()),
+        _ => usage(),
+    };
+    let mut gpu_cfg = match args.get("arch").map(String::as_str).unwrap_or("r9nano") {
+        "r9nano" => gpu_sim::GpuConfig::r9_nano(),
+        "mi100" => gpu_sim::GpuConfig::mi100(),
+        _ => usage(),
+    };
+    if let Some(cus) = args.get("cus") {
+        let n: u32 = cus.parse().unwrap_or_else(|_| usage());
+        gpu_cfg = gpu_cfg.with_num_cus(n);
+    }
+
+    let scale = DnnScale {
+        input_hw: 64,
+        channel_div: 4,
+    };
+    let lower = workload.to_lowercase();
+    let builder: Box<dyn Fn(&mut GpuSimulator) -> gpu_workloads::App> = match lower.as_str() {
+        "aes" => Box::new(move |g: &mut GpuSimulator| Benchmark::Aes.build(g, warps, seed)),
+        "fir" => Box::new(move |g: &mut GpuSimulator| Benchmark::Fir.build(g, warps, seed)),
+        "sc" => Box::new(move |g: &mut GpuSimulator| Benchmark::Sc.build(g, warps, seed)),
+        "mm" => Box::new(move |g: &mut GpuSimulator| Benchmark::Mm.build(g, warps, seed)),
+        "relu" => Box::new(move |g: &mut GpuSimulator| Benchmark::Relu.build(g, warps, seed)),
+        "spmv" => Box::new(move |g: &mut GpuSimulator| Benchmark::Spmv.build(g, warps, seed)),
+        "vgg16" => Box::new(move |g: &mut GpuSimulator| RealWorldApp::Vgg16.build(g, scale, seed)),
+        "vgg19" => Box::new(move |g: &mut GpuSimulator| RealWorldApp::Vgg19.build(g, scale, seed)),
+        "resnet18" => {
+            Box::new(move |g: &mut GpuSimulator| RealWorldApp::ResNet18.build(g, scale, seed))
+        }
+        "resnet34" => {
+            Box::new(move |g: &mut GpuSimulator| RealWorldApp::ResNet34.build(g, scale, seed))
+        }
+        "resnet50" => {
+            Box::new(move |g: &mut GpuSimulator| RealWorldApp::ResNet50.build(g, scale, seed))
+        }
+        "resnet101" => {
+            Box::new(move |g: &mut GpuSimulator| RealWorldApp::ResNet101.build(g, scale, seed))
+        }
+        "resnet152" => {
+            Box::new(move |g: &mut GpuSimulator| RealWorldApp::ResNet152.build(g, scale, seed))
+        }
+        other => {
+            if let Some(nodes) = other.strip_prefix("pr-") {
+                let n: u32 = nodes.parse().unwrap_or_else(|_| usage());
+                Box::new(move |g: &mut GpuSimulator| gpu_workloads::pagerank::build(g, n, 10, seed))
+            } else {
+                usage()
+            }
+        }
+    };
+
+    let pcfg = scaled_photon_config(Levels::all());
+    let m = run_app_method(&gpu_cfg, &workload, builder.as_ref(), &method, &pcfg);
+    println!(
+        "{} on {} ({} CUs) under {}:",
+        workload, gpu_cfg.name, gpu_cfg.num_cus, m.method
+    );
+    println!("  simulated kernel time : {} cycles", m.sim_cycles);
+    println!("  wall time             : {:.3} s", m.wall_secs);
+    println!("  detailed instructions : {}", m.detailed_insts);
+    println!("  functional instructions: {}", m.functional_insts);
+    println!("  kernels skipped       : {}", m.skipped_kernels);
+}

@@ -1,0 +1,5 @@
+//! Prints Tables 1 and 2 of the paper.
+fn main() {
+    photon_bench::figures::table1();
+    photon_bench::figures::table2();
+}

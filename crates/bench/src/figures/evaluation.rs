@@ -1,0 +1,454 @@
+//! The evaluation figures (§6): the Full/PKA/Photon comparison, the
+//! MI100 robustness check, the sampling-level ablation, the real-world
+//! applications, the VGG-16 per-layer analysis, and the online/offline
+//! tradeoff, plus Tables 1 and 2.
+
+use crate::harness::{
+    mi100, r9_nano, run_app_method, run_benchmark, scaled_photon_config, size_scale, write_json,
+    Measurement, Method, Table,
+};
+use gpu_sim::{GpuConfig, GpuSimulator};
+use gpu_workloads::dnn::DnnScale;
+use gpu_workloads::registry::{Benchmark, RealWorldApp};
+use photon::{Levels, PhotonController};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One comparison row: a workload/size under one method measured
+/// against the full-detailed baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct ComparisonRow {
+    /// Workload name.
+    pub workload: String,
+    /// Problem size (warps).
+    pub warps: u64,
+    /// Method name.
+    pub method: String,
+    /// Simulated kernel cycles.
+    pub sim_cycles: u64,
+    /// Error vs full detailed.
+    pub error: f64,
+    /// Wall-clock speedup vs full detailed.
+    pub speedup: f64,
+    /// Wall seconds.
+    pub wall_secs: f64,
+}
+
+fn compare(gpu_cfg: &GpuConfig, methods: &[Method], benches: &[Benchmark]) -> Vec<ComparisonRow> {
+    let pcfg = scaled_photon_config(Levels::all());
+    let mut rows = Vec::new();
+    for &bench in benches {
+        for warps in bench.sweep(size_scale()) {
+            let full = run_benchmark(gpu_cfg, bench, warps, 7, &Method::Full, &pcfg);
+            rows.push(ComparisonRow {
+                workload: bench.abbr().to_string(),
+                warps,
+                method: "Full".to_string(),
+                sim_cycles: full.sim_cycles,
+                error: 0.0,
+                speedup: 1.0,
+                wall_secs: full.wall_secs,
+            });
+            for method in methods {
+                if *method == Method::Full {
+                    continue;
+                }
+                let m = run_benchmark(gpu_cfg, bench, warps, 7, method, &pcfg);
+                rows.push(ComparisonRow {
+                    workload: bench.abbr().to_string(),
+                    warps,
+                    method: m.method.clone(),
+                    sim_cycles: m.sim_cycles,
+                    error: m.error_vs(&full),
+                    speedup: m.speedup_vs(&full),
+                    wall_secs: m.wall_secs,
+                });
+            }
+        }
+    }
+    rows
+}
+
+fn print_rows(title: &str, rows: &[ComparisonRow]) {
+    println!("== {title} ==");
+    let mut table = Table::new(&[
+        "workload", "warps", "method", "sim cycles", "error", "speedup", "wall (s)",
+    ]);
+    for r in rows {
+        table.row(vec![
+            r.workload.clone(),
+            r.warps.to_string(),
+            r.method.clone(),
+            r.sim_cycles.to_string(),
+            format!("{:.1}%", 100.0 * r.error),
+            format!("{:.2}x", r.speedup),
+            format!("{:.2}", r.wall_secs),
+        ]);
+    }
+    println!("{}", table.render());
+    // method summaries
+    for method in ["PKA", "Photon", "BB-sampling", "Warp-sampling"] {
+        let ms: Vec<&ComparisonRow> = rows.iter().filter(|r| r.method == method).collect();
+        if ms.is_empty() {
+            continue;
+        }
+        let avg_err = ms.iter().map(|r| r.error).sum::<f64>() / ms.len() as f64;
+        let max_speedup = ms.iter().map(|r| r.speedup).fold(0.0, f64::max);
+        let avg_speedup = ms.iter().map(|r| r.speedup).sum::<f64>() / ms.len() as f64;
+        println!(
+            "{method}: avg error {:.2}%, avg speedup {:.2}x, max speedup {:.2}x",
+            100.0 * avg_err,
+            avg_speedup,
+            max_speedup
+        );
+    }
+    println!();
+}
+
+/// Figure 13: Full vs PKA vs Photon on the R9 Nano across all
+/// single-kernel benchmarks and problem sizes.
+pub fn fig13() -> Vec<ComparisonRow> {
+    let rows = compare(
+        &r9_nano(),
+        &[Method::Pka, Method::Photon(Levels::all())],
+        &Benchmark::ALL,
+    );
+    print_rows("Figure 13: R9 Nano, Full vs PKA vs Photon", &rows);
+    write_json("fig13", &rows);
+    rows
+}
+
+/// Figure 14: Full vs Photon on the MI100 (micro-architecture
+/// independence).
+pub fn fig14() -> Vec<ComparisonRow> {
+    let rows = compare(&mi100(), &[Method::Photon(Levels::all())], &Benchmark::ALL);
+    print_rows("Figure 14: MI100, Full vs Photon", &rows);
+    write_json("fig14", &rows);
+    rows
+}
+
+/// Figure 15: the sampling-level ablation — basic-block-sampling only,
+/// warp-sampling only, and full Photon.
+pub fn fig15() -> Vec<ComparisonRow> {
+    let rows = compare(
+        &r9_nano(),
+        &[
+            Method::Photon(Levels::bb_only()),
+            Method::Photon(Levels::warp_only()),
+            Method::Photon(Levels::all()),
+        ],
+        &Benchmark::ALL,
+    );
+    print_rows("Figure 15: sampling levels (BB / Warp / Photon)", &rows);
+    write_json("fig15", &rows);
+    rows
+}
+
+/// The DNN scaling used by the real-world experiments (see DESIGN.md's
+/// substitution table): kernels must be large enough that detailed
+/// simulation dominates the online-analysis overhead, as in the paper.
+pub fn dnn_scale() -> DnnScale {
+    if crate::harness::full_size() {
+        DnnScale {
+            input_hw: 224,
+            channel_div: 1,
+        }
+    } else {
+        DnnScale {
+            input_hw: 64,
+            channel_div: 4,
+        }
+    }
+}
+
+/// Figure 16: real-world applications (PageRank, VGG, ResNet), Full vs
+/// Photon.
+pub fn fig16() -> Vec<ComparisonRow> {
+    let gpu_cfg = r9_nano();
+    let pcfg = scaled_photon_config(Levels::all());
+    let scale = dnn_scale();
+    let mut rows = Vec::new();
+    for app in RealWorldApp::figure16() {
+        let builder = |gpu: &mut GpuSimulator| app.build(gpu, scale, 7);
+        let full = run_app_method(&gpu_cfg, &app.name(), &builder, &Method::Full, &pcfg);
+        let ph = run_app_method(
+            &gpu_cfg,
+            &app.name(),
+            &builder,
+            &Method::Photon(Levels::all()),
+            &pcfg,
+        );
+        rows.push(ComparisonRow {
+            workload: app.name(),
+            warps: full.warps,
+            method: "Full".into(),
+            sim_cycles: full.sim_cycles,
+            error: 0.0,
+            speedup: 1.0,
+            wall_secs: full.wall_secs,
+        });
+        rows.push(ComparisonRow {
+            workload: app.name(),
+            warps: ph.warps,
+            method: "Photon".into(),
+            sim_cycles: ph.sim_cycles,
+            error: ph.error_vs(&full),
+            speedup: ph.speedup_vs(&full),
+            wall_secs: ph.wall_secs,
+        });
+        println!(
+            "{}: full {} cycles in {:.2}s; Photon {} cycles in {:.2}s (err {:.1}%, speedup {:.2}x, {} kernels skipped)",
+            app.name(),
+            full.sim_cycles,
+            full.wall_secs,
+            ph.sim_cycles,
+            ph.wall_secs,
+            100.0 * ph.error_vs(&full),
+            ph.speedup_vs(&full),
+            ph.skipped_kernels,
+        );
+    }
+    let photon_rows: Vec<&ComparisonRow> =
+        rows.iter().filter(|r| r.method == "Photon").collect();
+    let avg = photon_rows.iter().map(|r| r.error).sum::<f64>() / photon_rows.len() as f64;
+    println!("average sampling error across applications: {:.1}%", 100.0 * avg);
+    write_json("fig16", &rows);
+    rows
+}
+
+/// One per-layer row of Figure 17.
+#[derive(Debug, Clone, Serialize)]
+pub struct LayerRow {
+    /// Layer label (conv1-1 … fc-8, "whole").
+    pub layer: String,
+    /// Method name.
+    pub method: String,
+    /// Absolute runtime error vs full detailed for that layer.
+    pub error: f64,
+}
+
+/// Figure 17: per-layer error of kernel-sampling, kernel+warp-sampling,
+/// and full Photon on VGG-16, plus whole-network speedups.
+pub fn fig17() -> Vec<LayerRow> {
+    let gpu_cfg = r9_nano();
+    let scale = dnn_scale();
+    let pcfg = scaled_photon_config(Levels::all());
+
+    // layer labels in launch order (identical across runs)
+    let labels: Vec<String> = {
+        let mut gpu = GpuSimulator::new(gpu_cfg.clone());
+        RealWorldApp::Vgg16
+            .build(&mut gpu, scale, 7)
+            .launches()
+            .iter()
+            .map(|l| l.layer.clone())
+            .collect()
+    };
+
+    let run = |method: &Method| -> Measurement {
+        run_app_method(
+            &gpu_cfg,
+            "VGG-16",
+            &|gpu: &mut GpuSimulator| RealWorldApp::Vgg16.build(gpu, scale, 7),
+            method,
+            &pcfg,
+        )
+    };
+
+    let full = run(&Method::Full);
+    let methods = [
+        Method::Photon(Levels::kernel_only()),
+        Method::Photon(Levels::kernel_warp()),
+        Method::Photon(Levels::all()),
+    ];
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(&["layer", "kernel", "kernel+warp", "Photon"]);
+    let layer_order: Vec<String> = {
+        let mut seen = Vec::new();
+        for l in &labels {
+            if !seen.contains(l) {
+                seen.push(l.clone());
+            }
+        }
+        seen
+    };
+
+    let measures: Vec<Measurement> = methods.iter().map(&run).collect();
+    let layer_cycles = |m: &Measurement, layer: &str| -> u64 {
+        m.kernel_cycles
+            .iter()
+            .zip(&labels)
+            .filter(|(_, l)| *l == layer)
+            .map(|(c, _)| *c)
+            .sum()
+    };
+    for layer in &layer_order {
+        let base = layer_cycles(&full, layer) as f64;
+        let mut cells = vec![layer.clone()];
+        for (method, m) in methods.iter().zip(&measures) {
+            let err = (layer_cycles(m, layer) as f64 - base).abs() / base.max(1.0);
+            cells.push(format!("{:.1}%", 100.0 * err));
+            rows.push(LayerRow {
+                layer: layer.clone(),
+                method: method.name(),
+                error: err,
+            });
+        }
+        table.row(cells);
+    }
+    // whole-network row
+    let mut cells = vec!["whole".to_string()];
+    for (method, m) in methods.iter().zip(&measures) {
+        let err = m.error_vs(&full);
+        cells.push(format!("{:.1}%", 100.0 * err));
+        rows.push(LayerRow {
+            layer: "whole".into(),
+            method: method.name(),
+            error: err,
+        });
+    }
+    table.row(cells);
+    println!("== Figure 17: VGG-16 per-layer absolute runtime error ==");
+    println!("{}", table.render());
+    for (method, m) in methods.iter().zip(&measures) {
+        println!(
+            "{}: whole-inference speedup {:.2}x (error {:.1}%)",
+            method.name(),
+            m.speedup_vs(&full),
+            100.0 * m.error_vs(&full)
+        );
+    }
+    write_json("fig17", &rows);
+    rows
+}
+
+/// §6.3 online/offline tradeoff: Photon with online analysis vs Photon
+/// reusing exported analyses.
+pub fn offline_tradeoff() -> (f64, f64) {
+    let gpu_cfg = r9_nano();
+    let scale = dnn_scale();
+    let pcfg = scaled_photon_config(Levels::all());
+
+    // online pass, exporting analyses
+    let mut gpu = GpuSimulator::new(gpu_cfg.clone());
+    let app = RealWorldApp::Vgg16.build(&mut gpu, scale, 7);
+    let mut online = PhotonController::new(pcfg.clone(), gpu_cfg.num_cus as u64);
+    let t0 = Instant::now();
+    let online_res = app.run(&mut gpu, &mut online).expect("online run");
+    let online_wall = t0.elapsed().as_secs_f64();
+    let analyses = online.export_analyses().to_vec();
+
+    // offline pass reusing them
+    let mut gpu2 = GpuSimulator::new(gpu_cfg.clone());
+    let app2 = RealWorldApp::Vgg16.build(&mut gpu2, scale, 7);
+    let mut offline =
+        PhotonController::with_offline(pcfg, gpu_cfg.num_cus as u64, analyses);
+    let t1 = Instant::now();
+    let offline_res = app2.run(&mut gpu2, &mut offline).expect("offline run");
+    let offline_wall = t1.elapsed().as_secs_f64();
+
+    println!(
+        "online:  {:.2}s wall, {} functional insts, {} cycles",
+        online_wall,
+        online_res.total_functional_insts(),
+        online_res.total_cycles()
+    );
+    println!(
+        "offline: {:.2}s wall, {} functional insts, {} cycles",
+        offline_wall,
+        offline_res.total_functional_insts(),
+        offline_res.total_cycles()
+    );
+    write_json(
+        "offline_tradeoff",
+        &serde_json::json!({
+            "online_wall_secs": online_wall,
+            "offline_wall_secs": offline_wall,
+            "online_functional_insts": online_res.total_functional_insts(),
+            "offline_functional_insts": offline_res.total_functional_insts(),
+        }),
+    );
+    (online_wall, offline_wall)
+}
+
+/// Table 1: the simulated GPU configurations.
+pub fn table1() {
+    println!("== Table 1: GPU configurations ==");
+    let mut table = Table::new(&["Component", "R9 Nano", "MI100"]);
+    let r9 = GpuConfig::r9_nano();
+    let mi = GpuConfig::mi100();
+    table.row(vec![
+        "CU".into(),
+        format!("1.0GHz, {} per GPU", r9.num_cus),
+        format!("1.0GHz, {} per GPU", mi.num_cus),
+    ]);
+    table.row(vec![
+        "L1 Vector Cache".into(),
+        format!(
+            "{}KB {}-way, {} per GPU",
+            r9.mem.l1v.size_bytes / 1024,
+            r9.mem.l1v.assoc,
+            r9.num_cus
+        ),
+        format!(
+            "{}KB {}-way, {} per GPU",
+            mi.mem.l1v.size_bytes / 1024,
+            mi.mem.l1v.assoc,
+            mi.num_cus
+        ),
+    ]);
+    table.row(vec![
+        "L2 Cache".into(),
+        format!(
+            "{}KB {}-way, {} banks",
+            r9.mem.l2.size_bytes / 1024,
+            r9.mem.l2.assoc,
+            r9.mem.l2_banks
+        ),
+        format!(
+            "{}MB total, {} banks",
+            r9_to_mb(mi.mem.l2.size_bytes * mi.mem.l2_banks),
+            mi.mem.l2_banks
+        ),
+    ]);
+    table.row(vec![
+        "DRAM".into(),
+        format!("{}GB", r9.mem.dram.capacity_bytes >> 30),
+        format!("{}GB", mi.mem.dram.capacity_bytes >> 30),
+    ]);
+    println!("{}", table.render());
+}
+
+fn r9_to_mb(bytes: u64) -> u64 {
+    bytes / (1024 * 1024)
+}
+
+/// Table 2: the benchmark registry.
+pub fn table2() {
+    println!("== Table 2: benchmarks ==");
+    let mut table = Table::new(&["Abbr.", "Suite", "Workload Description"]);
+    for b in Benchmark::ALL {
+        table.row(vec![
+            b.abbr().to_string(),
+            b.suite().to_string(),
+            b.description().to_string(),
+        ]);
+    }
+    table.row(vec![
+        "PR-X".into(),
+        "Hetero-Mark".into(),
+        "PageRank with X nodes".into(),
+    ]);
+    table.row(vec![
+        "VGG".into(),
+        "-".into(),
+        "VGG-16 and VGG-19; batchsize=1".into(),
+    ]);
+    table.row(vec![
+        "ResNet".into(),
+        "-".into(),
+        "ResNet-18 (34, 50, 101, 152); batchsize=1".into(),
+    ]);
+    println!("{}", table.render());
+}

@@ -1,0 +1,329 @@
+//! Shared experiment machinery: methods, measurements, and tables.
+
+use gpu_baselines::{PkaConfig, PkaController, SieveConfig, SieveController, TbPointConfig, TbPointController};
+use gpu_sim::{GpuConfig, GpuSimulator, NullController, SamplingController};
+use gpu_workloads::registry::Benchmark;
+use gpu_workloads::App;
+use photon::{Levels, PhotonConfig, PhotonController};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Whether the full-size (64/120 CU, paper-sized sweeps) mode is on.
+pub fn full_size() -> bool {
+    std::env::var("PHOTON_BENCH_FULL").is_ok_and(|v| v == "1")
+}
+
+/// CU divisor for the scaled experiment configurations.
+fn cu_div() -> u32 {
+    if full_size() {
+        1
+    } else {
+        4
+    }
+}
+
+/// Problem-size divisor matching the CU divisor.
+pub fn size_scale() -> u64 {
+    cu_div() as u64
+}
+
+/// The R9 Nano experiment configuration (possibly CU-scaled).
+pub fn r9_nano() -> GpuConfig {
+    let full = GpuConfig::r9_nano();
+    let n = full.num_cus / cu_div();
+    full.with_num_cus(n)
+}
+
+/// The MI100 experiment configuration (possibly CU-scaled).
+pub fn mi100() -> GpuConfig {
+    let full = GpuConfig::mi100();
+    let n = full.num_cus / cu_div();
+    full.with_num_cus(n)
+}
+
+/// The Photon configuration used across the experiments: paper
+/// thresholds with the warp window scaled alongside the problem sizes
+/// (the paper's 1024 assumes full-size problems).
+pub fn scaled_photon_config(levels: Levels) -> PhotonConfig {
+    let mut cfg = PhotonConfig::with_levels(levels);
+    if !full_size() {
+        cfg.warp_window = 512;
+    }
+    cfg
+}
+
+/// A simulation methodology under comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Method {
+    /// Full detailed simulation (the accuracy baseline).
+    Full,
+    /// Photon with the given level mask.
+    Photon(Levels),
+    /// The PKA baseline.
+    Pka,
+    /// The TBPoint baseline (sampled thread blocks, no stability gate).
+    TbPoint,
+    /// The Sieve baseline (inter-kernel stratified sampling only).
+    Sieve,
+}
+
+impl Method {
+    /// Display name for table columns.
+    pub fn name(&self) -> String {
+        match self {
+            Method::Full => "Full".to_string(),
+            Method::Photon(l) if *l == Levels::all() => "Photon".to_string(),
+            Method::Photon(l) if *l == Levels::bb_only() => "BB-sampling".to_string(),
+            Method::Photon(l) if *l == Levels::warp_only() => "Warp-sampling".to_string(),
+            Method::Photon(l) if *l == Levels::kernel_only() => "Kernel-sampling".to_string(),
+            Method::Photon(l) if *l == Levels::kernel_warp() => "Kernel+Warp".to_string(),
+            Method::Photon(_) => "Photon(custom)".to_string(),
+            Method::Pka => "PKA".to_string(),
+            Method::TbPoint => "TBPoint".to_string(),
+            Method::Sieve => "Sieve".to_string(),
+        }
+    }
+}
+
+/// One measured run.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Workload name.
+    pub workload: String,
+    /// Problem size in warps (0 for multi-kernel apps).
+    pub warps: u64,
+    /// Method name.
+    pub method: String,
+    /// Simulated kernel time (sum over kernels), in cycles.
+    pub sim_cycles: u64,
+    /// Host wall time of the simulation, seconds.
+    pub wall_secs: f64,
+    /// Instructions simulated in detailed mode.
+    pub detailed_insts: u64,
+    /// Instructions executed functionally only.
+    pub functional_insts: u64,
+    /// Kernels skipped by kernel-sampling.
+    pub skipped_kernels: usize,
+    /// Per-kernel simulated cycles (for per-layer analyses).
+    pub kernel_cycles: Vec<u64>,
+}
+
+impl Measurement {
+    /// The paper's error metric against a full-detailed reference.
+    pub fn error_vs(&self, full: &Measurement) -> f64 {
+        (full.sim_cycles as f64 - self.sim_cycles as f64).abs() / full.sim_cycles as f64
+    }
+
+    /// The paper's speedup metric against a full-detailed reference.
+    pub fn speedup_vs(&self, full: &Measurement) -> f64 {
+        full.wall_secs / self.wall_secs.max(1e-9)
+    }
+}
+
+/// A closure that prepares an application on a fresh simulator.
+pub type AppBuilder<'a> = dyn Fn(&mut GpuSimulator) -> App + 'a;
+
+fn make_controller(method: &Method, pcfg: &PhotonConfig, num_cus: u64) -> Box<dyn SamplingController> {
+    match method {
+        Method::Full => Box::new(NullController),
+        Method::Photon(levels) => {
+            let mut cfg = pcfg.clone();
+            cfg.levels = *levels;
+            Box::new(PhotonController::new(cfg, num_cus))
+        }
+        Method::Pka => Box::new(PkaController::new(PkaConfig::default())),
+        Method::TbPoint => Box::new(TbPointController::new(TbPointConfig::default())),
+        Method::Sieve => Box::new(SieveController::new(SieveConfig::default())),
+    }
+}
+
+/// Runs an application under a method on a fresh simulator and
+/// measures it.
+pub fn run_app_method(
+    gpu_cfg: &GpuConfig,
+    name: &str,
+    build: &AppBuilder<'_>,
+    method: &Method,
+    pcfg: &PhotonConfig,
+) -> Measurement {
+    let mut gpu = GpuSimulator::new(gpu_cfg.clone());
+    let app = build(&mut gpu);
+    let mut ctrl = make_controller(method, pcfg, gpu_cfg.num_cus as u64);
+    let t0 = Instant::now();
+    let result = app
+        .run(&mut gpu, ctrl.as_mut())
+        .unwrap_or_else(|e| panic!("{name} under {}: {e}", method.name()));
+    let wall = t0.elapsed().as_secs_f64();
+    Measurement {
+        workload: name.to_string(),
+        warps: app.total_warps(),
+        method: method.name(),
+        sim_cycles: result.total_cycles(),
+        wall_secs: wall,
+        detailed_insts: result.total_detailed_insts(),
+        functional_insts: result.total_functional_insts(),
+        skipped_kernels: result.skipped_kernels(),
+        kernel_cycles: result.kernels.iter().map(|k| k.cycles).collect(),
+    }
+}
+
+/// Runs one Table 2 benchmark at a problem size under a method.
+pub fn run_benchmark(
+    gpu_cfg: &GpuConfig,
+    bench: Benchmark,
+    warps: u64,
+    seed: u64,
+    method: &Method,
+    pcfg: &PhotonConfig,
+) -> Measurement {
+    let mut m = run_app_method(
+        gpu_cfg,
+        bench.abbr(),
+        &|gpu| bench.build(gpu, warps, seed),
+        method,
+        pcfg,
+    );
+    m.warps = warps;
+    m
+}
+
+/// A printable results table.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Directory experiment outputs (JSON/CSV) are written to.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results");
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Writes measurements as JSON under `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, data: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(data) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("(wrote {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_names() {
+        assert_eq!(Method::Full.name(), "Full");
+        assert_eq!(Method::Photon(Levels::all()).name(), "Photon");
+        assert_eq!(Method::Photon(Levels::bb_only()).name(), "BB-sampling");
+        assert_eq!(Method::Pka.name(), "PKA");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "bench"]);
+        t.row(vec!["1".into(), "x".into()]);
+        let s = t.render();
+        assert!(s.contains("bench"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_bad_rows() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn measurement_metrics() {
+        let full = Measurement {
+            workload: "x".into(),
+            warps: 1,
+            method: "Full".into(),
+            sim_cycles: 1000,
+            wall_secs: 2.0,
+            detailed_insts: 0,
+            functional_insts: 0,
+            skipped_kernels: 0,
+            kernel_cycles: vec![],
+        };
+        let fast = Measurement {
+            sim_cycles: 900,
+            wall_secs: 0.5,
+            method: "Photon".into(),
+            ..full.clone()
+        };
+        assert!((fast.error_vs(&full) - 0.1).abs() < 1e-12);
+        assert!((fast.speedup_vs(&full) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_configs() {
+        // default (non-full) mode quarters the machine
+        if !full_size() {
+            assert_eq!(r9_nano().num_cus, 16);
+            assert_eq!(mi100().num_cus, 30);
+        }
+    }
+}

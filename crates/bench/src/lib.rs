@@ -1,0 +1,20 @@
+//! # photon-bench
+//!
+//! The experiment harness that regenerates every table and figure of
+//! the Photon paper's evaluation (see DESIGN.md for the per-experiment
+//! index). Each `fig*` binary prints the same rows/series the paper
+//! plots; `EXPERIMENTS.md` records paper-vs-measured values.
+//!
+//! Experiments run on Table 1 configurations scaled to a quarter of the
+//! CU count by default (same per-CU parameters, same residency ratios,
+//! quarter-sized problems) so a full sweep finishes in minutes; set
+//! `PHOTON_BENCH_FULL=1` for the full 64-/120-CU machines with
+//! paper-sized problems.
+
+pub mod harness;
+pub mod figures;
+
+pub use harness::{
+    mi100, r9_nano, results_dir, run_app_method, run_benchmark, scaled_photon_config, AppBuilder,
+    Measurement, Method, Table,
+};

@@ -1,0 +1,269 @@
+//! Basic block vectors and GPU BBVs (paper §3 Obs 4–5, Figure 5).
+//!
+//! A warp's BBV weights each basic block by the instructions executed in
+//! it (execution count × block length), normalized to sum 1 — the
+//! SimPoint convention. Warps with identical BBVs are of the same *warp
+//! type*. A kernel's **GPU BBV** clusters warps by type, projects each
+//! type's BBV into a fixed dimensionality (the paper uses 16), weights
+//! it by the type's share of warps, sorts the weighted vectors by
+//! descending weight, and concatenates them.
+
+use gpu_isa::BasicBlockMap;
+use gpu_sim::WarpTrace;
+use serde::{Deserialize, Serialize};
+
+/// Fixed projection dimensionality used by the paper.
+pub const BBV_DIM: usize = 16;
+
+/// A normalized, fixed-dimension basic block vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bbv {
+    weights: Vec<f64>,
+}
+
+/// Deterministic hash spreading block indices over projection buckets.
+fn bucket(bb_index: u32, dim: usize) -> usize {
+    // Fibonacci hashing: well spread for consecutive indices.
+    let h = (bb_index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    ((h >> 33) % dim as u64) as usize
+}
+
+impl Bbv {
+    /// Builds the projected, normalized BBV of one warp trace.
+    ///
+    /// Each block contributes `count × block_len` instructions to its
+    /// projection bucket; the vector is normalized to sum 1 (all-zero
+    /// traces produce the zero vector).
+    pub fn from_trace(trace: &WarpTrace, bb_map: &BasicBlockMap) -> Self {
+        Self::from_trace_with_dim(trace, bb_map, BBV_DIM)
+    }
+
+    /// Same as [`Bbv::from_trace`] with an explicit dimensionality
+    /// (exposed for the projection-dimension ablation).
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn from_trace_with_dim(trace: &WarpTrace, bb_map: &BasicBlockMap, dim: usize) -> Self {
+        assert!(dim > 0, "projection dimension must be positive");
+        let mut weights = vec![0.0f64; dim];
+        for &(bb, count) in &trace.bb_counts {
+            let len = bb_map.block(bb).len as f64;
+            weights[bucket(bb.0, dim)] += count as f64 * len;
+        }
+        let total: f64 = weights.iter().sum();
+        if total > 0.0 {
+            for w in &mut weights {
+                *w /= total;
+            }
+        }
+        Bbv { weights }
+    }
+
+    /// The projected weights (sum 1 for non-empty traces).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Manhattan distance to another BBV (0 ≤ d ≤ 2 for normalized
+    /// vectors).
+    ///
+    /// # Panics
+    /// Panics if dimensionalities differ.
+    pub fn manhattan(&self, other: &Bbv) -> f64 {
+        assert_eq!(
+            self.weights.len(),
+            other.weights.len(),
+            "BBV dimensionality mismatch"
+        );
+        self.weights
+            .iter()
+            .zip(&other.weights)
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+}
+
+/// One warp-type entry of a GPU BBV: a projected BBV with its share of
+/// the kernel's warps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedBbv {
+    /// Fraction of warps of this type.
+    pub weight: f64,
+    /// The type's projected BBV.
+    pub bbv: Bbv,
+}
+
+/// The kernel-level feature vector of Figure 5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuBbv {
+    /// Weighted per-type BBVs, sorted by descending weight.
+    entries: Vec<WeightedBbv>,
+    /// Mean dynamic instructions per warp (used to separate kernels
+    /// with similar shape but different trip counts).
+    insts_per_warp: f64,
+}
+
+impl GpuBbv {
+    /// Builds a GPU BBV from `(type BBV, warp count of that type)` pairs
+    /// plus the mean instructions per warp over the sample.
+    pub fn new(mut types: Vec<(Bbv, u64)>, insts_per_warp: f64) -> Self {
+        let total: u64 = types.iter().map(|(_, n)| *n).sum();
+        types.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+        let entries = types
+            .into_iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(bbv, n)| WeightedBbv {
+                weight: if total == 0 {
+                    0.0
+                } else {
+                    n as f64 / total as f64
+                },
+                bbv,
+            })
+            .collect();
+        GpuBbv {
+            entries,
+            insts_per_warp,
+        }
+    }
+
+    /// The weighted entries, descending by weight.
+    pub fn entries(&self) -> &[WeightedBbv] {
+        &self.entries
+    }
+
+    /// Mean dynamic instructions per warp of the sample this vector was
+    /// built from.
+    pub fn insts_per_warp(&self) -> f64 {
+        self.insts_per_warp
+    }
+
+    /// The flattened weighted vector (weight × BBV, concatenated in
+    /// weight order), as the paper defines the GPU BBV.
+    pub fn flat(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.entries.len() * BBV_DIM);
+        for e in &self.entries {
+            v.extend(e.bbv.weights().iter().map(|w| w * e.weight));
+        }
+        v
+    }
+
+    /// Distance between two GPU BBVs: Manhattan distance over the
+    /// flattened vectors (shorter vector zero-padded), plus a relative
+    /// instructions-per-warp term that separates same-shape kernels with
+    /// different trip counts (the count-difference failure mode of
+    /// feature counting that §3 Obs 5 discusses).
+    pub fn distance(&self, other: &GpuBbv) -> f64 {
+        let a = self.flat();
+        let b = other.flat();
+        let n = a.len().max(b.len());
+        let mut d = 0.0;
+        for i in 0..n {
+            let x = a.get(i).copied().unwrap_or(0.0);
+            let y = b.get(i).copied().unwrap_or(0.0);
+            d += (x - y).abs();
+        }
+        let ia = self.insts_per_warp.max(1.0);
+        let ib = other.insts_per_warp.max(1.0);
+        let ratio = (ia / ib).max(ib / ia);
+        d + (ratio - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_isa::{BasicBlockId, Inst};
+
+    fn bb_map(n_blocks: usize) -> BasicBlockMap {
+        // build a program with n_blocks single-instruction blocks by
+        // alternating barriers
+        let mut insts = Vec::new();
+        for _ in 0..n_blocks - 1 {
+            insts.push(Inst::SBarrier);
+        }
+        insts.push(Inst::SEndpgm);
+        BasicBlockMap::from_program(&insts)
+    }
+
+    fn trace(counts: &[(u32, u32)], insts: u64) -> WarpTrace {
+        WarpTrace::from_counts(
+            counts.iter().map(|&(b, c)| (BasicBlockId(b), c)).collect(),
+            insts,
+        )
+    }
+
+    #[test]
+    fn bbv_normalizes() {
+        let map = bb_map(4);
+        let t = trace(&[(0, 1), (1, 3)], 4);
+        let bbv = Bbv::from_trace(&t, &map);
+        let sum: f64 = bbv.weights().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_traces_zero_distance() {
+        let map = bb_map(4);
+        let a = Bbv::from_trace(&trace(&[(0, 2), (2, 5)], 7), &map);
+        let b = Bbv::from_trace(&trace(&[(0, 2), (2, 5)], 7), &map);
+        assert_eq!(a.manhattan(&b), 0.0);
+    }
+
+    #[test]
+    fn different_traces_nonzero_distance() {
+        let map = bb_map(4);
+        let a = Bbv::from_trace(&trace(&[(0, 10)], 10), &map);
+        let b = Bbv::from_trace(&trace(&[(1, 10)], 10), &map);
+        assert!(a.manhattan(&b) > 0.5);
+    }
+
+    #[test]
+    fn empty_trace_is_zero_vector() {
+        let map = bb_map(2);
+        let t = trace(&[], 0);
+        let bbv = Bbv::from_trace(&t, &map);
+        assert!(bbv.weights().iter().all(|&w| w == 0.0));
+    }
+
+    #[test]
+    fn gpu_bbv_sorts_by_weight() {
+        let map = bb_map(4);
+        let a = Bbv::from_trace(&trace(&[(0, 1)], 1), &map);
+        let b = Bbv::from_trace(&trace(&[(1, 1)], 1), &map);
+        let g = GpuBbv::new(vec![(a, 10), (b, 90)], 5.0);
+        assert!(g.entries()[0].weight > g.entries()[1].weight);
+        assert!((g.entries()[0].weight - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_kernels_cluster_different_kernels_do_not() {
+        let map = bb_map(8);
+        let t1 = Bbv::from_trace(&trace(&[(0, 1), (3, 20)], 21), &map);
+        let t2 = Bbv::from_trace(&trace(&[(1, 5), (5, 5)], 10), &map);
+        let k_a = GpuBbv::new(vec![(t1.clone(), 100)], 21.0);
+        let k_a2 = GpuBbv::new(vec![(t1.clone(), 100)], 21.0);
+        let k_b = GpuBbv::new(vec![(t2.clone(), 60), (t1, 40)], 14.0);
+        assert!(k_a.distance(&k_a2) < 1e-9);
+        assert!(k_a.distance(&k_b) > 0.1);
+    }
+
+    #[test]
+    fn insts_per_warp_separates_same_shape() {
+        let map = bb_map(4);
+        let bbv = Bbv::from_trace(&trace(&[(0, 1), (1, 50)], 51), &map);
+        // same normalized shape, 2x the instructions per warp
+        let small = GpuBbv::new(vec![(bbv.clone(), 10)], 100.0);
+        let big = GpuBbv::new(vec![(bbv, 10)], 200.0);
+        assert!(small.distance(&big) >= 1.0);
+    }
+
+    #[test]
+    fn flat_length_scales_with_types() {
+        let map = bb_map(4);
+        let a = Bbv::from_trace(&trace(&[(0, 1)], 1), &map);
+        let b = Bbv::from_trace(&trace(&[(1, 1)], 1), &map);
+        let g = GpuBbv::new(vec![(a, 1), (b, 1)], 1.0);
+        assert_eq!(g.flat().len(), 2 * BBV_DIM);
+    }
+}

@@ -1,0 +1,164 @@
+//! Photon configuration (the paper's §4 parameters).
+
+use serde::{Deserialize, Serialize};
+
+/// Which sampling levels are active (for the Figure 15/17 ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Levels {
+    /// Kernel-sampling (§4.3): skip kernels matching a prior GPU BBV.
+    pub kernel: bool,
+    /// Warp-sampling (§4.2): predict warps of a dominant stable type.
+    pub warp: bool,
+    /// Basic-block-sampling (§4.1): predict warps from stable block times.
+    pub bb: bool,
+}
+
+impl Levels {
+    /// Full Photon: all three levels.
+    pub fn all() -> Self {
+        Levels {
+            kernel: true,
+            warp: true,
+            bb: true,
+        }
+    }
+
+    /// Basic-block-sampling only (Figure 15 "BB-sampling").
+    pub fn bb_only() -> Self {
+        Levels {
+            kernel: false,
+            warp: false,
+            bb: true,
+        }
+    }
+
+    /// Warp-sampling only (Figure 15 "warp-sampling").
+    pub fn warp_only() -> Self {
+        Levels {
+            kernel: false,
+            warp: true,
+            bb: false,
+        }
+    }
+
+    /// Kernel-sampling only (Figure 17 "kernel-sampling").
+    pub fn kernel_only() -> Self {
+        Levels {
+            kernel: true,
+            warp: false,
+            bb: false,
+        }
+    }
+
+    /// Kernel + warp sampling (Figure 17 "kernel+warp").
+    pub fn kernel_warp() -> Self {
+        Levels {
+            kernel: true,
+            warp: true,
+            bb: false,
+        }
+    }
+
+    /// No sampling at all (full detailed via the Photon controller).
+    pub fn none() -> Self {
+        Levels {
+            kernel: false,
+            warp: false,
+            bb: false,
+        }
+    }
+}
+
+/// All Photon thresholds, with the paper's defaults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhotonConfig {
+    /// Fraction of warps functionally traced for online analysis
+    /// (paper: 1 %).
+    pub sample_fraction: f64,
+    /// Lower bound on sampled warps for tiny launches.
+    pub min_sample_warps: u64,
+    /// Minimum share of the most frequent warp type to enable
+    /// warp-sampling (paper: 95 %).
+    pub dominant_threshold: f64,
+    /// Share of (instruction-weighted) basic blocks that must be stable
+    /// before switching to basic-block-sampling (paper: 95 %).
+    pub stable_bb_rate: f64,
+    /// Stability threshold δ on `|1 − a|` and on the window-mean check
+    /// (paper: 3 %).
+    pub delta: f64,
+    /// Least-squares window for basic blocks (paper: 2048).
+    pub bb_window: usize,
+    /// Least-squares window for warps (paper: 1024).
+    pub warp_window: usize,
+    /// Maximum GPU-BBV distance for two kernels to match (§4.3).
+    pub kernel_distance: f64,
+    /// Blocks whose instruction share falls below this are *rare* and
+    /// predicted with the interval model instead of online timings.
+    pub rare_bb_share: f64,
+    /// Active sampling levels.
+    pub levels: Levels,
+    /// Replay skipped kernels functionally so later kernels observe
+    /// their memory effects (trades speed for functional fidelity).
+    pub functional_replay: bool,
+}
+
+impl Default for PhotonConfig {
+    fn default() -> Self {
+        PhotonConfig {
+            sample_fraction: 0.01,
+            min_sample_warps: 8,
+            dominant_threshold: 0.95,
+            stable_bb_rate: 0.95,
+            delta: 0.03,
+            bb_window: 2048,
+            warp_window: 1024,
+            kernel_distance: 0.25,
+            rare_bb_share: 0.002,
+            levels: Levels::all(),
+            functional_replay: false,
+        }
+    }
+}
+
+impl PhotonConfig {
+    /// Paper defaults with a chosen level mask.
+    pub fn with_levels(levels: Levels) -> Self {
+        PhotonConfig {
+            levels,
+            ..Default::default()
+        }
+    }
+
+    /// Smaller windows suited to unit tests and small launches (the
+    /// paper's windows assume million-warp workloads).
+    pub fn small_windows(mut self, bb: usize, warp: usize) -> Self {
+        self.bb_window = bb;
+        self.warp_window = warp;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = PhotonConfig::default();
+        assert_eq!(c.sample_fraction, 0.01);
+        assert_eq!(c.dominant_threshold, 0.95);
+        assert_eq!(c.stable_bb_rate, 0.95);
+        assert_eq!(c.delta, 0.03);
+        assert_eq!(c.bb_window, 2048);
+        assert_eq!(c.warp_window, 1024);
+        assert_eq!(c.levels, Levels::all());
+    }
+
+    #[test]
+    fn level_masks() {
+        assert!(Levels::bb_only().bb && !Levels::bb_only().warp);
+        assert!(Levels::warp_only().warp && !Levels::warp_only().kernel);
+        assert!(Levels::kernel_warp().kernel && Levels::kernel_warp().warp);
+        assert!(!Levels::none().kernel && !Levels::none().bb);
+    }
+}

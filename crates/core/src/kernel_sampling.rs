@@ -1,0 +1,224 @@
+//! Kernel sampling (paper §4.3, Figure 12).
+//!
+//! Photon keeps a history of kernel signatures (GPU BBV + warp count +
+//! online sample statistics). A new kernel whose GPU BBV is within the
+//! distance threshold of a prior kernel is skipped: its instruction
+//! count is predicted by scaling the prior kernel's count with the
+//! ratio of online-sample instruction counts, and its IPC is carried
+//! over from the prior kernel. Among matches, the kernel with the
+//! closest warp count wins; kernels with fewer warps than the GPU has
+//! compute units must match the warp count exactly (they are not yet
+//! resource-saturated, so their IPC regime differs).
+
+use crate::bbv::GpuBbv;
+use gpu_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// One completed kernel's signature and timing summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelRecord {
+    /// Kernel name (diagnostics only; matching is purely by GPU BBV).
+    pub name: String,
+    /// The kernel's GPU BBV from online analysis.
+    pub gpu_bbv: GpuBbv,
+    /// Warps in the launch.
+    pub total_warps: u64,
+    /// Instructions executed by the online sample.
+    pub sample_insts: u64,
+    /// Estimated total dynamic instructions of the kernel.
+    pub est_total_insts: f64,
+    /// Measured (or predicted) kernel cycles.
+    pub cycles: Cycle,
+    /// Effective IPC (`est_total_insts / cycles`).
+    pub ipc: f64,
+}
+
+/// Prediction produced by a kernel match.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelPrediction {
+    /// Predicted kernel time in cycles.
+    pub cycles: Cycle,
+    /// Predicted total instructions.
+    pub insts: f64,
+    /// Index of the matched history record.
+    pub matched: usize,
+}
+
+/// The kernel history used for matching.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KernelHistory {
+    records: Vec<KernelRecord>,
+}
+
+impl KernelHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The stored records, in completion order.
+    pub fn records(&self) -> &[KernelRecord] {
+        &self.records
+    }
+
+    /// Appends a completed kernel.
+    pub fn push(&mut self, record: KernelRecord) {
+        self.records.push(record);
+    }
+
+    /// Finds the best prior kernel for a new launch, per §4.3: GPU BBV
+    /// distance under `max_distance`, closest warp count, exact warp
+    /// count when `total_warps < num_cus`.
+    pub fn find_match(
+        &self,
+        gpu_bbv: &GpuBbv,
+        total_warps: u64,
+        num_cus: u64,
+        max_distance: f64,
+    ) -> Option<usize> {
+        let small = total_warps < num_cus;
+        self.records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                if small || r.total_warps < num_cus {
+                    r.total_warps == total_warps
+                } else {
+                    true
+                }
+            })
+            .map(|(i, r)| (i, r.gpu_bbv.distance(gpu_bbv), r))
+            .filter(|(_, d, _)| *d <= max_distance)
+            .min_by(|(_, da, ra), (_, db, rb)| {
+                let wa = ra.total_warps.abs_diff(total_warps);
+                let wb = rb.total_warps.abs_diff(total_warps);
+                wa.cmp(&wb).then(da.total_cmp(db))
+            })
+            .map(|(i, _, _)| i)
+    }
+
+    /// Predicts the new kernel's time from a matched record:
+    /// `#insts = #insts' · sample / sample'`, IPC carried over.
+    ///
+    /// # Panics
+    /// Panics if `matched` is out of range.
+    pub fn predict(&self, matched: usize, sample_insts: u64) -> KernelPrediction {
+        let r = &self.records[matched];
+        let scale = if r.sample_insts == 0 {
+            1.0
+        } else {
+            sample_insts as f64 / r.sample_insts as f64
+        };
+        let insts = r.est_total_insts * scale;
+        let cycles = if r.ipc > 0.0 {
+            (insts / r.ipc).round().max(1.0) as Cycle
+        } else {
+            r.cycles
+        };
+        KernelPrediction {
+            cycles,
+            insts,
+            matched,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbv::Bbv;
+    use gpu_isa::{BasicBlockId, BasicBlockMap, Inst};
+    use gpu_sim::WarpTrace;
+
+    fn map() -> BasicBlockMap {
+        BasicBlockMap::from_program(&[
+            Inst::SBarrier,
+            Inst::SBarrier,
+            Inst::SBarrier,
+            Inst::SEndpgm,
+        ])
+    }
+
+    fn bbv(counts: &[(u32, u32)]) -> Bbv {
+        let insts = counts.iter().map(|(_, c)| *c as u64).sum();
+        let t = WarpTrace::from_counts(
+            counts.iter().map(|&(b, c)| (BasicBlockId(b), c)).collect(),
+            insts,
+        );
+        Bbv::from_trace(&t, &map())
+    }
+
+    fn record(name: &str, counts: &[(u32, u32)], warps: u64, ipw: f64, ipc: f64) -> KernelRecord {
+        let g = GpuBbv::new(vec![(bbv(counts), warps)], ipw);
+        let est = ipw * warps as f64;
+        KernelRecord {
+            name: name.into(),
+            gpu_bbv: g,
+            total_warps: warps,
+            sample_insts: (ipw * (warps as f64 * 0.01).max(1.0)) as u64,
+            est_total_insts: est,
+            cycles: (est / ipc) as Cycle,
+            ipc,
+        }
+    }
+
+    #[test]
+    fn identical_kernel_matches() {
+        let mut h = KernelHistory::new();
+        h.push(record("k", &[(0, 10), (1, 5)], 1000, 15.0, 2.0));
+        let g = GpuBbv::new(vec![(bbv(&[(0, 10), (1, 5)]), 1000)], 15.0);
+        let m = h.find_match(&g, 1000, 64, 0.25);
+        assert_eq!(m, Some(0));
+    }
+
+    #[test]
+    fn different_kernel_does_not_match() {
+        let mut h = KernelHistory::new();
+        h.push(record("k", &[(0, 10)], 1000, 10.0, 2.0));
+        let g = GpuBbv::new(vec![(bbv(&[(2, 10)]), 1000)], 10.0);
+        assert_eq!(h.find_match(&g, 1000, 64, 0.25), None);
+    }
+
+    #[test]
+    fn closest_warp_count_wins() {
+        let mut h = KernelHistory::new();
+        h.push(record("a", &[(0, 10)], 1000, 10.0, 2.0));
+        h.push(record("b", &[(0, 10)], 4000, 10.0, 2.5));
+        let g = GpuBbv::new(vec![(bbv(&[(0, 10)]), 3500)], 10.0);
+        assert_eq!(h.find_match(&g, 3500, 64, 0.25), Some(1));
+    }
+
+    #[test]
+    fn small_kernels_require_exact_warp_count() {
+        let mut h = KernelHistory::new();
+        h.push(record("a", &[(0, 10)], 32, 10.0, 2.0));
+        let g = GpuBbv::new(vec![(bbv(&[(0, 10)]), 48)], 10.0);
+        // 48 < 64 CUs and 48 != 32: no match
+        assert_eq!(h.find_match(&g, 48, 64, 0.25), None);
+        // exact count matches
+        let g32 = GpuBbv::new(vec![(bbv(&[(0, 10)]), 32)], 10.0);
+        assert_eq!(h.find_match(&g32, 32, 64, 0.25), Some(0));
+    }
+
+    #[test]
+    fn small_history_record_requires_exact_count_too() {
+        let mut h = KernelHistory::new();
+        h.push(record("a", &[(0, 10)], 32, 10.0, 2.0));
+        // new kernel is large (>= num_cus) but record is small: exact only
+        let g = GpuBbv::new(vec![(bbv(&[(0, 10)]), 500)], 10.0);
+        assert_eq!(h.find_match(&g, 500, 64, 0.25), None);
+    }
+
+    #[test]
+    fn prediction_scales_with_sample() {
+        let mut h = KernelHistory::new();
+        let r = record("a", &[(0, 10)], 1000, 10.0, 2.0);
+        let sample = r.sample_insts;
+        let est = r.est_total_insts;
+        h.push(r);
+        // twice the sample instructions → twice the kernel instructions
+        let p = h.predict(0, sample * 2);
+        assert!((p.insts - 2.0 * est).abs() < 1e-6);
+        assert_eq!(p.cycles, (2.0 * est / 2.0).round() as Cycle);
+    }
+}

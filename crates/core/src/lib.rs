@@ -1,0 +1,67 @@
+//! # photon
+//!
+//! A Rust reproduction of **Photon: A Fine-grained Sampled Simulation
+//! Methodology for GPU Workloads** (Liu, Sun, Carlson — MICRO 2023).
+//!
+//! Photon accelerates cycle-level GPU simulation with three cooperating
+//! sampling levels, all driven by *online* analysis (no up-front
+//! profiling):
+//!
+//! * **kernel-sampling** — kernels whose GPU BBV matches a previously
+//!   simulated kernel are skipped and their time predicted from the
+//!   prior kernel's IPC ([`KernelHistory`], §4.3),
+//! * **warp-sampling** — kernels dominated by one warp type switch to
+//!   scheduler-only simulation once warp execution times stabilize
+//!   ([`WarpSampler`], §4.2),
+//! * **basic-block-sampling** — remaining warps are functionally
+//!   simulated and their time predicted from stable per-block timings,
+//!   with an interval model covering rare blocks ([`BbSampler`], §4.1).
+//!
+//! The composition lives in [`PhotonController`], which plugs into
+//! [`gpu_sim::GpuSimulator::run_kernel_sampled`].
+//!
+//! # Example
+//!
+//! ```
+//! use gpu_isa::{Kernel, KernelBuilder, KernelLaunch, VAluOp, VectorSrc};
+//! use gpu_sim::{GpuConfig, GpuSimulator};
+//! use photon::{PhotonConfig, PhotonController};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+//! let mut kb = KernelBuilder::new("warmup");
+//! let v = kb.vreg();
+//! kb.valu(VAluOp::Add, v, VectorSrc::LaneId, VectorSrc::Imm(1));
+//! let launch = KernelLaunch::new(Kernel::new(kb.finish()?), 16, 4, vec![]);
+//!
+//! let num_cus = gpu.config().num_cus as u64;
+//! let mut photon = PhotonController::new(PhotonConfig::default(), num_cus);
+//! let first = gpu.run_kernel_sampled(&launch, &mut photon)?;
+//! let second = gpu.run_kernel_sampled(&launch, &mut photon)?;
+//! assert!(!first.skipped);
+//! assert!(second.skipped); // kernel-sampling matched the repeat launch
+//! # Ok(())
+//! # }
+//! ```
+
+mod analysis;
+mod bb_sampling;
+mod bbv;
+mod config;
+mod controller;
+mod interval;
+mod kernel_sampling;
+mod ls;
+mod offline;
+mod warp_sampling;
+
+pub use analysis::{sample_warp_ids, OnlineAnalysis};
+pub use bb_sampling::BbSampler;
+pub use bbv::{Bbv, GpuBbv, WeightedBbv, BBV_DIM};
+pub use config::{Levels, PhotonConfig};
+pub use controller::{PhotonController, PhotonStats};
+pub use interval::{predict_block_interval, LatencyTable};
+pub use kernel_sampling::{KernelHistory, KernelPrediction, KernelRecord};
+pub use ls::{least_squares, RollingStability};
+pub use offline::{OfflineData, OfflineError};
+pub use warp_sampling::WarpSampler;

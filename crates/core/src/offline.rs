@@ -1,0 +1,169 @@
+//! Offline reuse of online-analysis data (paper §6.3).
+//!
+//! Everything Photon's online analysis produces — warp types, block
+//! distributions, GPU BBVs — is micro-architecture agnostic, so a run's
+//! analyses can be saved and replayed on later simulations of the same
+//! binary (e.g. while sweeping hardware configurations), skipping the
+//! functional tracing pass.
+
+use crate::analysis::OnlineAnalysis;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// Persisted per-kernel analyses, in launch order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OfflineData {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// One analysis per kernel launch.
+    pub analyses: Vec<OnlineAnalysis>,
+}
+
+/// Errors loading or saving offline analysis data.
+#[derive(Debug)]
+pub enum OfflineError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed JSON.
+    Parse(serde_json::Error),
+    /// The file's version is not supported.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+    },
+}
+
+impl fmt::Display for OfflineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OfflineError::Io(e) => write!(f, "offline data io failure: {e}"),
+            OfflineError::Parse(e) => write!(f, "offline data parse failure: {e}"),
+            OfflineError::UnsupportedVersion { found } => {
+                write!(f, "unsupported offline data version {found}")
+            }
+        }
+    }
+}
+
+impl Error for OfflineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OfflineError::Io(e) => Some(e),
+            OfflineError::Parse(e) => Some(e),
+            OfflineError::UnsupportedVersion { .. } => None,
+        }
+    }
+}
+
+const VERSION: u32 = 1;
+
+impl OfflineData {
+    /// Wraps analyses exported from a
+    /// [`crate::PhotonController`].
+    pub fn new(analyses: Vec<OnlineAnalysis>) -> Self {
+        OfflineData {
+            version: VERSION,
+            analyses,
+        }
+    }
+
+    /// Serializes to a JSON string.
+    ///
+    /// # Errors
+    /// Returns [`OfflineError::Parse`] on serialization failure.
+    pub fn to_json(&self) -> Result<String, OfflineError> {
+        serde_json::to_string(self).map_err(OfflineError::Parse)
+    }
+
+    /// Parses from a JSON string.
+    ///
+    /// # Errors
+    /// Returns [`OfflineError::Parse`] for malformed input and
+    /// [`OfflineError::UnsupportedVersion`] for foreign versions.
+    pub fn from_json(s: &str) -> Result<Self, OfflineError> {
+        let data: OfflineData = serde_json::from_str(s).map_err(OfflineError::Parse)?;
+        if data.version != VERSION {
+            return Err(OfflineError::UnsupportedVersion {
+                found: data.version,
+            });
+        }
+        Ok(data)
+    }
+
+    /// Saves to a file.
+    ///
+    /// # Errors
+    /// Returns [`OfflineError::Io`] or [`OfflineError::Parse`].
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), OfflineError> {
+        std::fs::write(path, self.to_json()?).map_err(OfflineError::Io)
+    }
+
+    /// Loads from a file.
+    ///
+    /// # Errors
+    /// Returns [`OfflineError::Io`], [`OfflineError::Parse`], or
+    /// [`OfflineError::UnsupportedVersion`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, OfflineError> {
+        let s = std::fs::read_to_string(path).map_err(OfflineError::Io)?;
+        Self::from_json(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_isa::{BasicBlockId, BasicBlockMap, Inst};
+    use gpu_sim::WarpTrace;
+
+    fn sample_analysis() -> OnlineAnalysis {
+        let map = BasicBlockMap::from_program(&[Inst::SBarrier, Inst::SEndpgm]);
+        let t = WarpTrace::from_counts(vec![(BasicBlockId(0), 3), (BasicBlockId(1), 1)], 4);
+        OnlineAnalysis::from_traces(&[t.clone(), t], &map)
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let data = OfflineData::new(vec![sample_analysis()]);
+        let json = data.to_json().unwrap();
+        let back = OfflineData::from_json(&json).unwrap();
+        assert_eq!(back.analyses.len(), 1);
+        assert_eq!(back.analyses[0].sampled_warps, 2);
+        assert_eq!(
+            back.analyses[0].gpu_bbv.entries().len(),
+            data.analyses[0].gpu_bbv.entries().len()
+        );
+    }
+
+    #[test]
+    fn version_checked() {
+        let data = OfflineData::new(vec![]);
+        let mut json = data.to_json().unwrap();
+        json = json.replace("\"version\":1", "\"version\":99");
+        assert!(matches!(
+            OfflineData::from_json(&json),
+            Err(OfflineError::UnsupportedVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(matches!(
+            OfflineData::from_json("{nope"),
+            Err(OfflineError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("photon_offline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("analysis.json");
+        let data = OfflineData::new(vec![sample_analysis()]);
+        data.save(&path).unwrap();
+        let back = OfflineData::load(&path).unwrap();
+        assert_eq!(back.analyses.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

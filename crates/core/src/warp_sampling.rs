@@ -1,0 +1,141 @@
+//! Warp sampling (paper §4.2, Figure 10).
+//!
+//! Warp-sampling is gated on the online analysis: it can only be
+//! enabled when one warp type dominates (≥ 95 % of the sample). During
+//! detailed simulation the sampler watches warp issue/retire pairs
+//! through a [`RollingStability`] detector (window 1024); once stable,
+//! remaining warps are not executed at all — the scheduler alone is
+//! simulated and each warp's duration is predicted as the mean of the
+//! last window of detailed warps.
+
+use crate::analysis::OnlineAnalysis;
+use crate::config::PhotonConfig;
+use crate::ls::RollingStability;
+use gpu_sim::{Cycle, WarpRecord};
+
+/// Per-kernel warp-sampling state.
+#[derive(Debug)]
+pub struct WarpSampler {
+    /// Whether the dominant-type gate passed.
+    enabled: bool,
+    detector: RollingStability,
+}
+
+impl WarpSampler {
+    /// Creates the sampler; the online analysis decides whether the
+    /// kernel qualifies at all.
+    pub fn new(analysis: &OnlineAnalysis, cfg: &PhotonConfig) -> Self {
+        WarpSampler {
+            enabled: analysis.dominant_fraction >= cfg.dominant_threshold,
+            detector: RollingStability::new(cfg.warp_window, cfg.delta),
+        }
+    }
+
+    /// Whether the dominant-warp gate passed (irregular applications
+    /// like SpMV fail it and never warp-sample).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Feeds a retired detailed warp (cycles rebased to kernel start).
+    pub fn on_warp(&mut self, rec: &WarpRecord) {
+        if self.enabled {
+            self.detector.push(rec.issue as f64, rec.retire as f64);
+        }
+    }
+
+    /// Whether warp-sampling should take over.
+    pub fn is_triggered(&self) -> bool {
+        self.enabled && self.detector.is_stable()
+    }
+
+    /// Predicted duration: the mean of the last window of warps.
+    pub fn predict(&self) -> Cycle {
+        self.detector
+            .mean_duration()
+            .map(|d| d.round().max(1.0) as Cycle)
+            .unwrap_or(1)
+    }
+
+    /// Warps observed.
+    pub fn warps_seen(&self) -> u64 {
+        self.detector.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_isa::{BasicBlockId, BasicBlockMap, Inst};
+    use gpu_sim::WarpTrace;
+
+    fn analysis(dominant: f64) -> OnlineAnalysis {
+        let map = BasicBlockMap::from_program(&[Inst::SBarrier, Inst::SEndpgm]);
+        let a = WarpTrace::from_counts(vec![(BasicBlockId(0), 1)], 1);
+        let b = WarpTrace::from_counts(vec![(BasicBlockId(1), 1)], 1);
+        let n = 100usize;
+        let na = (dominant * n as f64) as usize;
+        let mut traces = vec![a; na];
+        traces.extend(vec![b; n - na]);
+        OnlineAnalysis::from_traces(&traces, &map)
+    }
+
+    fn cfg() -> PhotonConfig {
+        PhotonConfig::default().small_windows(16, 16)
+    }
+
+    fn rec(i: u64, dur: u64) -> WarpRecord {
+        WarpRecord {
+            warp: i,
+            issue: i * 50,
+            retire: i * 50 + dur,
+            insts: 10,
+        }
+    }
+
+    #[test]
+    fn gate_requires_dominant_type() {
+        let c = cfg();
+        assert!(WarpSampler::new(&analysis(0.99), &c).is_enabled());
+        assert!(!WarpSampler::new(&analysis(0.50), &c).is_enabled());
+    }
+
+    #[test]
+    fn stable_warps_trigger_and_predict_mean() {
+        let c = cfg();
+        let mut s = WarpSampler::new(&analysis(1.0), &c);
+        for i in 0..64 {
+            s.on_warp(&rec(i, 800));
+        }
+        assert!(s.is_triggered());
+        assert_eq!(s.predict(), 800);
+    }
+
+    #[test]
+    fn irregular_never_triggers_even_with_stable_times() {
+        let c = cfg();
+        let mut s = WarpSampler::new(&analysis(0.5), &c);
+        for i in 0..64 {
+            s.on_warp(&rec(i, 800));
+        }
+        assert!(!s.is_triggered());
+    }
+
+    #[test]
+    fn variable_durations_do_not_trigger() {
+        let c = cfg();
+        let mut s = WarpSampler::new(&analysis(1.0), &c);
+        for i in 0..64 {
+            s.on_warp(&rec(i, 100 + i * 37));
+        }
+        assert!(!s.is_triggered());
+    }
+
+    #[test]
+    fn prediction_without_data_is_minimal() {
+        let c = cfg();
+        let s = WarpSampler::new(&analysis(1.0), &c);
+        assert_eq!(s.predict(), 1);
+        assert_eq!(s.warps_seen(), 0);
+    }
+}

@@ -1,0 +1,705 @@
+//! Text assembler: parses the GCN-flavored syntax the disassembler
+//! emits back into a [`Program`].
+//!
+//! Supported syntax (one instruction per line):
+//!
+//! ```text
+//! ; comments with ';' or '//'
+//! top:                       ; labels end with ':'
+//!   s_mov s0, 5
+//!   v_add_u32 v0, lane_id, 1
+//!   v_cmp_lt_i32 vcc, v0, 64
+//!   s_and_saveexec s1, vcc
+//!   global_load_dword v1, [s0 + v0 + 0]
+//!   ds_write_b32 [v0 + 8], v1
+//!   s_cbranch_scc1 top       ; label or pcN targets
+//!   s_endpgm
+//! ```
+//!
+//! Round-trip guarantee: `parse(&program.to_string())` reproduces the
+//! program (tested by property tests).
+
+use crate::error::IsaError;
+use crate::inst::{
+    BranchCond, CmpOp, Inst, MaskReg, MemWidth, SAluOp, ScalarSrc, SpecialReg, VAluOp, VectorSrc,
+};
+use crate::program::Program;
+use crate::reg::{Sreg, Vreg, MAX_SREGS, MAX_VREGS};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// An assembly parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+impl From<IsaError> for AsmError {
+    fn from(e: IsaError) -> Self {
+        AsmError {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let line = line.split(';').next().unwrap_or("");
+    line.split("//").next().unwrap_or("").trim()
+}
+
+/// Splits "op a, b, c" into (op, [a, b, c]); bracketed groups like
+/// `[s0 + v1 + 4]` stay single operands.
+fn tokenize(line: &str) -> (String, Vec<String>) {
+    let mut parts = line.splitn(2, char::is_whitespace);
+    let op = parts.next().unwrap_or("").to_string();
+    let rest = parts.next().unwrap_or("").trim();
+    let mut operands = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in rest.chars() {
+        match c {
+            '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                operands.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        operands.push(cur.trim().to_string());
+    }
+    (op, operands)
+}
+
+fn parse_sreg(tok: &str, line: usize) -> Result<Sreg, AsmError> {
+    let idx: usize = tok
+        .strip_prefix('s')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| err(line, format!("expected scalar register, got `{tok}`")))?;
+    if idx >= MAX_SREGS {
+        return Err(err(line, format!("scalar register {tok} out of range")));
+    }
+    Ok(Sreg::new(idx as u8))
+}
+
+fn parse_vreg(tok: &str, line: usize) -> Result<Vreg, AsmError> {
+    let idx: usize = tok
+        .strip_prefix('v')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| err(line, format!("expected vector register, got `{tok}`")))?;
+    if idx >= MAX_VREGS {
+        return Err(err(line, format!("vector register {tok} out of range")));
+    }
+    Ok(Vreg::new(idx as u8))
+}
+
+fn parse_int(tok: &str) -> Option<i64> {
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()
+    } else if let Some(hex) = tok.strip_prefix("-0x") {
+        i64::from_str_radix(hex, 16).ok().map(|v| -v)
+    } else {
+        tok.parse().ok()
+    }
+}
+
+fn parse_scalar_src(tok: &str, line: usize) -> Result<ScalarSrc, AsmError> {
+    if tok.starts_with('s') && tok[1..].chars().all(|c| c.is_ascii_digit()) && tok.len() > 1 {
+        return Ok(ScalarSrc::Reg(parse_sreg(tok, line)?));
+    }
+    parse_int(tok)
+        .map(ScalarSrc::Imm)
+        .ok_or_else(|| err(line, format!("bad scalar operand `{tok}`")))
+}
+
+fn parse_vector_src(tok: &str, line: usize) -> Result<VectorSrc, AsmError> {
+    if tok == "lane_id" {
+        return Ok(VectorSrc::LaneId);
+    }
+    if tok.len() > 1 && tok.starts_with('v') && tok[1..].chars().all(|c| c.is_ascii_digit()) {
+        return Ok(VectorSrc::Reg(parse_vreg(tok, line)?));
+    }
+    if tok.len() > 1 && tok.starts_with('s') && tok[1..].chars().all(|c| c.is_ascii_digit()) {
+        return Ok(VectorSrc::Sreg(parse_sreg(tok, line)?));
+    }
+    if let Some(f) = tok.strip_suffix('f') {
+        if let Ok(v) = f.parse::<f32>() {
+            return Ok(VectorSrc::ImmF32(v));
+        }
+    }
+    if let Some(v) = parse_int(tok) {
+        return Ok(VectorSrc::Imm(v as u32));
+    }
+    Err(err(line, format!("bad vector operand `{tok}`")))
+}
+
+/// Parses `[sN + vM + imm]` address groups.
+fn parse_addr(tok: &str, line: usize) -> Result<(Sreg, Vreg, i32), AsmError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [base + offset + imm], got `{tok}`")))?;
+    let parts: Vec<&str> = inner.split('+').map(str::trim).collect();
+    if parts.len() != 3 {
+        return Err(err(line, format!("address needs 3 parts, got `{tok}`")));
+    }
+    let base = parse_sreg(parts[0], line)?;
+    let offset = parse_vreg(parts[1], line)?;
+    let imm = parse_int(parts[2]).ok_or_else(|| err(line, format!("bad imm in `{tok}`")))?
+        as i32;
+    Ok((base, offset, imm))
+}
+
+/// Parses `[vN + imm]` LDS address groups.
+fn parse_lds_addr(tok: &str, line: usize) -> Result<(Vreg, i32), AsmError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [addr + imm], got `{tok}`")))?;
+    let parts: Vec<&str> = inner.split('+').map(str::trim).collect();
+    if parts.len() != 2 {
+        return Err(err(line, format!("LDS address needs 2 parts, got `{tok}`")));
+    }
+    let addr = parse_vreg(parts[0], line)?;
+    let imm = parse_int(parts[1]).ok_or_else(|| err(line, format!("bad imm in `{tok}`")))?
+        as i32;
+    Ok((addr, imm))
+}
+
+fn salu_op(mnemonic: &str) -> Option<SAluOp> {
+    Some(match mnemonic {
+        "s_add" => SAluOp::Add,
+        "s_sub" => SAluOp::Sub,
+        "s_mul" => SAluOp::Mul,
+        "s_div" => SAluOp::Div,
+        "s_rem" => SAluOp::Rem,
+        "s_lshl" => SAluOp::Shl,
+        "s_lshr" => SAluOp::Shr,
+        "s_and" => SAluOp::And,
+        "s_or" => SAluOp::Or,
+        "s_xor" => SAluOp::Xor,
+        "s_andn2" => SAluOp::AndNot,
+        "s_min" => SAluOp::Min,
+        "s_max" => SAluOp::Max,
+        "s_mov" => SAluOp::Mov,
+        _ => return None,
+    })
+}
+
+fn valu_op(mnemonic: &str) -> Option<VAluOp> {
+    Some(match mnemonic {
+        "v_add_u32" => VAluOp::Add,
+        "v_sub_u32" => VAluOp::Sub,
+        "v_mul_u32" => VAluOp::Mul,
+        "v_div_u32" => VAluOp::Div,
+        "v_rem_u32" => VAluOp::Rem,
+        "v_lshl_b32" => VAluOp::Shl,
+        "v_lshr_b32" => VAluOp::Shr,
+        "v_ashr_i32" => VAluOp::Ashr,
+        "v_and_b32" => VAluOp::And,
+        "v_or_b32" => VAluOp::Or,
+        "v_xor_b32" => VAluOp::Xor,
+        "v_min_u32" => VAluOp::Min,
+        "v_max_u32" => VAluOp::Max,
+        "v_min_i32" => VAluOp::IMin,
+        "v_max_i32" => VAluOp::IMax,
+        "v_mov_b32" => VAluOp::Mov,
+        "v_add_f32" => VAluOp::FAdd,
+        "v_sub_f32" => VAluOp::FSub,
+        "v_mul_f32" => VAluOp::FMul,
+        "v_div_f32" => VAluOp::FDiv,
+        "v_max_f32" => VAluOp::FMax,
+        "v_min_f32" => VAluOp::FMin,
+        "v_cvt_f32_i32" => VAluOp::CvtI2F,
+        "v_cvt_i32_f32" => VAluOp::CvtF2I,
+        _ => return None,
+    })
+}
+
+fn cmp_op(token: &str) -> Option<CmpOp> {
+    Some(match token {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+fn branch_cond(suffix: &str) -> Option<BranchCond> {
+    Some(match suffix {
+        "scc0" => BranchCond::SccZero,
+        "scc1" => BranchCond::SccNonZero,
+        "execz" => BranchCond::ExecZero,
+        "execnz" => BranchCond::ExecNonZero,
+        "vccz" => BranchCond::VccZero,
+        "vccnz" => BranchCond::VccNonZero,
+        _ => return None,
+    })
+}
+
+fn special_reg(token: &str) -> Option<SpecialReg> {
+    Some(match token {
+        "wg_id" => SpecialReg::WgId,
+        "warp_in_wg" => SpecialReg::WarpInWg,
+        "warps_per_wg" => SpecialReg::WarpsPerWg,
+        "num_wgs" => SpecialReg::NumWgs,
+        "global_warp_id" => SpecialReg::GlobalWarpId,
+        _ => return None,
+    })
+}
+
+fn need(ops: &[String], n: usize, line: usize, what: &str) -> Result<(), AsmError> {
+    if ops.len() != n {
+        return Err(err(
+            line,
+            format!("{what} expects {n} operands, got {}", ops.len()),
+        ));
+    }
+    Ok(())
+}
+
+/// A branch target: either a symbolic label or a literal `pcN`.
+enum Target {
+    Label(String),
+    Pc(u32),
+}
+
+fn parse_target(tok: &str) -> Target {
+    if let Some(n) = tok.strip_prefix("pc").and_then(|n| n.parse().ok()) {
+        Target::Pc(n)
+    } else {
+        Target::Label(tok.to_string())
+    }
+}
+
+/// Assembles source text into a validated [`Program`].
+///
+/// # Errors
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// unknown mnemonics, bad operands, or undefined labels; program-level
+/// validation failures (e.g. a missing `s_endpgm`) are reported with
+/// line 0.
+///
+/// # Example
+/// ```
+/// let p = gpu_isa::parse_asm("doubler", r"
+///     s_load_arg s0, arg[0]
+///     v_lshl_b32 v0, lane_id, 2
+///     global_load_dword v1, [s0 + v0 + 0]
+///     v_add_u32 v1, v1, v1
+///     global_store_dword [s0 + v0 + 0], v1
+///     s_endpgm
+/// ")?;
+/// assert_eq!(p.len(), 6);
+/// # Ok::<(), gpu_isa::AsmError>(())
+/// ```
+pub fn parse_asm(name: &str, source: &str) -> Result<Program, AsmError> {
+    // Pass 1: label positions.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut pc = 0u32;
+    for (ln, raw) in source.lines().enumerate() {
+        let line = strip_comment(raw);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            if labels.insert(label.to_string(), pc).is_some() {
+                return Err(err(ln + 1, format!("label `{label}` defined twice")));
+            }
+        } else {
+            pc += 1;
+        }
+    }
+
+    // Pass 2: instructions.
+    let mut insts = Vec::new();
+    let resolve = |t: Target, ln: usize| -> Result<u32, AsmError> {
+        match t {
+            Target::Pc(n) => Ok(n),
+            Target::Label(l) => labels
+                .get(&l)
+                .copied()
+                .ok_or_else(|| err(ln, format!("undefined label `{l}`"))),
+        }
+    };
+    for (ln0, raw) in source.lines().enumerate() {
+        let ln = ln0 + 1;
+        let line = strip_comment(raw);
+        if line.is_empty() || line.ends_with(':') {
+            continue;
+        }
+        let (op, ops) = tokenize(line);
+        let inst = if let Some(salu) = salu_op(&op) {
+            // `s_mov` is overloaded: mask read/write or plain move.
+            if op == "s_mov" {
+                need(&ops, 2, ln, "s_mov")?;
+                match (ops[0].as_str(), ops[1].as_str()) {
+                    ("exec", src) => Inst::SWriteMask {
+                        dst: MaskReg::Exec,
+                        src: parse_scalar_src(src, ln)?,
+                    },
+                    ("vcc", src) => Inst::SWriteMask {
+                        dst: MaskReg::Vcc,
+                        src: parse_scalar_src(src, ln)?,
+                    },
+                    (dst, "exec") => Inst::SReadMask {
+                        dst: parse_sreg(dst, ln)?,
+                        src: MaskReg::Exec,
+                    },
+                    (dst, "vcc") => Inst::SReadMask {
+                        dst: parse_sreg(dst, ln)?,
+                        src: MaskReg::Vcc,
+                    },
+                    (dst, src) => Inst::SAlu {
+                        op: SAluOp::Mov,
+                        dst: parse_sreg(dst, ln)?,
+                        a: parse_scalar_src(src, ln)?,
+                        b: ScalarSrc::Imm(0),
+                    },
+                }
+            } else {
+                need(&ops, 3, ln, &op)?;
+                Inst::SAlu {
+                    op: salu,
+                    dst: parse_sreg(&ops[0], ln)?,
+                    a: parse_scalar_src(&ops[1], ln)?,
+                    b: parse_scalar_src(&ops[2], ln)?,
+                }
+            }
+        } else if let Some(valu) = valu_op(&op) {
+            if matches!(valu, VAluOp::Mov | VAluOp::CvtI2F | VAluOp::CvtF2I) && ops.len() == 2 {
+                Inst::VAlu {
+                    op: valu,
+                    dst: parse_vreg(&ops[0], ln)?,
+                    a: parse_vector_src(&ops[1], ln)?,
+                    b: VectorSrc::Imm(0),
+                }
+            } else {
+                need(&ops, 3, ln, &op)?;
+                Inst::VAlu {
+                    op: valu,
+                    dst: parse_vreg(&ops[0], ln)?,
+                    a: parse_vector_src(&ops[1], ln)?,
+                    b: parse_vector_src(&ops[2], ln)?,
+                }
+            }
+        } else if op == "v_fma_f32" {
+            need(&ops, 4, ln, "v_fma_f32")?;
+            Inst::VFma {
+                dst: parse_vreg(&ops[0], ln)?,
+                a: parse_vector_src(&ops[1], ln)?,
+                b: parse_vector_src(&ops[2], ln)?,
+                c: parse_vector_src(&ops[3], ln)?,
+            }
+        } else if let Some(rest) = op.strip_prefix("v_cmp_") {
+            // v_cmp_<op>_<ty> vcc, a, b
+            let mut it = rest.splitn(2, '_');
+            let cmp = it
+                .next()
+                .and_then(cmp_op)
+                .ok_or_else(|| err(ln, format!("unknown compare `{op}`")))?;
+            let float = match it.next() {
+                Some("f32") => true,
+                Some("i32") => false,
+                _ => return Err(err(ln, format!("unknown compare type in `{op}`"))),
+            };
+            need(&ops, 3, ln, "v_cmp")?;
+            if ops[0] != "vcc" {
+                return Err(err(ln, "v_cmp destination must be vcc"));
+            }
+            Inst::VCmp {
+                op: cmp,
+                a: parse_vector_src(&ops[1], ln)?,
+                b: parse_vector_src(&ops[2], ln)?,
+                float,
+            }
+        } else if let Some(rest) = op.strip_prefix("s_cmp_") {
+            let cmp = cmp_op(rest).ok_or_else(|| err(ln, format!("unknown compare `{op}`")))?;
+            need(&ops, 2, ln, "s_cmp")?;
+            Inst::SCmp {
+                op: cmp,
+                a: parse_scalar_src(&ops[0], ln)?,
+                b: parse_scalar_src(&ops[1], ln)?,
+            }
+        } else if op == "s_load_arg" {
+            need(&ops, 2, ln, "s_load_arg")?;
+            let idx = ops[1]
+                .strip_prefix("arg[")
+                .and_then(|t| t.strip_suffix(']'))
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err(ln, format!("bad argument reference `{}`", ops[1])))?;
+            Inst::SLoadArg {
+                dst: parse_sreg(&ops[0], ln)?,
+                index: idx,
+            }
+        } else if op == "s_get_special" {
+            need(&ops, 2, ln, "s_get_special")?;
+            Inst::SGetSpecial {
+                dst: parse_sreg(&ops[0], ln)?,
+                which: special_reg(&ops[1])
+                    .ok_or_else(|| err(ln, format!("unknown special `{}`", ops[1])))?,
+            }
+        } else if op == "s_and_saveexec" {
+            // `s_and_saveexec s0, vcc`
+            if ops.is_empty() {
+                return Err(err(ln, "s_and_saveexec needs a destination"));
+            }
+            Inst::SAndSaveExec {
+                dst: parse_sreg(&ops[0], ln)?,
+            }
+        } else if let Some(width) = op.strip_prefix("global_load_") {
+            let width = mem_width(width, ln)?;
+            need(&ops, 2, ln, "global_load")?;
+            let (base, offset, imm) = parse_addr(&ops[1], ln)?;
+            Inst::GlobalLoad {
+                dst: parse_vreg(&ops[0], ln)?,
+                base,
+                offset,
+                imm,
+                width,
+            }
+        } else if let Some(width) = op.strip_prefix("global_store_") {
+            let width = mem_width(width, ln)?;
+            need(&ops, 2, ln, "global_store")?;
+            let (base, offset, imm) = parse_addr(&ops[0], ln)?;
+            Inst::GlobalStore {
+                src: parse_vreg(&ops[1], ln)?,
+                base,
+                offset,
+                imm,
+                width,
+            }
+        } else if op == "ds_read_b32" {
+            need(&ops, 2, ln, "ds_read_b32")?;
+            let (addr, imm) = parse_lds_addr(&ops[1], ln)?;
+            Inst::LdsLoad {
+                dst: parse_vreg(&ops[0], ln)?,
+                addr,
+                imm,
+            }
+        } else if op == "ds_write_b32" {
+            need(&ops, 2, ln, "ds_write_b32")?;
+            let (addr, imm) = parse_lds_addr(&ops[0], ln)?;
+            Inst::LdsStore {
+                src: parse_vreg(&ops[1], ln)?,
+                addr,
+                imm,
+            }
+        } else if op == "s_branch" {
+            need(&ops, 1, ln, "s_branch")?;
+            Inst::Branch {
+                target: resolve(parse_target(&ops[0]), ln)?,
+            }
+        } else if let Some(suffix) = op.strip_prefix("s_cbranch_") {
+            let cond =
+                branch_cond(suffix).ok_or_else(|| err(ln, format!("unknown condition `{op}`")))?;
+            need(&ops, 1, ln, "s_cbranch")?;
+            Inst::CBranch {
+                cond,
+                target: resolve(parse_target(&ops[0]), ln)?,
+            }
+        } else if op == "s_barrier" {
+            Inst::SBarrier
+        } else if op == "s_waitcnt" {
+            Inst::SWaitcnt
+        } else if op == "s_endpgm" {
+            Inst::SEndpgm
+        } else {
+            return Err(err(ln, format!("unknown mnemonic `{op}`")));
+        };
+        insts.push(inst);
+    }
+
+    Program::from_insts(name, insts).map_err(AsmError::from)
+}
+
+fn mem_width(token: &str, line: usize) -> Result<MemWidth, AsmError> {
+    match token {
+        "dword" => Ok(MemWidth::B32),
+        "ubyte" => Ok(MemWidth::B8),
+        other => Err(err(line, format!("unknown access width `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disasm;
+
+    #[test]
+    fn assembles_minimal_program() {
+        let p = parse_asm("t", "s_endpgm").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let p = parse_asm(
+            "t",
+            r"
+            top:
+              s_add s0, s0, 1
+              s_cmp_lt s0, 10
+              s_cbranch_scc1 top
+              s_branch done
+              s_mov s1, 0
+            done:
+              s_endpgm
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.inst(2).branch_target(), Some(0));
+        assert_eq!(p.inst(3).branch_target(), Some(5));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let p = parse_asm(
+            "t",
+            "; header comment\n\n  s_mov s0, 1 // trailing\n  s_endpgm ; done\n",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn mask_moves_disambiguate() {
+        let p = parse_asm(
+            "t",
+            r"
+            s_mov s0, exec
+            s_mov exec, s0
+            s_mov vcc, 0xff
+            s_mov s1, vcc
+            s_mov s2, s0
+            s_endpgm
+            ",
+        )
+        .unwrap();
+        assert!(matches!(p.inst(0), Inst::SReadMask { src: MaskReg::Exec, .. }));
+        assert!(matches!(p.inst(1), Inst::SWriteMask { dst: MaskReg::Exec, .. }));
+        assert!(matches!(p.inst(2), Inst::SWriteMask { dst: MaskReg::Vcc, .. }));
+        assert!(matches!(p.inst(3), Inst::SReadMask { src: MaskReg::Vcc, .. }));
+        assert!(matches!(p.inst(4), Inst::SAlu { op: SAluOp::Mov, .. }));
+    }
+
+    #[test]
+    fn memory_forms_parse() {
+        let p = parse_asm(
+            "t",
+            r"
+            global_load_dword v1, [s0 + v0 + 4]
+            global_store_ubyte [s2 + v3 + -8], v1
+            ds_read_b32 v4, [v0 + 0]
+            ds_write_b32 [v0 + 16], v4
+            s_endpgm
+            ",
+        )
+        .unwrap();
+        assert!(matches!(
+            p.inst(0),
+            Inst::GlobalLoad {
+                imm: 4,
+                width: MemWidth::B32,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.inst(1),
+            Inst::GlobalStore {
+                imm: -8,
+                width: MemWidth::B8,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_asm("t", "s_mov s0, 1\nbogus_op v1, v2\ns_endpgm").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus_op"));
+
+        let e = parse_asm("t", "s_branch nowhere\ns_endpgm").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("nowhere"));
+
+        let e = parse_asm("t", "s_mov s99, 1\ns_endpgm").unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = parse_asm("t", "a:\na:\ns_endpgm").unwrap_err();
+        assert!(e.message.contains("defined twice"));
+    }
+
+    #[test]
+    fn missing_endpgm_reported() {
+        let e = parse_asm("t", "s_mov s0, 1").unwrap_err();
+        assert!(e.message.contains("s_endpgm"));
+    }
+
+    #[test]
+    fn disasm_round_trip_on_builder_output() {
+        // A realistic kernel via the builder, printed and re-parsed.
+        use crate::builder::KernelBuilder;
+        use crate::inst::{CmpOp, VAluOp, VectorSrc};
+        let mut kb = KernelBuilder::new("rt");
+        let s = kb.sreg();
+        kb.load_arg(s, 0);
+        let v = kb.vreg();
+        kb.global_thread_id(v);
+        let off = kb.vreg();
+        kb.valu(VAluOp::Shl, off, VectorSrc::Reg(v), VectorSrc::Imm(2));
+        kb.vcmp(CmpOp::Lt, VectorSrc::Reg(v), VectorSrc::Imm(100), false);
+        kb.if_vcc(|kb| {
+            let x = kb.vreg();
+            kb.global_load(x, s, off, 0, MemWidth::B32);
+            kb.valu(VAluOp::FMul, x, VectorSrc::Reg(x), VectorSrc::ImmF32(2.0));
+            kb.global_store(x, s, off, 0, MemWidth::B32);
+        });
+        let original = kb.finish().unwrap();
+
+        let text: String = original
+            .insts()
+            .iter()
+            .map(|i| disasm(i))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reparsed = parse_asm("rt", &text).unwrap();
+        assert_eq!(original.insts(), reparsed.insts());
+    }
+}

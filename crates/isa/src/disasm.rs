@@ -1,0 +1,281 @@
+//! Human-readable instruction formatting (GCN-flavored mnemonics).
+
+use crate::inst::{
+    BranchCond, CmpOp, Inst, MaskReg, MemWidth, SAluOp, ScalarSrc, SpecialReg, VAluOp, VectorSrc,
+};
+
+fn ssrc(s: &ScalarSrc) -> String {
+    match s {
+        ScalarSrc::Reg(r) => r.to_string(),
+        ScalarSrc::Imm(v) => format!("{v}"),
+    }
+}
+
+fn vsrc(v: &VectorSrc) -> String {
+    match v {
+        VectorSrc::Reg(r) => r.to_string(),
+        VectorSrc::Sreg(r) => r.to_string(),
+        VectorSrc::Imm(x) => format!("{x}"),
+        VectorSrc::ImmF32(x) => format!("{x}f"),
+        VectorSrc::LaneId => "lane_id".to_string(),
+    }
+}
+
+fn salu_name(op: SAluOp) -> &'static str {
+    match op {
+        SAluOp::Add => "s_add",
+        SAluOp::Sub => "s_sub",
+        SAluOp::Mul => "s_mul",
+        SAluOp::Div => "s_div",
+        SAluOp::Rem => "s_rem",
+        SAluOp::Shl => "s_lshl",
+        SAluOp::Shr => "s_lshr",
+        SAluOp::And => "s_and",
+        SAluOp::Or => "s_or",
+        SAluOp::Xor => "s_xor",
+        SAluOp::AndNot => "s_andn2",
+        SAluOp::Min => "s_min",
+        SAluOp::Max => "s_max",
+        SAluOp::Mov => "s_mov",
+    }
+}
+
+fn valu_name(op: VAluOp) -> &'static str {
+    match op {
+        VAluOp::Add => "v_add_u32",
+        VAluOp::Sub => "v_sub_u32",
+        VAluOp::Mul => "v_mul_u32",
+        VAluOp::Div => "v_div_u32",
+        VAluOp::Rem => "v_rem_u32",
+        VAluOp::Shl => "v_lshl_b32",
+        VAluOp::Shr => "v_lshr_b32",
+        VAluOp::Ashr => "v_ashr_i32",
+        VAluOp::And => "v_and_b32",
+        VAluOp::Or => "v_or_b32",
+        VAluOp::Xor => "v_xor_b32",
+        VAluOp::Min => "v_min_u32",
+        VAluOp::Max => "v_max_u32",
+        VAluOp::IMin => "v_min_i32",
+        VAluOp::IMax => "v_max_i32",
+        VAluOp::Mov => "v_mov_b32",
+        VAluOp::FAdd => "v_add_f32",
+        VAluOp::FSub => "v_sub_f32",
+        VAluOp::FMul => "v_mul_f32",
+        VAluOp::FDiv => "v_div_f32",
+        VAluOp::FMax => "v_max_f32",
+        VAluOp::FMin => "v_min_f32",
+        VAluOp::CvtI2F => "v_cvt_f32_i32",
+        VAluOp::CvtF2I => "v_cvt_i32_f32",
+    }
+}
+
+fn cmp_name(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::Lt => "lt",
+        CmpOp::Le => "le",
+        CmpOp::Gt => "gt",
+        CmpOp::Ge => "ge",
+    }
+}
+
+fn cond_name(c: BranchCond) -> &'static str {
+    match c {
+        BranchCond::SccZero => "scc0",
+        BranchCond::SccNonZero => "scc1",
+        BranchCond::ExecZero => "execz",
+        BranchCond::ExecNonZero => "execnz",
+        BranchCond::VccZero => "vccz",
+        BranchCond::VccNonZero => "vccnz",
+    }
+}
+
+fn mask_name(m: MaskReg) -> &'static str {
+    match m {
+        MaskReg::Exec => "exec",
+        MaskReg::Vcc => "vcc",
+    }
+}
+
+fn special_name(s: SpecialReg) -> &'static str {
+    match s {
+        SpecialReg::WgId => "wg_id",
+        SpecialReg::WarpInWg => "warp_in_wg",
+        SpecialReg::WarpsPerWg => "warps_per_wg",
+        SpecialReg::NumWgs => "num_wgs",
+        SpecialReg::GlobalWarpId => "global_warp_id",
+    }
+}
+
+fn width_suffix(w: MemWidth) -> &'static str {
+    match w {
+        MemWidth::B8 => "ubyte",
+        MemWidth::B32 => "dword",
+    }
+}
+
+/// Formats one instruction as GCN-flavored assembly text.
+///
+/// # Example
+/// ```
+/// use gpu_isa::Inst;
+/// assert_eq!(gpu_isa::disasm(&Inst::SBarrier), "s_barrier");
+/// ```
+pub fn disasm(inst: &Inst) -> String {
+    match inst {
+        Inst::SAlu { op, dst, a, b } => {
+            format!("{} {}, {}, {}", salu_name(*op), dst, ssrc(a), ssrc(b))
+        }
+        Inst::SCmp { op, a, b } => format!("s_cmp_{} {}, {}", cmp_name(*op), ssrc(a), ssrc(b)),
+        Inst::SLoadArg { dst, index } => format!("s_load_arg {}, arg[{}]", dst, index),
+        Inst::SGetSpecial { dst, which } => {
+            format!("s_get_special {}, {}", dst, special_name(*which))
+        }
+        Inst::SReadMask { dst, src } => format!("s_mov {}, {}", dst, mask_name(*src)),
+        Inst::SWriteMask { dst, src } => format!("s_mov {}, {}", mask_name(*dst), ssrc(src)),
+        Inst::SAndSaveExec { dst } => format!("s_and_saveexec {}, vcc", dst),
+        Inst::VAlu { op, dst, a, b } => {
+            format!("{} {}, {}, {}", valu_name(*op), dst, vsrc(a), vsrc(b))
+        }
+        Inst::VFma { dst, a, b, c } => {
+            format!("v_fma_f32 {}, {}, {}, {}", dst, vsrc(a), vsrc(b), vsrc(c))
+        }
+        Inst::VCmp { op, a, b, float } => {
+            let ty = if *float { "f32" } else { "i32" };
+            format!("v_cmp_{}_{} vcc, {}, {}", cmp_name(*op), ty, vsrc(a), vsrc(b))
+        }
+        Inst::GlobalLoad {
+            dst,
+            base,
+            offset,
+            imm,
+            width,
+        } => format!(
+            "global_load_{} {}, [{} + {} + {}]",
+            width_suffix(*width),
+            dst,
+            base,
+            offset,
+            imm
+        ),
+        Inst::GlobalStore {
+            src,
+            base,
+            offset,
+            imm,
+            width,
+        } => format!(
+            "global_store_{} [{} + {} + {}], {}",
+            width_suffix(*width),
+            base,
+            offset,
+            imm,
+            src
+        ),
+        Inst::LdsLoad { dst, addr, imm } => format!("ds_read_b32 {}, [{} + {}]", dst, addr, imm),
+        Inst::LdsStore { src, addr, imm } => format!("ds_write_b32 [{} + {}], {}", addr, imm, src),
+        Inst::Branch { target } => format!("s_branch pc{}", target),
+        Inst::CBranch { cond, target } => format!("s_cbranch_{} pc{}", cond_name(*cond), target),
+        Inst::SBarrier => "s_barrier".to_string(),
+        Inst::SWaitcnt => "s_waitcnt 0".to_string(),
+        Inst::SEndpgm => "s_endpgm".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{Sreg, Vreg};
+
+    #[test]
+    fn disasm_covers_variants() {
+        let insts = vec![
+            Inst::SAlu {
+                op: SAluOp::Add,
+                dst: Sreg::new(1),
+                a: ScalarSrc::Reg(Sreg::new(2)),
+                b: ScalarSrc::Imm(5),
+            },
+            Inst::SCmp {
+                op: CmpOp::Lt,
+                a: ScalarSrc::Imm(1),
+                b: ScalarSrc::Imm(2),
+            },
+            Inst::SLoadArg {
+                dst: Sreg::new(0),
+                index: 3,
+            },
+            Inst::SGetSpecial {
+                dst: Sreg::new(0),
+                which: SpecialReg::WgId,
+            },
+            Inst::SReadMask {
+                dst: Sreg::new(0),
+                src: MaskReg::Vcc,
+            },
+            Inst::SWriteMask {
+                dst: MaskReg::Exec,
+                src: ScalarSrc::Reg(Sreg::new(0)),
+            },
+            Inst::SAndSaveExec { dst: Sreg::new(0) },
+            Inst::VAlu {
+                op: VAluOp::FMul,
+                dst: Vreg::new(0),
+                a: VectorSrc::LaneId,
+                b: VectorSrc::ImmF32(2.0),
+            },
+            Inst::VFma {
+                dst: Vreg::new(1),
+                a: VectorSrc::Reg(Vreg::new(2)),
+                b: VectorSrc::Sreg(Sreg::new(3)),
+                c: VectorSrc::Imm(0),
+            },
+            Inst::VCmp {
+                op: CmpOp::Ge,
+                a: VectorSrc::LaneId,
+                b: VectorSrc::Imm(32),
+                float: false,
+            },
+            Inst::GlobalLoad {
+                dst: Vreg::new(0),
+                base: Sreg::new(0),
+                offset: Vreg::new(1),
+                imm: 4,
+                width: MemWidth::B32,
+            },
+            Inst::GlobalStore {
+                src: Vreg::new(0),
+                base: Sreg::new(0),
+                offset: Vreg::new(1),
+                imm: 0,
+                width: MemWidth::B8,
+            },
+            Inst::LdsLoad {
+                dst: Vreg::new(0),
+                addr: Vreg::new(1),
+                imm: 0,
+            },
+            Inst::LdsStore {
+                src: Vreg::new(0),
+                addr: Vreg::new(1),
+                imm: 8,
+            },
+            Inst::Branch { target: 7 },
+            Inst::CBranch {
+                cond: BranchCond::ExecZero,
+                target: 9,
+            },
+            Inst::SBarrier,
+            Inst::SWaitcnt,
+            Inst::SEndpgm,
+        ];
+        for inst in &insts {
+            let text = disasm(inst);
+            assert!(!text.is_empty(), "empty disasm for {inst:?}");
+        }
+        assert!(disasm(&insts[0]).contains("s_add"));
+        assert!(disasm(&insts[10]).contains("global_load_dword"));
+        assert!(disasm(&insts[11]).contains("global_store_ubyte"));
+    }
+}

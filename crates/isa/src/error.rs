@@ -1,0 +1,76 @@
+//! Error types for program construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A label was referenced by a branch but never placed.
+    UnplacedLabel {
+        /// Builder-assigned label id.
+        label: usize,
+    },
+    /// A label was placed more than once.
+    DuplicateLabel {
+        /// Builder-assigned label id.
+        label: usize,
+    },
+    /// The program does not end every path with `s_endpgm`.
+    MissingEndpgm,
+    /// A branch targets a PC outside the program.
+    BranchOutOfRange {
+        /// Instruction index of the branch.
+        pc: u32,
+        /// Resolved (invalid) target.
+        target: u32,
+    },
+    /// The builder ran out of registers of a kind.
+    OutOfRegisters {
+        /// `"scalar"` or `"vector"`.
+        kind: &'static str,
+    },
+    /// The program is empty.
+    EmptyProgram,
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::UnplacedLabel { label } => {
+                write!(f, "label {label} referenced but never placed")
+            }
+            IsaError::DuplicateLabel { label } => write!(f, "label {label} placed twice"),
+            IsaError::MissingEndpgm => write!(f, "program does not terminate with s_endpgm"),
+            IsaError::BranchOutOfRange { pc, target } => {
+                write!(f, "branch at pc {pc} targets out-of-range pc {target}")
+            }
+            IsaError::OutOfRegisters { kind } => write!(f, "out of {kind} registers"),
+            IsaError::EmptyProgram => write!(f, "program is empty"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            IsaError::UnplacedLabel { label: 3 },
+            IsaError::DuplicateLabel { label: 1 },
+            IsaError::MissingEndpgm,
+            IsaError::BranchOutOfRange { pc: 4, target: 99 },
+            IsaError::OutOfRegisters { kind: "scalar" },
+            IsaError::EmptyProgram,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

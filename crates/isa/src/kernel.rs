@@ -1,0 +1,110 @@
+//! Kernels and launch descriptors.
+
+use crate::program::Program;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A compiled kernel: a shared program plus a display name.
+///
+/// # Example
+/// ```
+/// use gpu_isa::{Inst, Kernel, Program};
+/// let p = Program::from_insts("k", vec![Inst::SEndpgm])?;
+/// let k = Kernel::new(p);
+/// assert_eq!(k.name(), "k");
+/// # Ok::<(), gpu_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Kernel {
+    program: Arc<Program>,
+}
+
+impl Kernel {
+    /// Wraps a program as a launchable kernel.
+    pub fn new(program: Program) -> Self {
+        Kernel {
+            program: Arc::new(program),
+        }
+    }
+
+    /// The kernel's name.
+    pub fn name(&self) -> &str {
+        self.program.name()
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+}
+
+/// One kernel launch: grid shape, arguments, and LDS requirement.
+///
+/// The grid is flat: `num_wgs` workgroups of `warps_per_wg` warps each
+/// (workloads derive multi-dimensional indices from arguments, as GPU
+/// code derives them from group ids).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelLaunch {
+    /// The kernel to run.
+    pub kernel: Kernel,
+    /// Number of workgroups.
+    pub num_wgs: u32,
+    /// Warps per workgroup (1..=16, as in the paper's block definition).
+    pub warps_per_wg: u32,
+    /// Kernel arguments (pointers and scalars, all as raw u64).
+    pub args: Vec<u64>,
+    /// LDS bytes required per workgroup.
+    pub lds_bytes: u32,
+}
+
+impl KernelLaunch {
+    /// Creates a launch with no LDS usage.
+    pub fn new(kernel: Kernel, num_wgs: u32, warps_per_wg: u32, args: Vec<u64>) -> Self {
+        KernelLaunch {
+            kernel,
+            num_wgs,
+            warps_per_wg,
+            args,
+            lds_bytes: 0,
+        }
+    }
+
+    /// Sets the LDS requirement (builder style).
+    pub fn with_lds(mut self, bytes: u32) -> Self {
+        self.lds_bytes = bytes;
+        self
+    }
+
+    /// Total number of warps in the launch.
+    pub fn total_warps(&self) -> u64 {
+        self.num_wgs as u64 * self.warps_per_wg as u64
+    }
+
+    /// Total number of threads in the launch.
+    pub fn total_threads(&self) -> u64 {
+        self.total_warps() * crate::reg::LANES as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    fn kernel() -> Kernel {
+        Kernel::new(Program::from_insts("k", vec![Inst::SEndpgm]).unwrap())
+    }
+
+    #[test]
+    fn totals() {
+        let l = KernelLaunch::new(kernel(), 10, 4, vec![]);
+        assert_eq!(l.total_warps(), 40);
+        assert_eq!(l.total_threads(), 40 * 64);
+    }
+
+    #[test]
+    fn with_lds_sets_bytes() {
+        let l = KernelLaunch::new(kernel(), 1, 1, vec![]).with_lds(4096);
+        assert_eq!(l.lds_bytes, 4096);
+    }
+}

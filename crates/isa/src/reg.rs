@@ -1,0 +1,129 @@
+//! Register newtypes.
+//!
+//! Scalar registers hold one 64-bit value per warp; vector registers hold
+//! one 32-bit value per lane. The lane count is fixed at 64, matching the
+//! AMD CDNA wavefront width the paper evaluates.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of lanes (threads) in a warp/wavefront.
+pub const LANES: usize = 64;
+
+/// Number of scalar registers available to a kernel.
+pub const MAX_SREGS: usize = 64;
+
+/// Number of vector registers available to a kernel.
+pub const MAX_VREGS: usize = 64;
+
+/// A scalar register index (one 64-bit value per warp).
+///
+/// Construct via [`crate::KernelBuilder::sreg`] in normal use; the raw
+/// constructor is available for tests and hand-assembled programs.
+///
+/// # Example
+/// ```
+/// use gpu_isa::Sreg;
+/// let s = Sreg::new(3);
+/// assert_eq!(s.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Sreg(u8);
+
+impl Sreg {
+    /// Creates a scalar register reference.
+    ///
+    /// # Panics
+    /// Panics if `index >= MAX_SREGS`.
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < MAX_SREGS,
+            "scalar register index {index} out of range"
+        );
+        Sreg(index)
+    }
+
+    /// The register file index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Sreg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A vector register index (one 32-bit value per lane).
+///
+/// # Example
+/// ```
+/// use gpu_isa::Vreg;
+/// let v = Vreg::new(0);
+/// assert_eq!(v.to_string(), "v0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Vreg(u8);
+
+impl Vreg {
+    /// Creates a vector register reference.
+    ///
+    /// # Panics
+    /// Panics if `index >= MAX_VREGS`.
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < MAX_VREGS,
+            "vector register index {index} out of range"
+        );
+        Vreg(index)
+    }
+
+    /// The register file index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Vreg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sreg_roundtrip() {
+        for i in 0..MAX_SREGS as u8 {
+            assert_eq!(Sreg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sreg_out_of_range_panics() {
+        let _ = Sreg::new(MAX_SREGS as u8);
+    }
+
+    #[test]
+    fn vreg_roundtrip() {
+        for i in 0..MAX_VREGS as u8 {
+            assert_eq!(Vreg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vreg_out_of_range_panics() {
+        let _ = Vreg::new(MAX_VREGS as u8);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Sreg::new(7).to_string(), "s7");
+        assert_eq!(Vreg::new(12).to_string(), "v12");
+    }
+}

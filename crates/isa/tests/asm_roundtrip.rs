@@ -1,0 +1,185 @@
+//! Property test: any instruction the disassembler can print, the
+//! assembler parses back to the identical instruction.
+
+use gpu_isa::{
+    disasm, parse_asm, BranchCond, CmpOp, Inst, MaskReg, MemWidth, SAluOp, ScalarSrc, SpecialReg,
+    Sreg, VAluOp, VectorSrc, Vreg,
+};
+use proptest::prelude::*;
+
+fn sreg() -> impl Strategy<Value = Sreg> {
+    (0u8..64).prop_map(Sreg::new)
+}
+
+fn vreg() -> impl Strategy<Value = Vreg> {
+    (0u8..64).prop_map(Vreg::new)
+}
+
+fn scalar_src() -> impl Strategy<Value = ScalarSrc> {
+    prop_oneof![
+        sreg().prop_map(ScalarSrc::Reg),
+        any::<i64>().prop_map(ScalarSrc::Imm),
+    ]
+}
+
+fn vector_src() -> impl Strategy<Value = VectorSrc> {
+    prop_oneof![
+        vreg().prop_map(VectorSrc::Reg),
+        sreg().prop_map(VectorSrc::Sreg),
+        any::<u32>().prop_map(VectorSrc::Imm),
+        // finite floats only: NaN breaks Eq, and Display already
+        // round-trips every finite f32 exactly
+        any::<f32>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(VectorSrc::ImmF32),
+        Just(VectorSrc::LaneId),
+    ]
+}
+
+fn salu_op() -> impl Strategy<Value = SAluOp> {
+    prop_oneof![
+        Just(SAluOp::Add),
+        Just(SAluOp::Sub),
+        Just(SAluOp::Mul),
+        Just(SAluOp::Div),
+        Just(SAluOp::Rem),
+        Just(SAluOp::Shl),
+        Just(SAluOp::Shr),
+        Just(SAluOp::And),
+        Just(SAluOp::Or),
+        Just(SAluOp::Xor),
+        Just(SAluOp::AndNot),
+        Just(SAluOp::Min),
+        Just(SAluOp::Max),
+    ]
+}
+
+fn valu_op() -> impl Strategy<Value = VAluOp> {
+    prop_oneof![
+        Just(VAluOp::Add),
+        Just(VAluOp::Sub),
+        Just(VAluOp::Mul),
+        Just(VAluOp::Div),
+        Just(VAluOp::Rem),
+        Just(VAluOp::Shl),
+        Just(VAluOp::Shr),
+        Just(VAluOp::Ashr),
+        Just(VAluOp::And),
+        Just(VAluOp::Or),
+        Just(VAluOp::Xor),
+        Just(VAluOp::Min),
+        Just(VAluOp::Max),
+        Just(VAluOp::IMin),
+        Just(VAluOp::IMax),
+        Just(VAluOp::FAdd),
+        Just(VAluOp::FSub),
+        Just(VAluOp::FMul),
+        Just(VAluOp::FDiv),
+        Just(VAluOp::FMax),
+        Just(VAluOp::FMin),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![Just(MemWidth::B8), Just(MemWidth::B32)]
+}
+
+fn any_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (salu_op(), sreg(), scalar_src(), scalar_src())
+            .prop_map(|(op, dst, a, b)| Inst::SAlu { op, dst, a, b }),
+        (cmp_op(), scalar_src(), scalar_src()).prop_map(|(op, a, b)| Inst::SCmp { op, a, b }),
+        (sreg(), 0u16..16).prop_map(|(dst, index)| Inst::SLoadArg { dst, index }),
+        (
+            sreg(),
+            prop_oneof![
+                Just(SpecialReg::WgId),
+                Just(SpecialReg::WarpInWg),
+                Just(SpecialReg::WarpsPerWg),
+                Just(SpecialReg::NumWgs),
+                Just(SpecialReg::GlobalWarpId),
+            ]
+        )
+            .prop_map(|(dst, which)| Inst::SGetSpecial { dst, which }),
+        (sreg(), prop_oneof![Just(MaskReg::Exec), Just(MaskReg::Vcc)])
+            .prop_map(|(dst, src)| Inst::SReadMask { dst, src }),
+        (prop_oneof![Just(MaskReg::Exec), Just(MaskReg::Vcc)], scalar_src())
+            .prop_map(|(dst, src)| Inst::SWriteMask { dst, src }),
+        sreg().prop_map(|dst| Inst::SAndSaveExec { dst }),
+        (valu_op(), vreg(), vector_src(), vector_src())
+            .prop_map(|(op, dst, a, b)| Inst::VAlu { op, dst, a, b }),
+        (vreg(), vector_src(), vector_src(), vector_src())
+            .prop_map(|(dst, a, b, c)| Inst::VFma { dst, a, b, c }),
+        (cmp_op(), vector_src(), vector_src(), any::<bool>())
+            .prop_map(|(op, a, b, float)| Inst::VCmp { op, a, b, float }),
+        (vreg(), sreg(), vreg(), any::<i32>(), width()).prop_map(
+            |(dst, base, offset, imm, width)| Inst::GlobalLoad {
+                dst,
+                base,
+                offset,
+                imm,
+                width
+            }
+        ),
+        (vreg(), sreg(), vreg(), any::<i32>(), width()).prop_map(
+            |(src, base, offset, imm, width)| Inst::GlobalStore {
+                src,
+                base,
+                offset,
+                imm,
+                width
+            }
+        ),
+        (vreg(), vreg(), any::<i32>()).prop_map(|(dst, addr, imm)| Inst::LdsLoad {
+            dst,
+            addr,
+            imm
+        }),
+        (vreg(), vreg(), any::<i32>()).prop_map(|(src, addr, imm)| Inst::LdsStore {
+            src,
+            addr,
+            imm
+        }),
+        (0u32..2).prop_map(|target| Inst::Branch { target }),
+        (
+            0u32..2,
+            prop_oneof![
+                Just(BranchCond::SccZero),
+                Just(BranchCond::SccNonZero),
+                Just(BranchCond::ExecZero),
+                Just(BranchCond::ExecNonZero),
+                Just(BranchCond::VccZero),
+                Just(BranchCond::VccNonZero),
+            ]
+        )
+            .prop_map(|(target, cond)| Inst::CBranch { cond, target }),
+        Just(Inst::SBarrier),
+        Just(Inst::SWaitcnt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// parse(disasm(i)) == i for every printable instruction.
+    #[test]
+    fn disasm_parse_round_trip(insts in prop::collection::vec(any_inst(), 1..5)) {
+        let mut insts = insts;
+        insts.push(Inst::SEndpgm);
+        let text: String = insts.iter().map(disasm).collect::<Vec<_>>().join("\n");
+        let program = parse_asm("rt", &text)
+            .unwrap_or_else(|e| panic!("could not re-parse:\n{text}\n{e}"));
+        prop_assert_eq!(program.insts(), insts.as_slice());
+    }
+}

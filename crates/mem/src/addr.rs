@@ -1,0 +1,205 @@
+//! Sparse functional address space.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// A sparse, paged, byte-addressable memory.
+///
+/// Pages are allocated on first touch and zero-initialized, so simulated
+/// GPUs can use multi-gigabyte address spaces without host cost.
+///
+/// # Example
+/// ```
+/// use gpu_mem::AddressSpace;
+/// let mut m = AddressSpace::new();
+/// m.write_f32(0x8000_0000, 1.5);
+/// assert_eq!(m.read_f32(0x8000_0000), 1.5);
+/// assert_eq!(m.read_u32(0xdead_0000), 0); // untouched memory reads zero
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct AddressSpace {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resident (touched) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte; untouched memory reads as zero.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        self.page_mut(addr)[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads a little-endian `u32` (may straddle a page boundary).
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        if (addr & PAGE_MASK) as usize <= PAGE_SIZE - 4 {
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => {
+                    let o = (addr & PAGE_MASK) as usize;
+                    u32::from_le_bytes([p[o], p[o + 1], p[o + 2], p[o + 3]])
+                }
+                None => 0,
+            }
+        } else {
+            let mut b = [0u8; 4];
+            for (i, byte) in b.iter_mut().enumerate() {
+                *byte = self.read_u8(addr + i as u64);
+            }
+            u32::from_le_bytes(b)
+        }
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        let bytes = value.to_le_bytes();
+        if (addr & PAGE_MASK) as usize <= PAGE_SIZE - 4 {
+            let page = self.page_mut(addr);
+            let o = (addr & PAGE_MASK) as usize;
+            page[o..o + 4].copy_from_slice(&bytes);
+        } else {
+            for (i, byte) in bytes.iter().enumerate() {
+                self.write_u8(addr + i as u64, *byte);
+            }
+        }
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        (self.read_u32(addr) as u64) | ((self.read_u32(addr + 4) as u64) << 32)
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_u32(addr, value as u32);
+        self.write_u32(addr + 4, (value >> 32) as u32);
+    }
+
+    /// Reads an `f32` (bit pattern of the `u32` at `addr`).
+    pub fn read_f32(&self, addr: u64) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes an `f32`.
+    pub fn write_f32(&mut self, addr: u64, value: f32) {
+        self.write_u32(addr, value.to_bits());
+    }
+
+    /// Writes a slice of `f32` starting at `addr`.
+    pub fn write_f32_slice(&mut self, addr: u64, values: &[f32]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_f32(addr + 4 * i as u64, *v);
+        }
+    }
+
+    /// Reads `len` `f32`s starting at `addr`.
+    pub fn read_f32_vec(&self, addr: u64, len: usize) -> Vec<f32> {
+        (0..len).map(|i| self.read_f32(addr + 4 * i as u64)).collect()
+    }
+
+    /// Writes a slice of `u32` starting at `addr`.
+    pub fn write_u32_slice(&mut self, addr: u64, values: &[u32]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_u32(addr + 4 * i as u64, *v);
+        }
+    }
+
+    /// Reads `len` `u32`s starting at `addr`.
+    pub fn read_u32_vec(&self, addr: u64, len: usize) -> Vec<u32> {
+        (0..len).map(|i| self.read_u32(addr + 4 * i as u64)).collect()
+    }
+
+    /// Writes raw bytes starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let m = AddressSpace::new();
+        assert_eq!(m.read_u8(12345), 0);
+        assert_eq!(m.read_u32(12345), 0);
+        assert_eq!(m.read_u64(12345), 0);
+    }
+
+    #[test]
+    fn u32_roundtrip() {
+        let mut m = AddressSpace::new();
+        m.write_u32(100, 0xdeadbeef);
+        assert_eq!(m.read_u32(100), 0xdeadbeef);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut m = AddressSpace::new();
+        m.write_u64(0x4008, u64::MAX - 7);
+        assert_eq!(m.read_u64(0x4008), u64::MAX - 7);
+    }
+
+    #[test]
+    fn straddles_page_boundary() {
+        let mut m = AddressSpace::new();
+        let addr = (1 << 12) - 2; // 2 bytes in page 0, 2 in page 1
+        m.write_u32(addr, 0x11223344);
+        assert_eq!(m.read_u32(addr), 0x11223344);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn f32_roundtrip_including_nan_payload() {
+        let mut m = AddressSpace::new();
+        m.write_f32(0, -0.0);
+        assert_eq!(m.read_f32(0).to_bits(), (-0.0f32).to_bits());
+        m.write_f32(4, f32::INFINITY);
+        assert_eq!(m.read_f32(4), f32::INFINITY);
+    }
+
+    #[test]
+    fn slices_roundtrip() {
+        let mut m = AddressSpace::new();
+        let vals = [1.0f32, 2.5, -3.25, 0.0];
+        m.write_f32_slice(0x100, &vals);
+        assert_eq!(m.read_f32_vec(0x100, 4), vals);
+        let ints = [7u32, 8, 9];
+        m.write_u32_slice(0x200, &ints);
+        assert_eq!(m.read_u32_vec(0x200, 3), ints);
+    }
+
+    #[test]
+    fn sparse_pages_only_touched() {
+        let mut m = AddressSpace::new();
+        m.write_u8(0, 1);
+        m.write_u8(1 << 30, 1);
+        assert_eq!(m.resident_pages(), 2);
+    }
+}

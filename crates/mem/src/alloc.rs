@@ -1,0 +1,127 @@
+//! Device-memory bump allocator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when an allocation exceeds the device memory limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocError {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes remaining in the arena.
+    pub remaining: u64,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "allocation of {} bytes exceeds remaining device memory ({} bytes)",
+            self.requested, self.remaining
+        )
+    }
+}
+
+impl Error for AllocError {}
+
+/// A simple bump allocator over a `[base, base + capacity)` arena,
+/// mirroring how the simulator carves device buffers out of DRAM.
+///
+/// # Example
+/// ```
+/// use gpu_mem::BumpAllocator;
+/// let mut a = BumpAllocator::new(4096, 1 << 20);
+/// let x = a.alloc(100, 64)?;
+/// let y = a.alloc(100, 64)?;
+/// assert!(y >= x + 100);
+/// assert_eq!(x % 64, 0);
+/// # Ok::<(), gpu_mem::AllocError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BumpAllocator {
+    base: u64,
+    capacity: u64,
+    next: u64,
+}
+
+impl BumpAllocator {
+    /// Creates an allocator over `[base, base + capacity)`.
+    pub fn new(base: u64, capacity: u64) -> Self {
+        BumpAllocator {
+            base,
+            capacity,
+            next: base,
+        }
+    }
+
+    /// Allocates `size` bytes aligned to `align` (a power of two).
+    ///
+    /// # Errors
+    /// Returns [`AllocError`] if the arena is exhausted.
+    ///
+    /// # Panics
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, size: u64, align: u64) -> Result<u64, AllocError> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let aligned = (self.next + align - 1) & !(align - 1);
+        let end = self.base + self.capacity;
+        if aligned + size > end {
+            return Err(AllocError {
+                requested: size,
+                remaining: end.saturating_sub(self.next),
+            });
+        }
+        self.next = aligned + size;
+        Ok(aligned)
+    }
+
+    /// Bytes allocated so far (including alignment padding).
+    pub fn used(&self) -> u64 {
+        self.next - self.base
+    }
+
+    /// Resets the allocator, invalidating prior allocations.
+    pub fn reset(&mut self) {
+        self.next = self.base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_aligned_non_overlapping() {
+        let mut a = BumpAllocator::new(0x1000, 0x10000);
+        let x = a.alloc(10, 64).unwrap();
+        let y = a.alloc(10, 64).unwrap();
+        assert_eq!(x % 64, 0);
+        assert_eq!(y % 64, 0);
+        assert!(y >= x + 10);
+    }
+
+    #[test]
+    fn exhaustion_errors() {
+        let mut a = BumpAllocator::new(0, 128);
+        a.alloc(100, 1).unwrap();
+        let err = a.alloc(100, 1).unwrap_err();
+        assert_eq!(err.requested, 100);
+        assert!(err.remaining < 100);
+    }
+
+    #[test]
+    fn reset_reclaims() {
+        let mut a = BumpAllocator::new(0, 128);
+        a.alloc(100, 1).unwrap();
+        a.reset();
+        assert_eq!(a.used(), 0);
+        a.alloc(100, 1).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_alignment_panics() {
+        let mut a = BumpAllocator::new(0, 128);
+        let _ = a.alloc(8, 3);
+    }
+}

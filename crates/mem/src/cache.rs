@@ -1,0 +1,183 @@
+//! Set-associative cache tag array with true LRU replacement.
+
+use crate::config::CacheConfig;
+use crate::Cycle;
+
+/// Whether an access read or wrote the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Read access.
+    Read,
+    /// Write access (write-allocate).
+    Write,
+}
+
+/// Result of a tag-array lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAccess {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been filled (possibly evicting).
+    Miss,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    last_use: Cycle,
+}
+
+/// A set-associative cache tag array with LRU replacement.
+///
+/// Only tags are tracked (data correctness lives in
+/// [`crate::AddressSpace`]); the tag array decides hits and misses for
+/// the timing model.
+///
+/// # Example
+/// ```
+/// use gpu_mem::{AccessKind, Cache, CacheAccess, CacheConfig};
+/// let mut c = Cache::new(&CacheConfig::new(1024, 4, 64, 8, 1));
+/// assert_eq!(c.access(0, AccessKind::Read, 0), CacheAccess::Miss);
+/// assert_eq!(c.access(0, AccessKind::Read, 1), CacheAccess::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<Way>>,
+    line_shift: u32,
+    set_mask: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds a cache from a configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration does not describe at least one set of
+    /// at least one way, or if sizes are not powers of two.
+    pub fn new(config: &CacheConfig) -> Self {
+        let num_lines = config.size_bytes / config.line_bytes;
+        assert!(config.assoc > 0, "cache must have at least one way");
+        assert!(
+            num_lines >= config.assoc,
+            "cache must have at least one set"
+        );
+        let num_sets = num_lines / config.assoc;
+        assert!(
+            num_sets.is_power_of_two() && config.line_bytes.is_power_of_two(),
+            "cache geometry must be a power of two"
+        );
+        Cache {
+            sets: vec![
+                vec![
+                    Way {
+                        tag: 0,
+                        valid: false,
+                        last_use: 0
+                    };
+                    config.assoc as usize
+                ];
+                num_sets as usize
+            ],
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: num_sets - 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up (and on miss, fills) the line containing `addr`.
+    pub fn access(&mut self, addr: u64, _kind: AccessKind, now: Cycle) -> CacheAccess {
+        let line = addr >> self.line_shift;
+        let set_idx = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.last_use = now;
+            self.hits += 1;
+            return CacheAccess::Hit;
+        }
+        self.misses += 1;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.last_use + 1 } else { 0 })
+            .expect("cache set is never empty");
+        victim.tag = tag;
+        victim.valid = true;
+        victim.last_use = now;
+        CacheAccess::Miss
+    }
+
+    /// Invalidates every line (e.g. at kernel boundaries, matching the
+    /// MGPUSim behavior of flushing caches between kernels).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for way in set {
+                way.valid = false;
+            }
+        }
+    }
+
+    /// (hits, misses) counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512B
+        Cache::new(&CacheConfig::new(512, 2, 64, 8, 1))
+    }
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let mut c = small();
+        assert_eq!(c.access(0x100, AccessKind::Read, 0), CacheAccess::Miss);
+        assert_eq!(c.access(0x100, AccessKind::Read, 1), CacheAccess::Hit);
+        assert_eq!(c.access(0x13f, AccessKind::Read, 2), CacheAccess::Hit); // same line
+        assert_eq!(c.access(0x140, AccessKind::Read, 3), CacheAccess::Miss); // next line
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small();
+        // Three lines mapping to the same set (set stride = 4 sets * 64B = 256B)
+        let a = 0u64;
+        let b = 256u64;
+        let d = 512u64;
+        c.access(a, AccessKind::Read, 0);
+        c.access(b, AccessKind::Read, 1);
+        c.access(a, AccessKind::Read, 2); // a is now MRU
+        c.access(d, AccessKind::Read, 3); // evicts b
+        assert_eq!(c.access(a, AccessKind::Read, 4), CacheAccess::Hit);
+        assert_eq!(c.access(b, AccessKind::Read, 5), CacheAccess::Miss);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = small();
+        c.access(0, AccessKind::Write, 0);
+        c.flush();
+        assert_eq!(c.access(0, AccessKind::Read, 1), CacheAccess::Miss);
+    }
+
+    #[test]
+    fn stats_count() {
+        let mut c = small();
+        c.access(0, AccessKind::Read, 0);
+        c.access(0, AccessKind::Read, 1);
+        c.access(64, AccessKind::Read, 2);
+        assert_eq!(c.stats(), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn degenerate_geometry_panics() {
+        let _ = Cache::new(&CacheConfig::new(64, 2, 64, 8, 1));
+    }
+}

@@ -1,0 +1,131 @@
+//! Memory hierarchy configuration (Table 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and timing of one cache level.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways).
+    pub assoc: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+    /// Minimum cycles between accepting two transactions on one bank
+    /// (1 = one transaction per cycle).
+    pub service_interval: u64,
+}
+
+impl CacheConfig {
+    /// Creates a cache configuration.
+    pub fn new(
+        size_bytes: u64,
+        assoc: u64,
+        line_bytes: u64,
+        hit_latency: u64,
+        service_interval: u64,
+    ) -> Self {
+        CacheConfig {
+            size_bytes,
+            assoc,
+            line_bytes,
+            hit_latency,
+            service_interval,
+        }
+    }
+}
+
+/// DRAM channel configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Number of independent channels.
+    pub channels: u64,
+    /// Access latency in cycles (row activation + transfer start).
+    pub latency: u64,
+    /// Cycles per 64-byte line per channel (bandwidth model).
+    pub service_interval: u64,
+    /// Device memory capacity in bytes.
+    pub capacity_bytes: u64,
+}
+
+/// Configuration of the full memory hierarchy of one GPU.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemHierarchyConfig {
+    /// Per-CU vector L1 data cache.
+    pub l1v: CacheConfig,
+    /// Scalar (constant) cache shared by a CU group.
+    pub l1s: CacheConfig,
+    /// Banked, shared L2.
+    pub l2: CacheConfig,
+    /// Number of L2 banks.
+    pub l2_banks: u64,
+    /// DRAM.
+    pub dram: DramConfig,
+    /// Number of CUs (one L1V each).
+    pub num_cus: u64,
+}
+
+impl MemHierarchyConfig {
+    /// The R9 Nano hierarchy from Table 1: 16 KB 4-way L1V per CU (64
+    /// CUs), 16 KB 4-way scalar caches, 256 KB 16-way L2 × 8 banks, 4 GB
+    /// DRAM.
+    pub fn r9_nano() -> Self {
+        MemHierarchyConfig {
+            l1v: CacheConfig::new(16 * 1024, 4, 64, 28, 1),
+            l1s: CacheConfig::new(16 * 1024, 4, 64, 24, 1),
+            l2: CacheConfig::new(256 * 1024, 16, 64, 120, 1),
+            l2_banks: 8,
+            dram: DramConfig {
+                // 8 channels x one 64B line/cycle @ 1 GHz = 512 GB/s (HBM)
+                channels: 8,
+                latency: 220,
+                service_interval: 1,
+                capacity_bytes: 4 << 30,
+            },
+            num_cus: 64,
+        }
+    }
+
+    /// The MI100 hierarchy from Table 1: 120 CUs, 8 MB L2 in 32 banks,
+    /// 32 GB DRAM.
+    pub fn mi100() -> Self {
+        MemHierarchyConfig {
+            l1v: CacheConfig::new(16 * 1024, 4, 64, 28, 1),
+            l1s: CacheConfig::new(16 * 1024, 4, 64, 24, 1),
+            l2: CacheConfig::new(8 * 1024 * 1024 / 32, 16, 64, 120, 1),
+            l2_banks: 32,
+            dram: DramConfig {
+                // 18 channels x one 64B line/cycle = ~1.2 TB/s (HBM2)
+                channels: 18,
+                latency: 220,
+                service_interval: 1,
+                capacity_bytes: 32u64 << 30,
+            },
+            num_cus: 120,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table1() {
+        let r9 = MemHierarchyConfig::r9_nano();
+        assert_eq!(r9.num_cus, 64);
+        assert_eq!(r9.l1v.size_bytes, 16 * 1024);
+        assert_eq!(r9.l1v.assoc, 4);
+        assert_eq!(r9.l2.assoc, 16);
+        assert_eq!(r9.l2_banks, 8);
+        assert_eq!(r9.dram.capacity_bytes, 4 << 30);
+
+        let mi = MemHierarchyConfig::mi100();
+        assert_eq!(mi.num_cus, 120);
+        assert_eq!(mi.l2_banks, 32);
+        assert_eq!(mi.l2.size_bytes * mi.l2_banks, 8 * 1024 * 1024);
+        assert_eq!(mi.dram.capacity_bytes, 32u64 << 30);
+    }
+}

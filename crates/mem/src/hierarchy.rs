@@ -1,0 +1,232 @@
+//! Queueing timing model of the cache/DRAM hierarchy.
+
+use crate::cache::{AccessKind, Cache, CacheAccess};
+use crate::config::MemHierarchyConfig;
+use crate::stats::MemStats;
+use crate::Cycle;
+
+/// Cache line size used throughout the hierarchy.
+pub const LINE_BYTES: u64 = 64;
+
+/// How many CUs share one scalar cache (Table 1: 16 scalar caches for 64
+/// CUs on the R9 Nano).
+const CUS_PER_SCALAR_CACHE: usize = 4;
+
+/// Coalesces per-lane byte addresses into unique cache-line addresses,
+/// the transaction unit of the hierarchy.
+///
+/// # Example
+/// ```
+/// use gpu_mem::coalesce_lines;
+/// // 16 consecutive words live on one 64-byte line
+/// let lines = coalesce_lines((0..16).map(|i| i * 4), 4);
+/// assert_eq!(lines, vec![0]);
+/// // strided accesses touch many lines
+/// let lines = coalesce_lines((0..4).map(|i| i * 256), 4);
+/// assert_eq!(lines.len(), 4);
+/// ```
+pub fn coalesce_lines(addrs: impl IntoIterator<Item = u64>, width_bytes: u64) -> Vec<u64> {
+    let mut lines: Vec<u64> = addrs
+        .into_iter()
+        .flat_map(|a| {
+            let first = a / LINE_BYTES;
+            let last = (a + width_bytes - 1) / LINE_BYTES;
+            first..=last
+        })
+        .collect();
+    lines.sort_unstable();
+    lines.dedup();
+    lines
+}
+
+/// The timing model of one GPU's memory system.
+///
+/// Every resource (per-CU L1V, shared scalar caches, L2 banks, DRAM
+/// channels) has a `next_free` cycle; transactions serialize on busy
+/// resources, so latency grows with load. Tag arrays give true
+/// hit/miss behavior, which is what makes irregular workloads (SpMV)
+/// behave irregularly.
+#[derive(Debug)]
+pub struct MemoryHierarchy {
+    config: MemHierarchyConfig,
+    l1v: Vec<Cache>,
+    l1v_free: Vec<Cycle>,
+    l1s: Vec<Cache>,
+    l1s_free: Vec<Cycle>,
+    l2: Vec<Cache>,
+    l2_free: Vec<Cycle>,
+    dram_free: Vec<Cycle>,
+    stats: MemStats,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy for a configuration.
+    pub fn new(config: MemHierarchyConfig) -> Self {
+        let n_cu = config.num_cus as usize;
+        let n_scalar = n_cu.div_ceil(CUS_PER_SCALAR_CACHE);
+        let n_l2 = config.l2_banks as usize;
+        let n_ch = config.dram.channels as usize;
+        MemoryHierarchy {
+            l1v: (0..n_cu).map(|_| Cache::new(&config.l1v)).collect(),
+            l1v_free: vec![0; n_cu],
+            l1s: (0..n_scalar).map(|_| Cache::new(&config.l1s)).collect(),
+            l1s_free: vec![0; n_scalar],
+            l2: (0..n_l2).map(|_| Cache::new(&config.l2)).collect(),
+            l2_free: vec![0; n_l2],
+            dram_free: vec![0; n_ch],
+            stats: MemStats::default(),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MemHierarchyConfig {
+        &self.config
+    }
+
+    fn l2_and_beyond(&mut self, line_addr: u64, kind: AccessKind, ready: Cycle) -> Cycle {
+        let bank = (line_addr % self.config.l2_banks) as usize;
+        let t = ready.max(self.l2_free[bank]);
+        self.l2_free[bank] = t + self.config.l2.service_interval;
+        match self.l2[bank].access(line_addr * LINE_BYTES, kind, t) {
+            CacheAccess::Hit => {
+                self.stats.l2_hits += 1;
+                t + self.config.l2.hit_latency
+            }
+            CacheAccess::Miss => {
+                self.stats.l2_misses += 1;
+                let ch = ((line_addr / self.config.l2_banks) % self.config.dram.channels) as usize;
+                let td = (t + self.config.l2.hit_latency).max(self.dram_free[ch]);
+                self.dram_free[ch] = td + self.config.dram.service_interval;
+                self.stats.dram_accesses += 1;
+                td + self.config.dram.latency
+            }
+        }
+    }
+
+    /// Issues one line transaction from CU `cu`'s vector path at cycle
+    /// `now`; returns the completion cycle.
+    ///
+    /// # Panics
+    /// Panics if `cu` is out of range for the configuration.
+    pub fn access_line(&mut self, cu: usize, line_addr: u64, kind: AccessKind, now: Cycle) -> Cycle {
+        let t = now.max(self.l1v_free[cu]);
+        self.l1v_free[cu] = t + self.config.l1v.service_interval;
+        match self.l1v[cu].access(line_addr * LINE_BYTES, kind, t) {
+            CacheAccess::Hit => {
+                self.stats.l1v_hits += 1;
+                t + self.config.l1v.hit_latency
+            }
+            CacheAccess::Miss => {
+                self.stats.l1v_misses += 1;
+                self.l2_and_beyond(line_addr, kind, t + self.config.l1v.hit_latency)
+            }
+        }
+    }
+
+    /// Issues a scalar (constant/argument) load from CU `cu` at `now`;
+    /// returns the completion cycle.
+    pub fn scalar_access(&mut self, cu: usize, addr: u64, now: Cycle) -> Cycle {
+        let group = cu / CUS_PER_SCALAR_CACHE;
+        let t = now.max(self.l1s_free[group]);
+        self.l1s_free[group] = t + self.config.l1s.service_interval;
+        match self.l1s[group].access(addr, AccessKind::Read, t) {
+            CacheAccess::Hit => {
+                self.stats.l1s_hits += 1;
+                t + self.config.l1s.hit_latency
+            }
+            CacheAccess::Miss => {
+                self.stats.l1s_misses += 1;
+                self.l2_and_beyond(addr / LINE_BYTES, AccessKind::Read, t + self.config.l1s.hit_latency)
+            }
+        }
+    }
+
+    /// Invalidates all cache tags (kernel boundary), keeping the clock
+    /// monotonic.
+    pub fn flush_caches(&mut self) {
+        for c in self
+            .l1v
+            .iter_mut()
+            .chain(self.l1s.iter_mut())
+            .chain(self.l2.iter_mut())
+        {
+            c.flush();
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> MemHierarchyConfig {
+        let mut c = MemHierarchyConfig::r9_nano();
+        c.num_cus = 4;
+        c
+    }
+
+    #[test]
+    fn hit_is_faster_than_miss() {
+        let mut h = MemoryHierarchy::new(small_config());
+        let miss_done = h.access_line(0, 100, AccessKind::Read, 0);
+        let hit_done = h.access_line(0, 100, AccessKind::Read, miss_done) - miss_done;
+        assert!(hit_done < miss_done, "{hit_done} !< {miss_done}");
+    }
+
+    #[test]
+    fn l2_shared_across_cus() {
+        let mut h = MemoryHierarchy::new(small_config());
+        let t1 = h.access_line(0, 7, AccessKind::Read, 0);
+        // Different CU: misses its own L1 but hits shared L2.
+        let t2 = h.access_line(1, 7, AccessKind::Read, t1) - t1;
+        let cold = h.access_line(2, 9999, AccessKind::Read, 0);
+        assert!(t2 < cold, "L2 hit {t2} should beat DRAM {cold}");
+    }
+
+    #[test]
+    fn contention_delays_bursts() {
+        let mut h = MemoryHierarchy::new(small_config());
+        // Warm one line, then fire a burst of hits at the same cycle: the
+        // L1 service interval must serialize them.
+        let warm = h.access_line(0, 5, AccessKind::Read, 0);
+        let a = h.access_line(0, 5, AccessKind::Read, warm);
+        let b = h.access_line(0, 5, AccessKind::Read, warm);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn flush_restores_cold_misses() {
+        let mut h = MemoryHierarchy::new(small_config());
+        let cold = h.access_line(0, 1, AccessKind::Read, 0);
+        let now = cold;
+        h.flush_caches();
+        let again = h.access_line(0, 1, AccessKind::Read, now) - now;
+        assert!(again >= cold, "flush should make it a miss again");
+        assert_eq!(h.stats().l1v_hits, 0);
+        assert_eq!(h.stats().l1v_misses, 2);
+    }
+
+    #[test]
+    fn scalar_path_counts_separately() {
+        let mut h = MemoryHierarchy::new(small_config());
+        h.scalar_access(0, 0x40, 0);
+        h.scalar_access(1, 0x40, 100_000); // same group (cu 0..4) -> hit
+        assert_eq!(h.stats().l1s_misses, 1);
+        assert_eq!(h.stats().l1s_hits, 1);
+    }
+
+    #[test]
+    fn coalesce_merges_and_splits() {
+        assert_eq!(coalesce_lines([0u64, 4, 8, 60], 4), vec![0]);
+        assert_eq!(coalesce_lines([62u64], 4), vec![0, 1]); // straddles into line 1
+        assert_eq!(coalesce_lines([60u64], 4), vec![0]); // last byte is 63
+        assert_eq!(coalesce_lines([60u64], 8), vec![0, 1]);
+        assert_eq!(coalesce_lines([0u64, 64, 128], 4), vec![0, 1, 2]);
+    }
+}

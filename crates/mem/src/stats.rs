@@ -1,0 +1,102 @@
+//! Memory system statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by [`crate::MemoryHierarchy`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Vector L1 hits across all CUs.
+    pub l1v_hits: u64,
+    /// Vector L1 misses across all CUs.
+    pub l1v_misses: u64,
+    /// Scalar cache hits.
+    pub l1s_hits: u64,
+    /// Scalar cache misses.
+    pub l1s_misses: u64,
+    /// L2 hits across all banks.
+    pub l2_hits: u64,
+    /// L2 misses across all banks.
+    pub l2_misses: u64,
+    /// Lines fetched from DRAM.
+    pub dram_accesses: u64,
+}
+
+impl MemStats {
+    /// Vector L1 hit rate in `[0, 1]`; zero when no accesses occurred.
+    pub fn l1v_hit_rate(&self) -> f64 {
+        let total = self.l1v_hits + self.l1v_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1v_hits as f64 / total as f64
+        }
+    }
+
+    /// L2 hit rate in `[0, 1]`; zero when no accesses occurred.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / total as f64
+        }
+    }
+
+    /// Field-wise difference `self - earlier` (for per-kernel deltas).
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier` is not a prefix state of
+    /// `self` (counters only grow).
+    pub fn since(&self, earlier: &MemStats) -> MemStats {
+        MemStats {
+            l1v_hits: self.l1v_hits - earlier.l1v_hits,
+            l1v_misses: self.l1v_misses - earlier.l1v_misses,
+            l1s_hits: self.l1s_hits - earlier.l1s_hits,
+            l1s_misses: self.l1s_misses - earlier.l1s_misses,
+            l2_hits: self.l2_hits - earlier.l2_hits,
+            l2_misses: self.l2_misses - earlier.l2_misses,
+            dram_accesses: self.dram_accesses - earlier.dram_accesses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_diffs_fieldwise() {
+        let a = MemStats {
+            l1v_hits: 10,
+            l1v_misses: 5,
+            l2_hits: 3,
+            l2_misses: 2,
+            dram_accesses: 2,
+            ..Default::default()
+        };
+        let b = MemStats {
+            l1v_hits: 25,
+            l1v_misses: 9,
+            l2_hits: 7,
+            l2_misses: 2,
+            dram_accesses: 2,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.l1v_hits, 15);
+        assert_eq!(d.l1v_misses, 4);
+        assert_eq!(d.l2_hits, 4);
+        assert_eq!(d.l2_misses, 0);
+    }
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(MemStats::default().l1v_hit_rate(), 0.0);
+        let s = MemStats {
+            l1v_hits: 3,
+            l1v_misses: 1,
+            ..Default::default()
+        };
+        assert!((s.l1v_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests validating the cache tag array against a reference
+//! LRU model, and hierarchy-level conservation properties.
+
+use gpu_mem::{AccessKind, Cache, CacheAccess, CacheConfig, MemHierarchyConfig, MemoryHierarchy};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Straightforward reference LRU cache (list of lines per set).
+struct RefLru {
+    sets: Vec<VecDeque<u64>>,
+    assoc: usize,
+    line_bytes: u64,
+}
+
+impl RefLru {
+    fn new(size: u64, assoc: u64, line: u64) -> Self {
+        let sets = (size / line / assoc) as usize;
+        RefLru {
+            sets: vec![VecDeque::new(); sets],
+            assoc: assoc as usize,
+            line_bytes: line,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        let set = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        let q = &mut self.sets[set];
+        if let Some(pos) = q.iter().position(|&t| t == tag) {
+            q.remove(pos);
+            q.push_back(tag);
+            true
+        } else {
+            if q.len() == self.assoc {
+                q.pop_front();
+            }
+            q.push_back(tag);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Our tag array agrees with the reference LRU on every access of a
+    /// random address stream.
+    #[test]
+    fn cache_matches_reference_lru(addrs in prop::collection::vec(0u64..8192, 1..300)) {
+        let cfg = CacheConfig::new(1024, 2, 64, 8, 1);
+        let mut cache = Cache::new(&cfg);
+        let mut reference = RefLru::new(1024, 2, 64);
+        for (t, addr) in addrs.iter().enumerate() {
+            let got = cache.access(*addr, AccessKind::Read, t as u64);
+            let expect = reference.access(*addr);
+            prop_assert_eq!(
+                got == CacheAccess::Hit,
+                expect,
+                "access #{} to {:#x} disagrees",
+                t,
+                addr
+            );
+        }
+    }
+
+    /// Completion times are monotone for back-to-back requests on the
+    /// same resource (queueing never reorders).
+    #[test]
+    fn hierarchy_completions_monotone_per_cu(lines in prop::collection::vec(0u64..10_000, 1..100)) {
+        let mut cfg = MemHierarchyConfig::r9_nano();
+        cfg.num_cus = 2;
+        let mut h = MemoryHierarchy::new(cfg);
+        let mut last = 0u64;
+        for (t, line) in lines.iter().enumerate() {
+            let done = h.access_line(0, *line, AccessKind::Read, t as u64);
+            prop_assert!(done >= t as u64);
+            prop_assert!(done + 500 >= last, "completion went far backwards");
+            last = last.max(done);
+        }
+    }
+
+    /// Hit/miss counters are conserved: hits + misses == accesses.
+    #[test]
+    fn stats_are_conserved(lines in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut cfg = MemHierarchyConfig::r9_nano();
+        cfg.num_cus = 1;
+        let mut h = MemoryHierarchy::new(cfg);
+        for (t, line) in lines.iter().enumerate() {
+            h.access_line(0, *line, AccessKind::Read, t as u64 * 10);
+        }
+        let s = h.stats();
+        prop_assert_eq!(s.l1v_hits + s.l1v_misses, lines.len() as u64);
+        prop_assert_eq!(s.l2_hits + s.l2_misses, s.l1v_misses);
+        prop_assert_eq!(s.dram_accesses, s.l2_misses);
+    }
+
+    /// Flushing restores the cold state: the same stream repeated after
+    /// a flush produces the same hit/miss pattern.
+    #[test]
+    fn flush_restores_cold_state(addrs in prop::collection::vec(0u64..4096, 1..100)) {
+        let cfg = CacheConfig::new(512, 2, 64, 8, 1);
+        let mut cache = Cache::new(&cfg);
+        let first: Vec<CacheAccess> =
+            addrs.iter().enumerate().map(|(t, a)| cache.access(*a, AccessKind::Read, t as u64)).collect();
+        cache.flush();
+        let second: Vec<CacheAccess> =
+            addrs.iter().enumerate().map(|(t, a)| cache.access(*a, AccessKind::Read, 1000 + t as u64)).collect();
+        prop_assert_eq!(first, second);
+    }
+}

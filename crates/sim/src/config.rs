@@ -1,0 +1,163 @@
+//! GPU configurations (Table 1 of the paper).
+
+use gpu_mem::MemHierarchyConfig;
+use serde::{Deserialize, Serialize};
+
+/// Fixed instruction latencies (cycles) of the execution pipelines.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyConfig {
+    /// Scalar ALU op.
+    pub salu: u64,
+    /// Vector ALU op (full-rate).
+    pub valu: u64,
+    /// Slow vector ops (integer divide/remainder, `f32` divide).
+    pub valu_slow: u64,
+    /// LDS access.
+    pub lds: u64,
+    /// Branch resolution.
+    pub branch: u64,
+    /// Cycles between a memory instruction's issue and the request
+    /// entering the hierarchy.
+    pub mem_issue: u64,
+    /// Store issue occupancy (stores are fire-and-forget).
+    pub store_issue: u64,
+    /// Cycles to release warps once the last one reaches a barrier.
+    pub barrier_release: u64,
+    /// Cycles to dispatch a workgroup to a CU.
+    pub dispatch: u64,
+    /// Minimum cycles between two workgroup dispatches (the command
+    /// processor issues workgroups sequentially, staggering their start
+    /// times).
+    pub dispatch_interval: u64,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            salu: 4,
+            valu: 4,
+            valu_slow: 16,
+            lds: 8,
+            branch: 4,
+            mem_issue: 4,
+            store_issue: 4,
+            barrier_release: 4,
+            dispatch: 10,
+            dispatch_interval: 4,
+        }
+    }
+}
+
+/// Full configuration of one simulated GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Human-readable name ("R9 Nano", "MI100").
+    pub name: String,
+    /// Number of compute units.
+    pub num_cus: u32,
+    /// SIMD units per CU (GCN: 4).
+    pub simds_per_cu: u32,
+    /// Wavefront slots per SIMD (GCN: 10).
+    pub slots_per_simd: u32,
+    /// Maximum workgroups resident per CU.
+    pub max_wgs_per_cu: u32,
+    /// LDS bytes per CU.
+    pub lds_per_cu: u32,
+    /// Memory hierarchy.
+    pub mem: MemHierarchyConfig,
+    /// Pipeline latencies.
+    pub lat: LatencyConfig,
+    /// IPC sampling window in cycles (for timelines and PKA).
+    pub ipc_window: u64,
+    /// Hard cap on instructions one warp may execute (runaway guard).
+    pub max_insts_per_warp: u64,
+}
+
+impl GpuConfig {
+    /// The R9 Nano configuration of Table 1 (64 CUs @ 1 GHz).
+    pub fn r9_nano() -> Self {
+        GpuConfig {
+            name: "R9 Nano".to_string(),
+            num_cus: 64,
+            simds_per_cu: 4,
+            slots_per_simd: 10,
+            max_wgs_per_cu: 16,
+            lds_per_cu: 64 * 1024,
+            mem: MemHierarchyConfig::r9_nano(),
+            lat: LatencyConfig::default(),
+            ipc_window: 2048,
+            max_insts_per_warp: 100_000_000,
+        }
+    }
+
+    /// The MI100 configuration of Table 1 (120 CUs @ 1 GHz).
+    pub fn mi100() -> Self {
+        GpuConfig {
+            name: "MI100".to_string(),
+            num_cus: 120,
+            simds_per_cu: 4,
+            slots_per_simd: 10,
+            max_wgs_per_cu: 16,
+            lds_per_cu: 64 * 1024,
+            mem: MemHierarchyConfig::mi100(),
+            lat: LatencyConfig::default(),
+            ipc_window: 2048,
+            max_insts_per_warp: 100_000_000,
+        }
+    }
+
+    /// A small 4-CU configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        let mut mem = MemHierarchyConfig::r9_nano();
+        mem.num_cus = 4;
+        GpuConfig {
+            name: "Tiny".to_string(),
+            num_cus: 4,
+            simds_per_cu: 4,
+            slots_per_simd: 10,
+            max_wgs_per_cu: 16,
+            lds_per_cu: 64 * 1024,
+            mem,
+            lat: LatencyConfig::default(),
+            ipc_window: 512,
+            max_insts_per_warp: 10_000_000,
+        }
+    }
+
+    /// Total wavefront slots per CU.
+    pub fn warps_per_cu(&self) -> u32 {
+        self.simds_per_cu * self.slots_per_simd
+    }
+
+    /// Returns the configuration scaled to `n` compute units (keeping
+    /// all per-CU parameters), used to run paper-shaped experiments at
+    /// reduced problem sizes with the same residency ratios.
+    pub fn with_num_cus(mut self, n: u32) -> Self {
+        self.num_cus = n;
+        self.mem.num_cus = n as u64;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        let r9 = GpuConfig::r9_nano();
+        assert_eq!(r9.num_cus, 64);
+        assert_eq!(r9.mem.num_cus, 64);
+        assert_eq!(r9.warps_per_cu(), 40);
+        let mi = GpuConfig::mi100();
+        assert_eq!(mi.num_cus, 120);
+        assert_eq!(mi.mem.num_cus, 120);
+    }
+
+    #[test]
+    fn default_latencies_sane() {
+        let l = LatencyConfig::default();
+        assert!(l.valu_slow > l.valu);
+        assert!(l.salu > 0 && l.branch > 0);
+    }
+}

@@ -1,0 +1,1156 @@
+//! The cycle-level timing engine.
+//!
+//! The model: workgroups are dispatched to compute units under resource
+//! constraints (wavefront slots, LDS, workgroups-per-CU); each CU has
+//! `simds_per_cu` SIMD units issuing one instruction per cycle from their
+//! resident wavefronts; each wavefront executes in order with one
+//! outstanding instruction, so latency is hidden by multi-wavefront
+//! interleaving (the classic simplified GPU timing model); memory
+//! instructions coalesce into 64-byte lines that traverse the
+//! [`gpu_mem::MemoryHierarchy`] with queueing contention; `s_barrier`
+//! parks warps until the whole workgroup arrives.
+//!
+//! The engine is event-driven (a binary heap of warp-ready events), so
+//! simulation cost scales with executed instructions rather than elapsed
+//! cycles.
+//!
+//! Sampling is mechanically supported in three ways, steered by a
+//! [`SamplingController`]:
+//! * kernels can be skipped outright with a predicted time
+//!   (kernel-sampling),
+//! * workgroups can be dispatched in [`WgMode::BbSampled`] (functional
+//!   execution + per-warp predicted durations) or
+//!   [`WgMode::WarpSampled`] (no execution, predicted durations;
+//!   scheduler-only) — predicted warps still occupy scheduler slots,
+//! * detailed simulation can be aborted with a stable IPC and
+//!   extrapolated (the PKA mechanism).
+
+use crate::config::GpuConfig;
+use crate::controller::{
+    KernelDirective, KernelStartAccess, NullController, SamplingController, WarpRecord, WgMode,
+};
+use crate::controller::BbRecord;
+use crate::error::SimError;
+use crate::exec::{step, LaunchEnv, StepEffect};
+use crate::functional::{run_wg_functional, trace_warp_isolated};
+
+use crate::result::{AppResult, KernelResult};
+use crate::warp::{WarpState, WarpTrace};
+use gpu_isa::{BasicBlockId, InstClass, KernelLaunch};
+use gpu_mem::{AccessKind, AddressSpace, BumpAllocator, Cycle, MemStats, MemoryHierarchy};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Base address of the kernel-argument buffer (for scalar-cache timing).
+const ARG_BASE: u64 = 0x100;
+/// First allocatable device address.
+const HEAP_BASE: u64 = 0x1000;
+
+/// A simulated GPU: functional memory, timing hierarchy, and the engine
+/// that runs kernels under a [`SamplingController`].
+///
+/// # Example
+/// ```
+/// use gpu_isa::{Kernel, KernelBuilder, KernelLaunch};
+/// use gpu_sim::{GpuConfig, GpuSimulator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+/// let mut kb = KernelBuilder::new("nop");
+/// let s = kb.sreg();
+/// kb.smov(s, 1i64);
+/// let launch = KernelLaunch::new(Kernel::new(kb.finish()?), 4, 2, vec![]);
+/// let result = gpu.run_kernel(&launch)?;
+/// assert!(result.cycles > 0);
+/// assert_eq!(result.total_warps, 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct GpuSimulator {
+    config: GpuConfig,
+    mem: AddressSpace,
+    alloc: BumpAllocator,
+    hierarchy: MemoryHierarchy,
+    clock: Cycle,
+}
+
+impl GpuSimulator {
+    /// Creates a simulator for the given configuration.
+    pub fn new(config: GpuConfig) -> Self {
+        let hierarchy = MemoryHierarchy::new(config.mem.clone());
+        let cap = config.mem.dram.capacity_bytes;
+        GpuSimulator {
+            mem: AddressSpace::new(),
+            alloc: BumpAllocator::new(HEAP_BASE, cap - HEAP_BASE),
+            hierarchy,
+            clock: 0,
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Current simulated cycle (monotone across kernels).
+    pub fn clock(&self) -> Cycle {
+        self.clock
+    }
+
+    /// Read access to device memory (host-side result checks).
+    pub fn mem(&self) -> &AddressSpace {
+        &self.mem
+    }
+
+    /// Write access to device memory (host-side data initialization).
+    pub fn mem_mut(&mut self) -> &mut AddressSpace {
+        &mut self.mem
+    }
+
+    /// Allocates a 256-byte-aligned device buffer.
+    ///
+    /// # Errors
+    /// Returns [`SimError::OutOfDeviceMemory`] when DRAM capacity is
+    /// exhausted.
+    pub fn alloc_buffer(&mut self, bytes: u64) -> Result<u64, SimError> {
+        Ok(self.alloc.alloc(bytes.max(1), 256)?)
+    }
+
+    /// Accumulated memory-system statistics.
+    pub fn mem_stats(&self) -> &MemStats {
+        self.hierarchy.stats()
+    }
+
+    /// Runs one kernel in full detailed mode.
+    ///
+    /// # Errors
+    /// Propagates launch-validation and runaway-loop errors.
+    pub fn run_kernel(&mut self, launch: &KernelLaunch) -> Result<KernelResult, SimError> {
+        self.run_kernel_sampled(launch, &mut NullController)
+    }
+
+    /// Runs one kernel under a sampling controller.
+    ///
+    /// # Errors
+    /// Returns [`SimError::EmptyLaunch`], [`SimError::WorkgroupTooLarge`]
+    /// or [`SimError::LdsOverflow`] for invalid launches, and
+    /// [`SimError::InstLimitExceeded`] for runaway warps.
+    pub fn run_kernel_sampled(
+        &mut self,
+        launch: &KernelLaunch,
+        ctrl: &mut dyn SamplingController,
+    ) -> Result<KernelResult, SimError> {
+        if launch.num_wgs == 0 || launch.warps_per_wg == 0 {
+            return Err(SimError::EmptyLaunch);
+        }
+        if launch.warps_per_wg > self.config.warps_per_cu() {
+            return Err(SimError::WorkgroupTooLarge {
+                warps_per_wg: launch.warps_per_wg,
+                capacity: self.config.warps_per_cu(),
+            });
+        }
+        if launch.lds_bytes > self.config.lds_per_cu {
+            return Err(SimError::LdsOverflow {
+                requested: launch.lds_bytes,
+                available: self.config.lds_per_cu,
+            });
+        }
+
+        self.hierarchy.flush_caches();
+        let start = self.clock;
+        let mem_before = *self.hierarchy.stats();
+        let max_insts = self.config.max_insts_per_warp;
+        let mut functional_insts = 0u64;
+
+        // Kernel-start hook (kernel-sampling decision point).
+        let directive = {
+            let mut ctx = StartCtx {
+                launch,
+                mem: &self.mem,
+                functional_insts: 0,
+                max_insts,
+            };
+            let d = ctrl.on_kernel_start(&mut ctx);
+            functional_insts += ctx.functional_insts;
+            d
+        };
+        if let KernelDirective::Skip {
+            predicted_cycles,
+            functional_replay,
+        } = directive
+        {
+            if functional_replay {
+                for wg in 0..launch.num_wgs {
+                    let (_, n) = run_wg_functional(launch, &mut self.mem, wg, max_insts)?;
+                    functional_insts += n;
+                }
+            }
+            self.clock = start + predicted_cycles.max(1);
+            let result = KernelResult {
+                name: launch.kernel.name().to_string(),
+                cycles: predicted_cycles.max(1),
+                start_cycle: start,
+                detailed_insts: 0,
+                functional_insts,
+                total_warps: launch.total_warps(),
+                detailed_warps: 0,
+                predicted_warps: launch.total_warps(),
+                ipc_timeline: Vec::new(),
+                ipc_window: self.config.ipc_window,
+                skipped: true,
+                mem: gpu_mem::MemStats::default(),
+            };
+            ctrl.on_kernel_end(&result);
+            return Ok(result);
+        }
+
+        let mut run = KernelRun::new(&self.config, &mut self.mem, &mut self.hierarchy, launch, start);
+        run.functional_insts = functional_insts;
+        let mut result = run.run(ctrl)?;
+        self.clock = start + result.cycles;
+        result.name = launch.kernel.name().to_string();
+        result.mem = self.hierarchy.stats().since(&mem_before);
+        ctrl.on_kernel_end(&result);
+        Ok(result)
+    }
+
+    /// Runs a sequence of kernel launches under one controller and
+    /// collects per-kernel results.
+    ///
+    /// # Errors
+    /// Stops at and returns the first kernel error.
+    pub fn run_app(
+        &mut self,
+        launches: &[KernelLaunch],
+        ctrl: &mut dyn SamplingController,
+    ) -> Result<AppResult, SimError> {
+        let mut app = AppResult::default();
+        for launch in launches {
+            app.kernels.push(self.run_kernel_sampled(launch, ctrl)?);
+        }
+        Ok(app)
+    }
+}
+
+struct StartCtx<'a> {
+    launch: &'a KernelLaunch,
+    mem: &'a AddressSpace,
+    functional_insts: u64,
+    max_insts: u64,
+}
+
+impl KernelStartAccess for StartCtx<'_> {
+    fn launch(&self) -> &KernelLaunch {
+        self.launch
+    }
+
+    fn total_warps(&self) -> u64 {
+        self.launch.total_warps()
+    }
+
+    fn trace_warp(&mut self, global_warp: u64) -> WarpTrace {
+        let t = trace_warp_isolated(self.launch, self.mem, global_warp, self.max_insts);
+        self.functional_insts += t.insts;
+        t
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EvKind {
+    Ready(u32),
+    PredRetire(u32),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    cycle: Cycle,
+    seq: u64,
+    kind: EvKind,
+}
+
+struct WarpRt {
+    global_id: u64,
+    wg: u32,
+    cu: u32,
+    simd: u32,
+    state: Option<Box<WarpState>>,
+    issue_cycle: Cycle,
+    insts: u64,
+    bb_open: bool,
+    bb_id: BasicBlockId,
+    bb_start: Cycle,
+    bb_insts: u32,
+    done: bool,
+}
+
+struct WgRt {
+    id: u32,
+    cu: u32,
+    live: u32,
+    barrier_arrived: u32,
+    barrier_waiting: Vec<u32>,
+    lds: Vec<u8>,
+    first_warp_rt: u32,
+    /// Mode the workgroup was dispatched in (kept for diagnostics).
+    #[allow(dead_code)]
+    mode: WgMode,
+    done: bool,
+}
+
+struct KernelRun<'a> {
+    cfg: &'a GpuConfig,
+    mem: &'a mut AddressSpace,
+    hier: &'a mut MemoryHierarchy,
+    launch: &'a KernelLaunch,
+    start: Cycle,
+
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    warps: Vec<WarpRt>,
+    wgs: Vec<WgRt>,
+    next_wg: u32,
+
+    cu_free_warps: Vec<u32>,
+    cu_free_lds: Vec<u32>,
+    cu_wg_count: Vec<u32>,
+    simd_free: Vec<Cycle>,
+    rr_cu: usize,
+    dispatcher_free: Cycle,
+
+    detailed_insts: u64,
+    functional_insts: u64,
+    detailed_warps: u64,
+    predicted_warps: u64,
+    last_retire: Cycle,
+    ipc_counts: Vec<u64>,
+    fired_windows: usize,
+    abort_ipc: Option<f64>,
+}
+
+impl<'a> KernelRun<'a> {
+    fn new(
+        cfg: &'a GpuConfig,
+        mem: &'a mut AddressSpace,
+        hier: &'a mut MemoryHierarchy,
+        launch: &'a KernelLaunch,
+        start: Cycle,
+    ) -> Self {
+        let n_cu = cfg.num_cus as usize;
+        KernelRun {
+            cfg,
+            mem,
+            hier,
+            launch,
+            start,
+            events: BinaryHeap::new(),
+            seq: 0,
+            warps: Vec::new(),
+            wgs: Vec::new(),
+            next_wg: 0,
+            cu_free_warps: vec![cfg.warps_per_cu(); n_cu],
+            cu_free_lds: vec![cfg.lds_per_cu; n_cu],
+            cu_wg_count: vec![0; n_cu],
+            simd_free: vec![0; n_cu * cfg.simds_per_cu as usize],
+            rr_cu: 0,
+            dispatcher_free: start,
+            detailed_insts: 0,
+            functional_insts: 0,
+            detailed_warps: 0,
+            predicted_warps: 0,
+            last_retire: start,
+            ipc_counts: Vec::new(),
+            fired_windows: 0,
+            abort_ipc: None,
+        }
+    }
+
+    fn push_event(&mut self, cycle: Cycle, kind: EvKind) {
+        self.seq += 1;
+        self.events.push(Reverse(Event {
+            cycle,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn env_for(&self, w: u32) -> LaunchEnv<'a> {
+        let warp = &self.warps[w as usize];
+        let wg = &self.wgs[warp.wg as usize];
+        LaunchEnv {
+            args: &self.launch.args,
+            wg_id: wg.id,
+            warp_in_wg: (warp.global_id % self.launch.warps_per_wg as u64) as u32,
+            warps_per_wg: self.launch.warps_per_wg,
+            num_wgs: self.launch.num_wgs,
+        }
+    }
+
+    fn run(&mut self, ctrl: &mut dyn SamplingController) -> Result<KernelResult, SimError> {
+        self.dispatch(self.start, ctrl)?;
+        while let Some(Reverse(ev)) = self.events.pop() {
+            self.fire_windows(ev.cycle, ctrl);
+            if self.abort_ipc.is_some() {
+                break;
+            }
+            match ev.kind {
+                EvKind::Ready(w) => self.handle_ready(w, ev.cycle, ctrl)?,
+                EvKind::PredRetire(w) => self.retire_warp(w, ev.cycle, ctrl)?,
+            }
+        }
+
+        let cycles = if let Some(ipc) = self.abort_ipc {
+            // PKA-style extrapolation: total instructions / stable IPC.
+            let remaining = self.finish_functional()?;
+            self.functional_insts += remaining;
+            let total = self.detailed_insts + remaining;
+            ((total as f64 / ipc.max(1e-9)).round() as Cycle).max(1)
+        } else {
+            (self.last_retire - self.start).max(1)
+        };
+
+        Ok(KernelResult {
+            name: String::new(),
+            cycles,
+            start_cycle: self.start,
+            detailed_insts: self.detailed_insts,
+            functional_insts: self.functional_insts,
+            total_warps: self.launch.total_warps(),
+            detailed_warps: self.detailed_warps,
+            predicted_warps: self.predicted_warps,
+            ipc_timeline: std::mem::take(&mut self.ipc_counts),
+            ipc_window: self.cfg.ipc_window,
+            skipped: false,
+            mem: gpu_mem::MemStats::default(),
+        })
+    }
+
+    fn fire_windows(&mut self, now: Cycle, ctrl: &mut dyn SamplingController) {
+        let w = self.cfg.ipc_window;
+        while self.start + (self.fired_windows as Cycle + 1) * w <= now {
+            let idx = self.fired_windows;
+            let insts = self.ipc_counts.get(idx).copied().unwrap_or(0);
+            if self.ipc_counts.len() <= idx {
+                self.ipc_counts.resize(idx + 1, 0);
+            }
+            ctrl.on_ipc_window(self.start + idx as Cycle * w, insts, w);
+            self.fired_windows += 1;
+            if let Some(ipc) = ctrl.check_abort() {
+                self.abort_ipc = Some(ipc);
+                return;
+            }
+        }
+    }
+
+    fn count_ipc(&mut self, now: Cycle) {
+        let idx = ((now - self.start) / self.cfg.ipc_window) as usize;
+        if self.ipc_counts.len() <= idx {
+            self.ipc_counts.resize(idx + 1, 0);
+        }
+        self.ipc_counts[idx] += 1;
+    }
+
+    /// Dispatches pending workgroups to CUs with free resources.
+    fn dispatch(&mut self, now: Cycle, ctrl: &mut dyn SamplingController) -> Result<(), SimError> {
+        let n_cu = self.cfg.num_cus as usize;
+        while self.next_wg < self.launch.num_wgs {
+            // Find a CU with capacity, round-robin.
+            let mut found = None;
+            for probe in 0..n_cu {
+                let cu = (self.rr_cu + probe) % n_cu;
+                if self.cu_free_warps[cu] >= self.launch.warps_per_wg
+                    && self.cu_free_lds[cu] >= self.launch.lds_bytes
+                    && self.cu_wg_count[cu] < self.cfg.max_wgs_per_cu
+                {
+                    found = Some(cu);
+                    break;
+                }
+            }
+            let Some(cu) = found else { break };
+            self.rr_cu = (cu + 1) % n_cu;
+            let wg_id = self.next_wg;
+            self.next_wg += 1;
+            self.cu_free_warps[cu] -= self.launch.warps_per_wg;
+            self.cu_free_lds[cu] -= self.launch.lds_bytes;
+            self.cu_wg_count[cu] += 1;
+
+            let mode = ctrl.dispatch_mode();
+            let first_rt = self.warps.len() as u32;
+            // the command processor dispatches workgroups sequentially
+            let slot = now.max(self.dispatcher_free);
+            self.dispatcher_free = slot + self.cfg.lat.dispatch_interval;
+            let t0 = slot + self.cfg.lat.dispatch;
+            self.wgs.push(WgRt {
+                id: wg_id,
+                cu: cu as u32,
+                live: self.launch.warps_per_wg,
+                barrier_arrived: 0,
+                barrier_waiting: Vec::new(),
+                lds: vec![0u8; self.launch.lds_bytes.max(4) as usize],
+                first_warp_rt: first_rt,
+                mode,
+                done: false,
+            });
+            let wg_rt = (self.wgs.len() - 1) as u32;
+
+            match mode {
+                WgMode::Detailed => {
+                    for i in 0..self.launch.warps_per_wg {
+                        let w = self.warps.len() as u32;
+                        self.warps.push(WarpRt {
+                            global_id: wg_id as u64 * self.launch.warps_per_wg as u64 + i as u64,
+                            wg: wg_rt,
+                            cu: cu as u32,
+                            simd: i % self.cfg.simds_per_cu,
+                            state: Some(Box::new(WarpState::new())),
+                            issue_cycle: t0,
+                            insts: 0,
+                            bb_open: false,
+                            bb_id: BasicBlockId(0),
+                            bb_start: t0,
+                            bb_insts: 0,
+                            done: false,
+                        });
+                        self.push_event(t0, EvKind::Ready(w));
+                    }
+                    self.detailed_warps += self.launch.warps_per_wg as u64;
+                }
+                WgMode::BbSampled => {
+                    let (traces, n) =
+                        run_wg_functional(self.launch, self.mem, wg_id, self.cfg.max_insts_per_warp)?;
+                    self.functional_insts += n;
+                    for (i, trace) in traces.iter().enumerate() {
+                        let w = self.warps.len() as u32;
+                        let dur = ctrl.predict_warp_bb(trace).max(1);
+                        self.warps.push(WarpRt {
+                            global_id: wg_id as u64 * self.launch.warps_per_wg as u64 + i as u64,
+                            wg: wg_rt,
+                            cu: cu as u32,
+                            simd: i as u32 % self.cfg.simds_per_cu,
+                            state: None,
+                            issue_cycle: t0,
+                            insts: 0,
+                            bb_open: false,
+                            bb_id: BasicBlockId(0),
+                            bb_start: t0,
+                            bb_insts: 0,
+                            done: false,
+                        });
+                        self.push_event(t0 + dur, EvKind::PredRetire(w));
+                    }
+                    self.predicted_warps += self.launch.warps_per_wg as u64;
+                }
+                WgMode::WarpSampled => {
+                    for i in 0..self.launch.warps_per_wg {
+                        let w = self.warps.len() as u32;
+                        let dur = ctrl.predict_warp_avg().max(1);
+                        self.warps.push(WarpRt {
+                            global_id: wg_id as u64 * self.launch.warps_per_wg as u64 + i as u64,
+                            wg: wg_rt,
+                            cu: cu as u32,
+                            simd: i % self.cfg.simds_per_cu,
+                            state: None,
+                            issue_cycle: t0,
+                            insts: 0,
+                            bb_open: false,
+                            bb_id: BasicBlockId(0),
+                            bb_start: t0,
+                            bb_insts: 0,
+                            done: false,
+                        });
+                        self.push_event(t0 + dur, EvKind::PredRetire(w));
+                    }
+                    self.predicted_warps += self.launch.warps_per_wg as u64;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_ready(
+        &mut self,
+        w: u32,
+        now: Cycle,
+        ctrl: &mut dyn SamplingController,
+    ) -> Result<(), SimError> {
+        let (cu, simd) = {
+            let warp = &self.warps[w as usize];
+            debug_assert!(!warp.done);
+            (warp.cu as usize, warp.simd as usize)
+        };
+        let port = cu * self.cfg.simds_per_cu as usize + simd;
+        if self.simd_free[port] > now {
+            let at = self.simd_free[port];
+            self.push_event(at, EvKind::Ready(w));
+            return Ok(());
+        }
+        self.simd_free[port] = now + 1;
+
+        // Execute one instruction with split field borrows.
+        let program = self.launch.kernel.program();
+        let bb_map = program.basic_blocks();
+        let env = self.env_for(w);
+        let warp = &mut self.warps[w as usize];
+        let wg = &mut self.wgs[warp.wg as usize];
+        let state = warp
+            .state
+            .as_deref_mut()
+            .expect("detailed warp has architectural state");
+        let pc = state.pc;
+
+        // Basic-block boundary: issuing the first instruction of a block
+        // closes the previous instance (paper's interval definition).
+        if let Some(id) = bb_map.block_starting_at(pc) {
+            if warp.bb_open {
+                ctrl.on_bb_record(&BbRecord {
+                    warp: warp.global_id,
+                    bb: warp.bb_id,
+                    start: warp.bb_start,
+                    end: now,
+                    insts: warp.bb_insts,
+                });
+            }
+            warp.bb_open = true;
+            warp.bb_id = id;
+            warp.bb_start = now;
+            warp.bb_insts = 0;
+        }
+        warp.bb_insts += 1;
+        warp.insts += 1;
+        if warp.insts > self.cfg.max_insts_per_warp {
+            return Err(SimError::InstLimitExceeded {
+                warp: warp.global_id,
+                limit: self.cfg.max_insts_per_warp,
+            });
+        }
+
+        let info = step(state, program, self.mem, &mut wg.lds, &env);
+        self.detailed_insts += 1;
+        self.count_ipc(now);
+
+        let lat = self.cfg.lat.clone();
+        let latency = match &info.effect {
+            StepEffect::Alu => match info.class {
+                InstClass::Scalar => lat.salu,
+                InstClass::Branch => lat.branch,
+                InstClass::VectorInt | InstClass::VectorFloat => {
+                    if info.slow {
+                        lat.valu_slow
+                    } else {
+                        lat.valu
+                    }
+                }
+                _ => lat.salu,
+            },
+            StepEffect::Mem { lines, write } => {
+                let issue_at = now + lat.mem_issue;
+                let mut done = issue_at;
+                for &line in lines {
+                    let kind = if *write {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    let c = self.hier.access_line(cu, line, kind, issue_at);
+                    done = done.max(c);
+                }
+                if *write {
+                    lat.store_issue // fire-and-forget
+                } else {
+                    done - now
+                }
+            }
+            StepEffect::ArgLoad { index } => {
+                let addr = ARG_BASE + 8 * *index as u64;
+                self.hier.scalar_access(cu, addr, now) - now
+            }
+            StepEffect::Lds => lat.lds,
+            StepEffect::Barrier => lat.salu,
+            StepEffect::End => 1,
+        };
+        ctrl.on_inst_retire(info.class, latency);
+
+        match info.effect {
+            StepEffect::End => {
+                self.retire_warp(w, now + 1, ctrl)?;
+            }
+            StepEffect::Barrier => {
+                let warp = &mut self.warps[w as usize];
+                let wg = &mut self.wgs[warp.wg as usize];
+                wg.barrier_arrived += 1;
+                wg.barrier_waiting.push(w);
+                if wg.barrier_arrived == wg.live {
+                    let release = now + lat.barrier_release;
+                    let waiting = std::mem::take(&mut wg.barrier_waiting);
+                    wg.barrier_arrived = 0;
+                    for ww in waiting {
+                        self.push_event(release, EvKind::Ready(ww));
+                    }
+                }
+            }
+            _ => {
+                self.push_event(now + latency.max(1), EvKind::Ready(w));
+            }
+        }
+        Ok(())
+    }
+
+    fn retire_warp(
+        &mut self,
+        w: u32,
+        now: Cycle,
+        ctrl: &mut dyn SamplingController,
+    ) -> Result<(), SimError> {
+        let (wg_idx, was_detailed) = {
+            let warp = &mut self.warps[w as usize];
+            debug_assert!(!warp.done);
+            warp.done = true;
+            let was_detailed = warp.state.is_some();
+            if was_detailed {
+                if warp.bb_open {
+                    ctrl.on_bb_record(&BbRecord {
+                        warp: warp.global_id,
+                        bb: warp.bb_id,
+                        start: warp.bb_start,
+                        end: now,
+                        insts: warp.bb_insts,
+                    });
+                    warp.bb_open = false;
+                }
+                ctrl.on_warp_retire(&WarpRecord {
+                    warp: warp.global_id,
+                    issue: warp.issue_cycle,
+                    retire: now,
+                    insts: warp.insts,
+                });
+                warp.state = None;
+            }
+            (warp.wg, was_detailed)
+        };
+        let _ = was_detailed;
+        self.last_retire = self.last_retire.max(now);
+
+        let wg_done = {
+            let wg = &mut self.wgs[wg_idx as usize];
+            wg.live -= 1;
+            if wg.live == 0 {
+                wg.done = true;
+                wg.lds = Vec::new();
+                true
+            } else {
+                // A barrier may become satisfiable once a warp exits.
+                if wg.barrier_arrived > 0 && wg.barrier_arrived == wg.live {
+                    let release = now + self.cfg.lat.barrier_release;
+                    let waiting = std::mem::take(&mut wg.barrier_waiting);
+                    wg.barrier_arrived = 0;
+                    for ww in waiting {
+                        self.push_event(release, EvKind::Ready(ww));
+                    }
+                }
+                false
+            }
+        };
+
+        if wg_done {
+            let wg = &self.wgs[wg_idx as usize];
+            let cu = wg.cu as usize;
+            self.cu_free_warps[cu] += self.launch.warps_per_wg;
+            self.cu_free_lds[cu] += self.launch.lds_bytes;
+            self.cu_wg_count[cu] -= 1;
+            self.dispatch(now, ctrl)?;
+        }
+        Ok(())
+    }
+
+    /// Finishes all unfinished work functionally (abort path): resumes
+    /// live detailed warps cooperatively and runs undispatched
+    /// workgroups fresh. Returns the instructions executed.
+    fn finish_functional(&mut self) -> Result<u64, SimError> {
+        let mut total = 0u64;
+        let program = self.launch.kernel.program();
+        let max_insts = self.cfg.max_insts_per_warp;
+
+        for wg_idx in 0..self.wgs.len() {
+            if self.wgs[wg_idx].done {
+                continue;
+            }
+            let wg_id = self.wgs[wg_idx].id;
+            let first = self.wgs[wg_idx].first_warp_rt as usize;
+            let n = self.launch.warps_per_wg as usize;
+            let waiting: Vec<u32> = self.wgs[wg_idx].barrier_waiting.clone();
+            let mut at_barrier: Vec<bool> = (0..n)
+                .map(|i| waiting.contains(&((first + i) as u32)))
+                .collect();
+            let mut lds = std::mem::take(&mut self.wgs[wg_idx].lds);
+            loop {
+                let mut progressed = false;
+                for (i, at_barrier_i) in at_barrier.iter_mut().enumerate() {
+                    let w = first + i;
+                    let Some(mut state) = self.warps[w].state.take() else {
+                        continue;
+                    };
+                    if state.ended || *at_barrier_i {
+                        self.warps[w].state = Some(state);
+                        continue;
+                    }
+                    let env = LaunchEnv {
+                        args: &self.launch.args,
+                        wg_id,
+                        warp_in_wg: i as u32,
+                        warps_per_wg: self.launch.warps_per_wg,
+                        num_wgs: self.launch.num_wgs,
+                    };
+                    let mut steps = 0u64;
+                    loop {
+                        let info = step(&mut state, program, self.mem, &mut lds, &env);
+                        steps += 1;
+                        progressed = true;
+                        match info.effect {
+                            StepEffect::End => break,
+                            StepEffect::Barrier => {
+                                *at_barrier_i = true;
+                                break;
+                            }
+                            _ => {}
+                        }
+                        if self.warps[w].insts + steps > max_insts {
+                            return Err(SimError::InstLimitExceeded {
+                                warp: self.warps[w].global_id,
+                                limit: max_insts,
+                            });
+                        }
+                    }
+                    total += steps;
+                    self.warps[w].insts += steps;
+                    self.warps[w].state = Some(state);
+                }
+                let live = (0..n)
+                    .filter(|&i| {
+                        self.warps[first + i]
+                            .state
+                            .as_deref()
+                            .is_some_and(|s| !s.ended)
+                    })
+                    .count();
+                if live == 0 {
+                    break;
+                }
+                let arrived = (0..n)
+                    .filter(|&i| {
+                        at_barrier[i]
+                            && self.warps[first + i]
+                                .state
+                                .as_deref()
+                                .is_some_and(|s| !s.ended)
+                    })
+                    .count();
+                if arrived == live || !progressed {
+                    at_barrier.iter_mut().for_each(|b| *b = false);
+                }
+            }
+            self.wgs[wg_idx].done = true;
+        }
+
+        for wg_id in self.next_wg..self.launch.num_wgs {
+            let (_, n) = run_wg_functional(self.launch, self.mem, wg_id, max_insts)?;
+            total += n;
+        }
+        self.next_wg = self.launch.num_wgs;
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::Recorder;
+    use gpu_isa::{CmpOp, Kernel, KernelBuilder, MemWidth, SAluOp, VAluOp, VectorSrc};
+
+    fn vadd_launch(gpu: &mut GpuSimulator, n_wgs: u32, warps_per_wg: u32) -> KernelLaunch {
+        let total_threads = n_wgs as u64 * warps_per_wg as u64 * 64;
+        let a = gpu.alloc_buffer(total_threads * 4).unwrap();
+        let b = gpu.alloc_buffer(total_threads * 4).unwrap();
+        let c = gpu.alloc_buffer(total_threads * 4).unwrap();
+        for i in 0..total_threads {
+            gpu.mem_mut().write_f32(a + 4 * i, i as f32);
+            gpu.mem_mut().write_f32(b + 4 * i, 2.0 * i as f32);
+        }
+        let mut kb = KernelBuilder::new("vadd");
+        let (sa, sb, sc) = (kb.sreg(), kb.sreg(), kb.sreg());
+        kb.load_arg(sa, 0);
+        kb.load_arg(sb, 1);
+        kb.load_arg(sc, 2);
+        let tid = kb.vreg();
+        kb.global_thread_id(tid);
+        let off = kb.vreg();
+        kb.valu(VAluOp::Shl, off, VectorSrc::Reg(tid), VectorSrc::Imm(2));
+        let va = kb.vreg();
+        let vb = kb.vreg();
+        kb.global_load(va, sa, off, 0, MemWidth::B32);
+        kb.global_load(vb, sb, off, 0, MemWidth::B32);
+        let vc = kb.vreg();
+        kb.valu(VAluOp::FAdd, vc, VectorSrc::Reg(va), VectorSrc::Reg(vb));
+        kb.global_store(vc, sc, off, 0, MemWidth::B32);
+        let k = Kernel::new(kb.finish().unwrap());
+        KernelLaunch::new(k, n_wgs, warps_per_wg, vec![a, b, c])
+    }
+
+    #[test]
+    fn vadd_detailed_is_functionally_correct() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let launch = vadd_launch(&mut gpu, 8, 4);
+        let result = gpu.run_kernel(&launch).unwrap();
+        assert!(result.cycles > 0);
+        assert_eq!(result.detailed_warps, 32);
+        assert_eq!(result.predicted_warps, 0);
+        let c = launch.args[2];
+        for i in [0u64, 100, 2047] {
+            assert_eq!(gpu.mem().read_f32(c + 4 * i), 3.0 * i as f32, "elem {i}");
+        }
+        // every warp executes the same straight-line program
+        let per_warp = launch.kernel.program().len() as u64;
+        assert_eq!(result.detailed_insts, per_warp * 32);
+    }
+
+    #[test]
+    fn clock_advances_across_kernels() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let launch = vadd_launch(&mut gpu, 2, 2);
+        let r1 = gpu.run_kernel(&launch).unwrap();
+        let c1 = gpu.clock();
+        let r2 = gpu.run_kernel(&launch).unwrap();
+        assert_eq!(c1, r1.cycles);
+        assert_eq!(gpu.clock(), r1.cycles + r2.cycles);
+        assert_eq!(r2.start_cycle, c1);
+    }
+
+    #[test]
+    fn empty_launch_rejected() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let launch = vadd_launch(&mut gpu, 2, 2);
+        let mut bad = launch.clone();
+        bad.num_wgs = 0;
+        assert_eq!(gpu.run_kernel(&bad).unwrap_err(), SimError::EmptyLaunch);
+    }
+
+    #[test]
+    fn oversized_wg_rejected() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let launch = vadd_launch(&mut gpu, 2, 2);
+        let mut bad = launch.clone();
+        bad.warps_per_wg = 100;
+        assert!(matches!(
+            gpu.run_kernel(&bad).unwrap_err(),
+            SimError::WorkgroupTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn recorder_sees_bb_and_warp_records() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let launch = vadd_launch(&mut gpu, 4, 2);
+        let mut rec = Recorder::new();
+        let result = gpu.run_kernel_sampled(&launch, &mut rec).unwrap();
+        assert_eq!(rec.warp_records.len(), 8);
+        // vadd is one straight-line basic block per warp
+        assert_eq!(rec.bb_records.len(), 8);
+        let insts_from_bbs: u64 = rec.bb_records.iter().map(|r| r.insts as u64).sum();
+        assert_eq!(insts_from_bbs, result.detailed_insts);
+        for wr in &rec.warp_records {
+            assert!(wr.retire > wr.issue);
+        }
+    }
+
+    #[test]
+    fn barrier_kernel_synchronizes_in_timing_mode() {
+        // Producer warp 0 writes LDS, all barrier, consumers read.
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let out = gpu.alloc_buffer(4 * 64 * 4).unwrap();
+        let mut kb = KernelBuilder::new("lds_sync");
+        let s_out = kb.sreg();
+        kb.load_arg(s_out, 0);
+        let s_wiw = kb.sreg();
+        kb.special(s_wiw, gpu_isa::SpecialReg::WarpInWg);
+        let v_addr = kb.vreg();
+        kb.valu(VAluOp::Shl, v_addr, VectorSrc::LaneId, VectorSrc::Imm(2));
+        kb.scmp(CmpOp::Eq, s_wiw, 0i64);
+        kb.if_scc(|kb| {
+            let v = kb.vreg();
+            kb.valu(VAluOp::Add, v, VectorSrc::LaneId, VectorSrc::Imm(7));
+            kb.lds_store(v, v_addr, 0);
+        });
+        kb.barrier();
+        let v_read = kb.vreg();
+        kb.lds_load(v_read, v_addr, 0);
+        let s_base = kb.sreg();
+        kb.salu(SAluOp::Mul, s_base, s_wiw, 256i64);
+        let v_off = kb.vreg();
+        kb.valu(
+            VAluOp::Add,
+            v_off,
+            VectorSrc::Sreg(s_base),
+            VectorSrc::Reg(v_addr),
+        );
+        kb.global_store(v_read, s_out, v_off, 0, MemWidth::B32);
+        let k = Kernel::new(kb.finish().unwrap());
+        let launch = KernelLaunch::new(k, 1, 4, vec![out]).with_lds(256);
+        gpu.run_kernel(&launch).unwrap();
+        // consumer warp 3 lane 9 sees producer's value
+        assert_eq!(gpu.mem().read_u32(out + 4 * (3 * 64 + 9)), 7 + 9);
+    }
+
+    #[test]
+    fn more_cus_is_not_slower() {
+        let mut small = GpuSimulator::new(GpuConfig::tiny());
+        let launch_s = vadd_launch(&mut small, 64, 4);
+        let t_small = small.run_kernel(&launch_s).unwrap().cycles;
+
+        let mut cfg = GpuConfig::tiny();
+        cfg.num_cus = 16;
+        cfg.mem.num_cus = 16;
+        let mut big = GpuSimulator::new(cfg);
+        let launch_b = vadd_launch(&mut big, 64, 4);
+        let t_big = big.run_kernel(&launch_b).unwrap().cycles;
+        assert!(
+            t_big <= t_small,
+            "16 CUs ({t_big}) should not be slower than 4 ({t_small})"
+        );
+    }
+
+    #[test]
+    fn ipc_timeline_accounts_all_instructions() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let launch = vadd_launch(&mut gpu, 16, 4);
+        let result = gpu.run_kernel(&launch).unwrap();
+        let total: u64 = result.ipc_timeline.iter().sum();
+        assert_eq!(total, result.detailed_insts);
+    }
+
+    /// Controller that forces every workgroup into warp-sampled mode
+    /// with a fixed predicted duration.
+    struct FixedPrediction(u64);
+    impl SamplingController for FixedPrediction {
+        fn dispatch_mode(&mut self) -> WgMode {
+            WgMode::WarpSampled
+        }
+        fn predict_warp_avg(&mut self) -> Cycle {
+            self.0
+        }
+    }
+
+    #[test]
+    fn warp_sampled_mode_skips_execution() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let launch = vadd_launch(&mut gpu, 8, 4);
+        let mut ctrl = FixedPrediction(500);
+        let result = gpu.run_kernel_sampled(&launch, &mut ctrl).unwrap();
+        assert_eq!(result.detailed_insts, 0);
+        assert_eq!(result.predicted_warps, 32);
+        // All WGs fit at once on 4 CUs (8 WGs of 4 warps), so the kernel
+        // time is dispatch + 500.
+        assert!(result.cycles >= 500 && result.cycles < 600, "{}", result.cycles);
+        // no functional execution in warp-sampling
+        assert_eq!(result.functional_insts, 0);
+    }
+
+    /// Controller that bb-samples everything with a per-trace prediction
+    /// proportional to instruction count.
+    struct BbEverything;
+    impl SamplingController for BbEverything {
+        fn dispatch_mode(&mut self) -> WgMode {
+            WgMode::BbSampled
+        }
+        fn predict_warp_bb(&mut self, trace: &WarpTrace) -> Cycle {
+            trace.insts * 10
+        }
+    }
+
+    #[test]
+    fn bb_sampled_mode_executes_functionally() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let launch = vadd_launch(&mut gpu, 8, 4);
+        let mut ctrl = BbEverything;
+        let result = gpu.run_kernel_sampled(&launch, &mut ctrl).unwrap();
+        assert_eq!(result.detailed_insts, 0);
+        assert!(result.functional_insts > 0);
+        // memory effects are committed
+        let c = launch.args[2];
+        assert_eq!(gpu.mem().read_f32(c + 4 * 99), 3.0 * 99.0);
+    }
+
+    /// Controller that skips the kernel outright (kernel-sampling).
+    struct SkipAll;
+    impl SamplingController for SkipAll {
+        fn on_kernel_start(&mut self, _ctx: &mut dyn KernelStartAccess) -> KernelDirective {
+            KernelDirective::Skip {
+                predicted_cycles: 1234,
+                functional_replay: true,
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_skip_charges_predicted_time_and_replays() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let launch = vadd_launch(&mut gpu, 4, 4);
+        let mut ctrl = SkipAll;
+        let result = gpu.run_kernel_sampled(&launch, &mut ctrl).unwrap();
+        assert!(result.skipped);
+        assert_eq!(result.cycles, 1234);
+        assert_eq!(gpu.clock(), 1234);
+        assert!(result.functional_insts > 0);
+        let c = launch.args[2];
+        assert_eq!(gpu.mem().read_f32(c + 4 * 7), 21.0);
+    }
+
+    /// Controller that aborts after the first IPC window (PKA mechanism).
+    struct AbortAfterFirstWindow {
+        windows: u32,
+        ipc_seen: f64,
+    }
+    impl SamplingController for AbortAfterFirstWindow {
+        fn on_ipc_window(&mut self, _start: Cycle, insts: u64, window: Cycle) {
+            self.windows += 1;
+            self.ipc_seen = insts as f64 / window as f64;
+        }
+        fn check_abort(&mut self) -> Option<f64> {
+            (self.windows >= 1 && self.ipc_seen > 0.0).then_some(self.ipc_seen)
+        }
+    }
+
+    #[test]
+    fn ipc_abort_extrapolates() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        // Big enough that one window elapses well before the end.
+        let launch = vadd_launch(&mut gpu, 256, 4);
+        let full = gpu.run_kernel(&launch).unwrap();
+
+        let mut gpu2 = GpuSimulator::new(GpuConfig::tiny());
+        let launch2 = vadd_launch(&mut gpu2, 256, 4);
+        let mut ctrl = AbortAfterFirstWindow {
+            windows: 0,
+            ipc_seen: 0.0,
+        };
+        let sampled = gpu2.run_kernel_sampled(&launch2, &mut ctrl).unwrap();
+        assert!(sampled.detailed_insts < full.detailed_insts);
+        assert!(sampled.functional_insts > 0);
+        // extrapolation is the right order of magnitude
+        let ratio = sampled.cycles as f64 / full.cycles as f64;
+        assert!(ratio > 0.2 && ratio < 5.0, "ratio {ratio}");
+        // functional completion still commits memory
+        let c = launch2.args[2];
+        assert_eq!(gpu2.mem().read_f32(c + 4 * 12345), 3.0 * 12345.0);
+    }
+
+    #[test]
+    fn run_app_accumulates() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let launch = vadd_launch(&mut gpu, 2, 2);
+        let app = gpu
+            .run_app(&[launch.clone(), launch.clone()], &mut NullController)
+            .unwrap();
+        assert_eq!(app.kernels.len(), 2);
+        assert_eq!(app.total_cycles(), gpu.clock());
+    }
+}

@@ -1,0 +1,96 @@
+//! Simulator errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the timing engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A workgroup needs more wavefront slots than one CU provides.
+    WorkgroupTooLarge {
+        /// Warps requested per workgroup.
+        warps_per_wg: u32,
+        /// Wavefront slots per CU.
+        capacity: u32,
+    },
+    /// A workgroup requests more LDS than one CU provides.
+    LdsOverflow {
+        /// Bytes requested.
+        requested: u32,
+        /// Bytes available per CU.
+        available: u32,
+    },
+    /// A warp exceeded the per-warp instruction cap (runaway loop).
+    InstLimitExceeded {
+        /// Global warp id.
+        warp: u64,
+        /// The configured cap.
+        limit: u64,
+    },
+    /// The launch has zero workgroups or zero warps per workgroup.
+    EmptyLaunch,
+    /// Device memory allocation failed.
+    OutOfDeviceMemory(gpu_mem::AllocError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::WorkgroupTooLarge {
+                warps_per_wg,
+                capacity,
+            } => write!(
+                f,
+                "workgroup of {warps_per_wg} warps exceeds CU capacity of {capacity} slots"
+            ),
+            SimError::LdsOverflow {
+                requested,
+                available,
+            } => write!(f, "workgroup requests {requested} LDS bytes, CU has {available}"),
+            SimError::InstLimitExceeded { warp, limit } => {
+                write!(f, "warp {warp} exceeded the {limit}-instruction cap")
+            }
+            SimError::EmptyLaunch => write!(f, "launch has no warps"),
+            SimError::OutOfDeviceMemory(e) => write!(f, "device memory exhausted: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::OutOfDeviceMemory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gpu_mem::AllocError> for SimError {
+    fn from(e: gpu_mem::AllocError) -> Self {
+        SimError::OutOfDeviceMemory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs: Vec<SimError> = vec![
+            SimError::WorkgroupTooLarge {
+                warps_per_wg: 50,
+                capacity: 40,
+            },
+            SimError::LdsOverflow {
+                requested: 100000,
+                available: 65536,
+            },
+            SimError::InstLimitExceeded { warp: 3, limit: 10 },
+            SimError::EmptyLaunch,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

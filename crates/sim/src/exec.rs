@@ -1,0 +1,707 @@
+//! The warp-level functional interpreter.
+//!
+//! [`step`] executes exactly one instruction of one warp, committing its
+//! architectural effects (registers, memory, LDS) and returning a
+//! [`StepInfo`] the timing engine turns into latency. The same
+//! interpreter drives detailed simulation, fast-forward (functional-only)
+//! execution, and Photon's side-effect-free online tracing (via
+//! [`crate::OverlayMem`]).
+
+use crate::overlay::DataMem;
+use crate::warp::WarpState;
+use gpu_isa::{
+    BranchCond, CmpOp, Inst, InstClass, MaskReg, MemWidth, Program, SAluOp, ScalarSrc, SpecialReg,
+    VAluOp, VectorSrc, LANES,
+};
+use gpu_mem::coalesce_lines;
+
+/// Per-launch values visible to the interpreter.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchEnv<'a> {
+    /// Kernel arguments.
+    pub args: &'a [u64],
+    /// Flat workgroup id of this warp's workgroup.
+    pub wg_id: u32,
+    /// This warp's index within the workgroup.
+    pub warp_in_wg: u32,
+    /// Warps per workgroup.
+    pub warps_per_wg: u32,
+    /// Workgroups in the launch.
+    pub num_wgs: u32,
+}
+
+impl LaunchEnv<'_> {
+    /// The flat global warp id.
+    pub fn global_warp_id(&self) -> u64 {
+        self.wg_id as u64 * self.warps_per_wg as u64 + self.warp_in_wg as u64
+    }
+}
+
+/// Architecturally visible side channel of one executed instruction,
+/// consumed by the timing model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepEffect {
+    /// Pure ALU / control work; latency comes from the instruction class.
+    Alu,
+    /// Global memory access touching the given coalesced line addresses.
+    Mem {
+        /// Unique cache-line addresses (address / 64).
+        lines: Vec<u64>,
+        /// Whether the access was a store.
+        write: bool,
+    },
+    /// Kernel-argument (scalar memory) load.
+    ArgLoad {
+        /// Argument index, for address formation in the timing model.
+        index: u16,
+    },
+    /// LDS access.
+    Lds,
+    /// The warp reached `s_barrier` (PC already advanced past it).
+    Barrier,
+    /// The warp executed `s_endpgm`.
+    End,
+}
+
+/// Result of executing one instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepInfo {
+    /// PC of the executed instruction.
+    pub pc: u32,
+    /// Instruction class (for latency tables and feature counts).
+    pub class: InstClass,
+    /// Whether this is a slow ALU op (divide and friends).
+    pub slow: bool,
+    /// Timing-relevant effect.
+    pub effect: StepEffect,
+}
+
+#[inline]
+fn scalar_src(warp: &WarpState, s: ScalarSrc) -> u64 {
+    match s {
+        ScalarSrc::Reg(r) => warp.sregs[r.index()],
+        ScalarSrc::Imm(v) => v as u64,
+    }
+}
+
+#[inline]
+fn vector_src(warp: &WarpState, s: VectorSrc, lane: usize) -> u32 {
+    match s {
+        VectorSrc::Reg(r) => warp.vregs[r.index()][lane],
+        VectorSrc::Sreg(r) => warp.sregs[r.index()] as u32,
+        VectorSrc::Imm(v) => v,
+        VectorSrc::ImmF32(f) => f.to_bits(),
+        VectorSrc::LaneId => lane as u32,
+    }
+}
+
+fn salu_eval(op: SAluOp, a: u64, b: u64) -> u64 {
+    match op {
+        SAluOp::Add => a.wrapping_add(b),
+        SAluOp::Sub => a.wrapping_sub(b),
+        SAluOp::Mul => a.wrapping_mul(b),
+        SAluOp::Div => a.checked_div(b).unwrap_or(0),
+        SAluOp::Rem => a.checked_rem(b).unwrap_or(0),
+        SAluOp::Shl => a << (b & 63),
+        SAluOp::Shr => a >> (b & 63),
+        SAluOp::And => a & b,
+        SAluOp::Or => a | b,
+        SAluOp::Xor => a ^ b,
+        SAluOp::AndNot => a & !b,
+        SAluOp::Min => a.min(b),
+        SAluOp::Max => a.max(b),
+        SAluOp::Mov => a,
+    }
+}
+
+fn valu_eval(op: VAluOp, a: u32, b: u32) -> u32 {
+    match op {
+        VAluOp::Add => a.wrapping_add(b),
+        VAluOp::Sub => a.wrapping_sub(b),
+        VAluOp::Mul => a.wrapping_mul(b),
+        VAluOp::Div => a.checked_div(b).unwrap_or(0),
+        VAluOp::Rem => a.checked_rem(b).unwrap_or(0),
+        VAluOp::Shl => a << (b & 31),
+        VAluOp::Shr => a >> (b & 31),
+        VAluOp::Ashr => ((a as i32) >> (b & 31)) as u32,
+        VAluOp::And => a & b,
+        VAluOp::Or => a | b,
+        VAluOp::Xor => a ^ b,
+        VAluOp::Min => a.min(b),
+        VAluOp::Max => a.max(b),
+        VAluOp::IMin => ((a as i32).min(b as i32)) as u32,
+        VAluOp::IMax => ((a as i32).max(b as i32)) as u32,
+        VAluOp::Mov => a,
+        VAluOp::FAdd => (f32::from_bits(a) + f32::from_bits(b)).to_bits(),
+        VAluOp::FSub => (f32::from_bits(a) - f32::from_bits(b)).to_bits(),
+        VAluOp::FMul => (f32::from_bits(a) * f32::from_bits(b)).to_bits(),
+        VAluOp::FDiv => (f32::from_bits(a) / f32::from_bits(b)).to_bits(),
+        VAluOp::FMax => f32::from_bits(a).max(f32::from_bits(b)).to_bits(),
+        VAluOp::FMin => f32::from_bits(a).min(f32::from_bits(b)).to_bits(),
+        VAluOp::CvtI2F => ((a as i32) as f32).to_bits(),
+        VAluOp::CvtF2I => (f32::from_bits(a) as i32) as u32,
+    }
+}
+
+fn cmp_i64(op: CmpOp, a: i64, b: i64) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+fn cmp_i32(op: CmpOp, a: i32, b: i32) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+fn cmp_f32(op: CmpOp, a: f32, b: f32) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+fn branch_taken(warp: &WarpState, cond: BranchCond) -> bool {
+    match cond {
+        BranchCond::SccZero => !warp.scc,
+        BranchCond::SccNonZero => warp.scc,
+        BranchCond::ExecZero => warp.exec == 0,
+        BranchCond::ExecNonZero => warp.exec != 0,
+        BranchCond::VccZero => warp.vcc == 0,
+        BranchCond::VccNonZero => warp.vcc != 0,
+    }
+}
+
+/// Executes one instruction of `warp`.
+///
+/// # Panics
+/// Panics if the warp has already ended, on out-of-range LDS accesses,
+/// or on out-of-range argument indices — all indicate workload bugs.
+pub fn step<M: DataMem>(
+    warp: &mut WarpState,
+    program: &Program,
+    mem: &mut M,
+    lds: &mut [u8],
+    env: &LaunchEnv<'_>,
+) -> StepInfo {
+    assert!(!warp.ended, "stepping an ended warp");
+    let pc = warp.pc;
+    let inst = *program.inst(pc);
+    let class = inst.class();
+    let mut slow = false;
+    let mut effect = StepEffect::Alu;
+    let mut next_pc = pc + 1;
+
+    match inst {
+        Inst::SAlu { op, dst, a, b } => {
+            slow = matches!(op, SAluOp::Div | SAluOp::Rem);
+            let r = salu_eval(op, scalar_src(warp, a), scalar_src(warp, b));
+            warp.sregs[dst.index()] = r;
+        }
+        Inst::SCmp { op, a, b } => {
+            warp.scc = cmp_i64(
+                op,
+                scalar_src(warp, a) as i64,
+                scalar_src(warp, b) as i64,
+            );
+        }
+        Inst::SLoadArg { dst, index } => {
+            let idx = index as usize;
+            assert!(
+                idx < env.args.len(),
+                "kernel argument {idx} out of range ({} args)",
+                env.args.len()
+            );
+            warp.sregs[dst.index()] = env.args[idx];
+            effect = StepEffect::ArgLoad { index };
+        }
+        Inst::SGetSpecial { dst, which } => {
+            warp.sregs[dst.index()] = match which {
+                SpecialReg::WgId => env.wg_id as u64,
+                SpecialReg::WarpInWg => env.warp_in_wg as u64,
+                SpecialReg::WarpsPerWg => env.warps_per_wg as u64,
+                SpecialReg::NumWgs => env.num_wgs as u64,
+                SpecialReg::GlobalWarpId => env.global_warp_id(),
+            };
+        }
+        Inst::SReadMask { dst, src } => {
+            warp.sregs[dst.index()] = match src {
+                MaskReg::Exec => warp.exec,
+                MaskReg::Vcc => warp.vcc,
+            };
+        }
+        Inst::SWriteMask { dst, src } => {
+            let v = scalar_src(warp, src);
+            match dst {
+                MaskReg::Exec => warp.exec = v,
+                MaskReg::Vcc => warp.vcc = v,
+            }
+        }
+        Inst::SAndSaveExec { dst } => {
+            warp.sregs[dst.index()] = warp.exec;
+            warp.exec &= warp.vcc;
+        }
+        Inst::VAlu { op, dst, a, b } => {
+            slow = matches!(op, VAluOp::Div | VAluOp::Rem | VAluOp::FDiv);
+            let mut out = warp.vregs[dst.index()];
+            for (lane, slot) in out.iter_mut().enumerate().take(LANES) {
+                if warp.exec & (1u64 << lane) != 0 {
+                    *slot = valu_eval(op, vector_src(warp, a, lane), vector_src(warp, b, lane));
+                }
+            }
+            warp.vregs[dst.index()] = out;
+        }
+        Inst::VFma { dst, a, b, c } => {
+            let mut out = warp.vregs[dst.index()];
+            for (lane, slot) in out.iter_mut().enumerate().take(LANES) {
+                if warp.exec & (1u64 << lane) != 0 {
+                    let fa = f32::from_bits(vector_src(warp, a, lane));
+                    let fb = f32::from_bits(vector_src(warp, b, lane));
+                    let fc = f32::from_bits(vector_src(warp, c, lane));
+                    *slot = (fa * fb + fc).to_bits();
+                }
+            }
+            warp.vregs[dst.index()] = out;
+        }
+        Inst::VCmp { op, a, b, float } => {
+            let mut vcc = 0u64;
+            for lane in 0..LANES {
+                if warp.exec & (1u64 << lane) != 0 {
+                    let va = vector_src(warp, a, lane);
+                    let vb = vector_src(warp, b, lane);
+                    let hit = if float {
+                        cmp_f32(op, f32::from_bits(va), f32::from_bits(vb))
+                    } else {
+                        cmp_i32(op, va as i32, vb as i32)
+                    };
+                    if hit {
+                        vcc |= 1u64 << lane;
+                    }
+                }
+            }
+            warp.vcc = vcc;
+        }
+        Inst::GlobalLoad {
+            dst,
+            base,
+            offset,
+            imm,
+            width,
+        } => {
+            let base_addr = warp.sregs[base.index()].wrapping_add(imm as i64 as u64);
+            let mut addrs = Vec::new();
+            let mut out = warp.vregs[dst.index()];
+            for (lane, slot) in out.iter_mut().enumerate().take(LANES) {
+                if warp.exec & (1u64 << lane) != 0 {
+                    let a = base_addr.wrapping_add(warp.vregs[offset.index()][lane] as u64);
+                    addrs.push(a);
+                    *slot = match width {
+                        MemWidth::B8 => mem.read_u8(a) as u32,
+                        MemWidth::B32 => mem.read_u32(a),
+                    };
+                }
+            }
+            warp.vregs[dst.index()] = out;
+            if !addrs.is_empty() {
+                effect = StepEffect::Mem {
+                    lines: coalesce_lines(addrs, width.bytes()),
+                    write: false,
+                };
+            }
+        }
+        Inst::GlobalStore {
+            src,
+            base,
+            offset,
+            imm,
+            width,
+        } => {
+            let base_addr = warp.sregs[base.index()].wrapping_add(imm as i64 as u64);
+            let mut addrs = Vec::new();
+            for lane in 0..LANES {
+                if warp.exec & (1u64 << lane) != 0 {
+                    let a = base_addr.wrapping_add(warp.vregs[offset.index()][lane] as u64);
+                    addrs.push(a);
+                    let v = warp.vregs[src.index()][lane];
+                    match width {
+                        MemWidth::B8 => mem.write_u8(a, v as u8),
+                        MemWidth::B32 => mem.write_u32(a, v),
+                    }
+                }
+            }
+            if !addrs.is_empty() {
+                effect = StepEffect::Mem {
+                    lines: coalesce_lines(addrs, width.bytes()),
+                    write: true,
+                };
+            }
+        }
+        Inst::LdsLoad { dst, addr, imm } => {
+            let mut out = warp.vregs[dst.index()];
+            for (lane, slot) in out.iter_mut().enumerate().take(LANES) {
+                if warp.exec & (1u64 << lane) != 0 {
+                    let a = (warp.vregs[addr.index()][lane] as i64 + imm as i64) as usize;
+                    assert!(a + 4 <= lds.len(), "LDS read at {a} out of {} bytes", lds.len());
+                    *slot = u32::from_le_bytes([lds[a], lds[a + 1], lds[a + 2], lds[a + 3]]);
+                }
+            }
+            warp.vregs[dst.index()] = out;
+            effect = StepEffect::Lds;
+        }
+        Inst::LdsStore { src, addr, imm } => {
+            for lane in 0..LANES {
+                if warp.exec & (1u64 << lane) != 0 {
+                    let a = (warp.vregs[addr.index()][lane] as i64 + imm as i64) as usize;
+                    assert!(
+                        a + 4 <= lds.len(),
+                        "LDS write at {a} out of {} bytes",
+                        lds.len()
+                    );
+                    lds[a..a + 4].copy_from_slice(&warp.vregs[src.index()][lane].to_le_bytes());
+                }
+            }
+            effect = StepEffect::Lds;
+        }
+        Inst::Branch { target } => {
+            next_pc = target;
+        }
+        Inst::CBranch { cond, target } => {
+            if branch_taken(warp, cond) {
+                next_pc = target;
+            }
+        }
+        Inst::SBarrier => {
+            effect = StepEffect::Barrier;
+        }
+        Inst::SWaitcnt => {}
+        Inst::SEndpgm => {
+            warp.ended = true;
+            effect = StepEffect::End;
+        }
+    }
+
+    warp.pc = next_pc;
+    StepInfo {
+        pc,
+        class,
+        slow,
+        effect,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_isa::KernelBuilder;
+    use gpu_mem::AddressSpace;
+
+    fn env(args: &[u64]) -> LaunchEnv<'_> {
+        LaunchEnv {
+            args,
+            wg_id: 2,
+            warp_in_wg: 1,
+            warps_per_wg: 4,
+            num_wgs: 8,
+        }
+    }
+
+    fn run_to_end(program: &Program, mem: &mut AddressSpace, args: &[u64]) -> WarpState {
+        let mut w = WarpState::new();
+        let mut lds = vec![0u8; 1024];
+        let e = env(args);
+        for _ in 0..100_000 {
+            let info = step(&mut w, program, mem, &mut lds, &e);
+            if info.effect == StepEffect::End {
+                return w;
+            }
+        }
+        panic!("program did not terminate");
+    }
+
+    #[test]
+    fn scalar_arithmetic() {
+        let mut kb = KernelBuilder::new("t");
+        let s = kb.sreg();
+        kb.smov(s, 10i64);
+        kb.salu(SAluOp::Mul, s, s, 7i64);
+        kb.salu(SAluOp::Sub, s, s, 5i64);
+        let p = kb.finish().unwrap();
+        let mut mem = AddressSpace::new();
+        let w = run_to_end(&p, &mut mem, &[]);
+        assert_eq!(w.sregs[s.index()], 65);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        assert_eq!(salu_eval(SAluOp::Div, 5, 0), 0);
+        assert_eq!(salu_eval(SAluOp::Rem, 5, 0), 0);
+        assert_eq!(valu_eval(VAluOp::Div, 5, 0), 0);
+        assert_eq!(valu_eval(VAluOp::Rem, 5, 0), 0);
+    }
+
+    #[test]
+    fn float_ops_roundtrip_bits() {
+        let a = 1.5f32.to_bits();
+        let b = 2.0f32.to_bits();
+        assert_eq!(f32::from_bits(valu_eval(VAluOp::FAdd, a, b)), 3.5);
+        assert_eq!(f32::from_bits(valu_eval(VAluOp::FMul, a, b)), 3.0);
+        assert_eq!(valu_eval(VAluOp::CvtF2I, 3.7f32.to_bits(), 0), 3);
+        assert_eq!(f32::from_bits(valu_eval(VAluOp::CvtI2F, -2i32 as u32, 0)), -2.0);
+    }
+
+    #[test]
+    fn special_registers() {
+        let mut kb = KernelBuilder::new("t");
+        let a = kb.sreg();
+        let b = kb.sreg();
+        kb.special(a, SpecialReg::WgId);
+        kb.special(b, SpecialReg::GlobalWarpId);
+        let p = kb.finish().unwrap();
+        let mut mem = AddressSpace::new();
+        let w = run_to_end(&p, &mut mem, &[]);
+        assert_eq!(w.sregs[a.index()], 2);
+        assert_eq!(w.sregs[b.index()], 2 * 4 + 1);
+    }
+
+    #[test]
+    fn arg_loads() {
+        let mut kb = KernelBuilder::new("t");
+        let s = kb.sreg();
+        kb.load_arg(s, 1);
+        let p = kb.finish().unwrap();
+        let mut mem = AddressSpace::new();
+        let w = run_to_end(&p, &mut mem, &[7, 0xfeed]);
+        assert_eq!(w.sregs[s.index()], 0xfeed);
+    }
+
+    #[test]
+    fn global_memory_roundtrip_and_coalescing() {
+        // Each lane stores its lane id at buf + 4*lane, then loads it back.
+        let mut kb = KernelBuilder::new("t");
+        let buf = kb.sreg();
+        kb.load_arg(buf, 0);
+        let off = kb.vreg();
+        kb.valu(VAluOp::Shl, off, VectorSrc::LaneId, VectorSrc::Imm(2));
+        let v = kb.vreg();
+        kb.vmov(v, VectorSrc::LaneId);
+        kb.global_store(v, buf, off, 0, MemWidth::B32);
+        let r = kb.vreg();
+        kb.global_load(r, buf, off, 0, MemWidth::B32);
+        let p = kb.finish().unwrap();
+
+        let mut mem = AddressSpace::new();
+        let mut w = WarpState::new();
+        let mut lds = vec![0u8; 16];
+        let args = [0x10000u64];
+        let e = env(&args);
+        // step: load_arg, shl, mov
+        for _ in 0..3 {
+            step(&mut w, &p, &mut mem, &mut lds, &e);
+        }
+        let st = step(&mut w, &p, &mut mem, &mut lds, &e);
+        match st.effect {
+            StepEffect::Mem { lines, write } => {
+                assert!(write);
+                // 64 lanes * 4B = 256B = 4 lines
+                assert_eq!(lines.len(), 4);
+            }
+            other => panic!("expected store effect, got {other:?}"),
+        }
+        let ld = step(&mut w, &p, &mut mem, &mut lds, &e);
+        assert!(matches!(ld.effect, StepEffect::Mem { write: false, .. }));
+        for lane in 0..LANES {
+            assert_eq!(w.vregs[r.index()][lane], lane as u32);
+            assert_eq!(mem.read_u32(0x10000 + 4 * lane as u64), lane as u32);
+        }
+    }
+
+    #[test]
+    fn exec_mask_disables_lanes() {
+        let mut kb = KernelBuilder::new("t");
+        let v = kb.vreg();
+        kb.vmov(v, VectorSrc::Imm(1));
+        // only lanes < 8 active for the next op
+        kb.vcmp(CmpOp::Lt, VectorSrc::LaneId, VectorSrc::Imm(8), false);
+        kb.if_vcc(|kb| {
+            kb.vmov(v, VectorSrc::Imm(9));
+        });
+        let p = kb.finish().unwrap();
+        let mut mem = AddressSpace::new();
+        let w = run_to_end(&p, &mut mem, &[]);
+        for lane in 0..LANES {
+            let expect = if lane < 8 { 9 } else { 1 };
+            assert_eq!(w.vregs[v.index()][lane], expect, "lane {lane}");
+        }
+        // exec restored
+        assert_eq!(w.exec, u64::MAX);
+    }
+
+    #[test]
+    fn if_else_covers_both_sides() {
+        let mut kb = KernelBuilder::new("t");
+        let v = kb.vreg();
+        kb.vcmp(CmpOp::Lt, VectorSrc::LaneId, VectorSrc::Imm(32), false);
+        kb.if_vcc_else(
+            |kb| {
+                kb.vmov(v, VectorSrc::Imm(100));
+            },
+            |kb| {
+                kb.vmov(v, VectorSrc::Imm(200));
+            },
+        );
+        let p = kb.finish().unwrap();
+        let mut mem = AddressSpace::new();
+        let w = run_to_end(&p, &mut mem, &[]);
+        for lane in 0..LANES {
+            let expect = if lane < 32 { 100 } else { 200 };
+            assert_eq!(w.vregs[v.index()][lane], expect, "lane {lane}");
+        }
+        assert_eq!(w.exec, u64::MAX);
+    }
+
+    #[test]
+    fn lane_while_iterates_per_lane() {
+        // v = lane_id; while v > 0 { v -= 1; acc += 1 } → acc = lane_id
+        let mut kb = KernelBuilder::new("t");
+        let v = kb.vreg();
+        let acc = kb.vreg();
+        kb.vmov(v, VectorSrc::LaneId);
+        kb.vmov(acc, VectorSrc::Imm(0));
+        kb.lane_while(
+            |kb| {
+                kb.vcmp(CmpOp::Gt, VectorSrc::Reg(v), VectorSrc::Imm(0), false);
+            },
+            |kb| {
+                kb.valu(VAluOp::Sub, v, VectorSrc::Reg(v), VectorSrc::Imm(1));
+                kb.valu(VAluOp::Add, acc, VectorSrc::Reg(acc), VectorSrc::Imm(1));
+            },
+        );
+        let p = kb.finish().unwrap();
+        let mut mem = AddressSpace::new();
+        let w = run_to_end(&p, &mut mem, &[]);
+        for lane in 0..LANES {
+            assert_eq!(w.vregs[acc.index()][lane], lane as u32, "lane {lane}");
+        }
+        assert_eq!(w.exec, u64::MAX);
+    }
+
+    #[test]
+    fn for_uniform_counts() {
+        let mut kb = KernelBuilder::new("t");
+        let i = kb.sreg();
+        let acc = kb.sreg();
+        kb.smov(acc, 0i64);
+        kb.for_uniform(i, 3i64, 10i64, |kb| {
+            kb.salu(SAluOp::Add, acc, acc, ScalarSrc::Reg(i));
+        });
+        let p = kb.finish().unwrap();
+        let mut mem = AddressSpace::new();
+        let w = run_to_end(&p, &mut mem, &[]);
+        assert_eq!(w.sregs[acc.index()], (3..10).sum::<u64>());
+    }
+
+    #[test]
+    fn lds_roundtrip() {
+        let mut kb = KernelBuilder::new("t");
+        let addr = kb.vreg();
+        kb.valu(VAluOp::Shl, addr, VectorSrc::LaneId, VectorSrc::Imm(2));
+        let v = kb.vreg();
+        kb.valu(VAluOp::Mul, v, VectorSrc::LaneId, VectorSrc::Imm(3));
+        kb.lds_store(v, addr, 0);
+        let r = kb.vreg();
+        kb.lds_load(r, addr, 0);
+        let p = kb.finish().unwrap();
+        let mut mem = AddressSpace::new();
+        let mut w = WarpState::new();
+        let mut lds = vec![0u8; 64 * 4];
+        let args: [u64; 0] = [];
+        let e = env(&args);
+        while !w.ended {
+            step(&mut w, &p, &mut mem, &mut lds, &e);
+        }
+        for lane in 0..LANES {
+            assert_eq!(w.vregs[r.index()][lane], 3 * lane as u32);
+        }
+    }
+
+    #[test]
+    fn byte_memory_access() {
+        let mut kb = KernelBuilder::new("t");
+        let buf = kb.sreg();
+        kb.load_arg(buf, 0);
+        let off = kb.vreg();
+        kb.vmov(off, VectorSrc::LaneId);
+        let v = kb.vreg();
+        kb.valu(VAluOp::Add, v, VectorSrc::LaneId, VectorSrc::Imm(0x41));
+        kb.global_store(v, buf, off, 0, MemWidth::B8);
+        let r = kb.vreg();
+        kb.global_load(r, buf, off, 0, MemWidth::B8);
+        let p = kb.finish().unwrap();
+        let mut mem = AddressSpace::new();
+        let w = run_to_end(&p, &mut mem, &[0x2000]);
+        assert_eq!(mem.read_u8(0x2000), 0x41);
+        assert_eq!(w.vregs[r.index()][1], 0x42);
+    }
+
+    #[test]
+    #[should_panic(expected = "stepping an ended warp")]
+    fn stepping_ended_warp_panics() {
+        let p = KernelBuilder::new("t").finish().unwrap();
+        let mut mem = AddressSpace::new();
+        let mut w = WarpState::new();
+        let mut lds = vec![];
+        let args: [u64; 0] = [];
+        let e = env(&args);
+        step(&mut w, &p, &mut mem, &mut lds, &e); // endpgm
+        step(&mut w, &p, &mut mem, &mut lds, &e); // panics
+    }
+
+    #[test]
+    fn masked_out_memory_access_is_pure_alu() {
+        let mut kb = KernelBuilder::new("t");
+        let buf = kb.sreg();
+        kb.load_arg(buf, 0);
+        let off = kb.vreg();
+        let dst = kb.vreg();
+        kb.global_load(dst, buf, off, 0, MemWidth::B32);
+        let p = kb.finish().unwrap();
+        let mut mem = AddressSpace::new();
+        let mut w = WarpState::new();
+        w.exec = 0; // all lanes off
+        let mut lds = vec![];
+        let args = [64u64];
+        let e = env(&args);
+        step(&mut w, &p, &mut mem, &mut lds, &e); // arg
+        let info = step(&mut w, &p, &mut mem, &mut lds, &e);
+        assert_eq!(info.effect, StepEffect::Alu);
+    }
+
+    #[test]
+    fn sreg_broadcast_into_vector() {
+        let mut kb = KernelBuilder::new("t");
+        let s = kb.sreg();
+        kb.smov(s, 0xabcd_ef01_2345_6789u64 as i64);
+        let v = kb.vreg();
+        kb.vmov(v, VectorSrc::Sreg(s));
+        let p = kb.finish().unwrap();
+        let mut mem = AddressSpace::new();
+        let w = run_to_end(&p, &mut mem, &[]);
+        // only the low 32 bits broadcast
+        assert_eq!(w.vregs[v.index()][17], 0x2345_6789);
+    }
+}

@@ -1,0 +1,60 @@
+//! # gpu-sim
+//!
+//! A cycle-level GPU timing simulator plus warp-level functional
+//! emulator — the MGPUSim-like substrate the Photon reproduction runs
+//! on. See [`GpuSimulator`] for the main entry point and
+//! [`SamplingController`] for the hook surface sampling methodologies
+//! (Photon, PKA) plug into.
+//!
+//! # Example: full detailed simulation
+//!
+//! ```
+//! use gpu_isa::{Kernel, KernelBuilder, KernelLaunch, MemWidth, VAluOp, VectorSrc};
+//! use gpu_sim::{GpuConfig, GpuSimulator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+//! let out = gpu.alloc_buffer(4 * 64)?;
+//!
+//! let mut kb = KernelBuilder::new("iota");
+//! let s = kb.sreg();
+//! kb.load_arg(s, 0);
+//! let off = kb.vreg();
+//! kb.valu(VAluOp::Shl, off, VectorSrc::LaneId, VectorSrc::Imm(2));
+//! let v = kb.vreg();
+//! kb.vmov(v, VectorSrc::LaneId);
+//! kb.global_store(v, s, off, 0, MemWidth::B32);
+//!
+//! let launch = KernelLaunch::new(Kernel::new(kb.finish()?), 1, 1, vec![out]);
+//! let result = gpu.run_kernel(&launch)?;
+//! assert!(result.cycles > 0);
+//! assert_eq!(gpu.mem().read_u32(out + 4 * 63), 63);
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+mod controller;
+mod engine;
+mod error;
+mod exec;
+mod functional;
+mod overlay;
+mod result;
+mod warp;
+
+pub use config::{GpuConfig, LatencyConfig};
+pub use controller::{
+    BbRecord, KernelDirective, KernelStartAccess, NullController, Recorder, SamplingController,
+    WarpRecord, WgMode,
+};
+pub use engine::GpuSimulator;
+pub use error::SimError;
+pub use exec::{step, LaunchEnv, StepEffect, StepInfo};
+pub use functional::{run_wg_functional, trace_warp_isolated};
+pub use overlay::{DataMem, OverlayMem};
+pub use result::{AppResult, KernelResult};
+pub use warp::{WarpState, WarpTrace};
+
+/// A simulation cycle count (re-exported from [`gpu_mem`]).
+pub type Cycle = gpu_mem::Cycle;

@@ -1,0 +1,144 @@
+//! Memory backends for functional execution.
+//!
+//! Detailed and fast-forward execution commit to the real
+//! [`AddressSpace`]; Photon's *online analysis* traces a sample of warps
+//! that will still be simulated later, so those traces run against a
+//! copy-on-write [`OverlayMem`] and leave no side effects.
+
+use gpu_mem::AddressSpace;
+use std::collections::HashMap;
+
+/// A byte-addressable data memory the functional interpreter can run on.
+pub trait DataMem {
+    /// Reads one byte (untouched memory reads zero).
+    fn read_u8(&self, addr: u64) -> u8;
+    /// Reads a little-endian `u32`.
+    fn read_u32(&self, addr: u64) -> u32;
+    /// Reads a little-endian `u64`.
+    fn read_u64(&self, addr: u64) -> u64;
+    /// Writes one byte.
+    fn write_u8(&mut self, addr: u64, value: u8);
+    /// Writes a little-endian `u32`.
+    fn write_u32(&mut self, addr: u64, value: u32);
+}
+
+impl DataMem for AddressSpace {
+    fn read_u8(&self, addr: u64) -> u8 {
+        AddressSpace::read_u8(self, addr)
+    }
+    fn read_u32(&self, addr: u64) -> u32 {
+        AddressSpace::read_u32(self, addr)
+    }
+    fn read_u64(&self, addr: u64) -> u64 {
+        AddressSpace::read_u64(self, addr)
+    }
+    fn write_u8(&mut self, addr: u64, value: u8) {
+        AddressSpace::write_u8(self, addr, value)
+    }
+    fn write_u32(&mut self, addr: u64, value: u32) {
+        AddressSpace::write_u32(self, addr, value)
+    }
+}
+
+/// Copy-on-write view over an [`AddressSpace`]: reads fall through to
+/// the base, writes stay in the overlay and are discarded with it.
+///
+/// # Example
+/// ```
+/// use gpu_mem::AddressSpace;
+/// use gpu_sim::{DataMem, OverlayMem};
+/// let mut base = AddressSpace::new();
+/// base.write_u32(0, 7);
+/// let mut ov = OverlayMem::new(&base);
+/// ov.write_u32(0, 99);
+/// assert_eq!(ov.read_u32(0), 99);
+/// assert_eq!(base.read_u32(0), 7); // base untouched
+/// ```
+#[derive(Debug)]
+pub struct OverlayMem<'a> {
+    base: &'a AddressSpace,
+    writes: HashMap<u64, u8>,
+}
+
+impl<'a> OverlayMem<'a> {
+    /// Creates an empty overlay over `base`.
+    pub fn new(base: &'a AddressSpace) -> Self {
+        OverlayMem {
+            base,
+            writes: HashMap::new(),
+        }
+    }
+
+    /// Number of shadowed bytes.
+    pub fn dirty_bytes(&self) -> usize {
+        self.writes.len()
+    }
+}
+
+impl DataMem for OverlayMem<'_> {
+    fn read_u8(&self, addr: u64) -> u8 {
+        match self.writes.get(&addr) {
+            Some(b) => *b,
+            None => self.base.read_u8(addr),
+        }
+    }
+
+    fn read_u32(&self, addr: u64) -> u32 {
+        let mut b = [0u8; 4];
+        for (i, byte) in b.iter_mut().enumerate() {
+            *byte = self.read_u8(addr + i as u64);
+        }
+        u32::from_le_bytes(b)
+    }
+
+    fn read_u64(&self, addr: u64) -> u64 {
+        (self.read_u32(addr) as u64) | ((self.read_u32(addr + 4) as u64) << 32)
+    }
+
+    fn write_u8(&mut self, addr: u64, value: u8) {
+        self.writes.insert(addr, value);
+    }
+
+    fn write_u32(&mut self, addr: u64, value: u32) {
+        for (i, byte) in value.to_le_bytes().iter().enumerate() {
+            self.writes.insert(addr + i as u64, *byte);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlay_reads_through() {
+        let mut base = AddressSpace::new();
+        base.write_u32(100, 0xabcd);
+        let ov = OverlayMem::new(&base);
+        assert_eq!(ov.read_u32(100), 0xabcd);
+        assert_eq!(ov.read_u64(100), 0xabcd);
+    }
+
+    #[test]
+    fn overlay_writes_shadow_partially() {
+        let mut base = AddressSpace::new();
+        base.write_u32(0, 0xff00ff00);
+        let mut ov = OverlayMem::new(&base);
+        ov.write_u8(1, 0xaa); // shadow one byte in the middle
+        assert_eq!(ov.read_u32(0), 0xff00aa00);
+        assert_eq!(ov.dirty_bytes(), 1);
+    }
+
+    #[test]
+    fn overlay_discard_leaves_base() {
+        let mut base = AddressSpace::new();
+        {
+            let mut ov = OverlayMem::new(&base);
+            ov.write_u32(8, 1234);
+            assert_eq!(ov.read_u32(8), 1234);
+        }
+        assert_eq!(base.read_u32(8), 0);
+        base.write_u32(8, 5);
+        assert_eq!(base.read_u32(8), 5);
+    }
+}

@@ -1,0 +1,136 @@
+//! Kernel and application results.
+
+use gpu_mem::{Cycle, MemStats};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one kernel execution (detailed, sampled, or skipped).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelResult {
+    /// Kernel name.
+    pub name: String,
+    /// Simulated kernel execution time in cycles (the paper's "Sim
+    /// Time" metric).
+    pub cycles: Cycle,
+    /// Cycle at which the kernel started.
+    pub start_cycle: Cycle,
+    /// Instructions executed in detailed mode.
+    pub detailed_insts: u64,
+    /// Instructions executed functionally only (fast-forward, traces).
+    pub functional_insts: u64,
+    /// Warps in the launch.
+    pub total_warps: u64,
+    /// Warps that ran in detailed mode.
+    pub detailed_warps: u64,
+    /// Warps whose duration was predicted.
+    pub predicted_warps: u64,
+    /// Detailed instructions issued per IPC window.
+    pub ipc_timeline: Vec<u64>,
+    /// Width of one IPC window in cycles.
+    pub ipc_window: Cycle,
+    /// Whether the kernel was skipped entirely (kernel-sampling).
+    pub skipped: bool,
+    /// Memory-system activity of this kernel (detailed accesses only).
+    pub mem: MemStats,
+}
+
+impl KernelResult {
+    /// Overall detailed-mode IPC (zero if no cycles elapsed).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.detailed_insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// IPC per window, for the paper's Figure 1 style plots.
+    pub fn ipc_series(&self) -> Vec<f64> {
+        self.ipc_timeline
+            .iter()
+            .map(|&n| n as f64 / self.ipc_window as f64)
+            .collect()
+    }
+
+    /// Fraction of warps that were predicted rather than simulated.
+    pub fn sampled_fraction(&self) -> f64 {
+        if self.total_warps == 0 {
+            0.0
+        } else {
+            self.predicted_warps as f64 / self.total_warps as f64
+        }
+    }
+}
+
+/// Aggregate over a multi-kernel application run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AppResult {
+    /// Per-kernel results in launch order.
+    pub kernels: Vec<KernelResult>,
+}
+
+impl AppResult {
+    /// Sum of kernel execution times.
+    pub fn total_cycles(&self) -> Cycle {
+        self.kernels.iter().map(|k| k.cycles).sum()
+    }
+
+    /// Sum of detailed instructions.
+    pub fn total_detailed_insts(&self) -> u64 {
+        self.kernels.iter().map(|k| k.detailed_insts).sum()
+    }
+
+    /// Sum of functional-only instructions.
+    pub fn total_functional_insts(&self) -> u64 {
+        self.kernels.iter().map(|k| k.functional_insts).sum()
+    }
+
+    /// Number of kernels skipped by kernel-sampling.
+    pub fn skipped_kernels(&self) -> usize {
+        self.kernels.iter().filter(|k| k.skipped).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kr(cycles: Cycle, insts: u64) -> KernelResult {
+        KernelResult {
+            name: "k".into(),
+            cycles,
+            start_cycle: 0,
+            detailed_insts: insts,
+            functional_insts: 0,
+            total_warps: 10,
+            detailed_warps: 10,
+            predicted_warps: 0,
+            ipc_timeline: vec![],
+            ipc_window: 2048,
+            skipped: false,
+            mem: MemStats::default(),
+        }
+    }
+
+    #[test]
+    fn ipc_computes() {
+        assert_eq!(kr(100, 250).ipc(), 2.5);
+        assert_eq!(kr(0, 250).ipc(), 0.0);
+    }
+
+    #[test]
+    fn app_totals() {
+        let app = AppResult {
+            kernels: vec![kr(10, 5), kr(20, 7)],
+        };
+        assert_eq!(app.total_cycles(), 30);
+        assert_eq!(app.total_detailed_insts(), 12);
+        assert_eq!(app.skipped_kernels(), 0);
+    }
+
+    #[test]
+    fn sampled_fraction() {
+        let mut k = kr(1, 1);
+        k.predicted_warps = 5;
+        assert_eq!(k.sampled_fraction(), 0.5);
+    }
+}

@@ -1,0 +1,124 @@
+//! Architectural warp state and functional warp traces.
+
+use gpu_isa::{BasicBlockId, LANES, MAX_SREGS, MAX_VREGS};
+use serde::{Deserialize, Serialize};
+
+/// The architectural state of one warp: PC, scalar and vector register
+/// files, and the mask registers.
+#[derive(Clone)]
+pub struct WarpState {
+    /// Program counter (instruction index).
+    pub pc: u32,
+    /// Scalar registers (64-bit each).
+    pub sregs: [u64; MAX_SREGS],
+    /// Vector registers: `MAX_VREGS` entries of one 32-bit value per lane.
+    pub vregs: Box<[[u32; LANES]]>,
+    /// Lane-enable mask.
+    pub exec: u64,
+    /// Vector condition code.
+    pub vcc: u64,
+    /// Scalar condition code.
+    pub scc: bool,
+    /// Whether `s_endpgm` has executed.
+    pub ended: bool,
+}
+
+impl WarpState {
+    /// Fresh state at PC 0 with all lanes enabled.
+    pub fn new() -> Self {
+        WarpState {
+            pc: 0,
+            sregs: [0; MAX_SREGS],
+            vregs: vec![[0u32; LANES]; MAX_VREGS].into_boxed_slice(),
+            exec: u64::MAX,
+            vcc: 0,
+            scc: false,
+            ended: false,
+        }
+    }
+}
+
+impl Default for WarpState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for WarpState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarpState")
+            .field("pc", &self.pc)
+            .field("exec", &format_args!("{:#018x}", self.exec))
+            .field("vcc", &format_args!("{:#018x}", self.vcc))
+            .field("scc", &self.scc)
+            .field("ended", &self.ended)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The functional trace of one warp: its basic-block execution counts
+/// (the warp's BBV, in the paper's terms) and total instruction count.
+///
+/// Two warps with equal `bb_counts` are of the same *warp type*
+/// (paper §3, Obs 4).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WarpTrace {
+    /// `(block, times executed)` sorted by block id.
+    pub bb_counts: Vec<(BasicBlockId, u32)>,
+    /// Total dynamic instructions.
+    pub insts: u64,
+}
+
+impl WarpTrace {
+    /// Builds a trace from an unsorted multiset of block executions.
+    pub fn from_counts(mut bb_counts: Vec<(BasicBlockId, u32)>, insts: u64) -> Self {
+        bb_counts.sort_unstable_by_key(|(b, _)| *b);
+        WarpTrace { bb_counts, insts }
+    }
+
+    /// Execution count of one block.
+    pub fn count(&self, bb: BasicBlockId) -> u32 {
+        self.bb_counts
+            .binary_search_by_key(&bb, |(b, _)| *b)
+            .map(|i| self.bb_counts[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Total block executions.
+    pub fn total_bb_execs(&self) -> u64 {
+        self.bb_counts.iter().map(|(_, c)| *c as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_enables_all_lanes() {
+        let w = WarpState::new();
+        assert_eq!(w.exec, u64::MAX);
+        assert_eq!(w.pc, 0);
+        assert!(!w.ended);
+        assert_eq!(w.vregs.len(), MAX_VREGS);
+    }
+
+    #[test]
+    fn trace_counts_sorted_and_queryable() {
+        let t = WarpTrace::from_counts(
+            vec![(BasicBlockId(2), 5), (BasicBlockId(0), 1)],
+            42,
+        );
+        assert_eq!(t.bb_counts[0].0, BasicBlockId(0));
+        assert_eq!(t.count(BasicBlockId(2)), 5);
+        assert_eq!(t.count(BasicBlockId(7)), 0);
+        assert_eq!(t.total_bb_execs(), 6);
+    }
+
+    #[test]
+    fn identical_traces_are_equal() {
+        let a = WarpTrace::from_counts(vec![(BasicBlockId(0), 3)], 9);
+        let b = WarpTrace::from_counts(vec![(BasicBlockId(0), 3)], 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,189 @@
+//! Engine resource-management tests: dispatch constraints, LDS
+//! accounting, occupancy effects, and sampling-mode bookkeeping.
+
+use gpu_isa::{Kernel, KernelBuilder, KernelLaunch, SAluOp, VAluOp, VectorSrc};
+use gpu_sim::{GpuConfig, GpuSimulator, Recorder, SimError};
+
+/// A kernel whose warps spin through `iters` scalar-loop iterations.
+fn spin_kernel(iters: i64) -> Kernel {
+    let mut kb = KernelBuilder::new("spin");
+    let i = kb.sreg();
+    let acc = kb.sreg();
+    kb.smov(acc, 0i64);
+    kb.for_uniform(i, 0i64, iters, |kb| {
+        kb.salu(SAluOp::Add, acc, acc, 1i64);
+    });
+    Kernel::new(kb.finish().unwrap())
+}
+
+#[test]
+fn lds_constrains_workgroups_per_cu() {
+    // A WG requesting the full 64 KB LDS: only one resident per CU, so
+    // 8 such WGs on 1 CU serialize ~8x compared to LDS-free WGs.
+    let mut cfg = GpuConfig::tiny();
+    cfg.num_cus = 1;
+    cfg.mem.num_cus = 1;
+
+    let k = spin_kernel(50);
+    let light = KernelLaunch::new(k.clone(), 8, 4, vec![]);
+    let heavy = KernelLaunch::new(k, 8, 4, vec![]).with_lds(64 * 1024);
+
+    let mut gpu = GpuSimulator::new(cfg.clone());
+    let t_light = gpu.run_kernel(&light).unwrap().cycles;
+    let mut gpu = GpuSimulator::new(cfg);
+    let t_heavy = gpu.run_kernel(&heavy).unwrap().cycles;
+    assert!(
+        t_heavy as f64 > 2.0 * t_light as f64,
+        "LDS serialization missing: light {t_light}, heavy {t_heavy}"
+    );
+}
+
+#[test]
+fn max_wgs_per_cu_limits_occupancy() {
+    let mut low = GpuConfig::tiny();
+    low.num_cus = 1;
+    low.mem.num_cus = 1;
+    low.max_wgs_per_cu = 1;
+    let mut high = low.clone();
+    high.max_wgs_per_cu = 8;
+
+    let k = spin_kernel(50);
+    let launch = KernelLaunch::new(k, 8, 1, vec![]);
+    let t_low = GpuSimulator::new(low).run_kernel(&launch).unwrap().cycles;
+    let t_high = GpuSimulator::new(high).run_kernel(&launch).unwrap().cycles;
+    assert!(
+        t_low > t_high,
+        "occupancy cap should slow execution: {t_low} vs {t_high}"
+    );
+}
+
+#[test]
+fn lds_overflow_is_rejected() {
+    let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+    let launch = KernelLaunch::new(spin_kernel(1), 1, 1, vec![]).with_lds(1 << 20);
+    assert!(matches!(
+        gpu.run_kernel(&launch),
+        Err(SimError::LdsOverflow { .. })
+    ));
+}
+
+#[test]
+fn runaway_warp_is_caught() {
+    // An infinite loop: branch back to pc 0 unconditionally.
+    let mut kb = KernelBuilder::new("infinite");
+    let top = kb.label();
+    kb.place(top);
+    let s = kb.sreg();
+    kb.smov(s, 1i64);
+    kb.branch(top);
+    let k = Kernel::new(kb.finish().unwrap());
+    let mut cfg = GpuConfig::tiny();
+    cfg.max_insts_per_warp = 10_000;
+    let mut gpu = GpuSimulator::new(cfg);
+    let launch = KernelLaunch::new(k, 1, 1, vec![]);
+    assert!(matches!(
+        gpu.run_kernel(&launch),
+        Err(SimError::InstLimitExceeded { .. })
+    ));
+}
+
+#[test]
+fn warp_issue_times_are_staggered_by_dispatch() {
+    // The sequential command processor staggers workgroup starts.
+    let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+    let launch = KernelLaunch::new(spin_kernel(10), 32, 1, vec![]);
+    let mut rec = Recorder::new();
+    gpu.run_kernel_sampled(&launch, &mut rec).unwrap();
+    let mut issues: Vec<u64> = rec.warp_records.iter().map(|w| w.issue).collect();
+    issues.sort_unstable();
+    issues.dedup();
+    assert!(
+        issues.len() >= 16,
+        "workgroup dispatch should stagger issue times: {} distinct",
+        issues.len()
+    );
+}
+
+#[test]
+fn bb_records_partition_warp_lifetimes() {
+    // The sum of a warp's basic-block intervals equals its duration —
+    // the invariant bb-sampling predictions rest on.
+    let mut kb = KernelBuilder::new("two_blocks");
+    let i = kb.sreg();
+    let acc = kb.sreg();
+    kb.for_uniform(i, 0i64, 5i64, |kb| {
+        kb.salu(SAluOp::Add, acc, acc, 1i64);
+    });
+    let v = kb.vreg();
+    kb.valu(VAluOp::Add, v, VectorSrc::LaneId, VectorSrc::Imm(1));
+    let k = Kernel::new(kb.finish().unwrap());
+    let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+    let launch = KernelLaunch::new(k, 4, 2, vec![]);
+    let mut rec = Recorder::new();
+    gpu.run_kernel_sampled(&launch, &mut rec).unwrap();
+
+    for w in &rec.warp_records {
+        let bb_sum: u64 = rec
+            .bb_records
+            .iter()
+            .filter(|r| r.warp == w.warp)
+            .map(|r| r.duration())
+            .sum();
+        // the final block ends at the retire event (1 cycle after the
+        // endpgm issues), so allow that one-cycle epsilon
+        assert!(
+            bb_sum.abs_diff(w.duration()) <= 1,
+            "warp {}: bb sum {} vs duration {}",
+            w.warp,
+            bb_sum,
+            w.duration()
+        );
+    }
+}
+
+#[test]
+fn bb_instruction_counts_match_detailed_total() {
+    let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+    let launch = KernelLaunch::new(spin_kernel(7), 4, 2, vec![]);
+    let mut rec = Recorder::new();
+    let result = gpu.run_kernel_sampled(&launch, &mut rec).unwrap();
+    let bb_insts: u64 = rec.bb_records.iter().map(|r| r.insts as u64).sum();
+    assert_eq!(bb_insts, result.detailed_insts);
+}
+
+#[test]
+fn inst_latency_observations_cover_all_executed_classes() {
+    let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+    let launch = KernelLaunch::new(spin_kernel(3), 2, 2, vec![]);
+    let mut rec = Recorder::new();
+    let result = gpu.run_kernel_sampled(&launch, &mut rec).unwrap();
+    assert_eq!(rec.inst_latencies.len() as u64, result.detailed_insts);
+    assert!(rec
+        .inst_latencies
+        .iter()
+        .any(|(c, _)| *c == gpu_isa::InstClass::Scalar));
+    assert!(rec.inst_latencies.iter().all(|(_, l)| *l >= 1));
+}
+
+#[test]
+fn per_kernel_mem_stats_are_deltas() {
+    // two identical kernels: each sees its own (cold-start) counters,
+    // not cumulative ones
+    let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+    let out = gpu.alloc_buffer(4 * 64 * 8).unwrap();
+    let mut kb = KernelBuilder::new("touch");
+    let s = kb.sreg();
+    kb.load_arg(s, 0);
+    let off = kb.vreg();
+    kb.valu(VAluOp::Shl, off, VectorSrc::LaneId, VectorSrc::Imm(2));
+    let v = kb.vreg();
+    kb.global_load(v, s, off, 0, gpu_isa::MemWidth::B32);
+    let k = Kernel::new(kb.finish().unwrap());
+    let launch = KernelLaunch::new(k, 8, 1, vec![out]);
+    let r1 = gpu.run_kernel(&launch).unwrap();
+    let r2 = gpu.run_kernel(&launch).unwrap();
+    assert!(r1.mem.l1v_hits + r1.mem.l1v_misses > 0);
+    // caches flush between kernels: the second run repeats the pattern
+    assert_eq!(r1.mem.l1v_misses, r2.mem.l1v_misses);
+    assert!(r1.mem.l1v_hit_rate() >= 0.0 && r1.mem.l1v_hit_rate() <= 1.0);
+}

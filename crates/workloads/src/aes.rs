@@ -1,0 +1,167 @@
+//! AES-256 encryption (Hetero-Mark).
+//!
+//! Each thread encrypts one 16-byte block held as four 32-bit words. We
+//! implement the T-table formulation real GPU AES kernels use: every
+//! round substitutes each state word through lane-scattered table
+//! lookups and XOR-mixes in a round key. To keep the straight-line
+//! sequence near the ~400 instructions the paper reports, each word
+//! uses two table lookups per round (a documented simplification of the
+//! four-lookup T-table form — the instruction mix, scattered memory
+//! pattern, and fully unrolled straight-line structure are preserved;
+//! the cipher is not interoperable with standard AES).
+
+use crate::app::App;
+use crate::helpers::{alloc_zeroed, guard_tid, rng, tid_and_offset, wg_count};
+use gpu_isa::{Kernel, KernelBuilder, KernelLaunch, MemWidth, VAluOp, VectorSrc, Vreg};
+use gpu_sim::GpuSimulator;
+use rand::Rng;
+
+/// AES-256 rounds.
+pub const ROUNDS: usize = 14;
+
+/// Entries per lookup table (one u32 per byte value).
+const TABLE_WORDS: u64 = 256;
+
+fn aes_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("aes256");
+    let s_in = kb.sreg();
+    let s_out = kb.sreg();
+    let s_t0 = kb.sreg();
+    let s_t1 = kb.sreg();
+    let s_rk = kb.sreg();
+    let s_n = kb.sreg();
+    kb.load_arg(s_in, 0);
+    kb.load_arg(s_out, 1);
+    kb.load_arg(s_t0, 2);
+    kb.load_arg(s_t1, 3);
+    kb.load_arg(s_rk, 4);
+    kb.load_arg(s_n, 5);
+    let (v_tid, _v_off) = tid_and_offset(&mut kb);
+    guard_tid(&mut kb, v_tid, s_n, |kb| {
+        // block byte offset = tid * 16
+        let v_blk = kb.vreg();
+        kb.valu(VAluOp::Shl, v_blk, VectorSrc::Reg(v_tid), VectorSrc::Imm(4));
+        // load state words
+        let w: Vec<Vreg> = (0..4).map(|_| kb.vreg()).collect();
+        for (i, &wi) in w.iter().enumerate() {
+            kb.global_load(wi, s_in, v_blk, 4 * i as i32, MemWidth::B32);
+        }
+        let v_rkoff = kb.vreg();
+        let v_key = kb.vreg();
+        // initial AddRoundKey
+        for (i, &wi) in w.iter().enumerate() {
+            kb.vmov(v_rkoff, VectorSrc::Imm(4 * i as u32));
+            kb.global_load(v_key, s_rk, v_rkoff, 0, MemWidth::B32);
+            kb.valu(VAluOp::Xor, wi, VectorSrc::Reg(wi), VectorSrc::Reg(v_key));
+        }
+        // rounds, fully unrolled (the paper's "long instruction
+        // sequence, about 400 instructions")
+        let v_b = kb.vreg();
+        let v_t = kb.vreg();
+        let v_u = kb.vreg();
+        for round in 1..=ROUNDS {
+            let prev = w.clone();
+            for (i, &wi) in w.iter().enumerate() {
+                // byte 0 of word i through T0
+                kb.valu(VAluOp::And, v_b, VectorSrc::Reg(prev[i]), VectorSrc::Imm(0xff));
+                kb.valu(VAluOp::Shl, v_b, VectorSrc::Reg(v_b), VectorSrc::Imm(2));
+                kb.global_load(v_t, s_t0, v_b, 0, MemWidth::B32);
+                // byte 2 of the next word through T1 (ShiftRows flavor)
+                let nxt = prev[(i + 1) % 4];
+                kb.valu(VAluOp::Shr, v_b, VectorSrc::Reg(nxt), VectorSrc::Imm(16));
+                kb.valu(VAluOp::And, v_b, VectorSrc::Reg(v_b), VectorSrc::Imm(0xff));
+                kb.valu(VAluOp::Shl, v_b, VectorSrc::Reg(v_b), VectorSrc::Imm(2));
+                kb.global_load(v_u, s_t1, v_b, 0, MemWidth::B32);
+                // mix and add round key
+                kb.valu(VAluOp::Xor, v_t, VectorSrc::Reg(v_t), VectorSrc::Reg(v_u));
+                kb.vmov(v_rkoff, VectorSrc::Imm((16 * round + 4 * i) as u32));
+                kb.global_load(v_key, s_rk, v_rkoff, 0, MemWidth::B32);
+                kb.valu(VAluOp::Xor, wi, VectorSrc::Reg(v_t), VectorSrc::Reg(v_key));
+            }
+        }
+        // store ciphertext
+        for (i, &wi) in w.iter().enumerate() {
+            kb.global_store(wi, s_out, v_blk, 4 * i as i32, MemWidth::B32);
+        }
+    });
+    Kernel::new(kb.finish().expect("aes kernel is well-formed"))
+}
+
+/// Builds an AES-256 application encrypting one 16-byte block per
+/// thread (`num_warps × 64` blocks).
+pub fn build(gpu: &mut GpuSimulator, num_warps: u64, seed: u64) -> App {
+    let n = num_warps * 64;
+    let mut r = rng(seed);
+    let input = gpu.alloc_buffer(n * 16).expect("device allocation");
+    for i in 0..n * 4 {
+        gpu.mem_mut().write_u32(input + 4 * i, r.gen());
+    }
+    let out = alloc_zeroed(gpu, n * 16);
+    let t0 = gpu.alloc_buffer(TABLE_WORDS * 4).expect("device allocation");
+    let t1 = gpu.alloc_buffer(TABLE_WORDS * 4).expect("device allocation");
+    for i in 0..TABLE_WORDS {
+        gpu.mem_mut().write_u32(t0 + 4 * i, r.gen());
+        gpu.mem_mut().write_u32(t1 + 4 * i, r.gen());
+    }
+    let rk = gpu
+        .alloc_buffer((ROUNDS as u64 + 1) * 16)
+        .expect("device allocation");
+    for i in 0..(ROUNDS as u64 + 1) * 4 {
+        gpu.mem_mut().write_u32(rk + 4 * i, r.gen());
+    }
+    let warps_per_wg = 4;
+    let launch = KernelLaunch::new(
+        aes_kernel(),
+        wg_count(num_warps, warps_per_wg),
+        warps_per_wg,
+        vec![input, out, t0, t1, rk, n],
+    );
+    App::single("AES", launch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, NullController};
+
+    #[test]
+    fn kernel_is_long_straight_line() {
+        let k = aes_kernel();
+        let len = k.program().len();
+        assert!(
+            (300..900).contains(&len),
+            "AES kernel should be a few hundred instructions, got {len}"
+        );
+        // few basic blocks despite its length (guard blocks only)
+        assert!(k.program().basic_blocks().len() <= 4);
+    }
+
+    #[test]
+    fn encryption_changes_and_is_deterministic() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let app = build(&mut gpu, 2, 99);
+        app.run(&mut gpu, &mut NullController).unwrap();
+        let launch = &app.launches()[0].launch;
+        let (inp, out) = (launch.args[0], launch.args[1]);
+        // ciphertext differs from plaintext and is non-zero
+        let mut diff = 0;
+        for i in 0..32 {
+            if gpu.mem().read_u32(inp + 4 * i) != gpu.mem().read_u32(out + 4 * i) {
+                diff += 1;
+            }
+        }
+        assert!(diff > 28, "only {diff}/32 words changed");
+
+        // same seed → same ciphertext
+        let mut gpu2 = GpuSimulator::new(GpuConfig::tiny());
+        let app2 = build(&mut gpu2, 2, 99);
+        app2.run(&mut gpu2, &mut NullController).unwrap();
+        let out2 = app2.launches()[0].launch.args[1];
+        for i in 0..32 {
+            assert_eq!(
+                gpu.mem().read_u32(out + 4 * i),
+                gpu2.mem().read_u32(out2 + 4 * i)
+            );
+        }
+    }
+}

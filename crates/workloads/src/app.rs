@@ -1,0 +1,120 @@
+//! Multi-kernel applications.
+
+use gpu_isa::KernelLaunch;
+use gpu_sim::{AppResult, GpuSimulator, SamplingController, SimError};
+
+/// One kernel launch tagged with the application "layer" it belongs to
+/// (conv3-1, pool2, fc-6, …) for per-layer reporting (paper Fig. 17).
+#[derive(Debug, Clone)]
+pub struct LabeledLaunch {
+    /// Grouping label.
+    pub layer: String,
+    /// The launch.
+    pub launch: KernelLaunch,
+}
+
+/// A GPU application: a named sequence of kernel launches against a
+/// prepared device memory image.
+#[derive(Debug, Clone)]
+pub struct App {
+    name: String,
+    launches: Vec<LabeledLaunch>,
+}
+
+impl App {
+    /// Creates an application from labeled launches.
+    pub fn new(name: impl Into<String>, launches: Vec<LabeledLaunch>) -> Self {
+        App {
+            name: name.into(),
+            launches,
+        }
+    }
+
+    /// Wraps a single launch as an application (single-kernel
+    /// benchmarks).
+    pub fn single(name: impl Into<String>, launch: KernelLaunch) -> Self {
+        let name = name.into();
+        App {
+            launches: vec![LabeledLaunch {
+                layer: name.clone(),
+                launch,
+            }],
+            name,
+        }
+    }
+
+    /// The application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The labeled launches in order.
+    pub fn launches(&self) -> &[LabeledLaunch] {
+        &self.launches
+    }
+
+    /// Total warps across all launches.
+    pub fn total_warps(&self) -> u64 {
+        self.launches.iter().map(|l| l.launch.total_warps()).sum()
+    }
+
+    /// Runs every kernel in order under `ctrl`.
+    ///
+    /// # Errors
+    /// Stops at and returns the first simulator error.
+    pub fn run(
+        &self,
+        gpu: &mut GpuSimulator,
+        ctrl: &mut dyn SamplingController,
+    ) -> Result<AppResult, SimError> {
+        let mut app = AppResult::default();
+        for l in &self.launches {
+            app.kernels.push(gpu.run_kernel_sampled(&l.launch, ctrl)?);
+        }
+        Ok(app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_isa::{Kernel, KernelBuilder};
+
+    fn launch(warps: u32) -> KernelLaunch {
+        let mut kb = KernelBuilder::new("k");
+        let s = kb.sreg();
+        kb.smov(s, 0i64);
+        KernelLaunch::new(Kernel::new(kb.finish().unwrap()), warps, 1, vec![])
+    }
+
+    #[test]
+    fn single_wraps_one_launch() {
+        let app = App::single("x", launch(4));
+        assert_eq!(app.name(), "x");
+        assert_eq!(app.launches().len(), 1);
+        assert_eq!(app.total_warps(), 4);
+    }
+
+    #[test]
+    fn labels_preserved() {
+        let app = App::new(
+            "net",
+            vec![
+                LabeledLaunch {
+                    layer: "conv1".into(),
+                    launch: launch(2),
+                },
+                LabeledLaunch {
+                    layer: "conv1".into(),
+                    launch: launch(2),
+                },
+                LabeledLaunch {
+                    layer: "fc".into(),
+                    launch: launch(1),
+                },
+            ],
+        );
+        assert_eq!(app.total_warps(), 5);
+        assert_eq!(app.launches()[2].layer, "fc");
+    }
+}

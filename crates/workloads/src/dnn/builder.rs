@@ -1,0 +1,341 @@
+//! Sequential network builder: lowers layers to kernel launches.
+
+use super::kernels;
+use crate::app::{App, LabeledLaunch};
+use crate::helpers::{alloc_f32, rng, wg_count};
+use gpu_isa::{Kernel, KernelLaunch};
+use gpu_sim::GpuSimulator;
+use rand::rngs::StdRng;
+
+/// CHW activation shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shape {
+    /// Channels.
+    pub c: u32,
+    /// Height.
+    pub h: u32,
+    /// Width.
+    pub w: u32,
+}
+
+impl Shape {
+    /// Total elements.
+    pub fn len(&self) -> u64 {
+        self.c as u64 * self.h as u64 * self.w as u64
+    }
+
+    /// Whether the shape is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Output spatial dims of a windowed op, or `None` if the window
+/// exceeds the padded input.
+fn out_dims(shape: Shape, k: u32, stride: u32, pad: u32) -> Option<(u32, u32)> {
+    let oh = (shape.h + 2 * pad).checked_sub(k)? / stride + 1;
+    let ow = (shape.w + 2 * pad).checked_sub(k)? / stride + 1;
+    Some((oh, ow))
+}
+
+/// A saved activation (buffer + shape) for residual connections.
+#[derive(Debug, Clone, Copy)]
+pub struct Checkpoint {
+    /// Device buffer of the activation.
+    pub buf: u64,
+    /// Its shape.
+    pub shape: Shape,
+}
+
+/// Builds a DNN inference as a sequence of kernel launches.
+#[derive(Debug)]
+pub struct NetBuilder<'a> {
+    gpu: &'a mut GpuSimulator,
+    launches: Vec<LabeledLaunch>,
+    cur: u64,
+    shape: Shape,
+    rng: StdRng,
+    warps_per_wg: u32,
+    k_pad: Kernel,
+    k_conv: Kernel,
+    k_pool: Kernel,
+    k_dense: Kernel,
+    k_add: Kernel,
+    k_gap: Kernel,
+}
+
+impl<'a> NetBuilder<'a> {
+    /// Starts a network with a random input activation of `input` shape.
+    pub fn new(gpu: &'a mut GpuSimulator, input: Shape, seed: u64) -> Self {
+        let mut r = rng(seed);
+        let cur = alloc_f32(gpu, input.len(), -1.0, 1.0, &mut r);
+        NetBuilder {
+            gpu,
+            launches: Vec::new(),
+            cur,
+            shape: input,
+            rng: r,
+            warps_per_wg: 4,
+            k_pad: kernels::pad_kernel(),
+            k_conv: kernels::conv_kernel(),
+            k_pool: kernels::maxpool_kernel(),
+            k_dense: kernels::dense_kernel(),
+            k_add: kernels::add_kernel(),
+            k_gap: kernels::gap_kernel(),
+        }
+    }
+
+    /// Current activation shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Saves the current activation for a later residual add.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            buf: self.cur,
+            shape: self.shape,
+        }
+    }
+
+    /// Rewinds the head to a previous checkpoint (the buffers persist,
+    /// so a side branch can be built from there).
+    pub fn rewind(&mut self, cp: Checkpoint) {
+        self.cur = cp.buf;
+        self.shape = cp.shape;
+    }
+
+    fn alloc(&mut self, elems: u64) -> u64 {
+        self.gpu
+            .alloc_buffer(elems.max(1) * 4)
+            .expect("device allocation")
+    }
+
+    fn launch(&mut self, layer: &str, kernel: Kernel, threads: u64, args: Vec<u64>) {
+        let warps = threads.div_ceil(64).max(1);
+        self.launches.push(LabeledLaunch {
+            layer: layer.to_string(),
+            launch: KernelLaunch::new(
+                kernel,
+                wg_count(warps, self.warps_per_wg),
+                self.warps_per_wg,
+                args,
+            ),
+        });
+    }
+
+    /// Emits the padded copy of the current activation; returns the
+    /// padded buffer and padded dims.
+    fn pad(&mut self, layer: &str, pad: u32) -> (u64, u32, u32) {
+        let Shape { c, h, w } = self.shape;
+        let (ph, pw) = (h + 2 * pad, w + 2 * pad);
+        let padded = self.alloc(c as u64 * ph as u64 * pw as u64);
+        let n = self.shape.len();
+        let cur = self.cur;
+        self.launch(
+            layer,
+            self.k_pad.clone(),
+            n,
+            vec![cur, padded, h as u64, w as u64, pad as u64, n],
+        );
+        (padded, ph, pw)
+    }
+
+    /// Convolution layer (optionally with fused ReLU).
+    ///
+    /// # Panics
+    /// Panics if the output spatial size would be zero.
+    pub fn conv(&mut self, layer: &str, out_c: u32, k: u32, stride: u32, pad: u32, relu: bool) {
+        let in_shape = self.shape;
+        let (oh, ow) = out_dims(in_shape, k, stride, pad)
+            .unwrap_or_else(|| panic!("conv {layer}: window {k} exceeds padded input"));
+        let (padded, ph, pw) = self.pad(layer, pad);
+        let wcount = out_c as u64 * in_shape.c as u64 * (k * k) as u64;
+        let weights = alloc_f32(self.gpu, wcount, -0.2, 0.2, &mut self.rng);
+        let out_shape = Shape { c: out_c, h: oh, w: ow };
+        let out = self.alloc(out_shape.len());
+        let n = out_shape.len();
+        self.launch(
+            layer,
+            self.k_conv.clone(),
+            n,
+            vec![
+                padded,
+                weights,
+                out,
+                in_shape.c as u64,
+                ph as u64,
+                pw as u64,
+                (oh * ow) as u64,
+                ow as u64,
+                k as u64,
+                stride as u64,
+                relu as u64,
+                n,
+            ],
+        );
+        self.cur = out;
+        self.shape = out_shape;
+    }
+
+    /// Max-pooling layer.
+    pub fn maxpool(&mut self, layer: &str, k: u32, stride: u32, pad: u32) {
+        let in_shape = self.shape;
+        let (oh, ow) = out_dims(in_shape, k, stride, pad)
+            .unwrap_or_else(|| panic!("pool {layer}: window {k} exceeds padded input"));
+        let (padded, ph, pw) = self.pad(layer, pad);
+        let out_shape = Shape {
+            c: in_shape.c,
+            h: oh,
+            w: ow,
+        };
+        let out = self.alloc(out_shape.len());
+        let n = out_shape.len();
+        self.launch(
+            layer,
+            self.k_pool.clone(),
+            n,
+            vec![
+                padded,
+                out,
+                ph as u64,
+                pw as u64,
+                (oh * ow) as u64,
+                ow as u64,
+                k as u64,
+                stride as u64,
+                n,
+            ],
+        );
+        self.cur = out;
+        self.shape = out_shape;
+    }
+
+    /// Fully connected layer over the flattened activation.
+    pub fn dense(&mut self, layer: &str, out_f: u32, relu: bool) {
+        let in_f = self.shape.len();
+        let weights = alloc_f32(self.gpu, out_f as u64 * in_f, -0.1, 0.1, &mut self.rng);
+        let out = self.alloc(out_f as u64);
+        let cur = self.cur;
+        self.launch(
+            layer,
+            self.k_dense.clone(),
+            out_f as u64,
+            vec![cur, weights, out, in_f, relu as u64, out_f as u64],
+        );
+        self.cur = out;
+        self.shape = Shape { c: out_f, h: 1, w: 1 };
+    }
+
+    /// Residual add of a checkpoint into the current activation.
+    ///
+    /// # Panics
+    /// Panics if the shapes disagree.
+    pub fn add_from(&mut self, layer: &str, skip: Checkpoint, relu: bool) {
+        assert_eq!(
+            skip.shape, self.shape,
+            "residual shapes must match ({:?} vs {:?})",
+            skip.shape, self.shape
+        );
+        let out = self.alloc(self.shape.len());
+        let n = self.shape.len();
+        let cur = self.cur;
+        self.launch(
+            layer,
+            self.k_add.clone(),
+            n,
+            vec![cur, skip.buf, out, relu as u64, n],
+        );
+        self.cur = out;
+    }
+
+    /// Global average pooling to `(c, 1, 1)`.
+    pub fn global_avg_pool(&mut self, layer: &str) {
+        let Shape { c, h, w } = self.shape;
+        let out = self.alloc(c as u64);
+        let cur = self.cur;
+        self.launch(
+            layer,
+            self.k_gap.clone(),
+            c as u64,
+            vec![cur, out, (h * w) as u64, c as u64],
+        );
+        self.cur = out;
+        self.shape = Shape { c, h: 1, w: 1 };
+    }
+
+    /// Finishes the network.
+    pub fn finish(self, name: impl Into<String>) -> App {
+        App::new(name, self.launches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, NullController};
+
+    #[test]
+    fn tiny_net_runs_and_shapes_track() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let mut nb = NetBuilder::new(&mut gpu, Shape { c: 3, h: 8, w: 8 }, 1);
+        nb.conv("c1", 4, 3, 1, 1, true);
+        assert_eq!(nb.shape(), Shape { c: 4, h: 8, w: 8 });
+        nb.maxpool("p1", 2, 2, 0);
+        assert_eq!(nb.shape(), Shape { c: 4, h: 4, w: 4 });
+        nb.global_avg_pool("gap");
+        assert_eq!(nb.shape(), Shape { c: 4, h: 1, w: 1 });
+        nb.dense("fc", 10, false);
+        let app = nb.finish("tiny");
+        app.run(&mut gpu, &mut NullController).unwrap();
+        // fc output exists and is finite
+        let out = app.launches().last().unwrap().launch.args[2];
+        for i in 0..10 {
+            assert!(gpu.mem().read_f32(out + 4 * i).is_finite());
+        }
+    }
+
+    #[test]
+    fn relu_fusion_clamps_conv_output() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let mut nb = NetBuilder::new(&mut gpu, Shape { c: 2, h: 4, w: 4 }, 2);
+        nb.conv("c1", 2, 3, 1, 1, true);
+        let out_buf = {
+            let app_cp = nb.checkpoint();
+            app_cp.buf
+        };
+        let n = nb.shape().len();
+        let app = nb.finish("t");
+        app.run(&mut gpu, &mut NullController).unwrap();
+        for i in 0..n {
+            assert!(gpu.mem().read_f32(out_buf + 4 * i) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn residual_add_sums() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let mut nb = NetBuilder::new(&mut gpu, Shape { c: 2, h: 4, w: 4 }, 3);
+        let input = nb.checkpoint();
+        nb.conv("c1", 2, 3, 1, 1, false);
+        nb.add_from("add", input, false);
+        let final_buf = nb.checkpoint().buf;
+        let app = nb.finish("t");
+        app.run(&mut gpu, &mut NullController).unwrap();
+        // out = conv_out + input elementwise: check one element
+        let conv_out = app.launches()[1].launch.args[2];
+        let got = gpu.mem().read_f32(final_buf);
+        let expect = gpu.mem().read_f32(conv_out) + gpu.mem().read_f32(input.buf);
+        assert!((got - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "residual shapes must match")]
+    fn mismatched_residual_panics() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let mut nb = NetBuilder::new(&mut gpu, Shape { c: 2, h: 4, w: 4 }, 3);
+        let input = nb.checkpoint();
+        nb.conv("c1", 4, 3, 1, 1, false);
+        nb.add_from("add", input, false);
+    }
+}

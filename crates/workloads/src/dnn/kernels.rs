@@ -1,0 +1,382 @@
+//! The GPU kernels DNN layers lower to.
+//!
+//! One program per layer *type*; every layer instance launches the same
+//! program with different argument dimensions, so layers of the same
+//! shape produce identical GPU BBVs (what kernel-sampling matches, §4.3
+//! and Fig. 6) while layers of different shape differ through their
+//! loop trip counts.
+//!
+//! Convolution and pooling read from an explicitly *padded* input copy
+//! (written by [`pad_kernel`]); this keeps the inner loops free of
+//! boundary branches, like the im2col-style kernels real frameworks
+//! launch.
+
+use crate::helpers::{guard_tid, tid_and_offset};
+use gpu_isa::{
+    CmpOp, Kernel, KernelBuilder, MemWidth, SAluOp, ScalarSrc, VAluOp, VectorSrc,
+};
+
+/// Copies a CHW tensor into a zero-initialized padded CHW tensor.
+///
+/// args: `[in, out, h, w, pad, n]` where `n = c·h·w` threads.
+pub fn pad_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("pad_copy");
+    let s_in = kb.sreg();
+    let s_out = kb.sreg();
+    let s_h = kb.sreg();
+    let s_w = kb.sreg();
+    let s_p = kb.sreg();
+    let s_n = kb.sreg();
+    kb.load_arg(s_in, 0);
+    kb.load_arg(s_out, 1);
+    kb.load_arg(s_h, 2);
+    kb.load_arg(s_w, 3);
+    kb.load_arg(s_p, 4);
+    kb.load_arg(s_n, 5);
+    let (v_tid, v_off) = tid_and_offset(&mut kb);
+    guard_tid(&mut kb, v_tid, s_n, |kb| {
+        // hw = h*w; ch = tid / hw; r = tid % hw; y = r / w; x = r % w
+        let s_hw = kb.sreg();
+        kb.salu(SAluOp::Mul, s_hw, s_h, ScalarSrc::Reg(s_w));
+        let v_ch = kb.vreg();
+        let v_r = kb.vreg();
+        let v_y = kb.vreg();
+        let v_x = kb.vreg();
+        kb.valu(VAluOp::Div, v_ch, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_hw));
+        kb.valu(VAluOp::Rem, v_r, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_hw));
+        kb.valu(VAluOp::Div, v_y, VectorSrc::Reg(v_r), VectorSrc::Sreg(s_w));
+        kb.valu(VAluOp::Rem, v_x, VectorSrc::Reg(v_r), VectorSrc::Sreg(s_w));
+        // padded dims
+        let s_pw = kb.sreg();
+        let s_ph = kb.sreg();
+        let s_p2 = kb.sreg();
+        kb.salu(SAluOp::Shl, s_p2, s_p, 1i64);
+        kb.salu(SAluOp::Add, s_pw, s_w, ScalarSrc::Reg(s_p2));
+        kb.salu(SAluOp::Add, s_ph, s_h, ScalarSrc::Reg(s_p2));
+        let s_phw = kb.sreg();
+        kb.salu(SAluOp::Mul, s_phw, s_ph, ScalarSrc::Reg(s_pw));
+        // dst = (ch*phw) + (y+p)*pw + (x+p)
+        let v_dst = kb.vreg();
+        kb.valu(VAluOp::Mul, v_dst, VectorSrc::Reg(v_ch), VectorSrc::Sreg(s_phw));
+        let v_t = kb.vreg();
+        kb.valu(VAluOp::Add, v_t, VectorSrc::Reg(v_y), VectorSrc::Sreg(s_p));
+        kb.valu(VAluOp::Mul, v_t, VectorSrc::Reg(v_t), VectorSrc::Sreg(s_pw));
+        kb.valu(VAluOp::Add, v_dst, VectorSrc::Reg(v_dst), VectorSrc::Reg(v_t));
+        kb.valu(VAluOp::Add, v_dst, VectorSrc::Reg(v_dst), VectorSrc::Reg(v_x));
+        kb.valu(VAluOp::Add, v_dst, VectorSrc::Reg(v_dst), VectorSrc::Sreg(s_p));
+        kb.valu(VAluOp::Shl, v_dst, VectorSrc::Reg(v_dst), VectorSrc::Imm(2));
+        let v = kb.vreg();
+        kb.global_load(v, s_in, v_off, 0, MemWidth::B32);
+        kb.global_store(v, s_out, v_dst, 0, MemWidth::B32);
+    });
+    Kernel::new(kb.finish().expect("pad kernel is well-formed"))
+}
+
+/// Direct convolution over a padded input.
+///
+/// args: `[in_padded, weights, out, in_c, ph, pw, ohw, ow, k, stride,
+/// relu, n]` — `n = out_c·oh·ow` threads, `ohw = oh·ow`.
+pub fn conv_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("conv2d");
+    let s_in = kb.sreg();
+    let s_wt = kb.sreg();
+    let s_out = kb.sreg();
+    let s_inc = kb.sreg();
+    let s_ph = kb.sreg();
+    let s_pw = kb.sreg();
+    let s_ohw = kb.sreg();
+    let s_ow = kb.sreg();
+    let s_k = kb.sreg();
+    let s_stride = kb.sreg();
+    let s_relu = kb.sreg();
+    let s_n = kb.sreg();
+    for (i, r) in [
+        s_in, s_wt, s_out, s_inc, s_ph, s_pw, s_ohw, s_ow, s_k, s_stride, s_relu, s_n,
+    ]
+    .iter()
+    .enumerate()
+    {
+        kb.load_arg(*r, i as u16);
+    }
+    let (v_tid, v_off) = tid_and_offset(&mut kb);
+    guard_tid(&mut kb, v_tid, s_n, |kb| {
+        // oc = tid / ohw; r = tid % ohw; oy = r / ow; ox = r % ow
+        let v_oc = kb.vreg();
+        let v_r = kb.vreg();
+        let v_oy = kb.vreg();
+        let v_ox = kb.vreg();
+        kb.valu(VAluOp::Div, v_oc, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_ohw));
+        kb.valu(VAluOp::Rem, v_r, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_ohw));
+        kb.valu(VAluOp::Div, v_oy, VectorSrc::Reg(v_r), VectorSrc::Sreg(s_ow));
+        kb.valu(VAluOp::Rem, v_ox, VectorSrc::Reg(v_r), VectorSrc::Sreg(s_ow));
+        // base input coords: iy0 = oy*stride, ix0 = ox*stride
+        let v_iy0 = kb.vreg();
+        let v_ix0 = kb.vreg();
+        kb.valu(VAluOp::Mul, v_iy0, VectorSrc::Reg(v_oy), VectorSrc::Sreg(s_stride));
+        kb.valu(VAluOp::Mul, v_ix0, VectorSrc::Reg(v_ox), VectorSrc::Sreg(s_stride));
+        // per-filter weight stride: icks = in_c * k * k; wbase = oc * icks
+        let s_kk = kb.sreg();
+        kb.salu(SAluOp::Mul, s_kk, s_k, ScalarSrc::Reg(s_k));
+        let s_icks = kb.sreg();
+        kb.salu(SAluOp::Mul, s_icks, s_inc, ScalarSrc::Reg(s_kk));
+        let v_wbase = kb.vreg();
+        kb.valu(VAluOp::Mul, v_wbase, VectorSrc::Reg(v_oc), VectorSrc::Sreg(s_icks));
+
+        let v_acc = kb.vreg();
+        kb.vmov(v_acc, VectorSrc::ImmF32(0.0));
+
+        let s_ic = kb.sreg();
+        let s_ky = kb.sreg();
+        let s_kx = kb.sreg();
+        let s_icph = kb.sreg();
+        let s_wrow = kb.sreg();
+        let v_iy = kb.vreg();
+        let v_ioff = kb.vreg();
+        let v_in = kb.vreg();
+        let v_woff = kb.vreg();
+        let v_w = kb.vreg();
+        kb.for_uniform(s_ic, 0i64, ScalarSrc::Reg(s_inc), |kb| {
+            // channel plane base row: ic * ph
+            kb.salu(SAluOp::Mul, s_icph, s_ic, ScalarSrc::Reg(s_ph));
+            kb.for_uniform(s_ky, 0i64, ScalarSrc::Reg(s_k), |kb| {
+                kb.for_uniform(s_kx, 0i64, ScalarSrc::Reg(s_k), |kb| {
+                    // in[(ic*ph + iy0+ky) * pw + ix0+kx]
+                    kb.valu(VAluOp::Add, v_iy, VectorSrc::Reg(v_iy0), VectorSrc::Sreg(s_ky));
+                    kb.valu(VAluOp::Add, v_iy, VectorSrc::Reg(v_iy), VectorSrc::Sreg(s_icph));
+                    kb.valu(VAluOp::Mul, v_ioff, VectorSrc::Reg(v_iy), VectorSrc::Sreg(s_pw));
+                    kb.valu(VAluOp::Add, v_ioff, VectorSrc::Reg(v_ioff), VectorSrc::Reg(v_ix0));
+                    kb.valu(VAluOp::Add, v_ioff, VectorSrc::Reg(v_ioff), VectorSrc::Sreg(s_kx));
+                    kb.valu(VAluOp::Shl, v_ioff, VectorSrc::Reg(v_ioff), VectorSrc::Imm(2));
+                    kb.global_load(v_in, s_in, v_ioff, 0, MemWidth::B32);
+                    // w[wbase + (ic*k + ky)*k + kx]
+                    kb.salu(SAluOp::Mul, s_wrow, s_ic, ScalarSrc::Reg(s_k));
+                    kb.salu(SAluOp::Add, s_wrow, s_wrow, ScalarSrc::Reg(s_ky));
+                    kb.salu(SAluOp::Mul, s_wrow, s_wrow, ScalarSrc::Reg(s_k));
+                    kb.salu(SAluOp::Add, s_wrow, s_wrow, ScalarSrc::Reg(s_kx));
+                    kb.valu(VAluOp::Add, v_woff, VectorSrc::Reg(v_wbase), VectorSrc::Sreg(s_wrow));
+                    kb.valu(VAluOp::Shl, v_woff, VectorSrc::Reg(v_woff), VectorSrc::Imm(2));
+                    kb.global_load(v_w, s_wt, v_woff, 0, MemWidth::B32);
+                    kb.vfma(v_acc, VectorSrc::Reg(v_in), VectorSrc::Reg(v_w), VectorSrc::Reg(v_acc));
+                });
+            });
+        });
+        // optional fused ReLU (uniform branch on the flag)
+        kb.scmp(CmpOp::Ne, s_relu, 0i64);
+        kb.if_scc(|kb| {
+            kb.valu(VAluOp::FMax, v_acc, VectorSrc::Reg(v_acc), VectorSrc::ImmF32(0.0));
+        });
+        kb.global_store(v_acc, s_out, v_off, 0, MemWidth::B32);
+    });
+    Kernel::new(kb.finish().expect("conv kernel is well-formed"))
+}
+
+/// Max pooling over a padded input.
+///
+/// args: `[in_padded, out, ph, pw, ohw, ow, k, stride, n]` with
+/// `n = c·oh·ow` threads.
+pub fn maxpool_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("maxpool");
+    let s_in = kb.sreg();
+    let s_out = kb.sreg();
+    let s_ph = kb.sreg();
+    let s_pw = kb.sreg();
+    let s_ohw = kb.sreg();
+    let s_ow = kb.sreg();
+    let s_k = kb.sreg();
+    let s_stride = kb.sreg();
+    let s_n = kb.sreg();
+    for (i, r) in [s_in, s_out, s_ph, s_pw, s_ohw, s_ow, s_k, s_stride, s_n]
+        .iter()
+        .enumerate()
+    {
+        kb.load_arg(*r, i as u16);
+    }
+    let (v_tid, v_off) = tid_and_offset(&mut kb);
+    guard_tid(&mut kb, v_tid, s_n, |kb| {
+        let v_c = kb.vreg();
+        let v_r = kb.vreg();
+        let v_oy = kb.vreg();
+        let v_ox = kb.vreg();
+        kb.valu(VAluOp::Div, v_c, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_ohw));
+        kb.valu(VAluOp::Rem, v_r, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_ohw));
+        kb.valu(VAluOp::Div, v_oy, VectorSrc::Reg(v_r), VectorSrc::Sreg(s_ow));
+        kb.valu(VAluOp::Rem, v_ox, VectorSrc::Reg(v_r), VectorSrc::Sreg(s_ow));
+        let v_iy0 = kb.vreg();
+        let v_ix0 = kb.vreg();
+        kb.valu(VAluOp::Mul, v_iy0, VectorSrc::Reg(v_oy), VectorSrc::Sreg(s_stride));
+        kb.valu(VAluOp::Mul, v_ix0, VectorSrc::Reg(v_ox), VectorSrc::Sreg(s_stride));
+        let s_phw = kb.sreg();
+        kb.salu(SAluOp::Mul, s_phw, s_ph, ScalarSrc::Reg(s_pw));
+        let v_base = kb.vreg();
+        kb.valu(VAluOp::Mul, v_base, VectorSrc::Reg(v_c), VectorSrc::Sreg(s_phw));
+        let v_acc = kb.vreg();
+        kb.vmov(v_acc, VectorSrc::ImmF32(-3.0e38));
+        let s_ky = kb.sreg();
+        let s_kx = kb.sreg();
+        let v_iy = kb.vreg();
+        let v_ioff = kb.vreg();
+        let v_in = kb.vreg();
+        kb.for_uniform(s_ky, 0i64, ScalarSrc::Reg(s_k), |kb| {
+            kb.for_uniform(s_kx, 0i64, ScalarSrc::Reg(s_k), |kb| {
+                kb.valu(VAluOp::Add, v_iy, VectorSrc::Reg(v_iy0), VectorSrc::Sreg(s_ky));
+                kb.valu(VAluOp::Mul, v_ioff, VectorSrc::Reg(v_iy), VectorSrc::Sreg(s_pw));
+                kb.valu(VAluOp::Add, v_ioff, VectorSrc::Reg(v_ioff), VectorSrc::Reg(v_ix0));
+                kb.valu(VAluOp::Add, v_ioff, VectorSrc::Reg(v_ioff), VectorSrc::Sreg(s_kx));
+                kb.valu(VAluOp::Add, v_ioff, VectorSrc::Reg(v_ioff), VectorSrc::Reg(v_base));
+                kb.valu(VAluOp::Shl, v_ioff, VectorSrc::Reg(v_ioff), VectorSrc::Imm(2));
+                kb.global_load(v_in, s_in, v_ioff, 0, MemWidth::B32);
+                kb.valu(VAluOp::FMax, v_acc, VectorSrc::Reg(v_acc), VectorSrc::Reg(v_in));
+            });
+        });
+        kb.global_store(v_acc, s_out, v_off, 0, MemWidth::B32);
+    });
+    Kernel::new(kb.finish().expect("maxpool kernel is well-formed"))
+}
+
+/// Fully connected layer: `out[of] = Σ_i w[of·in_f + i] · x[i]`.
+///
+/// args: `[x, w, out, in_f, relu, n]` with `n = out_f` threads.
+pub fn dense_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("dense");
+    let s_x = kb.sreg();
+    let s_w = kb.sreg();
+    let s_out = kb.sreg();
+    let s_inf = kb.sreg();
+    let s_relu = kb.sreg();
+    let s_n = kb.sreg();
+    for (i, r) in [s_x, s_w, s_out, s_inf, s_relu, s_n].iter().enumerate() {
+        kb.load_arg(*r, i as u16);
+    }
+    let (v_tid, v_off) = tid_and_offset(&mut kb);
+    guard_tid(&mut kb, v_tid, s_n, |kb| {
+        let v_wbase = kb.vreg();
+        kb.valu(VAluOp::Mul, v_wbase, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_inf));
+        let v_acc = kb.vreg();
+        kb.vmov(v_acc, VectorSrc::ImmF32(0.0));
+        let s_i = kb.sreg();
+        let s_i4 = kb.sreg();
+        let v_xoff = kb.vreg();
+        let v_x = kb.vreg();
+        let v_woff = kb.vreg();
+        let v_w = kb.vreg();
+        kb.for_uniform(s_i, 0i64, ScalarSrc::Reg(s_inf), |kb| {
+            kb.salu(SAluOp::Shl, s_i4, s_i, 2i64);
+            kb.vmov(v_xoff, VectorSrc::Sreg(s_i4));
+            kb.global_load(v_x, s_x, v_xoff, 0, MemWidth::B32);
+            kb.valu(VAluOp::Add, v_woff, VectorSrc::Reg(v_wbase), VectorSrc::Sreg(s_i));
+            kb.valu(VAluOp::Shl, v_woff, VectorSrc::Reg(v_woff), VectorSrc::Imm(2));
+            kb.global_load(v_w, s_w, v_woff, 0, MemWidth::B32);
+            kb.vfma(v_acc, VectorSrc::Reg(v_x), VectorSrc::Reg(v_w), VectorSrc::Reg(v_acc));
+        });
+        kb.scmp(CmpOp::Ne, s_relu, 0i64);
+        kb.if_scc(|kb| {
+            kb.valu(VAluOp::FMax, v_acc, VectorSrc::Reg(v_acc), VectorSrc::ImmF32(0.0));
+        });
+        kb.global_store(v_acc, s_out, v_off, 0, MemWidth::B32);
+    });
+    Kernel::new(kb.finish().expect("dense kernel is well-formed"))
+}
+
+/// Elementwise residual add with optional ReLU.
+///
+/// args: `[a, b, out, relu, n]`.
+pub fn add_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("residual_add");
+    let s_a = kb.sreg();
+    let s_b = kb.sreg();
+    let s_out = kb.sreg();
+    let s_relu = kb.sreg();
+    let s_n = kb.sreg();
+    for (i, r) in [s_a, s_b, s_out, s_relu, s_n].iter().enumerate() {
+        kb.load_arg(*r, i as u16);
+    }
+    let (v_tid, v_off) = tid_and_offset(&mut kb);
+    guard_tid(&mut kb, v_tid, s_n, |kb| {
+        let v_a = kb.vreg();
+        let v_b = kb.vreg();
+        kb.global_load(v_a, s_a, v_off, 0, MemWidth::B32);
+        kb.global_load(v_b, s_b, v_off, 0, MemWidth::B32);
+        kb.valu(VAluOp::FAdd, v_a, VectorSrc::Reg(v_a), VectorSrc::Reg(v_b));
+        kb.scmp(CmpOp::Ne, s_relu, 0i64);
+        kb.if_scc(|kb| {
+            kb.valu(VAluOp::FMax, v_a, VectorSrc::Reg(v_a), VectorSrc::ImmF32(0.0));
+        });
+        kb.global_store(v_a, s_out, v_off, 0, MemWidth::B32);
+    });
+    Kernel::new(kb.finish().expect("add kernel is well-formed"))
+}
+
+/// Global average pooling: one thread per channel.
+///
+/// args: `[in, out, hw, n]` with `n = c` threads.
+pub fn gap_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("global_avg_pool");
+    let s_in = kb.sreg();
+    let s_out = kb.sreg();
+    let s_hw = kb.sreg();
+    let s_n = kb.sreg();
+    for (i, r) in [s_in, s_out, s_hw, s_n].iter().enumerate() {
+        kb.load_arg(*r, i as u16);
+    }
+    let (v_tid, v_off) = tid_and_offset(&mut kb);
+    guard_tid(&mut kb, v_tid, s_n, |kb| {
+        let v_base = kb.vreg();
+        kb.valu(VAluOp::Mul, v_base, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_hw));
+        let v_acc = kb.vreg();
+        kb.vmov(v_acc, VectorSrc::ImmF32(0.0));
+        let s_i = kb.sreg();
+        let v_ioff = kb.vreg();
+        let v_in = kb.vreg();
+        kb.for_uniform(s_i, 0i64, ScalarSrc::Reg(s_hw), |kb| {
+            kb.valu(VAluOp::Add, v_ioff, VectorSrc::Reg(v_base), VectorSrc::Sreg(s_i));
+            kb.valu(VAluOp::Shl, v_ioff, VectorSrc::Reg(v_ioff), VectorSrc::Imm(2));
+            kb.global_load(v_in, s_in, v_ioff, 0, MemWidth::B32);
+            kb.valu(VAluOp::FAdd, v_acc, VectorSrc::Reg(v_acc), VectorSrc::Reg(v_in));
+        });
+        // acc / hw
+        let v_hw = kb.vreg();
+        kb.vmov(v_hw, VectorSrc::Sreg(s_hw));
+        kb.valu(VAluOp::CvtI2F, v_hw, VectorSrc::Reg(v_hw), VectorSrc::Imm(0));
+        kb.valu(VAluOp::FDiv, v_acc, VectorSrc::Reg(v_acc), VectorSrc::Reg(v_hw));
+        kb.global_store(v_acc, s_out, v_off, 0, MemWidth::B32);
+    });
+    Kernel::new(kb.finish().expect("gap kernel is well-formed"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_build() {
+        for (k, min_len) in [
+            (pad_kernel(), 15),
+            (conv_kernel(), 40),
+            (maxpool_kernel(), 25),
+            (dense_kernel(), 20),
+            (add_kernel(), 10),
+            (gap_kernel(), 15),
+        ] {
+            assert!(
+                k.program().len() >= min_len,
+                "{} too short: {}",
+                k.name(),
+                k.program().len()
+            );
+            assert!(k.program().basic_blocks().len() >= 2, "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn loop_kernels_have_back_edges() {
+        for k in [conv_kernel(), dense_kernel(), maxpool_kernel(), gap_kernel()] {
+            let has_backedge = k
+                .program()
+                .insts()
+                .iter()
+                .enumerate()
+                .any(|(pc, i)| i.branch_target().is_some_and(|t| t <= pc as u32));
+            assert!(has_backedge, "{} has no loop", k.name());
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Deep-learning workloads: VGG-16/19 and ResNet-18/34/50/101/152
+//! inference (batch size 1), lowered to GPU kernel launches.
+
+mod builder;
+mod kernels;
+mod models;
+
+pub use builder::{Checkpoint, NetBuilder, Shape};
+pub use kernels::{add_kernel, conv_kernel, dense_kernel, gap_kernel, maxpool_kernel, pad_kernel};
+pub use models::{resnet, vgg, DnnScale, ResNetDepth, VggVariant};

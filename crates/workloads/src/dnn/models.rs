@@ -1,0 +1,264 @@
+//! VGG and ResNet model graphs (paper Table 2, §6.3).
+//!
+//! Layer graphs are faithful to the published architectures — the same
+//! sequence of conv/pool/dense (VGG) and basic/bottleneck residual
+//! blocks (ResNet) — while spatial resolution and channel width are
+//! scaled by [`DnnScale`] so a *full detailed* baseline fits a test
+//! budget (see DESIGN.md "Substitutions"). The kernel-launch count and
+//! the repetition structure kernel-sampling exploits are preserved.
+
+use super::builder::{NetBuilder, Shape};
+use crate::app::App;
+use gpu_sim::GpuSimulator;
+
+/// Scaling knobs for the DNN workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DnnScale {
+    /// Input spatial resolution (paper: 224).
+    pub input_hw: u32,
+    /// Divisor applied to every channel/feature count (1 = paper size).
+    pub channel_div: u32,
+}
+
+impl Default for DnnScale {
+    fn default() -> Self {
+        DnnScale {
+            input_hw: 32,
+            channel_div: 8,
+        }
+    }
+}
+
+impl DnnScale {
+    fn ch(&self, full: u32) -> u32 {
+        (full / self.channel_div).max(4)
+    }
+}
+
+/// VGG variants evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VggVariant {
+    /// VGG-16: conv blocks of 2,2,3,3,3.
+    Vgg16,
+    /// VGG-19: conv blocks of 2,2,4,4,4.
+    Vgg19,
+}
+
+impl VggVariant {
+    fn convs_per_block(self) -> [u32; 5] {
+        match self {
+            VggVariant::Vgg16 => [2, 2, 3, 3, 3],
+            VggVariant::Vgg19 => [2, 2, 4, 4, 4],
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VggVariant::Vgg16 => "VGG-16",
+            VggVariant::Vgg19 => "VGG-19",
+        }
+    }
+}
+
+/// Builds a VGG inference (batch size 1).
+///
+/// # Panics
+/// Panics if `scale.input_hw < 32` (five stride-2 pools need it).
+pub fn vgg(gpu: &mut GpuSimulator, variant: VggVariant, scale: DnnScale, seed: u64) -> App {
+    assert!(scale.input_hw >= 32, "VGG needs input_hw >= 32");
+    let mut nb = NetBuilder::new(
+        gpu,
+        Shape {
+            c: 3,
+            h: scale.input_hw,
+            w: scale.input_hw,
+        },
+        seed,
+    );
+    let widths = [64, 128, 256, 512, 512].map(|c| scale.ch(c));
+    for (block, (&convs, &width)) in variant
+        .convs_per_block()
+        .iter()
+        .zip(widths.iter())
+        .enumerate()
+    {
+        for i in 0..convs {
+            nb.conv(
+                &format!("conv{}-{}", block + 1, i + 1),
+                width,
+                3,
+                1,
+                1,
+                true,
+            );
+        }
+        nb.maxpool(&format!("pool{}", block + 1), 2, 2, 0);
+    }
+    nb.dense("fc-6", scale.ch(4096), true);
+    nb.dense("fc-7", scale.ch(4096), true);
+    nb.dense("fc-8", scale.ch(1000), false);
+    nb.finish(variant.name())
+}
+
+/// ResNet depths evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResNetDepth {
+    /// ResNet-18 (basic blocks 2,2,2,2).
+    R18,
+    /// ResNet-34 (basic blocks 3,4,6,3).
+    R34,
+    /// ResNet-50 (bottlenecks 3,4,6,3).
+    R50,
+    /// ResNet-101 (bottlenecks 3,4,23,3).
+    R101,
+    /// ResNet-152 (bottlenecks 3,8,36,3).
+    R152,
+}
+
+impl ResNetDepth {
+    fn blocks(self) -> [u32; 4] {
+        match self {
+            ResNetDepth::R18 => [2, 2, 2, 2],
+            ResNetDepth::R34 => [3, 4, 6, 3],
+            ResNetDepth::R50 => [3, 4, 6, 3],
+            ResNetDepth::R101 => [3, 4, 23, 3],
+            ResNetDepth::R152 => [3, 8, 36, 3],
+        }
+    }
+
+    fn bottleneck(self) -> bool {
+        matches!(self, ResNetDepth::R50 | ResNetDepth::R101 | ResNetDepth::R152)
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResNetDepth::R18 => "ResNet-18",
+            ResNetDepth::R34 => "ResNet-34",
+            ResNetDepth::R50 => "ResNet-50",
+            ResNetDepth::R101 => "ResNet-101",
+            ResNetDepth::R152 => "ResNet-152",
+        }
+    }
+}
+
+/// Builds a ResNet inference (batch size 1).
+pub fn resnet(gpu: &mut GpuSimulator, depth: ResNetDepth, scale: DnnScale, seed: u64) -> App {
+    let mut nb = NetBuilder::new(
+        gpu,
+        Shape {
+            c: 3,
+            h: scale.input_hw,
+            w: scale.input_hw,
+        },
+        seed,
+    );
+    nb.conv("conv1", scale.ch(64), 7, 2, 3, true);
+    nb.maxpool("pool1", 3, 2, 1);
+
+    let stage_widths = [64u32, 128, 256, 512].map(|c| scale.ch(c));
+    let expansion = if depth.bottleneck() { 4 } else { 1 };
+    for (stage, (&blocks, &width)) in depth
+        .blocks()
+        .iter()
+        .zip(stage_widths.iter())
+        .enumerate()
+    {
+        for block in 0..blocks {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            let label = format!("stage{}-block{}", stage + 1, block + 1);
+            let entry = nb.checkpoint();
+            if depth.bottleneck() {
+                nb.conv(&label, width, 1, 1, 0, true);
+                nb.conv(&label, width, 3, stride, 1, true);
+                nb.conv(&label, width * expansion, 1, 1, 0, false);
+            } else {
+                nb.conv(&label, width, 3, stride, 1, true);
+                nb.conv(&label, width, 3, 1, 1, false);
+            }
+            let main = nb.checkpoint();
+            let skip = if entry.shape != main.shape {
+                // projection shortcut: 1×1 stride-s conv on the entry
+                nb.rewind(entry);
+                nb.conv(&label, width * expansion, 1, stride, 0, false);
+                let s = nb.checkpoint();
+                nb.rewind(main);
+                s
+            } else {
+                entry
+            };
+            nb.add_from(&label, skip, true);
+        }
+    }
+    nb.global_avg_pool("gap");
+    nb.dense("fc", scale.ch(1000), false);
+    nb.finish(depth.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuConfig;
+
+    fn tiny_scale() -> DnnScale {
+        DnnScale {
+            input_hw: 32,
+            channel_div: 16,
+        }
+    }
+
+    fn resnet_scale() -> DnnScale {
+        DnnScale {
+            input_hw: 16,
+            channel_div: 16,
+        }
+    }
+
+    #[test]
+    fn vgg16_layer_structure() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let app = vgg(&mut gpu, VggVariant::Vgg16, tiny_scale(), 1);
+        // 13 convs (each pad+conv) + 5 pools (each pad+pool) + 3 fc
+        assert_eq!(app.launches().len(), 13 * 2 + 5 * 2 + 3);
+        let labels: Vec<&str> = app.launches().iter().map(|l| l.layer.as_str()).collect();
+        assert!(labels.contains(&"conv5-3"));
+        assert!(labels.contains(&"pool3"));
+        assert!(labels.contains(&"fc-8"));
+    }
+
+    #[test]
+    fn vgg19_has_more_convs_than_vgg16() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let a16 = vgg(&mut gpu, VggVariant::Vgg16, tiny_scale(), 1);
+        let a19 = vgg(&mut gpu, VggVariant::Vgg19, tiny_scale(), 1);
+        assert!(a19.launches().len() > a16.launches().len());
+    }
+
+    #[test]
+    fn resnet_kernel_counts_grow_with_depth() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let n18 = resnet(&mut gpu, ResNetDepth::R18, resnet_scale(), 1)
+            .launches()
+            .len();
+        let n50 = resnet(&mut gpu, ResNetDepth::R50, resnet_scale(), 1)
+            .launches()
+            .len();
+        let n152 = resnet(&mut gpu, ResNetDepth::R152, resnet_scale(), 1)
+            .launches()
+            .len();
+        assert!(n18 < n50 && n50 < n152, "{n18} {n50} {n152}");
+        // ResNet-152 has 50 bottleneck blocks: lots of kernels
+        assert!(n152 > 300, "{n152}");
+    }
+
+    #[test]
+    fn resnet18_runs_end_to_end() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let app = resnet(&mut gpu, ResNetDepth::R18, resnet_scale(), 7);
+        app.run(&mut gpu, &mut gpu_sim::NullController).unwrap();
+        let out = app.launches().last().unwrap().launch.args[2];
+        let logits = gpu.mem().read_f32_vec(out, 4);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+}

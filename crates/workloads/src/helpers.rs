@@ -1,0 +1,101 @@
+//! Shared kernel-construction helpers.
+
+use gpu_isa::{CmpOp, KernelBuilder, Sreg, VAluOp, VectorSrc, Vreg};
+use gpu_sim::GpuSimulator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The deterministic RNG used by all workload data generators.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Allocates a device buffer of `n` random `f32` in `[lo, hi)`.
+///
+/// # Panics
+/// Panics if allocation fails (workload setup is infallible by sizing).
+pub fn alloc_f32(gpu: &mut GpuSimulator, n: u64, lo: f32, hi: f32, rng: &mut StdRng) -> u64 {
+    let buf = gpu.alloc_buffer(n * 4).expect("device allocation");
+    for i in 0..n {
+        let v = lo + (hi - lo) * rng.gen::<f32>();
+        gpu.mem_mut().write_f32(buf + 4 * i, v);
+    }
+    buf
+}
+
+/// Allocates a device buffer of `n` zero `f32`s.
+///
+/// # Panics
+/// Panics if allocation fails.
+pub fn alloc_zeroed(gpu: &mut GpuSimulator, bytes: u64) -> u64 {
+    gpu.alloc_buffer(bytes).expect("device allocation")
+}
+
+/// Allocates and fills a `u32` device buffer.
+///
+/// # Panics
+/// Panics if allocation fails.
+pub fn alloc_u32_slice(gpu: &mut GpuSimulator, values: &[u32]) -> u64 {
+    let buf = gpu
+        .alloc_buffer(values.len() as u64 * 4)
+        .expect("device allocation");
+    gpu.mem_mut().write_u32_slice(buf, values);
+    buf
+}
+
+/// Emits the flat thread id into a fresh vreg and its byte offset
+/// (`tid * 4`) into another; returns `(v_tid, v_off)`.
+pub fn tid_and_offset(kb: &mut KernelBuilder) -> (Vreg, Vreg) {
+    let v_tid = kb.vreg();
+    kb.global_thread_id(v_tid);
+    let v_off = kb.vreg();
+    kb.valu(VAluOp::Shl, v_off, VectorSrc::Reg(v_tid), VectorSrc::Imm(2));
+    (v_tid, v_off)
+}
+
+/// Wraps `body` in a bounds guard: only lanes with `tid < s_n` run it.
+pub fn guard_tid(
+    kb: &mut KernelBuilder,
+    v_tid: Vreg,
+    s_n: Sreg,
+    body: impl FnOnce(&mut KernelBuilder),
+) {
+    kb.vcmp(CmpOp::Lt, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_n), false);
+    kb.if_vcc(body);
+}
+
+/// Number of workgroups needed to cover `warps` warps at `warps_per_wg`.
+pub fn wg_count(warps: u64, warps_per_wg: u32) -> u32 {
+    warps.div_ceil(warps_per_wg as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuConfig;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a: u32 = rng(7).gen();
+        let b: u32 = rng(7).gen();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn alloc_f32_in_range() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let mut r = rng(1);
+        let buf = alloc_f32(&mut gpu, 100, -1.0, 1.0, &mut r);
+        for i in 0..100 {
+            let v = gpu.mem().read_f32(buf + 4 * i);
+            assert!((-1.0..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn wg_count_rounds_up() {
+        assert_eq!(wg_count(8, 4), 2);
+        assert_eq!(wg_count(9, 4), 3);
+        assert_eq!(wg_count(1, 4), 1);
+    }
+}

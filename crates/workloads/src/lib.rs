@@ -1,0 +1,41 @@
+//! # gpu-workloads
+//!
+//! Every GPU workload of the Photon paper's Table 2, re-implemented
+//! against the [`gpu_isa`] instruction set:
+//!
+//! * single-kernel benchmarks — [`aes`], [`fir`], [`sc`], [`mm`],
+//!   [`relu`], [`spmv`] (regular and irregular, small and complex),
+//! * real-world applications — [`pagerank`] (`PR-X`) and the [`dnn`]
+//!   module's VGG-16/19 and ResNet-18/34/50/101/152 inference graphs,
+//! * the [`registry`] enumerating benchmarks, suites, and the
+//!   problem-size sweeps the evaluation figures run.
+//!
+//! # Example
+//!
+//! ```
+//! use gpu_sim::{GpuConfig, GpuSimulator, NullController};
+//! use gpu_workloads::registry::Benchmark;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+//! let app = Benchmark::Relu.build(&mut gpu, 64, 42);
+//! let result = app.run(&mut gpu, &mut NullController)?;
+//! assert!(result.total_cycles() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod aes;
+mod app;
+pub mod dnn;
+pub mod fir;
+mod helpers;
+pub mod mm;
+pub mod pagerank;
+pub mod registry;
+pub mod relu;
+pub mod sc;
+pub mod spmv;
+
+pub use app::{App, LabeledLaunch};
+pub use helpers::rng;

@@ -1,0 +1,217 @@
+//! Matrix Multiplication (AMD APP SDK): LDS-tiled `C = A × B`.
+//!
+//! The paper's flagship *complex kernel*: 16×16 LDS tiles, `s_barrier`
+//! synchronization between tile phases, and a long uniform loop over
+//! the K dimension. The barriers make basic blocks end at
+//! synchronization points (§3 Obs 3) and the inter-warp competition
+//! produces the fluctuating IPC of Figure 1b.
+
+use crate::app::App;
+use crate::helpers::{alloc_f32, alloc_zeroed, rng};
+use gpu_isa::{Kernel, KernelBuilder, KernelLaunch, MemWidth, SAluOp, ScalarSrc, SpecialReg, VAluOp, VectorSrc};
+use gpu_sim::GpuSimulator;
+
+/// Tile side: 16×16 threads per workgroup (4 warps).
+pub const TILE: u64 = 16;
+
+/// LDS bytes: two 16×16 f32 tiles.
+const LDS_BYTES: u32 = 2 * (TILE * TILE) as u32 * 4;
+const B_TILE_BASE: i32 = (TILE * TILE) as i32 * 4;
+
+fn mm_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("matrix_multiplication");
+    let s_a = kb.sreg();
+    let s_b = kb.sreg();
+    let s_c = kb.sreg();
+    let s_n = kb.sreg(); // square matrices N×N
+    kb.load_arg(s_a, 0);
+    kb.load_arg(s_b, 1);
+    kb.load_arg(s_c, 2);
+    kb.load_arg(s_n, 3);
+
+    // tiles per row of the matrix
+    let s_tiles = kb.sreg();
+    kb.salu(SAluOp::Div, s_tiles, s_n, TILE as i64);
+    // (tile_y, tile_x) from the flat workgroup id
+    let s_wg = kb.sreg();
+    kb.special(s_wg, SpecialReg::WgId);
+    let s_ty = kb.sreg();
+    let s_tx = kb.sreg();
+    kb.salu(SAluOp::Div, s_ty, s_wg, ScalarSrc::Reg(s_tiles));
+    kb.salu(SAluOp::Rem, s_tx, s_wg, ScalarSrc::Reg(s_tiles));
+
+    // thread index within the workgroup: t = warp_in_wg * 64 + lane
+    let s_wiw = kb.sreg();
+    kb.special(s_wiw, SpecialReg::WarpInWg);
+    let s_wiw64 = kb.sreg();
+    kb.salu(SAluOp::Mul, s_wiw64, s_wiw, 64i64);
+    let v_t = kb.vreg();
+    kb.valu(VAluOp::Add, v_t, VectorSrc::Sreg(s_wiw64), VectorSrc::LaneId);
+    // ty = t / 16, tx = t % 16
+    let v_ty = kb.vreg();
+    let v_tx = kb.vreg();
+    kb.valu(VAluOp::Shr, v_ty, VectorSrc::Reg(v_t), VectorSrc::Imm(4));
+    kb.valu(VAluOp::And, v_tx, VectorSrc::Reg(v_t), VectorSrc::Imm(15));
+
+    // row = tile_y*16 + ty; col = tile_x*16 + tx
+    let s_ty16 = kb.sreg();
+    let s_tx16 = kb.sreg();
+    kb.salu(SAluOp::Mul, s_ty16, s_ty, TILE as i64);
+    kb.salu(SAluOp::Mul, s_tx16, s_tx, TILE as i64);
+    let v_row = kb.vreg();
+    let v_col = kb.vreg();
+    kb.valu(VAluOp::Add, v_row, VectorSrc::Sreg(s_ty16), VectorSrc::Reg(v_ty));
+    kb.valu(VAluOp::Add, v_col, VectorSrc::Sreg(s_tx16), VectorSrc::Reg(v_tx));
+
+    // LDS addresses for this thread's slot: t*4 (A) and B_TILE_BASE + t*4 (B)
+    let v_lds = kb.vreg();
+    kb.valu(VAluOp::Shl, v_lds, VectorSrc::Reg(v_t), VectorSrc::Imm(2));
+
+    let v_acc = kb.vreg();
+    kb.vmov(v_acc, VectorSrc::ImmF32(0.0));
+
+    // row * N (element index of the row start), reused in the loop
+    let v_row_n = kb.vreg();
+    kb.valu(VAluOp::Mul, v_row_n, VectorSrc::Reg(v_row), VectorSrc::Sreg(s_n));
+
+    let s_k0 = kb.sreg();
+    let s_k0x16 = kb.sreg();
+    let v_aoff = kb.vreg();
+    let v_boff = kb.vreg();
+    let v_aval = kb.vreg();
+    let v_bval = kb.vreg();
+    let v_arow = kb.vreg();
+    let v_brow = kb.vreg();
+    let s_kk = kb.sreg();
+    let s_kk4 = kb.sreg();
+    let v_aaddr = kb.vreg();
+    let v_baddr = kb.vreg();
+    let v_a = kb.vreg();
+    let v_b = kb.vreg();
+    let v_ty64 = kb.vreg();
+    kb.valu(VAluOp::Shl, v_ty64, VectorSrc::Reg(v_ty), VectorSrc::Imm(6));
+    let v_tx4 = kb.vreg();
+    kb.valu(VAluOp::Shl, v_tx4, VectorSrc::Reg(v_tx), VectorSrc::Imm(2));
+
+    kb.for_uniform(s_k0, 0i64, ScalarSrc::Reg(s_tiles), |kb| {
+        kb.salu(SAluOp::Mul, s_k0x16, s_k0, TILE as i64);
+        // A[row, k0*16 + tx] -> lds[t]
+        kb.valu(VAluOp::Add, v_aoff, VectorSrc::Reg(v_row_n), VectorSrc::Sreg(s_k0x16));
+        kb.valu(VAluOp::Add, v_aoff, VectorSrc::Reg(v_aoff), VectorSrc::Reg(v_tx));
+        kb.valu(VAluOp::Shl, v_aoff, VectorSrc::Reg(v_aoff), VectorSrc::Imm(2));
+        kb.global_load(v_aval, s_a, v_aoff, 0, MemWidth::B32);
+        kb.lds_store(v_aval, v_lds, 0);
+        // B[k0*16 + ty, col] -> lds[B_TILE + t]
+        kb.valu(VAluOp::Add, v_arow, VectorSrc::Sreg(s_k0x16), VectorSrc::Reg(v_ty));
+        kb.valu(VAluOp::Mul, v_brow, VectorSrc::Reg(v_arow), VectorSrc::Sreg(s_n));
+        kb.valu(VAluOp::Add, v_boff, VectorSrc::Reg(v_brow), VectorSrc::Reg(v_col));
+        kb.valu(VAluOp::Shl, v_boff, VectorSrc::Reg(v_boff), VectorSrc::Imm(2));
+        kb.global_load(v_bval, s_b, v_boff, 0, MemWidth::B32);
+        kb.lds_store(v_bval, v_lds, B_TILE_BASE);
+        kb.barrier();
+        // accumulate over the tile
+        kb.for_uniform(s_kk, 0i64, TILE as i64, |kb| {
+            kb.salu(SAluOp::Shl, s_kk4, s_kk, 2i64);
+            // a = ldsA[ty*16 + kk] at byte ty*64 + kk*4
+            kb.valu(VAluOp::Add, v_aaddr, VectorSrc::Reg(v_ty64), VectorSrc::Sreg(s_kk4));
+            kb.lds_load(v_a, v_aaddr, 0);
+            // b = ldsB[kk*16 + tx] at byte kk*64 + tx*4
+            kb.salu(SAluOp::Shl, s_kk4, s_kk, 6i64);
+            kb.valu(VAluOp::Add, v_baddr, VectorSrc::Reg(v_tx4), VectorSrc::Sreg(s_kk4));
+            kb.lds_load(v_b, v_baddr, B_TILE_BASE);
+            kb.vfma(v_acc, VectorSrc::Reg(v_a), VectorSrc::Reg(v_b), VectorSrc::Reg(v_acc));
+        });
+        kb.barrier();
+    });
+
+    // C[row*N + col] = acc
+    let v_coff = kb.vreg();
+    kb.valu(VAluOp::Add, v_coff, VectorSrc::Reg(v_row_n), VectorSrc::Reg(v_col));
+    kb.valu(VAluOp::Shl, v_coff, VectorSrc::Reg(v_coff), VectorSrc::Imm(2));
+    kb.global_store(v_acc, s_c, v_coff, 0, MemWidth::B32);
+    Kernel::new(kb.finish().expect("mm kernel is well-formed"))
+}
+
+/// Builds an `n × n` matrix multiplication (`n` must be a multiple of
+/// 16). The launch has `(n/16)² · 4` warps.
+///
+/// # Panics
+/// Panics if `n` is not a positive multiple of 16.
+pub fn build(gpu: &mut GpuSimulator, n: u64, seed: u64) -> App {
+    assert!(n > 0 && n.is_multiple_of(TILE), "matrix side must be a multiple of 16");
+    let mut r = rng(seed);
+    let a = alloc_f32(gpu, n * n, -1.0, 1.0, &mut r);
+    let b = alloc_f32(gpu, n * n, -1.0, 1.0, &mut r);
+    let c = alloc_zeroed(gpu, n * n * 4);
+    let tiles = n / TILE;
+    let launch = KernelLaunch::new(mm_kernel(), (tiles * tiles) as u32, 4, vec![a, b, c, n])
+        .with_lds(LDS_BYTES);
+    App::single("MM", launch)
+}
+
+/// Builds MM sized to approximately `num_warps` warps.
+pub fn build_warps(gpu: &mut GpuSimulator, num_warps: u64, seed: u64) -> App {
+    // warps = (n/16)^2 * 4 → n = 16 * sqrt(warps / 4)
+    let tiles = ((num_warps as f64 / 4.0).sqrt().round() as u64).max(1);
+    build(gpu, tiles * TILE, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, NullController};
+
+    #[test]
+    fn mm_matches_host_reference() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let n = 32u64;
+        let app = build(&mut gpu, n, 11);
+        app.run(&mut gpu, &mut NullController).unwrap();
+        let launch = &app.launches()[0].launch;
+        let (ab, bb, cb) = (launch.args[0], launch.args[1], launch.args[2]);
+        let a = gpu.mem().read_f32_vec(ab, (n * n) as usize);
+        let b = gpu.mem().read_f32_vec(bb, (n * n) as usize);
+        for &(row, col) in &[(0usize, 0usize), (1, 7), (31, 31), (16, 5)] {
+            let mut expect = 0.0f32;
+            for k in 0..n as usize {
+                expect = a[row * n as usize + k].mul_add(b[k * n as usize + col], expect);
+            }
+            let got = gpu.mem().read_f32(cb + 4 * (row as u64 * n + col as u64));
+            assert!(
+                (got - expect).abs() < 1e-2 * expect.abs().max(1.0),
+                "C[{row},{col}] = {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_uses_lds_and_barriers() {
+        let k = mm_kernel();
+        let has_barrier = k
+            .program()
+            .insts()
+            .iter()
+            .any(|i| matches!(i, gpu_isa::Inst::SBarrier));
+        let has_lds = k
+            .program()
+            .insts()
+            .iter()
+            .any(|i| matches!(i, gpu_isa::Inst::LdsLoad { .. }));
+        assert!(has_barrier && has_lds);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn non_multiple_panics() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let _ = build(&mut gpu, 17, 0);
+    }
+
+    #[test]
+    fn build_warps_rounds_to_tiles() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let app = build_warps(&mut gpu, 100, 0);
+        // 5x5 tiles * 4 warps = 100
+        assert_eq!(app.total_warps(), 100);
+    }
+}

@@ -1,0 +1,216 @@
+//! The benchmark registry (paper Table 2) and the problem-size sweeps
+//! the evaluation figures run.
+
+use crate::app::App;
+use crate::dnn::{resnet, vgg, DnnScale, ResNetDepth, VggVariant};
+use crate::{aes, fir, mm, pagerank, relu, sc, spmv};
+use gpu_sim::GpuSimulator;
+use serde::{Deserialize, Serialize};
+
+/// The single-kernel benchmarks of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// AES-256 encryption (Hetero-Mark).
+    Aes,
+    /// FIR filter (Hetero-Mark).
+    Fir,
+    /// Simple Convolution (AMD APP SDK).
+    Sc,
+    /// Matrix Multiplication (AMD APP SDK).
+    Mm,
+    /// Rectified Linear Unit (DNNMark).
+    Relu,
+    /// Sparse Matrix-Vector multiplication (SHOC).
+    Spmv,
+}
+
+impl Benchmark {
+    /// All single-kernel benchmarks in Table 2 order.
+    pub const ALL: [Benchmark; 6] = [
+        Benchmark::Aes,
+        Benchmark::Fir,
+        Benchmark::Sc,
+        Benchmark::Mm,
+        Benchmark::Relu,
+        Benchmark::Spmv,
+    ];
+
+    /// Paper abbreviation.
+    pub fn abbr(self) -> &'static str {
+        match self {
+            Benchmark::Aes => "AES",
+            Benchmark::Fir => "FIR",
+            Benchmark::Sc => "SC",
+            Benchmark::Mm => "MM",
+            Benchmark::Relu => "ReLU",
+            Benchmark::Spmv => "SPMV",
+        }
+    }
+
+    /// Source suite per Table 2.
+    pub fn suite(self) -> &'static str {
+        match self {
+            Benchmark::Aes | Benchmark::Fir => "Hetero-Mark",
+            Benchmark::Sc | Benchmark::Mm => "AMD APP SDK",
+            Benchmark::Relu => "DNNMark",
+            Benchmark::Spmv => "SHOC",
+        }
+    }
+
+    /// Workload description per Table 2.
+    pub fn description(self) -> &'static str {
+        match self {
+            Benchmark::Aes => "AES-256 Encryption",
+            Benchmark::Fir => "FIR filter",
+            Benchmark::Sc => "Simple Convolution",
+            Benchmark::Mm => "Matrix Multiplication",
+            Benchmark::Relu => "Rectified Linear Unit",
+            Benchmark::Spmv => "Sparse Matrix-Vector Multiplication",
+        }
+    }
+
+    /// Whether the paper classifies the workload as irregular.
+    pub fn is_irregular(self) -> bool {
+        matches!(self, Benchmark::Spmv)
+    }
+
+    /// Builds the benchmark at a problem size of roughly `num_warps`
+    /// warps (the paper's problem-size axis).
+    pub fn build(self, gpu: &mut GpuSimulator, num_warps: u64, seed: u64) -> App {
+        match self {
+            Benchmark::Aes => aes::build(gpu, num_warps, seed),
+            Benchmark::Fir => fir::build(gpu, num_warps, seed),
+            Benchmark::Sc => sc::build_warps(gpu, num_warps, seed),
+            Benchmark::Mm => mm::build_warps(gpu, num_warps, seed),
+            Benchmark::Relu => relu::build(gpu, num_warps, seed),
+            Benchmark::Spmv => spmv::build(gpu, num_warps, seed),
+        }
+    }
+
+    /// The problem-size sweep (in warps) used by the evaluation
+    /// figures; `scale` divides the paper-style sizes so the full
+    /// detailed baseline stays tractable.
+    pub fn sweep(self, scale: u64) -> Vec<u64> {
+        let base: &[u64] = match self {
+            // the paper sweeps 2K-64K warps depending on benchmark; the
+            // largest sizes are where intra-kernel sampling engages
+            Benchmark::Aes => &[2048, 4096, 8192, 16384],
+            Benchmark::Fir => &[3072, 8192, 16384, 65536],
+            Benchmark::Sc => &[2048, 8192, 16384, 32768],
+            Benchmark::Mm => &[1024, 4096, 16384, 36864],
+            Benchmark::Relu => &[4096, 16384, 32768, 65536],
+            Benchmark::Spmv => &[384, 1024, 2048, 4096],
+        };
+        base.iter().map(|w| (w / scale).max(64)).collect()
+    }
+}
+
+/// The real-world applications of Table 2 / Figure 16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RealWorldApp {
+    /// PageRank with the given node count.
+    PageRank(u32),
+    /// VGG-16 inference.
+    Vgg16,
+    /// VGG-19 inference.
+    Vgg19,
+    /// ResNet-18 inference.
+    ResNet18,
+    /// ResNet-34 inference.
+    ResNet34,
+    /// ResNet-50 inference.
+    ResNet50,
+    /// ResNet-101 inference.
+    ResNet101,
+    /// ResNet-152 inference.
+    ResNet152,
+}
+
+impl RealWorldApp {
+    /// The Figure 16 application list.
+    pub fn figure16() -> Vec<RealWorldApp> {
+        vec![
+            RealWorldApp::PageRank(4096),
+            RealWorldApp::PageRank(16384),
+            RealWorldApp::Vgg16,
+            RealWorldApp::Vgg19,
+            RealWorldApp::ResNet18,
+            RealWorldApp::ResNet34,
+            RealWorldApp::ResNet50,
+            RealWorldApp::ResNet101,
+            RealWorldApp::ResNet152,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> String {
+        match self {
+            RealWorldApp::PageRank(n) => format!("PR-{n}"),
+            RealWorldApp::Vgg16 => "VGG-16".to_string(),
+            RealWorldApp::Vgg19 => "VGG-19".to_string(),
+            RealWorldApp::ResNet18 => "ResNet-18".to_string(),
+            RealWorldApp::ResNet34 => "ResNet-34".to_string(),
+            RealWorldApp::ResNet50 => "ResNet-50".to_string(),
+            RealWorldApp::ResNet101 => "ResNet-101".to_string(),
+            RealWorldApp::ResNet152 => "ResNet-152".to_string(),
+        }
+    }
+
+    /// Builds the application.
+    pub fn build(self, gpu: &mut GpuSimulator, scale: DnnScale, seed: u64) -> App {
+        match self {
+            RealWorldApp::PageRank(n) => pagerank::build(gpu, n, 10, seed),
+            RealWorldApp::Vgg16 => vgg(gpu, VggVariant::Vgg16, scale, seed),
+            RealWorldApp::Vgg19 => vgg(gpu, VggVariant::Vgg19, scale, seed),
+            RealWorldApp::ResNet18 => resnet(gpu, ResNetDepth::R18, scale, seed),
+            RealWorldApp::ResNet34 => resnet(gpu, ResNetDepth::R34, scale, seed),
+            RealWorldApp::ResNet50 => resnet(gpu, ResNetDepth::R50, scale, seed),
+            RealWorldApp::ResNet101 => resnet(gpu, ResNetDepth::R101, scale, seed),
+            RealWorldApp::ResNet152 => resnet(gpu, ResNetDepth::R152, scale, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuConfig;
+
+    #[test]
+    fn table2_registry_is_complete() {
+        assert_eq!(Benchmark::ALL.len(), 6);
+        for b in Benchmark::ALL {
+            assert!(!b.abbr().is_empty());
+            assert!(!b.suite().is_empty());
+            assert!(!b.description().is_empty());
+            assert!(!b.sweep(1).is_empty());
+        }
+        assert!(Benchmark::Spmv.is_irregular());
+        assert!(!Benchmark::Mm.is_irregular());
+    }
+
+    #[test]
+    fn sweeps_scale_down() {
+        let full = Benchmark::Mm.sweep(1);
+        let small = Benchmark::Mm.sweep(8);
+        assert_eq!(full.len(), small.len());
+        assert!(small[3] < full[3]);
+        assert!(small.iter().all(|&w| w >= 64));
+    }
+
+    #[test]
+    fn all_benchmarks_build_small() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        for b in Benchmark::ALL {
+            let app = b.build(&mut gpu, 64, 1);
+            assert!(app.total_warps() > 0, "{}", b.abbr());
+        }
+    }
+
+    #[test]
+    fn figure16_list_matches_paper() {
+        let apps = RealWorldApp::figure16();
+        assert_eq!(apps.len(), 9);
+        assert_eq!(apps.last().unwrap().name(), "ResNet-152");
+    }
+}

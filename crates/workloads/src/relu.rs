@@ -1,0 +1,75 @@
+//! ReLU (DNNMark): `y[i] = max(0, x[i])`.
+//!
+//! The paper's prototypical *small kernel* workload: a huge number of
+//! warps, each executing a handful of instructions over very few basic
+//! blocks — the case where basic-block-sampling carries Photon
+//! (§6.2, Fig. 15).
+
+use crate::app::App;
+use crate::helpers::{alloc_f32, alloc_zeroed, guard_tid, rng, tid_and_offset, wg_count};
+use gpu_isa::{Kernel, KernelBuilder, KernelLaunch, MemWidth, VAluOp, VectorSrc};
+use gpu_sim::GpuSimulator;
+
+/// Builds the ReLU kernel program (exposed for reuse by the DNN
+/// lowering).
+pub fn relu_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("relu");
+    let s_x = kb.sreg();
+    let s_y = kb.sreg();
+    let s_n = kb.sreg();
+    kb.load_arg(s_x, 0);
+    kb.load_arg(s_y, 1);
+    kb.load_arg(s_n, 2);
+    let (v_tid, v_off) = tid_and_offset(&mut kb);
+    guard_tid(&mut kb, v_tid, s_n, |kb| {
+        let v = kb.vreg();
+        kb.global_load(v, s_x, v_off, 0, MemWidth::B32);
+        kb.valu(VAluOp::FMax, v, VectorSrc::Reg(v), VectorSrc::ImmF32(0.0));
+        kb.global_store(v, s_y, v_off, 0, MemWidth::B32);
+    });
+    Kernel::new(kb.finish().expect("relu kernel is well-formed"))
+}
+
+/// Builds a ReLU application over `num_warps` warps (the paper's
+/// problem-size axis) with random inputs.
+pub fn build(gpu: &mut GpuSimulator, num_warps: u64, seed: u64) -> App {
+    let n = num_warps * 64;
+    let mut r = rng(seed);
+    let x = alloc_f32(gpu, n, -1.0, 1.0, &mut r);
+    let y = alloc_zeroed(gpu, n * 4);
+    let warps_per_wg = 4;
+    let launch = KernelLaunch::new(
+        relu_kernel(),
+        wg_count(num_warps, warps_per_wg),
+        warps_per_wg,
+        vec![x, y, n],
+    );
+    App::single("ReLU", launch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, NullController};
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let app = build(&mut gpu, 8, 42);
+        app.run(&mut gpu, &mut NullController).unwrap();
+        let launch = &app.launches()[0].launch;
+        let (x, y, n) = (launch.args[0], launch.args[1], launch.args[2]);
+        for i in 0..n {
+            let xi = gpu.mem().read_f32(x + 4 * i);
+            let yi = gpu.mem().read_f32(y + 4 * i);
+            assert_eq!(yi, xi.max(0.0), "elem {i}");
+        }
+    }
+
+    #[test]
+    fn kernel_has_few_basic_blocks() {
+        // the paper calls out ReLU's tiny block count
+        let k = relu_kernel();
+        assert!(k.program().basic_blocks().len() <= 4);
+    }
+}

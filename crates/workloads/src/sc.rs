@@ -1,0 +1,154 @@
+//! Simple Convolution (AMD APP SDK): 2-D 3×3 convolution with clamped
+//! borders.
+//!
+//! A *complex kernel* workload in the paper's taxonomy: many warps and
+//! a meaningful per-thread loop nest, but regular (uniform trip counts,
+//! clamp instead of divergence), so both BB- and warp-sampling apply.
+
+use crate::app::App;
+use crate::helpers::{alloc_f32, alloc_zeroed, guard_tid, rng, tid_and_offset, wg_count};
+use gpu_isa::{Kernel, KernelBuilder, KernelLaunch, MemWidth, SAluOp, VAluOp, VectorSrc};
+use gpu_sim::GpuSimulator;
+
+/// Mask side length (3×3).
+pub const MASK: i64 = 3;
+
+fn sc_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("simple_convolution");
+    let s_in = kb.sreg();
+    let s_mask = kb.sreg();
+    let s_out = kb.sreg();
+    let s_w = kb.sreg();
+    let s_h = kb.sreg();
+    let s_n = kb.sreg();
+    kb.load_arg(s_in, 0);
+    kb.load_arg(s_mask, 1);
+    kb.load_arg(s_out, 2);
+    kb.load_arg(s_w, 3);
+    kb.load_arg(s_h, 4);
+    kb.load_arg(s_n, 5);
+    let (v_tid, v_off) = tid_and_offset(&mut kb);
+    guard_tid(&mut kb, v_tid, s_n, |kb| {
+        // y = tid / W, x = tid % W
+        let v_y = kb.vreg();
+        let v_x = kb.vreg();
+        kb.valu(VAluOp::Div, v_y, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_w));
+        kb.valu(VAluOp::Rem, v_x, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_w));
+        // H-1, W-1 for clamping
+        let s_h1 = kb.sreg();
+        let s_w1 = kb.sreg();
+        kb.salu(SAluOp::Sub, s_h1, s_h, 1i64);
+        kb.salu(SAluOp::Sub, s_w1, s_w, 1i64);
+        let v_acc = kb.vreg();
+        kb.vmov(v_acc, VectorSrc::ImmF32(0.0));
+
+        let s_ky = kb.sreg();
+        let s_kx = kb.sreg();
+        let s_moff = kb.sreg();
+        let s_tmp = kb.sreg();
+        let v_iy = kb.vreg();
+        let v_ix = kb.vreg();
+        let v_ioff = kb.vreg();
+        let v_in = kb.vreg();
+        let v_m = kb.vreg();
+        let v_moff = kb.vreg();
+        kb.for_uniform(s_ky, 0i64, MASK, |kb| {
+            kb.for_uniform(s_kx, 0i64, MASK, |kb| {
+                // iy = clamp(y + ky - 1, 0, H-1)
+                kb.valu(VAluOp::Add, v_iy, VectorSrc::Reg(v_y), VectorSrc::Sreg(s_ky));
+                kb.valu(VAluOp::Sub, v_iy, VectorSrc::Reg(v_iy), VectorSrc::Imm(1));
+                kb.valu(VAluOp::IMax, v_iy, VectorSrc::Reg(v_iy), VectorSrc::Imm(0));
+                kb.valu(VAluOp::IMin, v_iy, VectorSrc::Reg(v_iy), VectorSrc::Sreg(s_h1));
+                // ix = clamp(x + kx - 1, 0, W-1)
+                kb.valu(VAluOp::Add, v_ix, VectorSrc::Reg(v_x), VectorSrc::Sreg(s_kx));
+                kb.valu(VAluOp::Sub, v_ix, VectorSrc::Reg(v_ix), VectorSrc::Imm(1));
+                kb.valu(VAluOp::IMax, v_ix, VectorSrc::Reg(v_ix), VectorSrc::Imm(0));
+                kb.valu(VAluOp::IMin, v_ix, VectorSrc::Reg(v_ix), VectorSrc::Sreg(s_w1));
+                // in[(iy*W + ix)*4]
+                kb.valu(VAluOp::Mul, v_ioff, VectorSrc::Reg(v_iy), VectorSrc::Sreg(s_w));
+                kb.valu(VAluOp::Add, v_ioff, VectorSrc::Reg(v_ioff), VectorSrc::Reg(v_ix));
+                kb.valu(VAluOp::Shl, v_ioff, VectorSrc::Reg(v_ioff), VectorSrc::Imm(2));
+                kb.global_load(v_in, s_in, v_ioff, 0, MemWidth::B32);
+                // mask[(ky*3 + kx)*4] (broadcast)
+                kb.salu(SAluOp::Mul, s_moff, s_ky, MASK);
+                kb.salu(SAluOp::Add, s_tmp, s_moff, gpu_isa::ScalarSrc::Reg(s_kx));
+                kb.salu(SAluOp::Shl, s_tmp, s_tmp, 2i64);
+                kb.vmov(v_moff, VectorSrc::Sreg(s_tmp));
+                kb.global_load(v_m, s_mask, v_moff, 0, MemWidth::B32);
+                kb.vfma(v_acc, VectorSrc::Reg(v_in), VectorSrc::Reg(v_m), VectorSrc::Reg(v_acc));
+            });
+        });
+        kb.global_store(v_acc, s_out, v_off, 0, MemWidth::B32);
+    });
+    Kernel::new(kb.finish().expect("sc kernel is well-formed"))
+}
+
+/// Builds a Simple Convolution over a `width × height` image; the warp
+/// count is `width·height / 64`.
+pub fn build(gpu: &mut GpuSimulator, width: u64, height: u64, seed: u64) -> App {
+    let n = width * height;
+    let mut r = rng(seed);
+    let input = alloc_f32(gpu, n, -1.0, 1.0, &mut r);
+    let mask = alloc_f32(gpu, (MASK * MASK) as u64, -0.25, 0.25, &mut r);
+    let out = alloc_zeroed(gpu, n * 4);
+    let warps = n.div_ceil(64);
+    let warps_per_wg = 4;
+    let launch = KernelLaunch::new(
+        sc_kernel(),
+        wg_count(warps, warps_per_wg),
+        warps_per_wg,
+        vec![input, mask, out, width, height, n],
+    );
+    App::single("SC", launch)
+}
+
+/// Builds SC sized to approximately `num_warps` warps (square image).
+pub fn build_warps(gpu: &mut GpuSimulator, num_warps: u64, seed: u64) -> App {
+    let side = ((num_warps * 64) as f64).sqrt().round() as u64;
+    let side = side.max(8);
+    build(gpu, side, side, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, NullController};
+
+    #[test]
+    fn sc_matches_host_reference() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let (w, h) = (32u64, 16u64);
+        let app = build(&mut gpu, w, h, 3);
+        app.run(&mut gpu, &mut NullController).unwrap();
+        let launch = &app.launches()[0].launch;
+        let (ib, mb, ob) = (launch.args[0], launch.args[1], launch.args[2]);
+        let img = gpu.mem().read_f32_vec(ib, (w * h) as usize);
+        let mask = gpu.mem().read_f32_vec(mb, 9);
+        let clamp = |v: i64, hi: i64| v.clamp(0, hi) as usize;
+        for &(x, y) in &[(0i64, 0i64), (5, 5), (31, 15), (0, 15)] {
+            let mut expect = 0.0f32;
+            for ky in 0..3i64 {
+                for kx in 0..3i64 {
+                    let iy = clamp(y + ky - 1, h as i64 - 1);
+                    let ix = clamp(x + kx - 1, w as i64 - 1);
+                    expect = img[iy * w as usize + ix].mul_add(mask[(ky * 3 + kx) as usize], expect);
+                }
+            }
+            let got = gpu
+                .mem()
+                .read_f32(ob + 4 * (y as u64 * w + x as u64));
+            assert!(
+                (got - expect).abs() < 1e-3,
+                "pixel ({x},{y}): {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn build_warps_hits_target() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let app = build_warps(&mut gpu, 64, 3);
+        let w = app.total_warps();
+        assert!((48..=80).contains(&w), "warps {w}");
+    }
+}

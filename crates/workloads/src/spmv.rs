@@ -1,0 +1,206 @@
+//! Sparse Matrix-Vector multiplication (SHOC): CSR, one row per thread.
+//!
+//! The paper's canonical *irregular* workload: row lengths are
+//! data-dependent, so each lane runs a different number of loop
+//! iterations (`lane_while` drops lanes out as their row ends), warps
+//! have many distinct BBVs (no dominant type → no warp-sampling), and
+//! the gather `x[col[j]]` produces irregular memory accesses.
+
+use crate::app::App;
+use crate::helpers::{alloc_f32, alloc_u32_slice, alloc_zeroed, guard_tid, rng, tid_and_offset, wg_count};
+use gpu_isa::{CmpOp, Kernel, KernelBuilder, KernelLaunch, MemWidth, VAluOp, VectorSrc};
+use gpu_sim::GpuSimulator;
+use rand::Rng;
+
+/// A host-side CSR matrix used to initialize device buffers.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    /// Row start offsets (`rows + 1` entries).
+    pub row_ptr: Vec<u32>,
+    /// Column indices.
+    pub col_idx: Vec<u32>,
+    /// Non-zero values.
+    pub values: Vec<f32>,
+    /// Number of rows/cols (square).
+    pub n: u32,
+}
+
+impl CsrMatrix {
+    /// Generates a random square CSR matrix with skewed row lengths
+    /// (most rows short, a few long — the imbalance that makes SpMV
+    /// irregular).
+    pub fn random(n: u32, avg_nnz_per_row: u32, seed: u64) -> Self {
+        let mut r = rng(seed);
+        let mut row_ptr = Vec::with_capacity(n as usize + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0u32);
+        for _ in 0..n {
+            // skewed: length in [0, 4*avg) with quadratic skew
+            let u: f64 = r.gen();
+            let len = ((u * u) * (4.0 * avg_nnz_per_row as f64)) as u32;
+            for _ in 0..len {
+                col_idx.push(r.gen_range(0..n));
+                values.push(r.gen_range(-1.0..1.0));
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        CsrMatrix {
+            row_ptr,
+            col_idx,
+            values,
+            n,
+        }
+    }
+
+    /// Number of non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Host reference SpMV.
+    pub fn multiply(&self, x: &[f32]) -> Vec<f32> {
+        (0..self.n as usize)
+            .map(|row| {
+                let (a, b) = (self.row_ptr[row] as usize, self.row_ptr[row + 1] as usize);
+                (a..b)
+                    .map(|j| self.values[j] * x[self.col_idx[j] as usize])
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+fn spmv_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("spmv");
+    let s_rowptr = kb.sreg();
+    let s_col = kb.sreg();
+    let s_val = kb.sreg();
+    let s_x = kb.sreg();
+    let s_y = kb.sreg();
+    let s_n = kb.sreg();
+    kb.load_arg(s_rowptr, 0);
+    kb.load_arg(s_col, 1);
+    kb.load_arg(s_val, 2);
+    kb.load_arg(s_x, 3);
+    kb.load_arg(s_y, 4);
+    kb.load_arg(s_n, 5);
+    let (v_tid, v_off) = tid_and_offset(&mut kb);
+    guard_tid(&mut kb, v_tid, s_n, |kb| {
+        // j = row_ptr[row], end = row_ptr[row + 1]
+        let v_j = kb.vreg();
+        let v_end = kb.vreg();
+        kb.global_load(v_j, s_rowptr, v_off, 0, MemWidth::B32);
+        kb.global_load(v_end, s_rowptr, v_off, 4, MemWidth::B32);
+        let v_acc = kb.vreg();
+        kb.vmov(v_acc, VectorSrc::ImmF32(0.0));
+        let v_joff = kb.vreg();
+        let v_c = kb.vreg();
+        let v_v = kb.vreg();
+        let v_xv = kb.vreg();
+        kb.lane_while(
+            |kb| {
+                kb.vcmp(CmpOp::Lt, VectorSrc::Reg(v_j), VectorSrc::Reg(v_end), false);
+            },
+            |kb| {
+                kb.valu(VAluOp::Shl, v_joff, VectorSrc::Reg(v_j), VectorSrc::Imm(2));
+                kb.global_load(v_c, s_col, v_joff, 0, MemWidth::B32);
+                kb.global_load(v_v, s_val, v_joff, 0, MemWidth::B32);
+                // x[col]
+                kb.valu(VAluOp::Shl, v_c, VectorSrc::Reg(v_c), VectorSrc::Imm(2));
+                kb.global_load(v_xv, s_x, v_c, 0, MemWidth::B32);
+                kb.vfma(v_acc, VectorSrc::Reg(v_v), VectorSrc::Reg(v_xv), VectorSrc::Reg(v_acc));
+                kb.valu(VAluOp::Add, v_j, VectorSrc::Reg(v_j), VectorSrc::Imm(1));
+            },
+        );
+        kb.global_store(v_acc, s_y, v_off, 0, MemWidth::B32);
+    });
+    Kernel::new(kb.finish().expect("spmv kernel is well-formed"))
+}
+
+/// Builds SpMV over a random matrix with `num_warps × 64` rows.
+pub fn build(gpu: &mut GpuSimulator, num_warps: u64, seed: u64) -> App {
+    let n = (num_warps * 64) as u32;
+    let m = CsrMatrix::random(n, 16, seed);
+    build_with_matrix(gpu, &m, seed)
+}
+
+/// Builds SpMV over a caller-provided matrix.
+pub fn build_with_matrix(gpu: &mut GpuSimulator, m: &CsrMatrix, seed: u64) -> App {
+    let mut r = rng(seed ^ 0x5eed);
+    let rowptr = alloc_u32_slice(gpu, &m.row_ptr);
+    let col = alloc_u32_slice(gpu, &m.col_idx);
+    let val = gpu
+        .alloc_buffer(m.values.len().max(1) as u64 * 4)
+        .expect("device allocation");
+    gpu.mem_mut().write_f32_slice(val, &m.values);
+    let x = alloc_f32(gpu, m.n as u64, -1.0, 1.0, &mut r);
+    let y = alloc_zeroed(gpu, m.n as u64 * 4);
+    let warps = (m.n as u64).div_ceil(64);
+    let warps_per_wg = 4;
+    let launch = KernelLaunch::new(
+        spmv_kernel(),
+        wg_count(warps, warps_per_wg),
+        warps_per_wg,
+        vec![rowptr, col, val, x, y, m.n as u64],
+    );
+    App::single("SPMV", launch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, NullController};
+
+    #[test]
+    fn spmv_matches_host_reference() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let m = CsrMatrix::random(256, 8, 5);
+        let app = build_with_matrix(&mut gpu, &m, 5);
+        app.run(&mut gpu, &mut NullController).unwrap();
+        let launch = &app.launches()[0].launch;
+        let (xb, yb) = (launch.args[3], launch.args[4]);
+        let x = gpu.mem().read_f32_vec(xb, m.n as usize);
+        let expect = m.multiply(&x);
+        for row in [0usize, 17, 128, 255] {
+            let got = gpu.mem().read_f32(yb + 4 * row as u64);
+            assert!(
+                (got - expect[row]).abs() < 1e-3 * expect[row].abs().max(1.0),
+                "row {row}: {got} vs {}",
+                expect[row]
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_rows_are_skewed() {
+        let m = CsrMatrix::random(1000, 16, 3);
+        let lens: Vec<u32> = m
+            .row_ptr
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .collect();
+        let max = *lens.iter().max().unwrap();
+        let mean = m.nnz() as f64 / 1000.0;
+        assert!(max as f64 > 2.0 * mean, "max {max} mean {mean}");
+        // plenty of short rows
+        let short = lens.iter().filter(|&&l| (l as f64) < mean).count();
+        assert!(short > 400);
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        // a matrix with all-empty rows must produce zeros without hanging
+        let m = CsrMatrix {
+            row_ptr: vec![0; 65],
+            col_idx: vec![],
+            values: vec![],
+            n: 64,
+        };
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let app = build_with_matrix(&mut gpu, &m, 1);
+        app.run(&mut gpu, &mut NullController).unwrap();
+        let yb = app.launches()[0].launch.args[4];
+        assert_eq!(gpu.mem().read_f32(yb), 0.0);
+    }
+}

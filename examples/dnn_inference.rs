@@ -1,0 +1,61 @@
+//! Real-world workload: one ResNet-18 inference (batch size 1), full
+//! detailed vs Photon — the paper's headline use case, where
+//! kernel-sampling skips the repeated layers of deep networks.
+//!
+//! Run with: `cargo run --release --example dnn_inference`
+
+use gpu_sim::{GpuConfig, GpuSimulator, NullController};
+use gpu_workloads::dnn::{resnet, DnnScale, ResNetDepth};
+use photon::{PhotonConfig, PhotonController};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = GpuConfig::r9_nano().with_num_cus(16);
+    // 64x64 input, channels at 1/4 of the published widths (see
+    // DESIGN.md's substitution table).
+    let scale = DnnScale {
+        input_hw: 64,
+        channel_div: 4,
+    };
+
+    let mut gpu = GpuSimulator::new(config.clone());
+    let app = resnet(&mut gpu, ResNetDepth::R18, scale, 1);
+    println!(
+        "{}: {} kernel launches, {} warps total",
+        app.name(),
+        app.launches().len(),
+        app.total_warps()
+    );
+
+    let t0 = Instant::now();
+    let full = app.run(&mut gpu, &mut NullController)?;
+    let full_wall = t0.elapsed();
+
+    let mut gpu = GpuSimulator::new(config.clone());
+    let app = resnet(&mut gpu, ResNetDepth::R18, scale, 1);
+    let mut photon = PhotonController::new(PhotonConfig::default(), config.num_cus as u64);
+    let t1 = Instant::now();
+    let sampled = app.run(&mut gpu, &mut photon)?;
+    let photon_wall = t1.elapsed();
+
+    let error = (full.total_cycles() as f64 - sampled.total_cycles() as f64).abs()
+        / full.total_cycles() as f64;
+    println!(
+        "full detailed : {:>12} cycles  {:?}",
+        full.total_cycles(),
+        full_wall
+    );
+    println!(
+        "photon        : {:>12} cycles  {:?}  ({} of {} kernels skipped)",
+        sampled.total_cycles(),
+        photon_wall,
+        sampled.skipped_kernels(),
+        sampled.kernels.len()
+    );
+    println!(
+        "error {:.1}%, wall speedup {:.2}x",
+        100.0 * error,
+        full_wall.as_secs_f64() / photon_wall.as_secs_f64()
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: simulate a kernel in full detail, then with Photon, and
+//! compare the paper's two metrics (simulated kernel time error and
+//! wall-clock speedup).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gpu_sim::{GpuConfig, GpuSimulator, NullController};
+use gpu_workloads::registry::Benchmark;
+use photon::{PhotonConfig, PhotonController};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A quarter-scale R9 Nano (Table 1 parameters, 16 CUs) keeps the
+    // full-detailed baseline quick for a demo.
+    let config = GpuConfig::r9_nano().with_num_cus(16);
+
+    // ReLU over 16K warps (1M threads) — the paper's prototypical
+    // small-kernel workload.
+    let warps = 16_384;
+
+    // --- full detailed simulation (the accuracy baseline) ------------
+    let mut gpu = GpuSimulator::new(config.clone());
+    let app = Benchmark::Relu.build(&mut gpu, warps, 42);
+    let t0 = Instant::now();
+    let full = app.run(&mut gpu, &mut NullController)?;
+    let full_wall = t0.elapsed();
+
+    // --- Photon sampled simulation ------------------------------------
+    let mut gpu = GpuSimulator::new(config.clone());
+    let app = Benchmark::Relu.build(&mut gpu, warps, 42);
+    let photon_cfg = PhotonConfig {
+        warp_window: 512, // scaled with the problem size
+        ..PhotonConfig::default()
+    };
+    let mut photon = PhotonController::new(photon_cfg, config.num_cus as u64);
+    let t1 = Instant::now();
+    let sampled = app.run(&mut gpu, &mut photon)?;
+    let sampled_wall = t1.elapsed();
+
+    let error = (full.total_cycles() as f64 - sampled.total_cycles() as f64).abs()
+        / full.total_cycles() as f64;
+    println!("full detailed : {} cycles in {:?}", full.total_cycles(), full_wall);
+    println!(
+        "photon        : {} cycles in {:?}",
+        sampled.total_cycles(),
+        sampled_wall
+    );
+    println!(
+        "sampling error: {:.2}%   wall-clock speedup: {:.2}x",
+        100.0 * error,
+        full_wall.as_secs_f64() / sampled_wall.as_secs_f64()
+    );
+    println!("photon stats  : {:?}", photon.stats());
+    Ok(())
+}

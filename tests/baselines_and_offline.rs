@@ -1,0 +1,185 @@
+//! Integration tests for the PKA baseline and the offline-analysis
+//! reuse path.
+
+use gpu_baselines::{PkaConfig, PkaController};
+use gpu_sim::{GpuConfig, GpuSimulator, NullController};
+use gpu_workloads::registry::Benchmark;
+use photon::{Levels, OfflineData, PhotonConfig, PhotonController};
+
+fn test_gpu() -> GpuConfig {
+    GpuConfig::r9_nano().with_num_cus(8)
+}
+
+#[test]
+fn pka_extrapolates_stable_ipc_workloads() {
+    let cfg = test_gpu();
+    let mut gpu = GpuSimulator::new(cfg.clone());
+    let app = Benchmark::Relu.build(&mut gpu, 8192, 1);
+    let full = app.run(&mut gpu, &mut NullController).unwrap();
+
+    let mut gpu2 = GpuSimulator::new(cfg.clone());
+    let app2 = Benchmark::Relu.build(&mut gpu2, 8192, 1);
+    let mut pka = PkaController::new(PkaConfig::default());
+    let sampled = app2.run(&mut gpu2, &mut pka).unwrap();
+
+    assert_eq!(pka.stats().ipc_aborts, 1, "{:?}", pka.stats());
+    assert!(sampled.total_detailed_insts() < full.total_detailed_insts());
+    let err = (full.total_cycles() as f64 - sampled.total_cycles() as f64).abs()
+        / full.total_cycles() as f64;
+    assert!(err < 0.25, "PKA error on stable-IPC ReLU: {err}");
+}
+
+#[test]
+fn pka_skips_repeated_kernels() {
+    let cfg = test_gpu();
+    let mut gpu = GpuSimulator::new(cfg.clone());
+    let app = Benchmark::Fir.build(&mut gpu, 512, 3);
+    let mut pka = PkaController::new(PkaConfig::default());
+    app.run(&mut gpu, &mut pka).unwrap();
+    let second = app.run(&mut gpu, &mut pka).unwrap();
+    assert!(second.kernels[0].skipped);
+    assert_eq!(pka.stats().kernels_skipped, 1);
+}
+
+#[test]
+fn pka_functional_replay_optional() {
+    // With functional replay off (the default), skipped kernels leave
+    // memory untouched — that is the speed/fidelity tradeoff.
+    let cfg = test_gpu();
+    let mut gpu = GpuSimulator::new(cfg.clone());
+    let app = Benchmark::Relu.build(&mut gpu, 256, 9);
+    let mut pka = PkaController::new(PkaConfig {
+        functional_replay: true,
+        ..Default::default()
+    });
+    app.run(&mut gpu, &mut pka).unwrap();
+    let r2 = app.run(&mut gpu, &mut pka).unwrap();
+    if r2.kernels[0].skipped {
+        assert!(r2.kernels[0].functional_insts > 0);
+    }
+}
+
+#[test]
+fn offline_reuse_skips_tracing() {
+    let cfg = test_gpu();
+    let pcfg = PhotonConfig::with_levels(Levels::all()).small_windows(128, 64);
+
+    // online pass
+    let mut gpu = GpuSimulator::new(cfg.clone());
+    let app = Benchmark::Fir.build(&mut gpu, 512, 3);
+    let mut online = PhotonController::new(pcfg.clone(), cfg.num_cus as u64);
+    let online_res = app.run(&mut gpu, &mut online).unwrap();
+
+    // serialize/deserialize the analyses (the artifact file)
+    let data = OfflineData::new(online.export_analyses().to_vec());
+    let json = data.to_json().unwrap();
+    let restored = OfflineData::from_json(&json).unwrap();
+
+    // offline pass: same decisions, fewer functional instructions
+    let mut gpu2 = GpuSimulator::new(cfg.clone());
+    let app2 = Benchmark::Fir.build(&mut gpu2, 512, 3);
+    let mut offline =
+        PhotonController::with_offline(pcfg, cfg.num_cus as u64, restored.analyses);
+    let offline_res = app2.run(&mut gpu2, &mut offline).unwrap();
+
+    assert!(
+        offline_res.total_functional_insts() < online_res.total_functional_insts(),
+        "offline reuse must skip the tracing pass ({} vs {})",
+        offline_res.total_functional_insts(),
+        online_res.total_functional_insts()
+    );
+    // predictions built from the same analyses: same simulated time
+    assert_eq!(online_res.total_cycles(), offline_res.total_cycles());
+}
+
+#[test]
+fn offline_data_roundtrips_through_files() {
+    let cfg = test_gpu();
+    let mut gpu = GpuSimulator::new(cfg.clone());
+    let app = Benchmark::Relu.build(&mut gpu, 256, 3);
+    let mut ph = PhotonController::new(
+        PhotonConfig::default().small_windows(64, 64),
+        cfg.num_cus as u64,
+    );
+    app.run(&mut gpu, &mut ph).unwrap();
+
+    let dir = std::env::temp_dir().join("photon_repro_it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("offline.json");
+    OfflineData::new(ph.export_analyses().to_vec())
+        .save(&path)
+        .unwrap();
+    let back = OfflineData::load(&path).unwrap();
+    assert_eq!(back.analyses.len(), 1);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn tbpoint_extrapolates_quickly_on_regular_workloads() {
+    use gpu_baselines::{TbPointConfig, TbPointController};
+    let cfg = test_gpu();
+    let mut gpu = GpuSimulator::new(cfg.clone());
+    let app = Benchmark::Relu.build(&mut gpu, 2048, 1);
+    let full = app.run(&mut gpu, &mut NullController).unwrap();
+
+    let mut gpu2 = GpuSimulator::new(cfg.clone());
+    let app2 = Benchmark::Relu.build(&mut gpu2, 2048, 1);
+    let mut tbp = TbPointController::new(TbPointConfig::default());
+    let sampled = app2.run(&mut gpu2, &mut tbp).unwrap();
+    assert_eq!(tbp.stats().extrapolated, 1);
+    assert!(sampled.total_detailed_insts() < full.total_detailed_insts());
+    let err = (full.total_cycles() as f64 - sampled.total_cycles() as f64).abs()
+        / full.total_cycles() as f64;
+    assert!(err < 0.35, "TBPoint on uniform ReLU: {err}");
+}
+
+#[test]
+fn tbpoint_has_no_gate_for_irregular_workloads() {
+    // TBPoint extrapolates SpMV too — the ungated behavior Photon's
+    // dominant-type check prevents.
+    use gpu_baselines::{TbPointConfig, TbPointController};
+    let cfg = test_gpu();
+    let mut gpu = GpuSimulator::new(cfg.clone());
+    let app = Benchmark::Spmv.build(&mut gpu, 1024, 1);
+    let mut tbp = TbPointController::new(TbPointConfig::default());
+    app.run(&mut gpu, &mut tbp).unwrap();
+    assert_eq!(tbp.stats().extrapolated, 1);
+}
+
+#[test]
+fn sieve_skips_same_stratum_kernels_only() {
+    use gpu_baselines::{SieveConfig, SieveController};
+    let cfg = test_gpu();
+    let mut gpu = GpuSimulator::new(cfg.clone());
+    let mut sieve = SieveController::new(SieveConfig::default());
+
+    // two identical FIR launches: second is skipped
+    let app = Benchmark::Fir.build(&mut gpu, 512, 3);
+    let first = app.run(&mut gpu, &mut sieve).unwrap();
+    let second = app.run(&mut gpu, &mut sieve).unwrap();
+    assert!(!first.kernels[0].skipped);
+    assert!(second.kernels[0].skipped);
+    // prediction scales from the representative: close to the original
+    let a = first.total_cycles() as f64;
+    let b = second.total_cycles() as f64;
+    assert!((a - b).abs() / a < 0.05, "{a} vs {b}");
+
+    // a 4x-larger FIR falls in a different instruction bucket: simulated
+    let big = Benchmark::Fir.build(&mut gpu, 2048, 3);
+    let third = big.run(&mut gpu, &mut sieve).unwrap();
+    assert!(!third.kernels[0].skipped, "different stratum must simulate");
+    assert_eq!(sieve.stats().strata, 2);
+}
+
+#[test]
+fn sieve_never_accelerates_single_kernel_workloads() {
+    // the intra-kernel gap Photon fills (paper §2)
+    use gpu_baselines::{SieveConfig, SieveController};
+    let cfg = test_gpu();
+    let mut gpu = GpuSimulator::new(cfg.clone());
+    let app = Benchmark::Mm.build(&mut gpu, 256, 1);
+    let mut sieve = SieveController::new(SieveConfig::default());
+    let res = app.run(&mut gpu, &mut sieve).unwrap();
+    assert_eq!(res.kernels[0].predicted_warps, 0);
+    assert_eq!(sieve.stats().kernels_skipped, 0);
+}

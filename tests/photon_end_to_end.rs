@@ -1,0 +1,183 @@
+//! End-to-end integration tests: the Photon methodology against the
+//! full-detailed baseline on real workloads, across crates.
+
+use gpu_sim::{GpuConfig, GpuSimulator, NullController};
+use gpu_workloads::registry::Benchmark;
+use gpu_workloads::App;
+use photon::{Levels, PhotonConfig, PhotonController};
+
+/// Small machine + small detector windows keep debug-mode tests quick
+/// while preserving the residency ratios that make sampling meaningful.
+fn test_gpu() -> GpuConfig {
+    GpuConfig::r9_nano().with_num_cus(8)
+}
+
+fn test_photon(levels: Levels) -> PhotonConfig {
+    PhotonConfig::with_levels(levels).small_windows(128, 64)
+}
+
+fn run_full(cfg: &GpuConfig, build: impl Fn(&mut GpuSimulator) -> App) -> u64 {
+    let mut gpu = GpuSimulator::new(cfg.clone());
+    let app = build(&mut gpu);
+    app.run(&mut gpu, &mut NullController)
+        .expect("full run")
+        .total_cycles()
+}
+
+fn run_photon(
+    cfg: &GpuConfig,
+    levels: Levels,
+    build: impl Fn(&mut GpuSimulator) -> App,
+) -> (u64, PhotonController) {
+    let mut gpu = GpuSimulator::new(cfg.clone());
+    let app = build(&mut gpu);
+    let mut ph = PhotonController::new(test_photon(levels), cfg.num_cus as u64);
+    let cycles = app
+        .run(&mut gpu, &mut ph)
+        .expect("photon run")
+        .total_cycles();
+    (cycles, ph)
+}
+
+#[test]
+fn relu_warp_sampling_is_accurate() {
+    let cfg = test_gpu();
+    let full = run_full(&cfg, |gpu| Benchmark::Relu.build(gpu, 2048, 1));
+    let (sampled, ph) = run_photon(&cfg, Levels::all(), |gpu| {
+        Benchmark::Relu.build(gpu, 2048, 1)
+    });
+    let err = (full as f64 - sampled as f64).abs() / full as f64;
+    assert!(err < 0.10, "ReLU error {err}");
+    assert!(
+        ph.stats().warp_switches + ph.stats().bb_switches > 0,
+        "some intra-kernel level must trigger: {:?}",
+        ph.stats()
+    );
+}
+
+#[test]
+fn spmv_never_warp_samples() {
+    let cfg = test_gpu();
+    let (_, ph) = run_photon(&cfg, Levels::all(), |gpu| {
+        Benchmark::Spmv.build(gpu, 256, 1)
+    });
+    assert_eq!(
+        ph.stats().warp_switches,
+        0,
+        "irregular SpMV must not warp-sample: {:?}",
+        ph.stats()
+    );
+}
+
+#[test]
+fn kernel_sampling_skips_identical_relaunch() {
+    let cfg = test_gpu();
+    let mut gpu = GpuSimulator::new(cfg.clone());
+    let app = Benchmark::Fir.build(&mut gpu, 512, 3);
+    let mut ph = PhotonController::new(test_photon(Levels::all()), cfg.num_cus as u64);
+    let first = app.run(&mut gpu, &mut ph).unwrap();
+    let second = app.run(&mut gpu, &mut ph).unwrap();
+    assert!(!first.kernels[0].skipped);
+    assert!(second.kernels[0].skipped, "repeat launch must be skipped");
+    assert_eq!(ph.stats().kernels_skipped, 1);
+    // the prediction reuses the measured IPC: times should agree closely
+    let a = first.total_cycles() as f64;
+    let b = second.total_cycles() as f64;
+    assert!(
+        (a - b).abs() / a < 0.05,
+        "skip prediction {b} deviates from measured {a}"
+    );
+}
+
+#[test]
+fn pagerank_iterations_get_skipped() {
+    let cfg = test_gpu();
+    let full = run_full(&cfg, |gpu| gpu_workloads::pagerank::build(gpu, 2048, 5, 1));
+    let (sampled, ph) = run_photon(&cfg, Levels::all(), |gpu| {
+        gpu_workloads::pagerank::build(gpu, 2048, 5, 1)
+    });
+    // 5 iterations x 2 kernels: after the first iteration the rest match
+    assert!(
+        ph.stats().kernels_skipped >= 6,
+        "most PageRank kernels repeat: {:?}",
+        ph.stats()
+    );
+    let err = (full as f64 - sampled as f64).abs() / full as f64;
+    assert!(err < 0.15, "PageRank error {err}");
+}
+
+#[test]
+fn bb_only_photon_commits_memory_effects() {
+    // Under bb-sampling, skipped warps still execute functionally, so
+    // the workload's output must be bit-identical to the detailed run.
+    let cfg = test_gpu();
+    let mut gpu_full = GpuSimulator::new(cfg.clone());
+    let app_full = Benchmark::Relu.build(&mut gpu_full, 1024, 5);
+    app_full.run(&mut gpu_full, &mut NullController).unwrap();
+
+    let mut gpu_ph = GpuSimulator::new(cfg.clone());
+    let app_ph = Benchmark::Relu.build(&mut gpu_ph, 1024, 5);
+    let mut ph = PhotonController::new(test_photon(Levels::bb_only()), cfg.num_cus as u64);
+    app_ph.run(&mut gpu_ph, &mut ph).unwrap();
+
+    let launch = &app_full.launches()[0].launch;
+    let (y, n) = (launch.args[1], launch.args[2]);
+    let y2 = app_ph.launches()[0].launch.args[1];
+    for i in (0..n).step_by(97) {
+        assert_eq!(
+            gpu_full.mem().read_f32(y + 4 * i),
+            gpu_ph.mem().read_f32(y2 + 4 * i),
+            "output element {i} diverged"
+        );
+    }
+}
+
+#[test]
+fn sampling_reduces_detailed_instructions() {
+    let cfg = test_gpu();
+    let mut gpu = GpuSimulator::new(cfg.clone());
+    let app = Benchmark::Relu.build(&mut gpu, 2048, 1);
+    let full = app.run(&mut gpu, &mut NullController).unwrap();
+
+    let mut gpu2 = GpuSimulator::new(cfg.clone());
+    let app2 = Benchmark::Relu.build(&mut gpu2, 2048, 1);
+    let mut ph = PhotonController::new(test_photon(Levels::all()), cfg.num_cus as u64);
+    let sampled = app2.run(&mut gpu2, &mut ph).unwrap();
+
+    assert!(
+        sampled.total_detailed_insts() < full.total_detailed_insts(),
+        "photon must simulate fewer instructions ({} vs {})",
+        sampled.total_detailed_insts(),
+        full.total_detailed_insts()
+    );
+}
+
+#[test]
+fn micro_architecture_independence_smoke() {
+    // The same workload runs on both Table 1 machines; the bigger
+    // machine must not be slower, and Photon works on both.
+    let r9 = GpuConfig::r9_nano().with_num_cus(8);
+    let mi = GpuConfig::mi100().with_num_cus(16);
+    let t_r9 = run_full(&r9, |gpu| Benchmark::Fir.build(gpu, 1024, 1));
+    let t_mi = run_full(&mi, |gpu| Benchmark::Fir.build(gpu, 1024, 1));
+    assert!(t_mi <= t_r9, "MI100 ({t_mi}) slower than R9 ({t_r9})");
+
+    let (c_r9, _) = run_photon(&r9, Levels::all(), |gpu| Benchmark::Fir.build(gpu, 1024, 1));
+    let (c_mi, _) = run_photon(&mi, Levels::all(), |gpu| Benchmark::Fir.build(gpu, 1024, 1));
+    let e_r9 = (c_r9 as f64 - t_r9 as f64).abs() / t_r9 as f64;
+    let e_mi = (c_mi as f64 - t_mi as f64).abs() / t_mi as f64;
+    assert!(e_r9 < 0.25 && e_mi < 0.25, "errors {e_r9} / {e_mi}");
+}
+
+#[test]
+fn level_ablation_orders_accuracy() {
+    // Warp-sampling alone must stay accurate on its home turf (AES-like
+    // dominant-warp workloads); bb-only must also work on ReLU.
+    let cfg = test_gpu();
+    let full = run_full(&cfg, |gpu| Benchmark::Relu.build(gpu, 2048, 1));
+    for levels in [Levels::bb_only(), Levels::warp_only(), Levels::all()] {
+        let (sampled, _) = run_photon(&cfg, levels, |gpu| Benchmark::Relu.build(gpu, 2048, 1));
+        let err = (full as f64 - sampled as f64).abs() / full as f64;
+        assert!(err < 0.15, "levels {levels:?}: error {err}");
+    }
+}

@@ -1,0 +1,226 @@
+//! Property-based tests on the core data structures and invariants.
+
+use gpu_isa::{
+    BasicBlockMap, BranchCond, CmpOp, Inst, Kernel, KernelBuilder, KernelLaunch, Program, SAluOp,
+    ScalarSrc, Sreg, VAluOp, VectorSrc,
+};
+use gpu_sim::{GpuConfig, GpuSimulator};
+use photon::RollingStability;
+use proptest::prelude::*;
+
+/// Strategy for straight-line ALU instructions (no control flow).
+fn alu_inst() -> impl Strategy<Value = Inst> {
+    let salu_ops = prop_oneof![
+        Just(SAluOp::Add),
+        Just(SAluOp::Sub),
+        Just(SAluOp::Mul),
+        Just(SAluOp::And),
+        Just(SAluOp::Xor),
+        Just(SAluOp::Min),
+    ];
+    let valu_ops = prop_oneof![
+        Just(VAluOp::Add),
+        Just(VAluOp::Mul),
+        Just(VAluOp::Xor),
+        Just(VAluOp::FAdd),
+        Just(VAluOp::FMul),
+        Just(VAluOp::Max),
+    ];
+    prop_oneof![
+        (salu_ops, 0u8..8, 0u8..8, any::<i32>()).prop_map(|(op, d, a, imm)| Inst::SAlu {
+            op,
+            dst: Sreg::new(d),
+            a: ScalarSrc::Reg(Sreg::new(a)),
+            b: ScalarSrc::Imm(imm as i64),
+        }),
+        (valu_ops, 0u8..8, 0u8..8, any::<u32>()).prop_map(|(op, d, a, imm)| Inst::VAlu {
+            op,
+            dst: gpu_isa::Vreg::new(d),
+            a: VectorSrc::Reg(gpu_isa::Vreg::new(a)),
+            b: VectorSrc::Imm(imm),
+        }),
+    ]
+}
+
+/// Any instruction including branches/barriers with bounded targets.
+fn any_inst(max_target: u32) -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        6 => alu_inst(),
+        1 => (0..max_target).prop_map(|t| Inst::Branch { target: t }),
+        1 => (0..max_target, prop_oneof![
+                Just(BranchCond::SccZero),
+                Just(BranchCond::VccNonZero),
+                Just(BranchCond::ExecZero)
+            ])
+            .prop_map(|(t, c)| Inst::CBranch { cond: c, target: t }),
+        1 => Just(Inst::SBarrier),
+        1 => Just(Inst::SWaitcnt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Basic blocks always partition the program: contiguous,
+    /// non-overlapping, covering every pc.
+    #[test]
+    fn bb_map_partitions_program(insts in prop::collection::vec(any_inst(20), 1..40)) {
+        let mut insts = insts;
+        insts.push(Inst::SEndpgm);
+        let map = BasicBlockMap::from_program(&insts);
+        let mut pc = 0u32;
+        for block in map.blocks() {
+            prop_assert_eq!(block.start_pc, pc);
+            prop_assert!(block.len > 0);
+            pc = block.end_pc();
+        }
+        prop_assert_eq!(pc as usize, insts.len());
+        for p in 0..insts.len() as u32 {
+            let (_, b) = map.block_at_pc(p).unwrap();
+            prop_assert!(b.contains(p));
+        }
+    }
+
+    /// Branch targets always start a block.
+    #[test]
+    fn branch_targets_are_leaders(insts in prop::collection::vec(any_inst(20), 1..40)) {
+        let mut insts = insts;
+        insts.push(Inst::SEndpgm);
+        let map = BasicBlockMap::from_program(&insts);
+        for inst in &insts {
+            if let Some(t) = inst.branch_target() {
+                if (t as usize) < insts.len() {
+                    prop_assert!(map.block_starting_at(t).is_some());
+                }
+            }
+        }
+    }
+
+    /// Straight-line programs: detailed simulation executes exactly
+    /// `len × warps` instructions and matches the cycle lower bound.
+    #[test]
+    fn straight_line_instruction_accounting(
+        insts in prop::collection::vec(alu_inst(), 1..30),
+        wgs in 1u32..5,
+        wpw in 1u32..4,
+    ) {
+        let mut insts = insts;
+        insts.push(Inst::SEndpgm);
+        let program = Program::from_insts("p", insts).unwrap();
+        let len = program.len() as u64;
+        let launch = KernelLaunch::new(Kernel::new(program), wgs, wpw, vec![]);
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let result = gpu.run_kernel(&launch).unwrap();
+        prop_assert_eq!(result.detailed_insts, len * launch.total_warps());
+        prop_assert!(result.cycles >= len, "cycles {} < len {}", result.cycles, len);
+    }
+
+    /// Memory is value-correct under the interpreter regardless of the
+    /// op mix: a store of a computed value reads back identically.
+    #[test]
+    fn store_load_roundtrip(vals in prop::collection::vec(any::<u32>(), 1..64)) {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let buf = gpu.alloc_buffer(4 * vals.len() as u64).unwrap();
+        for (i, v) in vals.iter().enumerate() {
+            gpu.mem_mut().write_u32(buf + 4 * i as u64, *v);
+        }
+        for (i, v) in vals.iter().enumerate() {
+            prop_assert_eq!(gpu.mem().read_u32(buf + 4 * i as u64), *v);
+        }
+    }
+
+    /// A constant-duration stream is always detected as stable once two
+    /// windows have been seen, regardless of spacing.
+    #[test]
+    fn rolling_stability_accepts_constant_durations(
+        window in 4usize..32,
+        dur in 1u64..10_000,
+        spacing in 1u64..1000,
+    ) {
+        let mut d = RollingStability::new(window, 0.03);
+        for i in 0..(4 * window as u64) {
+            let x = (i * spacing) as f64;
+            d.push(x, x + dur as f64);
+        }
+        prop_assert!(d.is_stable());
+        prop_assert!((d.mean_duration().unwrap() - dur as f64).abs() < 1e-6);
+    }
+
+    /// A strongly drifting stream is never stable.
+    #[test]
+    fn rolling_stability_rejects_strong_drift(
+        window in 4usize..32,
+        base in 10u64..1000,
+    ) {
+        let mut d = RollingStability::new(window, 0.03);
+        for i in 0..(4 * window as u64) {
+            let x = (i * 100) as f64;
+            // duration doubles every window
+            let dur = base as f64 * (1.0 + i as f64 / window as f64);
+            d.push(x, x + dur);
+            prop_assert!(!d.is_stable(), "accepted drifting stream at point {i}");
+        }
+    }
+
+    /// Coalescing produces sorted, unique line ids covering every
+    /// accessed byte.
+    #[test]
+    fn coalescing_covers_accesses(addrs in prop::collection::vec(0u64..100_000, 1..64)) {
+        let lines = gpu_mem::coalesce_lines(addrs.clone(), 4);
+        prop_assert!(lines.windows(2).all(|w| w[0] < w[1]));
+        for a in addrs {
+            prop_assert!(lines.contains(&(a / 64)));
+            prop_assert!(lines.contains(&((a + 3) / 64)));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Uniform-loop kernels compute the same register state functionally
+    /// (isolated trace path) and in detailed timing mode: the detailed
+    /// engine's instruction count matches the trace's.
+    #[test]
+    fn functional_trace_matches_detailed_execution(trip in 1i64..20, wgs in 1u32..4) {
+        let mut kb = KernelBuilder::new("loop");
+        let i = kb.sreg();
+        let acc = kb.sreg();
+        kb.smov(acc, 0i64);
+        kb.for_uniform(i, 0i64, trip, |kb| {
+            kb.salu(SAluOp::Add, acc, acc, 3i64);
+        });
+        let v = kb.vreg();
+        kb.vcmp(CmpOp::Lt, VectorSrc::LaneId, VectorSrc::Imm(32), false);
+        kb.if_vcc(|kb| {
+            kb.vmov(v, VectorSrc::Imm(1));
+        });
+        let launch = KernelLaunch::new(Kernel::new(kb.finish().unwrap()), wgs, 2, vec![]);
+
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let trace = gpu_sim::trace_warp_isolated(&launch, gpu.mem(), 0, 1_000_000);
+        let result = gpu.run_kernel(&launch).unwrap();
+        prop_assert_eq!(result.detailed_insts, trace.insts * launch.total_warps());
+    }
+
+    /// ReLU under any level mask predicts a kernel time within a loose
+    /// envelope of the detailed time (sampling never produces nonsense).
+    #[test]
+    fn sampled_time_stays_in_envelope(warps in 256u64..1024) {
+        use photon::{Levels, PhotonConfig, PhotonController};
+        let cfg = GpuConfig::tiny();
+        let mut gpu = GpuSimulator::new(cfg.clone());
+        let app = gpu_workloads::registry::Benchmark::Relu.build(&mut gpu, warps, 11);
+        let full = app.run(&mut gpu, &mut gpu_sim::NullController).unwrap().total_cycles();
+
+        let mut gpu2 = GpuSimulator::new(cfg.clone());
+        let app2 = gpu_workloads::registry::Benchmark::Relu.build(&mut gpu2, warps, 11);
+        let mut ph = PhotonController::new(
+            PhotonConfig::with_levels(Levels::all()).small_windows(32, 32),
+            cfg.num_cus as u64,
+        );
+        let sampled = app2.run(&mut gpu2, &mut ph).unwrap().total_cycles();
+        let ratio = sampled as f64 / full as f64;
+        prop_assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+}

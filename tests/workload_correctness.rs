@@ -1,0 +1,119 @@
+//! Functional correctness of every Table 2 workload under the
+//! simulator: detailed runs must compute the right answers, and the
+//! timing engine must agree with functional-only execution.
+
+use gpu_sim::{GpuConfig, GpuSimulator, NullController};
+use gpu_workloads::dnn::{vgg, DnnScale, VggVariant};
+use gpu_workloads::registry::Benchmark;
+
+fn tiny() -> GpuConfig {
+    GpuConfig::tiny()
+}
+
+#[test]
+fn all_single_kernel_benchmarks_run_detailed() {
+    for bench in Benchmark::ALL {
+        let mut gpu = GpuSimulator::new(tiny());
+        let app = bench.build(&mut gpu, 64, 13);
+        let result = app.run(&mut gpu, &mut NullController).unwrap();
+        assert!(result.total_cycles() > 0, "{}", bench.abbr());
+        assert!(result.total_detailed_insts() > 0, "{}", bench.abbr());
+    }
+}
+
+#[test]
+fn detailed_and_functional_agree_on_outputs() {
+    // FIR: run once detailed, once purely functionally (via workgroup
+    // fast-forward); outputs must be bit-identical.
+    let mut gpu_a = GpuSimulator::new(tiny());
+    let app_a = Benchmark::Fir.build(&mut gpu_a, 32, 5);
+    app_a.run(&mut gpu_a, &mut NullController).unwrap();
+
+    let mut gpu_b = GpuSimulator::new(tiny());
+    let app_b = Benchmark::Fir.build(&mut gpu_b, 32, 5);
+    let launch = &app_b.launches()[0].launch;
+    for wg in 0..launch.num_wgs {
+        gpu_sim::run_wg_functional(launch, gpu_b.mem_mut(), wg, 10_000_000).unwrap();
+    }
+
+    let y_a = app_a.launches()[0].launch.args[2];
+    let y_b = launch.args[2];
+    let n = launch.args[3];
+    for i in 0..n {
+        assert_eq!(
+            gpu_a.mem().read_u32(y_a + 4 * i),
+            gpu_b.mem().read_u32(y_b + 4 * i),
+            "element {i}"
+        );
+    }
+}
+
+#[test]
+fn problem_size_scales_kernel_time() {
+    // More warps => more cycles (the problem-size axis of Fig 13).
+    let mut cycles = Vec::new();
+    for warps in [64u64, 256, 1024] {
+        let mut gpu = GpuSimulator::new(tiny());
+        let app = Benchmark::Relu.build(&mut gpu, warps, 3);
+        cycles.push(app.run(&mut gpu, &mut NullController).unwrap().total_cycles());
+    }
+    assert!(cycles[0] < cycles[1] && cycles[1] < cycles[2], "{cycles:?}");
+}
+
+#[test]
+fn determinism_across_runs() {
+    let run = || {
+        let mut gpu = GpuSimulator::new(tiny());
+        let app = Benchmark::Mm.build(&mut gpu, 64, 21);
+        app.run(&mut gpu, &mut NullController).unwrap().total_cycles()
+    };
+    assert_eq!(run(), run(), "simulation must be deterministic");
+}
+
+#[test]
+fn vgg_small_inference_is_finite_and_positive() {
+    let mut gpu = GpuSimulator::new(tiny());
+    let scale = DnnScale {
+        input_hw: 32,
+        channel_div: 16,
+    };
+    let app = vgg(&mut gpu, VggVariant::Vgg16, scale, 5);
+    let result = app.run(&mut gpu, &mut NullController).unwrap();
+    assert_eq!(result.kernels.len(), app.launches().len());
+    // logits of the final dense layer are finite
+    let out = app.launches().last().unwrap().launch.args[2];
+    let out_f = app.launches().last().unwrap().launch.args[5];
+    for i in 0..out_f {
+        assert!(gpu.mem().read_f32(out + 4 * i).is_finite(), "logit {i}");
+    }
+}
+
+#[test]
+fn aes_blocks_differ_across_threads() {
+    // different plaintext blocks must encrypt to different ciphertexts
+    let mut gpu = GpuSimulator::new(tiny());
+    let app = Benchmark::Aes.build(&mut gpu, 4, 17);
+    app.run(&mut gpu, &mut NullController).unwrap();
+    let out = app.launches()[0].launch.args[1];
+    let a = gpu.mem().read_u32(out);
+    let b = gpu.mem().read_u32(out + 16);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn spmv_row_imbalance_shows_in_warp_records() {
+    use gpu_sim::Recorder;
+    let mut gpu = GpuSimulator::new(tiny());
+    let app = Benchmark::Spmv.build(&mut gpu, 64, 23);
+    let mut rec = Recorder::new();
+    app.run(&mut gpu, &mut rec).unwrap();
+    // warps execute different dynamic instruction counts (data-dependent
+    // trip counts) — the signature of an irregular workload
+    let mut insts: Vec<u64> = rec.warp_records.iter().map(|w| w.insts).collect();
+    insts.sort_unstable();
+    insts.dedup();
+    assert!(
+        insts.len() > 4,
+        "irregular SpMV should show many distinct warp lengths: {insts:?}"
+    );
+}
