@@ -202,7 +202,17 @@ impl SamplingController for PkaController {
             .max(4)
             .min(total);
         let stride = (total / k).max(1);
-        let traces: Vec<WarpTrace> = (0..k).map(|i| ctx.trace_warp(i * stride)).collect();
+        let traces: Vec<WarpTrace> = match (0..k).map(|i| ctx.trace_warp(i * stride)).collect() {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!(
+                    "pka: sample tracing of kernel `{}` failed: {e}; running it fully detailed",
+                    ctx.launch().kernel.name()
+                );
+                self.current = None;
+                return KernelDirective::Simulate;
+            }
+        };
         let features = KernelFeatures::from_traces(&traces, ctx.launch(), total);
 
         if self.cfg.kernel_level {

@@ -105,7 +105,18 @@ impl SamplingController for SieveController {
         let stride = (total / k).max(1);
         let mut sample_insts = 0u64;
         for i in 0..k {
-            sample_insts += ctx.trace_warp(i * stride).insts;
+            match ctx.trace_warp(i * stride) {
+                Ok(t) => sample_insts += t.insts,
+                Err(e) => {
+                    eprintln!(
+                        "sieve: sample tracing of kernel `{}` failed: {e}; \
+                         running it fully detailed",
+                        ctx.launch().kernel.name()
+                    );
+                    self.pending = None;
+                    return KernelDirective::Simulate;
+                }
+            }
         }
         let est_insts = sample_insts as f64 / k as f64 * total as f64;
         let key = (

@@ -118,11 +118,9 @@ impl SamplingController for TbPointController {
     }
 
     fn predict_warp_avg(&mut self) -> Cycle {
-        if self.warps_seen == 0 {
-            1
-        } else {
-            (self.duration_sum / self.warps_seen).max(1)
-        }
+        self.duration_sum
+            .checked_div(self.warps_seen)
+            .map_or(1, |d| d.max(1))
     }
 
     fn on_kernel_end(&mut self, _result: &KernelResult) {

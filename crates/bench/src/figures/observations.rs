@@ -270,16 +270,24 @@ fn distribution_figure(
 
         // all warps
         let all_traces: Vec<_> = (0..total)
-            .map(|w| gpu_sim::trace_warp_isolated(launch, gpu.mem(), w, 50_000_000))
+            .map(|w| {
+                gpu_sim::trace_warp_isolated(launch, gpu.mem(), w, 50_000_000)
+                    .expect("figure kernels trace cleanly")
+            })
             .collect();
-        let all = OnlineAnalysis::from_traces(&all_traces, bb_map);
+        let all = OnlineAnalysis::from_traces(&all_traces, bb_map)
+            .expect("figure kernels have warps");
         // 1% sample
         let ids = photon::sample_warp_ids(total, 0.01, 8);
         let sample_traces: Vec<_> = ids
             .iter()
-            .map(|&w| gpu_sim::trace_warp_isolated(launch, gpu.mem(), w, 50_000_000))
+            .map(|&w| {
+                gpu_sim::trace_warp_isolated(launch, gpu.mem(), w, 50_000_000)
+                    .expect("figure kernels trace cleanly")
+            })
             .collect();
-        let sample = OnlineAnalysis::from_traces(&sample_traces, bb_map);
+        let sample = OnlineAnalysis::from_traces(&sample_traces, bb_map)
+            .expect("figure kernels have warps");
 
         let a = per_item(&all);
         let s = per_item(&sample);

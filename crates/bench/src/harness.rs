@@ -6,8 +6,10 @@ use gpu_workloads::registry::Benchmark;
 use gpu_workloads::App;
 use photon::{Levels, PhotonConfig, PhotonController};
 use serde::Serialize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::time::{Duration, Instant};
 
 /// Whether the full-size (64/120 CU, paper-sized sweeps) mode is on.
 pub fn full_size() -> bool {
@@ -168,6 +170,135 @@ pub fn run_app_method(
     }
 }
 
+/// Result of an isolated (panic- and hang-guarded) run: either a
+/// measurement, or a structured skip explaining why this configuration
+/// produced none. Skips serialize into result files so a partially
+/// failing sweep still documents its holes.
+#[derive(Debug, Clone, Serialize)]
+pub enum RunOutcome {
+    /// The run finished and was measured.
+    Completed(Measurement),
+    /// The run was abandoned; siblings continue.
+    Skipped {
+        /// Workload name.
+        workload: String,
+        /// Method name.
+        method: String,
+        /// Human-readable cause (panic message, timeout, ...).
+        reason: String,
+    },
+}
+
+impl RunOutcome {
+    /// The measurement, if the run completed.
+    pub fn measurement(&self) -> Option<&Measurement> {
+        match self {
+            RunOutcome::Completed(m) => Some(m),
+            RunOutcome::Skipped { .. } => None,
+        }
+    }
+}
+
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Like [`run_app_method`], but fault-isolated: the run happens on a
+/// worker thread behind `catch_unwind` and a wall-clock `timeout`, so a
+/// panicking or hanging configuration yields a [`RunOutcome::Skipped`]
+/// instead of taking the whole sweep down.
+///
+/// On timeout the worker thread is abandoned (it cannot be cancelled);
+/// it keeps running detached until its simulation finishes or the
+/// process exits.
+pub fn run_app_method_isolated<F>(
+    gpu_cfg: &GpuConfig,
+    name: &str,
+    build: F,
+    method: &Method,
+    pcfg: &PhotonConfig,
+    timeout: Duration,
+) -> RunOutcome
+where
+    F: Fn(&mut GpuSimulator) -> App + Send + 'static,
+{
+    let workload = name.to_string();
+    let method_name = method.name();
+    let skipped = |reason: String| RunOutcome::Skipped {
+        workload: workload.clone(),
+        method: method_name.clone(),
+        reason,
+    };
+
+    let cfg = gpu_cfg.clone();
+    let run_name = workload.clone();
+    let run_method = method.clone();
+    let run_pcfg = pcfg.clone();
+    let (tx, rx) = channel();
+    let spawn = std::thread::Builder::new()
+        .name(format!("bench-{workload}"))
+        .spawn(move || {
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                run_app_method(&cfg, &run_name, &build, &run_method, &run_pcfg)
+            }));
+            // The receiver may already have timed out and moved on.
+            let _ = tx.send(res);
+        });
+    let handle = match spawn {
+        Ok(h) => h,
+        Err(e) => return skipped(format!("could not spawn worker thread: {e}")),
+    };
+
+    match rx.recv_timeout(timeout) {
+        Ok(Ok(m)) => {
+            let _ = handle.join();
+            RunOutcome::Completed(m)
+        }
+        Ok(Err(payload)) => {
+            let _ = handle.join();
+            skipped(format!("panicked: {}", panic_reason(payload.as_ref())))
+        }
+        Err(RecvTimeoutError::Timeout) => {
+            skipped(format!("timed out after {:.1}s", timeout.as_secs_f64()))
+        }
+        Err(RecvTimeoutError::Disconnected) => {
+            let _ = handle.join();
+            skipped("worker thread died without reporting".to_string())
+        }
+    }
+}
+
+/// Fault-isolated variant of [`run_benchmark`]; see
+/// [`run_app_method_isolated`].
+pub fn run_benchmark_isolated(
+    gpu_cfg: &GpuConfig,
+    bench: Benchmark,
+    warps: u64,
+    seed: u64,
+    method: &Method,
+    pcfg: &PhotonConfig,
+    timeout: Duration,
+) -> RunOutcome {
+    let mut out = run_app_method_isolated(
+        gpu_cfg,
+        bench.abbr(),
+        move |gpu| bench.build(gpu, warps, seed),
+        method,
+        pcfg,
+        timeout,
+    );
+    if let RunOutcome::Completed(m) = &mut out {
+        m.warps = warps;
+    }
+    out
+}
+
 /// Runs one Table 2 benchmark at a problem size under a method.
 pub fn run_benchmark(
     gpu_cfg: &GpuConfig,
@@ -316,6 +447,77 @@ mod tests {
         };
         assert!((fast.error_vs(&full) - 0.1).abs() < 1e-12);
         assert!((fast.speedup_vs(&full) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn panicking_run_is_skipped_and_siblings_continue() {
+        let cfg = GpuConfig::tiny();
+        let pcfg = PhotonConfig::default();
+        let bad = run_app_method_isolated(
+            &cfg,
+            "bad",
+            |_gpu| panic!("builder exploded"),
+            &Method::Full,
+            &pcfg,
+            Duration::from_secs(60),
+        );
+        match &bad {
+            RunOutcome::Skipped { workload, reason, .. } => {
+                assert_eq!(workload, "bad");
+                assert!(reason.contains("builder exploded"), "reason: {reason}");
+            }
+            RunOutcome::Completed(_) => panic!("panicking run completed"),
+        }
+        assert!(bad.measurement().is_none());
+
+        // A healthy sibling on the same harness still measures.
+        let good = run_benchmark_isolated(
+            &cfg,
+            Benchmark::Fir,
+            4,
+            7,
+            &Method::Full,
+            &pcfg,
+            Duration::from_secs(60),
+        );
+        let m = good.measurement().expect("healthy run completes");
+        assert!(m.sim_cycles > 0);
+        assert_eq!(m.warps, 4);
+    }
+
+    #[test]
+    fn hung_run_times_out_as_skipped() {
+        let cfg = GpuConfig::tiny();
+        let out = run_app_method_isolated(
+            &cfg,
+            "hang",
+            |_gpu| -> App {
+                // Stand-in for a wedged simulation; the worker is
+                // abandoned and finishes sleeping after the test ends.
+                std::thread::sleep(Duration::from_secs(30));
+                panic!("never reached within the timeout");
+            },
+            &Method::Full,
+            &PhotonConfig::default(),
+            Duration::from_millis(100),
+        );
+        match out {
+            RunOutcome::Skipped { reason, .. } => {
+                assert!(reason.contains("timed out"), "reason: {reason}");
+            }
+            RunOutcome::Completed(_) => panic!("hung run completed"),
+        }
+    }
+
+    #[test]
+    fn skips_serialize_into_results() {
+        let out = RunOutcome::Skipped {
+            workload: "x".into(),
+            method: "Full".into(),
+            reason: "timed out after 1.0s".into(),
+        };
+        let json = serde_json::to_string(&out).unwrap();
+        assert!(json.contains("timed out"));
     }
 
     #[test]

@@ -41,10 +41,13 @@ impl OnlineAnalysis {
     ///
     /// `bb_map` must be the basic-block map of the traced kernel.
     ///
-    /// # Panics
-    /// Panics if `traces` is empty.
-    pub fn from_traces(traces: &[WarpTrace], bb_map: &gpu_isa::BasicBlockMap) -> Self {
-        assert!(!traces.is_empty(), "online analysis needs at least one trace");
+    /// Returns `None` if `traces` is empty (e.g. a zero-warp launch or a
+    /// sample whose warps all faulted); callers fall back to detailed
+    /// simulation in that case.
+    pub fn from_traces(traces: &[WarpTrace], bb_map: &gpu_isa::BasicBlockMap) -> Option<Self> {
+        if traces.is_empty() {
+            return None;
+        }
         let mut by_type: HashMap<&WarpTrace, u64> = HashMap::new();
         for t in traces {
             *by_type.entry(t).or_insert(0) += 1;
@@ -89,7 +92,7 @@ impl OnlineAnalysis {
             .collect();
         let gpu_bbv = GpuBbv::new(typed_bbvs, insts_per_warp);
 
-        OnlineAnalysis {
+        Some(OnlineAnalysis {
             types,
             dominant_fraction,
             bb_inst_share: bb_insts,
@@ -97,7 +100,7 @@ impl OnlineAnalysis {
             sampled_warps: total,
             sample_insts,
             insts_per_warp,
-        }
+        })
     }
 
     /// The dominant warp type's trace, if any type exists.
@@ -165,7 +168,7 @@ mod tests {
         let a = trace(&[(0, 5)]);
         let b = trace(&[(1, 5)]);
         let traces = vec![a.clone(), a.clone(), a.clone(), b];
-        let oa = OnlineAnalysis::from_traces(&traces, &map);
+        let oa = OnlineAnalysis::from_traces(&traces, &map).unwrap();
         assert_eq!(oa.types.len(), 2);
         assert_eq!(oa.dominant_fraction, 0.75);
         assert_eq!(oa.dominant_type(), Some(&a));
@@ -175,7 +178,7 @@ mod tests {
     fn bb_shares_sum_to_one() {
         let map = bb_map(4);
         let traces = vec![trace(&[(0, 3), (1, 1)]), trace(&[(0, 1), (2, 2)])];
-        let oa = OnlineAnalysis::from_traces(&traces, &map);
+        let oa = OnlineAnalysis::from_traces(&traces, &map).unwrap();
         let sum: f64 = oa.bb_inst_share.iter().map(|(_, w)| w).sum();
         assert!((sum - 1.0).abs() < 1e-12);
         assert!(oa.bb_share(BasicBlockId(0)) > oa.bb_share(BasicBlockId(1)));
@@ -201,9 +204,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one trace")]
-    fn empty_traces_panic() {
+    fn empty_traces_yield_none() {
         let map = bb_map(2);
-        let _ = OnlineAnalysis::from_traces(&[], &map);
+        assert!(OnlineAnalysis::from_traces(&[], &map).is_none());
     }
 }

@@ -163,7 +163,7 @@ mod tests {
             .collect();
         let insts = counts.iter().map(|(_, c)| *c as u64).sum();
         let t = WarpTrace::from_counts(counts, insts);
-        OnlineAnalysis::from_traces(&[t], map)
+        OnlineAnalysis::from_traces(&[t], map).unwrap()
     }
 
     fn barrier_map(n: usize) -> BasicBlockMap {

@@ -159,16 +159,32 @@ impl PhotonController {
         self.last_bb_means.as_deref()
     }
 
-    fn obtain_analysis(&mut self, ctx: &mut dyn KernelStartAccess) -> OnlineAnalysis {
+    /// Traces the online sample, returning `None` (= fall back to
+    /// detailed simulation) when a sample warp faults or the launch has
+    /// nothing to sample.
+    fn obtain_analysis(&mut self, ctx: &mut dyn KernelStartAccess) -> Option<OnlineAnalysis> {
         if let Some(pre) = &self.offline_analyses {
             if let Some(a) = pre.get(self.offline_cursor) {
                 self.offline_cursor += 1;
-                return a.clone();
+                return Some(a.clone());
             }
         }
         let total = ctx.total_warps();
         let ids = sample_warp_ids(total, self.cfg.sample_fraction, self.cfg.min_sample_warps);
-        let traces: Vec<WarpTrace> = ids.iter().map(|&w| ctx.trace_warp(w)).collect();
+        let mut traces: Vec<WarpTrace> = Vec::with_capacity(ids.len());
+        for &w in &ids {
+            match ctx.trace_warp(w) {
+                Ok(t) => traces.push(t),
+                Err(e) => {
+                    eprintln!(
+                        "photon: online analysis of kernel `{}` failed tracing warp {w}: {e}; \
+                         falling back to detailed simulation",
+                        ctx.launch().kernel.name()
+                    );
+                    return None;
+                }
+            }
+        }
         let bb_map = ctx.launch().kernel.program().basic_blocks();
         OnlineAnalysis::from_traces(&traces, bb_map)
     }
@@ -177,7 +193,14 @@ impl PhotonController {
 impl SamplingController for PhotonController {
     fn on_kernel_start(&mut self, ctx: &mut dyn KernelStartAccess) -> KernelDirective {
         self.stats.kernels += 1;
-        let analysis = self.obtain_analysis(ctx);
+        let Some(analysis) = self.obtain_analysis(ctx) else {
+            // No usable sample: run fully detailed. With no KernelState,
+            // dispatch_mode stays Detailed and on_kernel_end records
+            // nothing, so a bad kernel cannot poison the history.
+            self.state = None;
+            self.stats.full_detailed += 1;
+            return KernelDirective::Simulate;
+        };
         self.recorded_analyses.push(analysis.clone());
         let total_warps = ctx.total_warps();
         let launch = ctx.launch();
@@ -194,24 +217,34 @@ impl SamplingController for PhotonController {
                     * (analysis.sampled_warps as f64))
                     .round() as u64;
                 let p = self.history.predict(m, scaled_sample);
-                self.stats.kernels_skipped += 1;
-                // Record this instance too, so later launches can match
-                // the closest warp count.
-                let ipc = self.history.records()[m].ipc;
-                self.history.push(KernelRecord {
-                    name: launch.kernel.name().to_string(),
-                    gpu_bbv: analysis.gpu_bbv.clone(),
-                    total_warps,
-                    sample_insts: analysis.sample_insts,
-                    est_total_insts: analysis.insts_per_warp * total_warps as f64,
-                    cycles: p.cycles,
-                    ipc,
-                });
-                self.state = None;
-                return KernelDirective::Skip {
-                    predicted_cycles: p.cycles,
-                    functional_replay: self.cfg.functional_replay,
-                };
+                if p.cycles > 0 {
+                    self.stats.kernels_skipped += 1;
+                    // Record this instance too, so later launches can
+                    // match the closest warp count.
+                    let ipc = self.history.records()[m].ipc;
+                    self.history.push(KernelRecord {
+                        name: launch.kernel.name().to_string(),
+                        gpu_bbv: analysis.gpu_bbv.clone(),
+                        total_warps,
+                        sample_insts: analysis.sample_insts,
+                        est_total_insts: analysis.insts_per_warp * total_warps as f64,
+                        cycles: p.cycles,
+                        ipc,
+                    });
+                    self.state = None;
+                    return KernelDirective::Skip {
+                        predicted_cycles: p.cycles,
+                        functional_replay: self.cfg.functional_replay,
+                    };
+                }
+                // A degenerate prediction (matched kernel had no
+                // measurable cycles) would skip the kernel for free and
+                // corrupt the clock; simulate in detail instead.
+                eprintln!(
+                    "photon: kernel `{}` matched history entry with zero predicted \
+                     cycles; simulating in detail instead of skipping",
+                    launch.kernel.name()
+                );
             }
         }
 

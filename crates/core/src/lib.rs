@@ -44,6 +44,10 @@
 //! # }
 //! ```
 
+// Production code must surface failures as typed errors, not panics;
+// tests are free to unwrap.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 mod analysis;
 mod bb_sampling;
 mod bbv;

@@ -144,8 +144,9 @@ impl RollingStability {
         }
         // A point leaving the old window is dropped entirely.
         if self.points.len() > 4 * self.window {
-            let (ox, oy) = self.points.pop_front().expect("deque non-empty");
-            self.dur_old -= oy - ox;
+            if let Some((ox, oy)) = self.points.pop_front() {
+                self.dur_old -= oy - ox;
+            }
         }
     }
 

@@ -120,7 +120,7 @@ mod tests {
     fn sample_analysis() -> OnlineAnalysis {
         let map = BasicBlockMap::from_program(&[Inst::SBarrier, Inst::SEndpgm]);
         let t = WarpTrace::from_counts(vec![(BasicBlockId(0), 3), (BasicBlockId(1), 1)], 4);
-        OnlineAnalysis::from_traces(&[t.clone(), t], &map)
+        OnlineAnalysis::from_traces(&[t.clone(), t], &map).unwrap()
     }
 
     #[test]

@@ -77,7 +77,7 @@ mod tests {
         let na = (dominant * n as f64) as usize;
         let mut traces = vec![a; na];
         traces.extend(vec![b; n - na]);
-        OnlineAnalysis::from_traces(&traces, &map)
+        OnlineAnalysis::from_traces(&traces, &map).unwrap()
     }
 
     fn cfg() -> PhotonConfig {

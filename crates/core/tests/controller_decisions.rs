@@ -4,16 +4,18 @@
 
 use gpu_isa::{BasicBlockId, Inst, Kernel, KernelBuilder, KernelLaunch, VAluOp, VectorSrc};
 use gpu_sim::{
-    BbRecord, KernelDirective, KernelResult, KernelStartAccess, SamplingController, WarpRecord,
-    WarpTrace, WgMode,
+    BbRecord, KernelDirective, KernelResult, KernelStartAccess, SamplingController, SimError,
+    WarpRecord, WarpTrace, WgMode,
 };
 use photon::{Levels, PhotonConfig, PhotonController};
 
-/// A fake engine: hands out a fixed trace for every sampled warp.
+/// A fake engine: hands out a fixed trace for every sampled warp
+/// (or a tracing fault, when `fail` is set).
 struct MockCtx {
     launch: KernelLaunch,
     trace: WarpTrace,
     traced: u64,
+    fail: bool,
 }
 
 impl MockCtx {
@@ -26,7 +28,14 @@ impl MockCtx {
             launch: KernelLaunch::new(kernel, warps as u32, 1, vec![]),
             trace,
             traced: 0,
+            fail: false,
         }
+    }
+
+    fn failing(warps: u64, trace: WarpTrace) -> Self {
+        let mut ctx = Self::new(warps, trace);
+        ctx.fail = true;
+        ctx
     }
 }
 
@@ -37,9 +46,15 @@ impl KernelStartAccess for MockCtx {
     fn total_warps(&self) -> u64 {
         self.launch.total_warps()
     }
-    fn trace_warp(&mut self, _global_warp: u64) -> WarpTrace {
+    fn trace_warp(&mut self, global_warp: u64) -> Result<WarpTrace, SimError> {
+        if self.fail {
+            return Err(SimError::InstLimitExceeded {
+                warp: global_warp,
+                limit: 1,
+            });
+        }
         self.traced += 1;
-        self.trace.clone()
+        Ok(self.trace.clone())
     }
 }
 
@@ -230,6 +245,26 @@ fn offline_analyses_are_consumed_in_order() {
     let mut ctx2 = MockCtx::new(1000, uniform_trace(10));
     replay.on_kernel_start(&mut ctx2);
     assert_eq!(ctx2.traced, 0, "offline mode must not trace");
+}
+
+#[test]
+fn failed_tracing_falls_back_to_detailed() {
+    // A sample warp that faults during online analysis must not panic,
+    // must run the kernel fully detailed, and must leave no history
+    // entry behind that a later kernel could match.
+    let mut ctrl = PhotonController::new(PhotonConfig::default(), 64);
+    let mut bad = MockCtx::failing(1000, uniform_trace(10));
+    assert_eq!(ctrl.on_kernel_start(&mut bad), KernelDirective::Simulate);
+    assert_eq!(ctrl.dispatch_mode(), WgMode::Detailed);
+    assert_eq!(ctrl.stats().full_detailed, 1);
+    finish_kernel(&mut ctrl, 5000, 1000);
+    assert!(ctrl.history().records().is_empty());
+
+    // A healthy identical kernel afterwards still works normally.
+    let mut good = MockCtx::new(1000, uniform_trace(10));
+    assert_eq!(ctrl.on_kernel_start(&mut good), KernelDirective::Simulate);
+    finish_kernel(&mut ctrl, 5000, 1000);
+    assert_eq!(ctrl.history().records().len(), 1);
 }
 
 #[test]

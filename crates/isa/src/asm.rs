@@ -696,7 +696,7 @@ mod tests {
         let text: String = original
             .insts()
             .iter()
-            .map(|i| disasm(i))
+            .map(disasm)
             .collect::<Vec<_>>()
             .join("\n");
         let reparsed = parse_asm("rt", &text).unwrap();

@@ -59,6 +59,7 @@ mod inst;
 mod kernel;
 mod program;
 mod reg;
+mod validate;
 
 pub use asm::{parse_asm, AsmError};
 pub use bb::{BasicBlock, BasicBlockId, BasicBlockMap, BbOptions};
@@ -72,3 +73,4 @@ pub use inst::{
 pub use kernel::{Kernel, KernelLaunch};
 pub use program::Program;
 pub use reg::{Sreg, Vreg, LANES, MAX_SREGS, MAX_VREGS};
+pub use validate::{validate_launch, validate_program, KernelLimits, ValidateError};

@@ -1,0 +1,486 @@
+//! Kernel pre-flight validation.
+//!
+//! [`Program::from_insts`] checks structural well-formedness at build
+//! time, but programs can also enter the system through
+//! deserialization or hand assembly, bypassing the builder. This module
+//! re-validates a program (and a launch) against the machine limits
+//! *before* any cycle is simulated, so malformed kernels surface as
+//! typed errors instead of panics or hung simulations:
+//!
+//! * every branch target lies inside the program,
+//! * every scalar/vector register index is within the declared
+//!   register-file limits ([`KernelLimits`]),
+//! * every `s_load_arg` index is covered by the launch's argument list,
+//! * no `s_barrier` sits inside a lane-divergent region (between
+//!   `s_and_saveexec` and the EXEC restore), where warps could arrive
+//!   with mismatched lane masks.
+//!
+//! The divergence check is a linear-scan approximation over the
+//! structured idioms [`crate::KernelBuilder`] emits (`if_vcc`,
+//! `lane_while`): it tracks `s_and_saveexec` nesting and treats any
+//! EXEC write as closing the region. Uniform scalar branches
+//! (`if_scc`, `for_uniform`) do not trigger it; per-warp *count*
+//! mismatches are a dynamic property left to the timing engine's
+//! barrier watchdog.
+
+use crate::inst::{Inst, MaskReg, ScalarSrc, VectorSrc};
+use crate::kernel::KernelLaunch;
+use crate::program::Program;
+use crate::reg::{Sreg, Vreg, MAX_SREGS, MAX_VREGS};
+use std::error::Error;
+use std::fmt;
+
+/// Register-file limits a kernel is validated against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelLimits {
+    /// Scalar registers available to the kernel.
+    pub sregs: usize,
+    /// Vector registers available to the kernel.
+    pub vregs: usize,
+}
+
+impl Default for KernelLimits {
+    /// The full architectural register files.
+    fn default() -> Self {
+        KernelLimits {
+            sregs: MAX_SREGS,
+            vregs: MAX_VREGS,
+        }
+    }
+}
+
+/// A defect found by pre-flight validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// The program has no instructions.
+    EmptyProgram,
+    /// No path ends in `s_endpgm`.
+    MissingEndpgm,
+    /// A branch targets a PC outside the program.
+    BranchOutOfRange {
+        /// Instruction index of the branch.
+        pc: u32,
+        /// Resolved (invalid) target.
+        target: u32,
+        /// Program length.
+        len: usize,
+    },
+    /// A scalar register index exceeds the declared SGPR count.
+    SregOutOfRange {
+        /// Instruction index.
+        pc: u32,
+        /// Offending register index.
+        reg: usize,
+        /// Declared SGPR count.
+        limit: usize,
+    },
+    /// A vector register index exceeds the declared VGPR count.
+    VregOutOfRange {
+        /// Instruction index.
+        pc: u32,
+        /// Offending register index.
+        reg: usize,
+        /// Declared VGPR count.
+        limit: usize,
+    },
+    /// An `s_load_arg` index has no corresponding launch argument.
+    ArgOutOfRange {
+        /// Instruction index.
+        pc: u32,
+        /// Argument index requested.
+        index: u16,
+        /// Arguments provided by the launch.
+        args: usize,
+    },
+    /// An `s_barrier` is reachable inside a lane-divergent region.
+    BarrierUnderDivergence {
+        /// Instruction index of the barrier.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::EmptyProgram => write!(f, "program is empty"),
+            ValidateError::MissingEndpgm => {
+                write!(f, "program does not terminate with s_endpgm")
+            }
+            ValidateError::BranchOutOfRange { pc, target, len } => write!(
+                f,
+                "branch at pc {pc} targets pc {target}, outside the {len}-instruction program"
+            ),
+            ValidateError::SregOutOfRange { pc, reg, limit } => write!(
+                f,
+                "instruction at pc {pc} uses scalar register s{reg}, but only {limit} are declared"
+            ),
+            ValidateError::VregOutOfRange { pc, reg, limit } => write!(
+                f,
+                "instruction at pc {pc} uses vector register v{reg}, but only {limit} are declared"
+            ),
+            ValidateError::ArgOutOfRange { pc, index, args } => write!(
+                f,
+                "s_load_arg at pc {pc} reads argument {index}, but the launch provides {args}"
+            ),
+            ValidateError::BarrierUnderDivergence { pc } => write!(
+                f,
+                "s_barrier at pc {pc} lies inside a lane-divergent region (after s_and_saveexec)"
+            ),
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+fn check_sreg(pc: u32, r: Sreg, limits: &KernelLimits) -> Result<(), ValidateError> {
+    if r.index() >= limits.sregs {
+        return Err(ValidateError::SregOutOfRange {
+            pc,
+            reg: r.index(),
+            limit: limits.sregs,
+        });
+    }
+    Ok(())
+}
+
+fn check_vreg(pc: u32, r: Vreg, limits: &KernelLimits) -> Result<(), ValidateError> {
+    if r.index() >= limits.vregs {
+        return Err(ValidateError::VregOutOfRange {
+            pc,
+            reg: r.index(),
+            limit: limits.vregs,
+        });
+    }
+    Ok(())
+}
+
+fn check_ssrc(pc: u32, s: &ScalarSrc, limits: &KernelLimits) -> Result<(), ValidateError> {
+    match s {
+        ScalarSrc::Reg(r) => check_sreg(pc, *r, limits),
+        ScalarSrc::Imm(_) => Ok(()),
+    }
+}
+
+fn check_vsrc(pc: u32, v: &VectorSrc, limits: &KernelLimits) -> Result<(), ValidateError> {
+    match v {
+        VectorSrc::Reg(r) => check_vreg(pc, *r, limits),
+        VectorSrc::Sreg(r) => check_sreg(pc, *r, limits),
+        VectorSrc::Imm(_) | VectorSrc::ImmF32(_) | VectorSrc::LaneId => Ok(()),
+    }
+}
+
+fn check_registers(pc: u32, inst: &Inst, limits: &KernelLimits) -> Result<(), ValidateError> {
+    match inst {
+        Inst::SAlu { dst, a, b, .. } => {
+            check_sreg(pc, *dst, limits)?;
+            check_ssrc(pc, a, limits)?;
+            check_ssrc(pc, b, limits)
+        }
+        Inst::SCmp { a, b, .. } => {
+            check_ssrc(pc, a, limits)?;
+            check_ssrc(pc, b, limits)
+        }
+        Inst::SLoadArg { dst, .. }
+        | Inst::SGetSpecial { dst, .. }
+        | Inst::SReadMask { dst, .. }
+        | Inst::SAndSaveExec { dst } => check_sreg(pc, *dst, limits),
+        Inst::SWriteMask { src, .. } => check_ssrc(pc, src, limits),
+        Inst::VAlu { dst, a, b, .. } => {
+            check_vreg(pc, *dst, limits)?;
+            check_vsrc(pc, a, limits)?;
+            check_vsrc(pc, b, limits)
+        }
+        Inst::VFma { dst, a, b, c } => {
+            check_vreg(pc, *dst, limits)?;
+            check_vsrc(pc, a, limits)?;
+            check_vsrc(pc, b, limits)?;
+            check_vsrc(pc, c, limits)
+        }
+        Inst::VCmp { a, b, .. } => {
+            check_vsrc(pc, a, limits)?;
+            check_vsrc(pc, b, limits)
+        }
+        Inst::GlobalLoad {
+            dst, base, offset, ..
+        } => {
+            check_vreg(pc, *dst, limits)?;
+            check_sreg(pc, *base, limits)?;
+            check_vreg(pc, *offset, limits)
+        }
+        Inst::GlobalStore {
+            src, base, offset, ..
+        } => {
+            check_vreg(pc, *src, limits)?;
+            check_sreg(pc, *base, limits)?;
+            check_vreg(pc, *offset, limits)
+        }
+        Inst::LdsLoad { dst, addr, .. } => {
+            check_vreg(pc, *dst, limits)?;
+            check_vreg(pc, *addr, limits)
+        }
+        Inst::LdsStore { src, addr, .. } => {
+            check_vreg(pc, *src, limits)?;
+            check_vreg(pc, *addr, limits)
+        }
+        Inst::Branch { .. }
+        | Inst::CBranch { .. }
+        | Inst::SBarrier
+        | Inst::SWaitcnt
+        | Inst::SEndpgm => Ok(()),
+    }
+}
+
+/// Validates a program against the machine limits.
+///
+/// # Errors
+/// Returns the first [`ValidateError`] found, scanning in PC order.
+pub fn validate_program(program: &Program, limits: &KernelLimits) -> Result<(), ValidateError> {
+    validate_insts(program.insts(), limits)
+}
+
+/// Slice-level worker: validates a raw instruction sequence. Programs
+/// that arrive through deserialization have not passed through
+/// [`Program::from_insts`], so nothing here may be assumed.
+fn validate_insts(insts: &[Inst], limits: &KernelLimits) -> Result<(), ValidateError> {
+    if insts.is_empty() {
+        return Err(ValidateError::EmptyProgram);
+    }
+    if !insts.iter().any(|i| matches!(i, Inst::SEndpgm)) {
+        return Err(ValidateError::MissingEndpgm);
+    }
+    let mut exec_depth = 0u32;
+    for (pc, inst) in insts.iter().enumerate() {
+        let pc = pc as u32;
+        if let Some(target) = inst.branch_target() {
+            if target as usize >= insts.len() {
+                return Err(ValidateError::BranchOutOfRange {
+                    pc,
+                    target,
+                    len: insts.len(),
+                });
+            }
+        }
+        check_registers(pc, inst, limits)?;
+        match inst {
+            Inst::SAndSaveExec { .. } => exec_depth = exec_depth.saturating_add(1),
+            Inst::SWriteMask {
+                dst: MaskReg::Exec, ..
+            } => exec_depth = 0,
+            Inst::SBarrier if exec_depth > 0 => {
+                return Err(ValidateError::BarrierUnderDivergence { pc });
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Validates a launch: the program plus launch-specific properties
+/// (argument indices against the provided argument list).
+///
+/// # Errors
+/// Returns the first [`ValidateError`] found.
+pub fn validate_launch(launch: &KernelLaunch, limits: &KernelLimits) -> Result<(), ValidateError> {
+    let program = launch.kernel.program();
+    validate_program(program, limits)?;
+    for (pc, inst) in program.insts().iter().enumerate() {
+        if let Inst::SLoadArg { index, .. } = inst {
+            if *index as usize >= launch.args.len() {
+                return Err(ValidateError::ArgOutOfRange {
+                    pc: pc as u32,
+                    index: *index,
+                    args: launch.args.len(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{CmpOp, SAluOp, VAluOp};
+    use crate::kernel::Kernel;
+    use crate::KernelBuilder;
+
+    fn program(insts: Vec<Inst>) -> Program {
+        Program::from_insts("t", insts).unwrap()
+    }
+
+    #[test]
+    fn accepts_builder_output() {
+        let mut kb = KernelBuilder::new("ok");
+        let s = kb.sreg();
+        kb.load_arg(s, 0);
+        let v = kb.vreg();
+        kb.valu(VAluOp::Add, v, VectorSrc::LaneId, VectorSrc::Imm(1));
+        kb.vcmp(CmpOp::Lt, VectorSrc::Reg(v), VectorSrc::Imm(32), false);
+        kb.if_vcc(|kb| {
+            let w = kb.vreg();
+            kb.valu(VAluOp::Add, w, VectorSrc::Reg(v), VectorSrc::Imm(1));
+        });
+        kb.barrier();
+        let p = kb.finish().unwrap();
+        assert_eq!(validate_program(&p, &KernelLimits::default()), Ok(()));
+        let launch = KernelLaunch::new(Kernel::new(p), 1, 1, vec![0x1000]);
+        assert_eq!(validate_launch(&launch, &KernelLimits::default()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_register_over_declared_limit() {
+        let p = program(vec![
+            Inst::SAlu {
+                op: SAluOp::Add,
+                dst: Sreg::new(9),
+                a: ScalarSrc::Imm(1),
+                b: ScalarSrc::Imm(2),
+            },
+            Inst::SEndpgm,
+        ]);
+        let tight = KernelLimits { sregs: 4, vregs: 4 };
+        assert_eq!(
+            validate_program(&p, &tight),
+            Err(ValidateError::SregOutOfRange {
+                pc: 0,
+                reg: 9,
+                limit: 4
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_vector_register_in_operand_position() {
+        let p = program(vec![
+            Inst::VAlu {
+                op: VAluOp::Add,
+                dst: Vreg::new(0),
+                a: VectorSrc::Reg(Vreg::new(7)),
+                b: VectorSrc::Imm(0),
+            },
+            Inst::SEndpgm,
+        ]);
+        let tight = KernelLimits { sregs: 64, vregs: 4 };
+        assert_eq!(
+            validate_program(&p, &tight),
+            Err(ValidateError::VregOutOfRange {
+                pc: 0,
+                reg: 7,
+                limit: 4
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_branch_out_of_range() {
+        // An out-of-range branch cannot come out of Program::from_insts,
+        // but a deserialized program bypasses it; exercise the slice
+        // worker the way such a program would hit it.
+        let insts = vec![Inst::Branch { target: 7 }, Inst::SEndpgm];
+        assert_eq!(
+            validate_insts(&insts, &KernelLimits::default()),
+            Err(ValidateError::BranchOutOfRange {
+                pc: 0,
+                target: 7,
+                len: 2
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_empty_and_unterminated() {
+        assert_eq!(
+            validate_insts(&[], &KernelLimits::default()),
+            Err(ValidateError::EmptyProgram)
+        );
+        assert_eq!(
+            validate_insts(&[Inst::SBarrier], &KernelLimits::default()),
+            Err(ValidateError::MissingEndpgm)
+        );
+    }
+
+    #[test]
+    fn rejects_arg_index_beyond_launch_args() {
+        let p = program(vec![
+            Inst::SLoadArg {
+                dst: Sreg::new(0),
+                index: 2,
+            },
+            Inst::SEndpgm,
+        ]);
+        let launch = KernelLaunch::new(Kernel::new(p), 1, 1, vec![0xbeef]);
+        assert_eq!(
+            validate_launch(&launch, &KernelLimits::default()),
+            Err(ValidateError::ArgOutOfRange {
+                pc: 0,
+                index: 2,
+                args: 1
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_barrier_inside_divergent_region() {
+        let p = program(vec![
+            Inst::SAndSaveExec { dst: Sreg::new(0) },
+            Inst::SBarrier,
+            Inst::SWriteMask {
+                dst: MaskReg::Exec,
+                src: ScalarSrc::Reg(Sreg::new(0)),
+            },
+            Inst::SEndpgm,
+        ]);
+        assert_eq!(
+            validate_program(&p, &KernelLimits::default()),
+            Err(ValidateError::BarrierUnderDivergence { pc: 1 })
+        );
+    }
+
+    #[test]
+    fn accepts_barrier_after_exec_restore() {
+        let p = program(vec![
+            Inst::SAndSaveExec { dst: Sreg::new(0) },
+            Inst::SWriteMask {
+                dst: MaskReg::Exec,
+                src: ScalarSrc::Reg(Sreg::new(0)),
+            },
+            Inst::SBarrier,
+            Inst::SEndpgm,
+        ]);
+        assert_eq!(validate_program(&p, &KernelLimits::default()), Ok(()));
+    }
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            ValidateError::EmptyProgram,
+            ValidateError::MissingEndpgm,
+            ValidateError::BranchOutOfRange {
+                pc: 1,
+                target: 9,
+                len: 2,
+            },
+            ValidateError::SregOutOfRange {
+                pc: 0,
+                reg: 70,
+                limit: 64,
+            },
+            ValidateError::VregOutOfRange {
+                pc: 0,
+                reg: 70,
+                limit: 64,
+            },
+            ValidateError::ArgOutOfRange {
+                pc: 0,
+                index: 3,
+                args: 1,
+            },
+            ValidateError::BarrierUnderDivergence { pc: 5 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

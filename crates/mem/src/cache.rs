@@ -99,13 +99,24 @@ impl Cache {
             return CacheAccess::Hit;
         }
         self.misses += 1;
-        let victim = set
-            .iter_mut()
-            .min_by_key(|w| if w.valid { w.last_use + 1 } else { 0 })
-            .expect("cache set is never empty");
-        victim.tag = tag;
-        victim.valid = true;
-        victim.last_use = now;
+        // LRU victim: prefer an invalid way, else the least recently
+        // used (first on ties, matching min_by_key). Written as a fold
+        // over &mut ways so an (impossible) empty set is a no-op fill
+        // rather than a panic.
+        let mut victim: Option<&mut Way> = None;
+        let mut victim_key = u64::MAX;
+        for w in set.iter_mut() {
+            let key = if w.valid { w.last_use + 1 } else { 0 };
+            if key < victim_key {
+                victim_key = key;
+                victim = Some(w);
+            }
+        }
+        if let Some(victim) = victim {
+            victim.tag = tag;
+            victim.valid = true;
+            victim.last_use = now;
+        }
         CacheAccess::Miss
     }
 

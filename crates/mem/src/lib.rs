@@ -24,6 +24,10 @@
 //! assert_eq!(mem.read_u32(buf), 42);
 //! ```
 
+// Production code must surface failures as typed errors, not panics;
+// tests are free to unwrap.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 mod addr;
 mod alloc;
 mod cache;

@@ -48,6 +48,43 @@ impl Default for LatencyConfig {
     }
 }
 
+/// Watchdog guardrails bounding a single kernel launch.
+///
+/// The timing engine aborts a launch with a typed error (instead of
+/// spinning forever) when either bound trips:
+///
+/// * [`SimError::FuelExhausted`](crate::SimError::FuelExhausted) once
+///   the launch consumes `cycle_fuel` simulated cycles, and
+/// * [`SimError::Deadlock`](crate::SimError::Deadlock) once
+///   `stall_cycles` elapse with warps resident but no instruction
+///   issued or warp retired (the event queue has work that makes no
+///   progress).
+///
+/// Both errors carry a [`WatchdogSnapshot`](crate::WatchdogSnapshot)
+/// of the stuck warps. Structural deadlocks (a warp exits while
+/// siblings wait at a barrier) are detected immediately, without
+/// waiting for either bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// Hard ceiling on simulated cycles one kernel launch may consume.
+    pub cycle_fuel: u64,
+    /// Cycles without any issue or retirement (while warps are
+    /// resident) before the launch is declared stalled.
+    pub stall_cycles: u64,
+}
+
+impl Default for WatchdogConfig {
+    /// Generous production bounds: 2 G cycles of fuel (seconds of
+    /// simulated GPU time at 1 GHz), 5 M idle cycles before a stall
+    /// verdict — far above anything a legal kernel in this model does.
+    fn default() -> Self {
+        WatchdogConfig {
+            cycle_fuel: 2_000_000_000,
+            stall_cycles: 5_000_000,
+        }
+    }
+}
+
 /// Full configuration of one simulated GPU.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GpuConfig {
@@ -71,6 +108,8 @@ pub struct GpuConfig {
     pub ipc_window: u64,
     /// Hard cap on instructions one warp may execute (runaway guard).
     pub max_insts_per_warp: u64,
+    /// Launch-level watchdog bounds (cycle fuel, stall detection).
+    pub watchdog: WatchdogConfig,
 }
 
 impl GpuConfig {
@@ -87,6 +126,7 @@ impl GpuConfig {
             lat: LatencyConfig::default(),
             ipc_window: 2048,
             max_insts_per_warp: 100_000_000,
+            watchdog: WatchdogConfig::default(),
         }
     }
 
@@ -103,6 +143,7 @@ impl GpuConfig {
             lat: LatencyConfig::default(),
             ipc_window: 2048,
             max_insts_per_warp: 100_000_000,
+            watchdog: WatchdogConfig::default(),
         }
     }
 
@@ -121,6 +162,10 @@ impl GpuConfig {
             lat: LatencyConfig::default(),
             ipc_window: 512,
             max_insts_per_warp: 10_000_000,
+            watchdog: WatchdogConfig {
+                cycle_fuel: 100_000_000,
+                stall_cycles: 1_000_000,
+            },
         }
     }
 
@@ -159,5 +204,14 @@ mod tests {
         let l = LatencyConfig::default();
         assert!(l.valu_slow > l.valu);
         assert!(l.salu > 0 && l.branch > 0);
+    }
+
+    #[test]
+    fn watchdog_bounds_are_generous_but_finite() {
+        let w = WatchdogConfig::default();
+        assert!(w.cycle_fuel >= 1_000_000_000);
+        assert!(w.stall_cycles >= 1_000_000);
+        let tiny = GpuConfig::tiny().watchdog;
+        assert!(tiny.cycle_fuel < w.cycle_fuel);
     }
 }

@@ -6,6 +6,7 @@
 //! detailed simulation and the sampled modes. Photon, PKA, and the
 //! full-detailed baseline are all implementations of this trait.
 
+use crate::error::SimError;
 use crate::result::KernelResult;
 use crate::warp::WarpTrace;
 use gpu_isa::{BasicBlockId, InstClass, KernelLaunch};
@@ -153,7 +154,12 @@ pub trait KernelStartAccess {
     /// overlay (no side effects); barriers are treated as no-ops, LDS is
     /// warp-private scratch. The instruction cost is accounted as
     /// functional work.
-    fn trace_warp(&mut self, global_warp: u64) -> WarpTrace;
+    ///
+    /// # Errors
+    /// Returns [`SimError::InstLimitExceeded`] for runaway warps and
+    /// [`SimError::ExecFault`] for faulting ones; controllers typically
+    /// react by falling back to detailed simulation.
+    fn trace_warp(&mut self, global_warp: u64) -> Result<WarpTrace, SimError>;
 }
 
 /// The full-detailed baseline: simulate everything, observe nothing.

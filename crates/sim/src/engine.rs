@@ -30,7 +30,7 @@ use crate::controller::{
     KernelDirective, KernelStartAccess, NullController, SamplingController, WarpRecord, WgMode,
 };
 use crate::controller::BbRecord;
-use crate::error::SimError;
+use crate::error::{SimError, StuckWarp, WatchdogSnapshot};
 use crate::exec::{step, LaunchEnv, StepEffect};
 use crate::functional::{run_wg_functional, trace_warp_isolated};
 
@@ -134,9 +134,14 @@ impl GpuSimulator {
     /// Runs one kernel under a sampling controller.
     ///
     /// # Errors
-    /// Returns [`SimError::EmptyLaunch`], [`SimError::WorkgroupTooLarge`]
-    /// or [`SimError::LdsOverflow`] for invalid launches, and
-    /// [`SimError::InstLimitExceeded`] for runaway warps.
+    /// Returns [`SimError::EmptyLaunch`], [`SimError::WorkgroupTooLarge`],
+    /// [`SimError::LdsOverflow`] or [`SimError::InvalidKernel`] for
+    /// launches rejected by pre-flight validation (before any cycle is
+    /// simulated); [`SimError::InstLimitExceeded`] or
+    /// [`SimError::ExecFault`] for runaway/faulting warps; and
+    /// [`SimError::Deadlock`] or [`SimError::FuelExhausted`] (with a
+    /// [`WatchdogSnapshot`] of the stuck warps) when the watchdog aborts
+    /// a launch that stopped making progress.
     pub fn run_kernel_sampled(
         &mut self,
         launch: &KernelLaunch,
@@ -157,6 +162,10 @@ impl GpuSimulator {
                 available: self.config.lds_per_cu,
             });
         }
+        // Pre-flight: catch malformed programs (deserialized or
+        // hand-assembled ones bypass the builder's checks) before any
+        // cycle is simulated.
+        gpu_isa::validate_launch(launch, &gpu_isa::KernelLimits::default())?;
 
         self.hierarchy.flush_caches();
         let start = self.clock;
@@ -250,10 +259,10 @@ impl KernelStartAccess for StartCtx<'_> {
         self.launch.total_warps()
     }
 
-    fn trace_warp(&mut self, global_warp: u64) -> WarpTrace {
-        let t = trace_warp_isolated(self.launch, self.mem, global_warp, self.max_insts);
+    fn trace_warp(&mut self, global_warp: u64) -> Result<WarpTrace, SimError> {
+        let t = trace_warp_isolated(self.launch, self.mem, global_warp, self.max_insts)?;
         self.functional_insts += t.insts;
-        t
+        Ok(t)
     }
 }
 
@@ -324,6 +333,9 @@ struct KernelRun<'a> {
     detailed_warps: u64,
     predicted_warps: u64,
     last_retire: Cycle,
+    /// Last cycle at which an instruction issued or a warp retired
+    /// (watchdog stall detection).
+    last_progress: Cycle,
     ipc_counts: Vec<u64>,
     fired_windows: usize,
     abort_ipc: Option<f64>,
@@ -360,6 +372,7 @@ impl<'a> KernelRun<'a> {
             detailed_warps: 0,
             predicted_warps: 0,
             last_retire: start,
+            last_progress: start,
             ipc_counts: Vec::new(),
             fired_windows: 0,
             abort_ipc: None,
@@ -388,16 +401,41 @@ impl<'a> KernelRun<'a> {
     }
 
     fn run(&mut self, ctrl: &mut dyn SamplingController) -> Result<KernelResult, SimError> {
+        let wd = self.cfg.watchdog;
         self.dispatch(self.start, ctrl)?;
+        let mut now = self.start;
         while let Some(Reverse(ev)) = self.events.pop() {
-            self.fire_windows(ev.cycle, ctrl);
+            now = ev.cycle;
+            if now - self.start > wd.cycle_fuel {
+                return Err(SimError::FuelExhausted {
+                    fuel: wd.cycle_fuel,
+                    snapshot: self.snapshot(now),
+                });
+            }
+            if now.saturating_sub(self.last_progress) > wd.stall_cycles {
+                return Err(SimError::Deadlock {
+                    snapshot: self.snapshot(now),
+                });
+            }
+            self.fire_windows(now, ctrl);
             if self.abort_ipc.is_some() {
                 break;
             }
             match ev.kind {
-                EvKind::Ready(w) => self.handle_ready(w, ev.cycle, ctrl)?,
-                EvKind::PredRetire(w) => self.retire_warp(w, ev.cycle, ctrl)?,
+                EvKind::Ready(w) => self.handle_ready(w, now, ctrl)?,
+                EvKind::PredRetire(w) => self.retire_warp(w, now, ctrl)?,
             }
+        }
+
+        // The event queue drained. Unless we aborted deliberately, any
+        // leftover work means warps are parked with nothing that could
+        // ever wake them (e.g. a barrier some warps bypassed).
+        if self.abort_ipc.is_none()
+            && (self.next_wg < self.launch.num_wgs || self.wgs.iter().any(|wg| !wg.done))
+        {
+            return Err(SimError::Deadlock {
+                snapshot: self.snapshot(now),
+            });
         }
 
         let cycles = if let Some(ipc) = self.abort_ipc {
@@ -437,9 +475,42 @@ impl<'a> KernelRun<'a> {
             ctrl.on_ipc_window(self.start + idx as Cycle * w, insts, w);
             self.fired_windows += 1;
             if let Some(ipc) = ctrl.check_abort() {
-                self.abort_ipc = Some(ipc);
-                return;
+                // A non-finite or non-positive IPC would extrapolate to
+                // nonsense; ignore the abort and stay detailed.
+                if ipc.is_finite() && ipc > 0.0 {
+                    self.abort_ipc = Some(ipc);
+                    return;
+                }
             }
+        }
+    }
+
+    /// Captures the state of every still-resident warp for a watchdog
+    /// error. Cycles are kernel-relative.
+    fn snapshot(&self, now: Cycle) -> WatchdogSnapshot {
+        let mut stuck = Vec::new();
+        for (i, warp) in self.warps.iter().enumerate() {
+            if warp.done {
+                continue;
+            }
+            let wg = &self.wgs[warp.wg as usize];
+            stuck.push(StuckWarp {
+                warp: warp.global_id,
+                pc: warp.state.as_deref().map_or(0, |s| s.pc),
+                wg: wg.id,
+                at_barrier: wg.barrier_waiting.contains(&(i as u32)),
+            });
+        }
+        let barriers = self
+            .wgs
+            .iter()
+            .filter(|wg| !wg.done && wg.barrier_arrived > 0)
+            .map(|wg| (wg.id, wg.barrier_arrived, self.launch.warps_per_wg))
+            .collect();
+        WatchdogSnapshot {
+            cycle: now.saturating_sub(self.start),
+            stuck,
+            barriers,
         }
     }
 
@@ -593,10 +664,13 @@ impl<'a> KernelRun<'a> {
         let env = self.env_for(w);
         let warp = &mut self.warps[w as usize];
         let wg = &mut self.wgs[warp.wg as usize];
-        let state = warp
-            .state
-            .as_deref_mut()
-            .expect("detailed warp has architectural state");
+        let Some(state) = warp.state.as_deref_mut() else {
+            // A predicted warp received a Ready event: an engine bug,
+            // but one we surface as a typed error rather than a panic.
+            return Err(SimError::MissingWarpState {
+                warp_id: warp.global_id,
+            });
+        };
         let pc = state.pc;
 
         // Basic-block boundary: issuing the first instruction of a block
@@ -625,8 +699,9 @@ impl<'a> KernelRun<'a> {
             });
         }
 
-        let info = step(state, program, self.mem, &mut wg.lds, &env);
+        let info = step(state, program, self.mem, &mut wg.lds, &env)?;
         self.detailed_insts += 1;
+        self.last_progress = self.last_progress.max(now);
         self.count_ipc(now);
 
         let lat = self.cfg.lat.clone();
@@ -676,11 +751,17 @@ impl<'a> KernelRun<'a> {
                 self.retire_warp(w, now + 1, ctrl)?;
             }
             StepEffect::Barrier => {
+                let warps_per_wg = self.launch.warps_per_wg;
                 let warp = &mut self.warps[w as usize];
                 let wg = &mut self.wgs[warp.wg as usize];
                 wg.barrier_arrived += 1;
                 wg.barrier_waiting.push(w);
-                if wg.barrier_arrived == wg.live {
+                // Strict CUDA-like semantics: the barrier releases only
+                // when every warp of the workgroup arrives. A warp that
+                // exits early can therefore never satisfy it — that is
+                // detected as a deadlock in retire_warp / run, not
+                // silently forgiven.
+                if wg.barrier_arrived == warps_per_wg {
                     let release = now + lat.barrier_release;
                     let waiting = std::mem::take(&mut wg.barrier_waiting);
                     wg.barrier_arrived = 0;
@@ -730,27 +811,27 @@ impl<'a> KernelRun<'a> {
         };
         let _ = was_detailed;
         self.last_retire = self.last_retire.max(now);
+        self.last_progress = self.last_progress.max(now);
 
-        let wg_done = {
+        let (wg_done, bypassed_barrier) = {
             let wg = &mut self.wgs[wg_idx as usize];
             wg.live -= 1;
             if wg.live == 0 {
                 wg.done = true;
                 wg.lds = Vec::new();
-                true
+                (true, false)
             } else {
-                // A barrier may become satisfiable once a warp exits.
-                if wg.barrier_arrived > 0 && wg.barrier_arrived == wg.live {
-                    let release = now + self.cfg.lat.barrier_release;
-                    let waiting = std::mem::take(&mut wg.barrier_waiting);
-                    wg.barrier_arrived = 0;
-                    for ww in waiting {
-                        self.push_event(release, EvKind::Ready(ww));
-                    }
-                }
-                false
+                // Under strict barrier semantics a retired warp can
+                // never arrive, so siblings already parked at a barrier
+                // are stuck forever.
+                (false, !wg.barrier_waiting.is_empty())
             }
         };
+        if bypassed_barrier {
+            return Err(SimError::Deadlock {
+                snapshot: self.snapshot(now),
+            });
+        }
 
         if wg_done {
             let wg = &self.wgs[wg_idx as usize];
@@ -803,7 +884,7 @@ impl<'a> KernelRun<'a> {
                     };
                     let mut steps = 0u64;
                     loop {
-                        let info = step(&mut state, program, self.mem, &mut lds, &env);
+                        let info = step(&mut state, program, self.mem, &mut lds, &env)?;
                         steps += 1;
                         progressed = true;
                         match info.effect {

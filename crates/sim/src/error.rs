@@ -1,7 +1,110 @@
 //! Simulator errors.
+//!
+//! Every failure the engine can detect — malformed kernels, runaway
+//! warps, barrier deadlocks, exhausted cycle fuel, allocation failure —
+//! surfaces as a typed [`SimError`] instead of a panic, so harnesses
+//! can record the fault and keep running sibling workloads. Watchdog
+//! errors carry a [`WatchdogSnapshot`] describing exactly which warps
+//! were stuck and where.
 
 use std::error::Error;
 use std::fmt;
+
+/// One warp still resident when the watchdog fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StuckWarp {
+    /// Global warp id.
+    pub warp: u64,
+    /// Program counter the warp was at (or parked at).
+    pub pc: u32,
+    /// Flat workgroup id.
+    pub wg: u32,
+    /// Whether the warp was parked at an `s_barrier`.
+    pub at_barrier: bool,
+}
+
+/// Diagnostic state captured when the watchdog aborts a launch.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WatchdogSnapshot {
+    /// Simulated cycle at which the launch was aborted.
+    pub cycle: u64,
+    /// Every warp still resident, with its PC and barrier status.
+    pub stuck: Vec<StuckWarp>,
+    /// Per-workgroup barrier state: `(wg_id, arrived, expected)` for
+    /// workgroups with a pending barrier.
+    pub barriers: Vec<(u32, u32, u32)>,
+}
+
+impl fmt::Display for WatchdogSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {}, {} stuck warp(s)",
+            self.cycle,
+            self.stuck.len()
+        )?;
+        for w in self.stuck.iter().take(8) {
+            write!(
+                f,
+                "; warp {} wg {} at pc {}{}",
+                w.warp,
+                w.wg,
+                w.pc,
+                if w.at_barrier { " [barrier]" } else { "" }
+            )?;
+        }
+        if self.stuck.len() > 8 {
+            write!(f, "; …")?;
+        }
+        for (wg, arrived, expected) in &self.barriers {
+            write!(f, "; wg {wg} barrier {arrived}/{expected}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The specific fault a [`SimError::ExecFault`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecFaultKind {
+    /// The engine stepped a warp that already executed `s_endpgm`.
+    EndedWarp,
+    /// `s_load_arg` read past the launch's argument list.
+    ArgOutOfRange {
+        /// Argument index requested.
+        index: u16,
+        /// Arguments provided by the launch.
+        args: usize,
+    },
+    /// An LDS access fell outside the workgroup's LDS allocation.
+    LdsOutOfBounds {
+        /// First out-of-range byte address.
+        addr: u64,
+        /// LDS bytes allocated to the workgroup.
+        lds_bytes: usize,
+    },
+    /// The program counter left the program (corrupt branch target).
+    PcOutOfRange {
+        /// Program length in instructions.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ExecFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecFaultKind::EndedWarp => write!(f, "stepped after s_endpgm"),
+            ExecFaultKind::ArgOutOfRange { index, args } => {
+                write!(f, "s_load_arg index {index} with only {args} argument(s)")
+            }
+            ExecFaultKind::LdsOutOfBounds { addr, lds_bytes } => {
+                write!(f, "LDS access at byte {addr} outside {lds_bytes}-byte allocation")
+            }
+            ExecFaultKind::PcOutOfRange { len } => {
+                write!(f, "pc outside the {len}-instruction program")
+            }
+        }
+    }
+}
 
 /// Errors returned by the timing engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +134,41 @@ pub enum SimError {
     EmptyLaunch,
     /// Device memory allocation failed.
     OutOfDeviceMemory(gpu_mem::AllocError),
+    /// Pre-flight validation rejected the kernel before simulation.
+    InvalidKernel(gpu_isa::ValidateError),
+    /// A warp dispatched in detailed mode has no architectural state —
+    /// an engine-internal invariant violation, reported instead of
+    /// panicking.
+    MissingWarpState {
+        /// Global warp id.
+        warp_id: u64,
+    },
+    /// A warp faulted during execution (bad argument index, LDS access
+    /// out of bounds, corrupt PC, stepping an ended warp).
+    ExecFault {
+        /// Global warp id.
+        warp: u64,
+        /// Program counter of the faulting instruction.
+        pc: u32,
+        /// What went wrong.
+        fault: ExecFaultKind,
+    },
+    /// The launch can make no forward progress: warps are parked at a
+    /// barrier (or otherwise resident) with no event that could ever
+    /// release them — e.g. a warp exited while siblings wait at a
+    /// barrier it never reached.
+    Deadlock {
+        /// State of the stuck warps and barriers.
+        snapshot: WatchdogSnapshot,
+    },
+    /// The launch exceeded its cycle-fuel budget
+    /// ([`crate::WatchdogConfig::cycle_fuel`]) and was aborted.
+    FuelExhausted {
+        /// The budget that was exhausted.
+        fuel: u64,
+        /// State of the still-resident warps.
+        snapshot: WatchdogSnapshot,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -52,6 +190,20 @@ impl fmt::Display for SimError {
             }
             SimError::EmptyLaunch => write!(f, "launch has no warps"),
             SimError::OutOfDeviceMemory(e) => write!(f, "device memory exhausted: {e}"),
+            SimError::InvalidKernel(e) => write!(f, "kernel failed pre-flight validation: {e}"),
+            SimError::MissingWarpState { warp_id } => write!(
+                f,
+                "warp {warp_id} scheduled in detailed mode without architectural state"
+            ),
+            SimError::ExecFault { warp, pc, fault } => {
+                write!(f, "warp {warp} faulted at pc {pc}: {fault}")
+            }
+            SimError::Deadlock { snapshot } => {
+                write!(f, "launch deadlocked: {snapshot}")
+            }
+            SimError::FuelExhausted { fuel, snapshot } => {
+                write!(f, "launch exhausted its {fuel}-cycle fuel budget: {snapshot}")
+            }
         }
     }
 }
@@ -60,6 +212,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::OutOfDeviceMemory(e) => Some(e),
+            SimError::InvalidKernel(e) => Some(e),
             _ => None,
         }
     }
@@ -68,6 +221,12 @@ impl Error for SimError {
 impl From<gpu_mem::AllocError> for SimError {
     fn from(e: gpu_mem::AllocError) -> Self {
         SimError::OutOfDeviceMemory(e)
+    }
+}
+
+impl From<gpu_isa::ValidateError> for SimError {
+    fn from(e: gpu_isa::ValidateError) -> Self {
+        SimError::InvalidKernel(e)
     }
 }
 
@@ -88,9 +247,62 @@ mod tests {
             },
             SimError::InstLimitExceeded { warp: 3, limit: 10 },
             SimError::EmptyLaunch,
+            SimError::InvalidKernel(gpu_isa::ValidateError::EmptyProgram),
+            SimError::MissingWarpState { warp_id: 7 },
+            SimError::ExecFault {
+                warp: 2,
+                pc: 5,
+                fault: ExecFaultKind::LdsOutOfBounds {
+                    addr: 4096,
+                    lds_bytes: 1024,
+                },
+            },
+            SimError::Deadlock {
+                snapshot: WatchdogSnapshot {
+                    cycle: 100,
+                    stuck: vec![StuckWarp {
+                        warp: 1,
+                        pc: 4,
+                        wg: 0,
+                        at_barrier: true,
+                    }],
+                    barriers: vec![(0, 1, 2)],
+                },
+            },
+            SimError::FuelExhausted {
+                fuel: 1000,
+                snapshot: WatchdogSnapshot::default(),
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn deadlock_display_names_stuck_warps_and_barrier_counts() {
+        let e = SimError::Deadlock {
+            snapshot: WatchdogSnapshot {
+                cycle: 42,
+                stuck: vec![StuckWarp {
+                    warp: 3,
+                    pc: 11,
+                    wg: 1,
+                    at_barrier: true,
+                }],
+                barriers: vec![(1, 1, 2)],
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("warp 3"));
+        assert!(s.contains("pc 11"));
+        assert!(s.contains("barrier 1/2"));
+    }
+
+    #[test]
+    fn validate_error_converts_and_chains_source() {
+        let e: SimError = gpu_isa::ValidateError::EmptyProgram.into();
+        assert!(matches!(e, SimError::InvalidKernel(_)));
+        assert!(e.source().is_some());
     }
 }

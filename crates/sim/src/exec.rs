@@ -7,6 +7,7 @@
 //! execution, and Photon's side-effect-free online tracing (via
 //! [`crate::OverlayMem`]).
 
+use crate::error::{ExecFaultKind, SimError};
 use crate::overlay::DataMem;
 use crate::warp::WarpState;
 use gpu_isa::{
@@ -189,18 +190,36 @@ fn branch_taken(warp: &WarpState, cond: BranchCond) -> bool {
 
 /// Executes one instruction of `warp`.
 ///
-/// # Panics
-/// Panics if the warp has already ended, on out-of-range LDS accesses,
-/// or on out-of-range argument indices — all indicate workload bugs.
+/// # Errors
+/// Returns [`SimError::ExecFault`] if the warp has already ended, the
+/// PC is outside the program, an argument index is out of range, or an
+/// LDS access falls outside the allocation — all indicate workload (or
+/// deserialization) bugs, reported as typed errors so the harness can
+/// isolate the faulting kernel.
 pub fn step<M: DataMem>(
     warp: &mut WarpState,
     program: &Program,
     mem: &mut M,
     lds: &mut [u8],
     env: &LaunchEnv<'_>,
-) -> StepInfo {
-    assert!(!warp.ended, "stepping an ended warp");
+) -> Result<StepInfo, SimError> {
+    let fault = |pc, kind| SimError::ExecFault {
+        warp: env.global_warp_id(),
+        pc,
+        fault: kind,
+    };
+    if warp.ended {
+        return Err(fault(warp.pc, ExecFaultKind::EndedWarp));
+    }
     let pc = warp.pc;
+    if pc as usize >= program.len() {
+        return Err(fault(
+            pc,
+            ExecFaultKind::PcOutOfRange {
+                len: program.len(),
+            },
+        ));
+    }
     let inst = *program.inst(pc);
     let class = inst.class();
     let mut slow = false;
@@ -222,11 +241,15 @@ pub fn step<M: DataMem>(
         }
         Inst::SLoadArg { dst, index } => {
             let idx = index as usize;
-            assert!(
-                idx < env.args.len(),
-                "kernel argument {idx} out of range ({} args)",
-                env.args.len()
-            );
+            if idx >= env.args.len() {
+                return Err(fault(
+                    pc,
+                    ExecFaultKind::ArgOutOfRange {
+                        index,
+                        args: env.args.len(),
+                    },
+                ));
+            }
             warp.sregs[dst.index()] = env.args[idx];
             effect = StepEffect::ArgLoad { index };
         }
@@ -356,7 +379,15 @@ pub fn step<M: DataMem>(
             for (lane, slot) in out.iter_mut().enumerate().take(LANES) {
                 if warp.exec & (1u64 << lane) != 0 {
                     let a = (warp.vregs[addr.index()][lane] as i64 + imm as i64) as usize;
-                    assert!(a + 4 <= lds.len(), "LDS read at {a} out of {} bytes", lds.len());
+                    if a + 4 > lds.len() {
+                        return Err(fault(
+                            pc,
+                            ExecFaultKind::LdsOutOfBounds {
+                                addr: a as u64,
+                                lds_bytes: lds.len(),
+                            },
+                        ));
+                    }
                     *slot = u32::from_le_bytes([lds[a], lds[a + 1], lds[a + 2], lds[a + 3]]);
                 }
             }
@@ -367,11 +398,15 @@ pub fn step<M: DataMem>(
             for lane in 0..LANES {
                 if warp.exec & (1u64 << lane) != 0 {
                     let a = (warp.vregs[addr.index()][lane] as i64 + imm as i64) as usize;
-                    assert!(
-                        a + 4 <= lds.len(),
-                        "LDS write at {a} out of {} bytes",
-                        lds.len()
-                    );
+                    if a + 4 > lds.len() {
+                        return Err(fault(
+                            pc,
+                            ExecFaultKind::LdsOutOfBounds {
+                                addr: a as u64,
+                                lds_bytes: lds.len(),
+                            },
+                        ));
+                    }
                     lds[a..a + 4].copy_from_slice(&warp.vregs[src.index()][lane].to_le_bytes());
                 }
             }
@@ -396,12 +431,12 @@ pub fn step<M: DataMem>(
     }
 
     warp.pc = next_pc;
-    StepInfo {
+    Ok(StepInfo {
         pc,
         class,
         slow,
         effect,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -425,7 +460,7 @@ mod tests {
         let mut lds = vec![0u8; 1024];
         let e = env(args);
         for _ in 0..100_000 {
-            let info = step(&mut w, program, mem, &mut lds, &e);
+            let info = step(&mut w, program, mem, &mut lds, &e).unwrap();
             if info.effect == StepEffect::End {
                 return w;
             }
@@ -511,9 +546,9 @@ mod tests {
         let e = env(&args);
         // step: load_arg, shl, mov
         for _ in 0..3 {
-            step(&mut w, &p, &mut mem, &mut lds, &e);
+            step(&mut w, &p, &mut mem, &mut lds, &e).unwrap();
         }
-        let st = step(&mut w, &p, &mut mem, &mut lds, &e);
+        let st = step(&mut w, &p, &mut mem, &mut lds, &e).unwrap();
         match st.effect {
             StepEffect::Mem { lines, write } => {
                 assert!(write);
@@ -522,7 +557,7 @@ mod tests {
             }
             other => panic!("expected store effect, got {other:?}"),
         }
-        let ld = step(&mut w, &p, &mut mem, &mut lds, &e);
+        let ld = step(&mut w, &p, &mut mem, &mut lds, &e).unwrap();
         assert!(matches!(ld.effect, StepEffect::Mem { write: false, .. }));
         for lane in 0..LANES {
             assert_eq!(w.vregs[r.index()][lane], lane as u32);
@@ -632,7 +667,7 @@ mod tests {
         let args: [u64; 0] = [];
         let e = env(&args);
         while !w.ended {
-            step(&mut w, &p, &mut mem, &mut lds, &e);
+            step(&mut w, &p, &mut mem, &mut lds, &e).unwrap();
         }
         for lane in 0..LANES {
             assert_eq!(w.vregs[r.index()][lane], 3 * lane as u32);
@@ -659,16 +694,68 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "stepping an ended warp")]
-    fn stepping_ended_warp_panics() {
+    fn stepping_ended_warp_is_typed_fault() {
         let p = KernelBuilder::new("t").finish().unwrap();
         let mut mem = AddressSpace::new();
         let mut w = WarpState::new();
         let mut lds = vec![];
         let args: [u64; 0] = [];
         let e = env(&args);
-        step(&mut w, &p, &mut mem, &mut lds, &e); // endpgm
-        step(&mut w, &p, &mut mem, &mut lds, &e); // panics
+        step(&mut w, &p, &mut mem, &mut lds, &e).unwrap(); // endpgm
+        let err = step(&mut w, &p, &mut mem, &mut lds, &e).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::ExecFault {
+                fault: ExecFaultKind::EndedWarp,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_argument_is_typed_fault() {
+        let mut kb = KernelBuilder::new("t");
+        let s = kb.sreg();
+        kb.load_arg(s, 3);
+        let p = kb.finish().unwrap();
+        let mut mem = AddressSpace::new();
+        let mut w = WarpState::new();
+        let mut lds = vec![];
+        let args = [1u64];
+        let e = env(&args);
+        let err = step(&mut w, &p, &mut mem, &mut lds, &e).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::ExecFault {
+                pc: 0,
+                fault: ExecFaultKind::ArgOutOfRange { index: 3, args: 1 },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn lds_access_out_of_bounds_is_typed_fault() {
+        let mut kb = KernelBuilder::new("t");
+        let addr = kb.vreg();
+        kb.vmov(addr, VectorSrc::Imm(0));
+        let v = kb.vreg();
+        kb.lds_load(v, addr, 0);
+        let p = kb.finish().unwrap();
+        let mut mem = AddressSpace::new();
+        let mut w = WarpState::new();
+        let mut lds = vec![0u8; 2]; // too small for a 4-byte access
+        let args: [u64; 0] = [];
+        let e = env(&args);
+        step(&mut w, &p, &mut mem, &mut lds, &e).unwrap(); // vmov
+        let err = step(&mut w, &p, &mut mem, &mut lds, &e).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::ExecFault {
+                fault: ExecFaultKind::LdsOutOfBounds { lds_bytes: 2, .. },
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -686,8 +773,8 @@ mod tests {
         let mut lds = vec![];
         let args = [64u64];
         let e = env(&args);
-        step(&mut w, &p, &mut mem, &mut lds, &e); // arg
-        let info = step(&mut w, &p, &mut mem, &mut lds, &e);
+        step(&mut w, &p, &mut mem, &mut lds, &e).unwrap(); // arg
+        let info = step(&mut w, &p, &mut mem, &mut lds, &e).unwrap();
         assert_eq!(info.effect, StepEffect::Alu);
     }
 

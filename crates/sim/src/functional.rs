@@ -33,14 +33,16 @@ fn bb_counts_to_trace(counts: Vec<u32>, insts: u64) -> WarpTrace {
 /// Returns the trace and the number of instructions executed (charged
 /// as functional work by callers).
 ///
-/// # Panics
-/// Panics if the warp exceeds `max_insts` (runaway loop guard).
+/// # Errors
+/// Returns [`SimError::InstLimitExceeded`] if the warp exceeds
+/// `max_insts` (runaway loop guard), or [`SimError::ExecFault`] if the
+/// warp faults (bad argument index, out-of-bounds LDS access).
 pub fn trace_warp_isolated(
     launch: &KernelLaunch,
     mem: &AddressSpace,
     global_warp: u64,
     max_insts: u64,
-) -> WarpTrace {
+) -> Result<WarpTrace, SimError> {
     let program = launch.kernel.program();
     let bb_map = program.basic_blocks();
     let mut counts = vec![0u32; bb_map.len()];
@@ -60,18 +62,20 @@ pub fn trace_warp_isolated(
         if let Some(bb) = bb_map.block_starting_at(pc) {
             counts[bb.index()] += 1;
         }
-        let info = step(&mut warp, program, &mut overlay, &mut lds, &env);
+        let info = step(&mut warp, program, &mut overlay, &mut lds, &env)?;
         insts += 1;
-        assert!(
-            insts <= max_insts,
-            "warp {global_warp} exceeded {max_insts} instructions during tracing"
-        );
+        if insts > max_insts {
+            return Err(SimError::InstLimitExceeded {
+                warp: global_warp,
+                limit: max_insts,
+            });
+        }
         if info.effect == StepEffect::End {
             break;
         }
         // Barriers are no-ops in isolated tracing.
     }
-    bb_counts_to_trace(counts, insts)
+    Ok(bb_counts_to_trace(counts, insts))
 }
 
 /// Functionally executes one whole workgroup, committing memory effects.
@@ -117,7 +121,7 @@ pub fn run_wg_functional(
                 if let Some(bb) = bb_map.block_starting_at(pc) {
                     counts[w][bb.index()] += 1;
                 }
-                let info = step(&mut warps[w], program, mem, &mut lds, &env);
+                let info = step(&mut warps[w], program, mem, &mut lds, &env)?;
                 insts[w] += 1;
                 total += 1;
                 progressed = true;
@@ -182,7 +186,7 @@ mod tests {
     fn isolated_trace_has_no_side_effects() {
         let launch = simple_launch(2, 2, 0x1000);
         let mem = AddressSpace::new();
-        let trace = trace_warp_isolated(&launch, &mem, 3, 1_000_000);
+        let trace = trace_warp_isolated(&launch, &mem, 3, 1_000_000).unwrap();
         assert!(trace.insts > 0);
         assert_eq!(mem.read_u32(0x1000), 0);
     }
@@ -248,7 +252,7 @@ mod tests {
         let k = Kernel::new(kb.finish().unwrap());
         let launch = KernelLaunch::new(k, 1, 1, vec![]);
         let mem = AddressSpace::new();
-        let trace = trace_warp_isolated(&launch, &mem, 0, 1_000_000);
+        let trace = trace_warp_isolated(&launch, &mem, 0, 1_000_000).unwrap();
         // some block executes exactly 10 times (the loop body)
         assert!(
             trace.bb_counts.iter().any(|(_, c)| *c == 10),
@@ -261,8 +265,8 @@ mod tests {
     fn same_type_warps_have_equal_traces() {
         let launch = simple_launch(4, 2, 0x1000);
         let mem = AddressSpace::new();
-        let a = trace_warp_isolated(&launch, &mem, 0, 1_000_000);
-        let b = trace_warp_isolated(&launch, &mem, 7, 1_000_000);
+        let a = trace_warp_isolated(&launch, &mem, 0, 1_000_000).unwrap();
+        let b = trace_warp_isolated(&launch, &mem, 7, 1_000_000).unwrap();
         assert_eq!(a, b);
     }
 }

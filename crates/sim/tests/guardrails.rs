@@ -1,0 +1,101 @@
+//! Guardrail tests: the pre-flight validator, the barrier-deadlock
+//! detector, and the cycle-fuel watchdog must turn pathological kernels
+//! into typed errors in bounded time instead of hangs or panics.
+
+use gpu_isa::{CmpOp, Inst, Kernel, KernelBuilder, KernelLaunch, Program, SpecialReg, Sreg};
+use gpu_sim::{GpuConfig, GpuSimulator, SimError};
+
+/// A kernel where only warp 1 of each workgroup reaches the barrier:
+/// the classic mismatched-barrier deadlock. The branch is scalar
+/// (uniform per warp), so the pre-flight divergence check passes.
+fn mismatched_barrier_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("half_barrier");
+    let s = kb.sreg();
+    kb.special(s, SpecialReg::WarpInWg);
+    kb.scmp(CmpOp::Eq, s, 1i64);
+    kb.if_scc(|kb| {
+        kb.barrier();
+    });
+    Kernel::new(kb.finish().unwrap())
+}
+
+#[test]
+fn mismatched_barrier_is_reported_as_deadlock() {
+    let launch = KernelLaunch::new(mismatched_barrier_kernel(), 2, 2, vec![]);
+    let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+    match gpu.run_kernel(&launch) {
+        Err(SimError::Deadlock { snapshot }) => {
+            // The snapshot must name the stuck warp and the short count.
+            assert!(
+                snapshot.stuck.iter().any(|w| w.at_barrier),
+                "no stuck warp flagged at a barrier: {snapshot}"
+            );
+            assert!(
+                snapshot
+                    .barriers
+                    .iter()
+                    .any(|&(_, arrived, expected)| arrived < expected),
+                "no under-subscribed barrier in snapshot: {snapshot}"
+            );
+        }
+        other => panic!("expected Deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn runaway_kernel_exhausts_fuel_in_bounded_time() {
+    // An unconditional self-loop: each step makes forward progress, so
+    // only the fuel budget can stop it. A small budget keeps the test
+    // fast; the default (100M cycles on tiny) is for real workloads.
+    let program = Program::from_insts("spin", vec![Inst::Branch { target: 0 }, Inst::SEndpgm])
+        .unwrap();
+    let launch = KernelLaunch::new(Kernel::new(program), 1, 1, vec![]);
+    let mut cfg = GpuConfig::tiny();
+    cfg.watchdog.cycle_fuel = 50_000;
+    let mut gpu = GpuSimulator::new(cfg);
+    match gpu.run_kernel(&launch) {
+        Err(SimError::FuelExhausted { fuel, snapshot }) => {
+            assert_eq!(fuel, 50_000);
+            assert!(!snapshot.stuck.is_empty(), "snapshot lists no warps");
+        }
+        other => panic!("expected FuelExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_kernel_is_rejected_before_simulation() {
+    // An argument load with no arguments bound: the pre-flight validator
+    // must refuse the launch before any cycle is simulated.
+    let program = Program::from_insts(
+        "bad_arg",
+        vec![
+            Inst::SLoadArg {
+                dst: Sreg::new(0),
+                index: 3,
+            },
+            Inst::SEndpgm,
+        ],
+    )
+    .unwrap();
+    let launch = KernelLaunch::new(Kernel::new(program), 1, 1, vec![]);
+    let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+    match gpu.run_kernel(&launch) {
+        Err(SimError::InvalidKernel(e)) => {
+            let msg = e.to_string();
+            assert!(msg.contains("argument"), "unexpected message: {msg}");
+        }
+        other => panic!("expected InvalidKernel, got {other:?}"),
+    }
+}
+
+#[test]
+fn well_formed_kernel_still_runs_under_guardrails() {
+    // The same barrier pattern, but subscribed by every warp: guardrails
+    // must not flag a healthy kernel.
+    let mut kb = KernelBuilder::new("full_barrier");
+    kb.barrier();
+    let launch = KernelLaunch::new(Kernel::new(kb.finish().unwrap()), 2, 2, vec![]);
+    let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+    let result = gpu.run_kernel(&launch).unwrap();
+    assert!(result.cycles > 0);
+}

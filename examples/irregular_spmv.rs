@@ -26,9 +26,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ids = sample_warp_ids(launch.total_warps(), 0.01, 8);
     let traces: Vec<_> = ids
         .iter()
-        .map(|&w| gpu_sim::trace_warp_isolated(launch, gpu.mem(), w, 100_000_000))
+        .map(|&w| {
+            gpu_sim::trace_warp_isolated(launch, gpu.mem(), w, 100_000_000)
+                .expect("spmv traces cleanly")
+        })
         .collect();
-    let analysis = OnlineAnalysis::from_traces(&traces, launch.kernel.program().basic_blocks());
+    let analysis = OnlineAnalysis::from_traces(&traces, launch.kernel.program().basic_blocks())
+        .expect("sample is non-empty");
     println!(
         "1% sample: {} warps, {} distinct warp types, dominant type {:.1}% (warp-sampling gate needs 95%)",
         analysis.sampled_warps,

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Lint gate: the whole workspace (including tests, benches, and
+# examples) must be clippy-clean. The sim/mem/core crates additionally
+# warn on unwrap/expect in production code (see their lib.rs), so any
+# new panic path fails this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo clippy --workspace --all-targets -- -D warnings

@@ -198,7 +198,7 @@ proptest! {
         let launch = KernelLaunch::new(Kernel::new(kb.finish().unwrap()), wgs, 2, vec![]);
 
         let mut gpu = GpuSimulator::new(GpuConfig::tiny());
-        let trace = gpu_sim::trace_warp_isolated(&launch, gpu.mem(), 0, 1_000_000);
+        let trace = gpu_sim::trace_warp_isolated(&launch, gpu.mem(), 0, 1_000_000).unwrap();
         let result = gpu.run_kernel(&launch).unwrap();
         prop_assert_eq!(result.detailed_insts, trace.insts * launch.total_warps());
     }

@@ -1,0 +1,3 @@
+//! Offline placeholder for `parking_lot`. The workspace manifests
+//! declare the dependency but no code path uses it; this empty crate
+//! satisfies resolution without network access.

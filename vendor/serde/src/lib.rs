@@ -1,0 +1,332 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment for this repository has no network access, so
+//! the real serde cannot be fetched. This crate provides the small
+//! subset the workspace actually uses: `#[derive(Serialize,
+//! Deserialize)]` on plain (non-generic) structs and enums, routed
+//! through an owned JSON-like [`Value`] tree that `serde_json` renders
+//! and parses. The trait signatures are intentionally simpler than real
+//! serde's; nothing in the workspace implements them by hand.
+
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Owned JSON-like tree every `Serialize` impl renders into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered map (field order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object value.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Element of an array value.
+    pub fn index(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::Array(a) => a.get(i),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Renders `self` into a [`Value`] tree.
+pub trait Serialize {
+    fn serialize(&self) -> Value;
+}
+
+/// Rebuilds `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! ser_de_int {
+    ($($t:ty => $variant:ident as $conv:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::$variant(*self as $conv)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::I64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError::new(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError::new(format!("{n} out of range for {}", stringify!($t)))),
+                    ref other => Err(DeError::new(format!(
+                        "expected integer for {}, found {other:?}",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_int! {
+    u8 => U64 as u64,
+    u16 => U64 as u64,
+    u32 => U64 as u64,
+    u64 => U64 as u64,
+    usize => U64 as u64,
+    i8 => I64 as i64,
+    i16 => I64 as i64,
+    i32 => I64 as i64,
+    i64 => I64 as i64,
+    isize => I64 as i64,
+}
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::F64(n) => Ok(n as $t),
+                    Value::I64(n) => Ok(n as $t),
+                    Value::U64(n) => Ok(n as $t),
+                    ref other => Err(DeError::new(format!(
+                        "expected number for {}, found {other:?}",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap_or('\0')),
+            other => Err(DeError::new(format!("expected char, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(a) => a.iter().map(T::deserialize).collect(),
+            other => Err(DeError::new(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::deserialize(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::new(format!("expected array of {N} elements, found {got}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+macro_rules! ser_de_smart_ptr {
+    ($($p:ident),*) => {$(
+        impl<T: Serialize> Serialize for $p<T> {
+            fn serialize(&self) -> Value {
+                (**self).serialize()
+            }
+        }
+        impl<T: Deserialize> Deserialize for $p<T> {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                T::deserialize(v).map($p::new)
+            }
+        }
+    )*};
+}
+
+ser_de_smart_ptr!(Box, Arc, Rc);
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+)),* $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(a) => Ok(($(
+                        $t::deserialize(a.get($n).ok_or_else(|| {
+                            DeError::new(format!("tuple too short at index {}", $n))
+                        })?)?,
+                    )+)),
+                    other => Err(DeError::new(format!("expected tuple array, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+/// Helpers the derive macro expands to. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    /// Extracts field `name` from an object, tolerating absence for
+    /// types (like `Option`) that accept `Null`.
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+        match v.get(name) {
+            Some(x) => T::deserialize(x)
+                .map_err(|e| DeError::new(format!("field `{name}`: {e}"))),
+            None => T::deserialize(&Value::Null)
+                .map_err(|_| DeError::new(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Extracts element `i` from an array payload.
+    pub fn index<T: Deserialize>(v: &Value, i: usize) -> Result<T, DeError> {
+        match v.index(i) {
+            Some(x) => T::deserialize(x).map_err(|e| DeError::new(format!("element {i}: {e}"))),
+            None => Err(DeError::new(format!("missing tuple element {i}"))),
+        }
+    }
+}

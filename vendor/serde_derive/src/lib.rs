@@ -1,0 +1,463 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` with
+//! hand-rolled token parsing (no `syn`/`quote` available offline). It
+//! supports exactly what this workspace needs: non-generic structs
+//! (named, tuple, unit) and enums (unit, tuple, struct variants), plus
+//! the `#[serde(skip)]` field attribute (skipped fields are omitted on
+//! serialize and rebuilt with `Default::default()` on deserialize).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    /// `None` for tuple-struct / tuple-variant fields.
+    name: Option<String>,
+    skip: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Consumes leading `#[...]` attributes; returns true if any of
+    /// them was `#[serde(skip)]` (or `skip` among a serde list).
+    fn skip_attrs(&mut self) -> bool {
+        let mut skip = false;
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next();
+                    if let Some(TokenTree::Group(g)) = self.next() {
+                        if attr_is_serde_skip(g.stream()) {
+                            skip = true;
+                        }
+                    }
+                }
+                _ => return skip,
+            }
+        }
+    }
+
+    /// Consumes `pub`, `pub(...)`, or nothing.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde stub derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Skips tokens (a type, discriminant, ...) until a top-level `,`,
+    /// tracking `<...>` nesting so commas inside generics don't split.
+    /// Consumes the terminating comma if present.
+    fn skip_until_comma(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn attr_is_serde_skip(attr: TokenStream) -> bool {
+    let toks: Vec<TokenTree> = attr.into_iter().collect();
+    match toks.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let skip = c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after field, found {other:?}"),
+        }
+        c.skip_until_comma();
+        fields.push(Field {
+            name: Some(name),
+            skip,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(ts: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let skip = c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        c.skip_until_comma();
+        fields.push(Field { name: None, skip });
+    }
+    fields
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream());
+                c.next();
+                Shape::Tuple(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Discriminant (`= expr`) or nothing; either way eat up to the
+        // separating comma.
+        c.skip_until_comma();
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kw = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("item name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic types are not supported (on `{name}`)");
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let shape = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde stub derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde stub derive: unexpected enum body {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde stub derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+/// Serialize expression for a struct/variant payload given accessor
+/// expressions for each live (non-skipped) field.
+fn ser_named(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::from(
+        "{ let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new(); ",
+    );
+    for f in fields {
+        let name = f.name.as_deref().unwrap_or_default();
+        if f.skip {
+            continue;
+        }
+        out.push_str(&format!(
+            "__m.push((\"{name}\".to_string(), ::serde::Serialize::serialize({})));",
+            access(name)
+        ));
+    }
+    out.push_str(" ::serde::Value::Object(__m) }");
+    out
+}
+
+fn ser_tuple(exprs: &[String]) -> String {
+    match exprs {
+        [single] => format!("::serde::Serialize::serialize({single})"),
+        many => format!(
+            "::serde::Value::Array(vec![{}])",
+            many.iter()
+                .map(|e| format!("::serde::Serialize::serialize({e})"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    }
+}
+
+fn de_named(ty_path: &str, fields: &[Field], src: &str) -> String {
+    let mut out = format!("{ty_path} {{ ");
+    for f in fields {
+        let name = f.name.as_deref().unwrap_or_default();
+        if f.skip {
+            out.push_str(&format!("{name}: ::std::default::Default::default(), "));
+        } else {
+            out.push_str(&format!(
+                "{name}: ::serde::__private::field({src}, \"{name}\")?, "
+            ));
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn de_tuple(ty_path: &str, fields: &[Field], src: &str) -> String {
+    let live = fields.iter().filter(|f| !f.skip).count();
+    let mut out = format!("{ty_path}(");
+    let mut idx = 0usize;
+    for f in fields {
+        if f.skip {
+            out.push_str("::std::default::Default::default(), ");
+        } else if live == 1 {
+            out.push_str(&format!("::serde::Deserialize::deserialize({src})?, "));
+            idx += 1;
+        } else {
+            out.push_str(&format!("::serde::__private::index({src}, {idx})?, "));
+            idx += 1;
+        }
+    }
+    out.push(')');
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Named(fields) => ser_named(fields, |f| format!("&self.{f}")),
+                Shape::Tuple(fields) => {
+                    let exprs: Vec<String> = fields
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, f)| !f.skip)
+                        .map(|(i, _)| format!("&self.{i}"))
+                        .collect();
+                    if exprs.is_empty() {
+                        "::serde::Value::Null".to_string()
+                    } else {
+                        ser_tuple(&exprs)
+                    }
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                 fn serialize(&self) -> ::serde::Value {{ {body} }} }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),"
+                    )),
+                    Shape::Tuple(fields) => {
+                        let binders: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let exprs: Vec<String> = fields
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, f)| !f.skip)
+                            .map(|(i, _)| format!("__f{i}"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\"\
+                             .to_string(), {})]),",
+                            binders.join(", "),
+                            ser_tuple(&exprs)
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binders: Vec<String> = fields
+                            .iter()
+                            .filter_map(|f| f.name.clone())
+                            .collect();
+                        let payload = ser_named(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(\"{vn}\"\
+                             .to_string(), {payload})]),",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                 fn serialize(&self) -> ::serde::Value {{ match self {{ {arms} }} }} }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let err = |what: &str| {
+        format!(
+            "::std::result::Result::Err(::serde::DeError::new(format!(\
+             \"invalid value for {what}: {{__v:?}}\")))"
+        )
+    };
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                Shape::Named(fields) => format!(
+                    "::std::result::Result::Ok({})",
+                    de_named(name, fields, "__v")
+                ),
+                Shape::Tuple(fields) => format!(
+                    "::std::result::Result::Ok({})",
+                    de_tuple(name, fields, "__v")
+                ),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                 fn deserialize(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                    )),
+                    Shape::Tuple(fields) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({}),",
+                        de_tuple(&format!("{name}::{vn}"), fields, "__p")
+                    )),
+                    Shape::Named(fields) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({}),",
+                        de_named(&format!("{name}::{vn}"), fields, "__p")
+                    )),
+                }
+            }
+            let fallback = err(&format!("enum {name}"));
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                 fn deserialize(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{ \
+                 match __v {{ \
+                 ::serde::Value::String(__s) => match __s.as_str() {{ \
+                 {unit_arms} _ => {fallback} }}, \
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{ \
+                 let (__k, __p) = &__m[0]; \
+                 match __k.as_str() {{ {payload_arms} _ => {fallback} }} }}, \
+                 _ => {fallback} }} }} }}"
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde stub derive: generated Serialize impl did not parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde stub derive: generated Deserialize impl did not parse")
+}
