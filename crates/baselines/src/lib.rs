@@ -16,6 +16,7 @@
 //!   inter-kernel stratified sampling by kernel name + instruction
 //!   count; no intra-kernel acceleration.
 
+mod decisions;
 mod pka;
 mod sieve;
 mod tbpoint;

@@ -17,11 +17,13 @@
 //!    why this assumption breaks on workloads whose IPC never
 //!    stabilizes (or stabilizes deceptively early).
 
+use crate::decisions::Decisions;
 #[cfg(test)]
 use gpu_isa::InstClass;
 use gpu_sim::{
     Cycle, KernelDirective, KernelResult, KernelStartAccess, SamplingController, WarpTrace,
 };
+use gpu_telemetry::{Counter, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -164,7 +166,14 @@ pub struct PkaController {
     windows_needed: usize,
     cycles_seen: u64,
     pending_abort: Option<f64>,
+    /// Cycle at which the pending abort was decided (end of the window
+    /// that passed the stability test), for event timestamps.
+    abort_cycle: Cycle,
     aborted_this_kernel: bool,
+    dec: Decisions,
+    ctr_kernels: Counter,
+    ctr_skipped: Counter,
+    ctr_aborts: Counter,
 }
 
 impl PkaController {
@@ -179,7 +188,12 @@ impl PkaController {
             windows_needed: 1,
             cycles_seen: 0,
             pending_abort: None,
+            abort_cycle: 0,
             aborted_this_kernel: false,
+            dec: Decisions::new("pka"),
+            ctr_kernels: Counter::default(),
+            ctr_skipped: Counter::default(),
+            ctr_aborts: Counter::default(),
         }
     }
 
@@ -190,8 +204,17 @@ impl PkaController {
 }
 
 impl SamplingController for PkaController {
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.dec.attach(telemetry);
+        self.ctr_kernels = telemetry.counter("pka.kernels");
+        self.ctr_skipped = telemetry.counter("pka.kernels.skipped");
+        self.ctr_aborts = telemetry.counter("pka.ipc_aborts");
+    }
+
     fn on_kernel_start(&mut self, ctx: &mut dyn KernelStartAccess) -> KernelDirective {
         self.stats.kernels += 1;
+        self.ctr_kernels.inc();
+        let clock = ctx.clock();
         self.window_ipcs.clear();
         self.cycles_seen = 0;
         self.pending_abort = None;
@@ -210,6 +233,9 @@ impl SamplingController for PkaController {
                     ctx.launch().kernel.name()
                 );
                 self.current = None;
+                self.dec.emit(clock, "fallback-detailed", || {
+                    "sample tracing failed; running fully detailed".to_string()
+                });
                 return KernelDirective::Simulate;
             }
         };
@@ -230,6 +256,10 @@ impl SamplingController for PkaController {
                     1
                 };
                 self.stats.kernels_skipped += 1;
+                self.ctr_skipped.inc();
+                self.dec.emit(clock, "kernel-skip", || {
+                    format!("matched principal kernel; predicted {cycles} cycles")
+                });
                 self.current = None;
                 return KernelDirective::Skip {
                     predicted_cycles: cycles,
@@ -242,18 +272,19 @@ impl SamplingController for PkaController {
         KernelDirective::Simulate
     }
 
-    fn on_ipc_window(&mut self, _start: Cycle, insts: u64, window: Cycle) {
+    fn on_ipc_window(&mut self, start: Cycle, insts: u64, window: Cycle) {
         if !self.cfg.intra_level || self.aborted_this_kernel {
             return;
         }
         self.cycles_seen += window;
-        self.windows_needed = (self.cfg.history_cycles as usize).div_ceil(window as usize).max(1);
+        self.windows_needed = (self.cfg.history_cycles as usize)
+            .div_ceil(window as usize)
+            .max(1);
         self.window_ipcs.push_back(insts as f64 / window as f64);
         while self.window_ipcs.len() > self.windows_needed {
             self.window_ipcs.pop_front();
         }
-        if self.cycles_seen < self.cfg.warmup_cycles
-            || self.window_ipcs.len() < self.windows_needed
+        if self.cycles_seen < self.cfg.warmup_cycles || self.window_ipcs.len() < self.windows_needed
         {
             return;
         }
@@ -271,6 +302,7 @@ impl SamplingController for PkaController {
         let cv = var.sqrt() / mean;
         if cv < self.cfg.stability_threshold {
             self.pending_abort = Some(mean);
+            self.abort_cycle = start.saturating_add(window);
         }
     }
 
@@ -278,6 +310,11 @@ impl SamplingController for PkaController {
         if let Some(ipc) = self.pending_abort.take() {
             self.aborted_this_kernel = true;
             self.stats.ipc_aborts += 1;
+            self.ctr_aborts.inc();
+            let threshold = self.cfg.stability_threshold;
+            self.dec.emit(self.abort_cycle, "ipc-abort", || {
+                format!("IPC stabilized at {ipc:.3} (cv below {threshold}); extrapolating")
+            });
             Some(ipc)
         } else {
             None

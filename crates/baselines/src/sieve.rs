@@ -13,7 +13,9 @@
 //! sample, and predicts a skipped invocation's time by scaling the
 //! representative's cycles with the instruction-count ratio.
 
+use crate::decisions::Decisions;
 use gpu_sim::{Cycle, KernelDirective, KernelResult, KernelStartAccess, SamplingController};
+use gpu_telemetry::{Counter, Gauge, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -72,6 +74,10 @@ pub struct SieveController {
     stats: SieveStats,
     strata: HashMap<(String, u32), Representative>,
     pending: Option<((String, u32), f64)>,
+    dec: Decisions,
+    ctr_kernels: Counter,
+    ctr_skipped: Counter,
+    gauge_strata: Gauge,
 }
 
 impl SieveController {
@@ -82,6 +88,10 @@ impl SieveController {
             stats: SieveStats::default(),
             strata: HashMap::new(),
             pending: None,
+            dec: Decisions::new("sieve"),
+            ctr_kernels: Counter::default(),
+            ctr_skipped: Counter::default(),
+            gauge_strata: Gauge::default(),
         }
     }
 
@@ -96,8 +106,17 @@ impl SieveController {
 }
 
 impl SamplingController for SieveController {
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.dec.attach(telemetry);
+        self.ctr_kernels = telemetry.counter("sieve.kernels");
+        self.ctr_skipped = telemetry.counter("sieve.kernels.skipped");
+        self.gauge_strata = telemetry.gauge("sieve.strata");
+    }
+
     fn on_kernel_start(&mut self, ctx: &mut dyn KernelStartAccess) -> KernelDirective {
         self.stats.kernels += 1;
+        self.ctr_kernels.inc();
+        let clock = ctx.clock();
         let total = ctx.total_warps();
         let k = ((total as f64 * self.cfg.sample_fraction).ceil() as u64)
             .max(2)
@@ -114,6 +133,9 @@ impl SamplingController for SieveController {
                         ctx.launch().kernel.name()
                     );
                     self.pending = None;
+                    self.dec.emit(clock, "fallback-detailed", || {
+                        "sample tracing failed; running fully detailed".to_string()
+                    });
                     return KernelDirective::Simulate;
                 }
             }
@@ -129,6 +151,13 @@ impl SamplingController for SieveController {
                 .round()
                 .max(1.0) as Cycle;
             self.stats.kernels_skipped += 1;
+            self.ctr_skipped.inc();
+            self.dec.emit(clock, "kernel-skip", || {
+                format!(
+                    "stratum (`{}`, bucket {}) has a representative; predicted {cycles} cycles",
+                    key.0, key.1
+                )
+            });
             self.pending = None;
             return KernelDirective::Skip {
                 predicted_cycles: cycles,
@@ -152,6 +181,7 @@ impl SamplingController for SieveController {
                 },
             );
             self.stats.strata = self.strata.len() as u64;
+            self.gauge_strata.set(self.stats.strata as f64);
         }
     }
 }

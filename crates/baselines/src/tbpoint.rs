@@ -15,7 +15,9 @@
 //! gate, which is exactly what separates it from Photon's
 //! warp-sampling.
 
+use crate::decisions::Decisions;
 use gpu_sim::{Cycle, KernelResult, SamplingController, WarpRecord, WgMode};
+use gpu_telemetry::{Counter, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// TBPoint parameters.
@@ -65,6 +67,9 @@ pub struct TbPointController {
     warps_seen: u64,
     duration_sum: u64,
     sampling: bool,
+    dec: Decisions,
+    ctr_kernels: Counter,
+    ctr_extrapolated: Counter,
 }
 
 impl TbPointController {
@@ -77,6 +82,9 @@ impl TbPointController {
             warps_seen: 0,
             duration_sum: 0,
             sampling: false,
+            dec: Decisions::new("tbpoint"),
+            ctr_kernels: Counter::default(),
+            ctr_extrapolated: Counter::default(),
         }
     }
 
@@ -87,11 +95,18 @@ impl TbPointController {
 }
 
 impl SamplingController for TbPointController {
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.dec.attach(telemetry);
+        self.ctr_kernels = telemetry.counter("tbpoint.kernels");
+        self.ctr_extrapolated = telemetry.counter("tbpoint.extrapolated");
+    }
+
     fn on_kernel_start(
         &mut self,
         ctx: &mut dyn gpu_sim::KernelStartAccess,
     ) -> gpu_sim::KernelDirective {
         self.stats.kernels += 1;
+        self.ctr_kernels.inc();
         let wpw = ctx.launch().warps_per_wg as u64;
         self.warp_budget = (self.cfg.sample_wgs as u64 * wpw).max(self.cfg.min_sample_warps);
         self.warps_seen = 0;
@@ -114,6 +129,11 @@ impl SamplingController for TbPointController {
         if !self.sampling && self.warps_seen >= self.warp_budget {
             self.sampling = true;
             self.stats.extrapolated += 1;
+            self.ctr_extrapolated.inc();
+            let (seen, mean) = (self.warps_seen, self.predict_warp_avg());
+            self.dec.emit(rec.retire, "extrapolate", || {
+                format!("sample budget reached after {seen} warps; mean duration {mean} cycles")
+            });
         }
     }
 

@@ -9,16 +9,21 @@
 //! ```
 
 use gpu_sim::GpuSimulator;
+use gpu_telemetry::Telemetry;
 use gpu_workloads::dnn::DnnScale;
 use gpu_workloads::registry::{Benchmark, RealWorldApp};
-use photon_bench::{run_app_method, scaled_photon_config, Method};
 use photon::Levels;
+use photon_bench::harness::RunOutcome;
+use photon_bench::report::{build_report, write_report};
+use photon_bench::{scaled_photon_config, try_run_app_method, Method};
 
 fn usage() -> ! {
     eprintln!(
         "usage: photon_sim --workload <name> [--warps N] [--method full|photon|pka|tbpoint|sieve|bb|warp|kernel] \
-         [--arch r9nano|mi100] [--cus N] [--seed N]\n\
-         workloads: aes fir sc mm relu spmv pr-<nodes> vgg16 vgg19 resnet18|34|50|101|152"
+         [--arch r9nano|mi100] [--cus N] [--seed N] [--trace <file.trace.json>] [--report <name>]\n\
+         workloads: aes fir sc mm relu spmv pr-<nodes> vgg16 vgg19 resnet18|34|50|101|152\n\
+         --trace  writes a Chrome-trace JSON of the run (build with --features telemetry)\n\
+         --report writes results/BENCH_<name>.json"
     );
     std::process::exit(2);
 }
@@ -27,7 +32,9 @@ fn parse_args() -> std::collections::HashMap<String, String> {
     let mut out = std::collections::HashMap::new();
     let mut args = std::env::args().skip(1);
     while let Some(k) = args.next() {
-        let Some(key) = k.strip_prefix("--") else { usage() };
+        let Some(key) = k.strip_prefix("--") else {
+            usage()
+        };
         let Some(v) = args.next() else { usage() };
         out.insert(key.to_string(), v);
     }
@@ -106,14 +113,65 @@ fn main() {
     };
 
     let pcfg = scaled_photon_config(Levels::all());
-    let m = run_app_method(&gpu_cfg, &workload, builder.as_ref(), &method, &pcfg);
-    println!(
-        "{} on {} ({} CUs) under {}:",
-        workload, gpu_cfg.name, gpu_cfg.num_cus, m.method
-    );
-    println!("  simulated kernel time : {} cycles", m.sim_cycles);
-    println!("  wall time             : {:.3} s", m.wall_secs);
-    println!("  detailed instructions : {}", m.detailed_insts);
-    println!("  functional instructions: {}", m.functional_insts);
-    println!("  kernels skipped       : {}", m.skipped_kernels);
+    let tel = Telemetry::default();
+    let trace_path = args.get("trace");
+    if trace_path.is_some() {
+        if !gpu_telemetry::tracing_compiled() {
+            eprintln!("warning: built without `--features telemetry`; the trace will be empty");
+        }
+        tel.enable_tracing(1 << 20);
+    }
+
+    let run = try_run_app_method(&gpu_cfg, &workload, builder.as_ref(), &method, &pcfg, &tel);
+
+    if let Some(path) = trace_path {
+        let log = tel.take_events();
+        match std::fs::write(path, gpu_telemetry::export::chrome_trace_json(&log)) {
+            Ok(()) => println!(
+                "(wrote {path} — {} events, {} dropped)",
+                log.events.len(),
+                log.dropped
+            ),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+
+    let outcome = match run {
+        Ok(m) => RunOutcome::Completed(m),
+        Err(e) => RunOutcome::Skipped {
+            workload: workload.clone(),
+            method: method.name(),
+            reason: format!("simulation error: {e}"),
+            error: Some(format!("{e:?}")),
+        },
+    };
+    if let Some(report_name) = args.get("report") {
+        let report = build_report(report_name, std::slice::from_ref(&outcome), tel.snapshot());
+        match write_report(&report) {
+            Ok(path) => println!("(wrote {})", path.display()),
+            Err(e) => eprintln!("warning: could not write report: {e}"),
+        }
+    }
+
+    match outcome {
+        RunOutcome::Completed(m) => {
+            println!(
+                "{} on {} ({} CUs) under {}:",
+                workload, gpu_cfg.name, gpu_cfg.num_cus, m.method
+            );
+            println!("  simulated kernel time : {} cycles", m.sim_cycles);
+            println!("  wall time             : {:.3} s", m.wall_secs);
+            println!("  detailed instructions : {}", m.detailed_insts);
+            println!("  functional instructions: {}", m.functional_insts);
+            println!(
+                "  warps detailed/predicted: {}/{}",
+                m.detailed_warps, m.predicted_warps
+            );
+            println!("  kernels skipped       : {}", m.skipped_kernels);
+        }
+        RunOutcome::Skipped { reason, .. } => {
+            eprintln!("{workload} under {}: {reason}", method.name());
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,0 +1,137 @@
+//! Benchmark run reports: produce, render, and regression-check
+//! `results/BENCH_<app>.json` files.
+//!
+//! ```console
+//! $ report smoke            # run the smoke workload, write BENCH_smoke.json
+//! $ report show             # table over every results/BENCH_*.json
+//! $ report check            # compare against results/baselines/, exit 1 on regression
+//! ```
+
+use gpu_sim::GpuConfig;
+use gpu_telemetry::Telemetry;
+use gpu_workloads::registry::Benchmark;
+use photon::Levels;
+use photon_bench::harness::{results_dir, scaled_photon_config, Method, RunOutcome};
+use photon_bench::report::{
+    build_report, check_against_baselines, load_all_reports, summary_table, write_report,
+};
+use photon_bench::try_run_app_method;
+
+fn usage() -> ! {
+    eprintln!("usage: report <smoke|show|check>");
+    std::process::exit(2);
+}
+
+/// Runs the fixed smoke workload (small FIR, Full + Photon) and writes
+/// `results/BENCH_smoke.json`. With the `telemetry` feature the Photon
+/// run's events are exported to `results/TRACE_smoke.trace.json`.
+fn smoke() {
+    // Large enough that Photon's warp-sampling actually triggers (so
+    // coverage/speedup are non-trivial), small enough to finish in
+    // seconds.
+    let gpu_cfg = GpuConfig::r9_nano().with_num_cus(4);
+    let pcfg = scaled_photon_config(Levels::all());
+    let (warps, seed) = (2048, 7);
+    let tel = Telemetry::default();
+
+    let mut outcomes = Vec::new();
+    for method in [Method::Full, Method::Photon(Levels::all())] {
+        if method != Method::Full {
+            // Trace only the sampled run; the detailed run would dwarf
+            // the ring with per-warp events.
+            tel.enable_tracing(1 << 16);
+        }
+        let out = match try_run_app_method(
+            &gpu_cfg,
+            "smoke",
+            &|gpu| Benchmark::Fir.build(gpu, warps, seed),
+            &method,
+            &pcfg,
+            &tel,
+        ) {
+            Ok(m) => RunOutcome::Completed(m),
+            Err(e) => RunOutcome::Skipped {
+                workload: "smoke".to_string(),
+                method: method.name(),
+                reason: format!("simulation error: {e}"),
+                error: Some(format!("{e:?}")),
+            },
+        };
+        outcomes.push(out);
+    }
+
+    if gpu_telemetry::tracing_compiled() {
+        let log = tel.take_events();
+        let path = results_dir().join("TRACE_smoke.trace.json");
+        match std::fs::write(&path, gpu_telemetry::export::chrome_trace_json(&log)) {
+            Ok(()) => println!(
+                "(wrote {} — {} events, {} dropped)",
+                path.display(),
+                log.events.len(),
+                log.dropped
+            ),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+
+    let report = build_report("smoke", &outcomes, tel.snapshot());
+    match write_report(&report) {
+        Ok(path) => println!("(wrote {})", path.display()),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+    print!("{}", summary_table(&[report]).render());
+}
+
+fn show() {
+    let reports = match load_all_reports(&results_dir()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if reports.is_empty() {
+        println!("no results/BENCH_*.json reports found; run `report smoke` first");
+        return;
+    }
+    print!("{}", summary_table(&reports).render());
+}
+
+fn check() {
+    let reports = match load_all_reports(&results_dir()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let baseline_dir = results_dir().join("baselines");
+    if !baseline_dir.exists() {
+        println!(
+            "no baseline directory at {}; nothing to check",
+            baseline_dir.display()
+        );
+        return;
+    }
+    let regressions = check_against_baselines(&reports, &baseline_dir);
+    if regressions.is_empty() {
+        println!("no regressions against {}", baseline_dir.display());
+        return;
+    }
+    for r in &regressions {
+        println!("REGRESSION {} / {}: {}", r.workload, r.method, r.what);
+    }
+    std::process::exit(1);
+}
+
+fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("smoke") => smoke(),
+        Some("show") => show(),
+        Some("check") => check(),
+        _ => usage(),
+    }
+}

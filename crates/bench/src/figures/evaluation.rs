@@ -72,7 +72,13 @@ fn compare(gpu_cfg: &GpuConfig, methods: &[Method], benches: &[Benchmark]) -> Ve
 fn print_rows(title: &str, rows: &[ComparisonRow]) {
     println!("== {title} ==");
     let mut table = Table::new(&[
-        "workload", "warps", "method", "sim cycles", "error", "speedup", "wall (s)",
+        "workload",
+        "warps",
+        "method",
+        "sim cycles",
+        "error",
+        "speedup",
+        "wall (s)",
     ]);
     for r in rows {
         table.row(vec![
@@ -208,10 +214,12 @@ pub fn fig16() -> Vec<ComparisonRow> {
             ph.skipped_kernels,
         );
     }
-    let photon_rows: Vec<&ComparisonRow> =
-        rows.iter().filter(|r| r.method == "Photon").collect();
+    let photon_rows: Vec<&ComparisonRow> = rows.iter().filter(|r| r.method == "Photon").collect();
     let avg = photon_rows.iter().map(|r| r.error).sum::<f64>() / photon_rows.len() as f64;
-    println!("average sampling error across applications: {:.1}%", 100.0 * avg);
+    println!(
+        "average sampling error across applications: {:.1}%",
+        100.0 * avg
+    );
     write_json("fig16", &rows);
     rows
 }
@@ -342,8 +350,7 @@ pub fn offline_tradeoff() -> (f64, f64) {
     // offline pass reusing them
     let mut gpu2 = GpuSimulator::new(gpu_cfg.clone());
     let app2 = RealWorldApp::Vgg16.build(&mut gpu2, scale, 7);
-    let mut offline =
-        PhotonController::with_offline(pcfg, gpu_cfg.num_cus as u64, analyses);
+    let mut offline = PhotonController::with_offline(pcfg, gpu_cfg.num_cus as u64, analyses);
     let t1 = Instant::now();
     let offline_res = app2.run(&mut gpu2, &mut offline).expect("offline run");
     let offline_wall = t1.elapsed().as_secs_f64();

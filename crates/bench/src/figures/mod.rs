@@ -10,4 +10,4 @@ mod observations;
 pub use evaluation::{
     fig13, fig14, fig15, fig16, fig17, offline_tradeoff, table1, table2, ComparisonRow,
 };
-pub use observations::{fig1, fig2, fig3, fig4, fig6, fig8, fig11};
+pub use observations::{fig1, fig11, fig2, fig3, fig4, fig6, fig8};

@@ -89,7 +89,11 @@ pub fn fig2() -> Vec<Series> {
             .collect();
         let n = durations.len() as f64;
         let mean = durations.iter().sum::<f64>() / n;
-        let var = durations.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n;
+        let var = durations
+            .iter()
+            .map(|d| (d - mean) * (d - mean))
+            .sum::<f64>()
+            / n;
         println!(
             "{}: dominating bb{} executed {} times; mean {:.1}, global variance {:.2} (normalized {:.2})",
             bench.abbr(),
@@ -275,8 +279,8 @@ fn distribution_figure(
                     .expect("figure kernels trace cleanly")
             })
             .collect();
-        let all = OnlineAnalysis::from_traces(&all_traces, bb_map)
-            .expect("figure kernels have warps");
+        let all =
+            OnlineAnalysis::from_traces(&all_traces, bb_map).expect("figure kernels have warps");
         // 1% sample
         let ids = photon::sample_warp_ids(total, 0.01, 8);
         let sample_traces: Vec<_> = ids
@@ -286,8 +290,8 @@ fn distribution_figure(
                     .expect("figure kernels trace cleanly")
             })
             .collect();
-        let sample = OnlineAnalysis::from_traces(&sample_traces, bb_map)
-            .expect("figure kernels have warps");
+        let sample =
+            OnlineAnalysis::from_traces(&sample_traces, bb_map).expect("figure kernels have warps");
 
         let a = per_item(&all);
         let s = per_item(&sample);

@@ -1,7 +1,10 @@
 //! Shared experiment machinery: methods, measurements, and tables.
 
-use gpu_baselines::{PkaConfig, PkaController, SieveConfig, SieveController, TbPointConfig, TbPointController};
-use gpu_sim::{GpuConfig, GpuSimulator, NullController, SamplingController};
+use gpu_baselines::{
+    PkaConfig, PkaController, SieveConfig, SieveController, TbPointConfig, TbPointController,
+};
+use gpu_sim::{GpuConfig, GpuSimulator, NullController, SamplingController, SimError};
+use gpu_telemetry::Telemetry;
 use gpu_workloads::registry::Benchmark;
 use gpu_workloads::App;
 use photon::{Levels, PhotonConfig, PhotonController};
@@ -105,6 +108,10 @@ pub struct Measurement {
     pub detailed_insts: u64,
     /// Instructions executed functionally only.
     pub functional_insts: u64,
+    /// Warps simulated in detailed mode.
+    pub detailed_warps: u64,
+    /// Warps whose duration was predicted instead of simulated.
+    pub predicted_warps: u64,
     /// Kernels skipped by kernel-sampling.
     pub skipped_kernels: usize,
     /// Per-kernel simulated cycles (for per-layer analyses).
@@ -126,7 +133,11 @@ impl Measurement {
 /// A closure that prepares an application on a fresh simulator.
 pub type AppBuilder<'a> = dyn Fn(&mut GpuSimulator) -> App + 'a;
 
-fn make_controller(method: &Method, pcfg: &PhotonConfig, num_cus: u64) -> Box<dyn SamplingController> {
+fn make_controller(
+    method: &Method,
+    pcfg: &PhotonConfig,
+    num_cus: u64,
+) -> Box<dyn SamplingController> {
     match method {
         Method::Full => Box::new(NullController),
         Method::Photon(levels) => {
@@ -141,23 +152,27 @@ fn make_controller(method: &Method, pcfg: &PhotonConfig, num_cus: u64) -> Box<dy
 }
 
 /// Runs an application under a method on a fresh simulator and
-/// measures it.
-pub fn run_app_method(
+/// measures it, surfacing simulator errors as typed values instead of
+/// panics. Counters and (with the `telemetry` feature) trace events
+/// land in `telemetry`.
+///
+/// # Errors
+/// Returns the first [`SimError`] the application run hits.
+pub fn try_run_app_method(
     gpu_cfg: &GpuConfig,
     name: &str,
     build: &AppBuilder<'_>,
     method: &Method,
     pcfg: &PhotonConfig,
-) -> Measurement {
-    let mut gpu = GpuSimulator::new(gpu_cfg.clone());
+    telemetry: &Telemetry,
+) -> Result<Measurement, SimError> {
+    let mut gpu = GpuSimulator::with_telemetry(gpu_cfg.clone(), telemetry.clone());
     let app = build(&mut gpu);
     let mut ctrl = make_controller(method, pcfg, gpu_cfg.num_cus as u64);
     let t0 = Instant::now();
-    let result = app
-        .run(&mut gpu, ctrl.as_mut())
-        .unwrap_or_else(|e| panic!("{name} under {}: {e}", method.name()));
+    let result = app.run(&mut gpu, ctrl.as_mut())?;
     let wall = t0.elapsed().as_secs_f64();
-    Measurement {
+    Ok(Measurement {
         workload: name.to_string(),
         warps: app.total_warps(),
         method: method.name(),
@@ -165,9 +180,29 @@ pub fn run_app_method(
         wall_secs: wall,
         detailed_insts: result.total_detailed_insts(),
         functional_insts: result.total_functional_insts(),
+        detailed_warps: result.total_detailed_warps(),
+        predicted_warps: result.total_predicted_warps(),
         skipped_kernels: result.skipped_kernels(),
         kernel_cycles: result.kernels.iter().map(|k| k.cycles).collect(),
-    }
+    })
+}
+
+/// Runs an application under a method on a fresh simulator and
+/// measures it.
+///
+/// # Panics
+/// Panics on simulator errors; sweeps that must survive faulty
+/// configurations use [`run_app_method_isolated`] or
+/// [`try_run_app_method`] instead.
+pub fn run_app_method(
+    gpu_cfg: &GpuConfig,
+    name: &str,
+    build: &AppBuilder<'_>,
+    method: &Method,
+    pcfg: &PhotonConfig,
+) -> Measurement {
+    try_run_app_method(gpu_cfg, name, build, method, pcfg, &Telemetry::default())
+        .unwrap_or_else(|e| panic!("{name} under {}: {e}", method.name()))
 }
 
 /// Result of an isolated (panic- and hang-guarded) run: either a
@@ -186,6 +221,10 @@ pub enum RunOutcome {
         method: String,
         /// Human-readable cause (panic message, timeout, ...).
         reason: String,
+        /// The typed simulator error rendered to text, when the skip
+        /// came from a [`SimError`] (None for panics and timeouts).
+        /// Serialized into result files so reports keep the diagnosis.
+        error: Option<String>,
     },
 }
 
@@ -230,10 +269,11 @@ where
 {
     let workload = name.to_string();
     let method_name = method.name();
-    let skipped = |reason: String| RunOutcome::Skipped {
+    let skipped = |reason: String, error: Option<String>| RunOutcome::Skipped {
         workload: workload.clone(),
         method: method_name.clone(),
         reason,
+        error,
     };
 
     let cfg = gpu_cfg.clone();
@@ -245,31 +285,49 @@ where
         .name(format!("bench-{workload}"))
         .spawn(move || {
             let res = catch_unwind(AssertUnwindSafe(|| {
-                run_app_method(&cfg, &run_name, &build, &run_method, &run_pcfg)
+                try_run_app_method(
+                    &cfg,
+                    &run_name,
+                    &build,
+                    &run_method,
+                    &run_pcfg,
+                    &Telemetry::default(),
+                )
             }));
             // The receiver may already have timed out and moved on.
             let _ = tx.send(res);
         });
     let handle = match spawn {
         Ok(h) => h,
-        Err(e) => return skipped(format!("could not spawn worker thread: {e}")),
+        Err(e) => return skipped(format!("could not spawn worker thread: {e}"), None),
     };
 
     match rx.recv_timeout(timeout) {
-        Ok(Ok(m)) => {
+        Ok(Ok(Ok(m))) => {
             let _ = handle.join();
             RunOutcome::Completed(m)
         }
+        Ok(Ok(Err(sim_err))) => {
+            let _ = handle.join();
+            skipped(
+                format!("simulation error: {sim_err}"),
+                Some(format!("{sim_err:?}")),
+            )
+        }
         Ok(Err(payload)) => {
             let _ = handle.join();
-            skipped(format!("panicked: {}", panic_reason(payload.as_ref())))
+            skipped(
+                format!("panicked: {}", panic_reason(payload.as_ref())),
+                None,
+            )
         }
-        Err(RecvTimeoutError::Timeout) => {
-            skipped(format!("timed out after {:.1}s", timeout.as_secs_f64()))
-        }
+        Err(RecvTimeoutError::Timeout) => skipped(
+            format!("timed out after {:.1}s", timeout.as_secs_f64()),
+            None,
+        ),
         Err(RecvTimeoutError::Disconnected) => {
             let _ = handle.join();
-            skipped("worker thread died without reporting".to_string())
+            skipped("worker thread died without reporting".to_string(), None)
         }
     }
 }
@@ -436,6 +494,8 @@ mod tests {
             wall_secs: 2.0,
             detailed_insts: 0,
             functional_insts: 0,
+            detailed_warps: 0,
+            predicted_warps: 0,
             skipped_kernels: 0,
             kernel_cycles: vec![],
         };
@@ -462,7 +522,9 @@ mod tests {
             Duration::from_secs(60),
         );
         match &bad {
-            RunOutcome::Skipped { workload, reason, .. } => {
+            RunOutcome::Skipped {
+                workload, reason, ..
+            } => {
                 assert_eq!(workload, "bad");
                 assert!(reason.contains("builder exploded"), "reason: {reason}");
             }
@@ -515,9 +577,44 @@ mod tests {
             workload: "x".into(),
             method: "Full".into(),
             reason: "timed out after 1.0s".into(),
+            error: None,
         };
         let json = serde_json::to_string(&out).unwrap();
         assert!(json.contains("timed out"));
+    }
+
+    #[test]
+    fn sim_errors_keep_their_typed_rendering() {
+        // An empty launch produces a typed SimError, not a panic; the
+        // outcome must carry both the display and debug renderings so
+        // serialized reports stay diagnosable.
+        let out = run_app_method_isolated(
+            &GpuConfig::tiny(),
+            "empty",
+            |_gpu| {
+                let mut kb = gpu_isa::KernelBuilder::new("empty");
+                let s = kb.sreg();
+                kb.smov(s, 0i64);
+                let launch = gpu_isa::KernelLaunch::new(
+                    gpu_isa::Kernel::new(kb.finish().unwrap()),
+                    0,
+                    0,
+                    vec![],
+                );
+                App::single("empty", launch)
+            },
+            &Method::Full,
+            &PhotonConfig::default(),
+            Duration::from_secs(60),
+        );
+        match out {
+            RunOutcome::Skipped { reason, error, .. } => {
+                assert!(reason.contains("simulation error"), "reason: {reason}");
+                let error = error.expect("typed error preserved");
+                assert!(error.contains("EmptyLaunch"), "error: {error}");
+            }
+            RunOutcome::Completed(_) => panic!("empty launch completed"),
+        }
     }
 
     #[test]

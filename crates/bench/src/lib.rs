@@ -11,10 +11,12 @@
 //! `PHOTON_BENCH_FULL=1` for the full 64-/120-CU machines with
 //! paper-sized problems.
 
-pub mod harness;
 pub mod figures;
+pub mod harness;
+pub mod report;
 
 pub use harness::{
-    mi100, r9_nano, results_dir, run_app_method, run_benchmark, scaled_photon_config, AppBuilder,
-    Measurement, Method, Table,
+    mi100, r9_nano, results_dir, run_app_method, run_benchmark, scaled_photon_config,
+    try_run_app_method, AppBuilder, Measurement, Method, RunOutcome, Table,
 };
+pub use report::{build_report, load_report, summary_table, write_report};

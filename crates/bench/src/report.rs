@@ -1,0 +1,259 @@
+//! Assembling harness measurements into machine-readable
+//! [`RunReport`]s (`results/BENCH_<app>.json`) and rendering /
+//! regression-checking them for the `report` binary.
+
+use crate::harness::{results_dir, Measurement, RunOutcome, Table};
+use gpu_telemetry::{
+    compare_reports, MethodRun, MetricsSnapshot, Regression, RunReport, SkippedRun,
+};
+use std::path::{Path, PathBuf};
+
+/// Converts one measurement into a [`MethodRun`], computing speedup and
+/// cycle error against `detailed` (the full-detailed reference) when one
+/// exists.
+pub fn method_run(m: &Measurement, detailed: Option<&Measurement>) -> MethodRun {
+    let (speedup, error) = match detailed {
+        Some(full) if full.sim_cycles > 0 => (m.speedup_vs(full), m.error_vs(full)),
+        _ => (0.0, 0.0),
+    };
+    MethodRun {
+        method: m.method.clone(),
+        warps: m.warps,
+        wall_secs: m.wall_secs,
+        sim_cycles: m.sim_cycles,
+        ipc: if m.sim_cycles == 0 {
+            0.0
+        } else {
+            m.detailed_insts as f64 / m.sim_cycles as f64
+        },
+        detailed_insts: m.detailed_insts,
+        functional_insts: m.functional_insts,
+        detailed_warps: m.detailed_warps,
+        predicted_warps: m.predicted_warps,
+        sample_coverage: if m.warps == 0 {
+            1.0
+        } else {
+            m.detailed_warps as f64 / m.warps as f64
+        },
+        skipped_kernels: m.skipped_kernels as u64,
+        speedup_vs_detailed: speedup,
+        error_vs_detailed: error,
+    }
+}
+
+/// Builds the per-app report from a sweep's outcomes plus the metric
+/// registry snapshot taken after the last run. The `Full` measurement
+/// (when present) is the reference for every run's speedup and error —
+/// including its own row, which reports speedup 1.0 and error 0.0.
+pub fn build_report(
+    workload: &str,
+    outcomes: &[RunOutcome],
+    metrics: MetricsSnapshot,
+) -> RunReport {
+    let detailed = outcomes
+        .iter()
+        .filter_map(RunOutcome::measurement)
+        .find(|m| m.method == "Full");
+    let mut report = RunReport::new(workload);
+    report.metrics = metrics;
+    for out in outcomes {
+        match out {
+            RunOutcome::Completed(m) => report.runs.push(method_run(m, detailed)),
+            RunOutcome::Skipped {
+                method,
+                reason,
+                error,
+                ..
+            } => report.skipped.push(SkippedRun {
+                method: method.clone(),
+                reason: reason.clone(),
+                error: error.clone().unwrap_or_default(),
+            }),
+        }
+    }
+    report
+}
+
+/// The canonical path of a report: `results/BENCH_<workload>.json`.
+pub fn report_path(workload: &str) -> PathBuf {
+    results_dir().join(format!("BENCH_{workload}.json"))
+}
+
+/// Writes a report to its canonical path, returning the path.
+///
+/// # Errors
+/// Returns a rendered I/O or serialization error.
+pub fn write_report(report: &RunReport) -> Result<PathBuf, String> {
+    let path = report_path(&report.workload);
+    let text = serde_json::to_string_pretty(report).map_err(|e| e.to_string())?;
+    std::fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Reads a report back from disk.
+///
+/// # Errors
+/// Returns a rendered I/O or parse error; schema-version mismatches are
+/// rejected rather than misread.
+pub fn load_report(path: &Path) -> Result<RunReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let report: RunReport =
+        serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    if report.schema_version != gpu_telemetry::REPORT_SCHEMA_VERSION {
+        return Err(format!(
+            "{}: schema version {} (tool expects {})",
+            path.display(),
+            report.schema_version,
+            gpu_telemetry::REPORT_SCHEMA_VERSION
+        ));
+    }
+    Ok(report)
+}
+
+/// Every `results/BENCH_*.json` report, sorted by workload.
+///
+/// # Errors
+/// Returns the first unreadable report.
+pub fn load_all_reports(dir: &Path) -> Result<Vec<RunReport>, String> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            out.push(load_report(&entry.path())?);
+        }
+    }
+    out.sort_by(|a, b| a.workload.cmp(&b.workload));
+    Ok(out)
+}
+
+/// Renders reports as a summary table (one row per completed run, one
+/// trailing row per skipped run).
+pub fn summary_table(reports: &[RunReport]) -> Table {
+    let mut t = Table::new(&[
+        "workload", "method", "cycles", "IPC", "coverage", "wall (s)", "speedup", "error",
+    ]);
+    for r in reports {
+        for run in &r.runs {
+            t.row(vec![
+                r.workload.clone(),
+                run.method.clone(),
+                run.sim_cycles.to_string(),
+                format!("{:.3}", run.ipc),
+                format!("{:.1}%", run.sample_coverage * 100.0),
+                format!("{:.3}", run.wall_secs),
+                format!("{:.2}x", run.speedup_vs_detailed),
+                format!("{:.3}%", run.error_vs_detailed * 100.0),
+            ]);
+        }
+        for s in &r.skipped {
+            t.row(vec![
+                r.workload.clone(),
+                s.method.clone(),
+                "skipped".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                s.reason.clone(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Checks every current report that has a stored baseline
+/// (`results/baselines/BENCH_<workload>.json`) and returns the flagged
+/// regressions. Reports without a baseline are ignored.
+pub fn check_against_baselines(current: &[RunReport], baseline_dir: &Path) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for cur in current {
+        let base_path = baseline_dir.join(format!("BENCH_{}.json", cur.workload));
+        match load_report(&base_path) {
+            Ok(base) => out.extend(compare_reports(&base, cur)),
+            Err(_) if !base_path.exists() => {}
+            Err(e) => out.push(Regression {
+                workload: cur.workload.clone(),
+                method: "-".to_string(),
+                what: format!("unreadable baseline: {e}"),
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(method: &str, cycles: u64, wall: f64) -> Measurement {
+        Measurement {
+            workload: "fir".into(),
+            warps: 100,
+            method: method.into(),
+            sim_cycles: cycles,
+            wall_secs: wall,
+            detailed_insts: 5 * cycles,
+            functional_insts: 0,
+            detailed_warps: if method == "Full" { 100 } else { 10 },
+            predicted_warps: if method == "Full" { 0 } else { 90 },
+            skipped_kernels: 0,
+            kernel_cycles: vec![cycles],
+        }
+    }
+
+    #[test]
+    fn report_computes_speedup_and_error_vs_full() {
+        let outcomes = vec![
+            RunOutcome::Completed(meas("Full", 1000, 2.0)),
+            RunOutcome::Completed(meas("Photon", 950, 0.5)),
+            RunOutcome::Skipped {
+                workload: "fir".into(),
+                method: "PKA".into(),
+                reason: "simulation error: deadlock".into(),
+                error: Some("Deadlock { cycle: 10 }".into()),
+            },
+        ];
+        let report = build_report("fir", &outcomes, MetricsSnapshot::default());
+        assert_eq!(report.schema_version, gpu_telemetry::REPORT_SCHEMA_VERSION);
+
+        let full = report.run("Full").unwrap();
+        assert_eq!(full.speedup_vs_detailed, 1.0);
+        assert_eq!(full.error_vs_detailed, 0.0);
+        assert_eq!(full.sample_coverage, 1.0);
+
+        let photon = report.run("Photon").unwrap();
+        assert!((photon.speedup_vs_detailed - 4.0).abs() < 1e-12);
+        assert!((photon.error_vs_detailed - 0.05).abs() < 1e-12);
+        assert!((photon.sample_coverage - 0.1).abs() < 1e-12);
+
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].error, "Deadlock { cycle: 10 }");
+    }
+
+    #[test]
+    fn report_without_full_reference_reports_zero_comparisons() {
+        let outcomes = vec![RunOutcome::Completed(meas("Photon", 950, 0.5))];
+        let report = build_report("fir", &outcomes, MetricsSnapshot::default());
+        let photon = report.run("Photon").unwrap();
+        assert_eq!(photon.speedup_vs_detailed, 0.0);
+        assert_eq!(photon.error_vs_detailed, 0.0);
+    }
+
+    #[test]
+    fn summary_table_includes_skips() {
+        let outcomes = vec![
+            RunOutcome::Completed(meas("Full", 1000, 2.0)),
+            RunOutcome::Skipped {
+                workload: "fir".into(),
+                method: "PKA".into(),
+                reason: "timed out after 1.0s".into(),
+                error: None,
+            },
+        ];
+        let report = build_report("fir", &outcomes, MetricsSnapshot::default());
+        let rendered = summary_table(&[report]).render();
+        assert!(rendered.contains("Full"));
+        assert!(rendered.contains("timed out"));
+    }
+}

@@ -52,10 +52,8 @@ impl OnlineAnalysis {
         for t in traces {
             *by_type.entry(t).or_insert(0) += 1;
         }
-        let mut types: Vec<(WarpTrace, u64)> = by_type
-            .into_iter()
-            .map(|(t, n)| (t.clone(), n))
-            .collect();
+        let mut types: Vec<(WarpTrace, u64)> =
+            by_type.into_iter().map(|(t, n)| (t.clone(), n)).collect();
         types.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.insts.cmp(&b.0.insts)));
         let total = traces.len() as u64;
         let dominant_fraction = types.first().map_or(0.0, |(_, n)| *n as f64 / total as f64);

@@ -243,10 +243,7 @@ mod tests {
             let insts = vec![Inst::SBarrier, Inst::SEndpgm];
             Program::from_insts("t", insts).unwrap()
         };
-        let trace = WarpTrace::from_counts(
-            vec![(BasicBlockId(0), 2), (BasicBlockId(1), 1)],
-            3,
-        );
+        let trace = WarpTrace::from_counts(vec![(BasicBlockId(0), 2), (BasicBlockId(1), 1)], 3);
         let p = s.predict_warp(&trace, &program, &LatencyTable::new());
         assert_eq!(p, 130);
     }

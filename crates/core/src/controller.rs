@@ -15,8 +15,8 @@
 //!    stabilizes.
 
 use crate::analysis::{sample_warp_ids, OnlineAnalysis};
-use crate::config::PhotonConfig;
 use crate::bb_sampling::BbSampler;
+use crate::config::PhotonConfig;
 use crate::interval::LatencyTable;
 use crate::kernel_sampling::{KernelHistory, KernelRecord};
 use crate::warp_sampling::WarpSampler;
@@ -25,6 +25,7 @@ use gpu_sim::{
     BbRecord, Cycle, KernelDirective, KernelResult, KernelStartAccess, SamplingController,
     WarpRecord, WarpTrace, WgMode,
 };
+use gpu_telemetry::{Counter, EventKind, Telemetry, Trace, TraceEvent};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -45,6 +46,52 @@ pub struct PhotonStats {
     pub warp_switches: u64,
     /// Kernels that ran fully detailed (no level triggered).
     pub full_detailed: u64,
+}
+
+/// Registry mirrors of [`PhotonStats`] plus the decision-event trace
+/// handle. Starts against a private registry so a bare controller works
+/// in tests; `attach_telemetry` swaps in the engine's shared handle
+/// before every launch.
+struct PhotonTelemetry {
+    trace: Trace,
+    kernels: Counter,
+    kernels_skipped: Counter,
+    bb_switches: Counter,
+    warp_switches: Counter,
+    full_detailed: Counter,
+}
+
+impl PhotonTelemetry {
+    fn new(tel: &Telemetry) -> Self {
+        PhotonTelemetry {
+            trace: tel.trace().clone(),
+            kernels: tel.counter("photon.kernels"),
+            kernels_skipped: tel.counter("photon.kernels.skipped"),
+            bb_switches: tel.counter("photon.bb_switches"),
+            warp_switches: tel.counter("photon.warp_switches"),
+            full_detailed: tel.counter("photon.full_detailed"),
+        }
+    }
+
+    /// Emits a `ControllerDecision` event; `detail` is only rendered
+    /// when tracing is compiled in and active.
+    fn decision(&self, ts: Cycle, decision: &str, detail: impl FnOnce() -> String) {
+        self.trace.emit_with(|| TraceEvent {
+            ts,
+            dur: 0,
+            kind: EventKind::ControllerDecision {
+                controller: "photon".to_string(),
+                decision: decision.to_string(),
+                detail: detail(),
+            },
+        });
+    }
+}
+
+impl Default for PhotonTelemetry {
+    fn default() -> Self {
+        Self::new(&Telemetry::default())
+    }
 }
 
 struct KernelState {
@@ -77,6 +124,7 @@ pub struct PhotonController {
     table: LatencyTable,
     state: Option<KernelState>,
     stats: PhotonStats,
+    tel: PhotonTelemetry,
     /// Analyses in launch order (exported for offline reuse).
     recorded_analyses: Vec<OnlineAnalysis>,
     /// Pre-recorded analyses consumed instead of tracing (offline mode).
@@ -105,6 +153,7 @@ impl PhotonController {
             table: LatencyTable::new(),
             state: None,
             stats: PhotonStats::default(),
+            tel: PhotonTelemetry::default(),
             recorded_analyses: Vec::new(),
             offline_analyses: None,
             offline_cursor: 0,
@@ -191,14 +240,24 @@ impl PhotonController {
 }
 
 impl SamplingController for PhotonController {
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.tel = PhotonTelemetry::new(telemetry);
+    }
+
     fn on_kernel_start(&mut self, ctx: &mut dyn KernelStartAccess) -> KernelDirective {
         self.stats.kernels += 1;
+        self.tel.kernels.inc();
+        let clock = ctx.clock();
         let Some(analysis) = self.obtain_analysis(ctx) else {
             // No usable sample: run fully detailed. With no KernelState,
             // dispatch_mode stays Detailed and on_kernel_end records
             // nothing, so a bad kernel cannot poison the history.
             self.state = None;
             self.stats.full_detailed += 1;
+            self.tel.full_detailed.inc();
+            self.tel.decision(clock, "fallback-detailed", || {
+                "online analysis failed; simulating fully detailed".to_string()
+            });
             return KernelDirective::Simulate;
         };
         self.recorded_analyses.push(analysis.clone());
@@ -213,12 +272,15 @@ impl SamplingController for PhotonController {
                 self.num_cus,
                 self.cfg.kernel_distance,
             ) {
-                let scaled_sample = (analysis.insts_per_warp
-                    * (analysis.sampled_warps as f64))
-                    .round() as u64;
+                let scaled_sample =
+                    (analysis.insts_per_warp * (analysis.sampled_warps as f64)).round() as u64;
                 let p = self.history.predict(m, scaled_sample);
                 if p.cycles > 0 {
                     self.stats.kernels_skipped += 1;
+                    self.tel.kernels_skipped.inc();
+                    self.tel.decision(clock, "kernel-skip", || {
+                        format!("matched history entry {m}; predicted {} cycles", p.cycles)
+                    });
                     // Record this instance too, so later launches can
                     // match the closest warp count.
                     let ipc = self.history.records()[m].ipc;
@@ -245,6 +307,9 @@ impl SamplingController for PhotonController {
                      cycles; simulating in detail instead of skipping",
                     launch.kernel.name()
                 );
+                self.tel.decision(clock, "skip-refused", || {
+                    "history match predicted zero cycles; simulating in detail".to_string()
+                });
             }
         }
 
@@ -267,7 +332,9 @@ impl SamplingController for PhotonController {
     }
 
     fn on_bb_record(&mut self, rec: &BbRecord) {
-        let Some(st) = self.state.as_mut() else { return };
+        let Some(st) = self.state.as_mut() else {
+            return;
+        };
         let base = *st.kernel_start.get_or_insert(rec.start);
         let rebased = BbRecord {
             start: rec.start.saturating_sub(base),
@@ -280,12 +347,19 @@ impl SamplingController for PhotonController {
             if !st.switched_bb {
                 st.switched_bb = true;
                 self.stats.bb_switches += 1;
+                self.tel.bb_switches.inc();
+                let rate = st.bb_sampler.stable_rate();
+                self.tel.decision(rec.end, "switch-bb", || {
+                    format!("stable-block rate {rate:.2} crossed threshold")
+                });
             }
         }
     }
 
     fn on_warp_retire(&mut self, rec: &WarpRecord) {
-        let Some(st) = self.state.as_mut() else { return };
+        let Some(st) = self.state.as_mut() else {
+            return;
+        };
         let base = *st.kernel_start.get_or_insert(rec.issue);
         let rebased = WarpRecord {
             issue: rec.issue.saturating_sub(base),
@@ -293,14 +367,16 @@ impl SamplingController for PhotonController {
             ..*rec
         };
         st.warp_sampler.on_warp(&rebased);
-        if self.cfg.levels.warp
-            && st.mode != WgMode::WarpSampled
-            && st.warp_sampler.is_triggered()
+        if self.cfg.levels.warp && st.mode != WgMode::WarpSampled && st.warp_sampler.is_triggered()
         {
             st.mode = WgMode::WarpSampled;
             if !st.switched_warp {
                 st.switched_warp = true;
                 self.stats.warp_switches += 1;
+                self.tel.warp_switches.inc();
+                self.tel.decision(rec.retire, "switch-warp", || {
+                    "warp-sampling criteria met".to_string()
+                });
             }
         }
     }
@@ -310,14 +386,14 @@ impl SamplingController for PhotonController {
     }
 
     fn predict_warp_bb(&mut self, trace: &WarpTrace) -> Cycle {
-        let Some(st) = self.state.as_ref() else { return 1 };
+        let Some(st) = self.state.as_ref() else {
+            return 1;
+        };
         st.bb_sampler.predict_warp(trace, &st.program, &self.table)
     }
 
     fn predict_warp_avg(&mut self) -> Cycle {
-        self.state
-            .as_ref()
-            .map_or(1, |s| s.warp_sampler.predict())
+        self.state.as_ref().map_or(1, |s| s.warp_sampler.predict())
     }
 
     fn on_kernel_end(&mut self, result: &KernelResult) {
@@ -329,6 +405,12 @@ impl SamplingController for PhotonController {
         self.last_bb_means = Some(st.bb_sampler.mean_durations());
         if !st.switched_bb && !st.switched_warp {
             self.stats.full_detailed += 1;
+            self.tel.full_detailed.inc();
+            self.tel.decision(
+                result.start_cycle.saturating_add(result.cycles),
+                "full-detailed",
+                || "no sampling level triggered".to_string(),
+            );
         }
         let est_total_insts = st.analysis.insts_per_warp * result.total_warps as f64;
         let ipc = if result.cycles > 0 {

@@ -219,7 +219,11 @@ impl RollingStability {
         // Slow-drift guard: once enough history exists, the window two
         // back (points 2n..4n ago) must also agree — a slow monotone
         // contention ramp passes adjacent-window checks but not this one.
-        let old_n = self.points.len().saturating_sub(2 * self.window).min(2 * self.window);
+        let old_n = self
+            .points
+            .len()
+            .saturating_sub(2 * self.window)
+            .min(2 * self.window);
         if old_n >= self.window {
             let old = self.dur_old / old_n as f64;
             let scale = recent.abs().max(old.abs()).max(1e-9);

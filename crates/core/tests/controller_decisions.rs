@@ -268,13 +268,72 @@ fn failed_tracing_falls_back_to_detailed() {
 }
 
 #[test]
+fn registry_counters_mirror_stats() {
+    let tel = gpu_telemetry::Telemetry::default();
+    let mut ctrl = PhotonController::new(PhotonConfig::default(), 64);
+    ctrl.attach_telemetry(&tel);
+
+    // First launch simulates fully detailed; the identical second one
+    // is skipped by kernel-sampling.
+    let mut ctx = MockCtx::new(1000, uniform_trace(10));
+    assert_eq!(ctrl.on_kernel_start(&mut ctx), KernelDirective::Simulate);
+    finish_kernel(&mut ctrl, 5000, 1000);
+    let mut ctx2 = MockCtx::new(1000, uniform_trace(10));
+    assert!(matches!(
+        ctrl.on_kernel_start(&mut ctx2),
+        KernelDirective::Skip { .. }
+    ));
+
+    let snap = tel.snapshot();
+    assert_eq!(snap.counter("photon.kernels"), Some(ctrl.stats().kernels));
+    assert_eq!(
+        snap.counter("photon.kernels.skipped"),
+        Some(ctrl.stats().kernels_skipped)
+    );
+    assert_eq!(
+        snap.counter("photon.full_detailed"),
+        Some(ctrl.stats().full_detailed)
+    );
+    assert_eq!(snap.counter("photon.bb_switches"), Some(0));
+}
+
+#[test]
+fn skip_decision_lands_in_the_trace_when_compiled() {
+    let tel = gpu_telemetry::Telemetry::default();
+    tel.enable_tracing(1024);
+    let mut ctrl = PhotonController::new(PhotonConfig::default(), 64);
+    ctrl.attach_telemetry(&tel);
+
+    let mut ctx = MockCtx::new(1000, uniform_trace(10));
+    ctrl.on_kernel_start(&mut ctx);
+    finish_kernel(&mut ctrl, 5000, 1000);
+    let mut ctx2 = MockCtx::new(1000, uniform_trace(10));
+    ctrl.on_kernel_start(&mut ctx2);
+
+    let log = tel.take_events();
+    if gpu_telemetry::tracing_compiled() {
+        assert!(
+            log.events.iter().any(|e| matches!(
+                &e.kind,
+                gpu_telemetry::EventKind::ControllerDecision {
+                    controller,
+                    decision,
+                    ..
+                } if controller == "photon" && decision == "kernel-skip"
+            )),
+            "no kernel-skip decision in {} events",
+            log.events.len()
+        );
+    } else {
+        assert!(log.events.is_empty());
+    }
+}
+
+#[test]
 fn mock_program_has_expected_blocks() {
     // sanity on the mock itself
     let ctx = MockCtx::new(4, uniform_trace(10));
     let map = ctx.launch.kernel.program().basic_blocks();
     assert_eq!(map.len(), 1);
-    assert!(matches!(
-        ctx.launch.kernel.program().inst(1),
-        Inst::SEndpgm
-    ));
+    assert!(matches!(ctx.launch.kernel.program().inst(1), Inst::SEndpgm));
 }

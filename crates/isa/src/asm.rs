@@ -173,8 +173,7 @@ fn parse_addr(tok: &str, line: usize) -> Result<(Sreg, Vreg, i32), AsmError> {
     }
     let base = parse_sreg(parts[0], line)?;
     let offset = parse_vreg(parts[1], line)?;
-    let imm = parse_int(parts[2]).ok_or_else(|| err(line, format!("bad imm in `{tok}`")))?
-        as i32;
+    let imm = parse_int(parts[2]).ok_or_else(|| err(line, format!("bad imm in `{tok}`")))? as i32;
     Ok((base, offset, imm))
 }
 
@@ -189,8 +188,7 @@ fn parse_lds_addr(tok: &str, line: usize) -> Result<(Vreg, i32), AsmError> {
         return Err(err(line, format!("LDS address needs 2 parts, got `{tok}`")));
     }
     let addr = parse_vreg(parts[0], line)?;
-    let imm = parse_int(parts[1]).ok_or_else(|| err(line, format!("bad imm in `{tok}`")))?
-        as i32;
+    let imm = parse_int(parts[1]).ok_or_else(|| err(line, format!("bad imm in `{tok}`")))? as i32;
     Ok((addr, imm))
 }
 
@@ -608,11 +606,41 @@ mod tests {
             ",
         )
         .unwrap();
-        assert!(matches!(p.inst(0), Inst::SReadMask { src: MaskReg::Exec, .. }));
-        assert!(matches!(p.inst(1), Inst::SWriteMask { dst: MaskReg::Exec, .. }));
-        assert!(matches!(p.inst(2), Inst::SWriteMask { dst: MaskReg::Vcc, .. }));
-        assert!(matches!(p.inst(3), Inst::SReadMask { src: MaskReg::Vcc, .. }));
-        assert!(matches!(p.inst(4), Inst::SAlu { op: SAluOp::Mov, .. }));
+        assert!(matches!(
+            p.inst(0),
+            Inst::SReadMask {
+                src: MaskReg::Exec,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.inst(1),
+            Inst::SWriteMask {
+                dst: MaskReg::Exec,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.inst(2),
+            Inst::SWriteMask {
+                dst: MaskReg::Vcc,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.inst(3),
+            Inst::SReadMask {
+                src: MaskReg::Vcc,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.inst(4),
+            Inst::SAlu {
+                op: SAluOp::Mov,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -198,7 +198,13 @@ mod tests {
         let insts = vec![salu(), salu(), Inst::SEndpgm];
         let map = BasicBlockMap::from_program(&insts);
         assert_eq!(map.len(), 1);
-        assert_eq!(map.blocks()[0], BasicBlock { start_pc: 0, len: 3 });
+        assert_eq!(
+            map.blocks()[0],
+            BasicBlock {
+                start_pc: 0,
+                len: 3
+            }
+        );
     }
 
     #[test]
@@ -243,8 +249,20 @@ mod tests {
         ];
         let map = BasicBlockMap::from_program(&insts);
         assert_eq!(map.len(), 2);
-        assert_eq!(map.blocks()[0], BasicBlock { start_pc: 0, len: 2 });
-        assert_eq!(map.blocks()[1], BasicBlock { start_pc: 2, len: 1 });
+        assert_eq!(
+            map.blocks()[0],
+            BasicBlock {
+                start_pc: 0,
+                len: 2
+            }
+        );
+        assert_eq!(
+            map.blocks()[1],
+            BasicBlock {
+                start_pc: 2,
+                len: 1
+            }
+        );
     }
 
     #[test]

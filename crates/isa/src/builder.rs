@@ -173,7 +173,12 @@ impl KernelBuilder {
     }
 
     /// Emits a scalar compare (sets SCC).
-    pub fn scmp(&mut self, op: CmpOp, a: impl Into<ScalarSrc>, b: impl Into<ScalarSrc>) -> &mut Self {
+    pub fn scmp(
+        &mut self,
+        op: CmpOp,
+        a: impl Into<ScalarSrc>,
+        b: impl Into<ScalarSrc>,
+    ) -> &mut Self {
         self.push(Inst::SCmp {
             op,
             a: a.into(),
@@ -496,7 +501,10 @@ mod tests {
         let mut kb = KernelBuilder::new("t");
         let l = kb.label();
         kb.branch(l);
-        assert_eq!(kb.finish().unwrap_err(), IsaError::UnplacedLabel { label: 0 });
+        assert_eq!(
+            kb.finish().unwrap_err(),
+            IsaError::UnplacedLabel { label: 0 }
+        );
     }
 
     #[test]

@@ -143,7 +143,13 @@ pub fn disasm(inst: &Inst) -> String {
         }
         Inst::VCmp { op, a, b, float } => {
             let ty = if *float { "f32" } else { "i32" };
-            format!("v_cmp_{}_{} vcc, {}, {}", cmp_name(*op), ty, vsrc(a), vsrc(b))
+            format!(
+                "v_cmp_{}_{} vcc, {}, {}",
+                cmp_name(*op),
+                ty,
+                vsrc(a),
+                vsrc(b)
+            )
         }
         Inst::GlobalLoad {
             dst,

@@ -360,7 +360,10 @@ mod tests {
             },
             Inst::SEndpgm,
         ]);
-        let tight = KernelLimits { sregs: 64, vregs: 4 };
+        let tight = KernelLimits {
+            sregs: 64,
+            vregs: 4,
+        };
         assert_eq!(
             validate_program(&p, &tight),
             Err(ValidateError::VregOutOfRange {

@@ -97,8 +97,12 @@ fn width() -> impl Strategy<Value = MemWidth> {
 
 fn any_inst() -> impl Strategy<Value = Inst> {
     prop_oneof![
-        (salu_op(), sreg(), scalar_src(), scalar_src())
-            .prop_map(|(op, dst, a, b)| Inst::SAlu { op, dst, a, b }),
+        (salu_op(), sreg(), scalar_src(), scalar_src()).prop_map(|(op, dst, a, b)| Inst::SAlu {
+            op,
+            dst,
+            a,
+            b
+        }),
         (cmp_op(), scalar_src(), scalar_src()).prop_map(|(op, a, b)| Inst::SCmp { op, a, b }),
         (sreg(), 0u16..16).prop_map(|(dst, index)| Inst::SLoadArg { dst, index }),
         (
@@ -114,13 +118,24 @@ fn any_inst() -> impl Strategy<Value = Inst> {
             .prop_map(|(dst, which)| Inst::SGetSpecial { dst, which }),
         (sreg(), prop_oneof![Just(MaskReg::Exec), Just(MaskReg::Vcc)])
             .prop_map(|(dst, src)| Inst::SReadMask { dst, src }),
-        (prop_oneof![Just(MaskReg::Exec), Just(MaskReg::Vcc)], scalar_src())
+        (
+            prop_oneof![Just(MaskReg::Exec), Just(MaskReg::Vcc)],
+            scalar_src()
+        )
             .prop_map(|(dst, src)| Inst::SWriteMask { dst, src }),
         sreg().prop_map(|dst| Inst::SAndSaveExec { dst }),
-        (valu_op(), vreg(), vector_src(), vector_src())
-            .prop_map(|(op, dst, a, b)| Inst::VAlu { op, dst, a, b }),
-        (vreg(), vector_src(), vector_src(), vector_src())
-            .prop_map(|(dst, a, b, c)| Inst::VFma { dst, a, b, c }),
+        (valu_op(), vreg(), vector_src(), vector_src()).prop_map(|(op, dst, a, b)| Inst::VAlu {
+            op,
+            dst,
+            a,
+            b
+        }),
+        (vreg(), vector_src(), vector_src(), vector_src()).prop_map(|(dst, a, b, c)| Inst::VFma {
+            dst,
+            a,
+            b,
+            c
+        }),
         (cmp_op(), vector_src(), vector_src(), any::<bool>())
             .prop_map(|(op, a, b, float)| Inst::VCmp { op, a, b, float }),
         (vreg(), sreg(), vreg(), any::<i32>(), width()).prop_map(

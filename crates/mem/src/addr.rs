@@ -117,7 +117,9 @@ impl AddressSpace {
 
     /// Reads `len` `f32`s starting at `addr`.
     pub fn read_f32_vec(&self, addr: u64, len: usize) -> Vec<f32> {
-        (0..len).map(|i| self.read_f32(addr + 4 * i as u64)).collect()
+        (0..len)
+            .map(|i| self.read_f32(addr + 4 * i as u64))
+            .collect()
     }
 
     /// Writes a slice of `u32` starting at `addr`.
@@ -129,7 +131,9 @@ impl AddressSpace {
 
     /// Reads `len` `u32`s starting at `addr`.
     pub fn read_u32_vec(&self, addr: u64, len: usize) -> Vec<u32> {
-        (0..len).map(|i| self.read_u32(addr + 4 * i as u64)).collect()
+        (0..len)
+            .map(|i| self.read_u32(addr + 4 * i as u64))
+            .collect()
     }
 
     /// Writes raw bytes starting at `addr`.

@@ -1,4 +1,9 @@
 //! Set-associative cache tag array with true LRU replacement.
+//!
+//! The tag array only decides hits, misses, and evictions; counting
+//! lives in the telemetry registry owned by
+//! [`crate::MemoryHierarchy`], so there is one source of truth for
+//! memory statistics.
 
 use crate::config::CacheConfig;
 use crate::Cycle;
@@ -17,8 +22,23 @@ pub enum AccessKind {
 pub enum CacheAccess {
     /// The line was present.
     Hit,
-    /// The line was absent and has been filled (possibly evicting).
-    Miss,
+    /// The line was absent and has been filled.
+    Miss {
+        /// Whether a valid line was displaced by the fill.
+        evicted: bool,
+    },
+}
+
+impl CacheAccess {
+    /// Whether the lookup hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, CacheAccess::Hit)
+    }
+
+    /// Whether the lookup displaced a valid line.
+    pub fn evicted(&self) -> bool {
+        matches!(self, CacheAccess::Miss { evicted: true })
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -36,18 +56,16 @@ struct Way {
 ///
 /// # Example
 /// ```
-/// use gpu_mem::{AccessKind, Cache, CacheAccess, CacheConfig};
+/// use gpu_mem::{AccessKind, Cache, CacheConfig};
 /// let mut c = Cache::new(&CacheConfig::new(1024, 4, 64, 8, 1));
-/// assert_eq!(c.access(0, AccessKind::Read, 0), CacheAccess::Miss);
-/// assert_eq!(c.access(0, AccessKind::Read, 1), CacheAccess::Hit);
+/// assert!(!c.access(0, AccessKind::Read, 0).is_hit());
+/// assert!(c.access(0, AccessKind::Read, 1).is_hit());
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cache {
     sets: Vec<Vec<Way>>,
     line_shift: u32,
     set_mask: u64,
-    hits: u64,
-    misses: u64,
 }
 
 impl Cache {
@@ -82,8 +100,6 @@ impl Cache {
             ],
             line_shift: config.line_bytes.trailing_zeros(),
             set_mask: num_sets - 1,
-            hits: 0,
-            misses: 0,
         }
     }
 
@@ -95,10 +111,8 @@ impl Cache {
         let set = &mut self.sets[set_idx];
         if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
             way.last_use = now;
-            self.hits += 1;
             return CacheAccess::Hit;
         }
-        self.misses += 1;
         // LRU victim: prefer an invalid way, else the least recently
         // used (first on ties, matching min_by_key). Written as a fold
         // over &mut ways so an (impossible) empty set is a no-op fill
@@ -112,12 +126,14 @@ impl Cache {
                 victim = Some(w);
             }
         }
+        let mut evicted = false;
         if let Some(victim) = victim {
+            evicted = victim.valid;
             victim.tag = tag;
             victim.valid = true;
             victim.last_use = now;
         }
-        CacheAccess::Miss
+        CacheAccess::Miss { evicted }
     }
 
     /// Invalidates every line (e.g. at kernel boundaries, matching the
@@ -128,11 +144,6 @@ impl Cache {
                 way.valid = false;
             }
         }
-    }
-
-    /// (hits, misses) counters since construction.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
     }
 }
 
@@ -148,42 +159,39 @@ mod tests {
     #[test]
     fn first_touch_misses_second_hits() {
         let mut c = small();
-        assert_eq!(c.access(0x100, AccessKind::Read, 0), CacheAccess::Miss);
-        assert_eq!(c.access(0x100, AccessKind::Read, 1), CacheAccess::Hit);
-        assert_eq!(c.access(0x13f, AccessKind::Read, 2), CacheAccess::Hit); // same line
-        assert_eq!(c.access(0x140, AccessKind::Read, 3), CacheAccess::Miss); // next line
+        assert!(!c.access(0x100, AccessKind::Read, 0).is_hit());
+        assert!(c.access(0x100, AccessKind::Read, 1).is_hit());
+        assert!(c.access(0x13f, AccessKind::Read, 2).is_hit()); // same line
+        assert!(!c.access(0x140, AccessKind::Read, 3).is_hit()); // next line
     }
 
     #[test]
-    fn lru_evicts_oldest() {
+    fn lru_evicts_oldest_and_reports_eviction() {
         let mut c = small();
         // Three lines mapping to the same set (set stride = 4 sets * 64B = 256B)
         let a = 0u64;
         let b = 256u64;
         let d = 512u64;
-        c.access(a, AccessKind::Read, 0);
-        c.access(b, AccessKind::Read, 1);
+        // Cold fills land in invalid ways: no eviction.
+        assert!(!c.access(a, AccessKind::Read, 0).evicted());
+        assert!(!c.access(b, AccessKind::Read, 1).evicted());
         c.access(a, AccessKind::Read, 2); // a is now MRU
-        c.access(d, AccessKind::Read, 3); // evicts b
-        assert_eq!(c.access(a, AccessKind::Read, 4), CacheAccess::Hit);
-        assert_eq!(c.access(b, AccessKind::Read, 5), CacheAccess::Miss);
+        assert!(c.access(d, AccessKind::Read, 3).evicted()); // displaces b
+        assert!(c.access(a, AccessKind::Read, 4).is_hit());
+        assert!(!c.access(b, AccessKind::Read, 5).is_hit());
     }
 
     #[test]
-    fn flush_invalidates() {
+    fn flush_invalidates_without_later_evictions() {
         let mut c = small();
         c.access(0, AccessKind::Write, 0);
         c.flush();
-        assert_eq!(c.access(0, AccessKind::Read, 1), CacheAccess::Miss);
-    }
-
-    #[test]
-    fn stats_count() {
-        let mut c = small();
-        c.access(0, AccessKind::Read, 0);
-        c.access(0, AccessKind::Read, 1);
-        c.access(64, AccessKind::Read, 2);
-        assert_eq!(c.stats(), (1, 2));
+        // Refill after flush lands in an invalidated way: a miss, but
+        // not an eviction.
+        assert_eq!(
+            c.access(0, AccessKind::Read, 1),
+            CacheAccess::Miss { evicted: false }
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::cache::{AccessKind, Cache, CacheAccess};
 use crate::config::MemHierarchyConfig;
 use crate::stats::MemStats;
 use crate::Cycle;
+use gpu_telemetry::{CacheLevel, Counter, EventKind, Telemetry, Trace, TraceEvent};
 
 /// Cache line size used throughout the hierarchy.
 pub const LINE_BYTES: u64 = 64;
@@ -39,6 +40,43 @@ pub fn coalesce_lines(addrs: impl IntoIterator<Item = u64>, width_bytes: u64) ->
     lines
 }
 
+/// Registry handles for one cache level (`mem.<level>.{hits,misses,
+/// evictions}`).
+#[derive(Debug, Clone)]
+struct LevelCounters {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+}
+
+impl LevelCounters {
+    fn new(tel: &Telemetry, level: &str) -> Self {
+        LevelCounters {
+            hits: tel.counter(&format!("mem.{level}.hits")),
+            misses: tel.counter(&format!("mem.{level}.misses")),
+            evictions: tel.counter(&format!("mem.{level}.evictions")),
+        }
+    }
+
+    /// Records an access outcome and returns `(hit, evicted)` for the
+    /// trace event.
+    fn record(&self, access: CacheAccess) -> (bool, bool) {
+        match access {
+            CacheAccess::Hit => {
+                self.hits.inc();
+                (true, false)
+            }
+            CacheAccess::Miss { evicted } => {
+                self.misses.inc();
+                if evicted {
+                    self.evictions.inc();
+                }
+                (false, evicted)
+            }
+        }
+    }
+}
+
 /// The timing model of one GPU's memory system.
 ///
 /// Every resource (per-CU L1V, shared scalar caches, L2 banks, DRAM
@@ -46,6 +84,10 @@ pub fn coalesce_lines(addrs: impl IntoIterator<Item = u64>, width_bytes: u64) ->
 /// resources, so latency grows with load. Tag arrays give true
 /// hit/miss behavior, which is what makes irregular workloads (SpMV)
 /// behave irregularly.
+///
+/// All statistics live in the [`Telemetry`] registry the hierarchy was
+/// built with (`mem.*` counters); [`MemoryHierarchy::stats`] assembles
+/// a [`MemStats`] snapshot from them.
 #[derive(Debug)]
 pub struct MemoryHierarchy {
     config: MemHierarchyConfig,
@@ -56,12 +98,23 @@ pub struct MemoryHierarchy {
     l2: Vec<Cache>,
     l2_free: Vec<Cycle>,
     dram_free: Vec<Cycle>,
-    stats: MemStats,
+    l1v_ctr: LevelCounters,
+    l1s_ctr: LevelCounters,
+    l2_ctr: LevelCounters,
+    dram_ctr: Counter,
+    trace: Trace,
 }
 
 impl MemoryHierarchy {
-    /// Builds the hierarchy for a configuration.
+    /// Builds the hierarchy for a configuration with its own private
+    /// telemetry (convenient for tests and standalone use).
     pub fn new(config: MemHierarchyConfig) -> Self {
+        Self::with_telemetry(config, &Telemetry::default())
+    }
+
+    /// Builds the hierarchy wired to a shared [`Telemetry`] handle, so
+    /// its counters and trace events land in the simulator's registry.
+    pub fn with_telemetry(config: MemHierarchyConfig, tel: &Telemetry) -> Self {
         let n_cu = config.num_cus as usize;
         let n_scalar = n_cu.div_ceil(CUS_PER_SCALAR_CACHE);
         let n_l2 = config.l2_banks as usize;
@@ -74,7 +127,11 @@ impl MemoryHierarchy {
             l2: (0..n_l2).map(|_| Cache::new(&config.l2)).collect(),
             l2_free: vec![0; n_l2],
             dram_free: vec![0; n_ch],
-            stats: MemStats::default(),
+            l1v_ctr: LevelCounters::new(tel, "l1v"),
+            l1s_ctr: LevelCounters::new(tel, "l1s"),
+            l2_ctr: LevelCounters::new(tel, "l2"),
+            dram_ctr: tel.counter("mem.dram.accesses"),
+            trace: tel.trace().clone(),
             config,
         }
     }
@@ -84,23 +141,38 @@ impl MemoryHierarchy {
         &self.config
     }
 
+    fn trace_access(&self, level: CacheLevel, hit: bool, evicted: bool, ts: Cycle) {
+        self.trace.emit_with(|| TraceEvent {
+            ts,
+            dur: 0,
+            kind: EventKind::CacheAccess {
+                level,
+                hit,
+                evicted,
+            },
+        });
+    }
+
     fn l2_and_beyond(&mut self, line_addr: u64, kind: AccessKind, ready: Cycle) -> Cycle {
         let bank = (line_addr % self.config.l2_banks) as usize;
         let t = ready.max(self.l2_free[bank]);
         self.l2_free[bank] = t + self.config.l2.service_interval;
-        match self.l2[bank].access(line_addr * LINE_BYTES, kind, t) {
-            CacheAccess::Hit => {
-                self.stats.l2_hits += 1;
-                t + self.config.l2.hit_latency
-            }
-            CacheAccess::Miss => {
-                self.stats.l2_misses += 1;
-                let ch = ((line_addr / self.config.l2_banks) % self.config.dram.channels) as usize;
-                let td = (t + self.config.l2.hit_latency).max(self.dram_free[ch]);
-                self.dram_free[ch] = td + self.config.dram.service_interval;
-                self.stats.dram_accesses += 1;
-                td + self.config.dram.latency
-            }
+        let access = self.l2[bank].access(line_addr * LINE_BYTES, kind, t);
+        let (hit, evicted) = self.l2_ctr.record(access);
+        self.trace_access(CacheLevel::L2, hit, evicted, t);
+        if hit {
+            t + self.config.l2.hit_latency
+        } else {
+            let ch = ((line_addr / self.config.l2_banks) % self.config.dram.channels) as usize;
+            let td = (t + self.config.l2.hit_latency).max(self.dram_free[ch]);
+            self.dram_free[ch] = td + self.config.dram.service_interval;
+            self.dram_ctr.inc();
+            self.trace.emit_with(|| TraceEvent {
+                ts: td,
+                dur: 0,
+                kind: EventKind::DramAccess { channel: ch as u32 },
+            });
+            td + self.config.dram.latency
         }
     }
 
@@ -109,18 +181,22 @@ impl MemoryHierarchy {
     ///
     /// # Panics
     /// Panics if `cu` is out of range for the configuration.
-    pub fn access_line(&mut self, cu: usize, line_addr: u64, kind: AccessKind, now: Cycle) -> Cycle {
+    pub fn access_line(
+        &mut self,
+        cu: usize,
+        line_addr: u64,
+        kind: AccessKind,
+        now: Cycle,
+    ) -> Cycle {
         let t = now.max(self.l1v_free[cu]);
         self.l1v_free[cu] = t + self.config.l1v.service_interval;
-        match self.l1v[cu].access(line_addr * LINE_BYTES, kind, t) {
-            CacheAccess::Hit => {
-                self.stats.l1v_hits += 1;
-                t + self.config.l1v.hit_latency
-            }
-            CacheAccess::Miss => {
-                self.stats.l1v_misses += 1;
-                self.l2_and_beyond(line_addr, kind, t + self.config.l1v.hit_latency)
-            }
+        let access = self.l1v[cu].access(line_addr * LINE_BYTES, kind, t);
+        let (hit, evicted) = self.l1v_ctr.record(access);
+        self.trace_access(CacheLevel::L1V, hit, evicted, t);
+        if hit {
+            t + self.config.l1v.hit_latency
+        } else {
+            self.l2_and_beyond(line_addr, kind, t + self.config.l1v.hit_latency)
         }
     }
 
@@ -130,15 +206,17 @@ impl MemoryHierarchy {
         let group = cu / CUS_PER_SCALAR_CACHE;
         let t = now.max(self.l1s_free[group]);
         self.l1s_free[group] = t + self.config.l1s.service_interval;
-        match self.l1s[group].access(addr, AccessKind::Read, t) {
-            CacheAccess::Hit => {
-                self.stats.l1s_hits += 1;
-                t + self.config.l1s.hit_latency
-            }
-            CacheAccess::Miss => {
-                self.stats.l1s_misses += 1;
-                self.l2_and_beyond(addr / LINE_BYTES, AccessKind::Read, t + self.config.l1s.hit_latency)
-            }
+        let access = self.l1s[group].access(addr, AccessKind::Read, t);
+        let (hit, evicted) = self.l1s_ctr.record(access);
+        self.trace_access(CacheLevel::L1S, hit, evicted, t);
+        if hit {
+            t + self.config.l1s.hit_latency
+        } else {
+            self.l2_and_beyond(
+                addr / LINE_BYTES,
+                AccessKind::Read,
+                t + self.config.l1s.hit_latency,
+            )
         }
     }
 
@@ -155,9 +233,20 @@ impl MemoryHierarchy {
         }
     }
 
-    /// Accumulated statistics.
-    pub fn stats(&self) -> &MemStats {
-        &self.stats
+    /// Snapshot of the accumulated statistics (registry counters).
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            l1v_hits: self.l1v_ctr.hits.get(),
+            l1v_misses: self.l1v_ctr.misses.get(),
+            l1v_evictions: self.l1v_ctr.evictions.get(),
+            l1s_hits: self.l1s_ctr.hits.get(),
+            l1s_misses: self.l1s_ctr.misses.get(),
+            l1s_evictions: self.l1s_ctr.evictions.get(),
+            l2_hits: self.l2_ctr.hits.get(),
+            l2_misses: self.l2_ctr.misses.get(),
+            l2_evictions: self.l2_ctr.evictions.get(),
+            dram_accesses: self.dram_ctr.get(),
+        }
     }
 }
 
@@ -219,6 +308,37 @@ mod tests {
         h.scalar_access(1, 0x40, 100_000); // same group (cu 0..4) -> hit
         assert_eq!(h.stats().l1s_misses, 1);
         assert_eq!(h.stats().l1s_hits, 1);
+    }
+
+    #[test]
+    fn counters_land_in_the_shared_registry() {
+        let tel = Telemetry::default();
+        let mut h = MemoryHierarchy::with_telemetry(small_config(), &tel);
+        h.access_line(0, 1, AccessKind::Read, 0);
+        h.access_line(0, 1, AccessKind::Read, 1000);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("mem.l1v.hits"), Some(1));
+        assert_eq!(snap.counter("mem.l1v.misses"), Some(1));
+        assert_eq!(snap.counter("mem.dram.accesses"), Some(1));
+        // The MemStats snapshot is assembled from the same counters.
+        assert_eq!(h.stats().l1v_hits, 1);
+        assert_eq!(h.stats().dram_accesses, 1);
+    }
+
+    #[test]
+    fn evictions_are_counted_per_level() {
+        let mut cfg = small_config();
+        // Shrink L1V to 2 lines so a 3-line stream must evict.
+        cfg.l1v.size_bytes = 128;
+        cfg.l1v.assoc = 2;
+        let mut h = MemoryHierarchy::new(cfg);
+        for (t, line) in [0u64, 1, 2, 0].iter().enumerate() {
+            h.access_line(0, *line, AccessKind::Read, t as u64 * 1000);
+        }
+        let s = h.stats();
+        assert_eq!(s.l1v_misses, 4);
+        assert!(s.l1v_evictions >= 2, "evictions {}", s.l1v_evictions);
+        assert_eq!(s.l2_evictions, 0);
     }
 
     #[test]

@@ -1,22 +1,33 @@
 //! Memory system statistics.
+//!
+//! [`MemStats`] is a point-in-time *snapshot* assembled from the
+//! telemetry registry counters owned by [`crate::MemoryHierarchy`] —
+//! the registry is the single source of truth; this struct exists so
+//! results can carry a serializable, diffable copy.
 
 use serde::{Deserialize, Serialize};
 
-/// Counters accumulated by [`crate::MemoryHierarchy`].
+/// Snapshot of the counters accumulated by [`crate::MemoryHierarchy`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemStats {
     /// Vector L1 hits across all CUs.
     pub l1v_hits: u64,
     /// Vector L1 misses across all CUs.
     pub l1v_misses: u64,
+    /// Valid lines displaced from vector L1s.
+    pub l1v_evictions: u64,
     /// Scalar cache hits.
     pub l1s_hits: u64,
     /// Scalar cache misses.
     pub l1s_misses: u64,
+    /// Valid lines displaced from scalar caches.
+    pub l1s_evictions: u64,
     /// L2 hits across all banks.
     pub l2_hits: u64,
     /// L2 misses across all banks.
     pub l2_misses: u64,
+    /// Valid lines displaced from L2 banks.
+    pub l2_evictions: u64,
     /// Lines fetched from DRAM.
     pub dram_accesses: u64,
 }
@@ -51,10 +62,13 @@ impl MemStats {
         MemStats {
             l1v_hits: self.l1v_hits - earlier.l1v_hits,
             l1v_misses: self.l1v_misses - earlier.l1v_misses,
+            l1v_evictions: self.l1v_evictions - earlier.l1v_evictions,
             l1s_hits: self.l1s_hits - earlier.l1s_hits,
             l1s_misses: self.l1s_misses - earlier.l1s_misses,
+            l1s_evictions: self.l1s_evictions - earlier.l1s_evictions,
             l2_hits: self.l2_hits - earlier.l2_hits,
             l2_misses: self.l2_misses - earlier.l2_misses,
+            l2_evictions: self.l2_evictions - earlier.l2_evictions,
             dram_accesses: self.dram_accesses - earlier.dram_accesses,
         }
     }
@@ -71,6 +85,7 @@ mod tests {
             l1v_misses: 5,
             l2_hits: 3,
             l2_misses: 2,
+            l2_evictions: 1,
             dram_accesses: 2,
             ..Default::default()
         };
@@ -79,6 +94,7 @@ mod tests {
             l1v_misses: 9,
             l2_hits: 7,
             l2_misses: 2,
+            l2_evictions: 1,
             dram_accesses: 2,
             ..Default::default()
         };
@@ -87,6 +103,7 @@ mod tests {
         assert_eq!(d.l1v_misses, 4);
         assert_eq!(d.l2_hits, 4);
         assert_eq!(d.l2_misses, 0);
+        assert_eq!(d.l2_evictions, 0);
     }
 
     #[test]

@@ -96,6 +96,12 @@ impl WarpRecord {
 /// [`NullController`].
 #[allow(unused_variables)]
 pub trait SamplingController {
+    /// Offered the engine's [`gpu_telemetry::Telemetry`] handle before
+    /// each kernel, so controllers can register counters and emit
+    /// decision events into the shared registry/trace. Must be
+    /// idempotent (the engine calls it on every launch).
+    fn attach_telemetry(&mut self, telemetry: &gpu_telemetry::Telemetry) {}
+
     /// Called once per kernel before dispatch. The context allows
     /// side-effect-free functional tracing of sample warps (Photon's
     /// online analysis).
@@ -150,6 +156,11 @@ pub trait KernelStartAccess {
     fn launch(&self) -> &KernelLaunch;
     /// Total warps in the launch.
     fn total_warps(&self) -> u64;
+    /// Simulated cycle at which the kernel starts (for timestamping
+    /// controller decision events; defaults to 0 for test harnesses).
+    fn clock(&self) -> Cycle {
+        0
+    }
     /// Functionally traces one warp against a copy-on-write memory
     /// overlay (no side effects); barriers are treated as no-ops, LDS is
     /// warp-private scratch. The instruction cost is accounted as

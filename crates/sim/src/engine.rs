@@ -26,10 +26,10 @@
 //!   extrapolated (the PKA mechanism).
 
 use crate::config::GpuConfig;
+use crate::controller::BbRecord;
 use crate::controller::{
     KernelDirective, KernelStartAccess, NullController, SamplingController, WarpRecord, WgMode,
 };
-use crate::controller::BbRecord;
 use crate::error::{SimError, StuckWarp, WatchdogSnapshot};
 use crate::exec::{step, LaunchEnv, StepEffect};
 use crate::functional::{run_wg_functional, trace_warp_isolated};
@@ -38,6 +38,9 @@ use crate::result::{AppResult, KernelResult};
 use crate::warp::{WarpState, WarpTrace};
 use gpu_isa::{BasicBlockId, InstClass, KernelLaunch};
 use gpu_mem::{AccessKind, AddressSpace, BumpAllocator, Cycle, MemStats, MemoryHierarchy};
+use gpu_telemetry::{
+    AbortKind, Counter, EventKind, Histogram, SampleMode, Telemetry, Trace, TraceEvent,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -73,20 +76,125 @@ pub struct GpuSimulator {
     alloc: BumpAllocator,
     hierarchy: MemoryHierarchy,
     clock: Cycle,
+    telemetry: Telemetry,
+    counters: SimCounters,
+    hooks: SimHooks,
+    kernel_seq: u64,
+}
+
+/// Registry handles for the engine's `sim.*` counters, bulk-updated at
+/// kernel boundaries (never per instruction) to keep the hot loop
+/// untouched.
+#[derive(Debug, Clone)]
+struct SimCounters {
+    kernels: Counter,
+    kernels_skipped: Counter,
+    detailed_insts: Counter,
+    functional_insts: Counter,
+    detailed_warps: Counter,
+    predicted_warps: Counter,
+    cycles: Counter,
+}
+
+impl SimCounters {
+    fn new(tel: &Telemetry) -> Self {
+        SimCounters {
+            kernels: tel.counter("sim.kernels"),
+            kernels_skipped: tel.counter("sim.kernels.skipped"),
+            detailed_insts: tel.counter("sim.insts.detailed"),
+            functional_insts: tel.counter("sim.insts.functional"),
+            detailed_warps: tel.counter("sim.warps.detailed"),
+            predicted_warps: tel.counter("sim.warps.predicted"),
+            cycles: tel.counter("sim.cycles"),
+        }
+    }
+
+    fn record(&self, result: &KernelResult) {
+        self.kernels.inc();
+        if result.skipped {
+            self.kernels_skipped.inc();
+        }
+        self.detailed_insts.add(result.detailed_insts);
+        self.functional_insts.add(result.functional_insts);
+        self.detailed_warps.add(result.detailed_warps);
+        self.predicted_warps.add(result.predicted_warps);
+        self.cycles.add(result.cycles);
+    }
+}
+
+/// Telemetry handles threaded into [`KernelRun`]: the trace emitter
+/// plus the duration histograms fed at warp/block granularity.
+#[derive(Debug, Clone)]
+struct SimHooks {
+    trace: Trace,
+    warp_duration: Histogram,
+    bb_duration: Histogram,
+    watchdog_aborts: Counter,
+}
+
+impl SimHooks {
+    fn new(tel: &Telemetry) -> Self {
+        SimHooks {
+            trace: tel.trace().clone(),
+            warp_duration: tel.histogram("sim.warp.duration"),
+            bb_duration: tel.histogram("sim.bb.duration"),
+            watchdog_aborts: tel.counter("sim.watchdog.aborts"),
+        }
+    }
+
+    /// Counts a watchdog abort and records the snapshot as a trace
+    /// event, so an exported trace alone explains why the run died.
+    fn abort(&self, kind: AbortKind, snap: &WatchdogSnapshot) {
+        self.watchdog_aborts.inc();
+        self.trace.emit_with(|| TraceEvent {
+            ts: snap.cycle,
+            dur: 0,
+            kind: EventKind::WatchdogAbort {
+                kind,
+                stuck_warps: snap.stuck.len() as u64,
+                detail: snap.to_string(),
+            },
+        });
+    }
+}
+
+fn sample_mode(mode: WgMode) -> SampleMode {
+    match mode {
+        WgMode::Detailed => SampleMode::Detailed,
+        WgMode::BbSampled => SampleMode::BbSampled,
+        WgMode::WarpSampled => SampleMode::WarpSampled,
+    }
 }
 
 impl GpuSimulator {
-    /// Creates a simulator for the given configuration.
+    /// Creates a simulator for the given configuration with its own
+    /// private telemetry.
     pub fn new(config: GpuConfig) -> Self {
-        let hierarchy = MemoryHierarchy::new(config.mem.clone());
+        Self::with_telemetry(config, Telemetry::default())
+    }
+
+    /// Creates a simulator wired to a shared [`Telemetry`] handle, so
+    /// engine and memory counters land in one registry and trace events
+    /// interleave in one ring buffer.
+    pub fn with_telemetry(config: GpuConfig, telemetry: Telemetry) -> Self {
+        let hierarchy = MemoryHierarchy::with_telemetry(config.mem.clone(), &telemetry);
         let cap = config.mem.dram.capacity_bytes;
         GpuSimulator {
             mem: AddressSpace::new(),
             alloc: BumpAllocator::new(HEAP_BASE, cap - HEAP_BASE),
             hierarchy,
             clock: 0,
+            counters: SimCounters::new(&telemetry),
+            hooks: SimHooks::new(&telemetry),
+            telemetry,
+            kernel_seq: 0,
             config,
         }
+    }
+
+    /// The simulator's telemetry handle (registry + trace).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The active configuration.
@@ -118,8 +226,8 @@ impl GpuSimulator {
         Ok(self.alloc.alloc(bytes.max(1), 256)?)
     }
 
-    /// Accumulated memory-system statistics.
-    pub fn mem_stats(&self) -> &MemStats {
+    /// Snapshot of the accumulated memory-system statistics.
+    pub fn mem_stats(&self) -> MemStats {
         self.hierarchy.stats()
     }
 
@@ -169,7 +277,19 @@ impl GpuSimulator {
 
         self.hierarchy.flush_caches();
         let start = self.clock;
-        let mem_before = *self.hierarchy.stats();
+        let seq = self.kernel_seq;
+        self.kernel_seq += 1;
+        ctrl.attach_telemetry(&self.telemetry);
+        self.hooks.trace.emit_with(|| TraceEvent {
+            ts: start,
+            dur: 0,
+            kind: EventKind::KernelBegin {
+                kernel: launch.kernel.name().to_string(),
+                seq,
+                total_warps: launch.total_warps(),
+            },
+        });
+        let mem_before = self.hierarchy.stats();
         let max_insts = self.config.max_insts_per_warp;
         let mut functional_insts = 0u64;
 
@@ -180,6 +300,7 @@ impl GpuSimulator {
                 mem: &self.mem,
                 functional_insts: 0,
                 max_insts,
+                start,
             };
             let d = ctrl.on_kernel_start(&mut ctx);
             functional_insts += ctx.functional_insts;
@@ -211,18 +332,45 @@ impl GpuSimulator {
                 skipped: true,
                 mem: gpu_mem::MemStats::default(),
             };
+            self.counters.record(&result);
+            self.emit_kernel_end(&result, seq);
             ctrl.on_kernel_end(&result);
             return Ok(result);
         }
 
-        let mut run = KernelRun::new(&self.config, &mut self.mem, &mut self.hierarchy, launch, start);
+        let hooks = self.hooks.clone();
+        let mut run = KernelRun::new(
+            &self.config,
+            &mut self.mem,
+            &mut self.hierarchy,
+            launch,
+            start,
+            hooks,
+        );
         run.functional_insts = functional_insts;
         let mut result = run.run(ctrl)?;
         self.clock = start + result.cycles;
         result.name = launch.kernel.name().to_string();
         result.mem = self.hierarchy.stats().since(&mem_before);
+        self.counters.record(&result);
+        self.emit_kernel_end(&result, seq);
         ctrl.on_kernel_end(&result);
         Ok(result)
+    }
+
+    fn emit_kernel_end(&self, result: &KernelResult, seq: u64) {
+        self.hooks.trace.emit_with(|| TraceEvent {
+            ts: result.start_cycle,
+            dur: result.cycles,
+            kind: EventKind::KernelEnd {
+                kernel: result.name.clone(),
+                seq,
+                cycles: result.cycles,
+                detailed_insts: result.detailed_insts,
+                functional_insts: result.functional_insts,
+                skipped: result.skipped,
+            },
+        });
     }
 
     /// Runs a sequence of kernel launches under one controller and
@@ -248,6 +396,7 @@ struct StartCtx<'a> {
     mem: &'a AddressSpace,
     functional_insts: u64,
     max_insts: u64,
+    start: Cycle,
 }
 
 impl KernelStartAccess for StartCtx<'_> {
@@ -257,6 +406,10 @@ impl KernelStartAccess for StartCtx<'_> {
 
     fn total_warps(&self) -> u64 {
         self.launch.total_warps()
+    }
+
+    fn clock(&self) -> Cycle {
+        self.start
     }
 
     fn trace_warp(&mut self, global_warp: u64) -> Result<WarpTrace, SimError> {
@@ -339,6 +492,7 @@ struct KernelRun<'a> {
     ipc_counts: Vec<u64>,
     fired_windows: usize,
     abort_ipc: Option<f64>,
+    hooks: SimHooks,
 }
 
 impl<'a> KernelRun<'a> {
@@ -348,6 +502,7 @@ impl<'a> KernelRun<'a> {
         hier: &'a mut MemoryHierarchy,
         launch: &'a KernelLaunch,
         start: Cycle,
+        hooks: SimHooks,
     ) -> Self {
         let n_cu = cfg.num_cus as usize;
         KernelRun {
@@ -376,6 +531,7 @@ impl<'a> KernelRun<'a> {
             ipc_counts: Vec::new(),
             fired_windows: 0,
             abort_ipc: None,
+            hooks,
         }
     }
 
@@ -407,15 +563,17 @@ impl<'a> KernelRun<'a> {
         while let Some(Reverse(ev)) = self.events.pop() {
             now = ev.cycle;
             if now - self.start > wd.cycle_fuel {
+                let snapshot = self.snapshot(now);
+                self.hooks.abort(AbortKind::FuelExhausted, &snapshot);
                 return Err(SimError::FuelExhausted {
                     fuel: wd.cycle_fuel,
-                    snapshot: self.snapshot(now),
+                    snapshot,
                 });
             }
             if now.saturating_sub(self.last_progress) > wd.stall_cycles {
-                return Err(SimError::Deadlock {
-                    snapshot: self.snapshot(now),
-                });
+                let snapshot = self.snapshot(now);
+                self.hooks.abort(AbortKind::Deadlock, &snapshot);
+                return Err(SimError::Deadlock { snapshot });
             }
             self.fire_windows(now, ctrl);
             if self.abort_ipc.is_some() {
@@ -433,9 +591,9 @@ impl<'a> KernelRun<'a> {
         if self.abort_ipc.is_none()
             && (self.next_wg < self.launch.num_wgs || self.wgs.iter().any(|wg| !wg.done))
         {
-            return Err(SimError::Deadlock {
-                snapshot: self.snapshot(now),
-            });
+            let snapshot = self.snapshot(now);
+            self.hooks.abort(AbortKind::Deadlock, &snapshot);
+            return Err(SimError::Deadlock { snapshot });
         }
 
         let cycles = if let Some(ipc) = self.abort_ipc {
@@ -473,6 +631,11 @@ impl<'a> KernelRun<'a> {
                 self.ipc_counts.resize(idx + 1, 0);
             }
             ctrl.on_ipc_window(self.start + idx as Cycle * w, insts, w);
+            self.hooks.trace.emit_with(|| TraceEvent {
+                ts: self.start + idx as Cycle * w,
+                dur: w,
+                kind: EventKind::IpcWindow { insts, window: w },
+            });
             self.fired_windows += 1;
             if let Some(ipc) = ctrl.check_abort() {
                 // A non-finite or non-positive IPC would extrapolate to
@@ -552,6 +715,15 @@ impl<'a> KernelRun<'a> {
             let slot = now.max(self.dispatcher_free);
             self.dispatcher_free = slot + self.cfg.lat.dispatch_interval;
             let t0 = slot + self.cfg.lat.dispatch;
+            self.hooks.trace.emit_with(|| TraceEvent {
+                ts: t0,
+                dur: 0,
+                kind: EventKind::WgDispatch {
+                    wg: wg_id,
+                    cu: cu as u32,
+                    mode: sample_mode(mode),
+                },
+            });
             self.wgs.push(WgRt {
                 id: wg_id,
                 cu: cu as u32,
@@ -588,8 +760,12 @@ impl<'a> KernelRun<'a> {
                     self.detailed_warps += self.launch.warps_per_wg as u64;
                 }
                 WgMode::BbSampled => {
-                    let (traces, n) =
-                        run_wg_functional(self.launch, self.mem, wg_id, self.cfg.max_insts_per_warp)?;
+                    let (traces, n) = run_wg_functional(
+                        self.launch,
+                        self.mem,
+                        wg_id,
+                        self.cfg.max_insts_per_warp,
+                    )?;
                     self.functional_insts += n;
                     for (i, trace) in traces.iter().enumerate() {
                         let w = self.warps.len() as u32;
@@ -677,12 +853,23 @@ impl<'a> KernelRun<'a> {
         // closes the previous instance (paper's interval definition).
         if let Some(id) = bb_map.block_starting_at(pc) {
             if warp.bb_open {
-                ctrl.on_bb_record(&BbRecord {
+                let rec = BbRecord {
                     warp: warp.global_id,
                     bb: warp.bb_id,
                     start: warp.bb_start,
                     end: now,
                     insts: warp.bb_insts,
+                };
+                ctrl.on_bb_record(&rec);
+                self.hooks.bb_duration.record(rec.duration());
+                self.hooks.trace.emit_with(|| TraceEvent {
+                    ts: rec.start,
+                    dur: rec.duration(),
+                    kind: EventKind::BbInterval {
+                        warp: rec.warp,
+                        bb: rec.bb.0,
+                        insts: rec.insts,
+                    },
                 });
             }
             warp.bb_open = true;
@@ -753,9 +940,22 @@ impl<'a> KernelRun<'a> {
             StepEffect::Barrier => {
                 let warps_per_wg = self.launch.warps_per_wg;
                 let warp = &mut self.warps[w as usize];
+                let warp_gid = warp.global_id;
                 let wg = &mut self.wgs[warp.wg as usize];
+                let wg_id = wg.id;
                 wg.barrier_arrived += 1;
                 wg.barrier_waiting.push(w);
+                let arrived = wg.barrier_arrived;
+                self.hooks.trace.emit_with(|| TraceEvent {
+                    ts: now,
+                    dur: 0,
+                    kind: EventKind::BarrierWait {
+                        wg: wg_id,
+                        warp: warp_gid,
+                        arrived,
+                        expected: warps_per_wg,
+                    },
+                });
                 // Strict CUDA-like semantics: the barrier releases only
                 // when every warp of the workgroup arrives. A warp that
                 // exits early can therefore never satisfy it — that is
@@ -768,6 +968,14 @@ impl<'a> KernelRun<'a> {
                     for ww in waiting {
                         self.push_event(release, EvKind::Ready(ww));
                     }
+                    self.hooks.trace.emit_with(|| TraceEvent {
+                        ts: release,
+                        dur: 0,
+                        kind: EventKind::BarrierRelease {
+                            wg: wg_id,
+                            released: warps_per_wg,
+                        },
+                    });
                 }
             }
             _ => {
@@ -790,20 +998,43 @@ impl<'a> KernelRun<'a> {
             let was_detailed = warp.state.is_some();
             if was_detailed {
                 if warp.bb_open {
-                    ctrl.on_bb_record(&BbRecord {
+                    let rec = BbRecord {
                         warp: warp.global_id,
                         bb: warp.bb_id,
                         start: warp.bb_start,
                         end: now,
                         insts: warp.bb_insts,
+                    };
+                    ctrl.on_bb_record(&rec);
+                    self.hooks.bb_duration.record(rec.duration());
+                    self.hooks.trace.emit_with(|| TraceEvent {
+                        ts: rec.start,
+                        dur: rec.duration(),
+                        kind: EventKind::BbInterval {
+                            warp: rec.warp,
+                            bb: rec.bb.0,
+                            insts: rec.insts,
+                        },
                     });
                     warp.bb_open = false;
                 }
-                ctrl.on_warp_retire(&WarpRecord {
+                let rec = WarpRecord {
                     warp: warp.global_id,
                     issue: warp.issue_cycle,
                     retire: now,
                     insts: warp.insts,
+                };
+                ctrl.on_warp_retire(&rec);
+                self.hooks.warp_duration.record(rec.duration());
+                let cu = warp.cu;
+                self.hooks.trace.emit_with(|| TraceEvent {
+                    ts: rec.issue,
+                    dur: rec.duration(),
+                    kind: EventKind::WarpRetire {
+                        warp: rec.warp,
+                        cu,
+                        insts: rec.insts,
+                    },
                 });
                 warp.state = None;
             }
@@ -828,9 +1059,9 @@ impl<'a> KernelRun<'a> {
             }
         };
         if bypassed_barrier {
-            return Err(SimError::Deadlock {
-                snapshot: self.snapshot(now),
-            });
+            let snapshot = self.snapshot(now);
+            self.hooks.abort(AbortKind::Deadlock, &snapshot);
+            return Err(SimError::Deadlock { snapshot });
         }
 
         if wg_done {
@@ -1130,7 +1361,11 @@ mod tests {
         assert_eq!(result.predicted_warps, 32);
         // All WGs fit at once on 4 CUs (8 WGs of 4 warps), so the kernel
         // time is dispatch + 500.
-        assert!(result.cycles >= 500 && result.cycles < 600, "{}", result.cycles);
+        assert!(
+            result.cycles >= 500 && result.cycles < 600,
+            "{}",
+            result.cycles
+        );
         // no functional execution in warp-sampling
         assert_eq!(result.functional_insts, 0);
     }
@@ -1222,6 +1457,31 @@ mod tests {
         // functional completion still commits memory
         let c = launch2.args[2];
         assert_eq!(gpu2.mem().read_f32(c + 4 * 12345), 3.0 * 12345.0);
+    }
+
+    #[test]
+    fn telemetry_counters_accumulate() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let launch = vadd_launch(&mut gpu, 2, 2);
+        let r = gpu.run_kernel(&launch).unwrap();
+        let snap = gpu.telemetry().snapshot();
+        assert_eq!(snap.counter("sim.kernels"), Some(1));
+        assert_eq!(snap.counter("sim.kernels.skipped"), Some(0));
+        assert_eq!(snap.counter("sim.insts.detailed"), Some(r.detailed_insts));
+        assert_eq!(snap.counter("sim.cycles"), Some(r.cycles));
+        assert_eq!(snap.counter("sim.warps.detailed"), Some(4));
+        // The memory hierarchy shares the same registry.
+        let l1v =
+            snap.counter("mem.l1v.hits").unwrap_or(0) + snap.counter("mem.l1v.misses").unwrap_or(0);
+        assert!(l1v > 0, "vadd must touch the vector L1");
+        // The warp-duration histogram saw every detailed warp.
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "sim.warp.duration")
+            .expect("warp duration histogram registered");
+        assert_eq!(hist.count, 4);
+        assert!(hist.min > 0);
     }
 
     #[test]

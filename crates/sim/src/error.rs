@@ -97,7 +97,10 @@ impl fmt::Display for ExecFaultKind {
                 write!(f, "s_load_arg index {index} with only {args} argument(s)")
             }
             ExecFaultKind::LdsOutOfBounds { addr, lds_bytes } => {
-                write!(f, "LDS access at byte {addr} outside {lds_bytes}-byte allocation")
+                write!(
+                    f,
+                    "LDS access at byte {addr} outside {lds_bytes}-byte allocation"
+                )
             }
             ExecFaultKind::PcOutOfRange { len } => {
                 write!(f, "pc outside the {len}-instruction program")
@@ -184,7 +187,10 @@ impl fmt::Display for SimError {
             SimError::LdsOverflow {
                 requested,
                 available,
-            } => write!(f, "workgroup requests {requested} LDS bytes, CU has {available}"),
+            } => write!(
+                f,
+                "workgroup requests {requested} LDS bytes, CU has {available}"
+            ),
             SimError::InstLimitExceeded { warp, limit } => {
                 write!(f, "warp {warp} exceeded the {limit}-instruction cap")
             }
@@ -202,7 +208,10 @@ impl fmt::Display for SimError {
                 write!(f, "launch deadlocked: {snapshot}")
             }
             SimError::FuelExhausted { fuel, snapshot } => {
-                write!(f, "launch exhausted its {fuel}-cycle fuel budget: {snapshot}")
+                write!(
+                    f,
+                    "launch exhausted its {fuel}-cycle fuel budget: {snapshot}"
+                )
             }
         }
     }

@@ -215,9 +215,7 @@ pub fn step<M: DataMem>(
     if pc as usize >= program.len() {
         return Err(fault(
             pc,
-            ExecFaultKind::PcOutOfRange {
-                len: program.len(),
-            },
+            ExecFaultKind::PcOutOfRange { len: program.len() },
         ));
     }
     let inst = *program.inst(pc);
@@ -233,11 +231,7 @@ pub fn step<M: DataMem>(
             warp.sregs[dst.index()] = r;
         }
         Inst::SCmp { op, a, b } => {
-            warp.scc = cmp_i64(
-                op,
-                scalar_src(warp, a) as i64,
-                scalar_src(warp, b) as i64,
-            );
+            warp.scc = cmp_i64(op, scalar_src(warp, a) as i64, scalar_src(warp, b) as i64);
         }
         Inst::SLoadArg { dst, index } => {
             let idx = index as usize;
@@ -496,7 +490,10 @@ mod tests {
         assert_eq!(f32::from_bits(valu_eval(VAluOp::FAdd, a, b)), 3.5);
         assert_eq!(f32::from_bits(valu_eval(VAluOp::FMul, a, b)), 3.0);
         assert_eq!(valu_eval(VAluOp::CvtF2I, 3.7f32.to_bits(), 0), 3);
-        assert_eq!(f32::from_bits(valu_eval(VAluOp::CvtI2F, -2i32 as u32, 0)), -2.0);
+        assert_eq!(
+            f32::from_bits(valu_eval(VAluOp::CvtI2F, -2i32 as u32, 0)),
+            -2.0
+        );
     }
 
     #[test]

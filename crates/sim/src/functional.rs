@@ -228,7 +228,12 @@ mod tests {
         let s_base = kb.sreg();
         kb.salu(SAluOp::Mul, s_base, s_wiw, 256i64);
         let v_off = kb.vreg();
-        kb.valu(VAluOp::Add, v_off, VectorSrc::Sreg(s_base), VectorSrc::Reg(v_addr));
+        kb.valu(
+            VAluOp::Add,
+            v_off,
+            VectorSrc::Sreg(s_base),
+            VectorSrc::Reg(v_addr),
+        );
         kb.global_store(v_read, s_out, v_off, 0, MemWidth::B32);
         let k = Kernel::new(kb.finish().unwrap());
         let launch = KernelLaunch::new(k, 1, 4, vec![0x8000]).with_lds(256);

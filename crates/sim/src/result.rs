@@ -88,6 +88,32 @@ impl AppResult {
     pub fn skipped_kernels(&self) -> usize {
         self.kernels.iter().filter(|k| k.skipped).count()
     }
+
+    /// Sum of warps across all kernels.
+    pub fn total_warps(&self) -> u64 {
+        self.kernels.iter().map(|k| k.total_warps).sum()
+    }
+
+    /// Sum of warps simulated in detailed mode.
+    pub fn total_detailed_warps(&self) -> u64 {
+        self.kernels.iter().map(|k| k.detailed_warps).sum()
+    }
+
+    /// Sum of warps whose duration was predicted.
+    pub fn total_predicted_warps(&self) -> u64 {
+        self.kernels.iter().map(|k| k.predicted_warps).sum()
+    }
+
+    /// Fraction of warps simulated in detail across the app (1.0 when
+    /// no warps ran, so full-detailed baselines report full coverage).
+    pub fn detailed_coverage(&self) -> f64 {
+        let total = self.total_warps();
+        if total == 0 {
+            1.0
+        } else {
+            self.total_detailed_warps() as f64 / total as f64
+        }
+    }
 }
 
 #[cfg(test)]

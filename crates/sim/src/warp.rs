@@ -105,10 +105,7 @@ mod tests {
 
     #[test]
     fn trace_counts_sorted_and_queryable() {
-        let t = WarpTrace::from_counts(
-            vec![(BasicBlockId(2), 5), (BasicBlockId(0), 1)],
-            42,
-        );
+        let t = WarpTrace::from_counts(vec![(BasicBlockId(2), 5), (BasicBlockId(0), 1)], 42);
         assert_eq!(t.bb_counts[0].0, BasicBlockId(0));
         assert_eq!(t.count(BasicBlockId(2)), 5);
         assert_eq!(t.count(BasicBlockId(7)), 0);

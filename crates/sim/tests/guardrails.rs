@@ -47,8 +47,8 @@ fn runaway_kernel_exhausts_fuel_in_bounded_time() {
     // An unconditional self-loop: each step makes forward progress, so
     // only the fuel budget can stop it. A small budget keeps the test
     // fast; the default (100M cycles on tiny) is for real workloads.
-    let program = Program::from_insts("spin", vec![Inst::Branch { target: 0 }, Inst::SEndpgm])
-        .unwrap();
+    let program =
+        Program::from_insts("spin", vec![Inst::Branch { target: 0 }, Inst::SEndpgm]).unwrap();
     let launch = KernelLaunch::new(Kernel::new(program), 1, 1, vec![]);
     let mut cfg = GpuConfig::tiny();
     cfg.watchdog.cycle_fuel = 50_000;

@@ -1,0 +1,135 @@
+//! # gpu-telemetry
+//!
+//! Unified observability for the Photon stack: a low-overhead metrics
+//! registry (counters / gauges / histograms), a structured event tracer
+//! with Chrome-trace and JSONL exporters, and the machine-readable
+//! [`RunReport`] schema benchmark runs are recorded in.
+//!
+//! The crate sits at the bottom of the workspace dependency graph so
+//! every layer (`mem`, `sim`, `core`, `baselines`, `bench`) can emit
+//! through one [`Telemetry`] handle. Metrics are always compiled in
+//! (they back the load-bearing simulation statistics); **event
+//! recording** is behind the `enabled` cargo feature — without it the
+//! [`Trace`] handle is a zero-sized no-op and instrumented call sites
+//! vanish.
+//!
+//! # Example
+//!
+//! ```
+//! use gpu_telemetry::Telemetry;
+//!
+//! let tel = Telemetry::default();
+//! let hits = tel.counter("mem.l2.hits");
+//! hits.add(3);
+//! assert_eq!(tel.snapshot().counter("mem.l2.hits"), Some(3));
+//!
+//! // Event recording is active only with `--features enabled` and
+//! // after a ring buffer is attached:
+//! tel.enable_tracing(1 << 16);
+//! ```
+
+// Production code must surface failures as typed errors, not panics;
+// tests are free to unwrap.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod export;
+mod registry;
+mod report;
+mod trace;
+
+pub use registry::{
+    Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricsSnapshot,
+    Registry,
+};
+pub use report::{
+    compare_reports, MethodRun, Regression, RunReport, SkippedRun, ERROR_REGRESSION_ABS,
+    REPORT_SCHEMA_VERSION, SPEEDUP_REGRESSION_FRAC,
+};
+pub use trace::{
+    tracing_compiled, AbortKind, CacheLevel, EventKind, SampleMode, Trace, TraceEvent, TraceLog,
+    Tracer, SCHEMA_VERSION,
+};
+
+use std::sync::Arc;
+
+/// The one handle instrumented code holds: a shared metrics registry
+/// plus the (feature-gated) trace emitter. Cloning is cheap and all
+/// clones observe the same registry and ring buffer, so a simulator can
+/// hand copies to its memory hierarchy and controllers.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    registry: Arc<Registry>,
+    trace: Trace,
+}
+
+impl Telemetry {
+    /// The shared metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The trace emission handle (zero-sized no-op without the
+    /// `enabled` feature).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Shorthand for `registry().counter(name)`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(name)
+    }
+
+    /// Shorthand for `registry().gauge(name)`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.registry.gauge(name)
+    }
+
+    /// Shorthand for `registry().histogram(name)`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.registry.histogram(name)
+    }
+
+    /// Attaches a ring buffer of `capacity` events; all clones of this
+    /// handle start recording. No-op without the `enabled` feature.
+    pub fn enable_tracing(&self, capacity: usize) {
+        self.trace.attach(capacity);
+    }
+
+    /// Whether events are currently being recorded.
+    pub fn tracing_active(&self) -> bool {
+        self.trace.is_active()
+    }
+
+    /// Drains recorded events (empty without the `enabled` feature).
+    pub fn take_events(&self) -> TraceLog {
+        self.trace.take()
+    }
+
+    /// Snapshot of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_registry() {
+        let a = Telemetry::default();
+        let b = a.clone();
+        a.counter("x").add(2);
+        b.counter("x").inc();
+        assert_eq!(a.snapshot().counter("x"), Some(3));
+    }
+
+    #[test]
+    fn tracing_matches_compiled_feature() {
+        let tel = Telemetry::default();
+        assert!(!tel.tracing_active());
+        tel.enable_tracing(16);
+        assert_eq!(tel.tracing_active(), tracing_compiled());
+        assert!(tel.take_events().events.is_empty());
+    }
+}

@@ -1,0 +1,397 @@
+//! The metrics registry: named monotonic counters, gauges, and
+//! log2-bucketed histograms behind cheap `Arc` handles.
+//!
+//! Handles are resolved once (at subsystem construction) and then
+//! updated lock-free, so instrumented hot paths pay one relaxed atomic
+//! operation per update. The registry itself is only locked when a
+//! metric is registered or a [`MetricsSnapshot`] is taken — both cold
+//! paths.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Locks a mutex, recovering the guard from a poisoned lock (telemetry
+/// must never take the simulation down).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A monotonically increasing counter handle.
+///
+/// Cloning shares the underlying cell; updates use relaxed atomics.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge handle (stored as `f64` bits).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Stores a value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `i` holds
+/// values in `[2^(i-1), 2^i)`.
+const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Lower bound of a bucket (its representative value in percentile
+/// estimates).
+fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// A log2-bucketed histogram handle for latency/duration distributions.
+///
+/// Recording is O(1); percentiles are approximate (bucket resolution).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<Mutex<HistogramInner>>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let mut h = lock(&self.0);
+        h.buckets[bucket_index(v)] += 1;
+        h.count += 1;
+        h.sum = h.sum.saturating_add(v);
+        h.min = h.min.min(v);
+        h.max = h.max.max(v);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        lock(&self.0).count
+    }
+
+    /// Snapshot of the distribution under a name.
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let h = lock(&self.0);
+        let pct = |p: f64| -> u64 {
+            if h.count == 0 {
+                return 0;
+            }
+            let rank = (p * h.count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, n) in h.buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    return bucket_floor(i);
+                }
+            }
+            bucket_floor(BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            name: name.to_string(),
+            count: h.count,
+            sum: h.sum,
+            min: if h.count == 0 { 0 } else { h.min },
+            max: h.max,
+            mean: if h.count == 0 {
+                0.0
+            } else {
+                h.sum as f64 / h.count as f64
+            },
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+        }
+    }
+}
+
+/// One counter in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// One gauge in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: f64,
+}
+
+/// Summary of one histogram in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Observations.
+    pub count: u64,
+    /// Sum of observations (saturating).
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Approximate median (log2-bucket resolution).
+    pub p50: u64,
+    /// Approximate 95th percentile.
+    pub p95: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+}
+
+/// A serializable snapshot of every metric in a [`Registry`], sorted by
+/// name for deterministic export.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter by name, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+/// The metric registry. One per simulated GPU (shared by its memory
+/// hierarchy and any attached controllers), cheap to share via
+/// [`crate::Telemetry`].
+///
+/// # Example
+/// ```
+/// use gpu_telemetry::Registry;
+/// let reg = Registry::default();
+/// let c = reg.counter("sim.kernels");
+/// c.inc();
+/// assert_eq!(reg.snapshot().counter("sim.kernels"), Some(1));
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// Returns the counter registered under `name`, creating it on
+    /// first use. Repeated calls share one cell.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = lock(&self.inner);
+        if let Some((_, c)) = inner.counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter::default();
+        inner.counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = lock(&self.inner);
+        if let Some((_, g)) = inner.gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        let g = Gauge::default();
+        inner.gauges.push((name.to_string(), g.clone()));
+        g
+    }
+
+    /// Returns the histogram registered under `name`, creating it on
+    /// first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = lock(&self.inner);
+        if let Some((_, h)) = inner.histograms.iter().find(|(n, _)| n == name) {
+            return h.clone();
+        }
+        let h = Histogram::default();
+        inner.histograms.push((name.to_string(), h.clone()));
+        h
+    }
+
+    /// Snapshot of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = lock(&self.inner);
+        let mut counters: Vec<CounterSnapshot> = inner
+            .counters
+            .iter()
+            .map(|(n, c)| CounterSnapshot {
+                name: n.clone(),
+                value: c.get(),
+            })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut gauges: Vec<GaugeSnapshot> = inner
+            .gauges
+            .iter()
+            .map(|(n, g)| GaugeSnapshot {
+                name: n.clone(),
+                value: g.get(),
+            })
+            .collect();
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut histograms: Vec<HistogramSnapshot> = inner
+            .histograms
+            .iter()
+            .map(|(n, h)| h.snapshot(n))
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let reg = Registry::default();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(reg.snapshot().counter("x"), Some(4));
+        assert_eq!(reg.snapshot().counter("y"), None);
+    }
+
+    #[test]
+    fn gauge_last_value_wins() {
+        let reg = Registry::default();
+        let g = reg.gauge("ipc");
+        g.set(1.5);
+        g.set(2.25);
+        assert_eq!(g.get(), 2.25);
+        assert_eq!(reg.snapshot().gauges[0].value, 2.25);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot("lat");
+        assert_eq!(s.count, 6);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.sum, 1106);
+        // p50 falls into the [2,4) bucket; floors are powers of two.
+        assert_eq!(s.p50, 2);
+        assert!(s.p99 >= 512);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let s = Histogram::default().snapshot("empty");
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p50, 0);
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_floor(2), 2);
+        assert_eq!(bucket_floor(64), 1u64 << 63);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        let reg = Registry::default();
+        reg.counter("b");
+        reg.counter("a");
+        let names: Vec<_> = reg
+            .snapshot()
+            .counters
+            .into_iter()
+            .map(|c| c.name)
+            .collect();
+        assert_eq!(names, vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Machine-readable run reports: the schema every benchmark run is
+//! recorded in (`results/BENCH_<app>.json`) and the regression
+//! comparison used by the bench `report` tool.
+
+use crate::registry::MetricsSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Version stamped into every [`RunReport`]; bump on incompatible
+/// schema changes so old reports are not silently misread.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// One completed (workload, method) measurement inside a [`RunReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodRun {
+    /// Sampling method (`full`, `photon`, `pka`, ...).
+    pub method: String,
+    /// Warps launched across the app.
+    pub warps: u64,
+    /// Host wall-clock seconds for the simulation.
+    pub wall_secs: f64,
+    /// Simulated cycles across all kernels.
+    pub sim_cycles: u64,
+    /// Detailed instructions per simulated cycle.
+    pub ipc: f64,
+    /// Instructions simulated in detailed timing mode.
+    pub detailed_insts: u64,
+    /// Instructions executed functionally only.
+    pub functional_insts: u64,
+    /// Warps that ran in detailed mode.
+    pub detailed_warps: u64,
+    /// Warps whose duration was predicted instead of simulated.
+    pub predicted_warps: u64,
+    /// Fraction of warps simulated in detail (1.0 for full detailed).
+    pub sample_coverage: f64,
+    /// Kernels skipped outright by kernel-level sampling.
+    pub skipped_kernels: u64,
+    /// Host-time speedup relative to the detailed run (0 when no
+    /// detailed reference exists in the report).
+    pub speedup_vs_detailed: f64,
+    /// Relative cycle error vs. the detailed run (0 when no reference).
+    pub error_vs_detailed: f64,
+}
+
+/// A (workload, method) pair that did not produce a measurement, with
+/// the typed error preserved (previously lost on serialization).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkippedRun {
+    /// Sampling method that was attempted.
+    pub method: String,
+    /// Why the harness skipped it (panic, timeout, sim error).
+    pub reason: String,
+    /// The typed simulator error rendered to text, when one existed
+    /// (empty for panics/timeouts with no `SimError`).
+    pub error: String,
+}
+
+/// The per-app benchmark report serialized to `results/BENCH_<app>.json`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Report schema version ([`REPORT_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Workload name.
+    pub workload: String,
+    /// Completed measurements, one per method.
+    pub runs: Vec<MethodRun>,
+    /// Methods that failed or were skipped.
+    pub skipped: Vec<SkippedRun>,
+    /// Metric registry snapshot taken after the last run (empty when
+    /// telemetry was not collected).
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunReport {
+    /// A report for `workload` with the schema version filled in.
+    pub fn new(workload: &str) -> Self {
+        RunReport {
+            schema_version: REPORT_SCHEMA_VERSION,
+            workload: workload.to_string(),
+            ..RunReport::default()
+        }
+    }
+
+    /// The run for `method`, if it completed.
+    pub fn run(&self, method: &str) -> Option<&MethodRun> {
+        self.runs.iter().find(|r| r.method == method)
+    }
+}
+
+/// A difference between a baseline report and a current report that the
+/// `report check` tool flags.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Regression {
+    /// Workload the regression is in.
+    pub workload: String,
+    /// Method the regression is in.
+    pub method: String,
+    /// What regressed, human-readable.
+    pub what: String,
+}
+
+/// Absolute worsening in `error_vs_detailed` that counts as a
+/// regression (one percentage point).
+pub const ERROR_REGRESSION_ABS: f64 = 0.01;
+
+/// Fractional drop in `speedup_vs_detailed` that counts as a
+/// regression (20%).
+pub const SPEEDUP_REGRESSION_FRAC: f64 = 0.20;
+
+/// Compares `current` against `baseline` and returns every flagged
+/// regression: methods that disappeared or started failing, cycle-error
+/// increases beyond [`ERROR_REGRESSION_ABS`], and speedup drops beyond
+/// [`SPEEDUP_REGRESSION_FRAC`]. Improvements are never flagged.
+pub fn compare_reports(baseline: &RunReport, current: &RunReport) -> Vec<Regression> {
+    let mut out = Vec::new();
+    let flag = |out: &mut Vec<Regression>, method: &str, what: String| {
+        out.push(Regression {
+            workload: current.workload.clone(),
+            method: method.to_string(),
+            what,
+        });
+    };
+    for base in &baseline.runs {
+        let Some(cur) = current.run(&base.method) else {
+            let detail = current
+                .skipped
+                .iter()
+                .find(|s| s.method == base.method)
+                .map(|s| format!("now skipped: {}", s.reason))
+                .unwrap_or_else(|| "missing from current report".to_string());
+            flag(&mut out, &base.method, detail);
+            continue;
+        };
+        let err_delta = cur.error_vs_detailed - base.error_vs_detailed;
+        if err_delta > ERROR_REGRESSION_ABS {
+            flag(
+                &mut out,
+                &base.method,
+                format!(
+                    "cycle error {:.3} -> {:.3} (+{:.3})",
+                    base.error_vs_detailed, cur.error_vs_detailed, err_delta
+                ),
+            );
+        }
+        if base.speedup_vs_detailed > 0.0
+            && cur.speedup_vs_detailed < base.speedup_vs_detailed * (1.0 - SPEEDUP_REGRESSION_FRAC)
+        {
+            flag(
+                &mut out,
+                &base.method,
+                format!(
+                    "speedup {:.2}x -> {:.2}x",
+                    base.speedup_vs_detailed, cur.speedup_vs_detailed
+                ),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(method: &str, error: f64, speedup: f64) -> MethodRun {
+        MethodRun {
+            method: method.to_string(),
+            warps: 64,
+            wall_secs: 0.1,
+            sim_cycles: 1000,
+            ipc: 1.0,
+            detailed_insts: 100,
+            functional_insts: 0,
+            detailed_warps: 64,
+            predicted_warps: 0,
+            sample_coverage: 1.0,
+            skipped_kernels: 0,
+            speedup_vs_detailed: speedup,
+            error_vs_detailed: error,
+        }
+    }
+
+    fn report(runs: Vec<MethodRun>) -> RunReport {
+        RunReport {
+            runs,
+            ..RunReport::new("fir")
+        }
+    }
+
+    #[test]
+    fn identical_reports_have_no_regressions() {
+        let r = report(vec![run("full", 0.0, 0.0), run("photon", 0.02, 5.0)]);
+        assert!(compare_reports(&r, &r).is_empty());
+    }
+
+    #[test]
+    fn error_increase_is_flagged_improvement_is_not() {
+        let base = report(vec![run("photon", 0.02, 5.0)]);
+        let worse = report(vec![run("photon", 0.05, 5.0)]);
+        let better = report(vec![run("photon", 0.001, 5.0)]);
+        let regs = compare_reports(&base, &worse);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].what.contains("cycle error"));
+        assert!(compare_reports(&base, &better).is_empty());
+    }
+
+    #[test]
+    fn speedup_drop_and_missing_method_are_flagged() {
+        let base = report(vec![run("photon", 0.02, 10.0), run("pka", 0.05, 8.0)]);
+        let mut cur = report(vec![run("photon", 0.02, 2.0)]);
+        cur.skipped.push(SkippedRun {
+            method: "pka".to_string(),
+            reason: "panicked: boom".to_string(),
+            error: String::new(),
+        });
+        let regs = compare_reports(&base, &cur);
+        assert_eq!(regs.len(), 2);
+        assert!(regs.iter().any(|r| r.what.contains("speedup")));
+        assert!(regs.iter().any(|r| r.what.contains("now skipped")));
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let mut r = report(vec![run("full", 0.0, 0.0)]);
+        r.skipped.push(SkippedRun {
+            method: "sieve".to_string(),
+            reason: "timed out".to_string(),
+            error: "deadlock at cycle 10".to_string(),
+        });
+        let text = serde_json::to_string_pretty(&r).unwrap_or_default();
+        let back: RunReport = match serde_json::from_str(&text) {
+            Ok(v) => v,
+            Err(e) => panic!("roundtrip failed: {e}"),
+        };
+        assert_eq!(r, back);
+        assert_eq!(back.run("full").map(|m| m.warps), Some(64));
+    }
+}

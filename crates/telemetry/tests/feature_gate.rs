@@ -1,0 +1,70 @@
+//! Proves the `enabled` feature gate: with it off the `Trace` handle is
+//! a zero-sized no-op whose `emit_with` closure is never invoked; with
+//! it on, clones share one ring buffer with drop-oldest overflow.
+
+use gpu_telemetry::{tracing_compiled, EventKind, Telemetry, Trace, TraceEvent};
+
+fn ev(ts: u64) -> TraceEvent {
+    TraceEvent {
+        ts,
+        dur: 0,
+        kind: EventKind::DramAccess { channel: 0 },
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+#[test]
+fn trace_is_a_zero_sized_noop_when_feature_off() {
+    assert!(!tracing_compiled());
+    // The handle occupies no space, so carrying it through every
+    // subsystem is free.
+    assert_eq!(std::mem::size_of::<Trace>(), 0);
+
+    let tel = Telemetry::default();
+    tel.enable_tracing(1024);
+    assert!(!tel.tracing_active());
+
+    // The emit_with closure must never run: event construction is
+    // compiled out of hot paths, not just discarded.
+    let mut built = false;
+    tel.trace().emit_with(|| {
+        built = true;
+        ev(1)
+    });
+    assert!(!built);
+
+    tel.trace().emit(ev(2));
+    let log = tel.take_events();
+    assert!(log.events.is_empty());
+    assert_eq!(log.dropped, 0);
+}
+
+#[cfg(feature = "enabled")]
+#[test]
+fn trace_records_through_shared_clones_when_feature_on() {
+    assert!(tracing_compiled());
+
+    let tel = Telemetry::default();
+    let clone = tel.clone();
+
+    // Before attach: inactive, events discarded.
+    tel.trace().emit(ev(0));
+    assert!(!tel.tracing_active());
+
+    // Attaching through one handle activates every clone.
+    tel.enable_tracing(4);
+    assert!(clone.tracing_active());
+    for i in 1..=6u64 {
+        clone.trace().emit_with(|| ev(i));
+    }
+
+    // Ring of 4: the two oldest of the six were overwritten.
+    let log = tel.take_events();
+    assert_eq!(log.dropped, 2);
+    let ts: Vec<u64> = log.events.iter().map(|e| e.ts).collect();
+    assert_eq!(ts, vec![3, 4, 5, 6]);
+
+    // take() drains but leaves the ring attached.
+    assert!(tel.tracing_active());
+    assert!(tel.take_events().events.is_empty());
+}

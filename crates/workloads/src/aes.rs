@@ -63,7 +63,12 @@ fn aes_kernel() -> Kernel {
             let prev = w.clone();
             for (i, &wi) in w.iter().enumerate() {
                 // byte 0 of word i through T0
-                kb.valu(VAluOp::And, v_b, VectorSrc::Reg(prev[i]), VectorSrc::Imm(0xff));
+                kb.valu(
+                    VAluOp::And,
+                    v_b,
+                    VectorSrc::Reg(prev[i]),
+                    VectorSrc::Imm(0xff),
+                );
                 kb.valu(VAluOp::Shl, v_b, VectorSrc::Reg(v_b), VectorSrc::Imm(2));
                 kb.global_load(v_t, s_t0, v_b, 0, MemWidth::B32);
                 // byte 2 of the next word through T1 (ShiftRows flavor)
@@ -97,8 +102,12 @@ pub fn build(gpu: &mut GpuSimulator, num_warps: u64, seed: u64) -> App {
         gpu.mem_mut().write_u32(input + 4 * i, r.gen());
     }
     let out = alloc_zeroed(gpu, n * 16);
-    let t0 = gpu.alloc_buffer(TABLE_WORDS * 4).expect("device allocation");
-    let t1 = gpu.alloc_buffer(TABLE_WORDS * 4).expect("device allocation");
+    let t0 = gpu
+        .alloc_buffer(TABLE_WORDS * 4)
+        .expect("device allocation");
+    let t1 = gpu
+        .alloc_buffer(TABLE_WORDS * 4)
+        .expect("device allocation");
     for i in 0..TABLE_WORDS {
         gpu.mem_mut().write_u32(t0 + 4 * i, r.gen());
         gpu.mem_mut().write_u32(t1 + 4 * i, r.gen());

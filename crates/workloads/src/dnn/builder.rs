@@ -152,7 +152,11 @@ impl<'a> NetBuilder<'a> {
         let (padded, ph, pw) = self.pad(layer, pad);
         let wcount = out_c as u64 * in_shape.c as u64 * (k * k) as u64;
         let weights = alloc_f32(self.gpu, wcount, -0.2, 0.2, &mut self.rng);
-        let out_shape = Shape { c: out_c, h: oh, w: ow };
+        let out_shape = Shape {
+            c: out_c,
+            h: oh,
+            w: ow,
+        };
         let out = self.alloc(out_shape.len());
         let n = out_shape.len();
         self.launch(
@@ -224,7 +228,11 @@ impl<'a> NetBuilder<'a> {
             vec![cur, weights, out, in_f, relu as u64, out_f as u64],
         );
         self.cur = out;
-        self.shape = Shape { c: out_f, h: 1, w: 1 };
+        self.shape = Shape {
+            c: out_f,
+            h: 1,
+            w: 1,
+        };
     }
 
     /// Residual add of a checkpoint into the current activation.

@@ -12,9 +12,7 @@
 //! launch.
 
 use crate::helpers::{guard_tid, tid_and_offset};
-use gpu_isa::{
-    CmpOp, Kernel, KernelBuilder, MemWidth, SAluOp, ScalarSrc, VAluOp, VectorSrc,
-};
+use gpu_isa::{CmpOp, Kernel, KernelBuilder, MemWidth, SAluOp, ScalarSrc, VAluOp, VectorSrc};
 
 /// Copies a CHW tensor into a zero-initialized padded CHW tensor.
 ///
@@ -42,8 +40,18 @@ pub fn pad_kernel() -> Kernel {
         let v_r = kb.vreg();
         let v_y = kb.vreg();
         let v_x = kb.vreg();
-        kb.valu(VAluOp::Div, v_ch, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_hw));
-        kb.valu(VAluOp::Rem, v_r, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_hw));
+        kb.valu(
+            VAluOp::Div,
+            v_ch,
+            VectorSrc::Reg(v_tid),
+            VectorSrc::Sreg(s_hw),
+        );
+        kb.valu(
+            VAluOp::Rem,
+            v_r,
+            VectorSrc::Reg(v_tid),
+            VectorSrc::Sreg(s_hw),
+        );
         kb.valu(VAluOp::Div, v_y, VectorSrc::Reg(v_r), VectorSrc::Sreg(s_w));
         kb.valu(VAluOp::Rem, v_x, VectorSrc::Reg(v_r), VectorSrc::Sreg(s_w));
         // padded dims
@@ -57,13 +65,33 @@ pub fn pad_kernel() -> Kernel {
         kb.salu(SAluOp::Mul, s_phw, s_ph, ScalarSrc::Reg(s_pw));
         // dst = (ch*phw) + (y+p)*pw + (x+p)
         let v_dst = kb.vreg();
-        kb.valu(VAluOp::Mul, v_dst, VectorSrc::Reg(v_ch), VectorSrc::Sreg(s_phw));
+        kb.valu(
+            VAluOp::Mul,
+            v_dst,
+            VectorSrc::Reg(v_ch),
+            VectorSrc::Sreg(s_phw),
+        );
         let v_t = kb.vreg();
         kb.valu(VAluOp::Add, v_t, VectorSrc::Reg(v_y), VectorSrc::Sreg(s_p));
         kb.valu(VAluOp::Mul, v_t, VectorSrc::Reg(v_t), VectorSrc::Sreg(s_pw));
-        kb.valu(VAluOp::Add, v_dst, VectorSrc::Reg(v_dst), VectorSrc::Reg(v_t));
-        kb.valu(VAluOp::Add, v_dst, VectorSrc::Reg(v_dst), VectorSrc::Reg(v_x));
-        kb.valu(VAluOp::Add, v_dst, VectorSrc::Reg(v_dst), VectorSrc::Sreg(s_p));
+        kb.valu(
+            VAluOp::Add,
+            v_dst,
+            VectorSrc::Reg(v_dst),
+            VectorSrc::Reg(v_t),
+        );
+        kb.valu(
+            VAluOp::Add,
+            v_dst,
+            VectorSrc::Reg(v_dst),
+            VectorSrc::Reg(v_x),
+        );
+        kb.valu(
+            VAluOp::Add,
+            v_dst,
+            VectorSrc::Reg(v_dst),
+            VectorSrc::Sreg(s_p),
+        );
         kb.valu(VAluOp::Shl, v_dst, VectorSrc::Reg(v_dst), VectorSrc::Imm(2));
         let v = kb.vreg();
         kb.global_load(v, s_in, v_off, 0, MemWidth::B32);
@@ -105,22 +133,57 @@ pub fn conv_kernel() -> Kernel {
         let v_r = kb.vreg();
         let v_oy = kb.vreg();
         let v_ox = kb.vreg();
-        kb.valu(VAluOp::Div, v_oc, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_ohw));
-        kb.valu(VAluOp::Rem, v_r, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_ohw));
-        kb.valu(VAluOp::Div, v_oy, VectorSrc::Reg(v_r), VectorSrc::Sreg(s_ow));
-        kb.valu(VAluOp::Rem, v_ox, VectorSrc::Reg(v_r), VectorSrc::Sreg(s_ow));
+        kb.valu(
+            VAluOp::Div,
+            v_oc,
+            VectorSrc::Reg(v_tid),
+            VectorSrc::Sreg(s_ohw),
+        );
+        kb.valu(
+            VAluOp::Rem,
+            v_r,
+            VectorSrc::Reg(v_tid),
+            VectorSrc::Sreg(s_ohw),
+        );
+        kb.valu(
+            VAluOp::Div,
+            v_oy,
+            VectorSrc::Reg(v_r),
+            VectorSrc::Sreg(s_ow),
+        );
+        kb.valu(
+            VAluOp::Rem,
+            v_ox,
+            VectorSrc::Reg(v_r),
+            VectorSrc::Sreg(s_ow),
+        );
         // base input coords: iy0 = oy*stride, ix0 = ox*stride
         let v_iy0 = kb.vreg();
         let v_ix0 = kb.vreg();
-        kb.valu(VAluOp::Mul, v_iy0, VectorSrc::Reg(v_oy), VectorSrc::Sreg(s_stride));
-        kb.valu(VAluOp::Mul, v_ix0, VectorSrc::Reg(v_ox), VectorSrc::Sreg(s_stride));
+        kb.valu(
+            VAluOp::Mul,
+            v_iy0,
+            VectorSrc::Reg(v_oy),
+            VectorSrc::Sreg(s_stride),
+        );
+        kb.valu(
+            VAluOp::Mul,
+            v_ix0,
+            VectorSrc::Reg(v_ox),
+            VectorSrc::Sreg(s_stride),
+        );
         // per-filter weight stride: icks = in_c * k * k; wbase = oc * icks
         let s_kk = kb.sreg();
         kb.salu(SAluOp::Mul, s_kk, s_k, ScalarSrc::Reg(s_k));
         let s_icks = kb.sreg();
         kb.salu(SAluOp::Mul, s_icks, s_inc, ScalarSrc::Reg(s_kk));
         let v_wbase = kb.vreg();
-        kb.valu(VAluOp::Mul, v_wbase, VectorSrc::Reg(v_oc), VectorSrc::Sreg(s_icks));
+        kb.valu(
+            VAluOp::Mul,
+            v_wbase,
+            VectorSrc::Reg(v_oc),
+            VectorSrc::Sreg(s_icks),
+        );
 
         let v_acc = kb.vreg();
         kb.vmov(v_acc, VectorSrc::ImmF32(0.0));
@@ -141,29 +204,79 @@ pub fn conv_kernel() -> Kernel {
             kb.for_uniform(s_ky, 0i64, ScalarSrc::Reg(s_k), |kb| {
                 kb.for_uniform(s_kx, 0i64, ScalarSrc::Reg(s_k), |kb| {
                     // in[(ic*ph + iy0+ky) * pw + ix0+kx]
-                    kb.valu(VAluOp::Add, v_iy, VectorSrc::Reg(v_iy0), VectorSrc::Sreg(s_ky));
-                    kb.valu(VAluOp::Add, v_iy, VectorSrc::Reg(v_iy), VectorSrc::Sreg(s_icph));
-                    kb.valu(VAluOp::Mul, v_ioff, VectorSrc::Reg(v_iy), VectorSrc::Sreg(s_pw));
-                    kb.valu(VAluOp::Add, v_ioff, VectorSrc::Reg(v_ioff), VectorSrc::Reg(v_ix0));
-                    kb.valu(VAluOp::Add, v_ioff, VectorSrc::Reg(v_ioff), VectorSrc::Sreg(s_kx));
-                    kb.valu(VAluOp::Shl, v_ioff, VectorSrc::Reg(v_ioff), VectorSrc::Imm(2));
+                    kb.valu(
+                        VAluOp::Add,
+                        v_iy,
+                        VectorSrc::Reg(v_iy0),
+                        VectorSrc::Sreg(s_ky),
+                    );
+                    kb.valu(
+                        VAluOp::Add,
+                        v_iy,
+                        VectorSrc::Reg(v_iy),
+                        VectorSrc::Sreg(s_icph),
+                    );
+                    kb.valu(
+                        VAluOp::Mul,
+                        v_ioff,
+                        VectorSrc::Reg(v_iy),
+                        VectorSrc::Sreg(s_pw),
+                    );
+                    kb.valu(
+                        VAluOp::Add,
+                        v_ioff,
+                        VectorSrc::Reg(v_ioff),
+                        VectorSrc::Reg(v_ix0),
+                    );
+                    kb.valu(
+                        VAluOp::Add,
+                        v_ioff,
+                        VectorSrc::Reg(v_ioff),
+                        VectorSrc::Sreg(s_kx),
+                    );
+                    kb.valu(
+                        VAluOp::Shl,
+                        v_ioff,
+                        VectorSrc::Reg(v_ioff),
+                        VectorSrc::Imm(2),
+                    );
                     kb.global_load(v_in, s_in, v_ioff, 0, MemWidth::B32);
                     // w[wbase + (ic*k + ky)*k + kx]
                     kb.salu(SAluOp::Mul, s_wrow, s_ic, ScalarSrc::Reg(s_k));
                     kb.salu(SAluOp::Add, s_wrow, s_wrow, ScalarSrc::Reg(s_ky));
                     kb.salu(SAluOp::Mul, s_wrow, s_wrow, ScalarSrc::Reg(s_k));
                     kb.salu(SAluOp::Add, s_wrow, s_wrow, ScalarSrc::Reg(s_kx));
-                    kb.valu(VAluOp::Add, v_woff, VectorSrc::Reg(v_wbase), VectorSrc::Sreg(s_wrow));
-                    kb.valu(VAluOp::Shl, v_woff, VectorSrc::Reg(v_woff), VectorSrc::Imm(2));
+                    kb.valu(
+                        VAluOp::Add,
+                        v_woff,
+                        VectorSrc::Reg(v_wbase),
+                        VectorSrc::Sreg(s_wrow),
+                    );
+                    kb.valu(
+                        VAluOp::Shl,
+                        v_woff,
+                        VectorSrc::Reg(v_woff),
+                        VectorSrc::Imm(2),
+                    );
                     kb.global_load(v_w, s_wt, v_woff, 0, MemWidth::B32);
-                    kb.vfma(v_acc, VectorSrc::Reg(v_in), VectorSrc::Reg(v_w), VectorSrc::Reg(v_acc));
+                    kb.vfma(
+                        v_acc,
+                        VectorSrc::Reg(v_in),
+                        VectorSrc::Reg(v_w),
+                        VectorSrc::Reg(v_acc),
+                    );
                 });
             });
         });
         // optional fused ReLU (uniform branch on the flag)
         kb.scmp(CmpOp::Ne, s_relu, 0i64);
         kb.if_scc(|kb| {
-            kb.valu(VAluOp::FMax, v_acc, VectorSrc::Reg(v_acc), VectorSrc::ImmF32(0.0));
+            kb.valu(
+                VAluOp::FMax,
+                v_acc,
+                VectorSrc::Reg(v_acc),
+                VectorSrc::ImmF32(0.0),
+            );
         });
         kb.global_store(v_acc, s_out, v_off, 0, MemWidth::B32);
     });
@@ -197,18 +310,53 @@ pub fn maxpool_kernel() -> Kernel {
         let v_r = kb.vreg();
         let v_oy = kb.vreg();
         let v_ox = kb.vreg();
-        kb.valu(VAluOp::Div, v_c, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_ohw));
-        kb.valu(VAluOp::Rem, v_r, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_ohw));
-        kb.valu(VAluOp::Div, v_oy, VectorSrc::Reg(v_r), VectorSrc::Sreg(s_ow));
-        kb.valu(VAluOp::Rem, v_ox, VectorSrc::Reg(v_r), VectorSrc::Sreg(s_ow));
+        kb.valu(
+            VAluOp::Div,
+            v_c,
+            VectorSrc::Reg(v_tid),
+            VectorSrc::Sreg(s_ohw),
+        );
+        kb.valu(
+            VAluOp::Rem,
+            v_r,
+            VectorSrc::Reg(v_tid),
+            VectorSrc::Sreg(s_ohw),
+        );
+        kb.valu(
+            VAluOp::Div,
+            v_oy,
+            VectorSrc::Reg(v_r),
+            VectorSrc::Sreg(s_ow),
+        );
+        kb.valu(
+            VAluOp::Rem,
+            v_ox,
+            VectorSrc::Reg(v_r),
+            VectorSrc::Sreg(s_ow),
+        );
         let v_iy0 = kb.vreg();
         let v_ix0 = kb.vreg();
-        kb.valu(VAluOp::Mul, v_iy0, VectorSrc::Reg(v_oy), VectorSrc::Sreg(s_stride));
-        kb.valu(VAluOp::Mul, v_ix0, VectorSrc::Reg(v_ox), VectorSrc::Sreg(s_stride));
+        kb.valu(
+            VAluOp::Mul,
+            v_iy0,
+            VectorSrc::Reg(v_oy),
+            VectorSrc::Sreg(s_stride),
+        );
+        kb.valu(
+            VAluOp::Mul,
+            v_ix0,
+            VectorSrc::Reg(v_ox),
+            VectorSrc::Sreg(s_stride),
+        );
         let s_phw = kb.sreg();
         kb.salu(SAluOp::Mul, s_phw, s_ph, ScalarSrc::Reg(s_pw));
         let v_base = kb.vreg();
-        kb.valu(VAluOp::Mul, v_base, VectorSrc::Reg(v_c), VectorSrc::Sreg(s_phw));
+        kb.valu(
+            VAluOp::Mul,
+            v_base,
+            VectorSrc::Reg(v_c),
+            VectorSrc::Sreg(s_phw),
+        );
         let v_acc = kb.vreg();
         kb.vmov(v_acc, VectorSrc::ImmF32(-3.0e38));
         let s_ky = kb.sreg();
@@ -218,14 +366,49 @@ pub fn maxpool_kernel() -> Kernel {
         let v_in = kb.vreg();
         kb.for_uniform(s_ky, 0i64, ScalarSrc::Reg(s_k), |kb| {
             kb.for_uniform(s_kx, 0i64, ScalarSrc::Reg(s_k), |kb| {
-                kb.valu(VAluOp::Add, v_iy, VectorSrc::Reg(v_iy0), VectorSrc::Sreg(s_ky));
-                kb.valu(VAluOp::Mul, v_ioff, VectorSrc::Reg(v_iy), VectorSrc::Sreg(s_pw));
-                kb.valu(VAluOp::Add, v_ioff, VectorSrc::Reg(v_ioff), VectorSrc::Reg(v_ix0));
-                kb.valu(VAluOp::Add, v_ioff, VectorSrc::Reg(v_ioff), VectorSrc::Sreg(s_kx));
-                kb.valu(VAluOp::Add, v_ioff, VectorSrc::Reg(v_ioff), VectorSrc::Reg(v_base));
-                kb.valu(VAluOp::Shl, v_ioff, VectorSrc::Reg(v_ioff), VectorSrc::Imm(2));
+                kb.valu(
+                    VAluOp::Add,
+                    v_iy,
+                    VectorSrc::Reg(v_iy0),
+                    VectorSrc::Sreg(s_ky),
+                );
+                kb.valu(
+                    VAluOp::Mul,
+                    v_ioff,
+                    VectorSrc::Reg(v_iy),
+                    VectorSrc::Sreg(s_pw),
+                );
+                kb.valu(
+                    VAluOp::Add,
+                    v_ioff,
+                    VectorSrc::Reg(v_ioff),
+                    VectorSrc::Reg(v_ix0),
+                );
+                kb.valu(
+                    VAluOp::Add,
+                    v_ioff,
+                    VectorSrc::Reg(v_ioff),
+                    VectorSrc::Sreg(s_kx),
+                );
+                kb.valu(
+                    VAluOp::Add,
+                    v_ioff,
+                    VectorSrc::Reg(v_ioff),
+                    VectorSrc::Reg(v_base),
+                );
+                kb.valu(
+                    VAluOp::Shl,
+                    v_ioff,
+                    VectorSrc::Reg(v_ioff),
+                    VectorSrc::Imm(2),
+                );
                 kb.global_load(v_in, s_in, v_ioff, 0, MemWidth::B32);
-                kb.valu(VAluOp::FMax, v_acc, VectorSrc::Reg(v_acc), VectorSrc::Reg(v_in));
+                kb.valu(
+                    VAluOp::FMax,
+                    v_acc,
+                    VectorSrc::Reg(v_acc),
+                    VectorSrc::Reg(v_in),
+                );
             });
         });
         kb.global_store(v_acc, s_out, v_off, 0, MemWidth::B32);
@@ -250,7 +433,12 @@ pub fn dense_kernel() -> Kernel {
     let (v_tid, v_off) = tid_and_offset(&mut kb);
     guard_tid(&mut kb, v_tid, s_n, |kb| {
         let v_wbase = kb.vreg();
-        kb.valu(VAluOp::Mul, v_wbase, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_inf));
+        kb.valu(
+            VAluOp::Mul,
+            v_wbase,
+            VectorSrc::Reg(v_tid),
+            VectorSrc::Sreg(s_inf),
+        );
         let v_acc = kb.vreg();
         kb.vmov(v_acc, VectorSrc::ImmF32(0.0));
         let s_i = kb.sreg();
@@ -263,14 +451,34 @@ pub fn dense_kernel() -> Kernel {
             kb.salu(SAluOp::Shl, s_i4, s_i, 2i64);
             kb.vmov(v_xoff, VectorSrc::Sreg(s_i4));
             kb.global_load(v_x, s_x, v_xoff, 0, MemWidth::B32);
-            kb.valu(VAluOp::Add, v_woff, VectorSrc::Reg(v_wbase), VectorSrc::Sreg(s_i));
-            kb.valu(VAluOp::Shl, v_woff, VectorSrc::Reg(v_woff), VectorSrc::Imm(2));
+            kb.valu(
+                VAluOp::Add,
+                v_woff,
+                VectorSrc::Reg(v_wbase),
+                VectorSrc::Sreg(s_i),
+            );
+            kb.valu(
+                VAluOp::Shl,
+                v_woff,
+                VectorSrc::Reg(v_woff),
+                VectorSrc::Imm(2),
+            );
             kb.global_load(v_w, s_w, v_woff, 0, MemWidth::B32);
-            kb.vfma(v_acc, VectorSrc::Reg(v_x), VectorSrc::Reg(v_w), VectorSrc::Reg(v_acc));
+            kb.vfma(
+                v_acc,
+                VectorSrc::Reg(v_x),
+                VectorSrc::Reg(v_w),
+                VectorSrc::Reg(v_acc),
+            );
         });
         kb.scmp(CmpOp::Ne, s_relu, 0i64);
         kb.if_scc(|kb| {
-            kb.valu(VAluOp::FMax, v_acc, VectorSrc::Reg(v_acc), VectorSrc::ImmF32(0.0));
+            kb.valu(
+                VAluOp::FMax,
+                v_acc,
+                VectorSrc::Reg(v_acc),
+                VectorSrc::ImmF32(0.0),
+            );
         });
         kb.global_store(v_acc, s_out, v_off, 0, MemWidth::B32);
     });
@@ -299,7 +507,12 @@ pub fn add_kernel() -> Kernel {
         kb.valu(VAluOp::FAdd, v_a, VectorSrc::Reg(v_a), VectorSrc::Reg(v_b));
         kb.scmp(CmpOp::Ne, s_relu, 0i64);
         kb.if_scc(|kb| {
-            kb.valu(VAluOp::FMax, v_a, VectorSrc::Reg(v_a), VectorSrc::ImmF32(0.0));
+            kb.valu(
+                VAluOp::FMax,
+                v_a,
+                VectorSrc::Reg(v_a),
+                VectorSrc::ImmF32(0.0),
+            );
         });
         kb.global_store(v_a, s_out, v_off, 0, MemWidth::B32);
     });
@@ -321,23 +534,53 @@ pub fn gap_kernel() -> Kernel {
     let (v_tid, v_off) = tid_and_offset(&mut kb);
     guard_tid(&mut kb, v_tid, s_n, |kb| {
         let v_base = kb.vreg();
-        kb.valu(VAluOp::Mul, v_base, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_hw));
+        kb.valu(
+            VAluOp::Mul,
+            v_base,
+            VectorSrc::Reg(v_tid),
+            VectorSrc::Sreg(s_hw),
+        );
         let v_acc = kb.vreg();
         kb.vmov(v_acc, VectorSrc::ImmF32(0.0));
         let s_i = kb.sreg();
         let v_ioff = kb.vreg();
         let v_in = kb.vreg();
         kb.for_uniform(s_i, 0i64, ScalarSrc::Reg(s_hw), |kb| {
-            kb.valu(VAluOp::Add, v_ioff, VectorSrc::Reg(v_base), VectorSrc::Sreg(s_i));
-            kb.valu(VAluOp::Shl, v_ioff, VectorSrc::Reg(v_ioff), VectorSrc::Imm(2));
+            kb.valu(
+                VAluOp::Add,
+                v_ioff,
+                VectorSrc::Reg(v_base),
+                VectorSrc::Sreg(s_i),
+            );
+            kb.valu(
+                VAluOp::Shl,
+                v_ioff,
+                VectorSrc::Reg(v_ioff),
+                VectorSrc::Imm(2),
+            );
             kb.global_load(v_in, s_in, v_ioff, 0, MemWidth::B32);
-            kb.valu(VAluOp::FAdd, v_acc, VectorSrc::Reg(v_acc), VectorSrc::Reg(v_in));
+            kb.valu(
+                VAluOp::FAdd,
+                v_acc,
+                VectorSrc::Reg(v_acc),
+                VectorSrc::Reg(v_in),
+            );
         });
         // acc / hw
         let v_hw = kb.vreg();
         kb.vmov(v_hw, VectorSrc::Sreg(s_hw));
-        kb.valu(VAluOp::CvtI2F, v_hw, VectorSrc::Reg(v_hw), VectorSrc::Imm(0));
-        kb.valu(VAluOp::FDiv, v_acc, VectorSrc::Reg(v_acc), VectorSrc::Reg(v_hw));
+        kb.valu(
+            VAluOp::CvtI2F,
+            v_hw,
+            VectorSrc::Reg(v_hw),
+            VectorSrc::Imm(0),
+        );
+        kb.valu(
+            VAluOp::FDiv,
+            v_acc,
+            VectorSrc::Reg(v_acc),
+            VectorSrc::Reg(v_hw),
+        );
         kb.global_store(v_acc, s_out, v_off, 0, MemWidth::B32);
     });
     Kernel::new(kb.finish().expect("gap kernel is well-formed"))
@@ -369,7 +612,12 @@ mod tests {
 
     #[test]
     fn loop_kernels_have_back_edges() {
-        for k in [conv_kernel(), dense_kernel(), maxpool_kernel(), gap_kernel()] {
+        for k in [
+            conv_kernel(),
+            dense_kernel(),
+            maxpool_kernel(),
+            gap_kernel(),
+        ] {
             let has_backedge = k
                 .program()
                 .insts()

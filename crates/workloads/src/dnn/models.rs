@@ -128,7 +128,10 @@ impl ResNetDepth {
     }
 
     fn bottleneck(self) -> bool {
-        matches!(self, ResNetDepth::R50 | ResNetDepth::R101 | ResNetDepth::R152)
+        matches!(
+            self,
+            ResNetDepth::R50 | ResNetDepth::R101 | ResNetDepth::R152
+        )
     }
 
     /// Display name.
@@ -159,12 +162,7 @@ pub fn resnet(gpu: &mut GpuSimulator, depth: ResNetDepth, scale: DnnScale, seed:
 
     let stage_widths = [64u32, 128, 256, 512].map(|c| scale.ch(c));
     let expansion = if depth.bottleneck() { 4 } else { 1 };
-    for (stage, (&blocks, &width)) in depth
-        .blocks()
-        .iter()
-        .zip(stage_widths.iter())
-        .enumerate()
-    {
+    for (stage, (&blocks, &width)) in depth.blocks().iter().zip(stage_widths.iter()).enumerate() {
         for block in 0..blocks {
             let stride = if stage > 0 && block == 0 { 2 } else { 1 };
             let label = format!("stage{}-block{}", stage + 1, block + 1);

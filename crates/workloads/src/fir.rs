@@ -45,7 +45,12 @@ fn fir_kernel() -> Kernel {
             // c[k] (same address in every lane)
             kb.vmov(v_coff, VectorSrc::Sreg(s_koff));
             kb.global_load(v_c, s_c, v_coff, 0, MemWidth::B32);
-            kb.vfma(v_acc, VectorSrc::Reg(v_x), VectorSrc::Reg(v_c), VectorSrc::Reg(v_acc));
+            kb.vfma(
+                v_acc,
+                VectorSrc::Reg(v_x),
+                VectorSrc::Reg(v_c),
+                VectorSrc::Reg(v_acc),
+            );
         });
         kb.global_store(v_acc, s_y, v_off, 0, MemWidth::B32);
     });
@@ -94,10 +99,7 @@ mod tests {
                 expect = x[i + k].mul_add(c[k], expect);
             }
             let got = gpu.mem().read_f32(yb + 4 * i as u64);
-            assert!(
-                (got - expect).abs() < 1e-4,
-                "elem {i}: {got} vs {expect}"
-            );
+            assert!((got - expect).abs() < 1e-4, "elem {i}: {got} vs {expect}");
         }
     }
 

@@ -60,7 +60,12 @@ pub fn guard_tid(
     s_n: Sreg,
     body: impl FnOnce(&mut KernelBuilder),
 ) {
-    kb.vcmp(CmpOp::Lt, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_n), false);
+    kb.vcmp(
+        CmpOp::Lt,
+        VectorSrc::Reg(v_tid),
+        VectorSrc::Sreg(s_n),
+        false,
+    );
     kb.if_vcc(body);
 }
 

@@ -8,7 +8,9 @@
 
 use crate::app::App;
 use crate::helpers::{alloc_f32, alloc_zeroed, rng};
-use gpu_isa::{Kernel, KernelBuilder, KernelLaunch, MemWidth, SAluOp, ScalarSrc, SpecialReg, VAluOp, VectorSrc};
+use gpu_isa::{
+    Kernel, KernelBuilder, KernelLaunch, MemWidth, SAluOp, ScalarSrc, SpecialReg, VAluOp, VectorSrc,
+};
 use gpu_sim::GpuSimulator;
 
 /// Tile side: 16×16 threads per workgroup (4 warps).
@@ -46,7 +48,12 @@ fn mm_kernel() -> Kernel {
     let s_wiw64 = kb.sreg();
     kb.salu(SAluOp::Mul, s_wiw64, s_wiw, 64i64);
     let v_t = kb.vreg();
-    kb.valu(VAluOp::Add, v_t, VectorSrc::Sreg(s_wiw64), VectorSrc::LaneId);
+    kb.valu(
+        VAluOp::Add,
+        v_t,
+        VectorSrc::Sreg(s_wiw64),
+        VectorSrc::LaneId,
+    );
     // ty = t / 16, tx = t % 16
     let v_ty = kb.vreg();
     let v_tx = kb.vreg();
@@ -60,8 +67,18 @@ fn mm_kernel() -> Kernel {
     kb.salu(SAluOp::Mul, s_tx16, s_tx, TILE as i64);
     let v_row = kb.vreg();
     let v_col = kb.vreg();
-    kb.valu(VAluOp::Add, v_row, VectorSrc::Sreg(s_ty16), VectorSrc::Reg(v_ty));
-    kb.valu(VAluOp::Add, v_col, VectorSrc::Sreg(s_tx16), VectorSrc::Reg(v_tx));
+    kb.valu(
+        VAluOp::Add,
+        v_row,
+        VectorSrc::Sreg(s_ty16),
+        VectorSrc::Reg(v_ty),
+    );
+    kb.valu(
+        VAluOp::Add,
+        v_col,
+        VectorSrc::Sreg(s_tx16),
+        VectorSrc::Reg(v_tx),
+    );
 
     // LDS addresses for this thread's slot: t*4 (A) and B_TILE_BASE + t*4 (B)
     let v_lds = kb.vreg();
@@ -72,7 +89,12 @@ fn mm_kernel() -> Kernel {
 
     // row * N (element index of the row start), reused in the loop
     let v_row_n = kb.vreg();
-    kb.valu(VAluOp::Mul, v_row_n, VectorSrc::Reg(v_row), VectorSrc::Sreg(s_n));
+    kb.valu(
+        VAluOp::Mul,
+        v_row_n,
+        VectorSrc::Reg(v_row),
+        VectorSrc::Sreg(s_n),
+    );
 
     let s_k0 = kb.sreg();
     let s_k0x16 = kb.sreg();
@@ -96,16 +118,51 @@ fn mm_kernel() -> Kernel {
     kb.for_uniform(s_k0, 0i64, ScalarSrc::Reg(s_tiles), |kb| {
         kb.salu(SAluOp::Mul, s_k0x16, s_k0, TILE as i64);
         // A[row, k0*16 + tx] -> lds[t]
-        kb.valu(VAluOp::Add, v_aoff, VectorSrc::Reg(v_row_n), VectorSrc::Sreg(s_k0x16));
-        kb.valu(VAluOp::Add, v_aoff, VectorSrc::Reg(v_aoff), VectorSrc::Reg(v_tx));
-        kb.valu(VAluOp::Shl, v_aoff, VectorSrc::Reg(v_aoff), VectorSrc::Imm(2));
+        kb.valu(
+            VAluOp::Add,
+            v_aoff,
+            VectorSrc::Reg(v_row_n),
+            VectorSrc::Sreg(s_k0x16),
+        );
+        kb.valu(
+            VAluOp::Add,
+            v_aoff,
+            VectorSrc::Reg(v_aoff),
+            VectorSrc::Reg(v_tx),
+        );
+        kb.valu(
+            VAluOp::Shl,
+            v_aoff,
+            VectorSrc::Reg(v_aoff),
+            VectorSrc::Imm(2),
+        );
         kb.global_load(v_aval, s_a, v_aoff, 0, MemWidth::B32);
         kb.lds_store(v_aval, v_lds, 0);
         // B[k0*16 + ty, col] -> lds[B_TILE + t]
-        kb.valu(VAluOp::Add, v_arow, VectorSrc::Sreg(s_k0x16), VectorSrc::Reg(v_ty));
-        kb.valu(VAluOp::Mul, v_brow, VectorSrc::Reg(v_arow), VectorSrc::Sreg(s_n));
-        kb.valu(VAluOp::Add, v_boff, VectorSrc::Reg(v_brow), VectorSrc::Reg(v_col));
-        kb.valu(VAluOp::Shl, v_boff, VectorSrc::Reg(v_boff), VectorSrc::Imm(2));
+        kb.valu(
+            VAluOp::Add,
+            v_arow,
+            VectorSrc::Sreg(s_k0x16),
+            VectorSrc::Reg(v_ty),
+        );
+        kb.valu(
+            VAluOp::Mul,
+            v_brow,
+            VectorSrc::Reg(v_arow),
+            VectorSrc::Sreg(s_n),
+        );
+        kb.valu(
+            VAluOp::Add,
+            v_boff,
+            VectorSrc::Reg(v_brow),
+            VectorSrc::Reg(v_col),
+        );
+        kb.valu(
+            VAluOp::Shl,
+            v_boff,
+            VectorSrc::Reg(v_boff),
+            VectorSrc::Imm(2),
+        );
         kb.global_load(v_bval, s_b, v_boff, 0, MemWidth::B32);
         kb.lds_store(v_bval, v_lds, B_TILE_BASE);
         kb.barrier();
@@ -113,21 +170,46 @@ fn mm_kernel() -> Kernel {
         kb.for_uniform(s_kk, 0i64, TILE as i64, |kb| {
             kb.salu(SAluOp::Shl, s_kk4, s_kk, 2i64);
             // a = ldsA[ty*16 + kk] at byte ty*64 + kk*4
-            kb.valu(VAluOp::Add, v_aaddr, VectorSrc::Reg(v_ty64), VectorSrc::Sreg(s_kk4));
+            kb.valu(
+                VAluOp::Add,
+                v_aaddr,
+                VectorSrc::Reg(v_ty64),
+                VectorSrc::Sreg(s_kk4),
+            );
             kb.lds_load(v_a, v_aaddr, 0);
             // b = ldsB[kk*16 + tx] at byte kk*64 + tx*4
             kb.salu(SAluOp::Shl, s_kk4, s_kk, 6i64);
-            kb.valu(VAluOp::Add, v_baddr, VectorSrc::Reg(v_tx4), VectorSrc::Sreg(s_kk4));
+            kb.valu(
+                VAluOp::Add,
+                v_baddr,
+                VectorSrc::Reg(v_tx4),
+                VectorSrc::Sreg(s_kk4),
+            );
             kb.lds_load(v_b, v_baddr, B_TILE_BASE);
-            kb.vfma(v_acc, VectorSrc::Reg(v_a), VectorSrc::Reg(v_b), VectorSrc::Reg(v_acc));
+            kb.vfma(
+                v_acc,
+                VectorSrc::Reg(v_a),
+                VectorSrc::Reg(v_b),
+                VectorSrc::Reg(v_acc),
+            );
         });
         kb.barrier();
     });
 
     // C[row*N + col] = acc
     let v_coff = kb.vreg();
-    kb.valu(VAluOp::Add, v_coff, VectorSrc::Reg(v_row_n), VectorSrc::Reg(v_col));
-    kb.valu(VAluOp::Shl, v_coff, VectorSrc::Reg(v_coff), VectorSrc::Imm(2));
+    kb.valu(
+        VAluOp::Add,
+        v_coff,
+        VectorSrc::Reg(v_row_n),
+        VectorSrc::Reg(v_col),
+    );
+    kb.valu(
+        VAluOp::Shl,
+        v_coff,
+        VectorSrc::Reg(v_coff),
+        VectorSrc::Imm(2),
+    );
     kb.global_store(v_acc, s_c, v_coff, 0, MemWidth::B32);
     Kernel::new(kb.finish().expect("mm kernel is well-formed"))
 }
@@ -138,7 +220,10 @@ fn mm_kernel() -> Kernel {
 /// # Panics
 /// Panics if `n` is not a positive multiple of 16.
 pub fn build(gpu: &mut GpuSimulator, n: u64, seed: u64) -> App {
-    assert!(n > 0 && n.is_multiple_of(TILE), "matrix side must be a multiple of 16");
+    assert!(
+        n > 0 && n.is_multiple_of(TILE),
+        "matrix side must be a multiple of 16"
+    );
     let mut r = rng(seed);
     let a = alloc_f32(gpu, n * n, -1.0, 1.0, &mut r);
     let b = alloc_f32(gpu, n * n, -1.0, 1.0, &mut r);

@@ -72,7 +72,12 @@ fn gather_kernel() -> Kernel {
                 kb.global_load(v_s, s_src, v_joff, 0, MemWidth::B32);
                 kb.valu(VAluOp::Shl, v_s, VectorSrc::Reg(v_s), VectorSrc::Imm(2));
                 kb.global_load(v_c, s_contrib, v_s, 0, MemWidth::B32);
-                kb.valu(VAluOp::FAdd, v_acc, VectorSrc::Reg(v_acc), VectorSrc::Reg(v_c));
+                kb.valu(
+                    VAluOp::FAdd,
+                    v_acc,
+                    VectorSrc::Reg(v_acc),
+                    VectorSrc::Reg(v_c),
+                );
                 kb.valu(VAluOp::Add, v_j, VectorSrc::Reg(v_j), VectorSrc::Imm(1));
             },
         );

@@ -32,8 +32,18 @@ fn sc_kernel() -> Kernel {
         // y = tid / W, x = tid % W
         let v_y = kb.vreg();
         let v_x = kb.vreg();
-        kb.valu(VAluOp::Div, v_y, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_w));
-        kb.valu(VAluOp::Rem, v_x, VectorSrc::Reg(v_tid), VectorSrc::Sreg(s_w));
+        kb.valu(
+            VAluOp::Div,
+            v_y,
+            VectorSrc::Reg(v_tid),
+            VectorSrc::Sreg(s_w),
+        );
+        kb.valu(
+            VAluOp::Rem,
+            v_x,
+            VectorSrc::Reg(v_tid),
+            VectorSrc::Sreg(s_w),
+        );
         // H-1, W-1 for clamping
         let s_h1 = kb.sreg();
         let s_w1 = kb.sreg();
@@ -55,19 +65,54 @@ fn sc_kernel() -> Kernel {
         kb.for_uniform(s_ky, 0i64, MASK, |kb| {
             kb.for_uniform(s_kx, 0i64, MASK, |kb| {
                 // iy = clamp(y + ky - 1, 0, H-1)
-                kb.valu(VAluOp::Add, v_iy, VectorSrc::Reg(v_y), VectorSrc::Sreg(s_ky));
+                kb.valu(
+                    VAluOp::Add,
+                    v_iy,
+                    VectorSrc::Reg(v_y),
+                    VectorSrc::Sreg(s_ky),
+                );
                 kb.valu(VAluOp::Sub, v_iy, VectorSrc::Reg(v_iy), VectorSrc::Imm(1));
                 kb.valu(VAluOp::IMax, v_iy, VectorSrc::Reg(v_iy), VectorSrc::Imm(0));
-                kb.valu(VAluOp::IMin, v_iy, VectorSrc::Reg(v_iy), VectorSrc::Sreg(s_h1));
+                kb.valu(
+                    VAluOp::IMin,
+                    v_iy,
+                    VectorSrc::Reg(v_iy),
+                    VectorSrc::Sreg(s_h1),
+                );
                 // ix = clamp(x + kx - 1, 0, W-1)
-                kb.valu(VAluOp::Add, v_ix, VectorSrc::Reg(v_x), VectorSrc::Sreg(s_kx));
+                kb.valu(
+                    VAluOp::Add,
+                    v_ix,
+                    VectorSrc::Reg(v_x),
+                    VectorSrc::Sreg(s_kx),
+                );
                 kb.valu(VAluOp::Sub, v_ix, VectorSrc::Reg(v_ix), VectorSrc::Imm(1));
                 kb.valu(VAluOp::IMax, v_ix, VectorSrc::Reg(v_ix), VectorSrc::Imm(0));
-                kb.valu(VAluOp::IMin, v_ix, VectorSrc::Reg(v_ix), VectorSrc::Sreg(s_w1));
+                kb.valu(
+                    VAluOp::IMin,
+                    v_ix,
+                    VectorSrc::Reg(v_ix),
+                    VectorSrc::Sreg(s_w1),
+                );
                 // in[(iy*W + ix)*4]
-                kb.valu(VAluOp::Mul, v_ioff, VectorSrc::Reg(v_iy), VectorSrc::Sreg(s_w));
-                kb.valu(VAluOp::Add, v_ioff, VectorSrc::Reg(v_ioff), VectorSrc::Reg(v_ix));
-                kb.valu(VAluOp::Shl, v_ioff, VectorSrc::Reg(v_ioff), VectorSrc::Imm(2));
+                kb.valu(
+                    VAluOp::Mul,
+                    v_ioff,
+                    VectorSrc::Reg(v_iy),
+                    VectorSrc::Sreg(s_w),
+                );
+                kb.valu(
+                    VAluOp::Add,
+                    v_ioff,
+                    VectorSrc::Reg(v_ioff),
+                    VectorSrc::Reg(v_ix),
+                );
+                kb.valu(
+                    VAluOp::Shl,
+                    v_ioff,
+                    VectorSrc::Reg(v_ioff),
+                    VectorSrc::Imm(2),
+                );
                 kb.global_load(v_in, s_in, v_ioff, 0, MemWidth::B32);
                 // mask[(ky*3 + kx)*4] (broadcast)
                 kb.salu(SAluOp::Mul, s_moff, s_ky, MASK);
@@ -75,7 +120,12 @@ fn sc_kernel() -> Kernel {
                 kb.salu(SAluOp::Shl, s_tmp, s_tmp, 2i64);
                 kb.vmov(v_moff, VectorSrc::Sreg(s_tmp));
                 kb.global_load(v_m, s_mask, v_moff, 0, MemWidth::B32);
-                kb.vfma(v_acc, VectorSrc::Reg(v_in), VectorSrc::Reg(v_m), VectorSrc::Reg(v_acc));
+                kb.vfma(
+                    v_acc,
+                    VectorSrc::Reg(v_in),
+                    VectorSrc::Reg(v_m),
+                    VectorSrc::Reg(v_acc),
+                );
             });
         });
         kb.global_store(v_acc, s_out, v_off, 0, MemWidth::B32);
@@ -131,12 +181,11 @@ mod tests {
                 for kx in 0..3i64 {
                     let iy = clamp(y + ky - 1, h as i64 - 1);
                     let ix = clamp(x + kx - 1, w as i64 - 1);
-                    expect = img[iy * w as usize + ix].mul_add(mask[(ky * 3 + kx) as usize], expect);
+                    expect =
+                        img[iy * w as usize + ix].mul_add(mask[(ky * 3 + kx) as usize], expect);
                 }
             }
-            let got = gpu
-                .mem()
-                .read_f32(ob + 4 * (y as u64 * w + x as u64));
+            let got = gpu.mem().read_f32(ob + 4 * (y as u64 * w + x as u64));
             assert!(
                 (got - expect).abs() < 1e-3,
                 "pixel ({x},{y}): {got} vs {expect}"

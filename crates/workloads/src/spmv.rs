@@ -7,7 +7,9 @@
 //! the gather `x[col[j]]` produces irregular memory accesses.
 
 use crate::app::App;
-use crate::helpers::{alloc_f32, alloc_u32_slice, alloc_zeroed, guard_tid, rng, tid_and_offset, wg_count};
+use crate::helpers::{
+    alloc_f32, alloc_u32_slice, alloc_zeroed, guard_tid, rng, tid_and_offset, wg_count,
+};
 use gpu_isa::{CmpOp, Kernel, KernelBuilder, KernelLaunch, MemWidth, VAluOp, VectorSrc};
 use gpu_sim::GpuSimulator;
 use rand::Rng;
@@ -109,7 +111,12 @@ fn spmv_kernel() -> Kernel {
                 // x[col]
                 kb.valu(VAluOp::Shl, v_c, VectorSrc::Reg(v_c), VectorSrc::Imm(2));
                 kb.global_load(v_xv, s_x, v_c, 0, MemWidth::B32);
-                kb.vfma(v_acc, VectorSrc::Reg(v_v), VectorSrc::Reg(v_xv), VectorSrc::Reg(v_acc));
+                kb.vfma(
+                    v_acc,
+                    VectorSrc::Reg(v_v),
+                    VectorSrc::Reg(v_xv),
+                    VectorSrc::Reg(v_acc),
+                );
                 kb.valu(VAluOp::Add, v_j, VectorSrc::Reg(v_j), VectorSrc::Imm(1));
             },
         );
@@ -175,11 +182,7 @@ mod tests {
     #[test]
     fn matrix_rows_are_skewed() {
         let m = CsrMatrix::random(1000, 16, 3);
-        let lens: Vec<u32> = m
-            .row_ptr
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .collect();
+        let lens: Vec<u32> = m.row_ptr.windows(2).map(|w| w[1] - w[0]).collect();
         let max = *lens.iter().max().unwrap();
         let mean = m.nnz() as f64 / 1000.0;
         assert!(max as f64 > 2.0 * mean, "max {max} mean {mean}");

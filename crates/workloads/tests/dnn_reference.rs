@@ -28,19 +28,15 @@ fn conv2d_matches_host_reference() {
     let (oh, ow) = (6u32, 6u32);
 
     let input = read_tensor(&gpu, input_cp.buf, in_shape.len() as usize);
-    let weights = read_tensor(
-        &gpu,
-        weights_buf,
-        (out_c * in_c * k * k) as usize,
-    );
+    let weights = read_tensor(&gpu, weights_buf, (out_c * in_c * k * k) as usize);
     let got = read_tensor(&gpu, out_cp.buf, (out_c * oh * ow) as usize);
 
     let at = |c: u32, y: i64, x: i64| -> f32 {
         if y < 0 || x < 0 || y >= in_shape.h as i64 || x >= in_shape.w as i64 {
             0.0
         } else {
-            input[(c as usize * in_shape.h as usize + y as usize) * in_shape.w as usize
-                + x as usize]
+            input
+                [(c as usize * in_shape.h as usize + y as usize) * in_shape.w as usize + x as usize]
         }
     };
     for oc in 0..out_c {
@@ -52,8 +48,7 @@ fn conv2d_matches_host_reference() {
                         for kx in 0..k {
                             let iy = (oy * stride + ky) as i64 - pad as i64;
                             let ix = (ox * stride + kx) as i64 - pad as i64;
-                            let w = weights
-                                [(((oc * in_c + ic) * k + ky) * k + kx) as usize];
+                            let w = weights[(((oc * in_c + ic) * k + ky) * k + kx) as usize];
                             acc = at(ic, iy, ix).mul_add(w, acc);
                         }
                     }

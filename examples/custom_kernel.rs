@@ -30,16 +30,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         kb.global_load(v_x, s_x, v_off, 0, MemWidth::B32);
         kb.global_load(v_y, s_y, v_off, 0, MemWidth::B32);
         // y = 2.5 * x + y
-        kb.vfma(v_y, VectorSrc::Reg(v_x), VectorSrc::ImmF32(2.5), VectorSrc::Reg(v_y));
+        kb.vfma(
+            v_y,
+            VectorSrc::Reg(v_x),
+            VectorSrc::ImmF32(2.5),
+            VectorSrc::Reg(v_y),
+        );
         kb.global_store(v_y, s_y, v_off, 0, MemWidth::B32);
     });
     let program = kb.finish()?;
 
     println!("disassembly:\n{program}");
-    println!(
-        "Photon basic blocks: {:?}",
-        program.basic_blocks().blocks()
-    );
+    println!("Photon basic blocks: {:?}", program.basic_blocks().blocks());
 
     // --- run it ---------------------------------------------------------
     let mut gpu = GpuSimulator::new(GpuConfig::tiny());
@@ -59,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- verify ----------------------------------------------------------
     for i in [0u64, 1, 2, 3, 100, 101] {
-        let expect = if i % 2 == 1 { 2.5 * i as f32 + 1.0 } else { 1.0 };
+        let expect = if i % 2 == 1 {
+            2.5 * i as f32 + 1.0
+        } else {
+            1.0
+        };
         let got = gpu.mem().read_f32(y + 4 * i);
         assert_eq!(got, expect, "element {i}");
         println!("y[{i}] = {got}");

@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let error = (full.total_cycles() as f64 - sampled.total_cycles() as f64).abs()
         / full.total_cycles() as f64;
-    println!("full detailed : {} cycles in {:?}", full.total_cycles(), full_wall);
+    println!(
+        "full detailed : {} cycles in {:?}",
+        full.total_cycles(),
+        full_wall
+    );
     println!(
         "photon        : {} cycles in {:?}",
         sampled.total_cycles(),

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# The full gate a change must pass before merging. Mirrors what the
+# tier-1 acceptance checks run, plus the telemetry feature matrix and a
+# smoke benchmark with regression check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (workspace, default features)"
+cargo test -q --workspace
+
+echo "==> cargo test (telemetry feature on)"
+cargo test -q -p gpu-telemetry --features enabled
+cargo test -q -p gpu-mem --features telemetry
+cargo test -q -p gpu-sim --features telemetry
+cargo test -q -p photon --features telemetry
+cargo test -q -p gpu-baselines --features telemetry
+cargo test -q -p photon-bench --features telemetry
+
+echo "==> clippy (default features)"
+scripts/lint.sh
+
+echo "==> clippy (telemetry feature on)"
+cargo clippy -p photon-bench --all-targets --features telemetry -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> smoke benchmark -> results/BENCH_smoke.json"
+cargo run -q --release -p photon-bench --features telemetry --bin report -- smoke
+cargo run -q --release -p photon-bench --features telemetry --bin report -- check
+
+echo "==> ci OK"

@@ -78,8 +78,7 @@ fn offline_reuse_skips_tracing() {
     // offline pass: same decisions, fewer functional instructions
     let mut gpu2 = GpuSimulator::new(cfg.clone());
     let app2 = Benchmark::Fir.build(&mut gpu2, 512, 3);
-    let mut offline =
-        PhotonController::with_offline(pcfg, cfg.num_cus as u64, restored.analyses);
+    let mut offline = PhotonController::with_offline(pcfg, cfg.num_cus as u64, restored.analyses);
     let offline_res = app2.run(&mut gpu2, &mut offline).unwrap();
 
     assert!(

@@ -55,7 +55,11 @@ fn problem_size_scales_kernel_time() {
     for warps in [64u64, 256, 1024] {
         let mut gpu = GpuSimulator::new(tiny());
         let app = Benchmark::Relu.build(&mut gpu, warps, 3);
-        cycles.push(app.run(&mut gpu, &mut NullController).unwrap().total_cycles());
+        cycles.push(
+            app.run(&mut gpu, &mut NullController)
+                .unwrap()
+                .total_cycles(),
+        );
     }
     assert!(cycles[0] < cycles[1] && cycles[1] < cycles[2], "{cycles:?}");
 }
@@ -65,7 +69,9 @@ fn determinism_across_runs() {
     let run = || {
         let mut gpu = GpuSimulator::new(tiny());
         let app = Benchmark::Mm.build(&mut gpu, 64, 21);
-        app.run(&mut gpu, &mut NullController).unwrap().total_cycles()
+        app.run(&mut gpu, &mut NullController)
+            .unwrap()
+            .total_cycles()
     };
     assert_eq!(run(), run(), "simulation must be deterministic");
 }

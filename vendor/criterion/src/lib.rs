@@ -100,11 +100,7 @@ impl Default for Criterion {
 }
 
 impl Criterion {
-    pub fn bench_function(
-        &mut self,
-        name: &str,
-        mut f: impl FnMut(&mut Bencher),
-    ) -> &mut Self {
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
         run_one(name, self.iters, &mut f);
         self
     }
@@ -134,7 +130,11 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         run_one(&format!("{}/{}", self.name, id), self.iters, &mut f);
         self
     }

@@ -315,8 +315,7 @@ pub mod __private {
     /// types (like `Option`) that accept `Null`.
     pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
         match v.get(name) {
-            Some(x) => T::deserialize(x)
-                .map_err(|e| DeError::new(format!("field `{name}`: {e}"))),
+            Some(x) => T::deserialize(x).map_err(|e| DeError::new(format!("field `{name}`: {e}"))),
             None => T::deserialize(&Value::Null)
                 .map_err(|_| DeError::new(format!("missing field `{name}`"))),
         }

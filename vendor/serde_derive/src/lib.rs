@@ -31,8 +31,14 @@ struct Variant {
 
 #[derive(Debug)]
 enum Item {
-    Struct { name: String, shape: Shape },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 struct Cursor {
@@ -363,10 +369,8 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     Shape::Named(fields) => {
-                        let binders: Vec<String> = fields
-                            .iter()
-                            .filter_map(|f| f.name.clone())
-                            .collect();
+                        let binders: Vec<String> =
+                            fields.iter().filter_map(|f| f.name.clone()).collect();
                         let payload = ser_named(fields, |f| f.to_string());
                         arms.push_str(&format!(
                             "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(\"{vn}\"\

@@ -90,16 +90,22 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
         Value::Array(items) => write_seq(out, indent, depth, '[', ']', items.iter(), |o, x, d| {
             write_value(o, x, indent, d)
         }),
-        Value::Object(fields) => {
-            write_seq(out, indent, depth, '{', '}', fields.iter(), |o, (k, x), d| {
+        Value::Object(fields) => write_seq(
+            out,
+            indent,
+            depth,
+            '{',
+            '}',
+            fields.iter(),
+            |o, (k, x), d| {
                 write_escaped(o, k);
                 o.push(':');
                 if indent.is_some() {
                     o.push(' ');
                 }
                 write_value(o, x, indent, d);
-            })
-        }
+            },
+        ),
     }
 }
 
