@@ -24,3 +24,12 @@ mod tbpoint;
 pub use pka::{PkaConfig, PkaController, PkaStats};
 pub use sieve::{SieveConfig, SieveController, SieveStats};
 pub use tbpoint::{TbPointConfig, TbPointController, TbPointStats};
+
+// Compile-time guarantee that every baseline controller can move to a
+// worker thread of the parallel experiment executor.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<PkaController>();
+    assert_send::<SieveController>();
+    assert_send::<TbPointController>();
+};

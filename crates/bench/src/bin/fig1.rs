@@ -1,4 +1,5 @@
 //! Regenerates the data behind Figure 1 of the paper (see DESIGN.md).
 fn main() {
-    photon_bench::figures::fig1();
+    let opts = photon_bench::cli::exec_options_from_args("fig1");
+    photon_bench::figures::fig1(&opts);
 }

@@ -1,4 +1,5 @@
 //! Regenerates the data behind Figure 11 of the paper (see DESIGN.md).
 fn main() {
-    photon_bench::figures::fig11();
+    let opts = photon_bench::cli::exec_options_from_args("fig11");
+    photon_bench::figures::fig11(&opts);
 }

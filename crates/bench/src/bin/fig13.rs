@@ -1,4 +1,5 @@
 //! Regenerates the data behind Figure 13 of the paper (see DESIGN.md).
 fn main() {
-    photon_bench::figures::fig13();
+    let opts = photon_bench::cli::exec_options_from_args("fig13");
+    photon_bench::figures::fig13(&opts);
 }

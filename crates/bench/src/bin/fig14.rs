@@ -1,4 +1,5 @@
 //! Regenerates the data behind Figure 14 of the paper (see DESIGN.md).
 fn main() {
-    photon_bench::figures::fig14();
+    let opts = photon_bench::cli::exec_options_from_args("fig14");
+    photon_bench::figures::fig14(&opts);
 }

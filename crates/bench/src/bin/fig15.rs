@@ -1,4 +1,5 @@
 //! Regenerates the data behind Figure 15 of the paper (see DESIGN.md).
 fn main() {
-    photon_bench::figures::fig15();
+    let opts = photon_bench::cli::exec_options_from_args("fig15");
+    photon_bench::figures::fig15(&opts);
 }

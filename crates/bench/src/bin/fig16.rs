@@ -1,4 +1,5 @@
 //! Regenerates the data behind Figure 16 of the paper (see DESIGN.md).
 fn main() {
-    photon_bench::figures::fig16();
+    let opts = photon_bench::cli::exec_options_from_args("fig16");
+    photon_bench::figures::fig16(&opts);
 }

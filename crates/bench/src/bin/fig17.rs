@@ -1,4 +1,5 @@
 //! Regenerates the data behind Figure 17 of the paper (see DESIGN.md).
 fn main() {
-    photon_bench::figures::fig17();
+    let opts = photon_bench::cli::exec_options_from_args("fig17");
+    photon_bench::figures::fig17(&opts);
 }

@@ -1,4 +1,5 @@
 //! Regenerates the data behind Figure 2 of the paper (see DESIGN.md).
 fn main() {
-    photon_bench::figures::fig2();
+    let opts = photon_bench::cli::exec_options_from_args("fig2");
+    photon_bench::figures::fig2(&opts);
 }

@@ -1,4 +1,5 @@
 //! Regenerates the data behind Figure 3 of the paper (see DESIGN.md).
 fn main() {
-    photon_bench::figures::fig3();
+    let opts = photon_bench::cli::exec_options_from_args("fig3");
+    photon_bench::figures::fig3(&opts);
 }

@@ -1,4 +1,5 @@
 //! Regenerates the data behind Figure 4 of the paper (see DESIGN.md).
 fn main() {
-    photon_bench::figures::fig4();
+    let opts = photon_bench::cli::exec_options_from_args("fig4");
+    photon_bench::figures::fig4(&opts);
 }

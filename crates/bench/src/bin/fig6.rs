@@ -1,4 +1,7 @@
 //! Regenerates the data behind Figure 6 of the paper (see DESIGN.md).
 fn main() {
+    // Accepts the common executor flags for a uniform CLI, but the
+    // figure is one recorded inference — inherently sequential.
+    let _ = photon_bench::cli::exec_options_from_args("fig6");
     photon_bench::figures::fig6();
 }

@@ -1,4 +1,5 @@
 //! Regenerates the data behind Figure 8 of the paper (see DESIGN.md).
 fn main() {
-    photon_bench::figures::fig8();
+    let opts = photon_bench::cli::exec_options_from_args("fig8");
+    photon_bench::figures::fig8(&opts);
 }

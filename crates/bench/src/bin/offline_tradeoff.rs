@@ -1,4 +1,7 @@
 //! Regenerates the §6.3 online/offline tradeoff comparison.
 fn main() {
+    // Accepts the common executor flags for a uniform CLI, but the
+    // offline pass consumes what the online pass exports — sequential.
+    let _ = photon_bench::cli::exec_options_from_args("offline_tradeoff");
     photon_bench::figures::offline_tradeoff();
 }

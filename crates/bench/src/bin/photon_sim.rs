@@ -5,22 +5,26 @@
 //! $ photon_sim --workload mm --warps 4096 --method photon
 //! $ photon_sim --workload spmv --warps 1024 --method pka --arch mi100
 //! $ photon_sim --workload resnet152 --method photon
-//! $ photon_sim --workload vgg16 --method full --cus 16
+//! $ photon_sim --workload vgg16 --method full --cus 16 --no-cache
 //! ```
+//!
+//! Runs go through the same executor as the figure binaries, so a
+//! `--method full` run is served from (and feeds) the persistent
+//! reference cache under `results/cache/`.
 
-use gpu_sim::GpuSimulator;
-use gpu_telemetry::Telemetry;
-use gpu_workloads::dnn::DnnScale;
 use gpu_workloads::registry::{Benchmark, RealWorldApp};
 use photon::Levels;
-use photon_bench::harness::RunOutcome;
+use photon_bench::cli::parse_exec_options;
+use photon_bench::harness::{results_dir, RunOutcome};
 use photon_bench::report::{build_report, write_report};
-use photon_bench::{scaled_photon_config, try_run_app_method, Method};
+use photon_bench::specs::{dnn_scale, scaled_photon_config, WorkloadSpec, DEFAULT_SEED};
+use photon_bench::{run_specs, Method, RunSpec};
 
 fn usage() -> ! {
     eprintln!(
         "usage: photon_sim --workload <name> [--warps N] [--method full|photon|pka|tbpoint|sieve|bb|warp|kernel] \
-         [--arch r9nano|mi100] [--cus N] [--seed N] [--trace <file.trace.json>] [--report <name>]\n\
+         [--arch r9nano|mi100] [--cus N] [--seed N] [--jobs N] [--timeout SECS] [--no-cache] \
+         [--trace <file.trace.json>] [--report <name>]\n\
          workloads: aes fir sc mm relu spmv pr-<nodes> vgg16 vgg19 resnet18|34|50|101|152\n\
          --trace  writes a Chrome-trace JSON of the run (build with --features telemetry)\n\
          --report writes results/BENCH_<name>.json"
@@ -28,9 +32,9 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn parse_args() -> std::collections::HashMap<String, String> {
+fn parse_args(args: Vec<String>) -> std::collections::HashMap<String, String> {
     let mut out = std::collections::HashMap::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = args.into_iter();
     while let Some(k) = args.next() {
         let Some(key) = k.strip_prefix("--") else {
             usage()
@@ -42,7 +46,15 @@ fn parse_args() -> std::collections::HashMap<String, String> {
 }
 
 fn main() {
-    let args = parse_args();
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = match parse_exec_options(&mut raw) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            usage();
+        }
+    };
+    let args = parse_args(raw);
     let workload = args.get("workload").cloned().unwrap_or_else(|| usage());
     let warps: u64 = args
         .get("warps")
@@ -51,7 +63,7 @@ fn main() {
     let seed: u64 = args
         .get("seed")
         .map(|s| s.parse().unwrap_or_else(|_| usage()))
-        .unwrap_or(7);
+        .unwrap_or(DEFAULT_SEED);
     let method = match args.get("method").map(String::as_str).unwrap_or("photon") {
         "full" => Method::Full,
         "photon" => Method::Photon(Levels::all()),
@@ -73,60 +85,64 @@ fn main() {
         gpu_cfg = gpu_cfg.with_num_cus(n);
     }
 
-    let scale = DnnScale {
-        input_hw: 64,
-        channel_div: 4,
-    };
+    let scale = dnn_scale();
     let lower = workload.to_lowercase();
-    let builder: Box<dyn Fn(&mut GpuSimulator) -> gpu_workloads::App> = match lower.as_str() {
-        "aes" => Box::new(move |g: &mut GpuSimulator| Benchmark::Aes.build(g, warps, seed)),
-        "fir" => Box::new(move |g: &mut GpuSimulator| Benchmark::Fir.build(g, warps, seed)),
-        "sc" => Box::new(move |g: &mut GpuSimulator| Benchmark::Sc.build(g, warps, seed)),
-        "mm" => Box::new(move |g: &mut GpuSimulator| Benchmark::Mm.build(g, warps, seed)),
-        "relu" => Box::new(move |g: &mut GpuSimulator| Benchmark::Relu.build(g, warps, seed)),
-        "spmv" => Box::new(move |g: &mut GpuSimulator| Benchmark::Spmv.build(g, warps, seed)),
-        "vgg16" => Box::new(move |g: &mut GpuSimulator| RealWorldApp::Vgg16.build(g, scale, seed)),
-        "vgg19" => Box::new(move |g: &mut GpuSimulator| RealWorldApp::Vgg19.build(g, scale, seed)),
-        "resnet18" => {
-            Box::new(move |g: &mut GpuSimulator| RealWorldApp::ResNet18.build(g, scale, seed))
-        }
-        "resnet34" => {
-            Box::new(move |g: &mut GpuSimulator| RealWorldApp::ResNet34.build(g, scale, seed))
-        }
-        "resnet50" => {
-            Box::new(move |g: &mut GpuSimulator| RealWorldApp::ResNet50.build(g, scale, seed))
-        }
-        "resnet101" => {
-            Box::new(move |g: &mut GpuSimulator| RealWorldApp::ResNet101.build(g, scale, seed))
-        }
-        "resnet152" => {
-            Box::new(move |g: &mut GpuSimulator| RealWorldApp::ResNet152.build(g, scale, seed))
-        }
+    let real_world = |app: RealWorldApp| WorkloadSpec::RealWorld { app, scale };
+    let bench = |b: Benchmark| WorkloadSpec::Bench { bench: b, warps };
+    let workload_spec = match lower.as_str() {
+        "aes" => bench(Benchmark::Aes),
+        "fir" => bench(Benchmark::Fir),
+        "sc" => bench(Benchmark::Sc),
+        "mm" => bench(Benchmark::Mm),
+        "relu" => bench(Benchmark::Relu),
+        "spmv" => bench(Benchmark::Spmv),
+        "vgg16" => real_world(RealWorldApp::Vgg16),
+        "vgg19" => real_world(RealWorldApp::Vgg19),
+        "resnet18" => real_world(RealWorldApp::ResNet18),
+        "resnet34" => real_world(RealWorldApp::ResNet34),
+        "resnet50" => real_world(RealWorldApp::ResNet50),
+        "resnet101" => real_world(RealWorldApp::ResNet101),
+        "resnet152" => real_world(RealWorldApp::ResNet152),
         other => {
             if let Some(nodes) = other.strip_prefix("pr-") {
                 let n: u32 = nodes.parse().unwrap_or_else(|_| usage());
-                Box::new(move |g: &mut GpuSimulator| gpu_workloads::pagerank::build(g, n, 10, seed))
+                real_world(RealWorldApp::PageRank(n))
             } else {
                 usage()
             }
         }
     };
+    let spec = RunSpec {
+        workload: workload_spec,
+        method: method.clone(),
+        gpu: gpu_cfg.clone(),
+        photon: scaled_photon_config(Levels::all()),
+        seed,
+    };
 
-    let pcfg = scaled_photon_config(Levels::all());
-    let tel = Telemetry::default();
     let trace_path = args.get("trace");
     if trace_path.is_some() {
         if !gpu_telemetry::tracing_compiled() {
             eprintln!("warning: built without `--features telemetry`; the trace will be empty");
         }
-        tel.enable_tracing(1 << 20);
+        opts.trace_capacity = 1 << 20;
     }
 
-    let run = try_run_app_method(&gpu_cfg, &workload, builder.as_ref(), &method, &pcfg, &tel);
+    let report = run_specs(std::slice::from_ref(&spec), &opts);
+    let result = &report.results[0];
+    if result.from_cache {
+        println!(
+            "(served from reference cache under {})",
+            opts.cache_dir
+                .clone()
+                .unwrap_or_else(|| results_dir().join("cache"))
+                .display()
+        );
+    }
 
     if let Some(path) = trace_path {
-        let log = tel.take_events();
-        match std::fs::write(path, gpu_telemetry::export::chrome_trace_json(&log)) {
+        let log = &result.trace;
+        match std::fs::write(path, gpu_telemetry::export::chrome_trace_json(log)) {
             Ok(()) => println!(
                 "(wrote {path} — {} events, {} dropped)",
                 log.events.len(),
@@ -136,24 +152,19 @@ fn main() {
         }
     }
 
-    let outcome = match run {
-        Ok(m) => RunOutcome::Completed(m),
-        Err(e) => RunOutcome::Skipped {
-            workload: workload.clone(),
-            method: method.name(),
-            reason: format!("simulation error: {e}"),
-            error: Some(format!("{e:?}")),
-        },
-    };
     if let Some(report_name) = args.get("report") {
-        let report = build_report(report_name, std::slice::from_ref(&outcome), tel.snapshot());
+        let report = build_report(
+            report_name,
+            std::slice::from_ref(&result.outcome),
+            result.metrics.clone(),
+        );
         match write_report(&report) {
             Ok(path) => println!("(wrote {})", path.display()),
             Err(e) => eprintln!("warning: could not write report: {e}"),
         }
     }
 
-    match outcome {
+    match &result.outcome {
         RunOutcome::Completed(m) => {
             println!(
                 "{} on {} ({} CUs) under {}:",

@@ -2,79 +2,87 @@
 //! `results/BENCH_<app>.json` files.
 //!
 //! ```console
-//! $ report smoke            # run the smoke workload, write BENCH_smoke.json
-//! $ report show             # table over every results/BENCH_*.json
-//! $ report check            # compare against results/baselines/, exit 1 on regression
+//! $ report smoke                    # run the smoke grid, write BENCH_smoke.json
+//! $ report smoke --jobs 2           # same grid, fanned over 2 workers
+//! $ report smoke --require-cached   # fail unless every Full run was a cache hit
+//! $ report show                     # table over every results/BENCH_*.json
+//! $ report check                    # compare against results/baselines/, exit 1 on regression
 //! ```
 
-use gpu_sim::GpuConfig;
-use gpu_telemetry::Telemetry;
-use gpu_workloads::registry::Benchmark;
-use photon::Levels;
-use photon_bench::harness::{results_dir, scaled_photon_config, Method, RunOutcome};
+use gpu_telemetry::MetricsSnapshot;
+use photon_bench::cli::{parse_exec_options, usage as exec_usage};
+use photon_bench::harness::{results_dir, Method, RunOutcome};
 use photon_bench::report::{
     build_report, check_against_baselines, load_all_reports, summary_table, write_report,
 };
-use photon_bench::try_run_app_method;
+use photon_bench::specs::smoke_grid;
+use photon_bench::{run_specs, ExecOptions};
 
 fn usage() -> ! {
-    eprintln!("usage: report <smoke|show|check>");
+    eprintln!(
+        "usage: report <smoke|show|check> [--require-cached]\n{}",
+        exec_usage("report smoke", " [--require-cached]")
+    );
     std::process::exit(2);
 }
 
-/// Runs the fixed smoke workload (small FIR, Full + Photon) and writes
-/// `results/BENCH_smoke.json`. With the `telemetry` feature the Photon
-/// run's events are exported to `results/TRACE_smoke.trace.json`.
-fn smoke() {
-    // Large enough that Photon's warp-sampling actually triggers (so
-    // coverage/speedup are non-trivial), small enough to finish in
-    // seconds.
-    let gpu_cfg = GpuConfig::r9_nano().with_num_cus(4);
-    let pcfg = scaled_photon_config(Levels::all());
-    let (warps, seed) = (2048, 7);
-    let tel = Telemetry::default();
-
-    let mut outcomes = Vec::new();
-    for method in [Method::Full, Method::Photon(Levels::all())] {
-        if method != Method::Full {
-            // Trace only the sampled run; the detailed run would dwarf
-            // the ring with per-warp events.
-            tel.enable_tracing(1 << 16);
-        }
-        let out = match try_run_app_method(
-            &gpu_cfg,
-            "smoke",
-            &|gpu| Benchmark::Fir.build(gpu, warps, seed),
-            &method,
-            &pcfg,
-            &tel,
-        ) {
-            Ok(m) => RunOutcome::Completed(m),
-            Err(e) => RunOutcome::Skipped {
-                workload: "smoke".to_string(),
-                method: method.name(),
-                reason: format!("simulation error: {e}"),
-                error: Some(format!("{e:?}")),
-            },
-        };
-        outcomes.push(out);
+/// Runs the fixed smoke grid (small FIR, Full + Photon) through the
+/// executor and writes `results/BENCH_smoke.json`. With the `telemetry`
+/// feature the Photon run's events are exported to
+/// `results/TRACE_smoke.trace.json`.
+///
+/// Each run owns a private `Telemetry`; the report merges the
+/// per-run snapshots explicitly, so concurrent runs can never bleed
+/// counters into each other (the old shared-handle smoke run mixed both
+/// runs' metrics into one registry).
+fn smoke(mut opts: ExecOptions, require_cached: bool) {
+    opts.trace_capacity = 1 << 16;
+    let grid = smoke_grid();
+    let report = run_specs(&grid, &opts);
+    println!(
+        "(smoke grid: {} specs, {} executed, {} cache hits, jobs={})",
+        report.stats.total, report.stats.executed, report.stats.cache_hits, report.stats.jobs
+    );
+    if require_cached && report.stats.full_runs_executed > 0 {
+        eprintln!(
+            "error: --require-cached but {} full-detailed run(s) were re-simulated",
+            report.stats.full_runs_executed
+        );
+        std::process::exit(1);
     }
 
     if gpu_telemetry::tracing_compiled() {
-        let log = tel.take_events();
-        let path = results_dir().join("TRACE_smoke.trace.json");
-        match std::fs::write(&path, gpu_telemetry::export::chrome_trace_json(&log)) {
-            Ok(()) => println!(
-                "(wrote {} — {} events, {} dropped)",
-                path.display(),
-                log.events.len(),
-                log.dropped
-            ),
-            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        // Export the Photon run's trace; the detailed run's would dwarf
+        // the ring with per-warp events.
+        if let Some(r) = report
+            .results
+            .iter()
+            .find(|r| r.spec.method != Method::Full)
+        {
+            let path = results_dir().join("TRACE_smoke.trace.json");
+            match std::fs::write(&path, gpu_telemetry::export::chrome_trace_json(&r.trace)) {
+                Ok(()) => println!(
+                    "(wrote {} — {} events, {} dropped)",
+                    path.display(),
+                    r.trace.events.len(),
+                    r.trace.dropped
+                ),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
         }
     }
 
-    let report = build_report("smoke", &outcomes, tel.snapshot());
+    let mut metrics = MetricsSnapshot::default();
+    let mut outcomes = Vec::new();
+    for r in &report.results {
+        metrics.merge(&r.metrics);
+        let mut outcome = r.outcome.clone();
+        if let RunOutcome::Completed(m) = &mut outcome {
+            m.workload = "smoke".to_string();
+        }
+        outcomes.push(outcome);
+    }
+    let report = build_report("smoke", &outcomes, metrics);
     match write_report(&report) {
         Ok(path) => println!("(wrote {})", path.display()),
         Err(e) => {
@@ -128,10 +136,24 @@ fn check() {
 }
 
 fn main() {
-    match std::env::args().nth(1).as_deref() {
-        Some("smoke") => smoke(),
-        Some("show") => show(),
-        Some("check") => check(),
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_exec_options(&mut args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            usage();
+        }
+    };
+    let require_cached = if let Some(i) = args.iter().position(|a| a == "--require-cached") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    match (args.first().map(String::as_str), args.len()) {
+        (Some("smoke"), 1) => smoke(opts, require_cached),
+        (Some("show"), 1) => show(),
+        (Some("check"), 1) => check(),
         _ => usage(),
     }
 }

@@ -1,5 +1,8 @@
 //! Prints Tables 1 and 2 of the paper.
 fn main() {
+    // Accepts the common executor flags for a uniform CLI; the tables
+    // print static configuration, no simulations run.
+    let _ = photon_bench::cli::exec_options_from_args("tables");
     photon_bench::figures::table1();
     photon_bench::figures::table2();
 }

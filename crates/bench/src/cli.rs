@@ -1,0 +1,116 @@
+//! Shared command-line surface of the figure/table binaries: every
+//! experiment binary accepts the executor flags parsed here.
+//!
+//! ```console
+//! $ fig13 --jobs 8              # fan the grid over 8 workers
+//! $ fig13 --jobs 1 --no-cache   # sequential, cold reference runs
+//! $ PHOTON_BENCH_CACHE=0 fig14  # disable the persistent cache
+//! ```
+
+use crate::executor::ExecOptions;
+use std::time::Duration;
+
+/// Renders the common usage block for a binary's `--help`.
+pub fn usage(bin: &str, extra: &str) -> String {
+    format!(
+        "usage: {bin} [--jobs N] [--timeout SECS] [--no-cache]{extra}\n\
+         \x20 --jobs N        worker threads (default: available parallelism)\n\
+         \x20 --timeout SECS  per-run wall-clock budget before a run is skipped\n\
+         \x20 --no-cache      bypass the persistent results/cache/ reference cache\n\
+         \x20                 (PHOTON_BENCH_CACHE=0 does the same)"
+    )
+}
+
+/// Whether the environment disables the persistent reference cache.
+pub fn cache_enabled_by_env() -> bool {
+    !std::env::var("PHOTON_BENCH_CACHE").is_ok_and(|v| v == "0")
+}
+
+/// Parses the executor flags out of `args`, leaving unrecognized
+/// arguments untouched (in order) for the binary's own parsing.
+///
+/// # Errors
+/// Returns a rendered message for malformed values (non-numeric
+/// `--jobs` / `--timeout`, or a flag missing its value).
+pub fn parse_exec_options(args: &mut Vec<String>) -> Result<ExecOptions, String> {
+    let mut opts = ExecOptions {
+        cache: cache_enabled_by_env(),
+        ..ExecOptions::default()
+    };
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.drain(..);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                opts.jobs = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--jobs: not a number: {v}"))?
+                    .max(1);
+            }
+            "--timeout" => {
+                let v = it.next().ok_or("--timeout needs a value")?;
+                let secs = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--timeout: not a number: {v}"))?;
+                opts.timeout = Duration::from_secs(secs.max(1));
+            }
+            "--no-cache" => opts.cache = false,
+            _ => rest.push(a),
+        }
+    }
+    drop(it);
+    *args = rest;
+    Ok(opts)
+}
+
+/// Parses the executor flags from the process arguments, exiting with
+/// the usage text on malformed input or leftover unknown flags. For
+/// binaries whose *only* arguments are the executor flags.
+pub fn exec_options_from_args(bin: &str) -> ExecOptions {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_exec_options(&mut args) {
+        Ok(opts) if args.is_empty() => opts,
+        Ok(_) => {
+            eprintln!("unknown arguments: {args:?}\n{}", usage(bin, ""));
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("{e}\n{}", usage(bin, ""));
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_strips_exec_flags() {
+        let mut args: Vec<String> = ["--jobs", "3", "--keep", "--timeout", "9", "--no-cache"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_exec_options(&mut args).unwrap();
+        assert_eq!(opts.jobs, 3);
+        assert_eq!(opts.timeout, Duration::from_secs(9));
+        assert!(!opts.cache);
+        assert_eq!(args, vec!["--keep".to_string()]);
+    }
+
+    #[test]
+    fn rejects_malformed_values() {
+        let mut args = vec!["--jobs".to_string(), "many".to_string()];
+        assert!(parse_exec_options(&mut args).is_err());
+        let mut args = vec!["--timeout".to_string()];
+        assert!(parse_exec_options(&mut args).is_err());
+    }
+
+    #[test]
+    fn jobs_clamped_to_one() {
+        let mut args = vec!["--jobs".to_string(), "0".to_string()];
+        let opts = parse_exec_options(&mut args).unwrap();
+        assert_eq!(opts.jobs, 1);
+    }
+}

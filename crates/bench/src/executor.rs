@@ -1,0 +1,479 @@
+//! The parallel experiment executor: [`RunSpec`] jobs fanned out over a
+//! work-stealing pool, with full-detailed reference runs deduplicated
+//! through the [`RefCache`].
+//!
+//! ## Job model
+//!
+//! Every job is self-contained: the worker constructs a fresh
+//! `GpuSimulator`, application, controller, and **per-run**
+//! [`Telemetry`] from its [`RunSpec`], so concurrent runs share no
+//! mutable state and scheduling order cannot affect any measurement.
+//! Results are written back by job index — the output order equals the
+//! spec order regardless of which worker finished first, and a suite
+//! executed with `--jobs 1` and `--jobs N` is bit-identical in
+//! everything but wall-clock fields.
+//!
+//! Each run keeps the harness guardrails: it executes behind
+//! `catch_unwind` and a wall-clock timeout on a dedicated run thread
+//! (the pool worker blocks on it), so a panicking or wedged
+//! configuration becomes a [`RunOutcome::Skipped`] while its siblings
+//! continue. A timed-out run thread is abandoned, never joined into the
+//! pool.
+
+use crate::harness::{panic_reason, try_run_app_method, Measurement, RunOutcome};
+use crate::refcache::{reference_key, RefCache};
+use crate::specs::{Method, RunSpec};
+use gpu_telemetry::{MetricsSnapshot, Telemetry, TraceLog};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How an executor invocation runs: worker count, per-run timeout, and
+/// reference-cache policy.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Worker threads (`--jobs N`); clamped to at least 1.
+    pub jobs: usize,
+    /// Wall-clock budget per run before it is skipped.
+    pub timeout: Duration,
+    /// Whether completed `Method::Full` runs are served from / stored
+    /// to the persistent reference cache (`PHOTON_BENCH_CACHE=0`
+    /// disables it; in-process deduplication still applies).
+    pub cache: bool,
+    /// Cache directory override; `None` means `results/cache/`. Tests
+    /// point this at a temp directory so parallel test binaries never
+    /// race on env vars or a shared cache.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Ring capacity for per-run event tracing (0 = off; only recorded
+    /// when the `telemetry` feature is compiled in).
+    pub trace_capacity: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            jobs: default_jobs(),
+            timeout: Duration::from_secs(1800),
+            cache: true,
+            cache_dir: None,
+            trace_capacity: 0,
+        }
+    }
+}
+
+/// The default worker count: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One executed (or cache-served) spec: the outcome plus the run's own
+/// telemetry. Metrics and trace are empty for cache hits and for runs
+/// deduplicated against an identical sibling spec.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The spec this result answers.
+    pub spec: RunSpec,
+    /// Measurement or structured skip.
+    pub outcome: RunOutcome,
+    /// The run's private metrics snapshot (merge explicitly across runs
+    /// with [`MetricsSnapshot::merge`]).
+    pub metrics: MetricsSnapshot,
+    /// The run's private trace (empty when tracing is off).
+    pub trace: TraceLog,
+    /// True when the measurement came from the persistent reference
+    /// cache instead of a simulation.
+    pub from_cache: bool,
+}
+
+impl RunResult {
+    /// The measurement, if the run completed.
+    pub fn measurement(&self) -> Option<&Measurement> {
+        self.outcome.measurement()
+    }
+}
+
+/// Counters describing what an executor invocation actually did — the
+/// warm-cache CI assertion reads `full_runs_executed`.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct ExecStats {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Specs submitted.
+    pub total: usize,
+    /// Simulations actually executed (after dedup and cache hits).
+    pub executed: usize,
+    /// `Method::Full` simulations actually executed. Zero on a warm
+    /// cache.
+    pub full_runs_executed: usize,
+    /// Specs served from the persistent reference cache.
+    pub cache_hits: usize,
+    /// Specs answered by an identical sibling spec in the same
+    /// invocation.
+    pub deduped: usize,
+    /// Runs that ended as [`RunOutcome::Skipped`].
+    pub skipped: usize,
+}
+
+/// Results (in spec order) plus execution statistics.
+#[derive(Debug)]
+pub struct ExecReport {
+    /// One result per submitted spec, in submission order.
+    pub results: Vec<RunResult>,
+    /// What the executor did to produce them.
+    pub stats: ExecStats,
+}
+
+impl ExecReport {
+    /// The completed measurements, in submission order, panicking on
+    /// the first skip with its recorded reason. Figures that cannot
+    /// render partial grids use this; sweeps that tolerate holes match
+    /// on [`RunResult::outcome`] instead.
+    ///
+    /// # Panics
+    /// Panics if any run was skipped.
+    pub fn measurements(&self) -> Vec<&Measurement> {
+        self.results
+            .iter()
+            .map(|r| match &r.outcome {
+                RunOutcome::Completed(m) => m,
+                RunOutcome::Skipped {
+                    workload,
+                    method,
+                    reason,
+                    ..
+                } => panic!("{workload} under {method} skipped: {reason}"),
+            })
+            .collect()
+    }
+}
+
+/// Runs every spec and returns results in spec order.
+///
+/// Identical specs are simulated once (`stats.deduped` counts the
+/// copies). Completed `Full` runs are additionally memoized through the
+/// reference cache, so a warm rerun of the same grid performs zero
+/// full-detailed simulations.
+pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> ExecReport {
+    let mut stats = ExecStats {
+        jobs: opts.jobs.max(1),
+        total: specs.len(),
+        ..ExecStats::default()
+    };
+    let cache = if opts.cache {
+        RefCache::persistent(opts.cache_dir.clone().unwrap_or_else(RefCache::default_dir))
+    } else {
+        RefCache::memory_only()
+    };
+
+    // Deduplicate identical specs: only the first occurrence simulates.
+    let mut unique: Vec<usize> = Vec::new(); // unique-job -> spec index
+    let mut alias: Vec<usize> = Vec::with_capacity(specs.len()); // spec -> unique-job
+    for (i, spec) in specs.iter().enumerate() {
+        match unique.iter().position(|&u| specs[u] == *spec) {
+            Some(j) => {
+                alias.push(j);
+                stats.deduped += 1;
+            }
+            None => {
+                unique.push(i);
+                alias.push(unique.len() - 1);
+            }
+        }
+    }
+
+    // Resolve unique jobs: cache hit or simulation.
+    enum Resolved {
+        Cached(Measurement),
+        Ran {
+            outcome: RunOutcome,
+            metrics: MetricsSnapshot,
+            trace: TraceLog,
+        },
+    }
+    let cache_hits = AtomicUsize::new(0);
+    let executed = AtomicUsize::new(0);
+    let full_executed = AtomicUsize::new(0);
+    let resolved: Vec<Resolved> = parallel_map(
+        unique.iter().map(|&i| &specs[i]).collect(),
+        stats.jobs,
+        &|spec: &RunSpec| {
+            if spec.method == Method::Full {
+                let key = reference_key(spec);
+                if let Some(m) = cache.lookup(key) {
+                    cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Resolved::Cached(m);
+                }
+                let (outcome, metrics, trace) = execute_spec(spec, opts);
+                executed.fetch_add(1, Ordering::Relaxed);
+                full_executed.fetch_add(1, Ordering::Relaxed);
+                if let RunOutcome::Completed(m) = &outcome {
+                    cache.store(key, &spec.workload.name(), m);
+                }
+                Resolved::Ran {
+                    outcome,
+                    metrics,
+                    trace,
+                }
+            } else {
+                let (outcome, metrics, trace) = execute_spec(spec, opts);
+                executed.fetch_add(1, Ordering::Relaxed);
+                Resolved::Ran {
+                    outcome,
+                    metrics,
+                    trace,
+                }
+            }
+        },
+    );
+    stats.cache_hits = cache_hits.into_inner();
+    stats.executed = executed.into_inner();
+    stats.full_runs_executed = full_executed.into_inner();
+
+    // Fan results back out to submission order.
+    let mut results = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().cloned().enumerate() {
+        let job = alias[i];
+        let first_owner = i == unique[job];
+        let r = match &resolved[job] {
+            Resolved::Cached(m) => RunResult {
+                spec,
+                outcome: RunOutcome::Completed(m.clone()),
+                metrics: MetricsSnapshot::default(),
+                trace: TraceLog::default(),
+                from_cache: true,
+            },
+            Resolved::Ran {
+                outcome,
+                metrics,
+                trace,
+            } => RunResult {
+                spec,
+                outcome: outcome.clone(),
+                // Telemetry belongs to the run, not its aliases: only
+                // the first occurrence carries it, so merging every
+                // result never double-counts a simulation.
+                metrics: if first_owner {
+                    metrics.clone()
+                } else {
+                    MetricsSnapshot::default()
+                },
+                trace: if first_owner {
+                    trace.clone()
+                } else {
+                    TraceLog::default()
+                },
+                from_cache: false,
+            },
+        };
+        if r.outcome.measurement().is_none() {
+            stats.skipped += 1;
+        }
+        results.push(r);
+    }
+    ExecReport { results, stats }
+}
+
+/// Executes one spec with the harness guardrails, returning the outcome
+/// together with the run's private telemetry.
+///
+/// The simulation happens on its own named thread behind `catch_unwind`
+/// and `opts.timeout`; the calling pool worker just waits. On timeout
+/// the run thread is abandoned (it cannot be cancelled) and empty
+/// telemetry is returned — the abandoned thread still owns its handle.
+fn execute_spec(spec: &RunSpec, opts: &ExecOptions) -> (RunOutcome, MetricsSnapshot, TraceLog) {
+    let workload = spec.workload.name();
+    let method_name = spec.method.name();
+    let skipped = |reason: String, error: Option<String>| RunOutcome::Skipped {
+        workload: workload.clone(),
+        method: method_name.clone(),
+        reason,
+        error,
+    };
+
+    let run_spec = spec.clone();
+    let trace_capacity = opts.trace_capacity;
+    let (tx, rx) = channel();
+    let spawn = std::thread::Builder::new()
+        .name(format!("run-{}", spec.label()))
+        .spawn(move || {
+            let telemetry = Telemetry::default();
+            if trace_capacity > 0 {
+                telemetry.enable_tracing(trace_capacity);
+            }
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                try_run_app_method(
+                    &run_spec.gpu,
+                    &run_spec.workload.name(),
+                    &|gpu| run_spec.workload.build(gpu, run_spec.seed),
+                    &run_spec.method,
+                    &run_spec.photon,
+                    &telemetry,
+                )
+            }));
+            let snapshot = telemetry.snapshot();
+            let trace = telemetry.take_events();
+            // The receiver may already have timed out and moved on.
+            let _ = tx.send((res, snapshot, trace));
+        });
+    let handle = match spawn {
+        Ok(h) => h,
+        Err(e) => {
+            return (
+                skipped(format!("could not spawn run thread: {e}"), None),
+                MetricsSnapshot::default(),
+                TraceLog::default(),
+            )
+        }
+    };
+
+    match rx.recv_timeout(opts.timeout) {
+        Ok((res, metrics, trace)) => {
+            let _ = handle.join();
+            let outcome = match res {
+                Ok(Ok(mut m)) => {
+                    // Single-kernel benchmarks report the requested
+                    // problem size; multi-kernel apps keep the builder's
+                    // total.
+                    if spec.workload.warps() > 0 {
+                        m.warps = spec.workload.warps();
+                    }
+                    RunOutcome::Completed(m)
+                }
+                Ok(Err(sim_err)) => skipped(
+                    format!("simulation error: {sim_err}"),
+                    Some(format!("{sim_err:?}")),
+                ),
+                Err(payload) => skipped(
+                    format!("panicked: {}", panic_reason(payload.as_ref())),
+                    None,
+                ),
+            };
+            (outcome, metrics, trace)
+        }
+        Err(RecvTimeoutError::Timeout) => (
+            skipped(
+                format!("timed out after {:.1}s", opts.timeout.as_secs_f64()),
+                None,
+            ),
+            MetricsSnapshot::default(),
+            TraceLog::default(),
+        ),
+        Err(RecvTimeoutError::Disconnected) => {
+            let _ = handle.join();
+            (
+                skipped("run thread died without reporting".to_string(), None),
+                MetricsSnapshot::default(),
+                TraceLog::default(),
+            )
+        }
+    }
+}
+
+/// Applies `f` to every item on a work-stealing pool of `jobs` workers
+/// and returns the results in item order.
+///
+/// Items are seeded round-robin into per-worker deques; an idle worker
+/// drains its own deque LIFO, then steals FIFO from the global injector
+/// and its siblings. With `jobs <= 1` (or one item) everything runs on
+/// the calling thread — the degenerate case the determinism test
+/// compares against.
+pub fn parallel_map<T, R, F>(items: Vec<T>, jobs: usize, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+    let total = items.len();
+    let injector: Injector<(usize, T)> = Injector::new();
+    let workers: Vec<Worker<(usize, T)>> = (0..jobs).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<(usize, T)>> = workers.iter().map(|w| w.stealer()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        workers[i % jobs].push((i, item));
+    }
+
+    let slots: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for (wi, worker) in workers.into_iter().enumerate() {
+            let stealers = &stealers;
+            let injector = &injector;
+            let slots = &slots;
+            scope.spawn(move || loop {
+                // own deque first, then the injector, then siblings
+                let next = worker
+                    .pop()
+                    .or_else(|| injector.steal().success())
+                    .or_else(|| {
+                        stealers
+                            .iter()
+                            .enumerate()
+                            .filter(|(si, _)| *si != wi)
+                            .find_map(|(_, s)| {
+                                if let Steal::Success(t) = s.steal() {
+                                    Some(t)
+                                } else {
+                                    None
+                                }
+                            })
+                    });
+                // No task produces new tasks, so one empty sweep over
+                // every queue means the pool is drained.
+                let Some((i, item)) = next else { break };
+                let r = f(item);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or_else(|| unreachable!("every pool slot is filled before join"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq = parallel_map(items.clone(), 1, &|x| x * 3);
+        let par = parallel_map(items, 4, &|x| x * 3);
+        assert_eq!(seq, par);
+        assert_eq!(par[10], 30);
+    }
+
+    #[test]
+    fn parallel_map_runs_work_concurrently() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let out = parallel_map((0..16).collect::<Vec<_>>(), 4, &|x: u64| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(20));
+            live.fetch_sub(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(out.len(), 16);
+        assert!(
+            peak.load(Ordering::SeqCst) > 1,
+            "expected overlapping workers, saw peak {}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+}

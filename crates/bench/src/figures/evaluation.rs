@@ -2,17 +2,26 @@
 //! MI100 robustness check, the sampling-level ablation, the real-world
 //! applications, the VGG-16 per-layer analysis, and the online/offline
 //! tradeoff, plus Tables 1 and 2.
+//!
+//! Every comparison figure builds its grid in [`crate::specs`] and runs
+//! it through [`crate::executor::run_specs`]: runs fan out across
+//! `--jobs` workers and the full-detailed references are shared through
+//! the persistent cache, so regenerating a second figure (or re-running
+//! one) never re-simulates a reference it already has.
 
-use crate::harness::{
-    mi100, r9_nano, run_app_method, run_benchmark, scaled_photon_config, size_scale, write_json,
-    Measurement, Method, Table,
+use crate::executor::{run_specs, ExecOptions, ExecReport};
+use crate::harness::{write_json, Measurement, Method, RunOutcome, Table};
+use crate::specs::{
+    comparison_grid, fig13_methods, fig14_methods, fig15_methods, fig17_methods, figure16_grid,
+    figure17_grid, mi100, r9_nano, scaled_photon_config, DEFAULT_SEED,
 };
 use gpu_sim::{GpuConfig, GpuSimulator};
-use gpu_workloads::dnn::DnnScale;
 use gpu_workloads::registry::{Benchmark, RealWorldApp};
 use photon::{Levels, PhotonController};
 use serde::Serialize;
 use std::time::Instant;
+
+pub use crate::specs::dnn_scale;
 
 /// One comparison row: a workload/size under one method measured
 /// against the full-detailed baseline.
@@ -34,39 +43,87 @@ pub struct ComparisonRow {
     pub wall_secs: f64,
 }
 
-fn compare(gpu_cfg: &GpuConfig, methods: &[Method], benches: &[Benchmark]) -> Vec<ComparisonRow> {
-    let pcfg = scaled_photon_config(Levels::all());
+fn full_row(full: &Measurement) -> ComparisonRow {
+    ComparisonRow {
+        workload: full.workload.clone(),
+        warps: full.warps,
+        method: "Full".to_string(),
+        sim_cycles: full.sim_cycles,
+        error: 0.0,
+        speedup: 1.0,
+        wall_secs: full.wall_secs,
+    }
+}
+
+fn method_row(m: &Measurement, full: &Measurement) -> ComparisonRow {
+    ComparisonRow {
+        workload: m.workload.clone(),
+        warps: m.warps,
+        method: m.method.clone(),
+        sim_cycles: m.sim_cycles,
+        error: m.error_vs(full),
+        speedup: m.speedup_vs(full),
+        wall_secs: m.wall_secs,
+    }
+}
+
+fn warn_skip(outcome: &RunOutcome) {
+    if let RunOutcome::Skipped {
+        workload,
+        method,
+        reason,
+        ..
+    } = outcome
+    {
+        eprintln!("warning: {workload} under {method} skipped: {reason}");
+    }
+}
+
+/// Turns an executed comparison grid (Full first, then the methods, per
+/// workload/size — the [`comparison_grid`] order) into rows. Skipped
+/// runs are warned about and omitted; runs whose Full reference was
+/// skipped are omitted with it.
+fn rows_from_report(report: &ExecReport) -> Vec<ComparisonRow> {
     let mut rows = Vec::new();
-    for &bench in benches {
-        for warps in bench.sweep(size_scale()) {
-            let full = run_benchmark(gpu_cfg, bench, warps, 7, &Method::Full, &pcfg);
-            rows.push(ComparisonRow {
-                workload: bench.abbr().to_string(),
-                warps,
-                method: "Full".to_string(),
-                sim_cycles: full.sim_cycles,
-                error: 0.0,
-                speedup: 1.0,
-                wall_secs: full.wall_secs,
-            });
-            for method in methods {
-                if *method == Method::Full {
-                    continue;
-                }
-                let m = run_benchmark(gpu_cfg, bench, warps, 7, method, &pcfg);
-                rows.push(ComparisonRow {
-                    workload: bench.abbr().to_string(),
-                    warps,
-                    method: m.method.clone(),
-                    sim_cycles: m.sim_cycles,
-                    error: m.error_vs(&full),
-                    speedup: m.speedup_vs(&full),
-                    wall_secs: m.wall_secs,
-                });
+    let mut full: Option<&Measurement> = None;
+    for r in &report.results {
+        warn_skip(&r.outcome);
+        if r.spec.method == Method::Full {
+            full = r.outcome.measurement();
+            if let Some(f) = full {
+                rows.push(full_row(f));
+            }
+        } else if let Some(m) = r.outcome.measurement() {
+            match full {
+                Some(f) => rows.push(method_row(m, f)),
+                None => eprintln!(
+                    "warning: no full-detailed reference for {} — row dropped",
+                    r.spec.label()
+                ),
             }
         }
     }
     rows
+}
+
+fn compare(
+    gpu_cfg: &GpuConfig,
+    methods: &[Method],
+    benches: &[Benchmark],
+    opts: &ExecOptions,
+) -> Vec<ComparisonRow> {
+    let grid = comparison_grid(gpu_cfg, methods, benches);
+    let report = run_specs(&grid, opts);
+    eprintln!(
+        "({} specs: {} executed, {} cache hits, {} deduped, {} skipped, jobs={})",
+        report.stats.total,
+        report.stats.executed,
+        report.stats.cache_hits,
+        report.stats.deduped,
+        report.stats.skipped,
+        report.stats.jobs
+    );
+    rows_from_report(&report)
 }
 
 fn print_rows(title: &str, rows: &[ComparisonRow]) {
@@ -113,12 +170,8 @@ fn print_rows(title: &str, rows: &[ComparisonRow]) {
 
 /// Figure 13: Full vs PKA vs Photon on the R9 Nano across all
 /// single-kernel benchmarks and problem sizes.
-pub fn fig13() -> Vec<ComparisonRow> {
-    let rows = compare(
-        &r9_nano(),
-        &[Method::Pka, Method::Photon(Levels::all())],
-        &Benchmark::ALL,
-    );
+pub fn fig13(opts: &ExecOptions) -> Vec<ComparisonRow> {
+    let rows = compare(&r9_nano(), &fig13_methods(), &Benchmark::ALL, opts);
     print_rows("Figure 13: R9 Nano, Full vs PKA vs Photon", &rows);
     write_json("fig13", &rows);
     rows
@@ -126,8 +179,8 @@ pub fn fig13() -> Vec<ComparisonRow> {
 
 /// Figure 14: Full vs Photon on the MI100 (micro-architecture
 /// independence).
-pub fn fig14() -> Vec<ComparisonRow> {
-    let rows = compare(&mi100(), &[Method::Photon(Levels::all())], &Benchmark::ALL);
+pub fn fig14(opts: &ExecOptions) -> Vec<ComparisonRow> {
+    let rows = compare(&mi100(), &fig14_methods(), &Benchmark::ALL, opts);
     print_rows("Figure 14: MI100, Full vs Photon", &rows);
     write_json("fig14", &rows);
     rows
@@ -135,91 +188,43 @@ pub fn fig14() -> Vec<ComparisonRow> {
 
 /// Figure 15: the sampling-level ablation — basic-block-sampling only,
 /// warp-sampling only, and full Photon.
-pub fn fig15() -> Vec<ComparisonRow> {
-    let rows = compare(
-        &r9_nano(),
-        &[
-            Method::Photon(Levels::bb_only()),
-            Method::Photon(Levels::warp_only()),
-            Method::Photon(Levels::all()),
-        ],
-        &Benchmark::ALL,
-    );
+pub fn fig15(opts: &ExecOptions) -> Vec<ComparisonRow> {
+    let rows = compare(&r9_nano(), &fig15_methods(), &Benchmark::ALL, opts);
     print_rows("Figure 15: sampling levels (BB / Warp / Photon)", &rows);
     write_json("fig15", &rows);
     rows
 }
 
-/// The DNN scaling used by the real-world experiments (see DESIGN.md's
-/// substitution table): kernels must be large enough that detailed
-/// simulation dominates the online-analysis overhead, as in the paper.
-pub fn dnn_scale() -> DnnScale {
-    if crate::harness::full_size() {
-        DnnScale {
-            input_hw: 224,
-            channel_div: 1,
-        }
-    } else {
-        DnnScale {
-            input_hw: 64,
-            channel_div: 4,
-        }
-    }
-}
-
 /// Figure 16: real-world applications (PageRank, VGG, ResNet), Full vs
 /// Photon.
-pub fn fig16() -> Vec<ComparisonRow> {
-    let gpu_cfg = r9_nano();
-    let pcfg = scaled_photon_config(Levels::all());
-    let scale = dnn_scale();
-    let mut rows = Vec::new();
-    for app in RealWorldApp::figure16() {
-        let builder = |gpu: &mut GpuSimulator| app.build(gpu, scale, 7);
-        let full = run_app_method(&gpu_cfg, &app.name(), &builder, &Method::Full, &pcfg);
-        let ph = run_app_method(
-            &gpu_cfg,
-            &app.name(),
-            &builder,
-            &Method::Photon(Levels::all()),
-            &pcfg,
-        );
-        rows.push(ComparisonRow {
-            workload: app.name(),
-            warps: full.warps,
-            method: "Full".into(),
-            sim_cycles: full.sim_cycles,
-            error: 0.0,
-            speedup: 1.0,
-            wall_secs: full.wall_secs,
-        });
-        rows.push(ComparisonRow {
-            workload: app.name(),
-            warps: ph.warps,
-            method: "Photon".into(),
-            sim_cycles: ph.sim_cycles,
-            error: ph.error_vs(&full),
-            speedup: ph.speedup_vs(&full),
-            wall_secs: ph.wall_secs,
-        });
-        println!(
-            "{}: full {} cycles in {:.2}s; Photon {} cycles in {:.2}s (err {:.1}%, speedup {:.2}x, {} kernels skipped)",
-            app.name(),
-            full.sim_cycles,
-            full.wall_secs,
-            ph.sim_cycles,
-            ph.wall_secs,
-            100.0 * ph.error_vs(&full),
-            ph.speedup_vs(&full),
-            ph.skipped_kernels,
-        );
+pub fn fig16(opts: &ExecOptions) -> Vec<ComparisonRow> {
+    let grid = figure16_grid(&r9_nano(), dnn_scale());
+    let report = run_specs(&grid, opts);
+    let rows = rows_from_report(&report);
+    for pair in rows.chunks(2) {
+        if let [full, ph] = pair {
+            if ph.method != "Full" {
+                println!(
+                    "{}: full {} cycles in {:.2}s; Photon {} cycles in {:.2}s (err {:.1}%, speedup {:.2}x)",
+                    full.workload,
+                    full.sim_cycles,
+                    full.wall_secs,
+                    ph.sim_cycles,
+                    ph.wall_secs,
+                    100.0 * ph.error,
+                    ph.speedup,
+                );
+            }
+        }
     }
     let photon_rows: Vec<&ComparisonRow> = rows.iter().filter(|r| r.method == "Photon").collect();
-    let avg = photon_rows.iter().map(|r| r.error).sum::<f64>() / photon_rows.len() as f64;
-    println!(
-        "average sampling error across applications: {:.1}%",
-        100.0 * avg
-    );
+    if !photon_rows.is_empty() {
+        let avg = photon_rows.iter().map(|r| r.error).sum::<f64>() / photon_rows.len() as f64;
+        println!(
+            "average sampling error across applications: {:.1}%",
+            100.0 * avg
+        );
+    }
     write_json("fig16", &rows);
     rows
 }
@@ -237,38 +242,30 @@ pub struct LayerRow {
 
 /// Figure 17: per-layer error of kernel-sampling, kernel+warp-sampling,
 /// and full Photon on VGG-16, plus whole-network speedups.
-pub fn fig17() -> Vec<LayerRow> {
+///
+/// # Panics
+/// Panics if any of the four VGG-16 runs is skipped — the per-layer
+/// table cannot be rendered from a partial grid.
+pub fn fig17(opts: &ExecOptions) -> Vec<LayerRow> {
     let gpu_cfg = r9_nano();
     let scale = dnn_scale();
-    let pcfg = scaled_photon_config(Levels::all());
 
     // layer labels in launch order (identical across runs)
     let labels: Vec<String> = {
         let mut gpu = GpuSimulator::new(gpu_cfg.clone());
         RealWorldApp::Vgg16
-            .build(&mut gpu, scale, 7)
+            .build(&mut gpu, scale, DEFAULT_SEED)
             .launches()
             .iter()
             .map(|l| l.layer.clone())
             .collect()
     };
 
-    let run = |method: &Method| -> Measurement {
-        run_app_method(
-            &gpu_cfg,
-            "VGG-16",
-            &|gpu: &mut GpuSimulator| RealWorldApp::Vgg16.build(gpu, scale, 7),
-            method,
-            &pcfg,
-        )
-    };
-
-    let full = run(&Method::Full);
-    let methods = [
-        Method::Photon(Levels::kernel_only()),
-        Method::Photon(Levels::kernel_warp()),
-        Method::Photon(Levels::all()),
-    ];
+    let grid = figure17_grid(&gpu_cfg, scale);
+    let report = run_specs(&grid, opts);
+    let measures = report.measurements();
+    let (full, measures) = (measures[0], &measures[1..]);
+    let methods = fig17_methods();
 
     let mut rows = Vec::new();
     let mut table = Table::new(&["layer", "kernel", "kernel+warp", "Photon"]);
@@ -282,7 +279,6 @@ pub fn fig17() -> Vec<LayerRow> {
         seen
     };
 
-    let measures: Vec<Measurement> = methods.iter().map(&run).collect();
     let layer_cycles = |m: &Measurement, layer: &str| -> u64 {
         m.kernel_cycles
             .iter()
@@ -292,9 +288,9 @@ pub fn fig17() -> Vec<LayerRow> {
             .sum()
     };
     for layer in &layer_order {
-        let base = layer_cycles(&full, layer) as f64;
+        let base = layer_cycles(full, layer) as f64;
         let mut cells = vec![layer.clone()];
-        for (method, m) in methods.iter().zip(&measures) {
+        for (method, m) in methods.iter().zip(measures) {
             let err = (layer_cycles(m, layer) as f64 - base).abs() / base.max(1.0);
             cells.push(format!("{:.1}%", 100.0 * err));
             rows.push(LayerRow {
@@ -307,8 +303,8 @@ pub fn fig17() -> Vec<LayerRow> {
     }
     // whole-network row
     let mut cells = vec!["whole".to_string()];
-    for (method, m) in methods.iter().zip(&measures) {
-        let err = m.error_vs(&full);
+    for (method, m) in methods.iter().zip(measures) {
+        let err = m.error_vs(full);
         cells.push(format!("{:.1}%", 100.0 * err));
         rows.push(LayerRow {
             layer: "whole".into(),
@@ -319,12 +315,12 @@ pub fn fig17() -> Vec<LayerRow> {
     table.row(cells);
     println!("== Figure 17: VGG-16 per-layer absolute runtime error ==");
     println!("{}", table.render());
-    for (method, m) in methods.iter().zip(&measures) {
+    for (method, m) in methods.iter().zip(measures) {
         println!(
             "{}: whole-inference speedup {:.2}x (error {:.1}%)",
             method.name(),
-            m.speedup_vs(&full),
-            100.0 * m.error_vs(&full)
+            m.speedup_vs(full),
+            100.0 * m.error_vs(full)
         );
     }
     write_json("fig17", &rows);
@@ -333,6 +329,10 @@ pub fn fig17() -> Vec<LayerRow> {
 
 /// §6.3 online/offline tradeoff: Photon with online analysis vs Photon
 /// reusing exported analyses.
+///
+/// Inherently sequential: the offline pass consumes the analyses the
+/// online pass exports, so there is nothing for the executor to fan
+/// out. (The binary still accepts the common flags for a uniform CLI.)
 pub fn offline_tradeoff() -> (f64, f64) {
     let gpu_cfg = r9_nano();
     let scale = dnn_scale();
@@ -340,7 +340,7 @@ pub fn offline_tradeoff() -> (f64, f64) {
 
     // online pass, exporting analyses
     let mut gpu = GpuSimulator::new(gpu_cfg.clone());
-    let app = RealWorldApp::Vgg16.build(&mut gpu, scale, 7);
+    let app = RealWorldApp::Vgg16.build(&mut gpu, scale, DEFAULT_SEED);
     let mut online = PhotonController::new(pcfg.clone(), gpu_cfg.num_cus as u64);
     let t0 = Instant::now();
     let online_res = app.run(&mut gpu, &mut online).expect("online run");
@@ -349,7 +349,7 @@ pub fn offline_tradeoff() -> (f64, f64) {
 
     // offline pass reusing them
     let mut gpu2 = GpuSimulator::new(gpu_cfg.clone());
-    let app2 = RealWorldApp::Vgg16.build(&mut gpu2, scale, 7);
+    let app2 = RealWorldApp::Vgg16.build(&mut gpu2, scale, DEFAULT_SEED);
     let mut offline = PhotonController::with_offline(pcfg, gpu_cfg.num_cus as u64, analyses);
     let t1 = Instant::now();
     let offline_res = app2.run(&mut gpu2, &mut offline).expect("offline run");
@@ -458,4 +458,78 @@ pub fn table2() {
         "ResNet-18 (34, 50, 101, 152); batchsize=1".into(),
     ]);
     println!("{}", table.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::RunOutcome;
+    use crate::specs::{RunSpec, WorkloadSpec};
+    use gpu_telemetry::{MetricsSnapshot, TraceLog};
+
+    fn meas(workload: &str, method: &str, cycles: u64) -> Measurement {
+        Measurement {
+            workload: workload.into(),
+            warps: 64,
+            method: method.into(),
+            sim_cycles: cycles,
+            wall_secs: 1.0,
+            detailed_insts: 0,
+            functional_insts: 0,
+            detailed_warps: 0,
+            predicted_warps: 0,
+            skipped_kernels: 0,
+            kernel_cycles: vec![cycles],
+        }
+    }
+
+    fn result(spec: RunSpec, outcome: RunOutcome) -> crate::executor::RunResult {
+        crate::executor::RunResult {
+            spec,
+            outcome,
+            metrics: MetricsSnapshot::default(),
+            trace: TraceLog::default(),
+            from_cache: false,
+        }
+    }
+
+    #[test]
+    fn rows_track_the_preceding_full_reference() {
+        let spec = |method: Method| RunSpec {
+            workload: WorkloadSpec::Bench {
+                bench: Benchmark::Fir,
+                warps: 64,
+            },
+            method,
+            gpu: GpuConfig::tiny(),
+            photon: scaled_photon_config(Levels::all()),
+            seed: 7,
+        };
+        let report = ExecReport {
+            results: vec![
+                result(
+                    spec(Method::Full),
+                    RunOutcome::Completed(meas("fir", "Full", 1000)),
+                ),
+                result(
+                    spec(Method::Pka),
+                    RunOutcome::Completed(meas("fir", "PKA", 900)),
+                ),
+                result(
+                    spec(Method::Photon(Levels::all())),
+                    RunOutcome::Skipped {
+                        workload: "fir".into(),
+                        method: "Photon".into(),
+                        reason: "timed out".into(),
+                        error: None,
+                    },
+                ),
+            ],
+            stats: crate::executor::ExecStats::default(),
+        };
+        let rows = rows_from_report(&report);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].method, "Full");
+        assert!((rows[1].error - 0.1).abs() < 1e-12);
+    }
 }

@@ -1,7 +1,14 @@
 //! The observation figures (§3): IPC timelines, basic-block and warp
 //! issue/retire behavior, distribution sampling, and GPU-BBV
 //! clustering.
+//!
+//! These figures measure *recordings*, not comparison grids, so they do
+//! not go through the reference cache; but every per-workload loop fans
+//! out over [`parallel_map`] with the binary's `--jobs` setting.
+//! Results are collected per workload and printed afterwards in the
+//! fixed workload order, so the output is identical at any job count.
 
+use crate::executor::{parallel_map, ExecOptions};
 use crate::harness::{r9_nano, scaled_photon_config, size_scale, write_json, Table};
 use gpu_sim::{GpuSimulator, Recorder};
 use gpu_workloads::dnn::DnnScale;
@@ -22,9 +29,9 @@ fn run_recorded(bench: Benchmark, warps: u64) -> (Recorder, u64) {
 ///
 /// Returns `(workload, ipc series)` pairs and writes them to
 /// `results/fig1.json`.
-pub fn fig1() -> Vec<(String, Vec<f64>)> {
-    let mut out = Vec::new();
-    for (bench, warps) in [(Benchmark::Relu, 16384), (Benchmark::Mm, 4096)] {
+pub fn fig1(opts: &ExecOptions) -> Vec<(String, Vec<f64>)> {
+    let pairs = vec![(Benchmark::Relu, 16384u64), (Benchmark::Mm, 4096)];
+    let computed = parallel_map(pairs, opts.jobs, &|(bench, warps): (Benchmark, u64)| {
         let warps = warps / size_scale().max(1);
         let (rec, cycles) = run_recorded(bench, warps);
         let window = 2048.0;
@@ -33,6 +40,10 @@ pub fn fig1() -> Vec<(String, Vec<f64>)> {
             .iter()
             .map(|(_, insts)| *insts as f64 / window)
             .collect();
+        (bench, cycles, series)
+    });
+    let mut out = Vec::new();
+    for (bench, cycles, series) in computed {
         println!(
             "{}: {} windows over {} cycles; first/mid/last IPC = {:.2}/{:.2}/{:.2}",
             bench.abbr(),
@@ -72,12 +83,20 @@ pub struct Series {
     pub fit: Option<(f64, f64)>,
 }
 
+/// The (benchmark, paper-size) pairs Figures 2–4 contrast: regular MM
+/// against irregular SpMV.
+fn regular_vs_irregular() -> Vec<(Benchmark, u64)> {
+    vec![(Benchmark::Mm, 4096), (Benchmark::Spmv, 1024)]
+}
+
 /// Figure 2: execution time of the dominating basic block over its
 /// execution index, plus the global variance the paper shows prior work
 /// thresholds on.
-pub fn fig2() -> Vec<Series> {
-    let mut out = Vec::new();
-    for (bench, warps) in [(Benchmark::Mm, 4096), (Benchmark::Spmv, 1024)] {
+pub fn fig2(opts: &ExecOptions) -> Vec<Series> {
+    let computed = parallel_map(regular_vs_irregular(), opts.jobs, &|(bench, warps): (
+        Benchmark,
+        u64,
+    )| {
         let warps = warps / size_scale().max(1);
         let (rec, _) = run_recorded(bench, warps);
         let bb = dominating_bb(&rec);
@@ -87,6 +106,10 @@ pub fn fig2() -> Vec<Series> {
             .filter(|r| r.bb.0 == bb)
             .map(|r| r.duration() as f64)
             .collect();
+        (bench, bb, durations)
+    });
+    let mut out = Vec::new();
+    for (bench, bb, durations) in computed {
         let n = durations.len() as f64;
         let mean = durations.iter().sum::<f64>() / n;
         let var = durations
@@ -121,9 +144,11 @@ pub fn fig2() -> Vec<Series> {
 
 /// Figure 3: issue vs retired time of the dominating basic block with
 /// its least-squares line (slope ≈ 1 once competition stabilizes).
-pub fn fig3() -> Vec<Series> {
-    let mut out = Vec::new();
-    for (bench, warps) in [(Benchmark::Mm, 4096), (Benchmark::Spmv, 1024)] {
+pub fn fig3(opts: &ExecOptions) -> Vec<Series> {
+    let computed = parallel_map(regular_vs_irregular(), opts.jobs, &|(bench, warps): (
+        Benchmark,
+        u64,
+    )| {
         let warps = warps / size_scale().max(1);
         let (rec, _) = run_recorded(bench, warps);
         let bb = dominating_bb(&rec);
@@ -133,6 +158,10 @@ pub fn fig3() -> Vec<Series> {
             .filter(|r| r.bb.0 == bb)
             .map(|r| (r.start as f64, r.end as f64))
             .collect();
+        (bench, bb, points)
+    });
+    let mut out = Vec::new();
+    for (bench, bb, points) in computed {
         let fit = least_squares(&points);
         if let Some((a, b)) = fit {
             println!(
@@ -162,9 +191,11 @@ pub fn fig3() -> Vec<Series> {
 /// Figure 4: warp issue vs retired time with least-squares fit — the
 /// slope is near the stationary expectation for regular MM, far from it
 /// for irregular SpMV.
-pub fn fig4() -> Vec<Series> {
-    let mut out = Vec::new();
-    for (bench, warps) in [(Benchmark::Mm, 4096), (Benchmark::Spmv, 1024)] {
+pub fn fig4(opts: &ExecOptions) -> Vec<Series> {
+    let computed = parallel_map(regular_vs_irregular(), opts.jobs, &|(bench, warps): (
+        Benchmark,
+        u64,
+    )| {
         let warps = warps / size_scale().max(1);
         let (rec, _) = run_recorded(bench, warps);
         let points: Vec<(f64, f64)> = rec
@@ -172,6 +203,10 @@ pub fn fig4() -> Vec<Series> {
             .iter()
             .map(|r| (r.issue as f64, r.retire as f64))
             .collect();
+        (bench, points)
+    });
+    let mut out = Vec::new();
+    for (bench, points) in computed {
         let fit = least_squares(&points);
         if let Some((a, b)) = fit {
             println!(
@@ -194,6 +229,9 @@ pub fn fig4() -> Vec<Series> {
 
 /// Figure 6: IPC of all VGG-16 conv/pool/dense kernels, clustered by
 /// GPU BBV — kernels in the same cluster have similar IPC.
+///
+/// Inherently sequential: one recorded VGG-16 inference produces every
+/// kernel record, so there is nothing to fan out.
 pub fn fig6() -> Vec<(String, usize, f64)> {
     let cfg = r9_nano();
     let mut gpu = GpuSimulator::new(cfg.clone());
@@ -260,10 +298,11 @@ pub fn fig6() -> Vec<(String, usize, f64)> {
 
 fn distribution_figure(
     name: &str,
-    per_item: impl Fn(&OnlineAnalysis) -> Vec<(String, f64)>,
+    opts: &ExecOptions,
+    per_item: impl Fn(&OnlineAnalysis) -> Vec<(String, f64)> + Sync,
 ) -> Vec<(String, String, f64, f64)> {
-    let mut out = Vec::new();
-    for (bench, warps) in [(Benchmark::Sc, 8192), (Benchmark::Spmv, 1024)] {
+    let pairs = vec![(Benchmark::Sc, 8192u64), (Benchmark::Spmv, 1024)];
+    let computed = parallel_map(pairs, opts.jobs, &|(bench, warps): (Benchmark, u64)| {
         let warps = warps / size_scale().max(1);
         let cfg = r9_nano();
         let mut gpu = GpuSimulator::new(cfg);
@@ -292,9 +331,10 @@ fn distribution_figure(
             .collect();
         let sample =
             OnlineAnalysis::from_traces(&sample_traces, bb_map).expect("figure kernels have warps");
-
-        let a = per_item(&all);
-        let s = per_item(&sample);
+        (bench, per_item(&all), per_item(&sample))
+    });
+    let mut out = Vec::new();
+    for (bench, a, s) in computed {
         println!("{} ({name}):", bench.abbr());
         let mut table = Table::new(&["item", "all warps", "1% sample"]);
         for (key, va) in &a {
@@ -317,8 +357,8 @@ fn distribution_figure(
 
 /// Figure 8: basic-block instruction-share distribution, all warps vs a
 /// 1 % sample — the sample suffices for online analysis.
-pub fn fig8() -> Vec<(String, String, f64, f64)> {
-    let rows = distribution_figure("basic blocks", |a| {
+pub fn fig8(opts: &ExecOptions) -> Vec<(String, String, f64, f64)> {
+    let rows = distribution_figure("basic blocks", opts, |a| {
         a.bb_inst_share
             .iter()
             .map(|(bb, share)| (format!("bb{}", bb.0), *share))
@@ -330,8 +370,8 @@ pub fn fig8() -> Vec<(String, String, f64, f64)> {
 
 /// Figure 11: warp-type distribution, all warps vs a 1 % sample —
 /// regular applications have a dominant type, irregular ones do not.
-pub fn fig11() -> Vec<(String, String, f64, f64)> {
-    let rows = distribution_figure("warp types", |a| {
+pub fn fig11(opts: &ExecOptions) -> Vec<(String, String, f64, f64)> {
+    let rows = distribution_figure("warp types", opts, |a| {
         let total: u64 = a.types.iter().map(|(_, n)| *n).sum();
         a.types
             .iter()

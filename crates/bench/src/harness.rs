@@ -7,92 +7,19 @@ use gpu_sim::{GpuConfig, GpuSimulator, NullController, SamplingController, SimEr
 use gpu_telemetry::Telemetry;
 use gpu_workloads::registry::Benchmark;
 use gpu_workloads::App;
-use photon::{Levels, PhotonConfig, PhotonController};
-use serde::Serialize;
+use photon::{PhotonConfig, PhotonController};
+use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::mpsc::{channel, RecvTimeoutError};
 use std::time::{Duration, Instant};
 
-/// Whether the full-size (64/120 CU, paper-sized sweeps) mode is on.
-pub fn full_size() -> bool {
-    std::env::var("PHOTON_BENCH_FULL").is_ok_and(|v| v == "1")
-}
-
-/// CU divisor for the scaled experiment configurations.
-fn cu_div() -> u32 {
-    if full_size() {
-        1
-    } else {
-        4
-    }
-}
-
-/// Problem-size divisor matching the CU divisor.
-pub fn size_scale() -> u64 {
-    cu_div() as u64
-}
-
-/// The R9 Nano experiment configuration (possibly CU-scaled).
-pub fn r9_nano() -> GpuConfig {
-    let full = GpuConfig::r9_nano();
-    let n = full.num_cus / cu_div();
-    full.with_num_cus(n)
-}
-
-/// The MI100 experiment configuration (possibly CU-scaled).
-pub fn mi100() -> GpuConfig {
-    let full = GpuConfig::mi100();
-    let n = full.num_cus / cu_div();
-    full.with_num_cus(n)
-}
-
-/// The Photon configuration used across the experiments: paper
-/// thresholds with the warp window scaled alongside the problem sizes
-/// (the paper's 1024 assumes full-size problems).
-pub fn scaled_photon_config(levels: Levels) -> PhotonConfig {
-    let mut cfg = PhotonConfig::with_levels(levels);
-    if !full_size() {
-        cfg.warp_window = 512;
-    }
-    cfg
-}
-
-/// A simulation methodology under comparison.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Method {
-    /// Full detailed simulation (the accuracy baseline).
-    Full,
-    /// Photon with the given level mask.
-    Photon(Levels),
-    /// The PKA baseline.
-    Pka,
-    /// The TBPoint baseline (sampled thread blocks, no stability gate).
-    TbPoint,
-    /// The Sieve baseline (inter-kernel stratified sampling only).
-    Sieve,
-}
-
-impl Method {
-    /// Display name for table columns.
-    pub fn name(&self) -> String {
-        match self {
-            Method::Full => "Full".to_string(),
-            Method::Photon(l) if *l == Levels::all() => "Photon".to_string(),
-            Method::Photon(l) if *l == Levels::bb_only() => "BB-sampling".to_string(),
-            Method::Photon(l) if *l == Levels::warp_only() => "Warp-sampling".to_string(),
-            Method::Photon(l) if *l == Levels::kernel_only() => "Kernel-sampling".to_string(),
-            Method::Photon(l) if *l == Levels::kernel_warp() => "Kernel+Warp".to_string(),
-            Method::Photon(_) => "Photon(custom)".to_string(),
-            Method::Pka => "PKA".to_string(),
-            Method::TbPoint => "TBPoint".to_string(),
-            Method::Sieve => "Sieve".to_string(),
-        }
-    }
-}
+// The experiment-grid vocabulary lives in [`crate::specs`]; these
+// re-exports keep the long-standing `harness::` paths working.
+pub use crate::specs::{full_size, mi100, r9_nano, scaled_photon_config, size_scale, Method};
 
 /// One measured run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Measurement {
     /// Workload name.
     pub workload: String,
@@ -238,7 +165,7 @@ impl RunOutcome {
     }
 }
 
-fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -461,14 +388,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn method_names() {
-        assert_eq!(Method::Full.name(), "Full");
-        assert_eq!(Method::Photon(Levels::all()).name(), "Photon");
-        assert_eq!(Method::Photon(Levels::bb_only()).name(), "BB-sampling");
-        assert_eq!(Method::Pka.name(), "PKA");
-    }
-
-    #[test]
     fn table_renders_aligned() {
         let mut t = Table::new(&["a", "bench"]);
         t.row(vec!["1".into(), "x".into()]);
@@ -614,15 +533,6 @@ mod tests {
                 assert!(error.contains("EmptyLaunch"), "error: {error}");
             }
             RunOutcome::Completed(_) => panic!("empty launch completed"),
-        }
-    }
-
-    #[test]
-    fn scaled_configs() {
-        // default (non-full) mode quarters the machine
-        if !full_size() {
-            assert_eq!(r9_nano().num_cus, 16);
-            assert_eq!(mi100().num_cus, 30);
         }
     }
 }

@@ -11,12 +11,19 @@
 //! `PHOTON_BENCH_FULL=1` for the full 64-/120-CU machines with
 //! paper-sized problems.
 
+pub mod cli;
+pub mod executor;
 pub mod figures;
 pub mod harness;
+pub mod refcache;
 pub mod report;
+pub mod specs;
 
+pub use executor::{parallel_map, run_specs, ExecOptions, ExecReport, ExecStats, RunResult};
 pub use harness::{
-    mi100, r9_nano, results_dir, run_app_method, run_benchmark, scaled_photon_config,
-    try_run_app_method, AppBuilder, Measurement, Method, RunOutcome, Table,
+    results_dir, run_app_method, run_benchmark, try_run_app_method, AppBuilder, Measurement,
+    RunOutcome, Table,
 };
+pub use refcache::{reference_key, RefCache, CACHE_SCHEMA_VERSION};
 pub use report::{build_report, load_report, summary_table, write_report};
+pub use specs::{mi100, r9_nano, scaled_photon_config, Method, RunSpec, WorkloadSpec};

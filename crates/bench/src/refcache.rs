@@ -1,0 +1,263 @@
+//! The content-addressed reference cache: full-detailed measurements
+//! are expensive and every comparison figure needs them, so completed
+//! `Method::Full` runs are memoized in memory and persisted under
+//! `results/cache/` keyed by a stable hash of everything that
+//! determines the measurement.
+//!
+//! ## Key definition
+//!
+//! The key is FNV-1a (64-bit) over the canonical JSON rendering of
+//! `(CACHE_SCHEMA_VERSION, isa_fingerprint, workload, gpu, seed)`.
+//! The method is deliberately *not* part of the key — only `Full` runs
+//! are cached, and the reference measurement is method-independent by
+//! definition. Any change to the `GpuConfig`, the problem size, the
+//! seed, the ISA revision, or this cache's schema changes the key and
+//! therefore invalidates the entry.
+//!
+//! ## Failure model
+//!
+//! The cache is an accelerator, never a correctness dependency: a
+//! missing, corrupt, or version-mismatched entry produces a warning and
+//! a recompute, and write failures are warnings too.
+
+use crate::harness::Measurement;
+use crate::specs::RunSpec;
+use gpu_isa::{fnv1a, fnv1a_extend, isa_fingerprint};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Bumped whenever the entry layout or the key derivation changes;
+/// entries persisted under any other version are recomputed.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// The stable cache key of a spec's full-detailed reference.
+///
+/// Canonical-JSON hashing works because the vendored `serde_json`
+/// renders struct fields in declaration order — two equal specs always
+/// produce byte-identical text.
+pub fn reference_key(spec: &RunSpec) -> u64 {
+    let workload = serde_json::to_string(&spec.workload).unwrap_or_default();
+    let gpu = serde_json::to_string(&spec.gpu).unwrap_or_default();
+    let mut h = fnv1a(&CACHE_SCHEMA_VERSION.to_le_bytes());
+    h = fnv1a_extend(h, &isa_fingerprint().to_le_bytes());
+    h = fnv1a_extend(h, workload.as_bytes());
+    h = fnv1a_extend(h, gpu.as_bytes());
+    fnv1a_extend(h, &spec.seed.to_le_bytes())
+}
+
+/// One persisted cache entry: the measurement plus enough context to
+/// validate it and to audit the cache directory by hand.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// Must equal [`CACHE_SCHEMA_VERSION`] to be trusted.
+    pub schema_version: u32,
+    /// The key this entry was stored under, hex-rendered.
+    pub key: String,
+    /// The ISA fingerprint at store time, hex-rendered (diagnostic; the
+    /// fingerprint is already folded into the key).
+    pub isa_fingerprint: String,
+    /// Workload display name (diagnostic).
+    pub workload: String,
+    /// The memoized full-detailed measurement.
+    pub measurement: Measurement,
+}
+
+/// The in-memory + on-disk reference cache. One instance serves a whole
+/// executor invocation; worker threads share it behind `&self`.
+#[derive(Debug)]
+pub struct RefCache {
+    /// Persistence directory (`None` = memory only).
+    dir: Option<PathBuf>,
+    mem: Mutex<HashMap<u64, Measurement>>,
+}
+
+impl RefCache {
+    /// A cache persisting under `dir` (created on first store).
+    pub fn persistent(dir: PathBuf) -> RefCache {
+        RefCache {
+            dir: Some(dir),
+            mem: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A memory-only cache (used when persistence is disabled: entries
+    /// still deduplicate within one process).
+    pub fn memory_only() -> RefCache {
+        RefCache {
+            dir: None,
+            mem: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The default persistence directory, `results/cache/`.
+    pub fn default_dir() -> PathBuf {
+        crate::harness::results_dir().join("cache")
+    }
+
+    fn entry_path(&self, key: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{key:016x}.json")))
+    }
+
+    /// Looks up the reference measurement for `key`, checking memory
+    /// first and then disk. Disk entries that fail to parse, carry the
+    /// wrong schema version, or were stored under a different key are
+    /// rejected with a warning (and will be recomputed and rewritten).
+    pub fn lookup(&self, key: u64) -> Option<Measurement> {
+        if let Some(m) = self.mem.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            return Some(m.clone());
+        }
+        let path = self.entry_path(key)?;
+        let text = std::fs::read_to_string(&path).ok()?;
+        match validate_entry(&text, key, &path) {
+            Ok(m) => {
+                self.mem
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(key, m.clone());
+                Some(m)
+            }
+            Err(why) => {
+                eprintln!(
+                    "warning: ignoring reference cache entry {}: {why} (recomputing)",
+                    path.display()
+                );
+                None
+            }
+        }
+    }
+
+    /// Stores a completed full-detailed measurement under `key`, in
+    /// memory and (when persistence is on) on disk. I/O failures warn
+    /// and degrade to memory-only.
+    pub fn store(&self, key: u64, workload: &str, m: &Measurement) {
+        self.mem
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, m.clone());
+        let Some(path) = self.entry_path(key) else {
+            return;
+        };
+        let entry = CacheEntry {
+            schema_version: CACHE_SCHEMA_VERSION,
+            key: format!("{key:016x}"),
+            isa_fingerprint: format!("{:016x}", isa_fingerprint()),
+            workload: workload.to_string(),
+            measurement: m.clone(),
+        };
+        let write = || -> Result<(), String> {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+            }
+            let text = serde_json::to_string_pretty(&entry).map_err(|e| e.to_string())?;
+            std::fs::write(&path, text).map_err(|e| e.to_string())
+        };
+        if let Err(e) = write() {
+            eprintln!(
+                "warning: could not persist reference cache entry {}: {e}",
+                path.display()
+            );
+        }
+    }
+}
+
+fn validate_entry(text: &str, key: u64, path: &Path) -> Result<Measurement, String> {
+    let entry: CacheEntry = serde_json::from_str(text).map_err(|e| format!("unparseable ({e})"))?;
+    if entry.schema_version != CACHE_SCHEMA_VERSION {
+        return Err(format!(
+            "schema version {} (tool expects {})",
+            entry.schema_version, CACHE_SCHEMA_VERSION
+        ));
+    }
+    let expect = format!("{key:016x}");
+    if entry.key != expect {
+        return Err(format!(
+            "stored under key {} but resolved by {} — stale file name at {}",
+            entry.key,
+            expect,
+            path.display()
+        ));
+    }
+    Ok(entry.measurement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::{Method, RunSpec};
+    use gpu_sim::GpuConfig;
+    use gpu_workloads::registry::Benchmark;
+
+    fn meas() -> Measurement {
+        Measurement {
+            workload: "fir".into(),
+            warps: 64,
+            method: "Full".into(),
+            sim_cycles: 1234,
+            wall_secs: 0.5,
+            detailed_insts: 10,
+            functional_insts: 0,
+            detailed_warps: 64,
+            predicted_warps: 0,
+            skipped_kernels: 0,
+            kernel_cycles: vec![1234],
+        }
+    }
+
+    #[test]
+    fn key_is_stable_and_sensitive() {
+        let a = RunSpec::bench(GpuConfig::tiny(), Benchmark::Fir, 64, Method::Full);
+        assert_eq!(reference_key(&a), reference_key(&a.clone()));
+        // method does NOT change the key (only Full is cached; the
+        // reference is method-independent)
+        let mut ph = a.clone();
+        ph.method = Method::Pka;
+        assert_eq!(reference_key(&a), reference_key(&ph));
+        // problem size, machine, and seed all do
+        let b = RunSpec::bench(GpuConfig::tiny(), Benchmark::Fir, 128, Method::Full);
+        assert_ne!(reference_key(&a), reference_key(&b));
+        let c = RunSpec::bench(
+            GpuConfig::tiny().with_num_cus(2),
+            Benchmark::Fir,
+            64,
+            Method::Full,
+        );
+        assert_ne!(reference_key(&a), reference_key(&c));
+        let mut d = a.clone();
+        d.seed = 8;
+        assert_ne!(reference_key(&a), reference_key(&d));
+    }
+
+    #[test]
+    fn memory_only_cache_round_trips() {
+        let cache = RefCache::memory_only();
+        assert!(cache.lookup(42).is_none());
+        cache.store(42, "fir", &meas());
+        assert_eq!(cache.lookup(42).unwrap().sim_cycles, 1234);
+    }
+
+    #[test]
+    fn entry_validation_rejects_bad_entries() {
+        let good = CacheEntry {
+            schema_version: CACHE_SCHEMA_VERSION,
+            key: format!("{:016x}", 7u64),
+            isa_fingerprint: "0".into(),
+            workload: "fir".into(),
+            measurement: meas(),
+        };
+        let text = serde_json::to_string(&good).unwrap();
+        assert!(validate_entry(&text, 7, Path::new("x")).is_ok());
+        // wrong key
+        assert!(validate_entry(&text, 8, Path::new("x")).is_err());
+        // wrong schema version
+        let mut stale = good.clone();
+        stale.schema_version = CACHE_SCHEMA_VERSION + 1;
+        let text = serde_json::to_string(&stale).unwrap();
+        assert!(validate_entry(&text, 7, Path::new("x")).is_err());
+        // garbage
+        assert!(validate_entry("{not json", 7, Path::new("x")).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Executor determinism and deduplication: the same grid must produce
+//! bit-identical measurements (modulo wall-clock) at any job count.
+
+use gpu_sim::GpuConfig;
+use gpu_workloads::registry::Benchmark;
+use photon::Levels;
+use photon_bench::specs::DEFAULT_SEED;
+use photon_bench::{run_specs, ExecOptions, Measurement, Method, RunSpec};
+
+fn grid() -> Vec<RunSpec> {
+    let gpu = GpuConfig::tiny();
+    let mut specs = Vec::new();
+    for bench in [Benchmark::Fir, Benchmark::Mm, Benchmark::Spmv] {
+        for method in [Method::Full, Method::Photon(Levels::all()), Method::Pka] {
+            specs.push(RunSpec::bench(gpu.clone(), bench, 64, method));
+        }
+    }
+    specs
+}
+
+fn opts(jobs: usize) -> ExecOptions {
+    ExecOptions {
+        jobs,
+        cache: false,
+        ..ExecOptions::default()
+    }
+}
+
+/// Everything a measurement determines except wall-clock time.
+fn deterministic_view(m: &Measurement) -> impl PartialEq + std::fmt::Debug {
+    (
+        m.workload.clone(),
+        m.method.clone(),
+        m.warps,
+        (
+            m.sim_cycles,
+            m.detailed_insts,
+            m.functional_insts,
+            m.detailed_warps,
+            m.predicted_warps,
+        ),
+        (m.skipped_kernels, m.kernel_cycles.clone()),
+    )
+}
+
+#[test]
+fn jobs_1_and_jobs_4_are_bit_identical() {
+    let specs = grid();
+    let seq = run_specs(&specs, &opts(1));
+    let par = run_specs(&specs, &opts(4));
+    assert_eq!(seq.results.len(), par.results.len());
+    for (a, b) in seq.results.iter().zip(&par.results) {
+        assert_eq!(a.spec, b.spec);
+        let (ma, mb) = (
+            a.measurement().expect("sequential run completed"),
+            b.measurement().expect("parallel run completed"),
+        );
+        // sim cycles, per-kernel cycles, and every controller decision
+        // (sampled vs detailed warps, skipped kernels) must match
+        assert_eq!(
+            deterministic_view(ma),
+            deterministic_view(mb),
+            "{} diverged between --jobs 1 and --jobs 4",
+            a.spec.label()
+        );
+        // the run's own telemetry counters are part of the contract too
+        assert_eq!(
+            a.metrics.counters,
+            b.metrics.counters,
+            "{} telemetry diverged",
+            a.spec.label()
+        );
+    }
+    assert_eq!(seq.stats.executed, par.stats.executed);
+    assert_eq!(seq.stats.full_runs_executed, par.stats.full_runs_executed);
+}
+
+#[test]
+fn identical_specs_are_simulated_once() {
+    let gpu = GpuConfig::tiny();
+    let spec = RunSpec::bench(gpu, Benchmark::Fir, 64, Method::Full);
+    let specs = vec![spec.clone(), spec.clone(), spec];
+    let report = run_specs(&specs, &opts(2));
+    assert_eq!(report.stats.total, 3);
+    assert_eq!(report.stats.executed, 1);
+    assert_eq!(report.stats.deduped, 2);
+    let m0 = report.results[0].measurement().unwrap();
+    for r in &report.results[1..] {
+        assert_eq!(
+            m0.sim_cycles,
+            r.measurement().unwrap().sim_cycles,
+            "deduped copies answer with the executed measurement"
+        );
+        // aliases carry no telemetry, so merging every result's metrics
+        // never double-counts the single simulation
+        assert!(r.metrics.counters.is_empty());
+    }
+}
+
+#[test]
+fn skipped_runs_do_not_poison_siblings() {
+    // 0 warps is rejected by kernel pre-flight validation -> Skipped.
+    let gpu = GpuConfig::tiny();
+    let specs = vec![
+        RunSpec::bench(gpu.clone(), Benchmark::Fir, 0, Method::Full),
+        RunSpec::bench(gpu, Benchmark::Fir, 64, Method::Full),
+    ];
+    let report = run_specs(&specs, &opts(2));
+    assert_eq!(report.stats.skipped, 1);
+    assert!(report.results[0].measurement().is_none());
+    assert!(report.results[1].measurement().is_some());
+    assert_eq!(report.results[0].spec.seed, DEFAULT_SEED);
+}

@@ -69,3 +69,11 @@ pub use kernel_sampling::{KernelHistory, KernelPrediction, KernelRecord};
 pub use ls::{least_squares, RollingStability};
 pub use offline::{OfflineData, OfflineError};
 pub use warp_sampling::WarpSampler;
+
+// Compile-time guarantee that the Photon controller can move to a
+// worker thread of the parallel experiment executor.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<PhotonController>();
+    assert_send::<OnlineAnalysis>();
+};

@@ -1,0 +1,62 @@
+//! A stable fingerprint of the ISA semantics, consumed by downstream
+//! caches (the bench reference cache keys every persisted measurement on
+//! it so cached results are invalidated whenever instruction semantics
+//! change).
+
+use crate::reg::{LANES, MAX_SREGS, MAX_VREGS};
+
+/// Bumped manually whenever the *semantics* of the ISA change: new or
+/// removed instructions, changed execution behavior, changed basic-block
+/// boundary rules, or changed validator limits. Purely additive API work
+/// (new helpers, docs) does not require a bump.
+pub const ISA_REVISION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice; tiny, dependency-free, and stable across
+/// platforms and compiler versions (unlike `DefaultHasher`).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_extend(FNV_OFFSET, bytes)
+}
+
+/// Continues an FNV-1a hash with more bytes.
+pub fn fnv1a_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Returns a stable 64-bit fingerprint of the ISA: the manually-bumped
+/// [`ISA_REVISION`] combined with the architectural constants that shape
+/// execution (lane count, register file sizes). Two builds with equal
+/// fingerprints execute kernels identically instruction-for-instruction.
+pub fn isa_fingerprint() -> u64 {
+    let mut h = fnv1a(b"gpu-isa");
+    h = fnv1a_extend(h, &ISA_REVISION.to_le_bytes());
+    h = fnv1a_extend(h, &(LANES as u64).to_le_bytes());
+    h = fnv1a_extend(h, &(MAX_SREGS as u64).to_le_bytes());
+    h = fnv1a_extend(h, &(MAX_VREGS as u64).to_le_bytes());
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_within_a_build() {
+        assert_eq!(isa_fingerprint(), isa_fingerprint());
+        assert_ne!(isa_fingerprint(), 0);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

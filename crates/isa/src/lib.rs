@@ -55,6 +55,7 @@ mod bb;
 mod builder;
 mod disasm;
 mod error;
+mod fingerprint;
 mod inst;
 mod kernel;
 mod program;
@@ -66,6 +67,7 @@ pub use bb::{BasicBlock, BasicBlockId, BasicBlockMap, BbOptions};
 pub use builder::{KernelBuilder, Label};
 pub use disasm::disasm;
 pub use error::IsaError;
+pub use fingerprint::{fnv1a, fnv1a_extend, isa_fingerprint, ISA_REVISION};
 pub use inst::{
     BranchCond, CmpOp, Inst, InstClass, MaskReg, MemWidth, SAluOp, ScalarSrc, SpecialReg, VAluOp,
     VectorSrc,

@@ -44,3 +44,12 @@ pub use stats::MemStats;
 
 /// A simulation cycle count.
 pub type Cycle = u64;
+
+// Compile-time guarantee that the memory stack can move to a worker
+// thread of the parallel experiment executor.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<AddressSpace>();
+    assert_send::<BumpAllocator>();
+    assert_send::<MemoryHierarchy>();
+};

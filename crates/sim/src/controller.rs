@@ -94,8 +94,12 @@ impl WarpRecord {
 /// All methods have no-op defaults, so a controller only implements the
 /// events it cares about. The full-detailed baseline is
 /// [`NullController`].
+///
+/// Controllers are required to be [`Send`] so a boxed controller, its
+/// simulator, and a per-run telemetry handle can move together onto a
+/// worker thread of the parallel experiment executor.
 #[allow(unused_variables)]
-pub trait SamplingController {
+pub trait SamplingController: Send {
     /// Offered the engine's [`gpu_telemetry::Telemetry`] handle before
     /// each kernel, so controllers can register counters and emit
     /// decision events into the shared registry/trace. Must be

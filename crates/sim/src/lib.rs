@@ -62,3 +62,14 @@ pub use warp::{WarpState, WarpTrace};
 
 /// A simulation cycle count (re-exported from [`gpu_mem`]).
 pub type Cycle = gpu_mem::Cycle;
+
+// Compile-time guarantee that a complete simulator (engine, memory
+// hierarchy, telemetry handle) and the built-in controllers can move to
+// a worker thread of the parallel experiment executor.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<GpuSimulator>();
+    assert_send::<NullController>();
+    assert_send::<Recorder>();
+    assert_send::<Box<dyn SamplingController>>();
+};

@@ -111,6 +111,21 @@ impl Telemetry {
     }
 }
 
+// Compile-time guarantee that telemetry handles can move to (Send) and
+// be updated from (Sync) executor worker threads. Each run owns its own
+// `Telemetry`, so concurrent runs never share a registry or ring; these
+// bounds are what let the handle travel with its simulator.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Telemetry>();
+    assert_send_sync::<Registry>();
+    assert_send_sync::<Counter>();
+    assert_send_sync::<Gauge>();
+    assert_send_sync::<Histogram>();
+    const fn assert_send<T: Send>() {}
+    assert_send::<MetricsSnapshot>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -220,6 +220,65 @@ impl MetricsSnapshot {
             .find(|c| c.name == name)
             .map(|c| c.value)
     }
+
+    /// Merges another snapshot into this one, so a suite of *per-run*
+    /// registries can be combined into one aggregate without ever
+    /// sharing live metric handles between concurrent runs.
+    ///
+    /// Semantics per metric kind:
+    /// * **counters** — summed (both are totals of disjoint runs);
+    /// * **gauges** — last writer wins (`other` overwrites `self`);
+    /// * **histograms** — `count`/`sum` summed and `min`/`max` combined
+    ///   exactly; `mean` recomputed from the merged sum and count;
+    ///   `p50`/`p95`/`p99` take the max of the two parts, a conservative
+    ///   upper-bound approximation (the bucket data needed for exact
+    ///   merged percentiles is not part of the snapshot).
+    ///
+    /// Name order stays sorted, so merging is deterministic regardless
+    /// of the order runs finish in.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for c in &other.counters {
+            match self.counters.iter_mut().find(|m| m.name == c.name) {
+                Some(m) => m.value += c.value,
+                None => self.counters.push(c.clone()),
+            }
+        }
+        self.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        for g in &other.gauges {
+            match self.gauges.iter_mut().find(|m| m.name == g.name) {
+                Some(m) => m.value = g.value,
+                None => self.gauges.push(g.clone()),
+            }
+        }
+        self.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        for h in &other.histograms {
+            match self.histograms.iter_mut().find(|m| m.name == h.name) {
+                Some(m) => {
+                    let count = m.count + h.count;
+                    m.sum = m.sum.saturating_add(h.sum);
+                    m.min = if m.count == 0 {
+                        h.min
+                    } else if h.count == 0 {
+                        m.min
+                    } else {
+                        m.min.min(h.min)
+                    };
+                    m.max = m.max.max(h.max);
+                    m.mean = if count == 0 {
+                        0.0
+                    } else {
+                        m.sum as f64 / count as f64
+                    };
+                    m.p50 = m.p50.max(h.p50);
+                    m.p95 = m.p95.max(h.p95);
+                    m.p99 = m.p99.max(h.p99);
+                    m.count = count;
+                }
+                None => self.histograms.push(h.clone()),
+            }
+        }
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    }
 }
 
 #[derive(Debug, Default)]
@@ -379,6 +438,52 @@ mod tests {
         assert_eq!(bucket_index(u64::MAX), 64);
         assert_eq!(bucket_floor(2), 2);
         assert_eq!(bucket_floor(64), 1u64 << 63);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_combines_histograms() {
+        let a = Registry::default();
+        a.counter("runs").add(2);
+        a.gauge("ipc").set(1.0);
+        let ha = a.histogram("lat");
+        ha.record(10);
+        ha.record(20);
+
+        let b = Registry::default();
+        b.counter("runs").add(3);
+        b.counter("only_b").inc();
+        b.gauge("ipc").set(2.0);
+        let hb = b.histogram("lat");
+        hb.record(5);
+        hb.record(1000);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("runs"), Some(5));
+        assert_eq!(merged.counter("only_b"), Some(1));
+        assert_eq!(merged.gauges[0].value, 2.0);
+        let h = &merged.histograms[0];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1035);
+        assert_eq!(h.min, 5);
+        assert_eq!(h.max, 1000);
+        assert!((h.mean - 1035.0 / 4.0).abs() < 1e-9);
+        // Counter names stay sorted after merging in new entries.
+        let names: Vec<_> = merged.counters.iter().map(|c| c.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn merge_into_empty_snapshot_copies_everything() {
+        let b = Registry::default();
+        b.counter("x").add(7);
+        b.histogram("h").record(3);
+        let mut merged = MetricsSnapshot::default();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("x"), Some(7));
+        assert_eq!(merged.histograms[0].min, 3);
     }
 
     #[test]

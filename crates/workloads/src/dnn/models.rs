@@ -12,7 +12,7 @@ use crate::app::App;
 use gpu_sim::GpuSimulator;
 
 /// Scaling knobs for the DNN workloads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct DnnScale {
     /// Input spatial resolution (paper: 224).
     pub input_hw: u32,

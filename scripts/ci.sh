@@ -19,6 +19,10 @@ cargo test -q -p photon --features telemetry
 cargo test -q -p gpu-baselines --features telemetry
 cargo test -q -p photon-bench --features telemetry
 
+echo "==> executor determinism (--jobs 1 vs --jobs 4)"
+cargo test -q -p photon-bench --test executor
+cargo test -q -p photon-bench --test refcache
+
 echo "==> clippy (default features)"
 scripts/lint.sh
 
@@ -28,8 +32,12 @@ cargo clippy -p photon-bench --all-targets --features telemetry -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> smoke benchmark -> results/BENCH_smoke.json"
-cargo run -q --release -p photon-bench --features telemetry --bin report -- smoke
+echo "==> smoke benchmark -> results/BENCH_smoke.json (cold cache, 2 workers)"
+rm -rf results/cache
+cargo run -q --release -p photon-bench --features telemetry --bin report -- smoke --jobs 2
 cargo run -q --release -p photon-bench --features telemetry --bin report -- check
+
+echo "==> warm-cache rerun must perform zero full-detailed simulations"
+cargo run -q --release -p photon-bench --features telemetry --bin report -- smoke --jobs 2 --require-cached
 
 echo "==> ci OK"
