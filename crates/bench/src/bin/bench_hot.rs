@@ -1,0 +1,120 @@
+//! Hot-path wall-clock benchmark: host instructions per second on the
+//! fig-spec smoke workloads, through the executor.
+//!
+//! ```console
+//! $ bench_hot                     # measure (best of 3), write results/BENCH_hot.json
+//! $ bench_hot --jobs 2 --iters 1  # CI smoke mode: one iteration, 2 workers
+//! $ bench_hot --check             # also gate against the committed baseline
+//! ```
+//!
+//! With `--check` the committed `results/baselines/BENCH_hot.json` is
+//! loaded *before* measuring and the fresh numbers must stay within
+//! [`photon_bench::hotpath::HOT_REGRESSION_FRAC`] of it; regressions
+//! exit 1 and leave the baseline file untouched. (Loose
+//! `results/*.json` files are gitignored; only `results/baselines/`
+//! survives a fresh checkout.)
+
+use photon_bench::cli::{parse_exec_options, usage as exec_usage};
+use photon_bench::hotpath::{
+    compare_hot, hot_baseline_path, hot_report_path, hot_table, load_hot_report, run_hot,
+    write_hot_report, HOT_REGRESSION_FRAC,
+};
+use photon_bench::ExecOptions;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_hot [--iters N] [--check]\n\
+         \x20 --iters N   measurement iterations per cell, best-of (default: 3)\n\
+         \x20 --check     compare against the committed\n\
+         \x20             results/baselines/BENCH_hot.json (>{:.0}% insts/sec\n\
+         \x20             drop fails) instead of writing a fresh report\n{}",
+        HOT_REGRESSION_FRAC * 100.0,
+        exec_usage("bench_hot", " [--iters N] [--check]")
+    );
+    std::process::exit(2);
+}
+
+fn run(opts: ExecOptions, iters: u32, check: bool) -> i32 {
+    let base_path = hot_baseline_path();
+    // Load the baseline before measuring so a broken file fails fast.
+    let baseline = if check {
+        match load_hot_report(&base_path) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("error: --check needs a committed baseline: {e}");
+                return 1;
+            }
+        }
+    } else {
+        None
+    };
+
+    let report = match run_hot(&opts, iters) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "(hot grid: {} cells, best of {} iteration(s), jobs={})",
+        report.measurements.len(),
+        report.iterations,
+        report.jobs
+    );
+    print!("{}", hot_table(&report).render());
+
+    match baseline {
+        Some(base) => {
+            let regressions = compare_hot(&base, &report, HOT_REGRESSION_FRAC);
+            if regressions.is_empty() {
+                println!("no hot-path regressions against {}", base_path.display());
+                0
+            } else {
+                for r in &regressions {
+                    println!("REGRESSION {r}");
+                }
+                1
+            }
+        }
+        None => {
+            let path = hot_report_path();
+            match write_hot_report(&report, &path) {
+                Ok(()) => {
+                    println!("(wrote {})", path.display());
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_exec_options(&mut args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            usage();
+        }
+    };
+    let mut iters = 3u32;
+    let mut check = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iters" => {
+                let Some(v) = it.next() else { usage() };
+                let Ok(n) = v.parse::<u32>() else { usage() };
+                iters = n.max(1);
+            }
+            "--check" => check = true,
+            _ => usage(),
+        }
+    }
+    std::process::exit(run(opts, iters, check));
+}

@@ -1,0 +1,280 @@
+//! Wall-clock hot-path benchmark: host instructions per second through
+//! the executor on the fig-spec smoke workloads.
+//!
+//! The figures measure *simulated* speedup (Photon vs. full-detailed
+//! cycles); this module measures the *simulator's* own throughput — how
+//! many instructions the host retires per wall-clock second — which is
+//! what engine work (allocation removal, event-queue design, latency
+//! tables) actually moves. Results are written to
+//! `results/BENCH_hot.json` with their own schema (they are not
+//! [`gpu_telemetry::RunReport`]s and are skipped by
+//! [`crate::report::load_all_reports`]); `report check` and
+//! `bench_hot --check` gate regressions against a committed baseline.
+
+use crate::executor::{run_specs, ExecOptions};
+use crate::harness::results_dir;
+use crate::specs::{Method, RunSpec};
+use crate::Table;
+use gpu_sim::GpuConfig;
+use gpu_workloads::registry::Benchmark;
+use photon::Levels;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Schema version of `BENCH_hot.json`. Bump on layout changes so stale
+/// baselines are rejected instead of misread.
+pub const HOT_SCHEMA_VERSION: u32 = 1;
+
+/// File name of the hot-path report under `results/`.
+pub const HOT_REPORT_FILE: &str = "BENCH_hot.json";
+
+/// Insts/sec drop (fraction of the baseline) tolerated before
+/// [`compare_hot`] flags a regression. Wall-clock numbers are noisy;
+/// 20% is well past run-to-run jitter with best-of-N iterations.
+pub const HOT_REGRESSION_FRAC: f64 = 0.20;
+
+/// Throughput of one (workload, method) cell, best over the iterations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HotMeasurement {
+    /// Workload name (e.g. "FIR").
+    pub workload: String,
+    /// Method name (e.g. "Full", "Photon").
+    pub method: String,
+    /// Problem size in warps.
+    pub warps: u64,
+    /// Instructions simulated in detailed mode per run.
+    pub detailed_insts: u64,
+    /// Total instructions (detailed + functional) per run.
+    pub total_insts: u64,
+    /// Best (minimum) wall seconds over the iterations.
+    pub wall_secs: f64,
+    /// Best host throughput: `total_insts / wall_secs`.
+    pub insts_per_sec: f64,
+}
+
+/// The `results/BENCH_hot.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HotReport {
+    /// Schema version ([`HOT_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Iterations each cell was measured (best-of).
+    pub iterations: u32,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// One entry per grid cell.
+    pub measurements: Vec<HotMeasurement>,
+}
+
+/// The fixed hot-path grid: the smoke FIR under full-detailed and full
+/// Photon. Matches [`crate::specs::smoke_grid`] so the detailed-mode
+/// row is the workload the acceptance criterion tracks.
+pub fn hot_grid() -> Vec<RunSpec> {
+    let gpu = GpuConfig::r9_nano().with_num_cus(4);
+    vec![
+        RunSpec::bench(gpu.clone(), Benchmark::Fir, 2048, Method::Full),
+        RunSpec::bench(gpu, Benchmark::Fir, 2048, Method::Photon(Levels::all())),
+    ]
+}
+
+/// Measures the hot-path grid `iterations` times through the executor
+/// and keeps the best throughput per cell. The reference cache is
+/// force-disabled: a cached `Full` run would report a stale wall time
+/// and a bogus throughput.
+///
+/// # Errors
+/// Returns a rendered message if any run is skipped (a hot-path
+/// benchmark with holes would silently gate on the wrong numbers).
+pub fn run_hot(opts: &ExecOptions, iterations: u32) -> Result<HotReport, String> {
+    let mut opts = opts.clone();
+    opts.cache = false;
+    let grid = hot_grid();
+    let mut best: Vec<Option<HotMeasurement>> = vec![None; grid.len()];
+    for _ in 0..iterations.max(1) {
+        let report = run_specs(&grid, &opts);
+        for (i, r) in report.results.iter().enumerate() {
+            let m = match r.outcome.measurement() {
+                Some(m) => m,
+                None => return Err(format!("hot-path run skipped: {}", r.spec.label())),
+            };
+            let total = m.detailed_insts + m.functional_insts;
+            let ips = total as f64 / m.wall_secs.max(1e-9);
+            let better = best[i].as_ref().is_none_or(|b| ips > b.insts_per_sec);
+            if better {
+                best[i] = Some(HotMeasurement {
+                    workload: m.workload.clone(),
+                    method: m.method.clone(),
+                    warps: m.warps,
+                    detailed_insts: m.detailed_insts,
+                    total_insts: total,
+                    wall_secs: m.wall_secs,
+                    insts_per_sec: ips,
+                });
+            }
+        }
+    }
+    Ok(HotReport {
+        schema_version: HOT_SCHEMA_VERSION,
+        iterations: iterations.max(1),
+        jobs: opts.jobs.max(1),
+        measurements: best.into_iter().flatten().collect(),
+    })
+}
+
+/// The canonical path: `results/BENCH_hot.json`.
+pub fn hot_report_path() -> PathBuf {
+    results_dir().join(HOT_REPORT_FILE)
+}
+
+/// The committed baseline: `results/baselines/BENCH_hot.json`. Loose
+/// `results/*.json` files are gitignored, so this is the copy that
+/// survives a fresh checkout and that `--check` / `report check` gate
+/// against.
+pub fn hot_baseline_path() -> PathBuf {
+    results_dir().join("baselines").join(HOT_REPORT_FILE)
+}
+
+/// Writes a hot report to a path.
+///
+/// # Errors
+/// Returns a rendered I/O or serialization error.
+pub fn write_hot_report(report: &HotReport, path: &Path) -> Result<(), String> {
+    let text = serde_json::to_string_pretty(report).map_err(|e| e.to_string())?;
+    std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Reads a hot report back, rejecting schema mismatches.
+///
+/// # Errors
+/// Returns a rendered I/O, parse, or schema-version error.
+pub fn load_hot_report(path: &Path) -> Result<HotReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let report: HotReport =
+        serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    if report.schema_version != HOT_SCHEMA_VERSION {
+        return Err(format!(
+            "{}: hot schema version {} (tool expects {HOT_SCHEMA_VERSION})",
+            path.display(),
+            report.schema_version
+        ));
+    }
+    Ok(report)
+}
+
+/// Compares a current hot report against a baseline: every baseline
+/// cell must still exist and retain at least `1 - tolerance` of its
+/// insts/sec. Returns one rendered message per regression.
+pub fn compare_hot(base: &HotReport, cur: &HotReport, tolerance: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    for b in &base.measurements {
+        let Some(c) = cur
+            .measurements
+            .iter()
+            .find(|c| c.workload == b.workload && c.method == b.method)
+        else {
+            out.push(format!(
+                "{} / {}: present in baseline, missing from current hot report",
+                b.workload, b.method
+            ));
+            continue;
+        };
+        let floor = b.insts_per_sec * (1.0 - tolerance);
+        if c.insts_per_sec < floor {
+            out.push(format!(
+                "{} / {}: insts/sec fell {:.2}M -> {:.2}M (floor {:.2}M at {:.0}% tolerance)",
+                b.workload,
+                b.method,
+                b.insts_per_sec / 1e6,
+                c.insts_per_sec / 1e6,
+                floor / 1e6,
+                tolerance * 100.0
+            ));
+        }
+    }
+    out
+}
+
+/// Renders a hot report as an aligned table.
+pub fn hot_table(report: &HotReport) -> Table {
+    let mut t = Table::new(&[
+        "workload", "method", "warps", "insts", "wall (s)", "Minsts/s",
+    ]);
+    for m in &report.measurements {
+        t.row(vec![
+            m.workload.clone(),
+            m.method.clone(),
+            m.warps.to_string(),
+            m.total_insts.to_string(),
+            format!("{:.3}", m.wall_secs),
+            format!("{:.2}", m.insts_per_sec / 1e6),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot(ips: f64) -> HotReport {
+        HotReport {
+            schema_version: HOT_SCHEMA_VERSION,
+            iterations: 1,
+            jobs: 1,
+            measurements: vec![HotMeasurement {
+                workload: "FIR".into(),
+                method: "Full".into(),
+                warps: 2048,
+                detailed_insts: 1000,
+                total_insts: 1000,
+                wall_secs: 1.0,
+                insts_per_sec: ips,
+            }],
+        }
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_missing_cells() {
+        let base = hot(10e6);
+        // Above the floor: fine.
+        assert!(compare_hot(&base, &hot(8.5e6), HOT_REGRESSION_FRAC).is_empty());
+        // Below the floor: flagged.
+        let regs = compare_hot(&base, &hot(7.0e6), HOT_REGRESSION_FRAC);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("insts/sec fell"));
+        // Missing cell: flagged.
+        let mut empty = hot(1.0);
+        empty.measurements.clear();
+        let regs = compare_hot(&base, &empty, HOT_REGRESSION_FRAC);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("missing"));
+    }
+
+    #[test]
+    fn roundtrip_and_schema_gate() {
+        let dir = std::env::temp_dir().join(format!("hot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(HOT_REPORT_FILE);
+        let report = hot(5e6);
+        write_hot_report(&report, &path).unwrap();
+        assert_eq!(load_hot_report(&path).unwrap(), report);
+
+        let mut stale = report;
+        stale.schema_version = HOT_SCHEMA_VERSION + 1;
+        write_hot_report(&stale, &path).unwrap();
+        let err = load_hot_report(&path).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn grid_covers_detailed_and_photon() {
+        let grid = hot_grid();
+        assert_eq!(grid.len(), 2);
+        assert_eq!(grid[0].method, Method::Full);
+        assert!(matches!(grid[1].method, Method::Photon(_)));
+        // Same workload cell as the smoke grid, so the detailed-mode
+        // acceptance row tracks the CI smoke workload.
+        let smoke = crate::specs::smoke_grid();
+        assert_eq!(grid[0].workload, smoke[0].workload);
+    }
+}

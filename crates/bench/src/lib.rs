@@ -15,6 +15,7 @@ pub mod cli;
 pub mod executor;
 pub mod figures;
 pub mod harness;
+pub mod hotpath;
 pub mod refcache;
 pub mod report;
 pub mod specs;

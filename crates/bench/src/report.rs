@@ -119,6 +119,12 @@ pub fn load_all_reports(dir: &Path) -> Result<Vec<RunReport>, String> {
     let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
     for entry in entries.flatten() {
         let name = entry.file_name().to_string_lossy().into_owned();
+        // BENCH_hot.json is the wall-clock hot-path report with its own
+        // schema (see [`crate::hotpath`]); parsing it as a RunReport
+        // would error out the whole listing.
+        if name == crate::hotpath::HOT_REPORT_FILE {
+            continue;
+        }
         if name.starts_with("BENCH_") && name.ends_with(".json") {
             out.push(load_report(&entry.path())?);
         }
@@ -238,6 +244,33 @@ mod tests {
         let photon = report.run("Photon").unwrap();
         assert_eq!(photon.speedup_vs_detailed, 0.0);
         assert_eq!(photon.error_vs_detailed, 0.0);
+    }
+
+    #[test]
+    fn load_all_reports_skips_hot_report() {
+        let dir = std::env::temp_dir().join(format!("photon-reports-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = build_report(
+            "fir",
+            &[RunOutcome::Completed(meas("Full", 1000, 2.0))],
+            MetricsSnapshot::default(),
+        );
+        std::fs::write(
+            dir.join("BENCH_fir.json"),
+            serde_json::to_string(&report).unwrap(),
+        )
+        .unwrap();
+        // The hot-path report has its own schema; if load_all_reports
+        // tried to parse it as a RunReport the whole listing would fail.
+        std::fs::write(
+            dir.join(crate::hotpath::HOT_REPORT_FILE),
+            r#"{"schema_version":1,"iterations":3,"jobs":2,"measurements":[]}"#,
+        )
+        .unwrap();
+        let loaded = load_all_reports(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].workload, "fir");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,10 +1,46 @@
 //! Sparse functional address space.
 
 use std::collections::HashMap;
+use std::hash::Hasher;
 
 const PAGE_SHIFT: u64 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Hasher specialized for `u64` keys (page numbers, byte addresses):
+/// one multiply plus a xor-fold instead of SipHash. The functional
+/// interpreter does one page-table lookup per active lane of every
+/// memory instruction, so the hash is squarely on the simulator's hot
+/// path; there is no untrusted-key DoS concern inside a simulation.
+#[derive(Debug, Default, Clone)]
+pub struct U64Hasher(u64);
+
+impl Hasher for U64Hasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-style fallback for non-u64 keys (unused by the page maps).
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        // Fibonacci multiply, then fold the well-mixed high bits down so
+        // both the bucket index (low bits) and control byte (high bits)
+        // of the hashbrown table see avalanche.
+        let h = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// `BuildHasher` for [`U64Hasher`]-keyed maps.
+pub type U64HashBuilder = std::hash::BuildHasherDefault<U64Hasher>;
 
 /// A sparse, paged, byte-addressable memory.
 ///
@@ -21,7 +57,7 @@ const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct AddressSpace {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>, U64HashBuilder>,
 }
 
 impl AddressSpace {

@@ -27,17 +27,32 @@ const CUS_PER_SCALAR_CACHE: usize = 4;
 /// assert_eq!(lines.len(), 4);
 /// ```
 pub fn coalesce_lines(addrs: impl IntoIterator<Item = u64>, width_bytes: u64) -> Vec<u64> {
-    let mut lines: Vec<u64> = addrs
-        .into_iter()
-        .flat_map(|a| {
-            let first = a / LINE_BYTES;
-            let last = (a + width_bytes - 1) / LINE_BYTES;
-            first..=last
-        })
-        .collect();
-    lines.sort_unstable();
-    lines.dedup();
+    let mut lines = Vec::new();
+    for a in addrs {
+        push_lines(&mut lines, a, width_bytes);
+    }
+    coalesce_lines_into(&mut lines);
     lines
+}
+
+/// Appends the line addresses touched by one `width_bytes` access at
+/// `a` to `out` — the allocation-free per-lane half of
+/// [`coalesce_lines`]. Callers accumulate lanes into a reusable scratch
+/// buffer and finish with [`coalesce_lines_into`].
+#[inline]
+pub fn push_lines(out: &mut Vec<u64>, a: u64, width_bytes: u64) {
+    let first = a / LINE_BYTES;
+    let last = (a + width_bytes - 1) / LINE_BYTES;
+    out.extend(first..=last);
+}
+
+/// Sorts and dedups a line buffer in place, completing the coalesce.
+/// `coalesce_lines(addrs, w)` is exactly `push_lines` per address
+/// followed by this.
+#[inline]
+pub fn coalesce_lines_into(out: &mut Vec<u64>) {
+    out.sort_unstable();
+    out.dedup();
 }
 
 /// Registry handles for one cache level (`mem.<level>.{hits,misses,

@@ -35,11 +35,11 @@ mod config;
 mod hierarchy;
 mod stats;
 
-pub use addr::AddressSpace;
+pub use addr::{AddressSpace, U64HashBuilder, U64Hasher};
 pub use alloc::{AllocError, BumpAllocator};
 pub use cache::{AccessKind, Cache, CacheAccess};
 pub use config::{CacheConfig, DramConfig, MemHierarchyConfig};
-pub use hierarchy::{coalesce_lines, MemoryHierarchy, LINE_BYTES};
+pub use hierarchy::{coalesce_lines, coalesce_lines_into, push_lines, MemoryHierarchy, LINE_BYTES};
 pub use stats::MemStats;
 
 /// A simulation cycle count.

@@ -4,7 +4,10 @@ use gpu_mem::MemHierarchyConfig;
 use serde::{Deserialize, Serialize};
 
 /// Fixed instruction latencies (cycles) of the execution pipelines.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Copy` on purpose: the timing engine keeps a copy per kernel run so
+/// the per-instruction path never clones or chases the config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LatencyConfig {
     /// Scalar ALU op.
     pub salu: u64,

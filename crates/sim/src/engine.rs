@@ -10,9 +10,13 @@
 //! [`gpu_mem::MemoryHierarchy`] with queueing contention; `s_barrier`
 //! parks warps until the whole workgroup arrives.
 //!
-//! The engine is event-driven (a binary heap of warp-ready events), so
-//! simulation cost scales with executed instructions rather than elapsed
-//! cycles.
+//! The engine is event-driven (an indexed calendar queue of warp-ready
+//! events, see [`crate::calendar`]), so simulation cost scales with
+//! executed instructions rather than elapsed cycles. The
+//! per-instruction path is allocation-free: coalesced memory lines land
+//! in a reusable scratch buffer, instruction latencies come from tables
+//! precomputed at kernel start, and event scheduling is O(1) (see
+//! DESIGN.md, "Engine hot path").
 //!
 //! Sampling is mechanically supported in three ways, steered by a
 //! [`SamplingController`]:
@@ -25,7 +29,8 @@
 //! * detailed simulation can be aborted with a stable IPC and
 //!   extrapolated (the PKA mechanism).
 
-use crate::config::GpuConfig;
+use crate::calendar::CalendarQueue;
+use crate::config::{GpuConfig, LatencyConfig};
 use crate::controller::BbRecord;
 use crate::controller::{
     KernelDirective, KernelStartAccess, NullController, SamplingController, WarpRecord, WgMode,
@@ -41,8 +46,6 @@ use gpu_mem::{AccessKind, AddressSpace, BumpAllocator, Cycle, MemStats, MemoryHi
 use gpu_telemetry::{
     AbortKind, Counter, EventKind, Histogram, SampleMode, Telemetry, Trace, TraceEvent,
 };
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Base address of the kernel-argument buffer (for scalar-cache timing).
 const ARG_BASE: u64 = 0x100;
@@ -94,6 +97,9 @@ struct SimCounters {
     detailed_warps: Counter,
     predicted_warps: Counter,
     cycles: Counter,
+    /// Timing events scheduled (`sim.events`) — the calendar queue's
+    /// push count, bulk-recorded at kernel end.
+    events: Counter,
 }
 
 impl SimCounters {
@@ -106,6 +112,7 @@ impl SimCounters {
             detailed_warps: tel.counter("sim.warps.detailed"),
             predicted_warps: tel.counter("sim.warps.predicted"),
             cycles: tel.counter("sim.cycles"),
+            events: tel.counter("sim.events"),
         }
     }
 
@@ -349,10 +356,12 @@ impl GpuSimulator {
         );
         run.functional_insts = functional_insts;
         let mut result = run.run(ctrl)?;
+        let events_scheduled = run.events.pushes();
         self.clock = start + result.cycles;
         result.name = launch.kernel.name().to_string();
         result.mem = self.hierarchy.stats().since(&mem_before);
         self.counters.record(&result);
+        self.counters.events.add(events_scheduled);
         self.emit_kernel_end(&result, seq);
         ctrl.on_kernel_end(&result);
         Ok(result)
@@ -425,13 +434,6 @@ enum EvKind {
     PredRetire(u32),
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Event {
-    cycle: Cycle,
-    seq: u64,
-    kind: EvKind,
-}
-
 struct WarpRt {
     global_id: u64,
     wg: u32,
@@ -468,8 +470,7 @@ struct KernelRun<'a> {
     launch: &'a KernelLaunch,
     start: Cycle,
 
-    events: BinaryHeap<Reverse<Event>>,
-    seq: u64,
+    events: CalendarQueue<EvKind>,
     warps: Vec<WarpRt>,
     wgs: Vec<WgRt>,
     next_wg: u32,
@@ -493,6 +494,35 @@ struct KernelRun<'a> {
     fired_windows: usize,
     abort_ipc: Option<f64>,
     hooks: SimHooks,
+
+    /// Latency config, copied out of `cfg` once per kernel so the hot
+    /// loop never chases the config reference (or clones).
+    lat: LatencyConfig,
+    /// Per-[`InstClass`] ALU latency, indexed by [`InstClass::index`];
+    /// `slow_lat` is the variant for slow ops (divides and friends).
+    alu_lat: [Cycle; N_CLASSES],
+    slow_lat: [Cycle; N_CLASSES],
+    /// Reusable scratch for coalesced memory lines, threaded through
+    /// [`step`] so memory instructions never allocate.
+    lines_scratch: Vec<u64>,
+}
+
+const N_CLASSES: usize = InstClass::ALL.len();
+
+/// Precomputed ALU latency tables: `(normal, slow)` per instruction
+/// class. Scalar/branch/vector classes get their configured latencies;
+/// every other class issued as [`StepEffect::Alu`] costs `salu`. `slow`
+/// only differs for the vector classes (`valu_slow`), matching the old
+/// per-instruction match.
+fn alu_latency_tables(lat: &LatencyConfig) -> ([Cycle; N_CLASSES], [Cycle; N_CLASSES]) {
+    let mut normal = [lat.salu; N_CLASSES];
+    normal[InstClass::VectorInt.index()] = lat.valu;
+    normal[InstClass::VectorFloat.index()] = lat.valu;
+    normal[InstClass::Branch.index()] = lat.branch;
+    let mut slow = normal;
+    slow[InstClass::VectorInt.index()] = lat.valu_slow;
+    slow[InstClass::VectorFloat.index()] = lat.valu_slow;
+    (normal, slow)
 }
 
 impl<'a> KernelRun<'a> {
@@ -505,14 +535,18 @@ impl<'a> KernelRun<'a> {
         hooks: SimHooks,
     ) -> Self {
         let n_cu = cfg.num_cus as usize;
+        let (alu_lat, slow_lat) = alu_latency_tables(&cfg.lat);
         KernelRun {
+            lat: cfg.lat,
+            alu_lat,
+            slow_lat,
+            lines_scratch: Vec::new(),
             cfg,
             mem,
             hier,
             launch,
             start,
-            events: BinaryHeap::new(),
-            seq: 0,
+            events: CalendarQueue::new(start),
             warps: Vec::new(),
             wgs: Vec::new(),
             next_wg: 0,
@@ -536,12 +570,7 @@ impl<'a> KernelRun<'a> {
     }
 
     fn push_event(&mut self, cycle: Cycle, kind: EvKind) {
-        self.seq += 1;
-        self.events.push(Reverse(Event {
-            cycle,
-            seq: self.seq,
-            kind,
-        }));
+        self.events.push(cycle, kind);
     }
 
     fn env_for(&self, w: u32) -> LaunchEnv<'a> {
@@ -560,8 +589,8 @@ impl<'a> KernelRun<'a> {
         let wd = self.cfg.watchdog;
         self.dispatch(self.start, ctrl)?;
         let mut now = self.start;
-        while let Some(Reverse(ev)) = self.events.pop() {
-            now = ev.cycle;
+        while let Some((cycle, kind)) = self.events.pop() {
+            now = cycle;
             if now - self.start > wd.cycle_fuel {
                 let snapshot = self.snapshot(now);
                 self.hooks.abort(AbortKind::FuelExhausted, &snapshot);
@@ -579,7 +608,7 @@ impl<'a> KernelRun<'a> {
             if self.abort_ipc.is_some() {
                 break;
             }
-            match ev.kind {
+            match kind {
                 EvKind::Ready(w) => self.handle_ready(w, now, ctrl)?,
                 EvKind::PredRetire(w) => self.retire_warp(w, now, ctrl)?,
             }
@@ -594,6 +623,32 @@ impl<'a> KernelRun<'a> {
             let snapshot = self.snapshot(now);
             self.hooks.abort(AbortKind::Deadlock, &snapshot);
             return Err(SimError::Deadlock { snapshot });
+        }
+
+        // A kernel shorter than one IPC window would otherwise end
+        // without the controller ever observing a window (blinding
+        // PKA-style abort logic on short kernels). Flush one final
+        // window over the actual elapsed span. Any abort verdict is
+        // meaningless now — the kernel already finished in full detail —
+        // so it is deliberately discarded.
+        if self.abort_ipc.is_none() && self.fired_windows == 0 {
+            let elapsed = (self.last_retire - self.start).max(1);
+            let insts = self.ipc_counts.first().copied().unwrap_or(0);
+            ctrl.on_ipc_window(self.start, insts, elapsed);
+            let _ = ctrl.check_abort();
+            self.hooks.trace.emit_with(|| TraceEvent {
+                ts: self.start,
+                dur: elapsed,
+                kind: EventKind::ControllerDecision {
+                    controller: "engine".to_string(),
+                    decision: "final-window-flush".to_string(),
+                    detail: format!(
+                        "kernel ended after {elapsed} cycles, before the first \
+                         {}-cycle IPC window",
+                        self.cfg.ipc_window
+                    ),
+                },
+            });
         }
 
         let cycles = if let Some(ipc) = self.abort_ipc {
@@ -730,7 +785,9 @@ impl<'a> KernelRun<'a> {
                 live: self.launch.warps_per_wg,
                 barrier_arrived: 0,
                 barrier_waiting: Vec::new(),
-                lds: vec![0u8; self.launch.lds_bytes.max(4) as usize],
+                // Allocated lazily on first detailed step (handle_ready)
+                // or functional completion — sampled WGs never pay for it.
+                lds: Vec::new(),
                 first_warp_rt: first_rt,
                 mode,
                 done: false,
@@ -886,45 +943,57 @@ impl<'a> KernelRun<'a> {
             });
         }
 
-        let info = step(state, program, self.mem, &mut wg.lds, &env)?;
+        // Lazy LDS: sampled workgroups never execute, so the backing
+        // store is only materialized when a detailed warp first steps
+        // (minimum 4 bytes so zero-LDS kernels keep byte-accurate
+        // out-of-bounds faults).
+        if wg.lds.is_empty() {
+            wg.lds = vec![0u8; self.launch.lds_bytes.max(4) as usize];
+        }
+
+        let info = step(
+            state,
+            program,
+            self.mem,
+            &mut wg.lds,
+            &env,
+            &mut self.lines_scratch,
+        )?;
         self.detailed_insts += 1;
         self.last_progress = self.last_progress.max(now);
         self.count_ipc(now);
 
-        let lat = self.cfg.lat.clone();
-        let latency = match &info.effect {
-            StepEffect::Alu => match info.class {
-                InstClass::Scalar => lat.salu,
-                InstClass::Branch => lat.branch,
-                InstClass::VectorInt | InstClass::VectorFloat => {
-                    if info.slow {
-                        lat.valu_slow
-                    } else {
-                        lat.valu
-                    }
+        let lat = self.lat;
+        let latency = match info.effect {
+            StepEffect::Alu => {
+                if info.slow {
+                    self.slow_lat[info.class.index()]
+                } else {
+                    self.alu_lat[info.class.index()]
                 }
-                _ => lat.salu,
-            },
-            StepEffect::Mem { lines, write } => {
+            }
+            StepEffect::Mem { write } => {
                 let issue_at = now + lat.mem_issue;
                 let mut done = issue_at;
-                for &line in lines {
-                    let kind = if *write {
-                        AccessKind::Write
-                    } else {
-                        AccessKind::Read
-                    };
-                    let c = self.hier.access_line(cu, line, kind, issue_at);
+                let kind = if write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                for i in 0..self.lines_scratch.len() {
+                    let c = self
+                        .hier
+                        .access_line(cu, self.lines_scratch[i], kind, issue_at);
                     done = done.max(c);
                 }
-                if *write {
+                if write {
                     lat.store_issue // fire-and-forget
                 } else {
                     done - now
                 }
             }
             StepEffect::ArgLoad { index } => {
-                let addr = ARG_BASE + 8 * *index as u64;
+                let addr = ARG_BASE + 8 * index as u64;
                 self.hier.scalar_access(cu, addr, now) - now
             }
             StepEffect::Lds => lat.lds,
@@ -1095,6 +1164,11 @@ impl<'a> KernelRun<'a> {
                 .map(|i| waiting.contains(&((first + i) as u32)))
                 .collect();
             let mut lds = std::mem::take(&mut self.wgs[wg_idx].lds);
+            if lds.is_empty() {
+                // The workgroup aborted before any detailed warp
+                // stepped, so its lazy LDS was never materialized.
+                lds = vec![0u8; self.launch.lds_bytes.max(4) as usize];
+            }
             loop {
                 let mut progressed = false;
                 for (i, at_barrier_i) in at_barrier.iter_mut().enumerate() {
@@ -1115,7 +1189,14 @@ impl<'a> KernelRun<'a> {
                     };
                     let mut steps = 0u64;
                     loop {
-                        let info = step(&mut state, program, self.mem, &mut lds, &env)?;
+                        let info = step(
+                            &mut state,
+                            program,
+                            self.mem,
+                            &mut lds,
+                            &env,
+                            &mut self.lines_scratch,
+                        )?;
                         steps += 1;
                         progressed = true;
                         match info.effect {
@@ -1395,6 +1476,69 @@ mod tests {
         assert_eq!(gpu.mem().read_f32(c + 4 * 99), 3.0 * 99.0);
     }
 
+    /// Controller recording every IPC-window callback and abort poll.
+    struct WindowRecorder {
+        windows: Vec<(Cycle, u64, Cycle)>,
+        aborts_checked: u32,
+    }
+    impl SamplingController for WindowRecorder {
+        fn on_ipc_window(&mut self, start: Cycle, insts: u64, window: Cycle) {
+            self.windows.push((start, insts, window));
+        }
+        fn check_abort(&mut self) -> Option<f64> {
+            self.aborts_checked += 1;
+            None
+        }
+    }
+
+    #[test]
+    fn short_kernel_flushes_final_ipc_window() {
+        // A kernel shorter than one ipc_window used to end without the
+        // controller ever seeing a window (or an abort poll). The engine
+        // now flushes one final window spanning the actual elapsed span.
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        // Pure-ALU kernel: a handful of scalar ops, no memory latency.
+        let mut kb = KernelBuilder::new("short");
+        let s = kb.sreg();
+        kb.smov(s, 1i64);
+        kb.salu(SAluOp::Add, s, s, 2i64);
+        kb.salu(SAluOp::Mul, s, s, 3i64);
+        let launch = KernelLaunch::new(Kernel::new(kb.finish().unwrap()), 1, 1, vec![]);
+        let mut ctrl = WindowRecorder {
+            windows: Vec::new(),
+            aborts_checked: 0,
+        };
+        let result = gpu.run_kernel_sampled(&launch, &mut ctrl).unwrap();
+        assert!(
+            result.cycles < gpu.config().ipc_window,
+            "test premise: kernel ({} cycles) shorter than one window",
+            result.cycles
+        );
+        assert_eq!(ctrl.windows.len(), 1);
+        let (start, insts, width) = ctrl.windows[0];
+        assert_eq!(start, result.start_cycle);
+        assert_eq!(insts, result.detailed_insts);
+        assert_eq!(width, result.cycles, "width is the elapsed span");
+        assert!(ctrl.aborts_checked >= 1, "abort poll still happens");
+    }
+
+    #[test]
+    fn long_kernel_windows_are_not_flushed() {
+        // When regular windows fired, the final-window flush must stay
+        // out of the way: the controller sees only full-width windows.
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let launch = vadd_launch(&mut gpu, 64, 4);
+        let mut ctrl = WindowRecorder {
+            windows: Vec::new(),
+            aborts_checked: 0,
+        };
+        let result = gpu.run_kernel_sampled(&launch, &mut ctrl).unwrap();
+        let w = gpu.config().ipc_window;
+        assert!(result.cycles >= w, "test premise: at least one window");
+        assert!(!ctrl.windows.is_empty());
+        assert!(ctrl.windows.iter().all(|&(_, _, width)| width == w));
+    }
+
     /// Controller that skips the kernel outright (kernel-sampling).
     struct SkipAll;
     impl SamplingController for SkipAll {
@@ -1470,6 +1614,8 @@ mod tests {
         assert_eq!(snap.counter("sim.insts.detailed"), Some(r.detailed_insts));
         assert_eq!(snap.counter("sim.cycles"), Some(r.cycles));
         assert_eq!(snap.counter("sim.warps.detailed"), Some(4));
+        // Every detailed instruction schedules at least one event.
+        assert!(snap.counter("sim.events").unwrap() >= r.detailed_insts);
         // The memory hierarchy shares the same registry.
         let l1v =
             snap.counter("mem.l1v.hits").unwrap_or(0) + snap.counter("mem.l1v.misses").unwrap_or(0);

@@ -14,7 +14,7 @@ use gpu_isa::{
     BranchCond, CmpOp, Inst, InstClass, MaskReg, MemWidth, Program, SAluOp, ScalarSrc, SpecialReg,
     VAluOp, VectorSrc, LANES,
 };
-use gpu_mem::coalesce_lines;
+use gpu_mem::{coalesce_lines_into, push_lines};
 
 /// Per-launch values visible to the interpreter.
 #[derive(Debug, Clone, Copy)]
@@ -40,14 +40,14 @@ impl LaunchEnv<'_> {
 
 /// Architecturally visible side channel of one executed instruction,
 /// consumed by the timing model.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepEffect {
     /// Pure ALU / control work; latency comes from the instruction class.
     Alu,
-    /// Global memory access touching the given coalesced line addresses.
+    /// Global memory access. The coalesced cache-line addresses
+    /// (address / 64, sorted, unique) are left in the `lines` scratch
+    /// buffer passed to [`step`] — the effect itself stays heap-free.
     Mem {
-        /// Unique cache-line addresses (address / 64).
-        lines: Vec<u64>,
         /// Whether the access was a store.
         write: bool,
     },
@@ -65,7 +65,7 @@ pub enum StepEffect {
 }
 
 /// Result of executing one instruction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StepInfo {
     /// PC of the executed instruction.
     pub pc: u32,
@@ -190,6 +190,12 @@ fn branch_taken(warp: &WarpState, cond: BranchCond) -> bool {
 
 /// Executes one instruction of `warp`.
 ///
+/// `lines` is a caller-owned scratch buffer for coalesced cache-line
+/// addresses: on a [`StepEffect::Mem`] return it holds the access's
+/// sorted, unique line addresses; on every other effect its contents
+/// are unspecified. Reusing one buffer across calls keeps the
+/// per-instruction hot path allocation-free.
+///
 /// # Errors
 /// Returns [`SimError::ExecFault`] if the warp has already ended, the
 /// PC is outside the program, an argument index is out of range, or an
@@ -202,6 +208,7 @@ pub fn step<M: DataMem>(
     mem: &mut M,
     lds: &mut [u8],
     env: &LaunchEnv<'_>,
+    lines: &mut Vec<u64>,
 ) -> Result<StepInfo, SimError> {
     let fault = |pc, kind| SimError::ExecFault {
         warp: env.global_warp_id(),
@@ -273,27 +280,28 @@ pub fn step<M: DataMem>(
             warp.sregs[dst.index()] = warp.exec;
             warp.exec &= warp.vcc;
         }
+        // Vector writes happen in place: lane N reads only lane N of its
+        // sources before writing lane N of the destination, so the
+        // result is identical to a copy-out/copy-back even when the
+        // destination aliases a source register.
         Inst::VAlu { op, dst, a, b } => {
             slow = matches!(op, VAluOp::Div | VAluOp::Rem | VAluOp::FDiv);
-            let mut out = warp.vregs[dst.index()];
-            for (lane, slot) in out.iter_mut().enumerate().take(LANES) {
+            for lane in 0..LANES {
                 if warp.exec & (1u64 << lane) != 0 {
-                    *slot = valu_eval(op, vector_src(warp, a, lane), vector_src(warp, b, lane));
+                    let r = valu_eval(op, vector_src(warp, a, lane), vector_src(warp, b, lane));
+                    warp.vregs[dst.index()][lane] = r;
                 }
             }
-            warp.vregs[dst.index()] = out;
         }
         Inst::VFma { dst, a, b, c } => {
-            let mut out = warp.vregs[dst.index()];
-            for (lane, slot) in out.iter_mut().enumerate().take(LANES) {
+            for lane in 0..LANES {
                 if warp.exec & (1u64 << lane) != 0 {
                     let fa = f32::from_bits(vector_src(warp, a, lane));
                     let fb = f32::from_bits(vector_src(warp, b, lane));
                     let fc = f32::from_bits(vector_src(warp, c, lane));
-                    *slot = (fa * fb + fc).to_bits();
+                    warp.vregs[dst.index()][lane] = (fa * fb + fc).to_bits();
                 }
             }
-            warp.vregs[dst.index()] = out;
         }
         Inst::VCmp { op, a, b, float } => {
             let mut vcc = 0u64;
@@ -321,24 +329,20 @@ pub fn step<M: DataMem>(
             width,
         } => {
             let base_addr = warp.sregs[base.index()].wrapping_add(imm as i64 as u64);
-            let mut addrs = Vec::new();
-            let mut out = warp.vregs[dst.index()];
-            for (lane, slot) in out.iter_mut().enumerate().take(LANES) {
+            lines.clear();
+            for lane in 0..LANES {
                 if warp.exec & (1u64 << lane) != 0 {
                     let a = base_addr.wrapping_add(warp.vregs[offset.index()][lane] as u64);
-                    addrs.push(a);
-                    *slot = match width {
+                    push_lines(lines, a, width.bytes());
+                    warp.vregs[dst.index()][lane] = match width {
                         MemWidth::B8 => mem.read_u8(a) as u32,
                         MemWidth::B32 => mem.read_u32(a),
                     };
                 }
             }
-            warp.vregs[dst.index()] = out;
-            if !addrs.is_empty() {
-                effect = StepEffect::Mem {
-                    lines: coalesce_lines(addrs, width.bytes()),
-                    write: false,
-                };
+            if !lines.is_empty() {
+                coalesce_lines_into(lines);
+                effect = StepEffect::Mem { write: false };
             }
         }
         Inst::GlobalStore {
@@ -349,11 +353,11 @@ pub fn step<M: DataMem>(
             width,
         } => {
             let base_addr = warp.sregs[base.index()].wrapping_add(imm as i64 as u64);
-            let mut addrs = Vec::new();
+            lines.clear();
             for lane in 0..LANES {
                 if warp.exec & (1u64 << lane) != 0 {
                     let a = base_addr.wrapping_add(warp.vregs[offset.index()][lane] as u64);
-                    addrs.push(a);
+                    push_lines(lines, a, width.bytes());
                     let v = warp.vregs[src.index()][lane];
                     match width {
                         MemWidth::B8 => mem.write_u8(a, v as u8),
@@ -361,16 +365,13 @@ pub fn step<M: DataMem>(
                     }
                 }
             }
-            if !addrs.is_empty() {
-                effect = StepEffect::Mem {
-                    lines: coalesce_lines(addrs, width.bytes()),
-                    write: true,
-                };
+            if !lines.is_empty() {
+                coalesce_lines_into(lines);
+                effect = StepEffect::Mem { write: true };
             }
         }
         Inst::LdsLoad { dst, addr, imm } => {
-            let mut out = warp.vregs[dst.index()];
-            for (lane, slot) in out.iter_mut().enumerate().take(LANES) {
+            for lane in 0..LANES {
                 if warp.exec & (1u64 << lane) != 0 {
                     let a = (warp.vregs[addr.index()][lane] as i64 + imm as i64) as usize;
                     if a + 4 > lds.len() {
@@ -382,10 +383,10 @@ pub fn step<M: DataMem>(
                             },
                         ));
                     }
-                    *slot = u32::from_le_bytes([lds[a], lds[a + 1], lds[a + 2], lds[a + 3]]);
+                    warp.vregs[dst.index()][lane] =
+                        u32::from_le_bytes([lds[a], lds[a + 1], lds[a + 2], lds[a + 3]]);
                 }
             }
-            warp.vregs[dst.index()] = out;
             effect = StepEffect::Lds;
         }
         Inst::LdsStore { src, addr, imm } => {
@@ -452,9 +453,10 @@ mod tests {
     fn run_to_end(program: &Program, mem: &mut AddressSpace, args: &[u64]) -> WarpState {
         let mut w = WarpState::new();
         let mut lds = vec![0u8; 1024];
+        let mut lines = Vec::new();
         let e = env(args);
         for _ in 0..100_000 {
-            let info = step(&mut w, program, mem, &mut lds, &e).unwrap();
+            let info = step(&mut w, program, mem, &mut lds, &e, &mut lines).unwrap();
             if info.effect == StepEffect::End {
                 return w;
             }
@@ -539,23 +541,25 @@ mod tests {
         let mut mem = AddressSpace::new();
         let mut w = WarpState::new();
         let mut lds = vec![0u8; 16];
+        let mut lines = Vec::new();
         let args = [0x10000u64];
         let e = env(&args);
         // step: load_arg, shl, mov
         for _ in 0..3 {
-            step(&mut w, &p, &mut mem, &mut lds, &e).unwrap();
+            step(&mut w, &p, &mut mem, &mut lds, &e, &mut lines).unwrap();
         }
-        let st = step(&mut w, &p, &mut mem, &mut lds, &e).unwrap();
+        let st = step(&mut w, &p, &mut mem, &mut lds, &e, &mut lines).unwrap();
         match st.effect {
-            StepEffect::Mem { lines, write } => {
+            StepEffect::Mem { write } => {
                 assert!(write);
-                // 64 lanes * 4B = 256B = 4 lines
+                // 64 lanes * 4B = 256B = 4 lines, left in the scratch
                 assert_eq!(lines.len(), 4);
             }
             other => panic!("expected store effect, got {other:?}"),
         }
-        let ld = step(&mut w, &p, &mut mem, &mut lds, &e).unwrap();
-        assert!(matches!(ld.effect, StepEffect::Mem { write: false, .. }));
+        let ld = step(&mut w, &p, &mut mem, &mut lds, &e, &mut lines).unwrap();
+        assert!(matches!(ld.effect, StepEffect::Mem { write: false }));
+        assert_eq!(lines.len(), 4);
         for lane in 0..LANES {
             assert_eq!(w.vregs[r.index()][lane], lane as u32);
             assert_eq!(mem.read_u32(0x10000 + 4 * lane as u64), lane as u32);
@@ -661,10 +665,11 @@ mod tests {
         let mut mem = AddressSpace::new();
         let mut w = WarpState::new();
         let mut lds = vec![0u8; 64 * 4];
+        let mut lines = Vec::new();
         let args: [u64; 0] = [];
         let e = env(&args);
         while !w.ended {
-            step(&mut w, &p, &mut mem, &mut lds, &e).unwrap();
+            step(&mut w, &p, &mut mem, &mut lds, &e, &mut lines).unwrap();
         }
         for lane in 0..LANES {
             assert_eq!(w.vregs[r.index()][lane], 3 * lane as u32);
@@ -696,10 +701,11 @@ mod tests {
         let mut mem = AddressSpace::new();
         let mut w = WarpState::new();
         let mut lds = vec![];
+        let mut lines = Vec::new();
         let args: [u64; 0] = [];
         let e = env(&args);
-        step(&mut w, &p, &mut mem, &mut lds, &e).unwrap(); // endpgm
-        let err = step(&mut w, &p, &mut mem, &mut lds, &e).unwrap_err();
+        step(&mut w, &p, &mut mem, &mut lds, &e, &mut lines).unwrap(); // endpgm
+        let err = step(&mut w, &p, &mut mem, &mut lds, &e, &mut lines).unwrap_err();
         assert!(matches!(
             err,
             SimError::ExecFault {
@@ -718,9 +724,10 @@ mod tests {
         let mut mem = AddressSpace::new();
         let mut w = WarpState::new();
         let mut lds = vec![];
+        let mut lines = Vec::new();
         let args = [1u64];
         let e = env(&args);
-        let err = step(&mut w, &p, &mut mem, &mut lds, &e).unwrap_err();
+        let err = step(&mut w, &p, &mut mem, &mut lds, &e, &mut lines).unwrap_err();
         assert!(matches!(
             err,
             SimError::ExecFault {
@@ -742,10 +749,11 @@ mod tests {
         let mut mem = AddressSpace::new();
         let mut w = WarpState::new();
         let mut lds = vec![0u8; 2]; // too small for a 4-byte access
+        let mut lines = Vec::new();
         let args: [u64; 0] = [];
         let e = env(&args);
-        step(&mut w, &p, &mut mem, &mut lds, &e).unwrap(); // vmov
-        let err = step(&mut w, &p, &mut mem, &mut lds, &e).unwrap_err();
+        step(&mut w, &p, &mut mem, &mut lds, &e, &mut lines).unwrap(); // vmov
+        let err = step(&mut w, &p, &mut mem, &mut lds, &e, &mut lines).unwrap_err();
         assert!(matches!(
             err,
             SimError::ExecFault {
@@ -768,10 +776,11 @@ mod tests {
         let mut w = WarpState::new();
         w.exec = 0; // all lanes off
         let mut lds = vec![];
+        let mut lines = Vec::new();
         let args = [64u64];
         let e = env(&args);
-        step(&mut w, &p, &mut mem, &mut lds, &e).unwrap(); // arg
-        let info = step(&mut w, &p, &mut mem, &mut lds, &e).unwrap();
+        step(&mut w, &p, &mut mem, &mut lds, &e, &mut lines).unwrap(); // arg
+        let info = step(&mut w, &p, &mut mem, &mut lds, &e, &mut lines).unwrap();
         assert_eq!(info.effect, StepEffect::Alu);
     }
 

@@ -57,12 +57,13 @@ pub fn trace_warp_isolated(
         num_wgs: launch.num_wgs,
     };
     let mut insts = 0u64;
+    let mut lines = Vec::new();
     loop {
         let pc = warp.pc;
         if let Some(bb) = bb_map.block_starting_at(pc) {
             counts[bb.index()] += 1;
         }
-        let info = step(&mut warp, program, &mut overlay, &mut lds, &env)?;
+        let info = step(&mut warp, program, &mut overlay, &mut lds, &env, &mut lines)?;
         insts += 1;
         if insts > max_insts {
             return Err(SimError::InstLimitExceeded {
@@ -101,6 +102,7 @@ pub fn run_wg_functional(
     let mut insts: Vec<u64> = vec![0; n];
     let mut at_barrier = vec![false; n];
     let mut lds = vec![0u8; launch.lds_bytes.max(4) as usize];
+    let mut lines = Vec::new();
     let mut total = 0u64;
 
     loop {
@@ -121,7 +123,7 @@ pub fn run_wg_functional(
                 if let Some(bb) = bb_map.block_starting_at(pc) {
                     counts[w][bb.index()] += 1;
                 }
-                let info = step(&mut warps[w], program, mem, &mut lds, &env)?;
+                let info = step(&mut warps[w], program, mem, &mut lds, &env, &mut lines)?;
                 insts[w] += 1;
                 total += 1;
                 progressed = true;

@@ -37,6 +37,7 @@
 // tests are free to unwrap.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+mod calendar;
 mod config;
 mod controller;
 mod engine;
@@ -47,6 +48,7 @@ mod overlay;
 mod result;
 mod warp;
 
+pub use calendar::CalendarQueue;
 pub use config::{GpuConfig, LatencyConfig};
 pub use controller::{
     BbRecord, KernelDirective, KernelStartAccess, NullController, Recorder, SamplingController,

@@ -5,7 +5,7 @@
 //! that will still be simulated later, so those traces run against a
 //! copy-on-write [`OverlayMem`] and leave no side effects.
 
-use gpu_mem::AddressSpace;
+use gpu_mem::{AddressSpace, U64HashBuilder};
 use std::collections::HashMap;
 
 /// A byte-addressable data memory the functional interpreter can run on.
@@ -57,7 +57,7 @@ impl DataMem for AddressSpace {
 #[derive(Debug)]
 pub struct OverlayMem<'a> {
     base: &'a AddressSpace,
-    writes: HashMap<u64, u8>,
+    writes: HashMap<u64, u8, U64HashBuilder>,
 }
 
 impl<'a> OverlayMem<'a> {
@@ -65,7 +65,7 @@ impl<'a> OverlayMem<'a> {
     pub fn new(base: &'a AddressSpace) -> Self {
         OverlayMem {
             base,
-            writes: HashMap::new(),
+            writes: HashMap::default(),
         }
     }
 
@@ -84,6 +84,11 @@ impl DataMem for OverlayMem<'_> {
     }
 
     fn read_u32(&self, addr: u64) -> u32 {
+        // Until the traced warp writes something, reads fall straight
+        // through — one page lookup instead of four shadow probes.
+        if self.writes.is_empty() {
+            return self.base.read_u32(addr);
+        }
         let mut b = [0u8; 4];
         for (i, byte) in b.iter_mut().enumerate() {
             *byte = self.read_u8(addr + i as u64);

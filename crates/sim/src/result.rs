@@ -44,10 +44,31 @@ impl KernelResult {
     }
 
     /// IPC per window, for the paper's Figure 1 style plots.
+    ///
+    /// The final window is usually partial — the kernel rarely ends on
+    /// a window boundary — so its count is divided by the cycles that
+    /// actually elapsed in it, not the full window width (which would
+    /// systematically understate tail IPC).
     pub fn ipc_series(&self) -> Vec<f64> {
+        let n = self.ipc_timeline.len();
         self.ipc_timeline
             .iter()
-            .map(|&n| n as f64 / self.ipc_window as f64)
+            .enumerate()
+            .map(|(i, &cnt)| {
+                let width = if i + 1 == n {
+                    // Elapsed cycles in the last window. The timeline
+                    // can be shorter than cycles/window (trailing
+                    // all-zero windows are not materialized), in which
+                    // case this window did span its full width.
+                    self.cycles
+                        .saturating_sub(i as Cycle * self.ipc_window)
+                        .max(1)
+                        .min(self.ipc_window.max(1))
+                } else {
+                    self.ipc_window
+                };
+                cnt as f64 / width as f64
+            })
             .collect()
     }
 
@@ -158,5 +179,33 @@ mod tests {
         let mut k = kr(1, 1);
         k.predicted_warps = 5;
         assert_eq!(k.sampled_fraction(), 0.5);
+    }
+
+    #[test]
+    fn ipc_series_uses_elapsed_width_for_partial_last_window() {
+        // Kernel ends mid-window: 2 full 2048-cycle windows plus 100
+        // cycles into the third.
+        let mut k = kr(2 * 2048 + 100, 0);
+        k.ipc_timeline = vec![4096, 2048, 50];
+        let s = k.ipc_series();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], 2.0);
+        assert_eq!(s[1], 1.0);
+        // Tail: 50 insts over the 100 cycles that actually elapsed —
+        // not 50/2048, which would understate the tail 20x.
+        assert_eq!(s[2], 0.5);
+    }
+
+    #[test]
+    fn ipc_series_with_full_final_window() {
+        // Kernel ends exactly on a window boundary.
+        let mut k = kr(2 * 2048, 0);
+        k.ipc_timeline = vec![2048, 1024];
+        assert_eq!(k.ipc_series(), vec![1.0, 0.5]);
+        // Timeline shorter than elapsed windows (trailing zero windows
+        // dropped): the last materialized window spans its full width.
+        let mut k = kr(10 * 2048, 0);
+        k.ipc_timeline = vec![2048, 1024];
+        assert_eq!(k.ipc_series(), vec![1.0, 0.5]);
     }
 }

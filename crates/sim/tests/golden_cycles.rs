@@ -1,0 +1,168 @@
+//! Golden-cycles regression suite: pins `cycles`, `detailed_insts`, and
+//! `ipc_timeline` for three representative workloads so engine
+//! performance work (event-queue changes, allocation removal, latency
+//! tables) can never silently change timing. The pinned values were
+//! captured from the seed engine (binary-heap event queue, per-inst
+//! `LatencyConfig` clones) and every later engine must reproduce them
+//! bit-for-bit.
+
+use gpu_isa::{CmpOp, Kernel, KernelBuilder, KernelLaunch, MemWidth, SAluOp, VAluOp, VectorSrc};
+use gpu_sim::{GpuConfig, GpuSimulator};
+
+/// The compact timing fingerprint every engine revision must reproduce.
+#[derive(Debug, PartialEq, Eq)]
+struct Golden {
+    cycles: u64,
+    detailed_insts: u64,
+    ipc_timeline: Vec<u64>,
+}
+
+/// A barrier kernel: warp 0 of each workgroup produces LDS values, the
+/// whole workgroup synchronizes, every warp consumes. Exercises barrier
+/// park/release timing and LDS latency.
+fn barrier_launch(gpu: &mut GpuSimulator, num_wgs: u32, warps_per_wg: u32) -> KernelLaunch {
+    let out = gpu
+        .alloc_buffer(num_wgs as u64 * warps_per_wg as u64 * 64 * 4)
+        .unwrap();
+    let mut kb = KernelBuilder::new("golden_barrier");
+    let s_out = kb.sreg();
+    kb.load_arg(s_out, 0);
+    let s_wiw = kb.sreg();
+    kb.special(s_wiw, gpu_isa::SpecialReg::WarpInWg);
+    let v_addr = kb.vreg();
+    kb.valu(VAluOp::Shl, v_addr, VectorSrc::LaneId, VectorSrc::Imm(2));
+    kb.scmp(CmpOp::Eq, s_wiw, 0i64);
+    kb.if_scc(|kb| {
+        let v = kb.vreg();
+        kb.valu(VAluOp::Add, v, VectorSrc::LaneId, VectorSrc::Imm(11));
+        kb.lds_store(v, v_addr, 0);
+    });
+    kb.barrier();
+    let v_read = kb.vreg();
+    kb.lds_load(v_read, v_addr, 0);
+    let s_wg = kb.sreg();
+    kb.special(s_wg, gpu_isa::SpecialReg::WgId);
+    let s_base = kb.sreg();
+    kb.salu(SAluOp::Mul, s_base, s_wiw, 256i64);
+    let s_wgoff = kb.sreg();
+    kb.salu(SAluOp::Mul, s_wgoff, s_wg, warps_per_wg as i64 * 256);
+    kb.salu(
+        SAluOp::Add,
+        s_base,
+        s_base,
+        gpu_isa::ScalarSrc::Reg(s_wgoff),
+    );
+    let v_off = kb.vreg();
+    kb.valu(
+        VAluOp::Add,
+        v_off,
+        VectorSrc::Sreg(s_base),
+        VectorSrc::Reg(v_addr),
+    );
+    kb.global_store(v_read, s_out, v_off, 0, MemWidth::B32);
+    let k = Kernel::new(kb.finish().unwrap());
+    KernelLaunch::new(k, num_wgs, warps_per_wg, vec![out]).with_lds(256)
+}
+
+/// A strided-memory kernel: each lane loads `a[tid * 32]` (one 4-byte
+/// word every 128 bytes), so a warp's access fans out over many cache
+/// lines — the worst case for the coalescer and the memory hierarchy's
+/// queueing model.
+fn strided_launch(gpu: &mut GpuSimulator, num_wgs: u32, warps_per_wg: u32) -> KernelLaunch {
+    let threads = num_wgs as u64 * warps_per_wg as u64 * 64;
+    let a = gpu.alloc_buffer(threads * 128 + 4).unwrap();
+    let out = gpu.alloc_buffer(threads * 4).unwrap();
+    for i in 0..threads {
+        gpu.mem_mut().write_u32(a + 128 * i, (3 * i) as u32);
+    }
+    let mut kb = KernelBuilder::new("golden_strided");
+    let (sa, so) = (kb.sreg(), kb.sreg());
+    kb.load_arg(sa, 0);
+    kb.load_arg(so, 1);
+    let tid = kb.vreg();
+    kb.global_thread_id(tid);
+    let off_in = kb.vreg();
+    kb.valu(VAluOp::Shl, off_in, VectorSrc::Reg(tid), VectorSrc::Imm(7));
+    let v = kb.vreg();
+    kb.global_load(v, sa, off_in, 0, MemWidth::B32);
+    let v2 = kb.vreg();
+    kb.valu(VAluOp::Add, v2, VectorSrc::Reg(v), VectorSrc::Imm(1));
+    let off_out = kb.vreg();
+    kb.valu(VAluOp::Shl, off_out, VectorSrc::Reg(tid), VectorSrc::Imm(2));
+    kb.global_store(v2, so, off_out, 0, MemWidth::B32);
+    let k = Kernel::new(kb.finish().unwrap());
+    KernelLaunch::new(k, num_wgs, warps_per_wg, vec![a, out])
+}
+
+fn fingerprint(gpu: &mut GpuSimulator, launch: &KernelLaunch) -> Golden {
+    let r = gpu.run_kernel(launch).unwrap();
+    Golden {
+        cycles: r.cycles,
+        detailed_insts: r.detailed_insts,
+        ipc_timeline: r.ipc_timeline,
+    }
+}
+
+#[test]
+fn golden_barrier_kernel() {
+    let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+    let launch = barrier_launch(&mut gpu, 8, 4);
+    let got = fingerprint(&mut gpu, &launch);
+    assert_eq!(
+        got,
+        Golden {
+            cycles: 439,
+            detailed_insts: 464,
+            ipc_timeline: vec![464],
+        }
+    );
+    // Functional spot check: wg 3, warp 2, lane 9 sees producer's value.
+    let out = launch.args[0];
+    assert_eq!(gpu.mem().read_u32(out + 4 * ((3 * 4 + 2) * 64 + 9)), 11 + 9);
+}
+
+#[test]
+fn golden_strided_kernel() {
+    let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+    let launch = strided_launch(&mut gpu, 16, 4);
+    let got = fingerprint(&mut gpu, &launch);
+    assert_eq!(
+        got,
+        Golden {
+            cycles: 1638,
+            detailed_insts: 704,
+            ipc_timeline: vec![448, 102, 128, 26],
+        }
+    );
+    let out = launch.args[1];
+    assert_eq!(gpu.mem().read_u32(out + 4 * 777), 3 * 777 + 1);
+}
+
+#[test]
+fn golden_multi_kernel_app() {
+    // Two kernels back to back on one simulator: cache flushes at the
+    // kernel boundary, the clock stays monotone, and the second kernel
+    // reads memory the first one wrote.
+    let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+    let k1 = strided_launch(&mut gpu, 8, 4);
+    let k2 = barrier_launch(&mut gpu, 4, 4);
+    let g1 = fingerprint(&mut gpu, &k1);
+    let g2 = fingerprint(&mut gpu, &k2);
+    assert_eq!(
+        g1,
+        Golden {
+            cycles: 1126,
+            detailed_insts: 352,
+            ipc_timeline: vec![224, 102, 26],
+        }
+    );
+    assert_eq!(
+        g2,
+        Golden {
+            cycles: 439,
+            detailed_insts: 232,
+            ipc_timeline: vec![232],
+        }
+    );
+    assert_eq!(gpu.clock(), g1.cycles + g2.cycles);
+}

@@ -40,4 +40,14 @@ cargo run -q --release -p photon-bench --features telemetry --bin report -- chec
 echo "==> warm-cache rerun must perform zero full-detailed simulations"
 cargo run -q --release -p photon-bench --features telemetry --bin report -- smoke --jobs 2 --require-cached
 
+echo "==> hot-path wall-clock gate (set PHOTON_SKIP_HOT_BENCH=1 to skip)"
+if [[ "${PHOTON_SKIP_HOT_BENCH:-}" == "1" ]]; then
+  echo "    skipped (PHOTON_SKIP_HOT_BENCH=1)"
+else
+  # Smoke mode: one iteration against the committed baseline. Wall-clock
+  # gates are machine-sensitive, hence the escape hatch for shared or
+  # throttled runners.
+  cargo run -q --release -p photon-bench --bin bench_hot -- --jobs 2 --iters 1 --check
+fi
+
 echo "==> ci OK"
