@@ -1,0 +1,83 @@
+//! Cycle-accounting profiler over `results/BENCH_*.json` reports.
+//!
+//! ```console
+//! $ profile show results/BENCH_smoke.json   # stall tables, occupancy, worst BBs
+//! $ profile diff base.json current.json     # flag stall classes whose share grew
+//! $ profile check [report.json]             # invariant gate (CI); exit 1 on failure
+//! ```
+//!
+//! `check` without an argument validates `results/BENCH_smoke.json`
+//! (the artifact `report smoke` writes): every run's stall classes must
+//! sum exactly to its resident warp-cycles and every detailed run must
+//! carry per-BB prediction-error attribution.
+
+use photon_bench::harness::results_dir;
+use photon_bench::profile::{check_report, diff_reports, render_report};
+use photon_bench::report::load_report;
+use std::path::{Path, PathBuf};
+
+/// Share-of-residency growth (absolute) a stall class may show before
+/// `diff` flags it: five percentage points.
+const DIFF_THRESHOLD: f64 = 0.05;
+
+fn usage() -> ! {
+    eprintln!("usage: profile <show <report>|diff <base> <current>|check [report]>");
+    std::process::exit(2);
+}
+
+fn load(path: &Path) -> gpu_telemetry::RunReport {
+    match load_report(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match (args.first().map(String::as_str), args.len()) {
+        (Some("show"), 2) => {
+            print!("{}", render_report(&load(Path::new(&args[1]))));
+        }
+        (Some("diff"), 3) => {
+            let base = load(Path::new(&args[1]));
+            let cur = load(Path::new(&args[2]));
+            let flagged = diff_reports(&base, &cur, DIFF_THRESHOLD);
+            if flagged.is_empty() {
+                println!(
+                    "no stall-share regressions (> {:.0}% of residency) vs {}",
+                    DIFF_THRESHOLD * 100.0,
+                    args[1]
+                );
+                return;
+            }
+            for f in &flagged {
+                println!("REGRESSION {f}");
+            }
+            std::process::exit(1);
+        }
+        (Some("check"), n) if n <= 2 => {
+            let path: PathBuf = args
+                .get(1)
+                .map(PathBuf::from)
+                .unwrap_or_else(|| results_dir().join("BENCH_smoke.json"));
+            let report = load(&path);
+            let problems = check_report(&report);
+            if problems.is_empty() {
+                println!(
+                    "{}: accounting balanced across {} run(s), per-BB attribution present",
+                    path.display(),
+                    report.runs.len()
+                );
+                return;
+            }
+            for p in &problems {
+                eprintln!("FAIL {p}");
+            }
+            std::process::exit(1);
+        }
+        _ => usage(),
+    }
+}

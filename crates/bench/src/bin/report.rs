@@ -13,7 +13,8 @@ use gpu_telemetry::MetricsSnapshot;
 use photon_bench::cli::{parse_exec_options, usage as exec_usage};
 use photon_bench::harness::{results_dir, Method, RunOutcome};
 use photon_bench::report::{
-    build_report, check_against_baselines, load_all_reports, summary_table, write_report,
+    build_report, check_against_baselines, histogram_summary, load_all_reports, summary_table,
+    write_report,
 };
 use photon_bench::specs::smoke_grid;
 use photon_bench::{run_specs, ExecOptions};
@@ -106,6 +107,11 @@ fn show() {
         return;
     }
     print!("{}", summary_table(&reports).render());
+    let hists = histogram_summary(&reports);
+    if !hists.is_empty() {
+        println!();
+        print!("{}", hists.render());
+    }
 }
 
 fn check() {

@@ -480,6 +480,8 @@ mod tests {
             predicted_warps: 0,
             skipped_kernels: 0,
             kernel_cycles: vec![cycles],
+            accounting: None,
+            bb_errors: vec![],
         }
     }
 

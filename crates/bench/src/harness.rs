@@ -3,8 +3,8 @@
 use gpu_baselines::{
     PkaConfig, PkaController, SieveConfig, SieveController, TbPointConfig, TbPointController,
 };
-use gpu_sim::{GpuConfig, GpuSimulator, NullController, SamplingController, SimError};
-use gpu_telemetry::Telemetry;
+use gpu_sim::{AppResult, GpuConfig, GpuSimulator, NullController, SamplingController, SimError};
+use gpu_telemetry::{BbErrorRow, CycleAccounting, Telemetry};
 use gpu_workloads::registry::Benchmark;
 use gpu_workloads::App;
 use photon::{PhotonConfig, PhotonController};
@@ -43,6 +43,12 @@ pub struct Measurement {
     pub skipped_kernels: usize,
     /// Per-kernel simulated cycles (for per-layer analyses).
     pub kernel_cycles: Vec<u64>,
+    /// Cycle accounting merged across the app's kernels (`None` when
+    /// every kernel was skipped, so nothing was resident).
+    pub accounting: Option<CycleAccounting>,
+    /// Per-basic-block predicted-vs-measured error rows across the
+    /// app's kernels.
+    pub bb_errors: Vec<BbErrorRow>,
 }
 
 impl Measurement {
@@ -111,7 +117,66 @@ pub fn try_run_app_method(
         predicted_warps: result.total_predicted_warps(),
         skipped_kernels: result.skipped_kernels(),
         kernel_cycles: result.kernels.iter().map(|k| k.cycles).collect(),
+        accounting: merge_accounting(&result),
+        bb_errors: bb_error_rows(&result),
     })
+}
+
+/// Merges the per-kernel cycle-accounting snapshots of an app run into
+/// one (timelines concatenate; per-CU classes add).
+fn merge_accounting(result: &AppResult) -> Option<CycleAccounting> {
+    let mut merged: Option<CycleAccounting> = None;
+    for k in &result.kernels {
+        if let Some(a) = &k.accounting {
+            merged.get_or_insert_with(CycleAccounting::default).merge(a);
+        }
+    }
+    merged
+}
+
+/// Builds the per-BB prediction-error rows for an app run: measured
+/// values come from the engine's per-BB accounting; the predicted mean
+/// is the controller's published estimate when it modeled the block
+/// (Photon), otherwise a uniform-CPI equivalent (instructions-per-
+/// instance × the kernel's mean per-warp block CPI) so IPC-
+/// extrapolating baselines (PKA, Sieve) still decompose against the
+/// same yardstick: the delta then reads "how far this block deviates
+/// from uniform per-instruction timing".
+fn bb_error_rows(result: &AppResult) -> Vec<BbErrorRow> {
+    let mut rows = Vec::new();
+    for k in &result.kernels {
+        // Per-warp latency CPI over the kernel's measured blocks — the
+        // same unit as `measured_mean` (a warp's residency through the
+        // block), NOT wall-cycles per instruction, which would be ~N×
+        // smaller with N warps in flight.
+        let bb_cycles: u64 = k.bb_stats.iter().map(|b| b.cycles).sum();
+        let bb_insts: u64 = k.bb_stats.iter().map(|b| b.insts).sum();
+        let cpi = if bb_insts > 0 {
+            bb_cycles as f64 / bb_insts as f64
+        } else {
+            0.0
+        };
+        for b in &k.bb_stats {
+            let measured_mean = b.measured_mean();
+            let predicted_mean = b.predicted_mean.unwrap_or(if b.instances == 0 {
+                0.0
+            } else {
+                b.insts as f64 / b.instances as f64 * cpi
+            });
+            rows.push(BbErrorRow {
+                kernel: k.name.clone(),
+                bb: b.bb,
+                instances: b.instances,
+                insts: b.insts,
+                measured_cycles: b.cycles,
+                measured_mean,
+                predicted_mean,
+                delta: predicted_mean - measured_mean,
+                stall: b.stall,
+            });
+        }
+    }
+    rows
 }
 
 /// Runs an application under a method on a fresh simulator and
@@ -320,6 +385,11 @@ impl Table {
         }
     }
 
+    /// True when no rows have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
     /// Appends a row (must match the header count).
     ///
     /// # Panics
@@ -417,6 +487,8 @@ mod tests {
             predicted_warps: 0,
             skipped_kernels: 0,
             kernel_cycles: vec![],
+            accounting: None,
+            bb_errors: vec![],
         };
         let fast = Measurement {
             sim_cycles: 900,

@@ -16,6 +16,7 @@ pub mod executor;
 pub mod figures;
 pub mod harness;
 pub mod hotpath;
+pub mod profile;
 pub mod refcache;
 pub mod report;
 pub mod specs;

@@ -30,7 +30,10 @@ use std::sync::Mutex;
 
 /// Bumped whenever the entry layout or the key derivation changes;
 /// entries persisted under any other version are recomputed.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+/// Version 2: `Measurement` gained cycle accounting and per-BB error
+/// rows (the vendored serde has no `#[serde(default)]`, so old entries
+/// cannot deserialize and must be recomputed).
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// The stable cache key of a spec's full-detailed reference.
 ///
@@ -204,6 +207,8 @@ mod tests {
             predicted_warps: 0,
             skipped_kernels: 0,
             kernel_cycles: vec![1234],
+            accounting: None,
+            bb_errors: vec![],
         }
     }
 

@@ -4,7 +4,8 @@
 
 use crate::harness::{results_dir, Measurement, RunOutcome, Table};
 use gpu_telemetry::{
-    compare_reports, MethodRun, MetricsSnapshot, Regression, RunReport, SkippedRun,
+    compare_reports, percentile_from_buckets, MethodRun, MetricsSnapshot, Regression, RunReport,
+    SkippedRun,
 };
 use std::path::{Path, PathBuf};
 
@@ -38,6 +39,8 @@ pub fn method_run(m: &Measurement, detailed: Option<&Measurement>) -> MethodRun 
         skipped_kernels: m.skipped_kernels as u64,
         speedup_vs_detailed: speedup,
         error_vs_detailed: error,
+        accounting: m.accounting.clone(),
+        bb_errors: m.bb_errors.clone(),
     }
 }
 
@@ -168,6 +171,41 @@ pub fn summary_table(reports: &[RunReport]) -> Table {
     t
 }
 
+/// Renders every histogram carried by the reports' metric snapshots as
+/// one summary line per histogram: count, mean, and p50/p95/p99
+/// recomputed from the persisted log2 bucket counts. Reports whose
+/// snapshot has no histograms contribute nothing.
+pub fn histogram_summary(reports: &[RunReport]) -> Table {
+    let mut t = Table::new(&[
+        "workload",
+        "histogram",
+        "count",
+        "mean",
+        "p50",
+        "p95",
+        "p99",
+        "max",
+    ]);
+    for r in reports {
+        for h in &r.metrics.histograms {
+            if h.count == 0 {
+                continue;
+            }
+            t.row(vec![
+                r.workload.clone(),
+                h.name.clone(),
+                h.count.to_string(),
+                format!("{:.1}", h.mean),
+                percentile_from_buckets(&h.buckets, h.count, 0.50).to_string(),
+                percentile_from_buckets(&h.buckets, h.count, 0.95).to_string(),
+                percentile_from_buckets(&h.buckets, h.count, 0.99).to_string(),
+                h.max.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
 /// Checks every current report that has a stored baseline
 /// (`results/baselines/BENCH_<workload>.json`) and returns the flagged
 /// regressions. Reports without a baseline are ignored.
@@ -205,6 +243,8 @@ mod tests {
             predicted_warps: if method == "Full" { 0 } else { 90 },
             skipped_kernels: 0,
             kernel_cycles: vec![cycles],
+            accounting: None,
+            bb_errors: vec![],
         }
     }
 
@@ -271,6 +311,27 @@ mod tests {
         assert_eq!(loaded.len(), 1);
         assert_eq!(loaded[0].workload, "fir");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn histogram_summary_recomputes_percentiles_from_buckets() {
+        use gpu_telemetry::Telemetry;
+        let tel = Telemetry::default();
+        let h = tel.histogram("mem.queue_delay");
+        for v in [1u64, 1, 2, 4, 8, 100] {
+            h.record(v);
+        }
+        let mut report = build_report(
+            "fir",
+            &[RunOutcome::Completed(meas("Full", 1000, 2.0))],
+            tel.snapshot(),
+        );
+        let rendered = histogram_summary(std::slice::from_ref(&report)).render();
+        assert!(rendered.contains("mem.queue_delay"), "{rendered}");
+        assert!(rendered.contains("p95"), "{rendered}");
+        // Empty histograms are elided entirely.
+        report.metrics.histograms.clear();
+        assert!(histogram_summary(std::slice::from_ref(&report)).is_empty());
     }
 
     #[test]

@@ -428,6 +428,18 @@ impl SamplingController for PhotonController {
             ipc,
         });
     }
+
+    fn bb_predictions(&mut self) -> Vec<(u32, f64)> {
+        // Published from the BB-sampler means captured at kernel end, so
+        // the engine can pair the predictions against its measured
+        // per-BB timing for the error decomposition in run reports.
+        self.last_bb_means
+            .as_deref()
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|&(bb, mean, _count)| mean.map(|m| (bb as u32, m)))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,8 @@ fn finish_kernel(ctrl: &mut PhotonController, cycles: u64, warps: u64) {
         ipc_window: 2048,
         skipped: false,
         mem: Default::default(),
+        accounting: None,
+        bb_stats: Vec::new(),
     };
     ctrl.on_kernel_end(&result);
 }

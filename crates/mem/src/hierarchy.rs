@@ -2,9 +2,9 @@
 
 use crate::cache::{AccessKind, Cache, CacheAccess};
 use crate::config::MemHierarchyConfig;
-use crate::stats::MemStats;
+use crate::stats::{MemStats, QueueDelayHist, QueueDelays};
 use crate::Cycle;
-use gpu_telemetry::{CacheLevel, Counter, EventKind, Telemetry, Trace, TraceEvent};
+use gpu_telemetry::{CacheLevel, Counter, EventKind, Histogram, Telemetry, Trace, TraceEvent};
 
 /// Cache line size used throughout the hierarchy.
 pub const LINE_BYTES: u64 = 64;
@@ -117,6 +117,13 @@ pub struct MemoryHierarchy {
     l1s_ctr: LevelCounters,
     l2_ctr: LevelCounters,
     dram_ctr: Counter,
+    // Queueing-delay accounting: flat per-level histograms updated on
+    // the hot path (no locks, no allocation), plus the state last
+    // published into the registry histograms so `publish_queue_delays`
+    // only records deltas.
+    delays: QueueDelays,
+    published: QueueDelays,
+    qdelay_hists: [Histogram; 4],
     trace: Trace,
 }
 
@@ -146,6 +153,14 @@ impl MemoryHierarchy {
             l1s_ctr: LevelCounters::new(tel, "l1s"),
             l2_ctr: LevelCounters::new(tel, "l2"),
             dram_ctr: tel.counter("mem.dram.accesses"),
+            delays: QueueDelays::default(),
+            published: QueueDelays::default(),
+            qdelay_hists: [
+                tel.histogram("mem.l1v.queue_delay"),
+                tel.histogram("mem.l1s.queue_delay"),
+                tel.histogram("mem.l2.queue_delay"),
+                tel.histogram("mem.dram.queue_delay"),
+            ],
             trace: tel.trace().clone(),
             config,
         }
@@ -171,6 +186,7 @@ impl MemoryHierarchy {
     fn l2_and_beyond(&mut self, line_addr: u64, kind: AccessKind, ready: Cycle) -> Cycle {
         let bank = (line_addr % self.config.l2_banks) as usize;
         let t = ready.max(self.l2_free[bank]);
+        self.delays.l2.record(t - ready);
         self.l2_free[bank] = t + self.config.l2.service_interval;
         let access = self.l2[bank].access(line_addr * LINE_BYTES, kind, t);
         let (hit, evicted) = self.l2_ctr.record(access);
@@ -180,6 +196,9 @@ impl MemoryHierarchy {
         } else {
             let ch = ((line_addr / self.config.l2_banks) % self.config.dram.channels) as usize;
             let td = (t + self.config.l2.hit_latency).max(self.dram_free[ch]);
+            self.delays
+                .dram
+                .record(td - (t + self.config.l2.hit_latency));
             self.dram_free[ch] = td + self.config.dram.service_interval;
             self.dram_ctr.inc();
             self.trace.emit_with(|| TraceEvent {
@@ -204,6 +223,7 @@ impl MemoryHierarchy {
         now: Cycle,
     ) -> Cycle {
         let t = now.max(self.l1v_free[cu]);
+        self.delays.l1v.record(t - now);
         self.l1v_free[cu] = t + self.config.l1v.service_interval;
         let access = self.l1v[cu].access(line_addr * LINE_BYTES, kind, t);
         let (hit, evicted) = self.l1v_ctr.record(access);
@@ -220,6 +240,7 @@ impl MemoryHierarchy {
     pub fn scalar_access(&mut self, cu: usize, addr: u64, now: Cycle) -> Cycle {
         let group = cu / CUS_PER_SCALAR_CACHE;
         let t = now.max(self.l1s_free[group]);
+        self.delays.l1s.record(t - now);
         self.l1s_free[group] = t + self.config.l1s.service_interval;
         let access = self.l1s[group].access(addr, AccessKind::Read, t);
         let (hit, evicted) = self.l1s_ctr.record(access);
@@ -246,6 +267,37 @@ impl MemoryHierarchy {
         {
             c.flush();
         }
+    }
+
+    /// Snapshot of the per-level queueing-delay histograms (grow-only;
+    /// diff two snapshots with [`QueueDelays::since`] for per-kernel
+    /// deltas).
+    pub fn queue_delays(&self) -> QueueDelays {
+        self.delays
+    }
+
+    /// Total queue cycles accumulated across all levels — cheap enough
+    /// to read around a single access, which is how the timing engine
+    /// splits a memory wait into its queued and in-flight portions.
+    #[inline]
+    pub fn queue_cycles(&self) -> u64 {
+        self.delays.queue_cycles()
+    }
+
+    /// Publishes queue delays accumulated since the last publish into
+    /// the registry histograms (`mem.<level>.queue_delay`), using each
+    /// bucket's floor as the representative value. Called at kernel end
+    /// (cold path) so the hot path never touches a locked histogram.
+    pub fn publish_queue_delays(&mut self) {
+        let delta = self.delays.since(&self.published);
+        for ((_, hist), handle) in delta.levels().iter().zip(self.qdelay_hists.iter()) {
+            for (i, n) in hist.buckets.iter().enumerate() {
+                if *n > 0 {
+                    handle.record_n(QueueDelayHist::bucket_floor(i), *n);
+                }
+            }
+        }
+        self.published = self.delays;
     }
 
     /// Snapshot of the accumulated statistics (registry counters).
@@ -354,6 +406,41 @@ mod tests {
         assert_eq!(s.l1v_misses, 4);
         assert!(s.l1v_evictions >= 2, "evictions {}", s.l1v_evictions);
         assert_eq!(s.l2_evictions, 0);
+    }
+
+    #[test]
+    fn queue_delays_capture_contention_and_publish_deltas() {
+        let tel = Telemetry::default();
+        let mut h = MemoryHierarchy::with_telemetry(small_config(), &tel);
+        // Warm a line, then fire same-cycle hits: the second must queue
+        // on the L1V service interval.
+        let warm = h.access_line(0, 5, AccessKind::Read, 0);
+        h.access_line(0, 5, AccessKind::Read, warm);
+        h.access_line(0, 5, AccessKind::Read, warm);
+        let q = h.queue_delays();
+        assert!(q.l1v.sum > 0, "same-cycle burst must queue: {q:?}");
+        assert_eq!(q.l1v.count, 3);
+        assert_eq!(h.queue_cycles(), q.queue_cycles());
+
+        // Publishing lands the delta in the registry histograms, and a
+        // second publish with no new traffic records nothing.
+        h.publish_queue_delays();
+        let snap = tel.snapshot();
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|s| s.name == "mem.l1v.queue_delay")
+            .expect("published histogram");
+        assert_eq!(hist.count, q.l1v.count);
+        assert!(hist.sum > 0);
+        h.publish_queue_delays();
+        let again = tel.snapshot();
+        let hist2 = again
+            .histograms
+            .iter()
+            .find(|s| s.name == "mem.l1v.queue_delay")
+            .expect("published histogram");
+        assert_eq!(hist2.count, q.l1v.count);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use alloc::{AllocError, BumpAllocator};
 pub use cache::{AccessKind, Cache, CacheAccess};
 pub use config::{CacheConfig, DramConfig, MemHierarchyConfig};
 pub use hierarchy::{coalesce_lines, coalesce_lines_into, push_lines, MemoryHierarchy, LINE_BYTES};
-pub use stats::MemStats;
+pub use stats::{MemStats, QueueDelayHist, QueueDelays, QDELAY_BUCKETS};
 
 /// A simulation cycle count.
 pub type Cycle = u64;

@@ -74,6 +74,117 @@ impl MemStats {
     }
 }
 
+/// Log2 buckets in a [`QueueDelayHist`]: bucket 0 holds delay 0,
+/// bucket `i` in `1..16` holds `[2^(i-1), 2^i)`, and the last bucket
+/// holds everything at or above `2^15` cycles.
+pub const QDELAY_BUCKETS: usize = 17;
+
+/// A flat log2 histogram of per-transaction queueing delay at one
+/// cache/DRAM level: how long transactions waited for a busy resource
+/// before being serviced, separate from the access latency itself.
+///
+/// Kept `Copy` and allocation-free so the hierarchy can record on the
+/// hot path with one branch and two adds; snapshots diff with
+/// [`QueueDelayHist::since`] exactly like [`MemStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueDelayHist {
+    /// Bucket counts (see [`QDELAY_BUCKETS`]).
+    pub buckets: [u64; QDELAY_BUCKETS],
+    /// Transactions recorded.
+    pub count: u64,
+    /// Total queue cycles (saturating).
+    pub sum: u64,
+}
+
+impl QueueDelayHist {
+    /// Bucket a delay lands in.
+    #[inline]
+    pub fn bucket_index(delay: u64) -> usize {
+        if delay == 0 {
+            0
+        } else {
+            (64 - delay.leading_zeros() as usize).min(QDELAY_BUCKETS - 1)
+        }
+    }
+
+    /// Lower bound of bucket `i` (its representative value).
+    pub fn bucket_floor(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Records one transaction's queueing delay.
+    #[inline]
+    pub fn record(&mut self, delay: u64) {
+        self.buckets[Self::bucket_index(delay)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(delay);
+    }
+
+    /// Field-wise difference `self - earlier` (per-kernel deltas; the
+    /// hierarchy's histograms only grow).
+    pub fn since(&self, earlier: &QueueDelayHist) -> QueueDelayHist {
+        let mut buckets = [0u64; QDELAY_BUCKETS];
+        for (o, (a, b)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(earlier.buckets.iter()))
+        {
+            *o = a - b;
+        }
+        QueueDelayHist {
+            buckets,
+            count: self.count - earlier.count,
+            sum: self.sum - earlier.sum,
+        }
+    }
+}
+
+/// Queue-delay histograms for every level of the hierarchy, snapshotted
+/// together so per-kernel deltas stay consistent.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueDelays {
+    /// Per-CU vector L1 path.
+    pub l1v: QueueDelayHist,
+    /// Shared scalar cache path.
+    pub l1s: QueueDelayHist,
+    /// L2 bank contention.
+    pub l2: QueueDelayHist,
+    /// DRAM channel contention.
+    pub dram: QueueDelayHist,
+}
+
+impl QueueDelays {
+    /// `(name, histogram)` pairs for iteration (export, publishing).
+    pub fn levels(&self) -> [(&'static str, &QueueDelayHist); 4] {
+        [
+            ("l1v", &self.l1v),
+            ("l1s", &self.l1s),
+            ("l2", &self.l2),
+            ("dram", &self.dram),
+        ]
+    }
+
+    /// Total queue cycles across all levels — the running accumulator
+    /// the timing engine diffs around a memory access to split the
+    /// queued portion of a wait from the in-flight portion.
+    pub fn queue_cycles(&self) -> u64 {
+        self.l1v.sum + self.l1s.sum + self.l2.sum + self.dram.sum
+    }
+
+    /// Field-wise difference `self - earlier`.
+    pub fn since(&self, earlier: &QueueDelays) -> QueueDelays {
+        QueueDelays {
+            l1v: self.l1v.since(&earlier.l1v),
+            l1s: self.l1s.since(&earlier.l1s),
+            l2: self.l2.since(&earlier.l2),
+            dram: self.dram.since(&earlier.dram),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +226,56 @@ mod tests {
             ..Default::default()
         };
         assert!((s.l1v_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qdelay_buckets_and_floors() {
+        assert_eq!(QueueDelayHist::bucket_index(0), 0);
+        assert_eq!(QueueDelayHist::bucket_index(1), 1);
+        assert_eq!(QueueDelayHist::bucket_index(2), 2);
+        assert_eq!(QueueDelayHist::bucket_index(3), 2);
+        assert_eq!(QueueDelayHist::bucket_index(1 << 14), 15);
+        // Everything at/above 2^15 lands in the cap bucket.
+        assert_eq!(QueueDelayHist::bucket_index(1 << 15), 16);
+        assert_eq!(QueueDelayHist::bucket_index(u64::MAX), 16);
+        assert_eq!(QueueDelayHist::bucket_floor(0), 0);
+        assert_eq!(QueueDelayHist::bucket_floor(2), 2);
+        assert_eq!(QueueDelayHist::bucket_floor(16), 1 << 15);
+    }
+
+    #[test]
+    fn qdelay_record_and_since() {
+        let mut h = QueueDelayHist::default();
+        h.record(0);
+        h.record(5);
+        h.record(70_000);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 70_005);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[3], 1); // 5 in [4, 8)
+        assert_eq!(h.buckets[16], 1);
+
+        let earlier = {
+            let mut e = QueueDelayHist::default();
+            e.record(0);
+            e
+        };
+        let d = h.since(&earlier);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.buckets[0], 0);
+        assert_eq!(d.sum, 70_005);
+    }
+
+    #[test]
+    fn queue_delays_aggregate_across_levels() {
+        let mut q = QueueDelays::default();
+        q.l1v.record(4);
+        q.l2.record(10);
+        q.dram.record(100);
+        assert_eq!(q.queue_cycles(), 114);
+        let names: Vec<_> = q.levels().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["l1v", "l1s", "l2", "dram"]);
+        let d = q.since(&QueueDelays::default());
+        assert_eq!(d, q);
     }
 }

@@ -152,6 +152,15 @@ pub trait SamplingController: Send {
 
     /// The kernel finished (any mode).
     fn on_kernel_end(&mut self, result: &KernelResult) {}
+
+    /// Per-basic-block predicted mean durations `(bb, cycles)` the
+    /// controller can publish once the kernel ends (queried *after*
+    /// [`SamplingController::on_kernel_end`]). The engine folds them
+    /// into the result's measured per-BB rows so reports carry
+    /// predicted-vs-measured error side by side. Default: none.
+    fn bb_predictions(&mut self) -> Vec<(u32, f64)> {
+        Vec::new()
+    }
 }
 
 /// Engine services available during [`SamplingController::on_kernel_start`].

@@ -39,12 +39,13 @@ use crate::error::{SimError, StuckWarp, WatchdogSnapshot};
 use crate::exec::{step, LaunchEnv, StepEffect};
 use crate::functional::{run_wg_functional, trace_warp_isolated};
 
-use crate::result::{AppResult, KernelResult};
+use crate::result::{AppResult, BbAccounting, KernelResult};
 use crate::warp::{WarpState, WarpTrace};
 use gpu_isa::{BasicBlockId, InstClass, KernelLaunch};
 use gpu_mem::{AccessKind, AddressSpace, BumpAllocator, Cycle, MemStats, MemoryHierarchy};
 use gpu_telemetry::{
-    AbortKind, Counter, EventKind, Histogram, SampleMode, Telemetry, Trace, TraceEvent,
+    AbortKind, Counter, CuAccounting, CycleAccounting, EventKind, Histogram, SampleMode,
+    StallClass, StallWindow, Telemetry, Trace, TraceEvent, STALL_CLASSES,
 };
 
 /// Base address of the kernel-argument buffer (for scalar-cache timing).
@@ -338,6 +339,8 @@ impl GpuSimulator {
                 ipc_window: self.config.ipc_window,
                 skipped: true,
                 mem: gpu_mem::MemStats::default(),
+                accounting: None,
+                bb_stats: Vec::new(),
             };
             self.counters.record(&result);
             self.emit_kernel_end(&result, seq);
@@ -360,10 +363,22 @@ impl GpuSimulator {
         self.clock = start + result.cycles;
         result.name = launch.kernel.name().to_string();
         result.mem = self.hierarchy.stats().since(&mem_before);
+        // Bulk-publish the queue-delay histograms accumulated during the
+        // run (cold path; the hot loop never touches locked histograms).
+        self.hierarchy.publish_queue_delays();
         self.counters.record(&result);
         self.counters.events.add(events_scheduled);
         self.emit_kernel_end(&result, seq);
         ctrl.on_kernel_end(&result);
+        // Controllers that model per-block durations publish their
+        // predictions after seeing the kernel end; fold them into the
+        // measured per-BB rows so results carry predicted-vs-measured
+        // error side by side.
+        for (bb, mean) in ctrl.bb_predictions() {
+            if let Some(row) = result.bb_stats.iter_mut().find(|r| r.bb == bb) {
+                row.predicted_mean = Some(mean);
+            }
+        }
         Ok(result)
     }
 
@@ -447,6 +462,18 @@ struct WarpRt {
     bb_start: Cycle,
     bb_insts: u32,
     done: bool,
+    /// Cycle up to which this warp's residency has been attributed to a
+    /// stall class (cycle accounting; always ≤ the current cycle).
+    acct_from: Cycle,
+    /// Cycle the warp's pending wait completes: until then the wait is
+    /// charged to `pending`, after it to `NoWarpReady` (issue-port
+    /// contention). `Cycle::MAX` while parked at a barrier.
+    ready_at: Cycle,
+    /// [`StallClass`] index the warp is currently waiting in.
+    pending: u8,
+    /// Portion of the pending memory wait that was queueing behind busy
+    /// cache/DRAM resources (charged to `MemQueueFull`).
+    pending_queue: Cycle,
 }
 
 struct WgRt {
@@ -461,6 +488,166 @@ struct WgRt {
     #[allow(dead_code)]
     mode: WgMode,
     done: bool,
+    /// Dispatch cycle (start of this workgroup's residency window).
+    t0: Cycle,
+}
+
+/// Flat cycle-accounting accumulators for one kernel run: per-CU and
+/// per-window stall-class counts plus per-basic-block measurements.
+/// All storage is sized once at kernel start and updated with plain
+/// array adds, so the zero-allocation hot path stays allocation-free
+/// (the window timeline grows amortized, like `ipc_counts`).
+struct RunAccounting {
+    start: Cycle,
+    /// Timeline window width (the engine's IPC window, min 1).
+    window: Cycle,
+    /// `num_cus × STALL_CLASSES` warp-cycle counts.
+    cu_stalls: Vec<u64>,
+    /// Per-CU resident warp-cycles: `warps × (completion − dispatch)`
+    /// summed over workgroups, credited when each workgroup completes.
+    cu_resident: Vec<u64>,
+    /// Stall mix per timeline window, CU-aggregated.
+    win_stalls: Vec<[u64; STALL_CLASSES]>,
+    /// `num_bbs × STALL_CLASSES` warp-cycle counts for detailed warps.
+    bb_stall: Vec<u64>,
+    bb_instances: Vec<u64>,
+    bb_insts: Vec<u64>,
+    bb_cycles: Vec<u64>,
+}
+
+impl RunAccounting {
+    fn new(n_cu: usize, n_bbs: usize, start: Cycle, window: Cycle) -> Self {
+        RunAccounting {
+            start,
+            window: window.max(1),
+            cu_stalls: vec![0; n_cu * STALL_CLASSES],
+            cu_resident: vec![0; n_cu],
+            win_stalls: Vec::new(),
+            bb_stall: vec![0; n_bbs * STALL_CLASSES],
+            bb_instances: vec![0; n_bbs],
+            bb_insts: vec![0; n_bbs],
+            bb_cycles: vec![0; n_bbs],
+        }
+    }
+
+    /// Attributes the warp-cycles `[from, to)` on `cu` to `class`,
+    /// optionally also to basic block `bb`, splitting across timeline
+    /// windows.
+    fn span(&mut self, cu: usize, bb: Option<u32>, class: StallClass, from: Cycle, to: Cycle) {
+        if to <= from {
+            return;
+        }
+        let n = to - from;
+        self.cu_stalls[cu * STALL_CLASSES + class.index()] += n;
+        if let Some(b) = bb {
+            let i = b as usize * STALL_CLASSES + class.index();
+            if i < self.bb_stall.len() {
+                self.bb_stall[i] += n;
+            }
+        }
+        let mut a = from;
+        while a < to {
+            let idx = (a.saturating_sub(self.start) / self.window) as usize;
+            let win_end = self.start + (idx as Cycle + 1) * self.window;
+            let b = to.min(win_end);
+            if self.win_stalls.len() <= idx {
+                self.win_stalls.resize(idx + 1, [0; STALL_CLASSES]);
+            }
+            self.win_stalls[idx][class.index()] += b - a;
+            a = b;
+        }
+    }
+
+    /// Folds one closed basic-block instance into the per-BB totals.
+    fn record_bb(&mut self, rec: &BbRecord) {
+        let i = rec.bb.0 as usize;
+        if i < self.bb_instances.len() {
+            self.bb_instances[i] += 1;
+            self.bb_insts[i] += rec.insts as u64;
+            self.bb_cycles[i] += rec.duration();
+        }
+    }
+
+    /// Builds the serializable snapshot attached to the kernel result.
+    fn finish(&self, cycles: Cycle) -> CycleAccounting {
+        let cus = self
+            .cu_resident
+            .iter()
+            .enumerate()
+            .map(|(cu, &resident)| {
+                let mut classes = [0u64; STALL_CLASSES];
+                classes
+                    .copy_from_slice(&self.cu_stalls[cu * STALL_CLASSES..(cu + 1) * STALL_CLASSES]);
+                CuAccounting {
+                    classes,
+                    resident_warp_cycles: resident,
+                }
+            })
+            .collect();
+        let timeline = self
+            .win_stalls
+            .iter()
+            .enumerate()
+            .map(|(i, classes)| StallWindow {
+                start: self.start + i as Cycle * self.window,
+                classes: *classes,
+            })
+            .collect();
+        CycleAccounting {
+            cycles,
+            window: self.window,
+            cus,
+            timeline,
+        }
+    }
+
+    /// Per-BB rows for blocks that saw any detailed activity.
+    fn bb_stats(&self) -> Vec<BbAccounting> {
+        (0..self.bb_instances.len())
+            .filter_map(|i| {
+                let mut stall = [0u64; STALL_CLASSES];
+                stall.copy_from_slice(&self.bb_stall[i * STALL_CLASSES..(i + 1) * STALL_CLASSES]);
+                if self.bb_instances[i] == 0 && stall.iter().all(|&s| s == 0) {
+                    return None;
+                }
+                Some(BbAccounting {
+                    bb: i as u32,
+                    instances: self.bb_instances[i],
+                    insts: self.bb_insts[i],
+                    cycles: self.bb_cycles[i],
+                    stall,
+                    predicted_mean: None,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Closes the open wait span of `warp` at `now` (its next issue, retire,
+/// or an accounting cutoff): the queued portion goes to `MemQueueFull`,
+/// the wait itself to the warp's `pending` class until `ready_at`, and
+/// any remainder (ready but not selected) to `NoWarpReady`. A free
+/// function over disjoint fields so callers can hold `&mut` warp and
+/// accounting borrows side by side.
+fn close_wait(acct: &mut RunAccounting, warp: &mut WarpRt, now: Cycle) {
+    let from = warp.acct_from;
+    if now <= from {
+        return;
+    }
+    let mid = warp.ready_at.min(now).max(from);
+    let bb = if warp.bb_open {
+        Some(warp.bb_id.0)
+    } else {
+        None
+    };
+    let cls = StallClass::from_index(warp.pending as usize);
+    let cu = warp.cu as usize;
+    let q = warp.pending_queue.min(mid - from);
+    acct.span(cu, bb, StallClass::MemQueueFull, from, from + q);
+    acct.span(cu, bb, cls, from + q, mid);
+    acct.span(cu, bb, StallClass::NoWarpReady, mid, now);
+    warp.acct_from = now;
+    warp.pending_queue = 0;
 }
 
 struct KernelRun<'a> {
@@ -494,6 +681,9 @@ struct KernelRun<'a> {
     fired_windows: usize,
     abort_ipc: Option<f64>,
     hooks: SimHooks,
+    /// Cycle accounting for this run (observation-only: never feeds
+    /// back into timing).
+    acct: RunAccounting,
 
     /// Latency config, copied out of `cfg` once per kernel so the hot
     /// loop never chases the config reference (or clones).
@@ -536,7 +726,9 @@ impl<'a> KernelRun<'a> {
     ) -> Self {
         let n_cu = cfg.num_cus as usize;
         let (alu_lat, slow_lat) = alu_latency_tables(&cfg.lat);
+        let n_bbs = launch.kernel.program().basic_blocks().len();
         KernelRun {
+            acct: RunAccounting::new(n_cu, n_bbs, start, cfg.ipc_window),
             lat: cfg.lat,
             alu_lat,
             slow_lat,
@@ -652,6 +844,11 @@ impl<'a> KernelRun<'a> {
         }
 
         let cycles = if let Some(ipc) = self.abort_ipc {
+            // The detailed prefix ends here: close every incomplete
+            // workgroup's accounting at the abort cycle so the stall-sum
+            // invariant holds over the simulated span (the extrapolated
+            // tail is deliberately unaccounted).
+            self.close_accounting(now);
             // PKA-style extrapolation: total instructions / stable IPC.
             let remaining = self.finish_functional()?;
             self.functional_insts += remaining;
@@ -661,6 +858,7 @@ impl<'a> KernelRun<'a> {
             (self.last_retire - self.start).max(1)
         };
 
+        self.emit_accounting_samples();
         Ok(KernelResult {
             name: String::new(),
             cycles,
@@ -674,7 +872,65 @@ impl<'a> KernelRun<'a> {
             ipc_window: self.cfg.ipc_window,
             skipped: false,
             mem: gpu_mem::MemStats::default(),
+            accounting: Some(self.acct.finish(cycles)),
+            bb_stats: self.acct.bb_stats(),
         })
+    }
+
+    /// Closes accounting for every still-resident workgroup at `now`
+    /// (the PKA abort cutoff): open waits are attributed through `now`
+    /// and residency is credited as if the workgroup completed here.
+    fn close_accounting(&mut self, now: Cycle) {
+        let n = self.launch.warps_per_wg as usize;
+        for wg_idx in 0..self.wgs.len() {
+            if self.wgs[wg_idx].done {
+                continue;
+            }
+            let (cu, t0, first) = {
+                let wg = &self.wgs[wg_idx];
+                (wg.cu as usize, wg.t0, wg.first_warp_rt as usize)
+            };
+            for i in first..first + n {
+                close_wait(&mut self.acct, &mut self.warps[i], now);
+            }
+            self.acct.cu_resident[cu] += n as u64 * now.saturating_sub(t0);
+        }
+    }
+
+    /// Emits the per-window stall-mix and occupancy counter samples into
+    /// the trace (cold path, once per kernel).
+    fn emit_accounting_samples(&self) {
+        let window = self.acct.window;
+        for (i, classes) in self.acct.win_stalls.iter().enumerate() {
+            let ts = self.acct.start + i as Cycle * window;
+            let c = *classes;
+            self.hooks.trace.emit_with(|| TraceEvent {
+                ts,
+                dur: window,
+                kind: EventKind::StallSample {
+                    issued: c[StallClass::Issued.index()],
+                    dep_scoreboard: c[StallClass::DepScoreboard.index()],
+                    mem_pending: c[StallClass::MemPending.index()],
+                    mem_queue_full: c[StallClass::MemQueueFull.index()],
+                    barrier: c[StallClass::Barrier.index()],
+                    lds_conflict: c[StallClass::LdsConflict.index()],
+                    no_warp_ready: c[StallClass::NoWarpReady.index()],
+                    drained: c[StallClass::Drained.index()],
+                },
+            });
+            let resident = StallWindow {
+                start: ts,
+                classes: c,
+            }
+            .resident_warps(window);
+            self.hooks.trace.emit_with(|| TraceEvent {
+                ts,
+                dur: window,
+                kind: EventKind::OccupancySample {
+                    resident_warps: resident.round() as u64,
+                },
+            });
+        }
     }
 
     fn fire_windows(&mut self, now: Cycle, ctrl: &mut dyn SamplingController) {
@@ -717,6 +973,7 @@ impl<'a> KernelRun<'a> {
                 pc: warp.state.as_deref().map_or(0, |s| s.pc),
                 wg: wg.id,
                 at_barrier: wg.barrier_waiting.contains(&(i as u32)),
+                waiting_on: StallClass::from_index(warp.pending as usize).name(),
             });
         }
         let barriers = self
@@ -791,6 +1048,7 @@ impl<'a> KernelRun<'a> {
                 first_warp_rt: first_rt,
                 mode,
                 done: false,
+                t0,
             });
             let wg_rt = (self.wgs.len() - 1) as u32;
 
@@ -811,6 +1069,10 @@ impl<'a> KernelRun<'a> {
                             bb_start: t0,
                             bb_insts: 0,
                             done: false,
+                            acct_from: t0,
+                            ready_at: t0,
+                            pending: StallClass::NoWarpReady.index() as u8,
+                            pending_queue: 0,
                         });
                         self.push_event(t0, EvKind::Ready(w));
                     }
@@ -840,6 +1102,13 @@ impl<'a> KernelRun<'a> {
                             bb_start: t0,
                             bb_insts: 0,
                             done: false,
+                            // The whole predicted span counts as Issued:
+                            // a predicted warp models useful execution,
+                            // not a stall.
+                            acct_from: t0,
+                            ready_at: t0 + dur,
+                            pending: StallClass::Issued.index() as u8,
+                            pending_queue: 0,
                         });
                         self.push_event(t0 + dur, EvKind::PredRetire(w));
                     }
@@ -862,6 +1131,10 @@ impl<'a> KernelRun<'a> {
                             bb_start: t0,
                             bb_insts: 0,
                             done: false,
+                            acct_from: t0,
+                            ready_at: t0 + dur,
+                            pending: StallClass::Issued.index() as u8,
+                            pending_queue: 0,
                         });
                         self.push_event(t0 + dur, EvKind::PredRetire(w));
                     }
@@ -890,6 +1163,9 @@ impl<'a> KernelRun<'a> {
             return Ok(());
         }
         self.simd_free[port] = now + 1;
+        // The warp issues this cycle: attribute everything since its
+        // last issue (the wait it just finished) to a stall class.
+        close_wait(&mut self.acct, &mut self.warps[w as usize], now);
 
         // Execute one instruction with split field borrows.
         let program = self.launch.kernel.program();
@@ -918,6 +1194,7 @@ impl<'a> KernelRun<'a> {
                     insts: warp.bb_insts,
                 };
                 ctrl.on_bb_record(&rec);
+                self.acct.record_bb(&rec);
                 self.hooks.bb_duration.record(rec.duration());
                 self.hooks.trace.emit_with(|| TraceEvent {
                     ts: rec.start,
@@ -942,6 +1219,11 @@ impl<'a> KernelRun<'a> {
                 limit: self.cfg.max_insts_per_warp,
             });
         }
+        // The issue cycle itself (attributed to the block whose interval
+        // starts at this issue).
+        self.acct
+            .span(cu, Some(warp.bb_id.0), StallClass::Issued, now, now + 1);
+        warp.acct_from = now + 1;
 
         // Lazy LDS: sampled workgroups never execute, so the backing
         // store is only materialized when a detailed warp first steps
@@ -964,6 +1246,10 @@ impl<'a> KernelRun<'a> {
         self.count_ipc(now);
 
         let lat = self.lat;
+        // Queued warp-cycles of a memory wait (diffed around the
+        // hierarchy's queue-delay accumulator), charged to MemQueueFull
+        // instead of MemPending when the wait closes.
+        let mut queued = 0u64;
         let latency = match info.effect {
             StepEffect::Alu => {
                 if info.slow {
@@ -980,12 +1266,14 @@ impl<'a> KernelRun<'a> {
                 } else {
                     AccessKind::Read
                 };
+                let q0 = self.hier.queue_cycles();
                 for i in 0..self.lines_scratch.len() {
                     let c = self
                         .hier
                         .access_line(cu, self.lines_scratch[i], kind, issue_at);
                     done = done.max(c);
                 }
+                queued = self.hier.queue_cycles() - q0;
                 if write {
                     lat.store_issue // fire-and-forget
                 } else {
@@ -994,13 +1282,39 @@ impl<'a> KernelRun<'a> {
             }
             StepEffect::ArgLoad { index } => {
                 let addr = ARG_BASE + 8 * index as u64;
-                self.hier.scalar_access(cu, addr, now) - now
+                let q0 = self.hier.queue_cycles();
+                let l = self.hier.scalar_access(cu, addr, now) - now;
+                queued = self.hier.queue_cycles() - q0;
+                l
             }
             StepEffect::Lds => lat.lds,
             StepEffect::Barrier => lat.salu,
             StepEffect::End => 1,
         };
         ctrl.on_inst_retire(info.class, latency);
+
+        // Classify what the warp waits on until its next event; the
+        // wait is attributed when it closes (next issue or retire).
+        {
+            let warp = &mut self.warps[w as usize];
+            warp.pending = match info.effect {
+                StepEffect::Mem { write: false } | StepEffect::ArgLoad { .. } => {
+                    StallClass::MemPending
+                }
+                StepEffect::Lds => StallClass::LdsConflict,
+                StepEffect::Barrier => StallClass::Barrier,
+                StepEffect::End => StallClass::Drained,
+                // ALU results and fire-and-forget store issue both wait
+                // on the scoreboard.
+                _ => StallClass::DepScoreboard,
+            }
+            .index() as u8;
+            warp.pending_queue = queued;
+            warp.ready_at = match info.effect {
+                StepEffect::Barrier => Cycle::MAX,
+                _ => now + latency.max(1),
+            };
+        }
 
         match info.effect {
             StepEffect::End => {
@@ -1035,6 +1349,9 @@ impl<'a> KernelRun<'a> {
                     let waiting = std::mem::take(&mut wg.barrier_waiting);
                     wg.barrier_arrived = 0;
                     for ww in waiting {
+                        // Barrier time ends at release; anything past it
+                        // until the next issue is port contention.
+                        self.warps[ww as usize].ready_at = release;
                         self.push_event(release, EvKind::Ready(ww));
                     }
                     self.hooks.trace.emit_with(|| TraceEvent {
@@ -1060,10 +1377,15 @@ impl<'a> KernelRun<'a> {
         now: Cycle,
         ctrl: &mut dyn SamplingController,
     ) -> Result<(), SimError> {
+        // Attribute the tail of the warp's residency (its final wait or
+        // predicted span) before retiring it.
+        close_wait(&mut self.acct, &mut self.warps[w as usize], now);
         let (wg_idx, was_detailed) = {
             let warp = &mut self.warps[w as usize];
             debug_assert!(!warp.done);
             warp.done = true;
+            warp.pending = StallClass::Drained.index() as u8;
+            warp.ready_at = Cycle::MAX;
             let was_detailed = warp.state.is_some();
             if was_detailed {
                 if warp.bb_open {
@@ -1075,6 +1397,7 @@ impl<'a> KernelRun<'a> {
                         insts: warp.bb_insts,
                     };
                     ctrl.on_bb_record(&rec);
+                    self.acct.record_bb(&rec);
                     self.hooks.bb_duration.record(rec.duration());
                     self.hooks.trace.emit_with(|| TraceEvent {
                         ts: rec.start,
@@ -1134,8 +1457,20 @@ impl<'a> KernelRun<'a> {
         }
 
         if wg_done {
-            let wg = &self.wgs[wg_idx as usize];
-            let cu = wg.cu as usize;
+            let (cu, t0, first) = {
+                let wg = &self.wgs[wg_idx as usize];
+                (wg.cu as usize, wg.t0, wg.first_warp_rt as usize)
+            };
+            // The workgroup's residency window closes: charge each
+            // member's retire-to-completion gap as Drained and credit
+            // the CU's resident warp-cycles.
+            let n = self.launch.warps_per_wg as usize;
+            for i in first..first + n {
+                let from = self.warps[i].acct_from;
+                self.acct.span(cu, None, StallClass::Drained, from, now);
+                self.warps[i].acct_from = now;
+            }
+            self.acct.cu_resident[cu] += n as u64 * now.saturating_sub(t0);
             self.cu_free_warps[cu] += self.launch.warps_per_wg;
             self.cu_free_lds[cu] += self.launch.lds_bytes;
             self.cu_wg_count[cu] -= 1;

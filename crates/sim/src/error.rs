@@ -21,6 +21,11 @@ pub struct StuckWarp {
     pub wg: u32,
     /// Whether the warp was parked at an `s_barrier`.
     pub at_barrier: bool,
+    /// Stall class the warp was last waiting in (a
+    /// [`gpu_telemetry::StallClass`] name such as `"mem_pending"` or
+    /// `"barrier"`), so deadlock reports say *what* the warp was
+    /// waiting on. Empty when unknown.
+    pub waiting_on: &'static str,
 }
 
 /// Diagnostic state captured when the watchdog aborts a launch.
@@ -52,6 +57,9 @@ impl fmt::Display for WatchdogSnapshot {
                 w.pc,
                 if w.at_barrier { " [barrier]" } else { "" }
             )?;
+            if !w.waiting_on.is_empty() {
+                write!(f, " waiting on {}", w.waiting_on)?;
+            }
         }
         if self.stuck.len() > 8 {
             write!(f, "; …")?;
@@ -274,6 +282,7 @@ mod tests {
                         pc: 4,
                         wg: 0,
                         at_barrier: true,
+                        waiting_on: "barrier",
                     }],
                     barriers: vec![(0, 1, 2)],
                 },
@@ -298,6 +307,7 @@ mod tests {
                     pc: 11,
                     wg: 1,
                     at_barrier: true,
+                    waiting_on: "barrier",
                 }],
                 barriers: vec![(1, 1, 2)],
             },
@@ -306,6 +316,7 @@ mod tests {
         assert!(s.contains("warp 3"));
         assert!(s.contains("pc 11"));
         assert!(s.contains("barrier 1/2"));
+        assert!(s.contains("waiting on barrier"), "{s}");
     }
 
     #[test]

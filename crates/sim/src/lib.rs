@@ -59,8 +59,11 @@ pub use error::SimError;
 pub use exec::{step, LaunchEnv, StepEffect, StepInfo};
 pub use functional::{run_wg_functional, trace_warp_isolated};
 pub use overlay::{DataMem, OverlayMem};
-pub use result::{AppResult, KernelResult};
+pub use result::{AppResult, BbAccounting, KernelResult};
 pub use warp::{WarpState, WarpTrace};
+// Accounting types surfaced through `KernelResult` — re-exported so
+// downstream users can name them without depending on gpu-telemetry.
+pub use gpu_telemetry::{CuAccounting, CycleAccounting, StallClass, StallWindow, STALL_CLASSES};
 
 /// A simulation cycle count (re-exported from [`gpu_mem`]).
 pub type Cycle = gpu_mem::Cycle;

@@ -1,7 +1,44 @@
 //! Kernel and application results.
 
 use gpu_mem::{Cycle, MemStats};
+use gpu_telemetry::{CycleAccounting, STALL_CLASSES};
 use serde::{Deserialize, Serialize};
+
+/// Per-basic-block cycle accounting measured over a kernel's detailed
+/// warps: how many instances ran, the cycles they took, the stall
+/// classes those cycles were attributed to, and (when the controller
+/// published one) the predicted mean duration for the block.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BbAccounting {
+    /// Basic-block index within the kernel's program.
+    pub bb: u32,
+    /// Detailed block instances measured.
+    pub instances: u64,
+    /// Dynamic instructions across those instances.
+    pub insts: u64,
+    /// Measured cycles summed across those instances (the paper's
+    /// interval definition: first issue to first issue of the next
+    /// block).
+    pub cycles: u64,
+    /// Warp-cycles per [`gpu_telemetry::StallClass`] attributed to the
+    /// block's detailed instances, indexed by `StallClass::index()`.
+    pub stall: [u64; STALL_CLASSES],
+    /// The sampling controller's predicted mean duration for one
+    /// instance, when it published one (`None` for baselines that do
+    /// not predict per-block times).
+    pub predicted_mean: Option<f64>,
+}
+
+impl BbAccounting {
+    /// Measured mean cycles per instance (zero when nothing ran).
+    pub fn measured_mean(&self) -> f64 {
+        if self.instances == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instances as f64
+        }
+    }
+}
 
 /// Outcome of one kernel execution (detailed, sampled, or skipped).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -31,6 +68,14 @@ pub struct KernelResult {
     pub skipped: bool,
     /// Memory-system activity of this kernel (detailed accesses only).
     pub mem: MemStats,
+    /// Cycle accounting: per-CU stall attribution and the windowed
+    /// stall/occupancy timeline. `None` for skipped kernels (nothing
+    /// was resident). Observation-only — `cycles` is bit-identical with
+    /// and without it.
+    pub accounting: Option<CycleAccounting>,
+    /// Per-basic-block measured timing and stall attribution over the
+    /// kernel's detailed warps (empty for skipped kernels).
+    pub bb_stats: Vec<BbAccounting>,
 }
 
 impl KernelResult {
@@ -155,6 +200,8 @@ mod tests {
             ipc_window: 2048,
             skipped: false,
             mem: MemStats::default(),
+            accounting: None,
+            bb_stats: Vec::new(),
         }
     }
 

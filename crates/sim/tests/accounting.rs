@@ -1,0 +1,245 @@
+//! Cycle-accounting invariant tests: every CU's stall-class counts sum
+//! exactly to its resident warp-cycles, per-BB rows cross-check against
+//! the controller's raw `BbRecord` stream, and accounting survives
+//! sampled and aborted runs.
+
+use gpu_isa::{CmpOp, Kernel, KernelBuilder, KernelLaunch, MemWidth, SAluOp, VAluOp, VectorSrc};
+use gpu_sim::{
+    Cycle, GpuConfig, GpuSimulator, KernelStartAccess, Recorder, SamplingController, WgMode,
+};
+use gpu_telemetry::{CycleAccounting, StallClass};
+
+fn vadd_launch(gpu: &mut GpuSimulator, n_wgs: u32, warps_per_wg: u32) -> KernelLaunch {
+    let total_threads = n_wgs as u64 * warps_per_wg as u64 * 64;
+    let a = gpu.alloc_buffer(total_threads * 4).unwrap();
+    let b = gpu.alloc_buffer(total_threads * 4).unwrap();
+    let c = gpu.alloc_buffer(total_threads * 4).unwrap();
+    for i in 0..total_threads {
+        gpu.mem_mut().write_f32(a + 4 * i, i as f32);
+        gpu.mem_mut().write_f32(b + 4 * i, 2.0 * i as f32);
+    }
+    let mut kb = KernelBuilder::new("vadd");
+    let (sa, sb, sc) = (kb.sreg(), kb.sreg(), kb.sreg());
+    kb.load_arg(sa, 0);
+    kb.load_arg(sb, 1);
+    kb.load_arg(sc, 2);
+    let tid = kb.vreg();
+    kb.global_thread_id(tid);
+    let off = kb.vreg();
+    kb.valu(VAluOp::Shl, off, VectorSrc::Reg(tid), VectorSrc::Imm(2));
+    let va = kb.vreg();
+    let vb = kb.vreg();
+    kb.global_load(va, sa, off, 0, MemWidth::B32);
+    kb.global_load(vb, sb, off, 0, MemWidth::B32);
+    let vc = kb.vreg();
+    kb.valu(VAluOp::FAdd, vc, VectorSrc::Reg(va), VectorSrc::Reg(vb));
+    kb.global_store(vc, sc, off, 0, MemWidth::B32);
+    let k = Kernel::new(kb.finish().unwrap());
+    KernelLaunch::new(k, n_wgs, warps_per_wg, vec![a, b, c])
+}
+
+fn barrier_launch(gpu: &mut GpuSimulator) -> KernelLaunch {
+    let out = gpu.alloc_buffer(4 * 64 * 4).unwrap();
+    let mut kb = KernelBuilder::new("lds_sync");
+    let s_out = kb.sreg();
+    kb.load_arg(s_out, 0);
+    let s_wiw = kb.sreg();
+    kb.special(s_wiw, gpu_isa::SpecialReg::WarpInWg);
+    let v_addr = kb.vreg();
+    kb.valu(VAluOp::Shl, v_addr, VectorSrc::LaneId, VectorSrc::Imm(2));
+    kb.scmp(CmpOp::Eq, s_wiw, 0i64);
+    kb.if_scc(|kb| {
+        let v = kb.vreg();
+        kb.valu(VAluOp::Add, v, VectorSrc::LaneId, VectorSrc::Imm(7));
+        kb.lds_store(v, v_addr, 0);
+    });
+    kb.barrier();
+    let v_read = kb.vreg();
+    kb.lds_load(v_read, v_addr, 0);
+    let s_base = kb.sreg();
+    kb.salu(SAluOp::Mul, s_base, s_wiw, 256i64);
+    let v_off = kb.vreg();
+    kb.valu(
+        VAluOp::Add,
+        v_off,
+        VectorSrc::Sreg(s_base),
+        VectorSrc::Reg(v_addr),
+    );
+    kb.global_store(v_read, s_out, v_off, 0, MemWidth::B32);
+    let k = Kernel::new(kb.finish().unwrap());
+    KernelLaunch::new(k, 1, 4, vec![out]).with_lds(256)
+}
+
+fn acct(result: &gpu_sim::KernelResult) -> &CycleAccounting {
+    result.accounting.as_ref().expect("accounting attached")
+}
+
+#[test]
+fn detailed_run_balances_and_issued_matches_inst_count() {
+    let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+    let launch = vadd_launch(&mut gpu, 8, 4);
+    let result = gpu.run_kernel(&launch).unwrap();
+    let a = acct(&result);
+    a.check().expect("stall-sum invariant");
+    assert!(!a.is_empty());
+    assert_eq!(a.cycles, result.cycles);
+    // Each detailed issue charges exactly one Issued warp-cycle.
+    assert_eq!(
+        a.totals()[StallClass::Issued.index()],
+        result.detailed_insts
+    );
+    // The timeline carries the same warp-cycles as the CU totals.
+    let timeline_total: u64 = a
+        .timeline
+        .iter()
+        .flat_map(|w| w.classes.iter())
+        .copied()
+        .sum();
+    assert_eq!(timeline_total, a.resident_warp_cycles());
+    // vadd waits on memory: some MemPending cycles must show up.
+    assert!(a.totals()[StallClass::MemPending.index()] > 0);
+}
+
+#[test]
+fn bb_stats_cross_check_against_recorder() {
+    let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+    let launch = vadd_launch(&mut gpu, 4, 2);
+    let mut rec = Recorder::new();
+    let result = gpu.run_kernel_sampled(&launch, &mut rec).unwrap();
+    assert!(!result.bb_stats.is_empty());
+    let stats_instances: u64 = result.bb_stats.iter().map(|b| b.instances).sum();
+    assert_eq!(stats_instances, rec.bb_records.len() as u64);
+    let stats_cycles: u64 = result.bb_stats.iter().map(|b| b.cycles).sum();
+    let rec_cycles: u64 = rec.bb_records.iter().map(|r| r.duration()).sum();
+    assert_eq!(stats_cycles, rec_cycles);
+    let stats_insts: u64 = result.bb_stats.iter().map(|b| b.insts).sum();
+    assert_eq!(stats_insts, result.detailed_insts);
+    for b in &result.bb_stats {
+        assert!(b.predicted_mean.is_none(), "recorder predicts nothing");
+        assert!(b.measured_mean() > 0.0);
+    }
+}
+
+#[test]
+fn barrier_kernel_attributes_barrier_cycles() {
+    let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+    let launch = barrier_launch(&mut gpu);
+    let result = gpu.run_kernel(&launch).unwrap();
+    let a = acct(&result);
+    a.check().expect("stall-sum invariant");
+    assert!(a.totals()[StallClass::Barrier.index()] > 0);
+    assert!(a.totals()[StallClass::LdsConflict.index()] > 0);
+}
+
+struct FixedPrediction(u64);
+impl SamplingController for FixedPrediction {
+    fn dispatch_mode(&mut self) -> WgMode {
+        WgMode::WarpSampled
+    }
+    fn predict_warp_avg(&mut self) -> Cycle {
+        self.0
+    }
+}
+
+#[test]
+fn predicted_warps_account_as_issued() {
+    let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+    let launch = vadd_launch(&mut gpu, 8, 4);
+    let result = gpu
+        .run_kernel_sampled(&launch, &mut FixedPrediction(500))
+        .unwrap();
+    assert_eq!(result.detailed_insts, 0);
+    let a = acct(&result);
+    a.check().expect("stall-sum invariant");
+    // Predicted spans are modeled as useful execution.
+    assert!(a.totals()[StallClass::Issued.index()] > 0);
+    assert_eq!(a.totals()[StallClass::MemPending.index()], 0);
+    assert!(result.bb_stats.is_empty(), "no detailed blocks measured");
+}
+
+#[test]
+fn multi_kernel_accounting_merges() {
+    let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+    let launch = vadd_launch(&mut gpu, 4, 2);
+    let r1 = gpu.run_kernel(&launch).unwrap();
+    let r2 = gpu.run_kernel(&launch).unwrap();
+    let mut merged = acct(&r1).clone();
+    merged.merge(acct(&r2));
+    merged.check().expect("merged invariant");
+    assert_eq!(merged.cycles, r1.cycles + r2.cycles);
+    assert_eq!(
+        merged.resident_warp_cycles(),
+        acct(&r1).resident_warp_cycles() + acct(&r2).resident_warp_cycles()
+    );
+    // Second kernel's windows start after the first kernel's.
+    let t1 = acct(&r1).timeline.len();
+    assert!(merged.timeline.len() > t1);
+    assert!(merged.timeline[t1].start >= r2.start_cycle);
+}
+
+struct AbortAfterFirstWindow {
+    windows: u32,
+    ipc_seen: f64,
+}
+impl SamplingController for AbortAfterFirstWindow {
+    fn on_ipc_window(&mut self, _start: Cycle, insts: u64, window: Cycle) {
+        self.windows += 1;
+        self.ipc_seen = insts as f64 / window as f64;
+    }
+    fn check_abort(&mut self) -> Option<f64> {
+        (self.windows >= 1 && self.ipc_seen > 0.0).then_some(self.ipc_seen)
+    }
+}
+
+#[test]
+fn pka_abort_balances_over_detailed_prefix() {
+    let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+    let launch = vadd_launch(&mut gpu, 256, 4);
+    let mut ctrl = AbortAfterFirstWindow {
+        windows: 0,
+        ipc_seen: 0.0,
+    };
+    let result = gpu.run_kernel_sampled(&launch, &mut ctrl).unwrap();
+    let a = acct(&result);
+    a.check().expect("stall-sum invariant after abort");
+    assert!(!a.is_empty());
+    assert!(a.totals()[StallClass::Issued.index()] > 0);
+}
+
+struct SkipAll;
+impl SamplingController for SkipAll {
+    fn on_kernel_start(&mut self, _ctx: &mut dyn KernelStartAccess) -> gpu_sim::KernelDirective {
+        gpu_sim::KernelDirective::Skip {
+            predicted_cycles: 1234,
+            functional_replay: false,
+        }
+    }
+}
+
+#[test]
+fn skipped_kernel_has_no_accounting() {
+    let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+    let launch = vadd_launch(&mut gpu, 4, 4);
+    let result = gpu.run_kernel_sampled(&launch, &mut SkipAll).unwrap();
+    assert!(result.skipped);
+    assert!(result.accounting.is_none());
+    assert!(result.bb_stats.is_empty());
+}
+
+/// Simulated cycles must be bit-identical whether or not anyone looks
+/// at the accounting — it is observation-only by construction, but this
+/// pins it against regressions (same premise as the golden-cycles
+/// suite: two identically-seeded runs agree cycle for cycle).
+#[test]
+fn accounting_is_observation_only() {
+    let mut gpu1 = GpuSimulator::new(GpuConfig::tiny());
+    let launch1 = vadd_launch(&mut gpu1, 16, 4);
+    let r1 = gpu1.run_kernel(&launch1).unwrap();
+    let _ = acct(&r1).totals();
+
+    let mut gpu2 = GpuSimulator::new(GpuConfig::tiny());
+    let launch2 = vadd_launch(&mut gpu2, 16, 4);
+    let r2 = gpu2.run_kernel(&launch2).unwrap();
+    assert_eq!(r1.cycles, r2.cycles);
+    assert_eq!(r1.ipc_timeline, r2.ipc_timeline);
+}

@@ -114,6 +114,28 @@ fn args(kind: &EventKind) -> Value {
             ("decision", s(decision)),
             ("detail", s(detail)),
         ]),
+        EventKind::StallSample {
+            issued,
+            dep_scoreboard,
+            mem_pending,
+            mem_queue_full,
+            barrier,
+            lds_conflict,
+            no_warp_ready,
+            drained,
+        } => obj(vec![
+            ("issued", u(*issued)),
+            ("dep_scoreboard", u(*dep_scoreboard)),
+            ("mem_pending", u(*mem_pending)),
+            ("mem_queue_full", u(*mem_queue_full)),
+            ("barrier", u(*barrier)),
+            ("lds_conflict", u(*lds_conflict)),
+            ("no_warp_ready", u(*no_warp_ready)),
+            ("drained", u(*drained)),
+        ]),
+        EventKind::OccupancySample { resident_warps } => {
+            obj(vec![("resident_warps", u(*resident_warps))])
+        }
     }
 }
 
@@ -128,20 +150,29 @@ fn track(kind: &EventKind) -> u64 {
         EventKind::BarrierWait { .. } | EventKind::BarrierRelease { .. } => 4,
         EventKind::IpcWindow { .. } => 5,
         EventKind::WatchdogAbort { .. } | EventKind::ControllerDecision { .. } => 6,
+        EventKind::StallSample { .. } | EventKind::OccupancySample { .. } => 7,
     }
 }
 
 fn chrome_event(ev: &TraceEvent) -> Value {
-    // Complete ("X") events carry a duration; everything else is an
-    // instant ("i"). Timestamps are simulated cycles reported as µs —
-    // Chrome's viewer needs *some* unit, and 1 cycle = 1 µs keeps the
-    // numbers readable.
-    let mut fields = vec![
-        ("name", s(ev.kind.name())),
-        ("ph", s(if ev.dur > 0 { "X" } else { "i" })),
-        ("ts", u(ev.ts)),
-    ];
-    if ev.dur > 0 {
+    // Counter ("C") events render as stacked per-series graphs from
+    // their args; complete ("X") events carry a duration; everything
+    // else is an instant ("i"). Timestamps are simulated cycles
+    // reported as µs — Chrome's viewer needs *some* unit, and
+    // 1 cycle = 1 µs keeps the numbers readable.
+    let counter = ev.kind.is_counter();
+    let ph = if counter {
+        "C"
+    } else if ev.dur > 0 {
+        "X"
+    } else {
+        "i"
+    };
+    let mut fields = vec![("name", s(ev.kind.name())), ("ph", s(ph)), ("ts", u(ev.ts))];
+    if counter {
+        // Counters take only name/ts/pid/args; a duration or instant
+        // scope field would be ignored (or rejected) by the viewer.
+    } else if ev.dur > 0 {
         fields.push(("dur", u(ev.dur)));
     } else {
         fields.push(("s", s("t")));
@@ -233,6 +264,11 @@ mod tests {
                         detail: "w0 @barrier".to_string(),
                     },
                 },
+                TraceEvent {
+                    ts: 64,
+                    dur: 0,
+                    kind: EventKind::OccupancySample { resident_warps: 12 },
+                },
             ],
             dropped: 1,
         }
@@ -244,6 +280,7 @@ mod tests {
         assert!(out.contains("\"traceEvents\""));
         assert!(out.contains("\"ph\": \"X\""));
         assert!(out.contains("\"ph\": \"i\""));
+        assert!(out.contains("\"ph\": \"C\""));
         assert!(out.contains("\"dropped_events\": 1"));
         assert!(out.contains("watchdog_abort"));
         // Must parse back as JSON.
@@ -260,12 +297,13 @@ mod tests {
     fn jsonl_is_one_object_per_line() {
         let out = jsonl(&sample_log());
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines.len(), 4); // header + 3 events
+        assert_eq!(lines.len(), 5); // header + 4 events
         for line in &lines {
             let _: Value = serde_json::from_str(line).unwrap();
         }
-        assert!(lines[0].contains("\"schema_version\":1"));
+        assert!(lines[0].contains("\"schema_version\":2"));
         assert!(lines[2].contains("cache_access"));
+        assert!(lines[4].contains("occupancy"));
     }
 
     #[test]

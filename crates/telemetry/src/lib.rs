@@ -32,14 +32,18 @@
 // tests are free to unwrap.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+mod accounting;
 pub mod export;
 mod registry;
 mod report;
 mod trace;
 
+pub use accounting::{
+    BbErrorRow, CuAccounting, CycleAccounting, StallClass, StallWindow, STALL_CLASSES,
+};
 pub use registry::{
-    Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricsSnapshot,
-    Registry,
+    percentile_from_buckets, Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram,
+    HistogramSnapshot, MetricsSnapshot, Registry,
 };
 pub use report::{
     compare_reports, MethodRun, Regression, RunReport, SkippedRun, ERROR_REGRESSION_ABS,

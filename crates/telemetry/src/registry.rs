@@ -102,6 +102,25 @@ fn bucket_floor(i: usize) -> u64 {
     }
 }
 
+/// Percentile estimate over log2 bucket counts: the [`bucket_floor`] of
+/// the bucket holding the observation at rank `ceil(p × count)`.
+/// Resolution is the bucket width; `0` when `count` is 0. Public so
+/// report tools can recompute percentiles from snapshot bucket data.
+pub fn percentile_from_buckets(buckets: &[u64], count: u64, p: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = (p * count as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, n) in buckets.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return bucket_floor(i);
+        }
+    }
+    bucket_floor(buckets.len().max(1) - 1)
+}
+
 /// A log2-bucketed histogram handle for latency/duration distributions.
 ///
 /// Recording is O(1); percentiles are approximate (bucket resolution).
@@ -111,10 +130,20 @@ pub struct Histogram(Arc<Mutex<HistogramInner>>);
 impl Histogram {
     /// Records one observation.
     pub fn record(&self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` observations of the same value in one locked update
+    /// (bulk import of pre-aggregated data, e.g. per-level queue-delay
+    /// buckets published at kernel end).
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let mut h = lock(&self.0);
-        h.buckets[bucket_index(v)] += 1;
-        h.count += 1;
-        h.sum = h.sum.saturating_add(v);
+        h.buckets[bucket_index(v)] += n;
+        h.count += n;
+        h.sum = h.sum.saturating_add(v.saturating_mul(n));
         h.min = h.min.min(v);
         h.max = h.max.max(v);
     }
@@ -127,20 +156,6 @@ impl Histogram {
     /// Snapshot of the distribution under a name.
     fn snapshot(&self, name: &str) -> HistogramSnapshot {
         let h = lock(&self.0);
-        let pct = |p: f64| -> u64 {
-            if h.count == 0 {
-                return 0;
-            }
-            let rank = (p * h.count as f64).ceil().max(1.0) as u64;
-            let mut seen = 0u64;
-            for (i, n) in h.buckets.iter().enumerate() {
-                seen += n;
-                if seen >= rank {
-                    return bucket_floor(i);
-                }
-            }
-            bucket_floor(BUCKETS - 1)
-        };
         HistogramSnapshot {
             name: name.to_string(),
             count: h.count,
@@ -152,9 +167,10 @@ impl Histogram {
             } else {
                 h.sum as f64 / h.count as f64
             },
-            p50: pct(0.50),
-            p95: pct(0.95),
-            p99: pct(0.99),
+            p50: percentile_from_buckets(&h.buckets, h.count, 0.50),
+            p95: percentile_from_buckets(&h.buckets, h.count, 0.95),
+            p99: percentile_from_buckets(&h.buckets, h.count, 0.99),
+            buckets: h.buckets.to_vec(),
         }
     }
 }
@@ -198,6 +214,11 @@ pub struct HistogramSnapshot {
     pub p95: u64,
     /// Approximate 99th percentile.
     pub p99: u64,
+    /// Raw log2 bucket counts (length [`BUCKETS`]): bucket 0 holds the
+    /// value 0, bucket `i` holds `[2^(i-1), 2^i)`. Carried so merged
+    /// snapshots can recompute percentiles exactly and report tools can
+    /// render distributions.
+    pub buckets: Vec<u64>,
 }
 
 /// A serializable snapshot of every metric in a [`Registry`], sorted by
@@ -230,9 +251,11 @@ impl MetricsSnapshot {
     /// * **gauges** — last writer wins (`other` overwrites `self`);
     /// * **histograms** — `count`/`sum` summed and `min`/`max` combined
     ///   exactly; `mean` recomputed from the merged sum and count;
-    ///   `p50`/`p95`/`p99` take the max of the two parts, a conservative
-    ///   upper-bound approximation (the bucket data needed for exact
-    ///   merged percentiles is not part of the snapshot).
+    ///   bucket counts are added elementwise and `p50`/`p95`/`p99`
+    ///   recomputed exactly from the merged buckets. When either side
+    ///   lacks bucket data (a snapshot from an older producer), the
+    ///   percentiles fall back to the max of the two parts — a
+    ///   conservative upper-bound approximation.
     ///
     /// Name order stays sorted, so merging is deterministic regardless
     /// of the order runs finish in.
@@ -269,9 +292,19 @@ impl MetricsSnapshot {
                     } else {
                         m.sum as f64 / count as f64
                     };
-                    m.p50 = m.p50.max(h.p50);
-                    m.p95 = m.p95.max(h.p95);
-                    m.p99 = m.p99.max(h.p99);
+                    if m.buckets.len() == BUCKETS && h.buckets.len() == BUCKETS {
+                        for (a, b) in m.buckets.iter_mut().zip(h.buckets.iter()) {
+                            *a += b;
+                        }
+                        m.p50 = percentile_from_buckets(&m.buckets, count, 0.50);
+                        m.p95 = percentile_from_buckets(&m.buckets, count, 0.95);
+                        m.p99 = percentile_from_buckets(&m.buckets, count, 0.99);
+                    } else {
+                        m.buckets.clear();
+                        m.p50 = m.p50.max(h.p50);
+                        m.p95 = m.p95.max(h.p95);
+                        m.p99 = m.p99.max(h.p99);
+                    }
                     m.count = count;
                 }
                 None => self.histograms.push(h.clone()),
@@ -473,6 +506,48 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn record_n_bulk_matches_repeated_record() {
+        let a = Histogram::default();
+        for _ in 0..5 {
+            a.record(16);
+        }
+        a.record(3);
+        let b = Histogram::default();
+        b.record_n(16, 5);
+        b.record_n(3, 1);
+        b.record_n(99, 0); // no-op
+        assert_eq!(a.snapshot("h"), b.snapshot("h"));
+        assert_eq!(b.count(), 6);
+    }
+
+    #[test]
+    fn merged_percentiles_are_exact_from_buckets() {
+        // One side holds many small values, the other a few large ones.
+        // The max-of-parts approximation would report p50 = 512 (the
+        // larger side's median); the exact bucket merge keeps p50 small.
+        let a = Registry::default();
+        let ha = a.histogram("lat");
+        ha.record_n(2, 90);
+        let b = Registry::default();
+        let hb = b.histogram("lat");
+        hb.record_n(512, 10);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let h = &merged.histograms[0];
+        assert_eq!(h.count, 100);
+        assert_eq!(h.p50, 2);
+        assert_eq!(h.p95, 512);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 100);
+
+        // Without bucket data the merge falls back to max-of-parts.
+        let mut no_buckets = a.snapshot();
+        no_buckets.histograms[0].buckets.clear();
+        no_buckets.merge(&b.snapshot());
+        assert_eq!(no_buckets.histograms[0].p50, 512);
+        assert!(no_buckets.histograms[0].buckets.is_empty());
     }
 
     #[test]

@@ -2,12 +2,15 @@
 //! recorded in (`results/BENCH_<app>.json`) and the regression
 //! comparison used by the bench `report` tool.
 
+use crate::accounting::{BbErrorRow, CycleAccounting};
 use crate::registry::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// Version stamped into every [`RunReport`]; bump on incompatible
-/// schema changes so old reports are not silently misread.
-pub const REPORT_SCHEMA_VERSION: u32 = 1;
+/// schema changes so old reports are not silently misread. Version 2
+/// added cycle accounting, per-BB prediction-error rows, and histogram
+/// bucket data.
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
 
 /// One completed (workload, method) measurement inside a [`RunReport`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,6 +42,12 @@ pub struct MethodRun {
     pub speedup_vs_detailed: f64,
     /// Relative cycle error vs. the detailed run (0 when no reference).
     pub error_vs_detailed: f64,
+    /// Per-CU stall attribution and occupancy timeline, merged across
+    /// the app's kernels (`None` when the run produced no accounting —
+    /// e.g. every kernel skipped).
+    pub accounting: Option<CycleAccounting>,
+    /// Per-BB predicted-vs-measured error decomposition by stall class.
+    pub bb_errors: Vec<BbErrorRow>,
 }
 
 /// A (workload, method) pair that did not produce a measurement, with
@@ -176,6 +185,8 @@ mod tests {
             skipped_kernels: 0,
             speedup_vs_detailed: speedup,
             error_vs_detailed: error,
+            accounting: None,
+            bb_errors: Vec::new(),
         }
     }
 

@@ -12,7 +12,9 @@ use serde::{Deserialize, Serialize};
 
 /// Version stamped into exported traces and reports; bump on any
 /// incompatible change to the event vocabulary or report schema.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Version 2 added the cycle-accounting counter tracks
+/// ([`EventKind::StallSample`], [`EventKind::OccupancySample`]).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Execution mode a workgroup was dispatched in (mirror of the
 /// simulator's `WgMode`, kept here so `gpu-telemetry` stays at the
@@ -165,6 +167,35 @@ pub enum EventKind {
         /// Human-readable detail.
         detail: String,
     },
+    /// Cycle-accounting counter sample: warp-cycles per stall class in
+    /// one timeline window, summed over CUs. Exported as a Chrome-trace
+    /// counter track (`"ph":"C"`) so the stall mix renders as a stacked
+    /// graph. Field order matches `StallClass` discriminant order.
+    StallSample {
+        /// Warp-cycles spent issuing.
+        issued: u64,
+        /// Warp-cycles waiting on ALU/branch results.
+        dep_scoreboard: u64,
+        /// Warp-cycles waiting on outstanding memory accesses.
+        mem_pending: u64,
+        /// Warp-cycles queued behind busy memory resources.
+        mem_queue_full: u64,
+        /// Warp-cycles parked at workgroup barriers.
+        barrier: u64,
+        /// Warp-cycles waiting on LDS latency.
+        lds_conflict: u64,
+        /// Warp-cycles ready but not selected for issue.
+        no_warp_ready: u64,
+        /// Warp-cycles resident after retirement (workgroup draining).
+        drained: u64,
+    },
+    /// Cycle-accounting counter sample: mean resident warps across one
+    /// timeline window (active-warp occupancy), rounded to the nearest
+    /// warp. Exported as a Chrome-trace counter track.
+    OccupancySample {
+        /// Mean resident warps in the window.
+        resident_warps: u64,
+    },
 }
 
 impl EventKind {
@@ -183,7 +214,18 @@ impl EventKind {
             EventKind::IpcWindow { .. } => "ipc_window",
             EventKind::WatchdogAbort { .. } => "watchdog_abort",
             EventKind::ControllerDecision { .. } => "controller_decision",
+            EventKind::StallSample { .. } => "stall_mix",
+            EventKind::OccupancySample { .. } => "occupancy",
         }
+    }
+
+    /// Whether this event exports as a Chrome-trace counter track
+    /// (`"ph":"C"`) rather than a duration/instant event.
+    pub fn is_counter(&self) -> bool {
+        matches!(
+            self,
+            EventKind::StallSample { .. } | EventKind::OccupancySample { .. }
+        )
     }
 }
 
@@ -451,5 +493,26 @@ mod tests {
             .name(),
             "watchdog_abort"
         );
+        assert_eq!(
+            EventKind::OccupancySample { resident_warps: 3 }.name(),
+            "occupancy"
+        );
+    }
+
+    #[test]
+    fn only_accounting_samples_are_counters() {
+        assert!(!ev(0).kind.is_counter());
+        assert!(EventKind::OccupancySample { resident_warps: 0 }.is_counter());
+        assert!(EventKind::StallSample {
+            issued: 1,
+            dep_scoreboard: 0,
+            mem_pending: 0,
+            mem_queue_full: 0,
+            barrier: 0,
+            lds_conflict: 0,
+            no_warp_ready: 0,
+            drained: 0,
+        }
+        .is_counter());
     }
 }

@@ -1,0 +1,159 @@
+//! Trace Event Format conformance for the Chrome-trace exporter:
+//! round-trips a trace containing duration events, instant events, and
+//! the cycle-accounting counter tracks through `serde_json` and asserts
+//! the `ph`/`pid`/`tid`/`args` fields match what the format (and the
+//! Perfetto / `chrome://tracing` viewers) expect.
+
+use gpu_telemetry::export::chrome_trace_json;
+use gpu_telemetry::{EventKind, SampleMode, TraceEvent, TraceLog, SCHEMA_VERSION};
+use serde_json::Value;
+
+fn get<'a>(v: &'a Value, key: &str) -> &'a Value {
+    v.get(key)
+        .unwrap_or_else(|| panic!("missing field `{key}` in {v:?}"))
+}
+
+fn get_u64(v: &Value, key: &str) -> u64 {
+    match get(v, key) {
+        Value::U64(n) => *n,
+        Value::I64(n) => *n as u64,
+        other => panic!("field `{key}` is not an integer: {other:?}"),
+    }
+}
+
+fn get_str<'a>(v: &'a Value, key: &str) -> &'a str {
+    match get(v, key) {
+        Value::String(s) => s.as_str(),
+        other => panic!("field `{key}` is not a string: {other:?}"),
+    }
+}
+
+fn log_with_counters() -> TraceLog {
+    TraceLog {
+        events: vec![
+            TraceEvent {
+                ts: 0,
+                dur: 120,
+                kind: EventKind::KernelEnd {
+                    kernel: "fir".to_string(),
+                    seq: 0,
+                    cycles: 120,
+                    detailed_insts: 640,
+                    functional_insts: 0,
+                    skipped: false,
+                },
+            },
+            TraceEvent {
+                ts: 3,
+                dur: 0,
+                kind: EventKind::WgDispatch {
+                    wg: 0,
+                    cu: 2,
+                    mode: SampleMode::Detailed,
+                },
+            },
+            TraceEvent {
+                ts: 64,
+                dur: 0,
+                kind: EventKind::StallSample {
+                    issued: 100,
+                    dep_scoreboard: 40,
+                    mem_pending: 200,
+                    mem_queue_full: 12,
+                    barrier: 0,
+                    lds_conflict: 4,
+                    no_warp_ready: 60,
+                    drained: 8,
+                },
+            },
+            TraceEvent {
+                ts: 64,
+                dur: 0,
+                kind: EventKind::OccupancySample { resident_warps: 6 },
+            },
+        ],
+        dropped: 0,
+    }
+}
+
+/// Parses the exporter's output and returns the traceEvents array.
+fn exported_events() -> Vec<Value> {
+    let text = chrome_trace_json(&log_with_counters());
+    let doc: Value = serde_json::from_str(&text).expect("exporter must emit valid JSON");
+    match get(&doc, "traceEvents") {
+        Value::Array(events) => events.clone(),
+        other => panic!("traceEvents is not an array: {other:?}"),
+    }
+}
+
+#[test]
+fn duration_event_has_x_phase_with_dur() {
+    let events = exported_events();
+    let kernel = &events[0];
+    assert_eq!(get_str(kernel, "name"), "kernel");
+    assert_eq!(get_str(kernel, "ph"), "X");
+    assert_eq!(get_u64(kernel, "ts"), 0);
+    assert_eq!(get_u64(kernel, "dur"), 120);
+    assert_eq!(get_u64(kernel, "pid"), 1);
+    assert_eq!(get_u64(kernel, "tid"), 0);
+    let args = get(kernel, "args");
+    assert_eq!(get_u64(args, "cycles"), 120);
+    assert_eq!(get_str(args, "kernel"), "fir");
+}
+
+#[test]
+fn instant_event_has_i_phase_with_scope() {
+    let events = exported_events();
+    let wg = &events[1];
+    assert_eq!(get_str(wg, "name"), "wg_dispatch");
+    assert_eq!(get_str(wg, "ph"), "i");
+    assert_eq!(get_str(wg, "s"), "t");
+    assert!(wg.get("dur").is_none(), "instant events carry no dur");
+    assert_eq!(get_u64(wg, "pid"), 1);
+    assert_eq!(get_u64(wg, "tid"), 1);
+    assert_eq!(get_u64(get(wg, "args"), "cu"), 2);
+}
+
+#[test]
+fn counter_events_have_c_phase_and_per_series_args() {
+    let events = exported_events();
+    let stall = &events[2];
+    assert_eq!(get_str(stall, "name"), "stall_mix");
+    assert_eq!(get_str(stall, "ph"), "C");
+    assert_eq!(get_u64(stall, "ts"), 64);
+    assert_eq!(get_u64(stall, "pid"), 1);
+    assert_eq!(get_u64(stall, "tid"), 7);
+    // Counters must not carry a duration or an instant scope.
+    assert!(stall.get("dur").is_none());
+    assert!(stall.get("s").is_none());
+    // One args entry per stall class, values as recorded.
+    let args = get(stall, "args");
+    let expected = [
+        ("issued", 100),
+        ("dep_scoreboard", 40),
+        ("mem_pending", 200),
+        ("mem_queue_full", 12),
+        ("barrier", 0),
+        ("lds_conflict", 4),
+        ("no_warp_ready", 60),
+        ("drained", 8),
+    ];
+    for (name, value) in expected {
+        assert_eq!(get_u64(args, name), value, "series {name}");
+    }
+
+    let occ = &events[3];
+    assert_eq!(get_str(occ, "name"), "occupancy");
+    assert_eq!(get_str(occ, "ph"), "C");
+    assert_eq!(get_u64(occ, "tid"), 7);
+    assert_eq!(get_u64(get(occ, "args"), "resident_warps"), 6);
+}
+
+#[test]
+fn document_metadata_carries_schema_version() {
+    let text = chrome_trace_json(&log_with_counters());
+    let doc: Value = serde_json::from_str(&text).unwrap();
+    let other = get(&doc, "otherData");
+    assert_eq!(get_u64(other, "schema_version"), u64::from(SCHEMA_VERSION));
+    assert_eq!(get_u64(other, "dropped_events"), 0);
+}

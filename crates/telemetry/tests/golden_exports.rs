@@ -113,6 +113,25 @@ fn fixed_log() -> TraceLog {
                 skipped: false,
             },
         },
+        TraceEvent {
+            ts: 16,
+            dur: 0,
+            kind: EventKind::StallSample {
+                issued: 40,
+                dep_scoreboard: 12,
+                mem_pending: 30,
+                mem_queue_full: 6,
+                barrier: 8,
+                lds_conflict: 2,
+                no_warp_ready: 20,
+                drained: 10,
+            },
+        },
+        TraceEvent {
+            ts: 16,
+            dur: 0,
+            kind: EventKind::OccupancySample { resident_warps: 8 },
+        },
     ];
     TraceLog { events, dropped: 3 }
 }
@@ -168,6 +187,8 @@ fn chrome_golden_is_valid_json_with_all_event_kinds() {
         "controller_decision",
         "watchdog_abort",
         "kernel",
+        "stall_mix",
+        "occupancy",
     ] {
         assert!(
             out.contains(&format!("\"name\": \"{name}\"")),

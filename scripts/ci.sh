@@ -37,6 +37,9 @@ rm -rf results/cache
 cargo run -q --release -p photon-bench --features telemetry --bin report -- smoke --jobs 2
 cargo run -q --release -p photon-bench --features telemetry --bin report -- check
 
+echo "==> cycle-accounting gate (stall-sum invariant + per-BB attribution)"
+cargo run -q --release -p photon-bench --bin profile -- check
+
 echo "==> warm-cache rerun must perform zero full-detailed simulations"
 cargo run -q --release -p photon-bench --features telemetry --bin report -- smoke --jobs 2 --require-cached
 
