@@ -13,8 +13,8 @@ use gpu_telemetry::MetricsSnapshot;
 use photon_bench::cli::{parse_exec_options, usage as exec_usage};
 use photon_bench::harness::{results_dir, Method, RunOutcome};
 use photon_bench::report::{
-    build_report, check_against_baselines, histogram_summary, load_all_reports, summary_table,
-    write_report,
+    build_report, check_against_baselines, gauge_summary, histogram_summary, load_all_reports,
+    summary_table, write_report,
 };
 use photon_bench::specs::smoke_grid;
 use photon_bench::{run_specs, ExecOptions};
@@ -74,9 +74,14 @@ fn smoke(mut opts: ExecOptions, require_cached: bool) {
     }
 
     let mut metrics = MetricsSnapshot::default();
-    let mut outcomes = Vec::new();
     for r in &report.results {
         metrics.merge(&r.metrics);
+    }
+    // Executor-level health metrics (abandoned threads, quarantined
+    // cache entries) ride along so `report show` surfaces them.
+    metrics.merge(&report.metrics);
+    let mut outcomes = Vec::new();
+    for r in &report.results {
         let mut outcome = r.outcome.clone();
         if let RunOutcome::Completed(m) = &mut outcome {
             m.workload = "smoke".to_string();
@@ -111,6 +116,11 @@ fn show() {
     if !hists.is_empty() {
         println!();
         print!("{}", hists.render());
+    }
+    let health = gauge_summary(&reports);
+    if !health.is_empty() {
+        println!();
+        print!("{}", health.render());
     }
 }
 

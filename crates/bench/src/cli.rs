@@ -5,19 +5,29 @@
 //! $ fig13 --jobs 8              # fan the grid over 8 workers
 //! $ fig13 --jobs 1 --no-cache   # sequential, cold reference runs
 //! $ PHOTON_BENCH_CACHE=0 fig14  # disable the persistent cache
+//! $ fig13 --resume              # replay completed specs from the journal
+//! $ fig13 --faults exec.panic:0.3:42   # deterministic chaos
 //! ```
 
 use crate::executor::ExecOptions;
+use gpu_telemetry::faults::{self, FaultPlan};
 use std::time::Duration;
 
 /// Renders the common usage block for a binary's `--help`.
 pub fn usage(bin: &str, extra: &str) -> String {
     format!(
-        "usage: {bin} [--jobs N] [--timeout SECS] [--no-cache]{extra}\n\
+        "usage: {bin} [--jobs N] [--timeout SECS] [--retries N] [--no-cache]\n\
+         \x20              [--resume] [--no-journal] [--faults SPEC]{extra}\n\
          \x20 --jobs N        worker threads (default: available parallelism)\n\
          \x20 --timeout SECS  per-run wall-clock budget before a run is skipped\n\
+         \x20 --retries N     extra attempts for transient failures (default: 2)\n\
          \x20 --no-cache      bypass the persistent results/cache/ reference cache\n\
-         \x20                 (PHOTON_BENCH_CACHE=0 does the same)"
+         \x20                 (PHOTON_BENCH_CACHE=0 does the same)\n\
+         \x20 --resume        replay specs already completed in results/journal.jsonl\n\
+         \x20                 instead of re-simulating them\n\
+         \x20 --no-journal    do not write the run journal\n\
+         \x20 --faults SPEC   deterministic fault injection: site:rate:seed[,...]\n\
+         \x20                 (PHOTON_FAULTS=SPEC does the same; see --faults help)"
     )
 }
 
@@ -26,15 +36,33 @@ pub fn cache_enabled_by_env() -> bool {
     !std::env::var("PHOTON_BENCH_CACHE").is_ok_and(|v| v == "0")
 }
 
+/// Renders the fault-site catalog for `--faults help`.
+fn fault_sites_help() -> String {
+    let mut out =
+        String::from("fault-injection sites (--faults site:rate:seed[,site:rate:seed...]):\n");
+    for site in faults::FaultSite::ALL {
+        out.push_str(&format!("  {}\n", site.name()));
+    }
+    out.push_str("rate is a probability in [0,1]; decisions are a pure hash of\n(site, seed, run key), so the same spec always sees the same faults.");
+    out
+}
+
 /// Parses the executor flags out of `args`, leaving unrecognized
 /// arguments untouched (in order) for the binary's own parsing.
 ///
+/// `--faults` installs the parsed plan globally as a side effect (the
+/// injection sites live below the executor's plumbing); `--no-journal`
+/// and `--resume` steer the run journal, which defaults to ON at
+/// `results/journal.jsonl` for CLI binaries.
+///
 /// # Errors
 /// Returns a rendered message for malformed values (non-numeric
-/// `--jobs` / `--timeout`, or a flag missing its value).
+/// `--jobs` / `--timeout` / `--retries`, a bad `--faults` spec, or a
+/// flag missing its value).
 pub fn parse_exec_options(args: &mut Vec<String>) -> Result<ExecOptions, String> {
     let mut opts = ExecOptions {
         cache: cache_enabled_by_env(),
+        journal: Some(crate::harness::results_dir().join("journal.jsonl")),
         ..ExecOptions::default()
     };
     let mut rest = Vec::with_capacity(args.len());
@@ -55,12 +83,31 @@ pub fn parse_exec_options(args: &mut Vec<String>) -> Result<ExecOptions, String>
                     .map_err(|_| format!("--timeout: not a number: {v}"))?;
                 opts.timeout = Duration::from_secs(secs.max(1));
             }
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a value")?;
+                opts.retries = v
+                    .parse::<u32>()
+                    .map_err(|_| format!("--retries: not a number: {v}"))?;
+            }
             "--no-cache" => opts.cache = false,
+            "--resume" => opts.resume = true,
+            "--no-journal" => opts.journal = None,
+            "--faults" => {
+                let v = it.next().ok_or("--faults needs a value")?;
+                if v == "help" {
+                    return Err(fault_sites_help());
+                }
+                let plan = FaultPlan::parse(&v).map_err(|e| format!("--faults: {e}"))?;
+                faults::install(Some(plan));
+            }
             _ => rest.push(a),
         }
     }
     drop(it);
     *args = rest;
+    if opts.resume && opts.journal.is_none() {
+        return Err("--resume needs the journal (drop --no-journal)".to_string());
+    }
     Ok(opts)
 }
 
@@ -105,6 +152,10 @@ mod tests {
         assert!(parse_exec_options(&mut args).is_err());
         let mut args = vec!["--timeout".to_string()];
         assert!(parse_exec_options(&mut args).is_err());
+        let mut args = vec!["--retries".to_string(), "lots".to_string()];
+        assert!(parse_exec_options(&mut args).is_err());
+        let mut args = vec!["--faults".to_string(), "no.such.site:1:1".to_string()];
+        assert!(parse_exec_options(&mut args).is_err());
     }
 
     #[test]
@@ -112,5 +163,27 @@ mod tests {
         let mut args = vec!["--jobs".to_string(), "0".to_string()];
         let opts = parse_exec_options(&mut args).unwrap();
         assert_eq!(opts.jobs, 1);
+    }
+
+    #[test]
+    fn journal_defaults_on_and_flags_steer_it() {
+        let mut args: Vec<String> = vec![];
+        let opts = parse_exec_options(&mut args).unwrap();
+        assert!(opts.journal.is_some());
+        assert!(!opts.resume);
+        assert_eq!(opts.retries, 2);
+
+        let mut args = vec!["--resume".to_string(), "--retries".to_string(), "5".into()];
+        let opts = parse_exec_options(&mut args).unwrap();
+        assert!(opts.resume);
+        assert_eq!(opts.retries, 5);
+
+        let mut args = vec!["--no-journal".to_string()];
+        let opts = parse_exec_options(&mut args).unwrap();
+        assert!(opts.journal.is_none());
+
+        // --resume without a journal is contradictory.
+        let mut args = vec!["--no-journal".to_string(), "--resume".to_string()];
+        assert!(parse_exec_options(&mut args).is_err());
     }
 }

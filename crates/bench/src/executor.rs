@@ -20,9 +20,11 @@
 //! continue. A timed-out run thread is abandoned, never joined into the
 //! pool.
 
-use crate::harness::{panic_reason, try_run_app_method, Measurement, RunOutcome};
+use crate::harness::{panic_reason, try_run_app_method, FailureKind, Measurement, RunOutcome};
+use crate::journal::{journal_key, Journal};
 use crate::refcache::{reference_key, RefCache};
 use crate::specs::{Method, RunSpec};
+use gpu_telemetry::faults::{self, FaultSite};
 use gpu_telemetry::{MetricsSnapshot, Telemetry, TraceLog};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -30,8 +32,8 @@ use std::sync::mpsc::{channel, RecvTimeoutError};
 use std::sync::Mutex;
 use std::time::Duration;
 
-/// How an executor invocation runs: worker count, per-run timeout, and
-/// reference-cache policy.
+/// How an executor invocation runs: worker count, per-run timeout,
+/// retry budget, journaling, and reference-cache policy.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Worker threads (`--jobs N`); clamped to at least 1.
@@ -49,6 +51,20 @@ pub struct ExecOptions {
     /// Ring capacity for per-run event tracing (0 = off; only recorded
     /// when the `telemetry` feature is compiled in).
     pub trace_capacity: usize,
+    /// Extra attempts granted to a run whose failure is
+    /// [`FailureKind::Transient`] (panics, timeouts). Permanent
+    /// failures never retry.
+    pub retries: u32,
+    /// Base delay before the first retry; doubles per attempt, capped
+    /// at one second.
+    pub retry_backoff: Duration,
+    /// Run-journal path (`--resume` reads it; every completed spec
+    /// appends to it). `None` disables journaling — the default for
+    /// library/test use; the CLI turns it on at `results/journal.jsonl`.
+    pub journal: Option<std::path::PathBuf>,
+    /// Replay completed specs from the journal instead of re-simulating
+    /// them (requires `journal`).
+    pub resume: bool,
 }
 
 impl Default for ExecOptions {
@@ -59,6 +75,10 @@ impl Default for ExecOptions {
             cache: true,
             cache_dir: None,
             trace_capacity: 0,
+            retries: 2,
+            retry_backoff: Duration::from_millis(50),
+            journal: None,
+            resume: false,
         }
     }
 }
@@ -116,6 +136,10 @@ pub struct ExecStats {
     pub deduped: usize,
     /// Runs that ended as [`RunOutcome::Skipped`].
     pub skipped: usize,
+    /// Extra attempts consumed retrying transient failures.
+    pub retried: usize,
+    /// Specs replayed from the run journal (`--resume`).
+    pub resumed: usize,
 }
 
 /// Results (in spec order) plus execution statistics.
@@ -125,6 +149,11 @@ pub struct ExecReport {
     pub results: Vec<RunResult>,
     /// What the executor did to produce them.
     pub stats: ExecStats,
+    /// Executor-level telemetry: the `exec.abandoned_threads` gauge
+    /// (worker threads leaked by timeouts during this invocation) and
+    /// the `refcache.quarantined` counter. Kept separate from per-run
+    /// metrics so merging results never double-counts it.
+    pub metrics: MetricsSnapshot,
 }
 
 impl ExecReport {
@@ -168,6 +197,33 @@ pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> ExecReport {
     } else {
         RefCache::memory_only()
     };
+    let abandoned_before = crate::harness::abandoned_threads();
+
+    // Run journal: load completed specs when resuming, then open for
+    // appending (a fresh run truncates — the journal describes *this*
+    // grid). Journal failures degrade to journal-less operation.
+    let replay = if opts.resume {
+        opts.journal
+            .as_deref()
+            .map(|p| crate::journal::load_journal(p).entries)
+            .unwrap_or_default()
+    } else {
+        std::collections::HashMap::new()
+    };
+    let journal = opts.journal.as_deref().and_then(|p| {
+        let opened = if opts.resume {
+            Journal::append(p)
+        } else {
+            Journal::create(p)
+        };
+        match opened {
+            Ok(j) => Some(j),
+            Err(e) => {
+                eprintln!("warning: could not open journal {}: {e}", p.display());
+                None
+            }
+        }
+    });
 
     // Deduplicate identical specs: only the first occurrence simulates.
     let mut unique: Vec<usize> = Vec::new(); // unique-job -> spec index
@@ -185,9 +241,13 @@ pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> ExecReport {
         }
     }
 
-    // Resolve unique jobs: cache hit or simulation.
+    // Resolve unique jobs: journal replay, cache hit, or simulation.
     enum Resolved {
         Cached(Measurement),
+        Journaled {
+            outcome: RunOutcome,
+            metrics: MetricsSnapshot,
+        },
         Ran {
             outcome: RunOutcome,
             metrics: MetricsSnapshot,
@@ -197,30 +257,53 @@ pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> ExecReport {
     let cache_hits = AtomicUsize::new(0);
     let executed = AtomicUsize::new(0);
     let full_executed = AtomicUsize::new(0);
+    let retried = AtomicUsize::new(0);
+    let resumed = AtomicUsize::new(0);
     let resolved: Vec<Resolved> = parallel_map(
         unique.iter().map(|&i| &specs[i]).collect(),
         stats.jobs,
         &|spec: &RunSpec| {
+            let jkey = journal_key(spec);
+            if let Some(entry) = replay.get(&jkey) {
+                resumed.fetch_add(1, Ordering::Relaxed);
+                return Resolved::Journaled {
+                    outcome: entry.outcome.clone(),
+                    metrics: entry.metrics.clone(),
+                };
+            }
+            let record = |outcome: &RunOutcome, metrics: &MetricsSnapshot| {
+                if let Some(j) = &journal {
+                    // Transient skips are deliberately not journaled:
+                    // a resumed run must retry them, not replay them.
+                    if crate::journal::journalable(outcome) {
+                        j.record(jkey, &spec.label(), outcome, metrics);
+                    }
+                }
+            };
             if spec.method == Method::Full {
                 let key = reference_key(spec);
                 if let Some(m) = cache.lookup(key) {
                     cache_hits.fetch_add(1, Ordering::Relaxed);
+                    let outcome = RunOutcome::Completed(m.clone());
+                    record(&outcome, &MetricsSnapshot::default());
                     return Resolved::Cached(m);
                 }
-                let (outcome, metrics, trace) = execute_spec(spec, opts);
+                let (outcome, metrics, trace) = execute_spec_retrying(spec, opts, jkey, &retried);
                 executed.fetch_add(1, Ordering::Relaxed);
                 full_executed.fetch_add(1, Ordering::Relaxed);
                 if let RunOutcome::Completed(m) = &outcome {
                     cache.store(key, &spec.workload.name(), m);
                 }
+                record(&outcome, &metrics);
                 Resolved::Ran {
                     outcome,
                     metrics,
                     trace,
                 }
             } else {
-                let (outcome, metrics, trace) = execute_spec(spec, opts);
+                let (outcome, metrics, trace) = execute_spec_retrying(spec, opts, jkey, &retried);
                 executed.fetch_add(1, Ordering::Relaxed);
+                record(&outcome, &metrics);
                 Resolved::Ran {
                     outcome,
                     metrics,
@@ -232,6 +315,8 @@ pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> ExecReport {
     stats.cache_hits = cache_hits.into_inner();
     stats.executed = executed.into_inner();
     stats.full_runs_executed = full_executed.into_inner();
+    stats.retried = retried.into_inner();
+    stats.resumed = resumed.into_inner();
 
     // Fan results back out to submission order.
     let mut results = Vec::with_capacity(specs.len());
@@ -245,6 +330,21 @@ pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> ExecReport {
                 metrics: MetricsSnapshot::default(),
                 trace: TraceLog::default(),
                 from_cache: true,
+            },
+            Resolved::Journaled { outcome, metrics } => RunResult {
+                spec,
+                outcome: outcome.clone(),
+                // The journal stored the original run's metrics, so a
+                // resumed grid merges to the same snapshot as an
+                // uninterrupted one. The trace is gone — it is not part
+                // of any report.
+                metrics: if first_owner {
+                    metrics.clone()
+                } else {
+                    MetricsSnapshot::default()
+                },
+                trace: TraceLog::default(),
+                from_cache: false,
             },
             Resolved::Ran {
                 outcome,
@@ -274,7 +374,51 @@ pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> ExecReport {
         }
         results.push(r);
     }
-    ExecReport { results, stats }
+
+    // Executor-level telemetry. These are invocation properties, not
+    // run properties, so they live beside the per-run snapshots; both
+    // values are 0 on a healthy fault-free run, which keeps resumed and
+    // uninterrupted reports byte-identical.
+    let exec_tel = Telemetry::default();
+    exec_tel
+        .gauge("exec.abandoned_threads")
+        .set((crate::harness::abandoned_threads() - abandoned_before) as f64);
+    exec_tel
+        .counter("refcache.quarantined")
+        .add(cache.quarantined());
+    ExecReport {
+        results,
+        stats,
+        metrics: exec_tel.snapshot(),
+    }
+}
+
+/// [`execute_spec`] plus the transient-failure retry loop: a panic or
+/// timeout re-runs (after capped exponential backoff) until it succeeds
+/// or the budget is exhausted; a deterministic failure returns
+/// immediately. The last attempt's outcome is returned either way.
+fn execute_spec_retrying(
+    spec: &RunSpec,
+    opts: &ExecOptions,
+    jkey: u64,
+    retried: &AtomicUsize,
+) -> (RunOutcome, MetricsSnapshot, TraceLog) {
+    let mut attempt: u32 = 0;
+    loop {
+        let out = execute_spec(spec, opts, jkey ^ u64::from(attempt));
+        match out.0.failure() {
+            Some(FailureKind::Transient) if attempt < opts.retries => {
+                attempt += 1;
+                retried.fetch_add(1, Ordering::Relaxed);
+                let backoff = opts
+                    .retry_backoff
+                    .saturating_mul(1u32 << (attempt - 1).min(16))
+                    .min(Duration::from_secs(1));
+                std::thread::sleep(backoff);
+            }
+            _ => return out,
+        }
+    }
 }
 
 /// Executes one spec with the harness guardrails, returning the outcome
@@ -284,27 +428,48 @@ pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> ExecReport {
 /// and `opts.timeout`; the calling pool worker just waits. On timeout
 /// the run thread is abandoned (it cannot be cancelled) and empty
 /// telemetry is returned — the abandoned thread still owns its handle.
-fn execute_spec(spec: &RunSpec, opts: &ExecOptions) -> (RunOutcome, MetricsSnapshot, TraceLog) {
+///
+/// `fault_key` seeds the `exec.panic` / `exec.stall` injection sites:
+/// it is the spec's journal key XOR the attempt number, so fault
+/// decisions are a pure function of *what* runs (never of scheduling
+/// order — `--jobs 1` and `--jobs N` see identical faults) and a retry
+/// re-rolls rather than deterministically re-failing.
+fn execute_spec(
+    spec: &RunSpec,
+    opts: &ExecOptions,
+    fault_key: u64,
+) -> (RunOutcome, MetricsSnapshot, TraceLog) {
     let workload = spec.workload.name();
     let method_name = spec.method.name();
-    let skipped = |reason: String, error: Option<String>| RunOutcome::Skipped {
-        workload: workload.clone(),
-        method: method_name.clone(),
-        reason,
-        error,
-    };
+    let skipped =
+        |reason: String, error: Option<String>, failure: FailureKind| RunOutcome::Skipped {
+            workload: workload.clone(),
+            method: method_name.clone(),
+            reason,
+            error,
+            failure,
+        };
 
     let run_spec = spec.clone();
     let trace_capacity = opts.trace_capacity;
+    // Long enough to trip the timeout with margin, short enough that
+    // the abandoned sleeper exits soon after.
+    let stall = opts.timeout.saturating_mul(2);
     let (tx, rx) = channel();
     let spawn = std::thread::Builder::new()
         .name(format!("run-{}", spec.label()))
         .spawn(move || {
+            if faults::active() {
+                faults::maybe_stall(FaultSite::ExecStall, fault_key, stall);
+            }
             let telemetry = Telemetry::default();
             if trace_capacity > 0 {
                 telemetry.enable_tracing(trace_capacity);
             }
             let res = catch_unwind(AssertUnwindSafe(|| {
+                if faults::active() {
+                    faults::maybe_panic(FaultSite::ExecPanic, fault_key);
+                }
                 try_run_app_method(
                     &run_spec.gpu,
                     &run_spec.workload.name(),
@@ -323,7 +488,11 @@ fn execute_spec(spec: &RunSpec, opts: &ExecOptions) -> (RunOutcome, MetricsSnaps
         Ok(h) => h,
         Err(e) => {
             return (
-                skipped(format!("could not spawn run thread: {e}"), None),
+                skipped(
+                    format!("could not spawn run thread: {e}"),
+                    None,
+                    FailureKind::Transient,
+                ),
                 MetricsSnapshot::default(),
                 TraceLog::default(),
             )
@@ -346,26 +515,36 @@ fn execute_spec(spec: &RunSpec, opts: &ExecOptions) -> (RunOutcome, MetricsSnaps
                 Ok(Err(sim_err)) => skipped(
                     format!("simulation error: {sim_err}"),
                     Some(format!("{sim_err:?}")),
+                    FailureKind::Permanent,
                 ),
                 Err(payload) => skipped(
                     format!("panicked: {}", panic_reason(payload.as_ref())),
                     None,
+                    FailureKind::Transient,
                 ),
             };
             (outcome, metrics, trace)
         }
-        Err(RecvTimeoutError::Timeout) => (
-            skipped(
-                format!("timed out after {:.1}s", opts.timeout.as_secs_f64()),
-                None,
-            ),
-            MetricsSnapshot::default(),
-            TraceLog::default(),
-        ),
+        Err(RecvTimeoutError::Timeout) => {
+            crate::harness::note_abandoned_thread();
+            (
+                skipped(
+                    format!("timed out after {:.1}s", opts.timeout.as_secs_f64()),
+                    None,
+                    FailureKind::Transient,
+                ),
+                MetricsSnapshot::default(),
+                TraceLog::default(),
+            )
+        }
         Err(RecvTimeoutError::Disconnected) => {
             let _ = handle.join();
             (
-                skipped("run thread died without reporting".to_string(), None),
+                skipped(
+                    "run thread died without reporting".to_string(),
+                    None,
+                    FailureKind::Transient,
+                ),
                 MetricsSnapshot::default(),
                 TraceLog::default(),
             )

@@ -524,10 +524,12 @@ mod tests {
                         method: "Photon".into(),
                         reason: "timed out".into(),
                         error: None,
+                        failure: crate::harness::FailureKind::Transient,
                     },
                 ),
             ],
             stats: crate::executor::ExecStats::default(),
+            metrics: gpu_telemetry::MetricsSnapshot::default(),
         };
         let rows = rows_from_report(&report);
         assert_eq!(rows.len(), 2);

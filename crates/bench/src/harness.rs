@@ -197,11 +197,29 @@ pub fn run_app_method(
         .unwrap_or_else(|e| panic!("{name} under {}: {e}", method.name()))
 }
 
+/// Whether a failed run is worth retrying.
+///
+/// The executor's retry budget applies only to [`Transient`] failures —
+/// panics, timeouts, and infrastructure hiccups that a fresh attempt
+/// may not reproduce. A [`Permanent`] failure is a deterministic
+/// property of the spec (a typed [`SimError`]): re-running it burns
+/// time to fail identically, so it is skipped once and journaled.
+///
+/// [`Transient`]: FailureKind::Transient
+/// [`Permanent`]: FailureKind::Permanent
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// Nondeterministic or environmental: retry may succeed.
+    Transient,
+    /// Deterministic for this spec: retrying reproduces the failure.
+    Permanent,
+}
+
 /// Result of an isolated (panic- and hang-guarded) run: either a
 /// measurement, or a structured skip explaining why this configuration
 /// produced none. Skips serialize into result files so a partially
 /// failing sweep still documents its holes.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum RunOutcome {
     /// The run finished and was measured.
     Completed(Measurement),
@@ -217,6 +235,9 @@ pub enum RunOutcome {
         /// came from a [`SimError`] (None for panics and timeouts).
         /// Serialized into result files so reports keep the diagnosis.
         error: Option<String>,
+        /// Whether a retry could plausibly succeed (drives the
+        /// executor's retry budget and journal eligibility).
+        failure: FailureKind,
     },
 }
 
@@ -228,6 +249,30 @@ impl RunOutcome {
             RunOutcome::Skipped { .. } => None,
         }
     }
+
+    /// The failure kind, if the run was skipped.
+    pub fn failure(&self) -> Option<FailureKind> {
+        match self {
+            RunOutcome::Completed(_) => None,
+            RunOutcome::Skipped { failure, .. } => Some(*failure),
+        }
+    }
+}
+
+/// Worker threads abandoned by the timeout path since process start.
+/// A timed-out simulation cannot be cancelled, only detached — this
+/// counter makes the leak visible (executors publish it as the
+/// `exec.abandoned_threads` gauge).
+static ABANDONED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total worker threads abandoned on timeout since process start.
+pub fn abandoned_threads() -> u64 {
+    ABANDONED.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Records one abandoned worker thread (called by every timeout path).
+pub(crate) fn note_abandoned_thread() {
+    ABANDONED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
 }
 
 pub(crate) fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
@@ -261,12 +306,14 @@ where
 {
     let workload = name.to_string();
     let method_name = method.name();
-    let skipped = |reason: String, error: Option<String>| RunOutcome::Skipped {
-        workload: workload.clone(),
-        method: method_name.clone(),
-        reason,
-        error,
-    };
+    let skipped =
+        |reason: String, error: Option<String>, failure: FailureKind| RunOutcome::Skipped {
+            workload: workload.clone(),
+            method: method_name.clone(),
+            reason,
+            error,
+            failure,
+        };
 
     let cfg = gpu_cfg.clone();
     let run_name = workload.clone();
@@ -291,7 +338,13 @@ where
         });
     let handle = match spawn {
         Ok(h) => h,
-        Err(e) => return skipped(format!("could not spawn worker thread: {e}"), None),
+        Err(e) => {
+            return skipped(
+                format!("could not spawn worker thread: {e}"),
+                None,
+                FailureKind::Transient,
+            )
+        }
     };
 
     match rx.recv_timeout(timeout) {
@@ -301,9 +354,12 @@ where
         }
         Ok(Ok(Err(sim_err))) => {
             let _ = handle.join();
+            // A typed SimError is a deterministic property of the spec:
+            // re-running reproduces it, so never burn retries on it.
             skipped(
                 format!("simulation error: {sim_err}"),
                 Some(format!("{sim_err:?}")),
+                FailureKind::Permanent,
             )
         }
         Ok(Err(payload)) => {
@@ -311,15 +367,24 @@ where
             skipped(
                 format!("panicked: {}", panic_reason(payload.as_ref())),
                 None,
+                FailureKind::Transient,
             )
         }
-        Err(RecvTimeoutError::Timeout) => skipped(
-            format!("timed out after {:.1}s", timeout.as_secs_f64()),
-            None,
-        ),
+        Err(RecvTimeoutError::Timeout) => {
+            note_abandoned_thread();
+            skipped(
+                format!("timed out after {:.1}s", timeout.as_secs_f64()),
+                None,
+                FailureKind::Transient,
+            )
+        }
         Err(RecvTimeoutError::Disconnected) => {
             let _ = handle.join();
-            skipped("worker thread died without reporting".to_string(), None)
+            skipped(
+                "worker thread died without reporting".to_string(),
+                None,
+                FailureKind::Transient,
+            )
         }
     }
 }
@@ -438,12 +503,13 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
-/// Writes measurements as JSON under `results/<name>.json`.
+/// Writes measurements as JSON under `results/<name>.json` (atomically:
+/// a crash mid-write leaves the previous file, never a torn one).
 pub fn write_json<T: Serialize>(name: &str, data: &T) {
     let path = results_dir().join(format!("{name}.json"));
     match serde_json::to_string_pretty(data) {
         Ok(s) => {
-            if let Err(e) = std::fs::write(&path, s) {
+            if let Err(e) = crate::persist::atomic_write(&path, &s) {
                 eprintln!("warning: could not write {}: {e}", path.display());
             } else {
                 println!("(wrote {})", path.display());
@@ -555,8 +621,14 @@ mod tests {
             Duration::from_millis(100),
         );
         match out {
-            RunOutcome::Skipped { reason, .. } => {
+            RunOutcome::Skipped {
+                reason, failure, ..
+            } => {
                 assert!(reason.contains("timed out"), "reason: {reason}");
+                // Timeouts are retryable and the abandoned worker is
+                // accounted for.
+                assert_eq!(failure, FailureKind::Transient);
+                assert!(abandoned_threads() >= 1);
             }
             RunOutcome::Completed(_) => panic!("hung run completed"),
         }
@@ -569,9 +641,11 @@ mod tests {
             method: "Full".into(),
             reason: "timed out after 1.0s".into(),
             error: None,
+            failure: FailureKind::Transient,
         };
         let json = serde_json::to_string(&out).unwrap();
         assert!(json.contains("timed out"));
+        assert!(json.contains("Transient"));
     }
 
     #[test]
@@ -599,10 +673,17 @@ mod tests {
             Duration::from_secs(60),
         );
         match out {
-            RunOutcome::Skipped { reason, error, .. } => {
+            RunOutcome::Skipped {
+                reason,
+                error,
+                failure,
+                ..
+            } => {
                 assert!(reason.contains("simulation error"), "reason: {reason}");
                 let error = error.expect("typed error preserved");
                 assert!(error.contains("EmptyLaunch"), "error: {error}");
+                // Typed SimErrors are deterministic: never retried.
+                assert_eq!(failure, FailureKind::Permanent);
             }
             RunOutcome::Completed(_) => panic!("empty launch completed"),
         }

@@ -139,17 +139,19 @@ pub fn hot_baseline_path() -> PathBuf {
 /// Returns a rendered I/O or serialization error.
 pub fn write_hot_report(report: &HotReport, path: &Path) -> Result<(), String> {
     let text = serde_json::to_string_pretty(report).map_err(|e| e.to_string())?;
-    std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))
+    crate::persist::atomic_write_framed(path, &text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
-/// Reads a hot report back, rejecting schema mismatches.
+/// Reads a hot report back, rejecting schema mismatches. The checksum
+/// footer is verified when present; the committed baseline predates the
+/// framing and loads unverified.
 ///
 /// # Errors
-/// Returns a rendered I/O, parse, or schema-version error.
+/// Returns a rendered I/O, checksum, parse, or schema-version error.
 pub fn load_hot_report(path: &Path) -> Result<HotReport, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let framed = crate::persist::read_framed(path)?;
     let report: HotReport =
-        serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        serde_json::from_str(&framed.payload).map_err(|e| format!("{}: {e}", path.display()))?;
     if report.schema_version != HOT_SCHEMA_VERSION {
         return Err(format!(
             "{}: hot schema version {} (tool expects {HOT_SCHEMA_VERSION})",

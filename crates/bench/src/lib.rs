@@ -16,6 +16,8 @@ pub mod executor;
 pub mod figures;
 pub mod harness;
 pub mod hotpath;
+pub mod journal;
+pub mod persist;
 pub mod profile;
 pub mod refcache;
 pub mod report;
@@ -23,9 +25,11 @@ pub mod specs;
 
 pub use executor::{parallel_map, run_specs, ExecOptions, ExecReport, ExecStats, RunResult};
 pub use harness::{
-    results_dir, run_app_method, run_benchmark, try_run_app_method, AppBuilder, Measurement,
-    RunOutcome, Table,
+    results_dir, run_app_method, run_benchmark, try_run_app_method, AppBuilder, FailureKind,
+    Measurement, RunOutcome, Table,
 };
+pub use journal::{journal_key, load_journal, Journal, JournalEntry, JOURNAL_SCHEMA_VERSION};
+pub use persist::{atomic_write, atomic_write_framed, quarantine, read_framed};
 pub use refcache::{reference_key, RefCache, CACHE_SCHEMA_VERSION};
 pub use report::{build_report, load_report, summary_table, write_report};
 pub use specs::{mi100, r9_nano, scaled_photon_config, Method, RunSpec, WorkloadSpec};

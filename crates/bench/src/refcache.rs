@@ -18,14 +18,23 @@
 //!
 //! The cache is an accelerator, never a correctness dependency: a
 //! missing, corrupt, or version-mismatched entry produces a warning and
-//! a recompute, and write failures are warnings too.
+//! a recompute, and write failures are warnings too. Entries are
+//! written atomically with a checksum footer ([`crate::persist`]); an
+//! entry that fails validation is **quarantined** — renamed to
+//! `<key>.json.corrupt` — so the next warm run recomputes silently
+//! instead of re-warning about the same corpse forever. Quarantines are
+//! counted ([`RefCache::quarantined`]) and surface as the
+//! `refcache.quarantined` telemetry counter in executor reports.
 
 use crate::harness::Measurement;
+use crate::persist;
 use crate::specs::RunSpec;
 use gpu_isa::{fnv1a, fnv1a_extend, isa_fingerprint};
+use gpu_telemetry::faults::{self, FaultSite};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Bumped whenever the entry layout or the key derivation changes;
@@ -74,6 +83,8 @@ pub struct RefCache {
     /// Persistence directory (`None` = memory only).
     dir: Option<PathBuf>,
     mem: Mutex<HashMap<u64, Measurement>>,
+    /// Entries quarantined (renamed to `.corrupt`) by this instance.
+    quarantined: AtomicU64,
 }
 
 impl RefCache {
@@ -82,6 +93,7 @@ impl RefCache {
         RefCache {
             dir: Some(dir),
             mem: Mutex::new(HashMap::new()),
+            quarantined: AtomicU64::new(0),
         }
     }
 
@@ -91,7 +103,13 @@ impl RefCache {
         RefCache {
             dir: None,
             mem: Mutex::new(HashMap::new()),
+            quarantined: AtomicU64::new(0),
         }
+    }
+
+    /// Entries this instance quarantined to `.corrupt` files.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
     }
 
     /// The default persistence directory, `results/cache/`.
@@ -106,15 +124,19 @@ impl RefCache {
     }
 
     /// Looks up the reference measurement for `key`, checking memory
-    /// first and then disk. Disk entries that fail to parse, carry the
-    /// wrong schema version, or were stored under a different key are
-    /// rejected with a warning (and will be recomputed and rewritten).
+    /// first and then disk. Disk entries that fail checksum
+    /// verification, fail to parse, carry the wrong schema version, or
+    /// were stored under a different key are quarantined (renamed to
+    /// `.corrupt`) with a warning and recomputed.
     pub fn lookup(&self, key: u64) -> Option<Measurement> {
         if let Some(m) = self.mem.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
             return Some(m.clone());
         }
         let path = self.entry_path(key)?;
-        let text = std::fs::read_to_string(&path).ok()?;
+        let mut text = std::fs::read_to_string(&path).ok()?;
+        if faults::active() && faults::should_inject(FaultSite::RefcacheReadCorrupt, key) {
+            corrupt_one_byte(&mut text, key);
+        }
         match validate_entry(&text, key, &path) {
             Ok(m) => {
                 self.mem
@@ -125,17 +147,20 @@ impl RefCache {
             }
             Err(why) => {
                 eprintln!(
-                    "warning: ignoring reference cache entry {}: {why} (recomputing)",
+                    "warning: quarantining reference cache entry {}: {why} (recomputing)",
                     path.display()
                 );
+                if persist::quarantine(&path).is_some() {
+                    self.quarantined.fetch_add(1, Ordering::Relaxed);
+                }
                 None
             }
         }
     }
 
     /// Stores a completed full-detailed measurement under `key`, in
-    /// memory and (when persistence is on) on disk. I/O failures warn
-    /// and degrade to memory-only.
+    /// memory and (when persistence is on) on disk — atomically, with a
+    /// checksum footer. I/O failures warn and degrade to memory-only.
     pub fn store(&self, key: u64, workload: &str, m: &Measurement) {
         self.mem
             .lock()
@@ -152,11 +177,23 @@ impl RefCache {
             measurement: m.clone(),
         };
         let write = || -> Result<(), String> {
-            if let Some(parent) = path.parent() {
-                std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
-            }
             let text = serde_json::to_string_pretty(&entry).map_err(|e| e.to_string())?;
-            std::fs::write(&path, text).map_err(|e| e.to_string())
+            if faults::active() {
+                if faults::should_inject(FaultSite::RefcacheWriteIoErr, key) {
+                    return Err("injected I/O error".to_string());
+                }
+                if faults::should_inject(FaultSite::RefcacheWriteTorn, key) {
+                    // Simulate a crash mid-write through the legacy
+                    // (non-atomic) path: half the framed entry lands.
+                    let framed = persist::frame(&text);
+                    let torn = &framed[..framed.len() / 2];
+                    if let Some(parent) = path.parent() {
+                        std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+                    }
+                    return std::fs::write(&path, torn).map_err(|e| e.to_string());
+                }
+            }
+            persist::atomic_write_framed(&path, &text).map_err(|e| e.to_string())
         };
         if let Err(e) = write() {
             eprintln!(
@@ -167,7 +204,26 @@ impl RefCache {
     }
 }
 
+/// Deterministically flips one byte of an in-memory entry text (the
+/// `refcache.read.corrupt` fault): position is derived from the key,
+/// and the replacement stays ASCII so the text remains a `String`.
+fn corrupt_one_byte(text: &mut String, key: u64) {
+    if text.is_empty() {
+        return;
+    }
+    let pos = (key as usize).wrapping_mul(0x9e37_79b9) % text.len();
+    // SAFETY-free: replace via byte vector, '#' keeps UTF-8 valid.
+    let mut bytes = std::mem::take(text).into_bytes();
+    bytes[pos] = if bytes[pos] == b'#' { b'%' } else { b'#' };
+    *text = String::from_utf8_lossy(&bytes).into_owned();
+}
+
 fn validate_entry(text: &str, key: u64, path: &Path) -> Result<Measurement, String> {
+    // Checksum frame first: a torn or bit-flipped entry must be caught
+    // before JSON parsing sees it. Unframed entries (pre-framing cache
+    // dirs) fall through to the parse, which is their only validation.
+    let framed = persist::split_frame(text)?;
+    let text = framed.payload.as_str();
     let entry: CacheEntry = serde_json::from_str(text).map_err(|e| format!("unparseable ({e})"))?;
     if entry.schema_version != CACHE_SCHEMA_VERSION {
         return Err(format!(

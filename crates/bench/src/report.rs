@@ -82,26 +82,46 @@ pub fn report_path(workload: &str) -> PathBuf {
     results_dir().join(format!("BENCH_{workload}.json"))
 }
 
-/// Writes a report to its canonical path, returning the path.
+/// Writes a report to its canonical path (atomically, with a checksum
+/// footer), returning the path.
 ///
 /// # Errors
 /// Returns a rendered I/O or serialization error.
 pub fn write_report(report: &RunReport) -> Result<PathBuf, String> {
     let path = report_path(&report.workload);
     let text = serde_json::to_string_pretty(report).map_err(|e| e.to_string())?;
-    std::fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+    crate::persist::atomic_write_framed(&path, &text)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
     Ok(path)
 }
 
-/// Reads a report back from disk.
+/// Reads a report back from disk, verifying its checksum footer when
+/// present (reports from before the framing load unverified).
+///
+/// A report whose checksum fails or that does not parse is quarantined
+/// to `<name>.corrupt` — a corrupt artifact must never be loaded, and
+/// must not block the next write either. Schema-version mismatches are
+/// a plain error (the file is intact, just from another tool version).
 ///
 /// # Errors
-/// Returns a rendered I/O or parse error; schema-version mismatches are
-/// rejected rather than misread.
+/// Returns a rendered I/O, checksum, parse, or schema-version error.
 pub fn load_report(path: &Path) -> Result<RunReport, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let report: RunReport =
-        serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let framed = match crate::persist::read_framed(path) {
+        Ok(f) => f,
+        Err(e) => {
+            if path.exists() {
+                crate::persist::quarantine(path);
+            }
+            return Err(e);
+        }
+    };
+    let report: RunReport = match serde_json::from_str(&framed.payload) {
+        Ok(r) => r,
+        Err(e) => {
+            crate::persist::quarantine(path);
+            return Err(format!("{}: {e}", path.display()));
+        }
+    };
     if report.schema_version != gpu_telemetry::REPORT_SCHEMA_VERSION {
         return Err(format!(
             "{}: schema version {} (tool expects {})",
@@ -113,10 +133,12 @@ pub fn load_report(path: &Path) -> Result<RunReport, String> {
     Ok(report)
 }
 
-/// Every `results/BENCH_*.json` report, sorted by workload.
+/// Every `results/BENCH_*.json` report, sorted by workload. Corrupt
+/// reports are quarantined and skipped with a warning instead of
+/// failing the whole listing.
 ///
 /// # Errors
-/// Returns the first unreadable report.
+/// Returns an error only when the directory itself is unreadable.
 pub fn load_all_reports(dir: &Path) -> Result<Vec<RunReport>, String> {
     let mut out = Vec::new();
     let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
@@ -129,7 +151,10 @@ pub fn load_all_reports(dir: &Path) -> Result<Vec<RunReport>, String> {
             continue;
         }
         if name.starts_with("BENCH_") && name.ends_with(".json") {
-            out.push(load_report(&entry.path())?);
+            match load_report(&entry.path()) {
+                Ok(r) => out.push(r),
+                Err(e) => eprintln!("warning: skipping report: {e}"),
+            }
         }
     }
     out.sort_by(|a, b| a.workload.cmp(&b.workload));
@@ -206,6 +231,43 @@ pub fn histogram_summary(reports: &[RunReport]) -> Table {
     t
 }
 
+/// Renders every counter and gauge carried by the reports' metric
+/// snapshots that describes executor health — abandoned worker threads,
+/// quarantined cache entries, watchdog aborts, refused IPC aborts — so
+/// `report show` surfaces leaks and guardrail activity. Zero-valued
+/// entries are kept: "0 abandoned threads" is the healthy reading, not
+/// noise.
+pub fn gauge_summary(reports: &[RunReport]) -> Table {
+    const HEALTH: &[&str] = &[
+        "exec.abandoned_threads",
+        "refcache.quarantined",
+        "sim.watchdog.aborts",
+        "sim.ipc_abort.refused",
+    ];
+    let mut t = Table::new(&["workload", "metric", "value"]);
+    for r in reports {
+        for g in &r.metrics.gauges {
+            if HEALTH.contains(&g.name.as_str()) {
+                t.row(vec![
+                    r.workload.clone(),
+                    g.name.clone(),
+                    format!("{:.0}", g.value),
+                ]);
+            }
+        }
+        for c in &r.metrics.counters {
+            if HEALTH.contains(&c.name.as_str()) {
+                t.row(vec![
+                    r.workload.clone(),
+                    c.name.clone(),
+                    c.value.to_string(),
+                ]);
+            }
+        }
+    }
+    t
+}
+
 /// Checks every current report that has a stored baseline
 /// (`results/baselines/BENCH_<workload>.json`) and returns the flagged
 /// regressions. Reports without a baseline are ignored.
@@ -258,6 +320,7 @@ mod tests {
                 method: "PKA".into(),
                 reason: "simulation error: deadlock".into(),
                 error: Some("Deadlock { cycle: 10 }".into()),
+                failure: crate::harness::FailureKind::Permanent,
             },
         ];
         let report = build_report("fir", &outcomes, MetricsSnapshot::default());
@@ -343,6 +406,7 @@ mod tests {
                 method: "PKA".into(),
                 reason: "timed out after 1.0s".into(),
                 error: None,
+                failure: crate::harness::FailureKind::Transient,
             },
         ];
         let report = build_report("fir", &outcomes, MetricsSnapshot::default());

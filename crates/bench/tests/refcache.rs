@@ -100,8 +100,17 @@ fn only_entry(dir: &Path) -> PathBuf {
     entries.pop().unwrap()
 }
 
+/// The `.corrupt` quarantine files in a cache directory.
+fn quarantined_entries(dir: &Path) -> Vec<PathBuf> {
+    std::fs::read_dir(dir)
+        .expect("cache dir exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "corrupt"))
+        .collect()
+}
+
 #[test]
-fn corrupt_entry_recomputes_instead_of_failing() {
+fn corrupt_entry_is_quarantined_and_recomputed() {
     let dir = temp_cache_dir();
     let opts = opts(&dir);
 
@@ -113,30 +122,46 @@ fn corrupt_entry_recomputes_instead_of_failing() {
     assert_eq!(rerun.stats.cache_hits, 0);
     assert_eq!(rerun.stats.full_runs_executed, 1);
     assert!(rerun.results[0].measurement().is_some());
+    // The corpse was quarantined (not left to re-warn every warm run)
+    // and counted in the executor's telemetry.
+    assert_eq!(quarantined_entries(&dir).len(), 1);
+    assert_eq!(rerun.metrics.counter("refcache.quarantined"), Some(1));
 
-    // The recompute repaired the entry on disk.
+    // The recompute repaired the entry on disk; the quarantine file
+    // does not shadow it.
     let warm = run_specs(&grid(GpuConfig::tiny(), 64), &opts);
     assert_eq!(warm.stats.cache_hits, 1);
+    assert_eq!(warm.metrics.counter("refcache.quarantined"), Some(0));
 
     let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
-fn version_mismatched_entry_recomputes() {
+fn version_mismatched_entry_is_quarantined_and_recomputed() {
     let dir = temp_cache_dir();
     let opts = opts(&dir);
 
     run_specs(&grid(GpuConfig::tiny(), 64), &opts);
     let entry = only_entry(&dir);
-    let text = std::fs::read_to_string(&entry).unwrap();
+    // Rewrite the entry with a stale schema version, re-framed with a
+    // valid checksum so version validation (not the checksum) rejects
+    // it.
+    let framed = photon_bench::read_framed(&entry).unwrap();
+    assert!(framed.verified, "cache entries are checksum-framed");
     let old = format!("\"schema_version\": {CACHE_SCHEMA_VERSION}");
-    assert!(text.contains(&old), "entry layout changed under the test");
-    std::fs::write(&entry, text.replace(&old, "\"schema_version\": 999")).unwrap();
+    assert!(
+        framed.payload.contains(&old),
+        "entry layout changed under the test"
+    );
+    let stale = framed.payload.replace(&old, "\"schema_version\": 999");
+    photon_bench::atomic_write_framed(&entry, &stale).unwrap();
 
     let rerun = run_specs(&grid(GpuConfig::tiny(), 64), &opts);
     assert_eq!(rerun.stats.cache_hits, 0);
     assert_eq!(rerun.stats.full_runs_executed, 1);
     assert!(rerun.results[0].measurement().is_some());
+    assert_eq!(quarantined_entries(&dir).len(), 1);
+    assert_eq!(rerun.metrics.counter("refcache.quarantined"), Some(1));
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -25,6 +25,7 @@ use gpu_sim::{
     BbRecord, Cycle, KernelDirective, KernelResult, KernelStartAccess, SamplingController,
     WarpRecord, WarpTrace, WgMode,
 };
+use gpu_telemetry::faults::{self, FaultSite};
 use gpu_telemetry::{Counter, EventKind, Telemetry, Trace, TraceEvent};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -274,7 +275,18 @@ impl SamplingController for PhotonController {
             ) {
                 let scaled_sample =
                     (analysis.insts_per_warp * (analysis.sampled_warps as f64)).round() as u64;
-                let p = self.history.predict(m, scaled_sample);
+                let mut p = self.history.predict(m, scaled_sample);
+                // The controller.zero_cycle fault degenerates the
+                // prediction right where the guardrail below must
+                // catch it (no-op unless faults are configured).
+                if faults::active()
+                    && faults::should_inject(
+                        FaultSite::ControllerZeroCycle,
+                        gpu_isa::fnv1a(launch.kernel.name().as_bytes()),
+                    )
+                {
+                    p.cycles = 0;
+                }
                 if p.cycles > 0 {
                     self.stats.kernels_skipped += 1;
                     self.tel.kernels_skipped.inc();

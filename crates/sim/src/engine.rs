@@ -43,6 +43,7 @@ use crate::result::{AppResult, BbAccounting, KernelResult};
 use crate::warp::{WarpState, WarpTrace};
 use gpu_isa::{BasicBlockId, InstClass, KernelLaunch};
 use gpu_mem::{AccessKind, AddressSpace, BumpAllocator, Cycle, MemStats, MemoryHierarchy};
+use gpu_telemetry::faults::{self, FaultSite};
 use gpu_telemetry::{
     AbortKind, Counter, CuAccounting, CycleAccounting, EventKind, Histogram, SampleMode,
     StallClass, StallWindow, Telemetry, Trace, TraceEvent, STALL_CLASSES,
@@ -138,6 +139,10 @@ struct SimHooks {
     warp_duration: Histogram,
     bb_duration: Histogram,
     watchdog_aborts: Counter,
+    /// Controller abort verdicts refused because the reported IPC was
+    /// non-finite or non-positive (the run stays detailed instead of
+    /// extrapolating nonsense).
+    ipc_abort_refused: Counter,
 }
 
 impl SimHooks {
@@ -147,6 +152,7 @@ impl SimHooks {
             warp_duration: tel.histogram("sim.warp.duration"),
             bb_duration: tel.histogram("sim.bb.duration"),
             watchdog_aborts: tel.counter("sim.watchdog.aborts"),
+            ipc_abort_refused: tel.counter("sim.ipc_abort.refused"),
         }
     }
 
@@ -680,6 +686,9 @@ struct KernelRun<'a> {
     ipc_counts: Vec<u64>,
     fired_windows: usize,
     abort_ipc: Option<f64>,
+    /// Set by the `controller.nan` fault site: degrade any controller
+    /// abort IPC to NaN, exercising the refuse-and-stay-detailed path.
+    inject_nan_abort: bool,
     hooks: SimHooks,
     /// Cycle accounting for this run (observation-only: never feeds
     /// back into timing).
@@ -757,6 +766,7 @@ impl<'a> KernelRun<'a> {
             ipc_counts: Vec::new(),
             fired_windows: 0,
             abort_ipc: None,
+            inject_nan_abort: false,
             hooks,
         }
     }
@@ -778,7 +788,20 @@ impl<'a> KernelRun<'a> {
     }
 
     fn run(&mut self, ctrl: &mut dyn SamplingController) -> Result<KernelResult, SimError> {
-        let wd = self.cfg.watchdog;
+        let mut wd = self.cfg.watchdog;
+        // Fault injection (no-op unless PHOTON_FAULTS / --faults is
+        // configured): consulted once per kernel, keyed by the kernel
+        // name so the decision is independent of scheduling order.
+        if faults::active() {
+            let fault_key = gpu_isa::fnv1a(self.launch.kernel.name().as_bytes());
+            if faults::should_inject(FaultSite::WatchdogFuel, fault_key) {
+                wd.cycle_fuel = 0;
+            }
+            if faults::should_inject(FaultSite::WatchdogStuck, fault_key) {
+                wd.stall_cycles = 0;
+            }
+            self.inject_nan_abort = faults::should_inject(FaultSite::ControllerNan, fault_key);
+        }
         self.dispatch(self.start, ctrl)?;
         let mut now = self.start;
         while let Some((cycle, kind)) = self.events.pop() {
@@ -949,12 +972,16 @@ impl<'a> KernelRun<'a> {
             });
             self.fired_windows += 1;
             if let Some(ipc) = ctrl.check_abort() {
+                // The controller.nan fault degenerates the verdict the
+                // moment it would have been acted on.
+                let ipc = if self.inject_nan_abort { f64::NAN } else { ipc };
                 // A non-finite or non-positive IPC would extrapolate to
                 // nonsense; ignore the abort and stay detailed.
                 if ipc.is_finite() && ipc > 0.0 {
                     self.abort_ipc = Some(ipc);
                     return;
                 }
+                self.hooks.ipc_abort_refused.inc();
             }
         }
     }

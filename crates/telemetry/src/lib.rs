@@ -2,8 +2,10 @@
 //!
 //! Unified observability for the Photon stack: a low-overhead metrics
 //! registry (counters / gauges / histograms), a structured event tracer
-//! with Chrome-trace and JSONL exporters, and the machine-readable
-//! [`RunReport`] schema benchmark runs are recorded in.
+//! with Chrome-trace and JSONL exporters, the machine-readable
+//! [`RunReport`] schema benchmark runs are recorded in, and the
+//! deterministic [`faults`] injection harness chaos tests drive the
+//! stack's guardrails with.
 //!
 //! The crate sits at the bottom of the workspace dependency graph so
 //! every layer (`mem`, `sim`, `core`, `baselines`, `bench`) can emit
@@ -34,6 +36,7 @@
 
 mod accounting;
 pub mod export;
+pub mod faults;
 mod registry;
 mod report;
 mod trace;

@@ -23,6 +23,10 @@ echo "==> executor determinism (--jobs 1 vs --jobs 4)"
 cargo test -q -p photon-bench --test executor
 cargo test -q -p photon-bench --test refcache
 
+echo "==> fault-injection guardrails (chaos + torn-write suites)"
+cargo test -q -p photon-bench --test chaos
+cargo test -q -p photon-bench --test persist
+
 echo "==> clippy (default features)"
 scripts/lint.sh
 
@@ -51,6 +55,21 @@ else
   # gates are machine-sensitive, hence the escape hatch for shared or
   # throttled runners.
   cargo run -q --release -p photon-bench --bin bench_hot -- --jobs 2 --iters 1 --check
+fi
+
+echo "==> chaos gate: smoke under a fixed fault seed (PHOTON_SKIP_CHAOS=1 to skip)"
+if [[ "${PHOTON_SKIP_CHAOS:-}" == "1" ]]; then
+  echo "    skipped (PHOTON_SKIP_CHAOS=1)"
+else
+  # Every injected failure must be absorbed by a guardrail: panics are
+  # retried, corrupt cache reads are quarantined and recomputed, torn
+  # journal lines are skipped on load. The seed is fixed (decisions are
+  # a pure hash of site/seed/key), so this either always passes or
+  # always fails for a given tree. The subsequent check proves the
+  # report written under chaos is complete and checksum-clean.
+  cargo run -q --release -p photon-bench --features telemetry --bin report -- smoke --jobs 2 \
+    --faults "exec.panic:0.3:1207,refcache.read.corrupt:1.0:7,journal.torn:1.0:7"
+  cargo run -q --release -p photon-bench --features telemetry --bin report -- check
 fi
 
 echo "==> ci OK"
