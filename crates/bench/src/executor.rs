@@ -281,27 +281,59 @@ pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> ExecReport {
                 }
             };
             if spec.method == Method::Full {
+                // Single-flight through the cache: a hit answers from
+                // memory/disk, a miss leads the simulation (storing the
+                // completed measurement before followers wake), and a
+                // concurrent identical computation — e.g. photon-serve
+                // sharing this cache instance — is joined, not repeated.
                 let key = reference_key(spec);
-                if let Some(m) = cache.lookup(key) {
-                    cache_hits.fetch_add(1, Ordering::Relaxed);
-                    let outcome = RunOutcome::Completed(m.clone());
-                    record(&outcome, &MetricsSnapshot::default());
-                    return Resolved::Cached(m);
+                let mut led: Option<(RunOutcome, MetricsSnapshot, TraceLog)> = None;
+                let (m, _origin) = cache.get_or_compute_full(key, &spec.workload.name(), || {
+                    let out = execute_spec_retrying(spec, opts, jkey, &retried, None);
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    full_executed.fetch_add(1, Ordering::Relaxed);
+                    let meas = match &out.0 {
+                        RunOutcome::Completed(m) => Some(m.clone()),
+                        _ => None,
+                    };
+                    led = Some(out);
+                    meas
+                });
+                if let Some((outcome, metrics, trace)) = led {
+                    record(&outcome, &metrics);
+                    return Resolved::Ran {
+                        outcome,
+                        metrics,
+                        trace,
+                    };
                 }
-                let (outcome, metrics, trace) = execute_spec_retrying(spec, opts, jkey, &retried);
-                executed.fetch_add(1, Ordering::Relaxed);
-                full_executed.fetch_add(1, Ordering::Relaxed);
-                if let RunOutcome::Completed(m) = &outcome {
-                    cache.store(key, &spec.workload.name(), m);
-                }
-                record(&outcome, &metrics);
-                Resolved::Ran {
-                    outcome,
-                    metrics,
-                    trace,
+                match m {
+                    Some(m) => {
+                        cache_hits.fetch_add(1, Ordering::Relaxed);
+                        let outcome = RunOutcome::Completed(m.clone());
+                        record(&outcome, &MetricsSnapshot::default());
+                        Resolved::Cached(m)
+                    }
+                    None => {
+                        // Coalesced onto a leader (in another executor
+                        // sharing this cache) whose run failed: fall back
+                        // to running it ourselves so this grid still gets
+                        // a first-hand outcome.
+                        let (outcome, metrics, trace) =
+                            execute_spec_retrying(spec, opts, jkey, &retried, None);
+                        executed.fetch_add(1, Ordering::Relaxed);
+                        full_executed.fetch_add(1, Ordering::Relaxed);
+                        record(&outcome, &metrics);
+                        Resolved::Ran {
+                            outcome,
+                            metrics,
+                            trace,
+                        }
+                    }
                 }
             } else {
-                let (outcome, metrics, trace) = execute_spec_retrying(spec, opts, jkey, &retried);
+                let (outcome, metrics, trace) =
+                    execute_spec_retrying(spec, opts, jkey, &retried, None);
                 executed.fetch_add(1, Ordering::Relaxed);
                 record(&outcome, &metrics);
                 Resolved::Ran {
@@ -386,11 +418,51 @@ pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> ExecReport {
     exec_tel
         .counter("refcache.quarantined")
         .add(cache.quarantined());
+    let cache_stats = cache.stats();
+    exec_tel
+        .counter("refcache.evicted")
+        .add(cache_stats.disk_evicted);
+    exec_tel
+        .counter("refcache.mem_evicted")
+        .add(cache_stats.memory.evicted);
+    exec_tel
+        .counter("refcache.coalesced")
+        .add(cache_stats.memory.coalesced);
     ExecReport {
         results,
         stats,
         metrics: exec_tel.snapshot(),
     }
+}
+
+/// Executes one spec with the full guardrail + retry stack, observable
+/// from outside: when `telemetry` is provided, the run's counters and
+/// gauges land in that registry **live** (this is how `photon-serve`
+/// streams `status`/`wait` progress events while a simulation runs) in
+/// addition to being returned as the final snapshot. With `None` the
+/// behavior is exactly the executor's: a fresh private registry per
+/// run.
+pub fn run_spec_observed(
+    spec: &RunSpec,
+    opts: &ExecOptions,
+    telemetry: Option<&Telemetry>,
+) -> (RunOutcome, MetricsSnapshot, TraceLog) {
+    let retried = AtomicUsize::new(0);
+    let (outcome, mut metrics, trace) =
+        execute_spec_retrying(spec, opts, journal_key(spec), &retried, telemetry);
+    let retries = retried.load(Ordering::Relaxed) as u64;
+    if retries > 0 {
+        // The snapshot was taken before the retry count was known; fold
+        // it in so observers see how many attempts the outcome cost.
+        if let Some(t) = telemetry {
+            t.counter("exec.retried").add(retries);
+        }
+        metrics.counters.push(gpu_telemetry::CounterSnapshot {
+            name: "exec.retried".to_string(),
+            value: retries,
+        });
+    }
+    (outcome, metrics, trace)
 }
 
 /// [`execute_spec`] plus the transient-failure retry loop: a panic or
@@ -402,10 +474,11 @@ fn execute_spec_retrying(
     opts: &ExecOptions,
     jkey: u64,
     retried: &AtomicUsize,
+    external: Option<&Telemetry>,
 ) -> (RunOutcome, MetricsSnapshot, TraceLog) {
     let mut attempt: u32 = 0;
     loop {
-        let out = execute_spec(spec, opts, jkey ^ u64::from(attempt));
+        let out = execute_spec(spec, opts, jkey ^ u64::from(attempt), external);
         match out.0.failure() {
             Some(FailureKind::Transient) if attempt < opts.retries => {
                 attempt += 1;
@@ -438,6 +511,7 @@ fn execute_spec(
     spec: &RunSpec,
     opts: &ExecOptions,
     fault_key: u64,
+    external: Option<&Telemetry>,
 ) -> (RunOutcome, MetricsSnapshot, TraceLog) {
     let workload = spec.workload.name();
     let method_name = spec.method.name();
@@ -452,6 +526,11 @@ fn execute_spec(
 
     let run_spec = spec.clone();
     let trace_capacity = opts.trace_capacity;
+    // `Telemetry` is a cheap-clone handle onto a shared registry, so an
+    // external observer sees the run's counters move live. (A timed-out
+    // run's abandoned thread keeps writing into it until it exits —
+    // observers read monotonic counters, so that is benign.)
+    let ext = external.cloned();
     // Long enough to trip the timeout with margin, short enough that
     // the abandoned sleeper exits soon after.
     let stall = opts.timeout.saturating_mul(2);
@@ -462,7 +541,7 @@ fn execute_spec(
             if faults::active() {
                 faults::maybe_stall(FaultSite::ExecStall, fault_key, stall);
             }
-            let telemetry = Telemetry::default();
+            let telemetry = ext.unwrap_or_default();
             if trace_capacity > 0 {
                 telemetry.enable_tracing(trace_capacity);
             }

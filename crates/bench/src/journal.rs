@@ -109,24 +109,41 @@ pub fn load_journal(path: &Path) -> JournalLoad {
     out
 }
 
-/// Validates and parses one journal line; `None` for anything torn,
-/// corrupt, or from another schema version.
-fn parse_line(line: &str) -> Option<JournalEntry> {
+/// Wraps an already-serialized JSON object into one crc-framed journal
+/// line (trailing newline included): `{"crc":"<16 hex>","entry":<json>}`.
+/// The generic half of the journal format — `photon-serve`'s
+/// pending-jobs journal reuses it for entries that are not
+/// [`JournalEntry`]s.
+pub fn frame_line(entry_json: &str) -> String {
+    let crc = crate::persist::checksum(entry_json.as_bytes());
+    format!("{{\"crc\":\"{crc:016x}\",\"entry\":{entry_json}}}\n")
+}
+
+/// Validates one crc-framed line and returns the inner `entry` value;
+/// `None` for anything torn or corrupt. The checksum was taken over the
+/// entry's serialized text; the vendored serde_json renders parse(s)
+/// back to s byte-identically (numbers keep their shortest form, field
+/// order is preserved), so re-serializing the parsed value reproduces
+/// the hashed bytes.
+pub fn parse_framed_line(line: &str) -> Option<serde_json::Value> {
     let v = serde_json::from_str::<serde_json::Value>(line).ok()?;
     let crc = match v.get("crc") {
         Some(serde_json::Value::String(s)) => u64::from_str_radix(s, 16).ok()?,
         _ => return None,
     };
     let entry_value = v.get("entry")?;
-    // The checksum was taken over the entry's serialized text. The
-    // vendored serde_json renders parse(s) back to s byte-identically
-    // (numbers keep their shortest form, field order is preserved), so
-    // re-serializing the parsed value reproduces the hashed bytes.
     let entry_json = serde_json::to_string(entry_value).ok()?;
     if crate::persist::checksum(entry_json.as_bytes()) != crc {
         return None;
     }
-    let entry = JournalEntry::deserialize(entry_value).ok()?;
+    Some(entry_value.clone())
+}
+
+/// Validates and parses one journal line; `None` for anything torn,
+/// corrupt, or from another schema version.
+fn parse_line(line: &str) -> Option<JournalEntry> {
+    let entry_value = parse_framed_line(line)?;
+    let entry = JournalEntry::deserialize(&entry_value).ok()?;
     if entry.schema_version != JOURNAL_SCHEMA_VERSION {
         return None;
     }
@@ -209,8 +226,7 @@ impl Journal {
                 return;
             }
         };
-        let crc = crate::persist::checksum(entry_json.as_bytes());
-        let mut line = format!("{{\"crc\":\"{crc:016x}\",\"entry\":{entry_json}}}\n");
+        let mut line = frame_line(&entry_json);
         if faults::active() && faults::should_inject(FaultSite::JournalTorn, key) {
             // Simulate a crash mid-append: only a prefix of the line
             // lands on disk. The loader must skip it cleanly.

@@ -240,6 +240,8 @@ pub fn histogram_summary(reports: &[RunReport]) -> Table {
 pub fn gauge_summary(reports: &[RunReport]) -> Table {
     const HEALTH: &[&str] = &[
         "exec.abandoned_threads",
+        "exec.cancelled",
+        "refcache.evicted",
         "refcache.quarantined",
         "sim.watchdog.aborts",
         "sim.ipc_abort.refused",

@@ -14,7 +14,7 @@ use gpu_workloads::dnn::DnnScale;
 use gpu_workloads::registry::{Benchmark, RealWorldApp};
 use gpu_workloads::App;
 use photon::{Levels, PhotonConfig};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Whether the full-size (64/120 CU, paper-sized sweeps) mode is on.
 pub fn full_size() -> bool {
@@ -78,7 +78,7 @@ pub fn dnn_scale() -> DnnScale {
 }
 
 /// A simulation methodology under comparison.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Method {
     /// Full detailed simulation (the accuracy baseline).
     Full,
@@ -142,7 +142,7 @@ pub fn fig17_methods() -> Vec<Method> {
 /// What to simulate: a Table 2 micro-benchmark at a problem size, or a
 /// real-world application at a DNN scale. Serializes canonically — the
 /// reference cache hashes this rendering.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WorkloadSpec {
     /// A single-kernel benchmark at a given warp count.
     Bench {
@@ -191,8 +191,9 @@ impl WorkloadSpec {
 /// everything a worker thread needs to reproduce the run from scratch.
 /// Two equal specs produce bit-identical measurements (modulo wall
 /// time), which is the contract the executor's deduplication and the
-/// reference cache rely on.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+/// reference cache rely on. Deserializes too: `photon-serve` accepts a
+/// spec's JSON rendering verbatim over the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunSpec {
     /// What to simulate.
     pub workload: WorkloadSpec,

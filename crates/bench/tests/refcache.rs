@@ -165,3 +165,65 @@ fn version_mismatched_entry_is_quarantined_and_recomputed() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+mod store_properties {
+    //! LRU-eviction properties of the sharded store backing the cache:
+    //! the byte budget is a hard invariant, and the hottest (most
+    //! recently touched) entry is never the eviction victim.
+
+    use photon_bench::ShardedStore;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Single shard, entries capped at a quarter of the budget: the
+        /// store never holds more than its budget, and the entry
+        /// touched by the previous operation always survives the next
+        /// insert's eviction pass.
+        #[test]
+        fn budget_never_exceeded_and_hottest_never_evicted(
+            ops in prop::collection::vec((0u64..24, 1u64..26), 2..250)
+        ) {
+            const BUDGET: u64 = 100;
+            let store: ShardedStore<u64> = ShardedStore::new(1, BUDGET);
+            let mut prev: Option<u64> = None;
+            for (key, bytes) in ops {
+                if store.get(key).is_none() {
+                    store.insert(key, key, bytes);
+                }
+                if let Some(p) = prev {
+                    if p != key {
+                        prop_assert!(
+                            store.get(p).is_some(),
+                            "hottest entry {} was evicted",
+                            p
+                        );
+                    }
+                }
+                let stats = store.stats();
+                prop_assert!(
+                    stats.bytes <= BUDGET,
+                    "store holds {} bytes, budget is {}",
+                    stats.bytes,
+                    BUDGET
+                );
+                prev = Some(key);
+            }
+        }
+
+        /// The budget invariant also holds when keys spread over
+        /// multiple shards (each shard enforces its slice).
+        #[test]
+        fn budget_holds_across_shards(
+            ops in prop::collection::vec((0u64..64, 1u64..17), 1..250)
+        ) {
+            const BUDGET: u64 = 128;
+            let store: ShardedStore<u64> = ShardedStore::new(4, BUDGET);
+            for (key, bytes) in ops {
+                store.insert(key, key, bytes);
+                prop_assert!(store.stats().bytes <= BUDGET);
+            }
+        }
+    }
+}

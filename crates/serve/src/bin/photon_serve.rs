@@ -1,0 +1,133 @@
+//! `photon-serve` — the simulation job server.
+//!
+//! ```console
+//! $ photon-serve --port 0 --workers 4
+//! photon-serve listening on 127.0.0.1:41723
+//! ```
+//!
+//! Speaks the line-delimited JSON protocol of `photon_serve::protocol`.
+//! SIGTERM / ctrl-c drains gracefully: in-flight simulations finish,
+//! queued jobs are journaled to the pending file and resumed by the
+//! next server started with the same `--pending` path.
+
+use photon_bench::cli;
+use photon_serve::{ServeOptions, Server};
+use std::io::Write;
+use std::path::PathBuf;
+
+fn usage() -> String {
+    format!(
+        "usage: photon-serve [--port N] [--workers N] [--queue N] [--pending PATH]\n\
+         \x20 --port N       TCP port on 127.0.0.1 (default 7847; 0 = ephemeral)\n\
+         \x20 --workers N    simulation worker threads (default 2)\n\
+         \x20 --queue N      admission bound on queued jobs (default 64)\n\
+         \x20 --pending PATH drain/resume journal (default results/serve_pending.jsonl)\n\
+         {}",
+        cli::usage("photon-serve", "")
+    )
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let exec = match cli::parse_exec_options(&mut args) {
+        Ok(mut opts) => {
+            // The server has its own pending-jobs journal; the per-spec
+            // run journal is an executor concern.
+            opts.journal = None;
+            opts.resume = false;
+            opts
+        }
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+
+    let mut port: u16 = 7847;
+    let mut opts = ServeOptions {
+        exec,
+        ..ServeOptions::default()
+    };
+    let mut pending = photon_bench::results_dir().join("serve_pending.jsonl");
+    let mut it = args.into_iter();
+    let parse_fail = |flag: &str, v: &str| -> ! {
+        eprintln!("{flag}: bad value {v:?}\n{}", usage());
+        std::process::exit(2);
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--port" => {
+                let v = it.next().unwrap_or_default();
+                port = v.parse().unwrap_or_else(|_| parse_fail("--port", &v));
+            }
+            "--workers" => {
+                let v = it.next().unwrap_or_default();
+                opts.workers = v
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| parse_fail("--workers", &v))
+                    .max(1);
+            }
+            "--queue" => {
+                let v = it.next().unwrap_or_default();
+                opts.queue_capacity = v
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| parse_fail("--queue", &v))
+                    .max(1);
+            }
+            "--pending" => {
+                let v = it.next().unwrap_or_default();
+                if v.is_empty() {
+                    parse_fail("--pending", &v);
+                }
+                pending = PathBuf::from(v);
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{}", usage());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let server = match Server::bind(&format!("127.0.0.1:{port}"), opts, Some(pending.clone())) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("photon-serve: could not bind 127.0.0.1:{port}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("photon-serve: no local address: {e}");
+            std::process::exit(1);
+        }
+    };
+    server.install_signal_handlers();
+    let workers = server.spawn_workers();
+    // Scripts scrape this exact line for the ephemeral port.
+    println!("photon-serve listening on {addr}");
+    let _ = std::io::stdout().flush();
+
+    match server.run() {
+        Ok(drained) => {
+            for w in workers {
+                let _ = w.join();
+            }
+            if drained > 0 {
+                eprintln!(
+                    "photon-serve: drained {drained} queued job(s) to {}",
+                    pending.display()
+                );
+            }
+            eprintln!("photon-serve: clean exit");
+        }
+        Err(e) => {
+            eprintln!("photon-serve: acceptor failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

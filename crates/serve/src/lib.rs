@@ -1,0 +1,33 @@
+//! # photon-serve
+//!
+//! Simulation-as-a-service: a long-running job server over the
+//! photon-bench parallel executor, so a thundering herd of identical
+//! submissions costs one simulation.
+//!
+//! The server ([`server::Server`]) listens on a `std::net::TcpListener`
+//! and speaks the line-delimited JSON protocol of [`protocol`]:
+//! `submit` / `status` / `wait` / `fetch` / `cancel` / `stats` /
+//! `shutdown`. Behind it, the [`scheduler::Scheduler`] runs a bounded
+//! two-lane admission queue (interactive sampled methods dequeue before
+//! batch `Full` runs) over a pool of worker threads, deduplicates
+//! identical jobs at submit time, single-flights result computation
+//! through the sharded [`photon_bench::RefCache`] / result store, and
+//! drains gracefully on SIGTERM/ctrl-c — in-flight jobs finish, queued
+//! jobs are journaled so a restarted server resumes them.
+//!
+//! [`client::Client`] is the blocking client used by `photon-loadgen`,
+//! the integration tests, and the CI serve gate.
+//!
+//! See DESIGN.md § "photon-serve" for the protocol grammar, the
+//! lane/admission semantics, the single-flight state machine, and the
+//! drain/resume contract.
+
+pub mod client;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{job_id, parse_job_id, Request};
+pub use scheduler::{Scheduler, ServeOptions};
+pub use server::Server;

@@ -1,0 +1,188 @@
+//! The wire protocol: line-delimited JSON, one request object per line,
+//! one response object per line (except `wait`, which streams progress
+//! event lines before its final response).
+//!
+//! ## Grammar
+//!
+//! ```text
+//! request  = submit | status | wait | fetch | cancel | stats | shutdown
+//! submit   = {"op":"submit", "spec": <RunSpec JSON>, "tenant": <string>?}
+//! status   = {"op":"status", "job": <job id>}
+//! wait     = {"op":"wait",   "job": <job id>}
+//! fetch    = {"op":"fetch",  "job": <job id>}
+//! cancel   = {"op":"cancel", "job": <job id>}
+//! stats    = {"op":"stats"}
+//! shutdown = {"op":"shutdown"}
+//! ```
+//!
+//! A job id is the spec's [`photon_bench::journal_key`] rendered as 16
+//! hex digits — identical submissions share one id by construction,
+//! which is what makes coalescing visible to clients.
+//!
+//! Responses carry `"ok": true` plus op-specific fields, or
+//! `"ok": false` with `"code"` (HTTP-flavored: 400 bad request, 404
+//! unknown job, 409 not cancellable, 429 queue full, 503 draining) and
+//! `"error"`. A 429 includes `"retry_after_ms"`, the server's estimate
+//! of when the queue will have room.
+//!
+//! `spec` accepts a [`RunSpec`]'s serde JSON rendering verbatim — the
+//! same text `serde_json::to_string(&spec)` produces.
+
+use photon_bench::RunSpec;
+use serde::Deserialize;
+use serde_json::Value;
+
+/// Version stamped into `stats` responses and the pending-jobs journal;
+/// bumped when the wire format changes incompatibly.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// One parsed request line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Enqueue (or join) a job.
+    Submit {
+        /// What to simulate (boxed: specs dwarf every other variant).
+        spec: Box<RunSpec>,
+        /// Accounting bucket for per-tenant counters (default `"anon"`).
+        tenant: String,
+    },
+    /// One-shot state + progress-counter snapshot.
+    Status {
+        /// Job id from a `submit` response.
+        job: u64,
+    },
+    /// Stream progress events until the job reaches a terminal state.
+    Wait {
+        /// Job id from a `submit` response.
+        job: u64,
+    },
+    /// The completed job's report.
+    Fetch {
+        /// Job id from a `submit` response.
+        job: u64,
+    },
+    /// Remove a queued job (or detach one subscriber from it).
+    Cancel {
+        /// Job id from a `submit` response.
+        job: u64,
+    },
+    /// Server-wide counters, gauges, and queue depths.
+    Stats,
+    /// Graceful drain: finish in-flight jobs, journal queued ones, exit.
+    Shutdown,
+}
+
+/// Renders a job key as the wire job id (16 hex digits).
+pub fn job_id(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+/// Parses a wire job id back into its key.
+pub fn parse_job_id(s: &str) -> Option<u64> {
+    u64::from_str_radix(s, 16).ok()
+}
+
+fn str_field(v: &Value, name: &str) -> Option<String> {
+    match v.get(name) {
+        Some(Value::String(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn job_field(v: &Value) -> Result<u64, String> {
+    let s = str_field(v, "job").ok_or("missing string field \"job\"")?;
+    parse_job_id(&s).ok_or_else(|| format!("bad job id {s:?} (expected 16 hex digits)"))
+}
+
+/// Parses one request line.
+///
+/// # Errors
+/// Returns a human-readable description of what is malformed — the
+/// server sends it back as a 400 response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let op = str_field(&v, "op").ok_or("missing string field \"op\"")?;
+    match op.as_str() {
+        "submit" => {
+            let spec_value = v.get("spec").ok_or("submit: missing field \"spec\"")?;
+            let spec =
+                RunSpec::deserialize(spec_value).map_err(|e| format!("submit: bad spec: {e}"))?;
+            let tenant = str_field(&v, "tenant").unwrap_or_else(|| "anon".to_string());
+            Ok(Request::Submit {
+                spec: Box::new(spec),
+                tenant,
+            })
+        }
+        "status" => Ok(Request::Status {
+            job: job_field(&v)?,
+        }),
+        "wait" => Ok(Request::Wait {
+            job: job_field(&v)?,
+        }),
+        "fetch" => Ok(Request::Fetch {
+            job: job_field(&v)?,
+        }),
+        "cancel" => Ok(Request::Cancel {
+            job: job_field(&v)?,
+        }),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Builds an error response value.
+pub fn error_response(code: u32, error: &str) -> Value {
+    serde_json::json!({
+        "ok": false,
+        "code": code,
+        "error": error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuConfig;
+    use gpu_workloads::registry::Benchmark;
+    use photon_bench::Method;
+
+    #[test]
+    fn submit_round_trips_a_spec() {
+        let spec = RunSpec::bench(GpuConfig::tiny(), Benchmark::Fir, 64, Method::Full);
+        let line = format!(
+            "{{\"op\":\"submit\",\"spec\":{},\"tenant\":\"t1\"}}",
+            serde_json::to_string(&spec).unwrap()
+        );
+        match parse_request(&line).unwrap() {
+            Request::Submit {
+                spec: parsed,
+                tenant,
+            } => {
+                assert_eq!(*parsed, spec);
+                assert_eq!(tenant, "t1");
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn job_ops_parse_hex_ids() {
+        let line = format!("{{\"op\":\"fetch\",\"job\":\"{}\"}}", job_id(0xabcdef));
+        match parse_request(&line).unwrap() {
+            Request::Fetch { job } => assert_eq!(job, 0xabcdef),
+            other => panic!("parsed {other:?}"),
+        }
+        assert_eq!(parse_job_id(&job_id(u64::MAX)), Some(u64::MAX));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{\"op\":\"teleport\"}").is_err());
+        assert!(parse_request("{\"op\":\"fetch\"}").is_err());
+        assert!(parse_request("{\"op\":\"fetch\",\"job\":\"zz\"}").is_err());
+        assert!(parse_request("{\"op\":\"submit\"}").is_err());
+        assert!(parse_request("{\"op\":\"submit\",\"spec\":{\"bogus\":1}}").is_err());
+    }
+}

@@ -1,0 +1,762 @@
+//! The job scheduler behind `photon-serve`: a bounded two-lane
+//! admission queue over a pool of simulation worker threads, with
+//! submit-time coalescing, an LRU-bounded result store, cancellation,
+//! and graceful drain/resume.
+//!
+//! ## Single-flight state machine
+//!
+//! A job is keyed by its spec's [`photon_bench::journal_key`], so every
+//! identical submission resolves to the *same* job id:
+//!
+//! ```text
+//!             submit(spec)
+//!                  │
+//!        ┌─────────┴──────────────────────────────┐
+//!        │ id already live?                       │ id unknown?
+//!        ▼                                        ▼
+//!   Queued/Running ──► join (subscribers+1,   result store hit ──► Done
+//!        │              "coalesced")          else admission check:
+//!        │                                    queue full ──► 429
+//!        │                                    draining   ──► 503
+//!        │                                    else enqueue ──► Queued
+//!        ▼
+//!   worker dequeues (interactive lane first) ──► Running
+//!        │   result-store single-flight: Full methods additionally
+//!        │   go through RefCache::get_or_compute_full, so the
+//!        │   reference is computed once even across restarts
+//!        ▼
+//!      Done (result cached iff replayable) / Cancelled
+//! ```
+//!
+//! Cancelling a queued job removes it from its lane before any worker
+//! dequeues it (`exec.cancelled`); with several subscribers, a cancel
+//! detaches one and the job keeps running for the rest.
+//!
+//! ## Drain / resume
+//!
+//! [`Scheduler::begin_drain`] stops dequeueing; workers finish their
+//! in-flight jobs and exit. [`Scheduler::drain_pending_to`] writes every
+//! still-queued spec to a crc-framed pending-jobs journal (the same
+//! line format as the run journal, via [`photon_bench::frame_line`]);
+//! [`Scheduler::resume_pending_from`] re-enqueues them on the next
+//! start, so a SIGTERM'd server loses no accepted work.
+
+use crate::protocol::PROTOCOL_VERSION;
+use gpu_telemetry::{MetricsSnapshot, Telemetry};
+use photon_bench::harness::RunOutcome;
+use photon_bench::journal::journalable;
+use photon_bench::refcache::measurement_bytes;
+use photon_bench::{
+    frame_line, journal_key, parse_framed_line, reference_key, run_spec_observed, ExecOptions,
+    Method, RefCache, RunSpec, ShardedStore,
+};
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// How a scheduler runs: worker count, admission bound, executor
+/// options for the simulations themselves, and store budgets.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// Admission bound: queued jobs (both lanes combined) beyond this
+    /// are rejected with a 429 + `retry_after_ms` hint.
+    pub queue_capacity: usize,
+    /// Per-simulation options (timeout, retries, reference-cache
+    /// policy). The run journal is unused here — the server has its own
+    /// pending-jobs journal.
+    pub exec: ExecOptions,
+    /// In-memory result-store byte budget (all methods, keyed by job
+    /// id; LRU-bounded like the reference cache).
+    pub result_budget: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 2,
+            queue_capacity: 64,
+            exec: ExecOptions {
+                journal: None,
+                resume: false,
+                ..ExecOptions::default()
+            },
+            result_budget: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// Where a job stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Accepted, waiting in a lane.
+    Queued,
+    /// A worker is simulating it.
+    Running,
+    /// Finished (result available via `fetch`).
+    Done,
+    /// Removed from the queue before any worker picked it up.
+    Cancelled,
+}
+
+impl Phase {
+    /// Wire rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Queued => "queued",
+            Phase::Running => "running",
+            Phase::Done => "done",
+            Phase::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the job will make no further transitions.
+    pub fn terminal(self) -> bool {
+        matches!(self, Phase::Done | Phase::Cancelled)
+    }
+}
+
+/// A completed job's answer, shared by every subscriber.
+#[derive(Debug)]
+pub struct JobResult {
+    /// Measurement or structured skip.
+    pub outcome: RunOutcome,
+    /// The run's metrics snapshot (empty for cache-served results).
+    pub metrics: MetricsSnapshot,
+    /// `"executed"`, `"refcache"`, or `"store"` — where the answer came
+    /// from.
+    pub origin: &'static str,
+    /// Wall-clock seconds the job spent from dequeue to completion.
+    pub wall_secs: f64,
+}
+
+struct Job {
+    spec: RunSpec,
+    tenant: String,
+    phase: Phase,
+    /// Live submissions attached to this job; a cancel detaches one.
+    subscribers: usize,
+    /// Per-job live registry: the running simulation writes `sim.*`
+    /// counters here and `status`/`wait` read them concurrently.
+    progress: Telemetry,
+    result: Option<Arc<JobResult>>,
+}
+
+struct State {
+    jobs: HashMap<u64, Job>,
+    interactive: VecDeque<u64>,
+    batch: VecDeque<u64>,
+    running: usize,
+}
+
+impl State {
+    fn queued(&self) -> usize {
+        self.interactive.len() + self.batch.len()
+    }
+}
+
+/// What `submit` decided.
+#[derive(Debug, Clone)]
+pub enum Submitted {
+    /// Newly enqueued (`lane` is `"interactive"` or `"batch"`).
+    Queued {
+        /// The job's id (= journal key).
+        id: u64,
+        /// Which lane it waits in.
+        lane: &'static str,
+    },
+    /// Joined a live identical job.
+    Coalesced {
+        /// The shared job's id.
+        id: u64,
+        /// That job's current phase.
+        phase: Phase,
+    },
+    /// Answered instantly from the result store / finished job table.
+    Cached {
+        /// The finished job's id.
+        id: u64,
+    },
+    /// Admission control refused it (queue full): retry later.
+    Rejected {
+        /// Suggested client back-off in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The server is draining and accepts no new work.
+    Draining,
+}
+
+/// One `status` snapshot.
+#[derive(Debug, Clone)]
+pub struct StatusView {
+    /// The job's phase at snapshot time.
+    pub phase: Phase,
+    /// `workload/method` label.
+    pub label: String,
+    /// Live `sim.*` progress counters (empty before the run starts).
+    pub progress: Vec<(String, u64)>,
+}
+
+/// A pending-jobs journal line: everything needed to re-enqueue a
+/// drained job on restart.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PendingEntry {
+    /// Must equal [`PROTOCOL_VERSION`] to be resumed.
+    schema_version: u32,
+    /// The drained spec.
+    spec: RunSpec,
+    /// Its accounting tenant.
+    tenant: String,
+}
+
+/// The scheduler. Connection handlers call `submit`/`status`/`fetch`/
+/// `cancel`/`stats` concurrently; worker threads loop in
+/// [`Scheduler::worker_loop`].
+pub struct Scheduler {
+    state: Mutex<State>,
+    /// Signals workers that a job was enqueued (or drain began).
+    work_cv: Condvar,
+    /// Signals waiters that some job changed phase.
+    done_cv: Condvar,
+    /// Completed results by job id, LRU-bounded; what makes a warm
+    /// resubmission of *any* method instant.
+    results: ShardedStore<Arc<JobResult>>,
+    /// The full-detailed reference cache (shared semantics with the
+    /// batch executor, including disk persistence when enabled).
+    cache: RefCache,
+    telemetry: Telemetry,
+    opts: ServeOptions,
+    draining: AtomicBool,
+}
+
+impl Scheduler {
+    /// A scheduler with `opts`; spawn its workers with
+    /// [`Scheduler::worker_loop`] (the server does this).
+    pub fn new(opts: ServeOptions) -> Scheduler {
+        let cache = if opts.exec.cache {
+            RefCache::persistent(
+                opts.exec
+                    .cache_dir
+                    .clone()
+                    .unwrap_or_else(RefCache::default_dir),
+            )
+        } else {
+            RefCache::memory_only()
+        };
+        Scheduler {
+            state: Mutex::new(State {
+                jobs: HashMap::new(),
+                interactive: VecDeque::new(),
+                batch: VecDeque::new(),
+                running: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            results: ShardedStore::new(16, opts.result_budget),
+            cache,
+            telemetry: Telemetry::default(),
+            opts,
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// The server-wide metrics registry (`serve.*`, `exec.cancelled`,
+    /// per-tenant counters).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lane_of(method: &Method) -> &'static str {
+        if *method == Method::Full {
+            "batch"
+        } else {
+            "interactive"
+        }
+    }
+
+    /// Submits a spec on behalf of `tenant`. See the module docs for
+    /// the full decision diagram.
+    pub fn submit(&self, spec: RunSpec, tenant: &str) -> Submitted {
+        let id = journal_key(&spec);
+        if self.draining.load(Ordering::SeqCst) {
+            self.telemetry.counter("serve.rejected").add(1);
+            self.tenant_counter(tenant, "rejected");
+            return Submitted::Draining;
+        }
+        let mut state = self.lock_state();
+        if let Some(job) = state.jobs.get_mut(&id) {
+            match job.phase {
+                Phase::Done => {
+                    self.telemetry.counter("serve.cache_hits").add(1);
+                    self.tenant_counter(tenant, "submitted");
+                    return Submitted::Cached { id };
+                }
+                Phase::Queued | Phase::Running => {
+                    job.subscribers += 1;
+                    let phase = job.phase;
+                    self.telemetry.counter("serve.coalesced").add(1);
+                    self.tenant_counter(tenant, "submitted");
+                    return Submitted::Coalesced { id, phase };
+                }
+                Phase::Cancelled => {
+                    // A cancelled job can be resubmitted: fall through to
+                    // re-enqueue it below.
+                }
+            }
+        }
+        if let Some(result) = self.results.get(id) {
+            // Known answer from an earlier (possibly evicted-from-jobs)
+            // submission: materialize a Done job so fetch/status work.
+            state.jobs.insert(
+                id,
+                Job {
+                    spec,
+                    tenant: tenant.to_string(),
+                    phase: Phase::Done,
+                    subscribers: 1,
+                    progress: Telemetry::default(),
+                    result: Some(result),
+                },
+            );
+            self.telemetry.counter("serve.cache_hits").add(1);
+            self.tenant_counter(tenant, "submitted");
+            return Submitted::Cached { id };
+        }
+        if state.queued() >= self.opts.queue_capacity {
+            self.telemetry.counter("serve.rejected").add(1);
+            self.tenant_counter(tenant, "rejected");
+            return Submitted::Rejected {
+                retry_after_ms: self.retry_after_ms(&state),
+            };
+        }
+        let lane = Self::lane_of(&spec.method);
+        if lane == "interactive" {
+            state.interactive.push_back(id);
+        } else {
+            state.batch.push_back(id);
+        }
+        state.jobs.insert(
+            id,
+            Job {
+                spec,
+                tenant: tenant.to_string(),
+                phase: Phase::Queued,
+                subscribers: 1,
+                progress: Telemetry::default(),
+                result: None,
+            },
+        );
+        self.telemetry.counter("serve.submitted").add(1);
+        self.tenant_counter(tenant, "submitted");
+        drop(state);
+        self.work_cv.notify_one();
+        Submitted::Queued { id, lane }
+    }
+
+    /// The 429 `Retry-After` hint: the queue drains at roughly
+    /// (workers / per-job wall time); estimate per-job time from the
+    /// completed average (floor 10 ms so an idle estimate never says
+    /// "now" while the queue is provably full).
+    fn retry_after_ms(&self, state: &State) -> u64 {
+        let snapshot = self.telemetry.snapshot();
+        let completed = snapshot.counter("serve.completed").unwrap_or(0);
+        let busy_ms = snapshot.counter("serve.busy_ms").unwrap_or(0);
+        let per_job_ms = busy_ms
+            .checked_div(completed)
+            .map_or(100, |avg| avg.max(10));
+        let ahead = (state.queued() + state.running) as u64;
+        (ahead * per_job_ms / self.opts.workers.max(1) as u64).max(10)
+    }
+
+    fn tenant_counter(&self, tenant: &str, what: &str) {
+        self.telemetry
+            .counter(&format!("serve.tenant.{tenant}.{what}"))
+            .add(1);
+    }
+
+    /// One job's phase + live progress counters.
+    pub fn status(&self, id: u64) -> Option<StatusView> {
+        let state = self.lock_state();
+        let job = state.jobs.get(&id)?;
+        Some(StatusView {
+            phase: job.phase,
+            label: job.spec.label(),
+            progress: job.progress.snapshot().counters_with_prefix("sim."),
+        })
+    }
+
+    /// Blocks until `id` reaches a terminal phase or `step` elapses;
+    /// returns the phase either way (`None`: unknown job). `wait`
+    /// handlers call this in a loop, emitting a progress event per
+    /// wake-up.
+    pub fn wait_step(&self, id: u64, step: Duration) -> Option<Phase> {
+        let deadline = Instant::now() + step;
+        let mut state = self.lock_state();
+        loop {
+            let phase = state.jobs.get(&id)?.phase;
+            if phase.terminal() {
+                return Some(phase);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Some(phase);
+            }
+            let (s, _timeout) = self
+                .done_cv
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = s;
+        }
+    }
+
+    /// The completed result of `id`, if it is done.
+    pub fn fetch(&self, id: u64) -> Option<Arc<JobResult>> {
+        let state = self.lock_state();
+        match state.jobs.get(&id) {
+            Some(job) => job.result.clone(),
+            None => self.results.get(id),
+        }
+    }
+
+    /// Cancels one subscription to `id`. Only a queued job with no
+    /// remaining subscribers is removed from its lane (counted in
+    /// `exec.cancelled` — before any worker can dequeue it); a running
+    /// or finished job reports `false`.
+    pub fn cancel(&self, id: u64) -> Option<bool> {
+        let mut state = self.lock_state();
+        let job = state.jobs.get_mut(&id)?;
+        if job.phase != Phase::Queued {
+            return Some(false);
+        }
+        job.subscribers = job.subscribers.saturating_sub(1);
+        if job.subscribers > 0 {
+            return Some(false);
+        }
+        job.phase = Phase::Cancelled;
+        state.interactive.retain(|&q| q != id);
+        state.batch.retain(|&q| q != id);
+        self.telemetry.counter("exec.cancelled").add(1);
+        self.telemetry.counter("serve.cancelled").add(1);
+        drop(state);
+        self.done_cv.notify_all();
+        Some(true)
+    }
+
+    /// The worker thread body: dequeue (interactive lane first), run,
+    /// publish, repeat — until drain begins and the queues stop feeding.
+    pub fn worker_loop(&self) {
+        loop {
+            let (id, spec, progress) = {
+                let mut state = self.lock_state();
+                let id = loop {
+                    if self.draining.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    // Interactive sampled methods preempt queued batch
+                    // Full runs at dequeue time.
+                    if let Some(id) = state
+                        .interactive
+                        .pop_front()
+                        .or_else(|| state.batch.pop_front())
+                    {
+                        break id;
+                    }
+                    let (s, _t) = self
+                        .work_cv
+                        .wait_timeout(state, Duration::from_millis(100))
+                        .unwrap_or_else(|e| e.into_inner());
+                    state = s;
+                };
+                let Some(job) = state.jobs.get_mut(&id) else {
+                    continue;
+                };
+                job.phase = Phase::Running;
+                let claimed = (id, job.spec.clone(), job.progress.clone());
+                state.running += 1;
+                claimed
+            };
+            self.done_cv.notify_all();
+
+            let started = Instant::now();
+            let result = self.run_job(id, &spec, &progress);
+
+            let mut state = self.lock_state();
+            state.running -= 1;
+            if let Some(job) = state.jobs.get_mut(&id) {
+                job.phase = Phase::Done;
+                job.result = Some(Arc::clone(&result));
+                let tenant = job.tenant.clone();
+                let ok = result.outcome.measurement().is_some();
+                drop(state);
+                self.telemetry
+                    .counter(if ok {
+                        "serve.completed"
+                    } else {
+                        "serve.failed"
+                    })
+                    .add(1);
+                self.telemetry
+                    .counter("serve.busy_ms")
+                    .add(started.elapsed().as_millis() as u64);
+                self.tenant_counter(&tenant, "completed");
+            }
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Resolves one job: result-store single-flight, with `Full`
+    /// methods additionally memoized through the reference cache.
+    /// Results are cached only when replaying them would be
+    /// indistinguishable from re-running (same rule as the run
+    /// journal); a transient failure answers its subscribers but the
+    /// next submission re-simulates.
+    /// Runs one simulation for `spec`, counting it in `serve.sim_runs`
+    /// and mirroring any transient-failure retries into the server-wide
+    /// `exec.retried` counter (the per-job `progress` registry records
+    /// them too, but jobs are transient and `stats` is not).
+    fn simulate(&self, spec: &RunSpec, progress: &Telemetry) -> (RunOutcome, MetricsSnapshot) {
+        self.telemetry.counter("serve.sim_runs").add(1);
+        let (outcome, metrics, _trace) = run_spec_observed(spec, &self.opts.exec, Some(progress));
+        if let Some(retries) = metrics.counter("exec.retried") {
+            self.telemetry.counter("exec.retried").add(retries);
+        }
+        (outcome, metrics)
+    }
+
+    fn run_job(&self, id: u64, spec: &RunSpec, progress: &Telemetry) -> Arc<JobResult> {
+        let started = Instant::now();
+        let (result, _origin) = self.results.get_or_compute(id, || {
+            let jr = if spec.method == Method::Full {
+                let key = reference_key(spec);
+                let mut led: Option<(RunOutcome, MetricsSnapshot)> = None;
+                let (m, _o) = self
+                    .cache
+                    .get_or_compute_full(key, &spec.workload.name(), || {
+                        let (outcome, metrics) = self.simulate(spec, progress);
+                        let meas = outcome.measurement().cloned();
+                        led = Some((outcome, metrics));
+                        meas
+                    });
+                match (led, m) {
+                    (Some((outcome, metrics)), _) => JobResult {
+                        outcome,
+                        metrics,
+                        origin: "executed",
+                        wall_secs: started.elapsed().as_secs_f64(),
+                    },
+                    (None, Some(m)) => JobResult {
+                        outcome: RunOutcome::Completed(m),
+                        metrics: MetricsSnapshot::default(),
+                        origin: "refcache",
+                        wall_secs: started.elapsed().as_secs_f64(),
+                    },
+                    (None, None) => {
+                        // Coalesced onto a failing leader elsewhere:
+                        // run it first-hand.
+                        let (outcome, metrics) = self.simulate(spec, progress);
+                        JobResult {
+                            outcome,
+                            metrics,
+                            origin: "executed",
+                            wall_secs: started.elapsed().as_secs_f64(),
+                        }
+                    }
+                }
+            } else {
+                let (outcome, metrics) = self.simulate(spec, progress);
+                JobResult {
+                    outcome,
+                    metrics,
+                    origin: "executed",
+                    wall_secs: started.elapsed().as_secs_f64(),
+                }
+            };
+            let cacheable = journalable(&jr.outcome);
+            let bytes = jr
+                .outcome
+                .measurement()
+                .map(measurement_bytes)
+                .unwrap_or(256);
+            (Some(Arc::new(jr)), bytes, cacheable)
+        });
+        result.unwrap_or_else(|| {
+            // Unreachable in practice: the compute above always returns
+            // Some. Degrade to a structured failure rather than panic.
+            Arc::new(JobResult {
+                outcome: RunOutcome::Skipped {
+                    workload: spec.workload.name(),
+                    method: spec.method.name(),
+                    reason: "internal: result store returned no value".to_string(),
+                    error: None,
+                    failure: photon_bench::FailureKind::Transient,
+                },
+                metrics: MetricsSnapshot::default(),
+                origin: "executed",
+                wall_secs: started.elapsed().as_secs_f64(),
+            })
+        })
+    }
+
+    /// Stops dequeueing: workers finish their in-flight jobs and their
+    /// loops return. New submissions are answered with 503.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        // Wake every parked worker so it observes the flag.
+        let _state = self.lock_state();
+        self.work_cv.notify_all();
+    }
+
+    /// Whether [`begin_drain`](Self::begin_drain) has been called.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until no job is running (drain must have begun, or this
+    /// can wait forever).
+    pub fn await_idle(&self) {
+        let mut state = self.lock_state();
+        while state.running > 0 {
+            let (s, _t) = self
+                .done_cv
+                .wait_timeout(state, Duration::from_millis(100))
+                .unwrap_or_else(|e| e.into_inner());
+            state = s;
+        }
+    }
+
+    /// Journals every still-queued job to `path` (crc-framed lines,
+    /// written atomically) and returns how many were drained. Call
+    /// after [`await_idle`](Self::await_idle).
+    pub fn drain_pending_to(&self, path: &Path) -> std::io::Result<usize> {
+        let state = self.lock_state();
+        let mut lines = String::new();
+        let mut n = 0;
+        for id in state.interactive.iter().chain(state.batch.iter()) {
+            let Some(job) = state.jobs.get(id) else {
+                continue;
+            };
+            let entry = PendingEntry {
+                schema_version: PROTOCOL_VERSION,
+                spec: job.spec.clone(),
+                tenant: job.tenant.clone(),
+            };
+            let json =
+                serde_json::to_string(&entry).map_err(|e| std::io::Error::other(e.to_string()))?;
+            lines.push_str(&frame_line(&json));
+            n += 1;
+        }
+        drop(state);
+        if n == 0 {
+            // Nothing pending: remove any stale journal so the next
+            // start does not resume ghosts.
+            let _ = std::fs::remove_file(path);
+            return Ok(0);
+        }
+        photon_bench::atomic_write(path, &lines)?;
+        self.telemetry.counter("serve.drained_jobs").add(n as u64);
+        Ok(n)
+    }
+
+    /// Re-enqueues jobs journaled by a previous server's drain, then
+    /// removes the journal. Torn or corrupt lines are skipped (counted
+    /// in the return). Call before accepting connections.
+    pub fn resume_pending_from(&self, path: &Path) -> (usize, usize) {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return (0, 0);
+        };
+        let mut resumed = 0;
+        let mut corrupt = 0;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let entry = parse_framed_line(line)
+                .and_then(|v: Value| PendingEntry::deserialize(&v).ok())
+                .filter(|e| e.schema_version == PROTOCOL_VERSION);
+            match entry {
+                Some(e) => {
+                    self.submit(e.spec, &e.tenant);
+                    resumed += 1;
+                }
+                None => corrupt += 1,
+            }
+        }
+        let _ = std::fs::remove_file(path);
+        self.telemetry
+            .counter("serve.resumed_jobs")
+            .add(resumed as u64);
+        (resumed, corrupt)
+    }
+
+    /// The ids currently queued (interactive lane first) — drain
+    /// reporting and tests.
+    pub fn queued_ids(&self) -> Vec<u64> {
+        let state = self.lock_state();
+        state
+            .interactive
+            .iter()
+            .chain(state.batch.iter())
+            .copied()
+            .collect()
+    }
+
+    /// Server-wide stats: the metrics registry (counters incl.
+    /// per-tenant, `serve.*`, `exec.cancelled`), live queue/worker
+    /// gauges, and the result/reference store counters.
+    pub fn stats(&self) -> Value {
+        let (queued_i, queued_b, running) = {
+            let state = self.lock_state();
+            (state.interactive.len(), state.batch.len(), state.running)
+        };
+        self.telemetry
+            .gauge("serve.queue.interactive")
+            .set(queued_i as f64);
+        self.telemetry
+            .gauge("serve.queue.batch")
+            .set(queued_b as f64);
+        self.telemetry.gauge("serve.running").set(running as f64);
+        let cache_stats = self.cache.stats();
+        // Mirror the disk-eviction count into the registry (counters
+        // are monotonic: add the delta since the last stats call).
+        let evicted = self.telemetry.counter("refcache.evicted");
+        let seen = evicted.get();
+        if cache_stats.disk_evicted > seen {
+            evicted.add(cache_stats.disk_evicted - seen);
+        }
+        // When fault injection is armed, surface per-site injection
+        // counts so the chaos CI gate can prove panics actually fired.
+        let faults_injected = Value::Object(
+            gpu_telemetry::faults::FaultSite::ALL
+                .iter()
+                .filter(|site| gpu_telemetry::faults::injected(**site) > 0)
+                .map(|site| {
+                    (
+                        site.name().to_string(),
+                        Value::U64(gpu_telemetry::faults::injected(*site)),
+                    )
+                })
+                .collect(),
+        );
+        serde_json::json!({
+            "protocol_version": PROTOCOL_VERSION,
+            "workers": self.opts.workers,
+            "queue_capacity": self.opts.queue_capacity,
+            "draining": self.draining(),
+            "faults_active": gpu_telemetry::faults::active(),
+            "faults_injected": faults_injected,
+            "metrics": self.telemetry.snapshot(),
+            "results_store": self.results.stats(),
+            "refcache": cache_stats,
+        })
+    }
+}

@@ -242,6 +242,18 @@ impl MetricsSnapshot {
             .map(|c| c.value)
     }
 
+    /// All counters whose name starts with `prefix`, as `(name, value)`
+    /// pairs in name order — how `photon-serve` selects the `sim.*`
+    /// progress counters to stream to `status`/`wait` clients without
+    /// shipping the whole snapshot per poll.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .filter(|c| c.name.starts_with(prefix))
+            .map(|c| (c.name.clone(), c.value))
+            .collect()
+    }
+
     /// Merges another snapshot into this one, so a suite of *per-run*
     /// registries can be combined into one aggregate without ever
     /// sharing live metric handles between concurrent runs.

@@ -72,4 +72,66 @@ else
   cargo run -q --release -p photon-bench --features telemetry --bin report -- check
 fi
 
+echo "==> photon-serve gate: loadgen over a live server (PHOTON_SKIP_SERVE=1 to skip)"
+if [[ "${PHOTON_SKIP_SERVE:-}" == "1" ]]; then
+  echo "    skipped (PHOTON_SKIP_SERVE=1)"
+else
+  serve_tmp="$(mktemp -d)"
+  serve_log="$serve_tmp/serve.log"
+  serve_wait_up() {
+    for _ in $(seq 1 100); do
+      grep -q "listening on" "$serve_log" && break
+      sleep 0.1
+    done
+    addr="$(grep -o '127\.0\.0\.1:[0-9]*' "$serve_log" | head -1)"
+    if [[ -z "$addr" ]]; then
+      echo "    photon-serve never came up:"; cat "$serve_log"; exit 1
+    fi
+  }
+  serve_stop_clean() {
+    kill -TERM "$serve_pid"
+    wait "$serve_pid"
+    if ! grep -q "clean exit" "$serve_log"; then
+      echo "    photon-serve did not drain cleanly:"; cat "$serve_log"; exit 1
+    fi
+  }
+
+  # Duplicate-heavy closed-loop drive: 4 clients x 3 jobs cycling 3
+  # specs, so identical submissions constantly collide. --check asserts
+  # zero failed fetches, a positive coalesce rate, and a warm p50 at
+  # least 10x below cold. SIGTERM afterwards must drain and exit clean.
+  ./target/release/photon-serve --port 0 --workers 2 --no-cache \
+    --pending "$serve_tmp/pending.jsonl" >"$serve_log" 2>&1 &
+  serve_pid=$!
+  serve_wait_up
+  timeout 300 ./target/release/photon-loadgen --addr "$addr" \
+    --clients 4 --jobs-per-client 3 --check
+  serve_stop_clean
+
+  # Fault-seeded variant: with panics injected into simulations, every
+  # submission must still get a terminal answer (loadgen hangs on a
+  # dropped job, which the timeout turns into a failure) and the server
+  # must still drain cleanly.
+  ./target/release/photon-serve --port 0 --workers 2 --no-cache \
+    --pending "$serve_tmp/pending_faults.jsonl" \
+    --faults "exec.panic:0.3:1207" >"$serve_log" 2>&1 &
+  serve_pid=$!
+  serve_wait_up
+  timeout 300 ./target/release/photon-loadgen --addr "$addr" \
+    --clients 4 --jobs-per-client 3 --out BENCH_serve_faults
+  # Prove the run actually exercised the fault path: stats must report
+  # at least one injected exec.panic (absorbed by retries — loadgen
+  # above already proved no job was dropped).
+  serve_port="${addr##*:}"
+  exec 3<>"/dev/tcp/127.0.0.1/$serve_port"
+  echo '{"op":"stats"}' >&3
+  IFS= read -r serve_stats <&3
+  exec 3<&-
+  if ! grep -q '"exec.panic"' <<<"$serve_stats"; then
+    echo "    fault-seeded serve run injected no panics"; exit 1
+  fi
+  serve_stop_clean
+  rm -rf "$serve_tmp"
+fi
+
 echo "==> ci OK"
