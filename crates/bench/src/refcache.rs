@@ -634,6 +634,7 @@ impl RefCache {
             return;
         };
         let mut entries: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
+        let mut corpses: Vec<PathBuf> = Vec::new();
         let mut total = 0u64;
         for e in listing.flatten() {
             let path = e.path();
@@ -646,6 +647,7 @@ impl RefCache {
             if name.ends_with(".corrupt") {
                 // Quarantine corpses do not count against the budget but
                 // are reaped here once the directory is over it.
+                corpses.push(path);
                 continue;
             }
             if !name.ends_with(".json") {
@@ -657,6 +659,11 @@ impl RefCache {
         }
         if total <= self.disk_budget {
             return;
+        }
+        // Corpses are evidence, not cache: delete them before any live
+        // entry is evicted (they are not counted in disk_evicted).
+        for path in corpses {
+            let _ = std::fs::remove_file(&path);
         }
         entries.sort_by_key(|(_, _, mtime)| *mtime);
         for (path, len, _) in entries {
@@ -895,6 +902,34 @@ mod tests {
         );
         // The newest entry survives on disk.
         assert!(dir.join(format!("{:016x}.json", 3u64)).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_budget_reaps_corrupt_quarantine_files() {
+        let dir =
+            std::env::temp_dir().join(format!("photon-refcache-corpses-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpse = dir.join("00000000deadbeef.json.corrupt");
+        std::fs::write(&corpse, "torn entry kept as evidence").unwrap();
+        let m = meas();
+        let probe = RefCache::with_budgets(Some(dir.clone()), 1 << 20, u64::MAX);
+        probe.store(1, "fir", &m);
+        let entry_len = std::fs::metadata(dir.join(format!("{:016x}.json", 1u64)))
+            .unwrap()
+            .len();
+        // Budget fits one entry: the second store goes over it, which
+        // must reap the corpse before evicting any live entry.
+        let cache = RefCache::with_budgets(Some(dir.clone()), 1 << 20, entry_len + entry_len / 2);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cache.store(2, "fir", &m);
+        assert!(
+            !corpse.exists(),
+            "corrupt corpse must be reaped once the directory is over budget"
+        );
+        // The newest live entry survives.
+        assert!(dir.join(format!("{:016x}.json", 2u64)).exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

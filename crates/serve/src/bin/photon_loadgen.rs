@@ -138,12 +138,17 @@ fn run_phase(
                 scope.spawn(move || {
                     let mut latencies = Vec::new();
                     let mut failed = 0u64;
-                    let mut client = match Client::connect(addr) {
+                    // Connect before the barrier: every thread must
+                    // reach wait() or the others block forever, so a
+                    // failed connect records its failures only after
+                    // releasing the rendezvous.
+                    let client = Client::connect(addr);
+                    let specs = mix(clients, salt);
+                    barrier.wait();
+                    let mut client = match client {
                         Ok(c) => c,
                         Err(_) => return (latencies, jobs_per_client as u64),
                     };
-                    let specs = mix(clients, salt);
-                    barrier.wait();
                     for j in 0..jobs_per_client {
                         // Same cycle for every client: maximally
                         // duplicate-heavy.

@@ -147,16 +147,41 @@ struct Job {
     result: Option<Arc<JobResult>>,
 }
 
+/// How many terminal (Done/Cancelled) jobs the `jobs` map retains.
+/// Beyond this the oldest are dropped: their cacheable results stay
+/// fetchable from the LRU-budgeted results store, so the map stays
+/// bounded on a long-running server instead of accumulating one entry
+/// per unique spec forever.
+const MAX_TERMINAL_JOBS: usize = 256;
+
 struct State {
     jobs: HashMap<u64, Job>,
     interactive: VecDeque<u64>,
     batch: VecDeque<u64>,
     running: usize,
+    /// Terminal job ids in completion order; the pruning ring for
+    /// [`MAX_TERMINAL_JOBS`].
+    terminal: VecDeque<u64>,
 }
 
 impl State {
     fn queued(&self) -> usize {
         self.interactive.len() + self.batch.len()
+    }
+
+    /// Records that `id` reached a terminal phase and evicts the oldest
+    /// terminal entries past the retention bound. An evicted id that
+    /// has since been resubmitted (and so is live again) is left alone.
+    fn note_terminal(&mut self, id: u64) {
+        self.terminal.push_back(id);
+        while self.terminal.len() > MAX_TERMINAL_JOBS {
+            let Some(old) = self.terminal.pop_front() else {
+                break;
+            };
+            if self.jobs.get(&old).is_some_and(|job| job.phase.terminal()) {
+                self.jobs.remove(&old);
+            }
+        }
     }
 }
 
@@ -254,6 +279,7 @@ impl Scheduler {
                 interactive: VecDeque::new(),
                 batch: VecDeque::new(),
                 running: 0,
+                terminal: VecDeque::new(),
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -327,6 +353,7 @@ impl Scheduler {
                     result: Some(result),
                 },
             );
+            state.note_terminal(id);
             self.telemetry.counter("serve.cache_hits").add(1);
             self.tenant_counter(tenant, "submitted");
             return Submitted::Cached { id };
@@ -444,6 +471,7 @@ impl Scheduler {
         job.phase = Phase::Cancelled;
         state.interactive.retain(|&q| q != id);
         state.batch.retain(|&q| q != id);
+        state.note_terminal(id);
         self.telemetry.counter("exec.cancelled").add(1);
         self.telemetry.counter("serve.cancelled").add(1);
         drop(state);
@@ -496,6 +524,7 @@ impl Scheduler {
                 job.result = Some(Arc::clone(&result));
                 let tenant = job.tenant.clone();
                 let ok = result.outcome.measurement().is_some();
+                state.note_terminal(id);
                 drop(state);
                 self.telemetry
                     .counter(if ok {

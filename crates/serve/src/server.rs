@@ -182,6 +182,12 @@ impl Server {
             }
         }
 
+        // The accept loop may have stopped on the process-wide signal
+        // flag; mirror it into this server's own flag so connection
+        // handlers (which poll only the Arc) and `wait`ers on queued
+        // jobs observe the drain instead of spinning forever.
+        self.shutdown.store(true, Ordering::SeqCst);
+
         // Graceful drain: no new work, finish in-flight, journal the
         // rest so a restarted server resumes them.
         self.scheduler.begin_drain();
@@ -301,7 +307,6 @@ fn handle_connection(stream: TcpStream, scheduler: &Scheduler, shutdown: &Atomic
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
-        line.clear();
         match reader.read_line(&mut line) {
             Ok(0) => return, // peer closed
             Ok(_) => {}
@@ -309,12 +314,16 @@ fn handle_connection(stream: TcpStream, scheduler: &Scheduler, shutdown: &Atomic
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                continue
+                // A timed-out read may have appended a request prefix to
+                // `line` (read_line keeps bytes read so far); leave it
+                // in place so the next read resumes the same line.
+                continue;
             }
             Err(_) => return,
         }
         let trimmed = line.trim();
         if trimmed.is_empty() {
+            line.clear();
             continue;
         }
         let response = match protocol::parse_request(trimmed) {
@@ -419,8 +428,41 @@ fn handle_connection(stream: TcpStream, scheduler: &Scheduler, shutdown: &Atomic
                 serde_json::json!({ "ok": true, "draining": true })
             }
         };
+        line.clear();
         if write_line(&mut writer, &response).is_err() {
             return;
         }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    /// Regression: a SIGTERM-style shutdown (the process-global signal
+    /// flag, not this server's handle) must propagate to connection
+    /// handlers — `run` must return even with a client still connected,
+    /// instead of blocking forever on its join.
+    #[test]
+    fn signal_flag_shutdown_drains_with_connected_client() {
+        let server =
+            Arc::new(Server::bind("127.0.0.1:0", ServeOptions::default(), None).expect("bind"));
+        let addr = server.local_addr().expect("addr");
+        let srv = Arc::clone(&server);
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = tx.send(srv.run());
+        });
+        // An idle connected client whose handler polls only the Arc flag.
+        let _client = TcpStream::connect(addr).expect("connect");
+        std::thread::sleep(Duration::from_millis(100));
+        sig::SHUTDOWN.store(true, Ordering::SeqCst);
+        let drained = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("run() must return after the signal flag trips")
+            .expect("run");
+        assert_eq!(drained, 0);
+        sig::SHUTDOWN.store(false, Ordering::SeqCst);
     }
 }

@@ -282,6 +282,65 @@ fn interactive_lane_preempts_queued_batch_work() {
 }
 
 #[test]
+fn fragmented_request_line_survives_read_timeouts() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let srv = TestServer::start(1, 16, None);
+    let mut stream = std::net::TcpStream::connect(&srv.addr).expect("connect");
+    let request = "{\"op\":\"stats\"}\n";
+    let (head, tail) = request.split_at(6);
+    stream.write_all(head.as_bytes()).expect("head");
+    stream.flush().expect("flush");
+    // Longer than the server's 200 ms read timeout: the prefix must
+    // survive the timed-out read, not be discarded.
+    std::thread::sleep(Duration::from_millis(500));
+    stream.write_all(tail.as_bytes()).expect("tail");
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .expect("response");
+    let v: Value = serde_json::from_str(line.trim()).expect("json");
+    assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "got: {v:?}");
+    srv.stop();
+}
+
+#[test]
+fn terminal_jobs_are_pruned_from_the_jobs_map() {
+    use photon_serve::Scheduler;
+
+    // No workers: submit+cancel walks each distinct spec to a terminal
+    // phase without simulating anything.
+    let opts = ServeOptions {
+        queue_capacity: 8,
+        exec: ExecOptions {
+            cache: false,
+            journal: None,
+            ..ExecOptions::default()
+        },
+        ..ServeOptions::default()
+    };
+    let sched = Scheduler::new(opts);
+    let first = journal_key(&fir(1, Method::Full));
+    let last = journal_key(&fir(400, Method::Full));
+    for i in 1..=400u64 {
+        let spec = fir(i, Method::Full);
+        let id = journal_key(&spec);
+        sched.submit(spec, "t0");
+        sched.cancel(id);
+    }
+    // Well past the retention bound, the oldest terminal job has been
+    // dropped from the jobs map; recent ones are retained.
+    assert!(
+        sched.status(first).is_none(),
+        "oldest terminal job must be pruned"
+    );
+    assert!(
+        sched.status(last).is_some(),
+        "recent terminal jobs must be retained"
+    );
+}
+
+#[test]
 fn drain_journals_queued_jobs_and_restart_resumes_them() {
     let dir = std::env::temp_dir().join(format!("photon_serve_drain_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("mkdir");
