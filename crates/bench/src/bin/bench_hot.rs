@@ -16,8 +16,8 @@
 
 use photon_bench::cli::{parse_exec_options, usage as exec_usage};
 use photon_bench::hotpath::{
-    compare_hot, hot_baseline_path, hot_report_path, hot_table, load_hot_report, run_hot,
-    write_hot_report, HOT_REGRESSION_FRAC,
+    check_engine_scaling, compare_hot, hot_baseline_path, hot_report_path, hot_table,
+    load_hot_report, run_hot, write_hot_report, HOT_REGRESSION_FRAC,
 };
 use photon_bench::ExecOptions;
 
@@ -67,7 +67,12 @@ fn run(opts: ExecOptions, iters: u32, check: bool) -> i32 {
     match baseline {
         Some(base) => {
             let regressions = compare_hot(&base, &report, HOT_REGRESSION_FRAC);
-            if regressions.is_empty() {
+            let scaling = check_engine_scaling(&report);
+            match &scaling {
+                Ok(notice) => println!("{notice}"),
+                Err(e) => println!("REGRESSION {e}"),
+            }
+            if regressions.is_empty() && scaling.is_ok() {
                 println!("no hot-path regressions against {}", base_path.display());
                 0
             } else {

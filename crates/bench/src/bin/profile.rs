@@ -2,9 +2,15 @@
 //!
 //! ```console
 //! $ profile show results/BENCH_smoke.json   # stall tables, occupancy, worst BBs
-//! $ profile diff base.json current.json     # flag stall classes whose share grew
+//! $ profile diff base.json current.json     # flag stall-share / cycle drift > 5%
+//! $ profile diff base.json current.json 0.10   # custom ceiling (fraction)
 //! $ profile check [report.json]             # invariant gate (CI); exit 1 on failure
 //! ```
+//!
+//! The optional `diff` ceiling is how CI gates the relaxed epoch
+//! engine: a relaxed-engine smoke report is diffed against the serial
+//! one at the documented relaxed-mode bound (see DESIGN.md, "Sharded
+//! timing engine") instead of the 5% same-engine default.
 //!
 //! `check` without an argument validates `results/BENCH_smoke.json`
 //! (the artifact `report smoke` writes): every run's stall classes must
@@ -21,7 +27,7 @@ use std::path::{Path, PathBuf};
 const DIFF_THRESHOLD: f64 = 0.05;
 
 fn usage() -> ! {
-    eprintln!("usage: profile <show <report>|diff <base> <current>|check [report]>");
+    eprintln!("usage: profile <show <report>|diff <base> <current> [ceiling]|check [report]>");
     std::process::exit(2);
 }
 
@@ -41,14 +47,24 @@ fn main() {
         (Some("show"), 2) => {
             print!("{}", render_report(&load(Path::new(&args[1]))));
         }
-        (Some("diff"), 3) => {
+        (Some("diff"), n) if n == 3 || n == 4 => {
+            let threshold = match args.get(3) {
+                Some(v) => match v.parse::<f64>() {
+                    Ok(t) if t > 0.0 && t < 1.0 => t,
+                    _ => {
+                        eprintln!("error: ceiling must be a fraction in (0, 1), got {v}");
+                        std::process::exit(2);
+                    }
+                },
+                None => DIFF_THRESHOLD,
+            };
             let base = load(Path::new(&args[1]));
             let cur = load(Path::new(&args[2]));
-            let flagged = diff_reports(&base, &cur, DIFF_THRESHOLD);
+            let flagged = diff_reports(&base, &cur, threshold);
             if flagged.is_empty() {
                 println!(
-                    "no stall-share regressions (> {:.0}% of residency) vs {}",
-                    DIFF_THRESHOLD * 100.0,
+                    "no stall-share or cycle regressions (> {:.0}%) vs {}",
+                    threshold * 100.0,
                     args[1]
                 );
                 return;

@@ -10,6 +10,7 @@
 //! ```
 
 use crate::executor::ExecOptions;
+use gpu_sim::EngineMode;
 use gpu_telemetry::faults::{self, FaultPlan};
 use std::time::Duration;
 
@@ -27,7 +28,12 @@ pub fn usage(bin: &str, extra: &str) -> String {
          \x20                 instead of re-simulating them\n\
          \x20 --no-journal    do not write the run journal\n\
          \x20 --faults SPEC   deterministic fault injection: site:rate:seed[,...]\n\
-         \x20                 (PHOTON_FAULTS=SPEC does the same; see --faults help)"
+         \x20                 (PHOTON_FAULTS=SPEC does the same; see --faults help)\n\
+         \x20 --engine MODE   timing-engine override for every run in the grid:\n\
+         \x20                 serial | deterministic | relaxed\n\
+         \x20 --engine-threads N  worker threads per simulation for the epoch\n\
+         \x20                 engines (PHOTON_ENGINE_THREADS=N does the same;\n\
+         \x20                 default: available parallelism, capped at the CU count)"
     )
 }
 
@@ -99,6 +105,26 @@ pub fn parse_exec_options(args: &mut Vec<String>) -> Result<ExecOptions, String>
                 }
                 let plan = FaultPlan::parse(&v).map_err(|e| format!("--faults: {e}"))?;
                 faults::install(Some(plan));
+            }
+            "--engine" => {
+                let v = it.next().ok_or("--engine needs a value")?;
+                opts.engine_mode = Some(match v.as_str() {
+                    "serial" => EngineMode::Serial,
+                    "deterministic" | "det" => EngineMode::Deterministic,
+                    "relaxed" => EngineMode::Relaxed,
+                    _ => {
+                        return Err(format!(
+                            "--engine: unknown mode {v} (serial | deterministic | relaxed)"
+                        ))
+                    }
+                });
+            }
+            "--engine-threads" => {
+                let v = it.next().ok_or("--engine-threads needs a value")?;
+                opts.engine_threads = Some(
+                    v.parse::<u32>()
+                        .map_err(|_| format!("--engine-threads: not a number: {v}"))?,
+                );
             }
             _ => rest.push(a),
         }

@@ -65,6 +65,11 @@ pub struct ExecOptions {
     /// Replay completed specs from the journal instead of re-simulating
     /// them (requires `journal`).
     pub resume: bool,
+    /// Timing-engine override applied to every spec's machine config
+    /// before running (`--engine`). `None` leaves the specs untouched.
+    pub engine_mode: Option<gpu_sim::EngineMode>,
+    /// Worker-thread override for the epoch engines (`--engine-threads`).
+    pub engine_threads: Option<u32>,
 }
 
 impl Default for ExecOptions {
@@ -79,6 +84,8 @@ impl Default for ExecOptions {
             retry_backoff: Duration::from_millis(50),
             journal: None,
             resume: false,
+            engine_mode: None,
+            engine_threads: None,
         }
     }
 }
@@ -187,6 +194,28 @@ impl ExecReport {
 /// reference cache, so a warm rerun of the same grid performs zero
 /// full-detailed simulations.
 pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> ExecReport {
+    // Engine overrides rewrite the specs up front so everything keyed
+    // on the spec (deduplication, the reference cache, the journal)
+    // sees the machine that actually ran.
+    let overridden: Vec<RunSpec>;
+    let specs: &[RunSpec] = if opts.engine_mode.is_some() || opts.engine_threads.is_some() {
+        overridden = specs
+            .iter()
+            .map(|s| {
+                let mut s = s.clone();
+                if let Some(mode) = opts.engine_mode {
+                    s.gpu.engine.mode = mode;
+                }
+                if let Some(threads) = opts.engine_threads {
+                    s.gpu.engine.threads = threads;
+                }
+                s
+            })
+            .collect();
+        &overridden
+    } else {
+        specs
+    };
     let mut stats = ExecStats {
         jobs: opts.jobs.max(1),
         total: specs.len(),

@@ -15,15 +15,18 @@ use crate::executor::{run_specs, ExecOptions};
 use crate::harness::results_dir;
 use crate::specs::{Method, RunSpec};
 use crate::Table;
-use gpu_sim::GpuConfig;
-use gpu_workloads::registry::Benchmark;
+use gpu_sim::{EngineConfig, EngineMode, GpuConfig};
+use gpu_workloads::dnn::DnnScale;
+use gpu_workloads::registry::{Benchmark, RealWorldApp};
 use photon::Levels;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
 /// Schema version of `BENCH_hot.json`. Bump on layout changes so stale
-/// baselines are rejected instead of misread.
-pub const HOT_SCHEMA_VERSION: u32 = 1;
+/// baselines are rejected instead of misread. Version 2 added the
+/// timing-engine threads sweep (`@det1`/`@det4`/`@relaxed4` cells on
+/// the VGG-16 grid).
+pub const HOT_SCHEMA_VERSION: u32 = 2;
 
 /// File name of the hot-path report under `results/`.
 pub const HOT_REPORT_FILE: &str = "BENCH_hot.json";
@@ -65,15 +68,78 @@ pub struct HotReport {
     pub measurements: Vec<HotMeasurement>,
 }
 
+/// The DNN scale of the threads-sweep cells: small enough that the
+/// sweep stays in CI budget, large enough that per-epoch work dwarfs
+/// the barrier overhead being measured.
+pub fn sweep_scale() -> DnnScale {
+    DnnScale {
+        input_hw: 32,
+        channel_div: 32,
+    }
+}
+
+/// The engine configurations of the threads sweep: serial, the
+/// deterministic epoch engine at 1 and 4 workers, and the relaxed
+/// engine at 4 workers.
+pub fn engine_sweep() -> Vec<EngineConfig> {
+    vec![
+        EngineConfig::default(),
+        EngineConfig {
+            mode: EngineMode::Deterministic,
+            threads: 1,
+            quantum: 0,
+        },
+        EngineConfig {
+            mode: EngineMode::Deterministic,
+            threads: 4,
+            quantum: 0,
+        },
+        EngineConfig {
+            mode: EngineMode::Relaxed,
+            threads: 4,
+            quantum: 0,
+        },
+    ]
+}
+
+/// Renders an engine configuration as the cell-name suffix: serial
+/// keeps the legacy bare method name, the epoch engines append
+/// `@det<threads>` / `@relaxed<threads>`.
+pub fn engine_tag(engine: &EngineConfig) -> String {
+    match engine.mode {
+        EngineMode::Serial => String::new(),
+        EngineMode::Deterministic => format!("@det{}", engine.threads),
+        EngineMode::Relaxed => format!("@relaxed{}", engine.threads),
+    }
+}
+
 /// The fixed hot-path grid: the smoke FIR under full-detailed and full
-/// Photon. Matches [`crate::specs::smoke_grid`] so the detailed-mode
-/// row is the workload the acceptance criterion tracks.
+/// Photon (matching [`crate::specs::smoke_grid`] so the detailed-mode
+/// row is the workload the acceptance criterion tracks), plus the
+/// timing-engine threads sweep — full-detailed VGG-16 under every
+/// [`engine_sweep`] configuration.
 pub fn hot_grid() -> Vec<RunSpec> {
     let gpu = GpuConfig::r9_nano().with_num_cus(4);
-    vec![
+    let mut grid = vec![
         RunSpec::bench(gpu.clone(), Benchmark::Fir, 2048, Method::Full),
-        RunSpec::bench(gpu, Benchmark::Fir, 2048, Method::Photon(Levels::all())),
-    ]
+        RunSpec::bench(
+            gpu.clone(),
+            Benchmark::Fir,
+            2048,
+            Method::Photon(Levels::all()),
+        ),
+    ];
+    for engine in engine_sweep() {
+        let mut g = gpu.clone();
+        g.engine = engine;
+        grid.push(RunSpec::real_world(
+            g,
+            RealWorldApp::Vgg16,
+            sweep_scale(),
+            Method::Full,
+        ));
+    }
+    grid
 }
 
 /// Measures the hot-path grid `iterations` times through the executor
@@ -102,7 +168,7 @@ pub fn run_hot(opts: &ExecOptions, iterations: u32) -> Result<HotReport, String>
             if better {
                 best[i] = Some(HotMeasurement {
                     workload: m.workload.clone(),
-                    method: m.method.clone(),
+                    method: format!("{}{}", m.method, engine_tag(&grid[i].gpu.engine)),
                     warps: m.warps,
                     detailed_insts: m.detailed_insts,
                     total_insts: total,
@@ -163,8 +229,13 @@ pub fn load_hot_report(path: &Path) -> Result<HotReport, String> {
 }
 
 /// Compares a current hot report against a baseline: every baseline
-/// cell must still exist and retain at least `1 - tolerance` of its
-/// insts/sec. Returns one rendered message per regression.
+/// cell must still exist, and every *serial* cell must retain at least
+/// `1 - tolerance` of its insts/sec. Engine-sweep cells (`@`-tagged
+/// methods) are exempt from the throughput floor — their wall time is
+/// dominated by per-epoch thread spawn/join, which jitters far past the
+/// tolerance on contended hosts; [`check_engine_scaling`] gates them on
+/// the det4-vs-serial *ratio* instead, which cancels host noise.
+/// Returns one rendered message per regression.
 pub fn compare_hot(base: &HotReport, cur: &HotReport, tolerance: f64) -> Vec<String> {
     let mut out = Vec::new();
     for b in &base.measurements {
@@ -179,6 +250,9 @@ pub fn compare_hot(base: &HotReport, cur: &HotReport, tolerance: f64) -> Vec<Str
             ));
             continue;
         };
+        if b.method.contains('@') {
+            continue;
+        }
         let floor = b.insts_per_sec * (1.0 - tolerance);
         if c.insts_per_sec < floor {
             out.push(format!(
@@ -193,6 +267,53 @@ pub fn compare_hot(base: &HotReport, cur: &HotReport, tolerance: f64) -> Vec<Str
         }
     }
     out
+}
+
+/// Minimum `Full@det4` / `Full` throughput ratio on the VGG-16 sweep
+/// cells demanded by [`check_engine_scaling`] on machines with at
+/// least four hardware threads.
+pub const ENGINE_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Gates the deterministic engine's parallel scaling: at 4 worker
+/// threads the VGG-16 cell must reach at least
+/// [`ENGINE_SPEEDUP_FLOOR`]× the serial cell's Minsts/s. On hosts
+/// without 4 hardware threads the gate cannot be meaningful (the
+/// workers just time-slice one core), so it returns the skip notice in
+/// `Ok` instead of failing.
+///
+/// # Errors
+/// Returns a rendered message when the sweep cells are missing or the
+/// speedup is below the floor.
+pub fn check_engine_scaling(report: &HotReport) -> Result<String, String> {
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if host_threads < 4 {
+        return Ok(format!(
+            "engine-scaling gate skipped: host has {host_threads} hardware thread(s), \
+             the 4-thread sweep needs 4"
+        ));
+    }
+    let cell = |method: &str| {
+        report
+            .measurements
+            .iter()
+            .find(|m| m.workload == "VGG-16" && m.method == method)
+            .ok_or_else(|| format!("engine-scaling gate: no VGG-16/{method} cell in hot report"))
+    };
+    let serial = cell("Full")?;
+    let det4 = cell("Full@det4")?;
+    let ratio = det4.insts_per_sec / serial.insts_per_sec.max(1e-9);
+    if ratio < ENGINE_SPEEDUP_FLOOR {
+        return Err(format!(
+            "engine-scaling gate: Full@det4 is {ratio:.2}x serial on VGG-16 \
+             (floor {ENGINE_SPEEDUP_FLOOR:.1}x): {:.2}M vs {:.2}M insts/sec",
+            det4.insts_per_sec / 1e6,
+            serial.insts_per_sec / 1e6
+        ));
+    }
+    Ok(format!(
+        "engine-scaling gate: Full@det4 is {ratio:.2}x serial on VGG-16 (floor {:.1}x)",
+        ENGINE_SPEEDUP_FLOOR
+    ))
 }
 
 /// Renders a hot report as an aligned table.
@@ -252,6 +373,24 @@ mod tests {
     }
 
     #[test]
+    fn compare_exempts_engine_sweep_cells_from_throughput_floor() {
+        let sweep = |ips: f64| {
+            let mut r = hot(ips);
+            r.measurements[0].method = "Full@det4".into();
+            r
+        };
+        // A sweep cell that got 10x slower is not a throughput
+        // regression — check_engine_scaling owns those cells.
+        assert!(compare_hot(&sweep(10e6), &sweep(1e6), HOT_REGRESSION_FRAC).is_empty());
+        // But a sweep cell vanishing from the grid is still flagged.
+        let mut gone = sweep(1.0);
+        gone.measurements.clear();
+        let regs = compare_hot(&sweep(10e6), &gone, HOT_REGRESSION_FRAC);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("missing"));
+    }
+
+    #[test]
     fn roundtrip_and_schema_gate() {
         let dir = std::env::temp_dir().join(format!("hot-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -269,14 +408,56 @@ mod tests {
     }
 
     #[test]
-    fn grid_covers_detailed_and_photon() {
+    fn grid_covers_detailed_photon_and_engine_sweep() {
         let grid = hot_grid();
-        assert_eq!(grid.len(), 2);
+        assert_eq!(grid.len(), 2 + engine_sweep().len());
         assert_eq!(grid[0].method, Method::Full);
         assert!(matches!(grid[1].method, Method::Photon(_)));
         // Same workload cell as the smoke grid, so the detailed-mode
         // acceptance row tracks the CI smoke workload.
         let smoke = crate::specs::smoke_grid();
         assert_eq!(grid[0].workload, smoke[0].workload);
+        // The sweep cells are all full-detailed VGG-16 and differ only
+        // in the engine configuration, so their throughput ratios
+        // isolate the engine.
+        let tags: Vec<String> = grid[2..]
+            .iter()
+            .map(|s| {
+                assert_eq!(s.method, Method::Full);
+                assert_eq!(s.workload.name(), "VGG-16");
+                engine_tag(&s.gpu.engine)
+            })
+            .collect();
+        assert_eq!(tags, ["", "@det1", "@det4", "@relaxed4"]);
+    }
+
+    #[test]
+    fn engine_scaling_gate_reads_sweep_cells() {
+        let mk = |method: &str, ips: f64| HotMeasurement {
+            workload: "VGG-16".into(),
+            method: method.into(),
+            warps: 0,
+            detailed_insts: 1000,
+            total_insts: 1000,
+            wall_secs: 1.0,
+            insts_per_sec: ips,
+        };
+        let mut report = hot(10e6);
+        report.measurements.push(mk("Full", 1e6));
+        report.measurements.push(mk("Full@det4", 2.5e6));
+        let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let msg = check_engine_scaling(&report).expect("above the floor");
+        if host_threads < 4 {
+            assert!(msg.contains("skipped"), "{msg}");
+            return; // The remaining assertions need the gate armed.
+        }
+        assert!(msg.contains("2.50x"), "{msg}");
+        // Below the floor: fails.
+        report.measurements.last_mut().unwrap().insts_per_sec = 1.5e6;
+        let err = check_engine_scaling(&report).unwrap_err();
+        assert!(err.contains("floor"), "{err}");
+        // Missing cell: fails.
+        report.measurements.pop();
+        assert!(check_engine_scaling(&report).is_err());
     }
 }

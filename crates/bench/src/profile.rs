@@ -147,14 +147,33 @@ pub fn render_report(report: &RunReport) -> String {
 }
 
 /// Compares matching (workload, method) runs of two reports and flags
-/// stall classes whose share of resident warp-cycles grew by more than
-/// `threshold` (absolute share, e.g. 0.05 = five percentage points).
+/// (a) stall classes whose share of resident warp-cycles grew by more
+/// than `threshold` (absolute share, e.g. 0.05 = five percentage
+/// points) and (b) total simulated cycles that drifted by more than
+/// the same `threshold` as a fraction of the baseline. The cycle bound
+/// is what CI holds the relaxed epoch engine to: `profile diff
+/// <serial-smoke> <relaxed-smoke>` fails when relaxed-mode timing
+/// error leaves the documented envelope.
 pub fn diff_reports(base: &RunReport, cur: &RunReport, threshold: f64) -> Vec<String> {
     let mut flagged = Vec::new();
     for cur_run in &cur.runs {
         let Some(base_run) = base.runs.iter().find(|r| r.method == cur_run.method) else {
             continue;
         };
+        if base_run.sim_cycles > 0 {
+            let drift = (cur_run.sim_cycles as f64 - base_run.sim_cycles as f64).abs()
+                / base_run.sim_cycles as f64;
+            if drift > threshold {
+                flagged.push(format!(
+                    "{} / {}: simulated cycles drifted {:.1}% ({} -> {})",
+                    cur.workload,
+                    cur_run.method,
+                    drift * 100.0,
+                    base_run.sim_cycles,
+                    cur_run.sim_cycles
+                ));
+            }
+        }
         let (Some(ba), Some(ca)) = (&base_run.accounting, &cur_run.accounting) else {
             continue;
         };
@@ -244,6 +263,7 @@ mod tests {
                     classes: [0; STALL_CLASSES],
                 },
             ],
+            shards: Vec::new(),
         }
     }
 
@@ -338,6 +358,30 @@ mod tests {
         let s = render_report(&rep);
         assert!(s.contains("resident total"), "{s}");
         assert!(s.contains("fir / sieve: no accounting data"), "{s}");
+    }
+
+    #[test]
+    fn diff_flags_cycle_drift() {
+        let base = report(vec![run(
+            "full",
+            Some(acct([90, 0, 10, 0, 0, 0, 0, 0])),
+            vec![],
+        )]);
+        let mut cur = report(vec![run(
+            "full",
+            Some(acct([90, 0, 10, 0, 0, 0, 0, 0])),
+            vec![],
+        )]);
+        // 4% drift stays under a 5% bound, 8% does not.
+        cur.runs[0].sim_cycles = 104;
+        assert!(diff_reports(&base, &cur, 0.05).is_empty());
+        cur.runs[0].sim_cycles = 108;
+        let flagged = diff_reports(&base, &cur, 0.05);
+        assert_eq!(flagged.len(), 1, "{flagged:?}");
+        assert!(flagged[0].contains("cycles drifted"), "{flagged:?}");
+        // Drift in either direction is an error, not just slowdowns.
+        cur.runs[0].sim_cycles = 92;
+        assert_eq!(diff_reports(&base, &cur, 0.05).len(), 1);
     }
 
     #[test]

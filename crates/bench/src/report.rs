@@ -233,10 +233,11 @@ pub fn histogram_summary(reports: &[RunReport]) -> Table {
 
 /// Renders every counter and gauge carried by the reports' metric
 /// snapshots that describes executor health — abandoned worker threads,
-/// quarantined cache entries, watchdog aborts, refused IPC aborts — so
-/// `report show` surfaces leaks and guardrail activity. Zero-valued
-/// entries are kept: "0 abandoned threads" is the healthy reading, not
-/// noise.
+/// quarantined cache entries, watchdog aborts, refused IPC aborts,
+/// timing-engine shard load (`engine.shard.<i>.busy_cycles`) and epoch
+/// imbalance — so `report show` surfaces leaks, guardrail activity,
+/// and lopsided shard partitions. Zero-valued entries are kept: "0
+/// abandoned threads" is the healthy reading, not noise.
 pub fn gauge_summary(reports: &[RunReport]) -> Table {
     const HEALTH: &[&str] = &[
         "exec.abandoned_threads",
@@ -245,20 +246,28 @@ pub fn gauge_summary(reports: &[RunReport]) -> Table {
         "refcache.quarantined",
         "sim.watchdog.aborts",
         "sim.ipc_abort.refused",
+        "engine.epochs",
+        "engine.relaxed.clamped_cycles",
     ];
+    // Per-instance metric families are matched on prefix: shard count
+    // depends on the machine config, so the names cannot be
+    // enumerated statically.
+    const HEALTH_PREFIXES: &[&str] = &["engine.shard.", "engine.epoch."];
+    let is_health =
+        |name: &str| HEALTH.contains(&name) || HEALTH_PREFIXES.iter().any(|p| name.starts_with(p));
     let mut t = Table::new(&["workload", "metric", "value"]);
     for r in reports {
         for g in &r.metrics.gauges {
-            if HEALTH.contains(&g.name.as_str()) {
+            if is_health(&g.name) {
                 t.row(vec![
                     r.workload.clone(),
                     g.name.clone(),
-                    format!("{:.0}", g.value),
+                    format!("{:.2}", g.value),
                 ]);
             }
         }
         for c in &r.metrics.counters {
-            if HEALTH.contains(&c.name.as_str()) {
+            if is_health(&c.name) {
                 t.row(vec![
                     r.workload.clone(),
                     c.name.clone(),
@@ -397,6 +406,34 @@ mod tests {
         // Empty histograms are elided entirely.
         report.metrics.histograms.clear();
         assert!(histogram_summary(std::slice::from_ref(&report)).is_empty());
+    }
+
+    #[test]
+    fn gauge_summary_surfaces_engine_shard_metrics() {
+        let tel = gpu_telemetry::Telemetry::default();
+        tel.counter("engine.shard.0.busy_cycles").add(400);
+        tel.counter("engine.shard.1.busy_cycles").add(100);
+        tel.counter("engine.epochs").add(12);
+        tel.gauge("engine.epoch.imbalance").set(1.6);
+        tel.counter("sim.unrelated.metric").add(1);
+        let report = build_report(
+            "vgg",
+            &[RunOutcome::Completed(meas("Full", 1000, 2.0))],
+            tel.snapshot(),
+        );
+        let rendered = gauge_summary(std::slice::from_ref(&report)).render();
+        assert!(
+            rendered.contains("engine.shard.0.busy_cycles"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("engine.shard.1.busy_cycles"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("engine.epochs"), "{rendered}");
+        assert!(rendered.contains("engine.epoch.imbalance"), "{rendered}");
+        assert!(rendered.contains("1.60"), "{rendered}");
+        assert!(!rendered.contains("unrelated"), "{rendered}");
     }
 
     #[test]

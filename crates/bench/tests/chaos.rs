@@ -542,6 +542,32 @@ fn resume_simulates_only_the_specs_missing_from_the_journal() {
 }
 
 #[test]
+fn engine_epoch_stall_slows_workers_without_changing_results() {
+    let _g = lock_faults();
+    // Deterministic epoch engine at 4 worker threads: injected barrier
+    // stalls (a slow/descheduled worker) may cost wall time but must be
+    // invisible in every simulated metric — the epoch protocol commits
+    // shard effects in canonical order regardless of worker timing.
+    let run = || {
+        let mut cfg = GpuConfig::tiny();
+        cfg.engine.mode = gpu_sim::EngineMode::Deterministic;
+        cfg.engine.threads = 4;
+        let mut gpu = GpuSimulator::new(cfg);
+        let app = gpu_workloads::fir::build(&mut gpu, 64, 7);
+        app.run(&mut gpu, &mut gpu_sim::NullController).unwrap();
+        gpu.telemetry().snapshot()
+    };
+    let clean = run();
+    set_faults("engine.epoch.stall:0.05:7");
+    let stalled = run();
+    assert!(faults::injected(FaultSite::EngineEpochStall) >= 1);
+    assert_eq!(
+        clean, stalled,
+        "barrier stalls must not leak into simulation results"
+    );
+}
+
+#[test]
 fn torn_journal_lines_force_a_rerun_instead_of_a_bad_replay() {
     let _g = lock_faults();
     let dir = temp_dir("journal-torn");

@@ -300,6 +300,82 @@ impl MemoryHierarchy {
         self.published = self.delays;
     }
 
+    /// Services one vector transaction — the line set of a coalesced
+    /// warp access — entering the hierarchy at `issue_at`. Returns the
+    /// completion cycle (max over lines) and the queue cycles the
+    /// transaction accumulated across all levels.
+    ///
+    /// This is the typed front door the timing engine uses; it is the
+    /// single-request form of [`MemoryHierarchy::service`].
+    pub fn service_vector(
+        &mut self,
+        cu: usize,
+        lines: &[u64],
+        write: bool,
+        issue_at: Cycle,
+    ) -> MemResponse {
+        let kind = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let q0 = self.queue_cycles();
+        let mut done = issue_at;
+        for &line in lines {
+            done = done.max(self.access_line(cu, line, kind, issue_at));
+        }
+        MemResponse {
+            warp: 0,
+            req_cycle: issue_at,
+            done,
+            queued: self.queue_cycles() - q0,
+        }
+    }
+
+    /// Services one scalar (constant/argument) load issued at `now`.
+    pub fn service_scalar(&mut self, cu: usize, addr: u64, now: Cycle) -> MemResponse {
+        let q0 = self.queue_cycles();
+        let done = self.scalar_access(cu, addr, now);
+        MemResponse {
+            warp: 0,
+            req_cycle: now,
+            done,
+            queued: self.queue_cycles() - q0,
+        }
+    }
+
+    /// Services one queued [`MemRequest`]. `lines` must be the slice the
+    /// owning [`MemPort`] stored for the request (empty for scalars).
+    pub fn service(&mut self, req: &MemRequest, lines: &[u64]) -> MemResponse {
+        let mut resp = if req.scalar {
+            self.service_scalar(req.cu as usize, req.addr, req.issue_at)
+        } else {
+            self.service_vector(req.cu as usize, lines, req.write, req.issue_at)
+        };
+        resp.warp = req.warp;
+        resp.req_cycle = req.req_cycle;
+        resp
+    }
+
+    /// Drains one port in submission order: every queued request is
+    /// serviced and its response appended to the port's response queue.
+    /// This is the serial-engine path; the epoch coordinator instead
+    /// interleaves requests from many ports in canonical cycle order via
+    /// [`MemoryHierarchy::service`].
+    pub fn service_port(&mut self, port: &mut MemPort) {
+        for i in 0..port.requests.len() {
+            let resp = {
+                let req = &port.requests[i];
+                let (a, b) = req.lines;
+                let lines = &port.lines[a as usize..b as usize];
+                self.service(req, lines)
+            };
+            port.responses.push(resp);
+        }
+        port.requests.clear();
+        port.lines.clear();
+    }
+
     /// Snapshot of the accumulated statistics (registry counters).
     pub fn stats(&self) -> MemStats {
         MemStats {
@@ -314,6 +390,140 @@ impl MemoryHierarchy {
             l2_evictions: self.l2_ctr.evictions.get(),
             dram_accesses: self.dram_ctr.get(),
         }
+    }
+}
+
+/// One typed request crossing the engine↔memory boundary.
+///
+/// `req_cycle` is the engine cycle of the handler that produced the
+/// request (the canonical service-order key); `issue_at` is when the
+/// transaction actually enters the hierarchy (after the engine's issue
+/// latency). `warp` is an engine-defined tag echoed back on the
+/// response so the producer can route completions without keeping its
+/// own map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    pub cu: u32,
+    pub warp: u32,
+    pub req_cycle: Cycle,
+    pub issue_at: Cycle,
+    pub write: bool,
+    pub scalar: bool,
+    /// Scalar address (scalar requests only).
+    pub addr: u64,
+    /// Range into the owning port's line arena (vector requests only).
+    lines: (u32, u32),
+}
+
+/// Completion of one [`MemRequest`]: the cycle the data is back plus
+/// the queue cycles the transaction spent waiting on busy resources
+/// (the engine charges those to `MemQueueFull`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemResponse {
+    pub warp: u32,
+    pub req_cycle: Cycle,
+    pub done: Cycle,
+    pub queued: u64,
+}
+
+/// A typed request/response queue pair between one event domain (CU
+/// shard) and the shared L2/DRAM model.
+///
+/// Producers `submit_*` requests during an epoch; the hierarchy owner
+/// drains them (in submission order via
+/// [`MemoryHierarchy::service_port`], or interleaved across ports in
+/// canonical `(req_cycle, warp)` order by the epoch coordinator) and
+/// pushes [`MemResponse`]s back. Line addresses live in a per-port
+/// arena so a request is `Copy` and submission never allocates per
+/// lane. The queue is deliberately dumb — MSHR merging and NoC
+/// contention (ROADMAP item 4) slot in behind this interface without
+/// touching the engine.
+#[derive(Debug, Default)]
+pub struct MemPort {
+    lines: Vec<u64>,
+    requests: Vec<MemRequest>,
+    responses: Vec<MemResponse>,
+}
+
+impl MemPort {
+    pub fn new() -> Self {
+        MemPort::default()
+    }
+
+    /// Queues a coalesced vector access. Returns the request index
+    /// (responses produced by in-order draining preserve indices).
+    pub fn submit_vector(
+        &mut self,
+        cu: u32,
+        warp: u32,
+        req_cycle: Cycle,
+        issue_at: Cycle,
+        write: bool,
+        lines: &[u64],
+    ) -> usize {
+        let a = self.lines.len() as u32;
+        self.lines.extend_from_slice(lines);
+        let b = self.lines.len() as u32;
+        self.requests.push(MemRequest {
+            cu,
+            warp,
+            req_cycle,
+            issue_at,
+            write,
+            scalar: false,
+            addr: 0,
+            lines: (a, b),
+        });
+        self.requests.len() - 1
+    }
+
+    /// Queues a scalar load issued at `req_cycle`.
+    pub fn submit_scalar(&mut self, cu: u32, warp: u32, req_cycle: Cycle, addr: u64) -> usize {
+        self.requests.push(MemRequest {
+            cu,
+            warp,
+            req_cycle,
+            issue_at: req_cycle,
+            write: false,
+            scalar: true,
+            addr,
+            lines: (0, 0),
+        });
+        self.requests.len() - 1
+    }
+
+    /// Pending (unserviced) requests, in submission order.
+    pub fn requests(&self) -> &[MemRequest] {
+        &self.requests
+    }
+
+    /// The line slice backing a vector request.
+    pub fn request_lines(&self, req: &MemRequest) -> &[u64] {
+        let (a, b) = req.lines;
+        &self.lines[a as usize..b as usize]
+    }
+
+    /// Appends a response produced by an out-of-band drain (the epoch
+    /// coordinator services requests across many ports in canonical
+    /// order, then pushes each response back to its origin port).
+    pub fn push_response(&mut self, resp: MemResponse) {
+        self.responses.push(resp);
+    }
+
+    /// Marks all pending requests as consumed (the coordinator has
+    /// serviced them via [`MemoryHierarchy::service`]).
+    pub fn clear_requests(&mut self) {
+        self.requests.clear();
+        self.lines.clear();
+    }
+
+    /// Drains accumulated responses, in the order they were pushed.
+    pub fn take_responses(&mut self, out: &mut Vec<MemResponse>) {
+        out.append(&mut self.responses);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty() && self.responses.is_empty()
     }
 }
 
@@ -441,6 +651,57 @@ mod tests {
             .find(|s| s.name == "mem.l1v.queue_delay")
             .expect("published histogram");
         assert_eq!(hist2.count, q.l1v.count);
+    }
+
+    #[test]
+    fn port_drain_matches_direct_access() {
+        // The same request stream through a MemPort must produce the
+        // same completion cycles and bank state as direct calls.
+        let mut direct = MemoryHierarchy::new(small_config());
+        let mut ported = MemoryHierarchy::new(small_config());
+        let mut port = MemPort::new();
+
+        let d1 = direct.service_vector(0, &[1, 2], false, 10);
+        let d2 = direct.service_vector(1, &[2], true, 12);
+        let d3 = direct.service_scalar(0, 0x80, 14);
+
+        port.submit_vector(0, 7, 10, 10, false, &[1, 2]);
+        port.submit_vector(1, 8, 12, 12, true, &[2]);
+        port.submit_scalar(0, 9, 14, 0x80);
+        ported.service_port(&mut port);
+
+        let mut resps = Vec::new();
+        port.take_responses(&mut resps);
+        assert_eq!(resps.len(), 3);
+        assert_eq!(resps[0].done, d1.done);
+        assert_eq!(resps[0].queued, d1.queued);
+        assert_eq!(resps[0].warp, 7);
+        assert_eq!(resps[1].done, d2.done);
+        assert_eq!(resps[2].done, d3.done);
+        assert_eq!(resps[2].warp, 9);
+        assert!(port.is_empty());
+        assert_eq!(direct.stats().l1v_misses, ported.stats().l1v_misses);
+        assert_eq!(direct.stats().dram_accesses, ported.stats().dram_accesses);
+    }
+
+    #[test]
+    fn out_of_band_service_preserves_request_tags() {
+        let mut h = MemoryHierarchy::new(small_config());
+        let mut port = MemPort::new();
+        port.submit_vector(2, 41, 5, 9, false, &[100, 101]);
+        let reqs: Vec<MemRequest> = port.requests().to_vec();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(port.request_lines(&reqs[0]), &[100, 101]);
+        let resp = {
+            let lines: Vec<u64> = port.request_lines(&reqs[0]).to_vec();
+            h.service(&reqs[0], &lines)
+        };
+        assert_eq!(resp.warp, 41);
+        assert_eq!(resp.req_cycle, 5);
+        assert!(resp.done > 9);
+        port.clear_requests();
+        port.push_response(resp);
+        assert!(!port.is_empty());
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub use addr::{AddressSpace, U64HashBuilder, U64Hasher};
 pub use alloc::{AllocError, BumpAllocator};
 pub use cache::{AccessKind, Cache, CacheAccess};
 pub use config::{CacheConfig, DramConfig, MemHierarchyConfig};
-pub use hierarchy::{coalesce_lines, coalesce_lines_into, push_lines, MemoryHierarchy, LINE_BYTES};
+pub use hierarchy::{
+    coalesce_lines, coalesce_lines_into, push_lines, MemPort, MemRequest, MemResponse,
+    MemoryHierarchy, LINE_BYTES,
+};
 pub use stats::{MemStats, QueueDelayHist, QueueDelays, QDELAY_BUCKETS};
 
 /// A simulation cycle count.

@@ -102,10 +102,36 @@ impl<T: Copy + Ord> CalendarQueue<T> {
         self.seq
     }
 
+    /// The window start: the cycle of the last popped event (or the
+    /// `start` the queue was created with). Nothing may be pushed
+    /// before it. The epoch coordinator uses this as a shard's local
+    /// progress point when clamping relaxed-mode wakeups.
+    pub fn base(&self) -> Cycle {
+        self.base
+    }
+
+    /// The cycle of the earliest queued event without popping it, or
+    /// `None` when empty. Wheel events always precede overflow events
+    /// (overflow holds only cycles `>= base + WHEEL`), so the wheel
+    /// scan wins whenever it finds anything.
+    pub fn next_cycle(&self) -> Option<Cycle> {
+        self.next_wheel_cycle()
+            .or_else(|| self.overflow.peek().map(|&Reverse((c, _, _))| c))
+    }
+
     /// Enqueues `ev` at `cycle`. Must not be in the past of the last
     /// popped event.
+    ///
+    /// # Panics
+    /// Panics when `cycle < base`: a queue warm-started at cycle C (a
+    /// shard created mid-simulation) or already advanced past `cycle`
+    /// would otherwise silently alias the event into a *future* bucket
+    /// (`cycle & (WHEEL-1)` collides with some in-window cycle) and
+    /// corrupt event order. This was a debug-only assert before the
+    /// engine grew sharded domains; warm starts make it a real
+    /// boundary condition, so it is now checked in release builds too.
     pub fn push(&mut self, cycle: Cycle, ev: T) {
-        debug_assert!(
+        assert!(
             cycle >= self.base,
             "event pushed into the past: {cycle} < base {}",
             self.base
@@ -287,6 +313,65 @@ mod tests {
         q.push(start, 2); // bucket WHEEL-3
         assert_eq!(q.pop(), Some((start, 2)));
         assert_eq!(q.pop(), Some((start + 5, 1)));
+    }
+
+    #[test]
+    fn warm_start_at_nonzero_cycle_keeps_order_under_drain() {
+        // A shard created mid-simulation starts its wheel at cycle C.
+        // In-window pushes, far-future overflow pushes, and the
+        // overflow refill during drain must all behave exactly as they
+        // do from cycle 0 — no bucket aliasing from the non-zero base.
+        let c: Cycle = 123_457; // deliberately not a multiple of WHEEL
+        let mut q = CalendarQueue::new(c);
+        let mut model = HeapModel::default();
+        let far = c + WHEEL as Cycle + 9; // overflow at push time
+        for (cycle, ev) in [
+            (far, 1u32),
+            (c, 2),
+            (c + WHEEL as Cycle - 1, 3), // last in-window bucket
+            (far, 4),
+            (c + 7, 5),
+        ] {
+            q.push(cycle, ev);
+            model.push(cycle, ev);
+        }
+        assert_eq!(q.next_cycle(), Some(c));
+        assert_eq!(q.base(), c);
+        // Drain two, which advances base past c; refill of `far` events
+        // must preserve push order relative to a late direct push.
+        assert_eq!(q.pop(), model.pop());
+        assert_eq!(q.pop(), model.pop());
+        q.push(far, 6);
+        model.push(far, 6);
+        loop {
+            let got = q.pop();
+            assert_eq!(got, model.pop());
+            if got.is_none() {
+                break;
+            }
+        }
+        assert_eq!(q.base(), far);
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed into the past")]
+    fn warm_start_rejects_pushes_before_the_window() {
+        // Without the hard assert this would alias bucket (C-1) & 1023
+        // with a *future* in-window cycle and pop out of order.
+        let mut q = CalendarQueue::new(50_000);
+        q.push(49_999, 1u32);
+    }
+
+    #[test]
+    fn next_cycle_peeks_wheel_then_overflow() {
+        let mut q = CalendarQueue::new(10);
+        assert_eq!(q.next_cycle(), None);
+        q.push(10 + WHEEL as Cycle + 100, 1u32); // overflow only
+        assert_eq!(q.next_cycle(), Some(10 + WHEEL as Cycle + 100));
+        q.push(15, 2); // wheel event now wins
+        assert_eq!(q.next_cycle(), Some(15));
+        assert_eq!(q.pop(), Some((15, 2)));
+        assert_eq!(q.next_cycle(), Some(10 + WHEEL as Cycle + 100));
     }
 
     /// Randomized equivalence against the old heap: monotone pushes

@@ -88,6 +88,58 @@ impl Default for WatchdogConfig {
     }
 }
 
+/// How the timing engine executes one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineMode {
+    /// The single event domain of PRs 1–7: one calendar queue over all
+    /// CUs, memory serviced inline. The reference for golden cycles.
+    Serial,
+    /// One event domain per CU, advanced in lock-step epochs whose
+    /// quantum never exceeds the shortest cross-domain latency, so
+    /// results are bit-identical at any thread count.
+    Deterministic,
+    /// Epoch-parallel with a large quantum; memory wakeups that land
+    /// before a shard's local progress point are clamped forward. Still
+    /// run-to-run deterministic, but cycles differ from `Serial` by a
+    /// bounded error measured via `engine.epoch.clamped` telemetry and
+    /// gated by `profile diff`.
+    Relaxed,
+}
+
+/// Execution-mode selection for the sharded timing engine.
+///
+/// `threads == 0` means "resolve at run time" — from
+/// `PHOTON_ENGINE_THREADS`, falling back to the machine's available
+/// parallelism. Keeping the serialized form thread-agnostic matters:
+/// run results must not depend on worker count (the deterministic mode
+/// guarantees it, the relaxed mode preserves it by clamping against
+/// shard-local state only), so cache keys and wire specs stay valid
+/// across machines.
+///
+/// `quantum == 0` picks the mode's safe default: for
+/// [`EngineMode::Deterministic`] the largest provably-safe quantum (see
+/// [`GpuConfig::resolved_quantum`]), for [`EngineMode::Relaxed`] a
+/// throughput-oriented 64 cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    pub mode: EngineMode,
+    pub threads: u32,
+    pub quantum: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mode: EngineMode::Serial,
+            threads: 0,
+            quantum: 0,
+        }
+    }
+}
+
+/// Quantum for relaxed mode when the config leaves it at 0.
+pub const RELAXED_QUANTUM_DEFAULT: u64 = 64;
+
 /// Full configuration of one simulated GPU.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GpuConfig {
@@ -113,6 +165,9 @@ pub struct GpuConfig {
     pub max_insts_per_warp: u64,
     /// Launch-level watchdog bounds (cycle fuel, stall detection).
     pub watchdog: WatchdogConfig,
+    /// Timing-engine execution mode (serial / deterministic epochs /
+    /// relaxed epochs).
+    pub engine: EngineConfig,
 }
 
 impl GpuConfig {
@@ -130,6 +185,7 @@ impl GpuConfig {
             ipc_window: 2048,
             max_insts_per_warp: 100_000_000,
             watchdog: WatchdogConfig::default(),
+            engine: EngineConfig::default(),
         }
     }
 
@@ -147,6 +203,7 @@ impl GpuConfig {
             ipc_window: 2048,
             max_insts_per_warp: 100_000_000,
             watchdog: WatchdogConfig::default(),
+            engine: EngineConfig::default(),
         }
     }
 
@@ -169,6 +226,7 @@ impl GpuConfig {
                 cycle_fuel: 100_000_000,
                 stall_cycles: 1_000_000,
             },
+            engine: EngineConfig::default(),
         }
     }
 
@@ -184,6 +242,77 @@ impl GpuConfig {
         self.num_cus = n;
         self.mem.num_cus = n as u64;
         self
+    }
+
+    /// Returns the configuration with the given engine mode, leaving
+    /// threads and quantum on automatic.
+    pub fn with_engine_mode(mut self, mode: EngineMode) -> Self {
+        self.engine = EngineConfig {
+            mode,
+            ..EngineConfig::default()
+        };
+        self
+    }
+
+    /// The epoch quantum this configuration actually runs with.
+    ///
+    /// Deterministic mode must never let a cross-shard effect land
+    /// inside the epoch that produced it. The three cross-shard paths
+    /// and their minimum distances are:
+    ///
+    /// * workgroup dispatch after a retirement: `lat.dispatch` cycles,
+    /// * a scalar-load response: `mem.l1s.hit_latency` cycles,
+    /// * a vector-load response: `lat.mem_issue + mem.l1v.hit_latency`.
+    ///
+    /// The safe quantum is the minimum of the three; an explicit
+    /// `engine.quantum` is clamped to it. Relaxed mode has no safety
+    /// bound (late wakeups are clamped forward instead), so it takes
+    /// the configured value or [`RELAXED_QUANTUM_DEFAULT`].
+    pub fn resolved_quantum(&self) -> u64 {
+        let safe = self
+            .lat
+            .dispatch
+            .min(self.mem.l1s.hit_latency)
+            .min(self.lat.mem_issue + self.mem.l1v.hit_latency)
+            .max(1);
+        match self.engine.mode {
+            EngineMode::Serial => 0,
+            EngineMode::Deterministic => {
+                if self.engine.quantum == 0 {
+                    safe
+                } else {
+                    self.engine.quantum.min(safe)
+                }
+            }
+            EngineMode::Relaxed => {
+                if self.engine.quantum == 0 {
+                    RELAXED_QUANTUM_DEFAULT
+                } else {
+                    self.engine.quantum
+                }
+            }
+        }
+    }
+
+    /// The worker-thread count this configuration actually runs with:
+    /// the configured value, else `PHOTON_ENGINE_THREADS`, else the
+    /// machine's available parallelism — always capped by the shard
+    /// count (one shard per CU, so extra threads would only spin).
+    pub fn resolved_threads(&self) -> u32 {
+        let n = if self.engine.threads != 0 {
+            self.engine.threads
+        } else {
+            std::env::var("PHOTON_ENGINE_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<u32>().ok())
+                .filter(|&v| v > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|p| p.get() as u32)
+                        .unwrap_or(1)
+                })
+        };
+        n.clamp(1, self.num_cus.max(1))
     }
 }
 
@@ -207,6 +336,51 @@ mod tests {
         let l = LatencyConfig::default();
         assert!(l.valu_slow > l.valu);
         assert!(l.salu > 0 && l.branch > 0);
+    }
+
+    #[test]
+    fn engine_defaults_to_serial_with_auto_everything() {
+        let c = GpuConfig::r9_nano();
+        assert_eq!(c.engine, EngineConfig::default());
+        assert_eq!(c.engine.mode, EngineMode::Serial);
+        assert_eq!(c.resolved_quantum(), 0);
+    }
+
+    #[test]
+    fn deterministic_quantum_is_bounded_by_cross_shard_latencies() {
+        let mut c = GpuConfig::tiny().with_engine_mode(EngineMode::Deterministic);
+        // Defaults: dispatch 10, l1s hit 24, mem_issue 4 + l1v hit 28.
+        assert_eq!(c.resolved_quantum(), 10);
+        c.engine.quantum = 4;
+        assert_eq!(c.resolved_quantum(), 4);
+        c.engine.quantum = 1_000; // clamped to the safe bound
+        assert_eq!(c.resolved_quantum(), 10);
+    }
+
+    #[test]
+    fn relaxed_quantum_takes_the_configured_value() {
+        let mut c = GpuConfig::tiny().with_engine_mode(EngineMode::Relaxed);
+        assert_eq!(c.resolved_quantum(), RELAXED_QUANTUM_DEFAULT);
+        c.engine.quantum = 256;
+        assert_eq!(c.resolved_quantum(), 256);
+    }
+
+    #[test]
+    fn threads_are_capped_by_shard_count() {
+        let mut c = GpuConfig::tiny();
+        c.engine.threads = 64;
+        assert_eq!(c.resolved_threads(), 4); // one shard per CU
+        c.engine.threads = 2;
+        assert_eq!(c.resolved_threads(), 2);
+    }
+
+    #[test]
+    fn engine_config_round_trips_through_serde() {
+        let c = GpuConfig::tiny().with_engine_mode(EngineMode::Relaxed);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: GpuConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.engine.mode, EngineMode::Relaxed);
+        assert_eq!(back, c);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The cycle-level timing engine.
+//! The cycle-level timing engine (coordinator side).
 //!
 //! The model: workgroups are dispatched to compute units under resource
 //! constraints (wavefront slots, LDS, workgroups-per-CU); each CU has
@@ -10,13 +10,25 @@
 //! [`gpu_mem::MemoryHierarchy`] with queueing contention; `s_barrier`
 //! parks warps until the whole workgroup arrives.
 //!
-//! The engine is event-driven (an indexed calendar queue of warp-ready
+//! The engine is event-driven (indexed calendar queues of warp-ready
 //! events, see [`crate::calendar`]), so simulation cost scales with
 //! executed instructions rather than elapsed cycles. The
 //! per-instruction path is allocation-free: coalesced memory lines land
 //! in a reusable scratch buffer, instruction latencies come from tables
 //! precomputed at kernel start, and event scheduling is O(1) (see
 //! DESIGN.md, "Engine hot path").
+//!
+//! Since the sharding refactor the per-warp machinery lives in
+//! [`crate::shard`]: every kernel run is split into CU-shard event
+//! domains that reach shared memory only through typed
+//! [`gpu_mem::MemPort`]s. This module is the *coordinator*: it owns the
+//! dispatcher (resource pools are global), the IPC windows, the
+//! watchdog, and the shared [`gpu_mem::MemoryHierarchy`]. Under
+//! [`EngineMode::Serial`] there is exactly one shard spanning every CU,
+//! serviced inline ([`Backend::Direct`]) — bit-identical to the
+//! pre-shard engine. The epoch-parallel modes (one shard per CU,
+//! lock-step quanta, see [`crate::epoch`]) reuse the same shard code
+//! with deferred ports.
 //!
 //! Sampling is mechanically supported in three ways, steered by a
 //! [`SamplingController`]:
@@ -29,28 +41,24 @@
 //! * detailed simulation can be aborted with a stable IPC and
 //!   extrapolated (the PKA mechanism).
 
-use crate::calendar::CalendarQueue;
-use crate::config::{GpuConfig, LatencyConfig};
-use crate::controller::BbRecord;
+use crate::config::{EngineMode, GpuConfig, WatchdogConfig};
 use crate::controller::{
-    KernelDirective, KernelStartAccess, NullController, SamplingController, WarpRecord, WgMode,
+    KernelDirective, KernelStartAccess, NullController, SamplingController, WgMode,
 };
 use crate::error::{SimError, StuckWarp, WatchdogSnapshot};
 use crate::exec::{step, LaunchEnv, StepEffect};
 use crate::functional::{run_wg_functional, trace_warp_isolated};
-
-use crate::result::{AppResult, BbAccounting, KernelResult};
-use crate::warp::{WarpState, WarpTrace};
-use gpu_isa::{BasicBlockId, InstClass, KernelLaunch};
-use gpu_mem::{AccessKind, AddressSpace, BumpAllocator, Cycle, MemStats, MemoryHierarchy};
+use crate::result::{AppResult, KernelResult};
+use crate::shard::{close_wait, Backend, CtrlSink, EvKind, RunAccounting, Shard, ShardStop};
+use crate::shard::{SimHooks, WarpSeed};
+use crate::warp::WarpTrace;
+use gpu_isa::KernelLaunch;
+use gpu_mem::{AddressSpace, BumpAllocator, Cycle, MemStats, MemoryHierarchy};
 use gpu_telemetry::faults::{self, FaultSite};
 use gpu_telemetry::{
-    AbortKind, Counter, CuAccounting, CycleAccounting, EventKind, Histogram, SampleMode,
-    StallClass, StallWindow, Telemetry, Trace, TraceEvent, STALL_CLASSES,
+    AbortKind, Counter, EventKind, SampleMode, StallClass, StallWindow, Telemetry, TraceEvent,
 };
 
-/// Base address of the kernel-argument buffer (for scalar-cache timing).
-const ARG_BASE: u64 = 0x100;
 /// First allocatable device address.
 const HEAP_BASE: u64 = 0x1000;
 
@@ -99,8 +107,8 @@ struct SimCounters {
     detailed_warps: Counter,
     predicted_warps: Counter,
     cycles: Counter,
-    /// Timing events scheduled (`sim.events`) — the calendar queue's
-    /// push count, bulk-recorded at kernel end.
+    /// Timing events scheduled (`sim.events`) — the calendar queues'
+    /// push counts, bulk-recorded at kernel end.
     events: Counter,
 }
 
@@ -131,20 +139,6 @@ impl SimCounters {
     }
 }
 
-/// Telemetry handles threaded into [`KernelRun`]: the trace emitter
-/// plus the duration histograms fed at warp/block granularity.
-#[derive(Debug, Clone)]
-struct SimHooks {
-    trace: Trace,
-    warp_duration: Histogram,
-    bb_duration: Histogram,
-    watchdog_aborts: Counter,
-    /// Controller abort verdicts refused because the reported IPC was
-    /// non-finite or non-positive (the run stays detailed instead of
-    /// extrapolating nonsense).
-    ipc_abort_refused: Counter,
-}
-
 impl SimHooks {
     fn new(tel: &Telemetry) -> Self {
         SimHooks {
@@ -158,7 +152,7 @@ impl SimHooks {
 
     /// Counts a watchdog abort and records the snapshot as a trace
     /// event, so an exported trace alone explains why the run died.
-    fn abort(&self, kind: AbortKind, snap: &WatchdogSnapshot) {
+    pub(crate) fn abort(&self, kind: AbortKind, snap: &WatchdogSnapshot) {
         self.watchdog_aborts.inc();
         self.trace.emit_with(|| TraceEvent {
             ts: snap.cycle,
@@ -262,8 +256,8 @@ impl GpuSimulator {
     /// simulated); [`SimError::InstLimitExceeded`] or
     /// [`SimError::ExecFault`] for runaway/faulting warps; and
     /// [`SimError::Deadlock`] or [`SimError::FuelExhausted`] (with a
-    /// [`WatchdogSnapshot`] of the stuck warps) when the watchdog aborts
-    /// a launch that stopped making progress.
+    /// [`WatchdogSnapshot`](crate::WatchdogSnapshot) of the stuck warps)
+    /// when the watchdog aborts a launch that stopped making progress.
     pub fn run_kernel_sampled(
         &mut self,
         launch: &KernelLaunch,
@@ -365,7 +359,10 @@ impl GpuSimulator {
         );
         run.functional_insts = functional_insts;
         let mut result = run.run(ctrl)?;
-        let events_scheduled = run.events.pushes();
+        let events_scheduled = run.events_scheduled();
+        let shard_busy: Vec<u64> = run.shards.iter().map(|s| s.busy_cycles).collect();
+        let epochs = run.epochs;
+        let clamped = run.clamped_cycles;
         self.clock = start + result.cycles;
         result.name = launch.kernel.name().to_string();
         result.mem = self.hierarchy.stats().since(&mem_before);
@@ -374,6 +371,25 @@ impl GpuSimulator {
         self.hierarchy.publish_queue_delays();
         self.counters.record(&result);
         self.counters.events.add(events_scheduled);
+        // Per-shard utilization and epoch health (cold path, once per
+        // kernel): busy cycles per shard, plus the imbalance ratio
+        // (max/mean busy) and relaxed-mode wake clamps for epoch runs.
+        for (i, b) in shard_busy.iter().enumerate() {
+            self.telemetry
+                .counter(&format!("engine.shard.{i}.busy_cycles"))
+                .add(*b);
+        }
+        if epochs > 0 {
+            self.telemetry.counter("engine.epochs").add(epochs);
+            self.telemetry
+                .counter("engine.relaxed.clamped_cycles")
+                .add(clamped);
+            let max = shard_busy.iter().copied().max().unwrap_or(0) as f64;
+            let mean = shard_busy.iter().sum::<u64>() as f64 / shard_busy.len().max(1) as f64;
+            self.telemetry
+                .gauge("engine.epoch.imbalance")
+                .set(if mean > 0.0 { max / mean } else { 1.0 });
+        }
         self.emit_kernel_end(&result, seq);
         ctrl.on_kernel_end(&result);
         // Controllers that model per-block durations publish their
@@ -449,283 +465,51 @@ impl KernelStartAccess for StartCtx<'_> {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum EvKind {
-    Ready(u32),
-    PredRetire(u32),
-}
+/// One kernel run: the coordinator over a set of [`Shard`] event
+/// domains. Owns everything global — the dispatcher and its resource
+/// pools, IPC windows, the watchdog, the shared hierarchy — while the
+/// shards own warps, calendars, and accounting.
+pub(crate) struct KernelRun<'a> {
+    pub(crate) cfg: &'a GpuConfig,
+    pub(crate) mem: &'a mut AddressSpace,
+    pub(crate) hier: &'a mut MemoryHierarchy,
+    pub(crate) launch: &'a KernelLaunch,
+    pub(crate) start: Cycle,
 
-struct WarpRt {
-    global_id: u64,
-    wg: u32,
-    cu: u32,
-    simd: u32,
-    state: Option<Box<WarpState>>,
-    issue_cycle: Cycle,
-    insts: u64,
-    bb_open: bool,
-    bb_id: BasicBlockId,
-    bb_start: Cycle,
-    bb_insts: u32,
-    done: bool,
-    /// Cycle up to which this warp's residency has been attributed to a
-    /// stall class (cycle accounting; always ≤ the current cycle).
-    acct_from: Cycle,
-    /// Cycle the warp's pending wait completes: until then the wait is
-    /// charged to `pending`, after it to `NoWarpReady` (issue-port
-    /// contention). `Cycle::MAX` while parked at a barrier.
-    ready_at: Cycle,
-    /// [`StallClass`] index the warp is currently waiting in.
-    pending: u8,
-    /// Portion of the pending memory wait that was queueing behind busy
-    /// cache/DRAM resources (charged to `MemQueueFull`).
-    pending_queue: Cycle,
-}
+    /// CU-shard event domains: one spanning shard under
+    /// [`EngineMode::Serial`], one per CU under the epoch modes (so the
+    /// partition — and therefore the result — is invariant to the
+    /// worker-thread count).
+    pub(crate) shards: Vec<Shard>,
+    /// Global CU index → owning shard index.
+    pub(crate) cu_shard: Vec<u32>,
+    pub(crate) next_wg: u32,
 
-struct WgRt {
-    id: u32,
-    cu: u32,
-    live: u32,
-    barrier_arrived: u32,
-    barrier_waiting: Vec<u32>,
-    lds: Vec<u8>,
-    first_warp_rt: u32,
-    /// Mode the workgroup was dispatched in (kept for diagnostics).
-    #[allow(dead_code)]
-    mode: WgMode,
-    done: bool,
-    /// Dispatch cycle (start of this workgroup's residency window).
-    t0: Cycle,
-}
+    pub(crate) cu_free_warps: Vec<u32>,
+    pub(crate) cu_free_lds: Vec<u32>,
+    pub(crate) cu_wg_count: Vec<u32>,
+    pub(crate) rr_cu: usize,
+    pub(crate) dispatcher_free: Cycle,
 
-/// Flat cycle-accounting accumulators for one kernel run: per-CU and
-/// per-window stall-class counts plus per-basic-block measurements.
-/// All storage is sized once at kernel start and updated with plain
-/// array adds, so the zero-allocation hot path stays allocation-free
-/// (the window timeline grows amortized, like `ipc_counts`).
-struct RunAccounting {
-    start: Cycle,
-    /// Timeline window width (the engine's IPC window, min 1).
-    window: Cycle,
-    /// `num_cus × STALL_CLASSES` warp-cycle counts.
-    cu_stalls: Vec<u64>,
-    /// Per-CU resident warp-cycles: `warps × (completion − dispatch)`
-    /// summed over workgroups, credited when each workgroup completes.
-    cu_resident: Vec<u64>,
-    /// Stall mix per timeline window, CU-aggregated.
-    win_stalls: Vec<[u64; STALL_CLASSES]>,
-    /// `num_bbs × STALL_CLASSES` warp-cycle counts for detailed warps.
-    bb_stall: Vec<u64>,
-    bb_instances: Vec<u64>,
-    bb_insts: Vec<u64>,
-    bb_cycles: Vec<u64>,
-}
-
-impl RunAccounting {
-    fn new(n_cu: usize, n_bbs: usize, start: Cycle, window: Cycle) -> Self {
-        RunAccounting {
-            start,
-            window: window.max(1),
-            cu_stalls: vec![0; n_cu * STALL_CLASSES],
-            cu_resident: vec![0; n_cu],
-            win_stalls: Vec::new(),
-            bb_stall: vec![0; n_bbs * STALL_CLASSES],
-            bb_instances: vec![0; n_bbs],
-            bb_insts: vec![0; n_bbs],
-            bb_cycles: vec![0; n_bbs],
-        }
-    }
-
-    /// Attributes the warp-cycles `[from, to)` on `cu` to `class`,
-    /// optionally also to basic block `bb`, splitting across timeline
-    /// windows.
-    fn span(&mut self, cu: usize, bb: Option<u32>, class: StallClass, from: Cycle, to: Cycle) {
-        if to <= from {
-            return;
-        }
-        let n = to - from;
-        self.cu_stalls[cu * STALL_CLASSES + class.index()] += n;
-        if let Some(b) = bb {
-            let i = b as usize * STALL_CLASSES + class.index();
-            if i < self.bb_stall.len() {
-                self.bb_stall[i] += n;
-            }
-        }
-        let mut a = from;
-        while a < to {
-            let idx = (a.saturating_sub(self.start) / self.window) as usize;
-            let win_end = self.start + (idx as Cycle + 1) * self.window;
-            let b = to.min(win_end);
-            if self.win_stalls.len() <= idx {
-                self.win_stalls.resize(idx + 1, [0; STALL_CLASSES]);
-            }
-            self.win_stalls[idx][class.index()] += b - a;
-            a = b;
-        }
-    }
-
-    /// Folds one closed basic-block instance into the per-BB totals.
-    fn record_bb(&mut self, rec: &BbRecord) {
-        let i = rec.bb.0 as usize;
-        if i < self.bb_instances.len() {
-            self.bb_instances[i] += 1;
-            self.bb_insts[i] += rec.insts as u64;
-            self.bb_cycles[i] += rec.duration();
-        }
-    }
-
-    /// Builds the serializable snapshot attached to the kernel result.
-    fn finish(&self, cycles: Cycle) -> CycleAccounting {
-        let cus = self
-            .cu_resident
-            .iter()
-            .enumerate()
-            .map(|(cu, &resident)| {
-                let mut classes = [0u64; STALL_CLASSES];
-                classes
-                    .copy_from_slice(&self.cu_stalls[cu * STALL_CLASSES..(cu + 1) * STALL_CLASSES]);
-                CuAccounting {
-                    classes,
-                    resident_warp_cycles: resident,
-                }
-            })
-            .collect();
-        let timeline = self
-            .win_stalls
-            .iter()
-            .enumerate()
-            .map(|(i, classes)| StallWindow {
-                start: self.start + i as Cycle * self.window,
-                classes: *classes,
-            })
-            .collect();
-        CycleAccounting {
-            cycles,
-            window: self.window,
-            cus,
-            timeline,
-        }
-    }
-
-    /// Per-BB rows for blocks that saw any detailed activity.
-    fn bb_stats(&self) -> Vec<BbAccounting> {
-        (0..self.bb_instances.len())
-            .filter_map(|i| {
-                let mut stall = [0u64; STALL_CLASSES];
-                stall.copy_from_slice(&self.bb_stall[i * STALL_CLASSES..(i + 1) * STALL_CLASSES]);
-                if self.bb_instances[i] == 0 && stall.iter().all(|&s| s == 0) {
-                    return None;
-                }
-                Some(BbAccounting {
-                    bb: i as u32,
-                    instances: self.bb_instances[i],
-                    insts: self.bb_insts[i],
-                    cycles: self.bb_cycles[i],
-                    stall,
-                    predicted_mean: None,
-                })
-            })
-            .collect()
-    }
-}
-
-/// Closes the open wait span of `warp` at `now` (its next issue, retire,
-/// or an accounting cutoff): the queued portion goes to `MemQueueFull`,
-/// the wait itself to the warp's `pending` class until `ready_at`, and
-/// any remainder (ready but not selected) to `NoWarpReady`. A free
-/// function over disjoint fields so callers can hold `&mut` warp and
-/// accounting borrows side by side.
-fn close_wait(acct: &mut RunAccounting, warp: &mut WarpRt, now: Cycle) {
-    let from = warp.acct_from;
-    if now <= from {
-        return;
-    }
-    let mid = warp.ready_at.min(now).max(from);
-    let bb = if warp.bb_open {
-        Some(warp.bb_id.0)
-    } else {
-        None
-    };
-    let cls = StallClass::from_index(warp.pending as usize);
-    let cu = warp.cu as usize;
-    let q = warp.pending_queue.min(mid - from);
-    acct.span(cu, bb, StallClass::MemQueueFull, from, from + q);
-    acct.span(cu, bb, cls, from + q, mid);
-    acct.span(cu, bb, StallClass::NoWarpReady, mid, now);
-    warp.acct_from = now;
-    warp.pending_queue = 0;
-}
-
-struct KernelRun<'a> {
-    cfg: &'a GpuConfig,
-    mem: &'a mut AddressSpace,
-    hier: &'a mut MemoryHierarchy,
-    launch: &'a KernelLaunch,
-    start: Cycle,
-
-    events: CalendarQueue<EvKind>,
-    warps: Vec<WarpRt>,
-    wgs: Vec<WgRt>,
-    next_wg: u32,
-
-    cu_free_warps: Vec<u32>,
-    cu_free_lds: Vec<u32>,
-    cu_wg_count: Vec<u32>,
-    simd_free: Vec<Cycle>,
-    rr_cu: usize,
-    dispatcher_free: Cycle,
-
-    detailed_insts: u64,
-    functional_insts: u64,
-    detailed_warps: u64,
-    predicted_warps: u64,
-    last_retire: Cycle,
-    /// Last cycle at which an instruction issued or a warp retired
-    /// (watchdog stall detection).
-    last_progress: Cycle,
-    ipc_counts: Vec<u64>,
-    fired_windows: usize,
-    abort_ipc: Option<f64>,
+    pub(crate) functional_insts: u64,
+    pub(crate) detailed_warps: u64,
+    pub(crate) predicted_warps: u64,
+    pub(crate) fired_windows: usize,
+    pub(crate) abort_ipc: Option<f64>,
     /// Set by the `controller.nan` fault site: degrade any controller
     /// abort IPC to NaN, exercising the refuse-and-stay-detailed path.
-    inject_nan_abort: bool,
-    hooks: SimHooks,
-    /// Cycle accounting for this run (observation-only: never feeds
-    /// back into timing).
-    acct: RunAccounting,
-
-    /// Latency config, copied out of `cfg` once per kernel so the hot
-    /// loop never chases the config reference (or clones).
-    lat: LatencyConfig,
-    /// Per-[`InstClass`] ALU latency, indexed by [`InstClass::index`];
-    /// `slow_lat` is the variant for slow ops (divides and friends).
-    alu_lat: [Cycle; N_CLASSES],
-    slow_lat: [Cycle; N_CLASSES],
-    /// Reusable scratch for coalesced memory lines, threaded through
-    /// [`step`] so memory instructions never allocate.
-    lines_scratch: Vec<u64>,
-}
-
-const N_CLASSES: usize = InstClass::ALL.len();
-
-/// Precomputed ALU latency tables: `(normal, slow)` per instruction
-/// class. Scalar/branch/vector classes get their configured latencies;
-/// every other class issued as [`StepEffect::Alu`] costs `salu`. `slow`
-/// only differs for the vector classes (`valu_slow`), matching the old
-/// per-instruction match.
-fn alu_latency_tables(lat: &LatencyConfig) -> ([Cycle; N_CLASSES], [Cycle; N_CLASSES]) {
-    let mut normal = [lat.salu; N_CLASSES];
-    normal[InstClass::VectorInt.index()] = lat.valu;
-    normal[InstClass::VectorFloat.index()] = lat.valu;
-    normal[InstClass::Branch.index()] = lat.branch;
-    let mut slow = normal;
-    slow[InstClass::VectorInt.index()] = lat.valu_slow;
-    slow[InstClass::VectorFloat.index()] = lat.valu_slow;
-    (normal, slow)
+    pub(crate) inject_nan_abort: bool,
+    pub(crate) hooks: SimHooks,
+    /// Relaxed-mode wake clamps (cycles a memory response's wake-up was
+    /// deferred to the epoch boundary), summed over the run. Always 0
+    /// in serial and deterministic modes.
+    pub(crate) clamped_cycles: u64,
+    /// Epoch barriers executed (0 for serial runs).
+    pub(crate) epochs: u64,
 }
 
 impl<'a> KernelRun<'a> {
-    fn new(
+    pub(crate) fn new(
         cfg: &'a GpuConfig,
         mem: &'a mut AddressSpace,
         hier: &'a mut MemoryHierarchy,
@@ -734,60 +518,98 @@ impl<'a> KernelRun<'a> {
         hooks: SimHooks,
     ) -> Self {
         let n_cu = cfg.num_cus as usize;
-        let (alu_lat, slow_lat) = alu_latency_tables(&cfg.lat);
         let n_bbs = launch.kernel.program().basic_blocks().len();
+        // Serial: one shard spanning every CU — the degenerate sharding
+        // that reproduces the monolithic engine's event order exactly.
+        // Epoch modes: strictly one shard per CU, regardless of thread
+        // count, so epoch partitioning is thread-invariant.
+        let n_shards = match cfg.engine.mode {
+            EngineMode::Serial => 1,
+            EngineMode::Deterministic | EngineMode::Relaxed => n_cu,
+        };
+        let shards = (0..n_shards)
+            .map(|i| {
+                Shard::new(
+                    i as u32,
+                    n_cu,
+                    n_bbs,
+                    start,
+                    cfg.lat,
+                    cfg.simds_per_cu,
+                    cfg.ipc_window,
+                    cfg.max_insts_per_warp,
+                    hooks.clone(),
+                )
+            })
+            .collect();
+        let cu_shard = (0..n_cu)
+            .map(|cu| if n_shards == 1 { 0 } else { cu as u32 })
+            .collect();
         KernelRun {
-            acct: RunAccounting::new(n_cu, n_bbs, start, cfg.ipc_window),
-            lat: cfg.lat,
-            alu_lat,
-            slow_lat,
-            lines_scratch: Vec::new(),
             cfg,
             mem,
             hier,
             launch,
             start,
-            events: CalendarQueue::new(start),
-            warps: Vec::new(),
-            wgs: Vec::new(),
+            shards,
+            cu_shard,
             next_wg: 0,
             cu_free_warps: vec![cfg.warps_per_cu(); n_cu],
             cu_free_lds: vec![cfg.lds_per_cu; n_cu],
             cu_wg_count: vec![0; n_cu],
-            simd_free: vec![0; n_cu * cfg.simds_per_cu as usize],
             rr_cu: 0,
             dispatcher_free: start,
-            detailed_insts: 0,
             functional_insts: 0,
             detailed_warps: 0,
             predicted_warps: 0,
-            last_retire: start,
-            last_progress: start,
-            ipc_counts: Vec::new(),
             fired_windows: 0,
             abort_ipc: None,
             inject_nan_abort: false,
             hooks,
+            clamped_cycles: 0,
+            epochs: 0,
         }
     }
 
-    fn push_event(&mut self, cycle: Cycle, kind: EvKind) {
-        self.events.push(cycle, kind);
+    /// Total timing events scheduled across all shard calendars.
+    pub(crate) fn events_scheduled(&self) -> u64 {
+        self.shards.iter().map(|s| s.events.pushes()).sum()
     }
 
-    fn env_for(&self, w: u32) -> LaunchEnv<'a> {
-        let warp = &self.warps[w as usize];
-        let wg = &self.wgs[warp.wg as usize];
-        LaunchEnv {
-            args: &self.launch.args,
-            wg_id: wg.id,
-            warp_in_wg: (warp.global_id % self.launch.warps_per_wg as u64) as u32,
-            warps_per_wg: self.launch.warps_per_wg,
-            num_wgs: self.launch.num_wgs,
-        }
+    /// Last cycle at which any shard issued or retired (watchdog stall
+    /// detection).
+    pub(crate) fn last_progress(&self) -> Cycle {
+        self.shards
+            .iter()
+            .map(|s| s.last_progress)
+            .max()
+            .unwrap_or(self.start)
     }
 
-    fn run(&mut self, ctrl: &mut dyn SamplingController) -> Result<KernelResult, SimError> {
+    fn last_retire(&self) -> Cycle {
+        self.shards
+            .iter()
+            .map(|s| s.last_retire)
+            .max()
+            .unwrap_or(self.start)
+    }
+
+    fn detailed_insts(&self) -> u64 {
+        self.shards.iter().map(|s| s.detailed_insts).sum()
+    }
+
+    /// Instructions issued in timeline window `idx`, summed over shards.
+    pub(crate) fn window_insts(&self, idx: usize) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.ipc_counts.get(idx).copied().unwrap_or(0))
+            .sum()
+    }
+
+    pub(crate) fn run(
+        &mut self,
+        ctrl: &mut dyn SamplingController,
+    ) -> Result<KernelResult, SimError> {
         let mut wd = self.cfg.watchdog;
         // Fault injection (no-op unless PHOTON_FAULTS / --faults is
         // configured): consulted once per kernel, keyed by the kernel
@@ -803,8 +625,22 @@ impl<'a> KernelRun<'a> {
             self.inject_nan_abort = faults::should_inject(FaultSite::ControllerNan, fault_key);
         }
         self.dispatch(self.start, ctrl)?;
+        let now = match self.cfg.engine.mode {
+            EngineMode::Serial => self.run_serial(wd, ctrl)?,
+            EngineMode::Deterministic | EngineMode::Relaxed => self.run_epochs(wd, ctrl)?,
+        };
+        self.finish_run(now, ctrl)
+    }
+
+    /// The serial event loop: pop → watchdog → windows → handler, with
+    /// the single spanning shard serviced inline against the hierarchy.
+    fn run_serial(
+        &mut self,
+        wd: WatchdogConfig,
+        ctrl: &mut dyn SamplingController,
+    ) -> Result<Cycle, SimError> {
         let mut now = self.start;
-        while let Some((cycle, kind)) = self.events.pop() {
+        while let Some((cycle, kind)) = self.shards[0].events.pop() {
             now = cycle;
             if now - self.start > wd.cycle_fuel {
                 let snapshot = self.snapshot(now);
@@ -814,7 +650,7 @@ impl<'a> KernelRun<'a> {
                     snapshot,
                 });
             }
-            if now.saturating_sub(self.last_progress) > wd.stall_cycles {
+            if now.saturating_sub(self.last_progress()) > wd.stall_cycles {
                 let snapshot = self.snapshot(now);
                 self.hooks.abort(AbortKind::Deadlock, &snapshot);
                 return Err(SimError::Deadlock { snapshot });
@@ -823,17 +659,72 @@ impl<'a> KernelRun<'a> {
             if self.abort_ipc.is_some() {
                 break;
             }
-            match kind {
-                EvKind::Ready(w) => self.handle_ready(w, now, ctrl)?,
-                EvKind::PredRetire(w) => self.retire_warp(w, now, ctrl)?,
+            let r = {
+                let shard = &mut self.shards[0];
+                let mut backend = Backend::Direct(&mut *self.hier);
+                let mut sink = CtrlSink::Live(&mut *ctrl);
+                match kind {
+                    EvKind::Ready(w) => shard.handle_ready(
+                        w,
+                        now,
+                        self.launch,
+                        &mut *self.mem,
+                        &mut backend,
+                        &mut sink,
+                    ),
+                    EvKind::PredRetire(w) => shard.retire_warp(w, now, &mut sink),
+                }
+            };
+            if let Err(stop) = r {
+                return Err(self.stop_to_err(stop));
+            }
+            // A handler can complete at most one workgroup; free its
+            // resources and refill the CU immediately, preserving the
+            // monolithic engine's retire→dispatch ordering.
+            while let Some(&(cycle, wg_local)) = self.shards[0].completions.first() {
+                self.shards[0].completions.remove(0);
+                self.free_wg_resources(0, wg_local);
+                self.dispatch(cycle, ctrl)?;
             }
         }
+        Ok(now)
+    }
 
-        // The event queue drained. Unless we aborted deliberately, any
+    /// Converts a shard-local stop into the engine error, building the
+    /// global watchdog snapshot for deadlocks.
+    pub(crate) fn stop_to_err(&self, stop: ShardStop) -> SimError {
+        match stop {
+            ShardStop::Error(e) => e,
+            ShardStop::DeadlockAt(cycle) => {
+                let snapshot = self.snapshot(cycle);
+                self.hooks.abort(AbortKind::Deadlock, &snapshot);
+                SimError::Deadlock { snapshot }
+            }
+        }
+    }
+
+    /// Releases the resources of a completed workgroup back to its CU.
+    pub(crate) fn free_wg_resources(&mut self, shard_idx: usize, wg_local: u32) {
+        let cu = self.shards[shard_idx].wgs[wg_local as usize].cu as usize;
+        self.cu_free_warps[cu] += self.launch.warps_per_wg;
+        self.cu_free_lds[cu] += self.launch.lds_bytes;
+        self.cu_wg_count[cu] -= 1;
+    }
+
+    /// Shared run tail: deadlock-on-drain detection, the short-kernel
+    /// final-window flush, abort extrapolation, and result assembly
+    /// (merging per-shard accounting and timelines).
+    fn finish_run(
+        &mut self,
+        now: Cycle,
+        ctrl: &mut dyn SamplingController,
+    ) -> Result<KernelResult, SimError> {
+        // The event queues drained. Unless we aborted deliberately, any
         // leftover work means warps are parked with nothing that could
         // ever wake them (e.g. a barrier some warps bypassed).
         if self.abort_ipc.is_none()
-            && (self.next_wg < self.launch.num_wgs || self.wgs.iter().any(|wg| !wg.done))
+            && (self.next_wg < self.launch.num_wgs
+                || self.shards.iter().any(|s| s.wgs.iter().any(|wg| !wg.done)))
         {
             let snapshot = self.snapshot(now);
             self.hooks.abort(AbortKind::Deadlock, &snapshot);
@@ -847,8 +738,8 @@ impl<'a> KernelRun<'a> {
         // meaningless now — the kernel already finished in full detail —
         // so it is deliberately discarded.
         if self.abort_ipc.is_none() && self.fired_windows == 0 {
-            let elapsed = (self.last_retire - self.start).max(1);
-            let insts = self.ipc_counts.first().copied().unwrap_or(0);
+            let elapsed = (self.last_retire() - self.start).max(1);
+            let insts = self.window_insts(0);
             ctrl.on_ipc_window(self.start, insts, elapsed);
             let _ = ctrl.check_abort();
             self.hooks.trace.emit_with(|| TraceEvent {
@@ -875,28 +766,61 @@ impl<'a> KernelRun<'a> {
             // PKA-style extrapolation: total instructions / stable IPC.
             let remaining = self.finish_functional()?;
             self.functional_insts += remaining;
-            let total = self.detailed_insts + remaining;
+            let total = self.detailed_insts() + remaining;
             ((total as f64 / ipc.max(1e-9)).round() as Cycle).max(1)
         } else {
-            (self.last_retire - self.start).max(1)
+            (self.last_retire() - self.start).max(1)
         };
+        if matches!(self.cfg.engine.mode, EngineMode::Serial) {
+            // The spanning shard is busy for the whole run (the epoch
+            // engines accumulate per-epoch busy spans instead).
+            self.shards[0].busy_cycles = cycles;
+        }
 
-        self.emit_accounting_samples();
+        // Merge the per-shard accounting and instruction timelines into
+        // the kernel-level views; keep the per-shard rows alongside so
+        // the balance invariant is checkable per event domain.
+        let n_cu = self.cfg.num_cus as usize;
+        let n_bbs = self.launch.kernel.program().basic_blocks().len();
+        let mut acct = RunAccounting::new(n_cu, n_bbs, self.start, self.cfg.ipc_window);
+        for shard in &self.shards {
+            acct.merge_from(&shard.acct);
+        }
+        self.emit_accounting_samples(&acct);
+        let counted = self
+            .shards
+            .iter()
+            .map(|s| s.ipc_counts.len())
+            .max()
+            .unwrap_or(0);
+        let mut timeline = vec![0u64; self.fired_windows.max(counted)];
+        for shard in &self.shards {
+            for (i, v) in shard.ipc_counts.iter().enumerate() {
+                timeline[i] += v;
+            }
+        }
+        let mut accounting = acct.finish(cycles);
+        accounting.shards = self
+            .shards
+            .iter()
+            .map(|s| s.acct.shard_entry(s.id))
+            .collect();
+
         Ok(KernelResult {
             name: String::new(),
             cycles,
             start_cycle: self.start,
-            detailed_insts: self.detailed_insts,
+            detailed_insts: self.detailed_insts(),
             functional_insts: self.functional_insts,
             total_warps: self.launch.total_warps(),
             detailed_warps: self.detailed_warps,
             predicted_warps: self.predicted_warps,
-            ipc_timeline: std::mem::take(&mut self.ipc_counts),
+            ipc_timeline: timeline,
             ipc_window: self.cfg.ipc_window,
             skipped: false,
             mem: gpu_mem::MemStats::default(),
-            accounting: Some(self.acct.finish(cycles)),
-            bb_stats: self.acct.bb_stats(),
+            accounting: Some(accounting),
+            bb_stats: acct.bb_stats(),
         })
     }
 
@@ -905,27 +829,29 @@ impl<'a> KernelRun<'a> {
     /// and residency is credited as if the workgroup completed here.
     fn close_accounting(&mut self, now: Cycle) {
         let n = self.launch.warps_per_wg as usize;
-        for wg_idx in 0..self.wgs.len() {
-            if self.wgs[wg_idx].done {
-                continue;
+        for shard in &mut self.shards {
+            for wg_idx in 0..shard.wgs.len() {
+                if shard.wgs[wg_idx].done {
+                    continue;
+                }
+                let (cu, t0, first) = {
+                    let wg = &shard.wgs[wg_idx];
+                    (wg.cu as usize, wg.t0, wg.first_warp_rt as usize)
+                };
+                for i in first..first + n {
+                    close_wait(&mut shard.acct, &mut shard.warps[i], now);
+                }
+                shard.acct.cu_resident[cu] += n as u64 * now.saturating_sub(t0);
             }
-            let (cu, t0, first) = {
-                let wg = &self.wgs[wg_idx];
-                (wg.cu as usize, wg.t0, wg.first_warp_rt as usize)
-            };
-            for i in first..first + n {
-                close_wait(&mut self.acct, &mut self.warps[i], now);
-            }
-            self.acct.cu_resident[cu] += n as u64 * now.saturating_sub(t0);
         }
     }
 
     /// Emits the per-window stall-mix and occupancy counter samples into
-    /// the trace (cold path, once per kernel).
-    fn emit_accounting_samples(&self) {
-        let window = self.acct.window;
-        for (i, classes) in self.acct.win_stalls.iter().enumerate() {
-            let ts = self.acct.start + i as Cycle * window;
+    /// the trace (cold path, once per kernel, over the merged view).
+    fn emit_accounting_samples(&self, acct: &RunAccounting) {
+        let window = acct.window;
+        for (i, classes) in acct.win_stalls.iter().enumerate() {
+            let ts = acct.start + i as Cycle * window;
             let c = *classes;
             self.hooks.trace.emit_with(|| TraceEvent {
                 ts,
@@ -956,14 +882,11 @@ impl<'a> KernelRun<'a> {
         }
     }
 
-    fn fire_windows(&mut self, now: Cycle, ctrl: &mut dyn SamplingController) {
+    pub(crate) fn fire_windows(&mut self, now: Cycle, ctrl: &mut dyn SamplingController) {
         let w = self.cfg.ipc_window;
         while self.start + (self.fired_windows as Cycle + 1) * w <= now {
             let idx = self.fired_windows;
-            let insts = self.ipc_counts.get(idx).copied().unwrap_or(0);
-            if self.ipc_counts.len() <= idx {
-                self.ipc_counts.resize(idx + 1, 0);
-            }
+            let insts = self.window_insts(idx);
             ctrl.on_ipc_window(self.start + idx as Cycle * w, insts, w);
             self.hooks.trace.emit_with(|| TraceEvent {
                 ts: self.start + idx as Cycle * w,
@@ -988,27 +911,31 @@ impl<'a> KernelRun<'a> {
 
     /// Captures the state of every still-resident warp for a watchdog
     /// error. Cycles are kernel-relative.
-    fn snapshot(&self, now: Cycle) -> WatchdogSnapshot {
+    pub(crate) fn snapshot(&self, now: Cycle) -> WatchdogSnapshot {
         let mut stuck = Vec::new();
-        for (i, warp) in self.warps.iter().enumerate() {
-            if warp.done {
-                continue;
+        let mut barriers = Vec::new();
+        for shard in &self.shards {
+            for (i, warp) in shard.warps.iter().enumerate() {
+                if warp.done {
+                    continue;
+                }
+                let wg = &shard.wgs[warp.wg as usize];
+                stuck.push(StuckWarp {
+                    warp: warp.global_id,
+                    pc: warp.state.as_deref().map_or(0, |s| s.pc),
+                    wg: wg.id,
+                    at_barrier: wg.barrier_waiting.contains(&(i as u32)),
+                    waiting_on: StallClass::from_index(warp.pending as usize).name(),
+                });
             }
-            let wg = &self.wgs[warp.wg as usize];
-            stuck.push(StuckWarp {
-                warp: warp.global_id,
-                pc: warp.state.as_deref().map_or(0, |s| s.pc),
-                wg: wg.id,
-                at_barrier: wg.barrier_waiting.contains(&(i as u32)),
-                waiting_on: StallClass::from_index(warp.pending as usize).name(),
-            });
+            for wg in shard
+                .wgs
+                .iter()
+                .filter(|wg| !wg.done && wg.barrier_arrived > 0)
+            {
+                barriers.push((wg.id, wg.barrier_arrived, self.launch.warps_per_wg));
+            }
         }
-        let barriers = self
-            .wgs
-            .iter()
-            .filter(|wg| !wg.done && wg.barrier_arrived > 0)
-            .map(|wg| (wg.id, wg.barrier_arrived, self.launch.warps_per_wg))
-            .collect();
         WatchdogSnapshot {
             cycle: now.saturating_sub(self.start),
             stuck,
@@ -1016,16 +943,13 @@ impl<'a> KernelRun<'a> {
         }
     }
 
-    fn count_ipc(&mut self, now: Cycle) {
-        let idx = ((now - self.start) / self.cfg.ipc_window) as usize;
-        if self.ipc_counts.len() <= idx {
-            self.ipc_counts.resize(idx + 1, 0);
-        }
-        self.ipc_counts[idx] += 1;
-    }
-
-    /// Dispatches pending workgroups to CUs with free resources.
-    fn dispatch(&mut self, now: Cycle, ctrl: &mut dyn SamplingController) -> Result<(), SimError> {
+    /// Dispatches pending workgroups to CUs with free resources,
+    /// admitting each into its CU's owning shard.
+    pub(crate) fn dispatch(
+        &mut self,
+        now: Cycle,
+        ctrl: &mut dyn SamplingController,
+    ) -> Result<(), SimError> {
         let n_cu = self.cfg.num_cus as usize;
         while self.next_wg < self.launch.num_wgs {
             // Find a CU with capacity, round-robin.
@@ -1049,7 +973,6 @@ impl<'a> KernelRun<'a> {
             self.cu_wg_count[cu] += 1;
 
             let mode = ctrl.dispatch_mode();
-            let first_rt = self.warps.len() as u32;
             // the command processor dispatches workgroups sequentially
             let slot = now.max(self.dispatcher_free);
             self.dispatcher_free = slot + self.cfg.lat.dispatch_interval;
@@ -1063,47 +986,11 @@ impl<'a> KernelRun<'a> {
                     mode: sample_mode(mode),
                 },
             });
-            self.wgs.push(WgRt {
-                id: wg_id,
-                cu: cu as u32,
-                live: self.launch.warps_per_wg,
-                barrier_arrived: 0,
-                barrier_waiting: Vec::new(),
-                // Allocated lazily on first detailed step (handle_ready)
-                // or functional completion — sampled WGs never pay for it.
-                lds: Vec::new(),
-                first_warp_rt: first_rt,
-                mode,
-                done: false,
-                t0,
-            });
-            let wg_rt = (self.wgs.len() - 1) as u32;
 
-            match mode {
+            let seed = match mode {
                 WgMode::Detailed => {
-                    for i in 0..self.launch.warps_per_wg {
-                        let w = self.warps.len() as u32;
-                        self.warps.push(WarpRt {
-                            global_id: wg_id as u64 * self.launch.warps_per_wg as u64 + i as u64,
-                            wg: wg_rt,
-                            cu: cu as u32,
-                            simd: i % self.cfg.simds_per_cu,
-                            state: Some(Box::new(WarpState::new())),
-                            issue_cycle: t0,
-                            insts: 0,
-                            bb_open: false,
-                            bb_id: BasicBlockId(0),
-                            bb_start: t0,
-                            bb_insts: 0,
-                            done: false,
-                            acct_from: t0,
-                            ready_at: t0,
-                            pending: StallClass::NoWarpReady.index() as u8,
-                            pending_queue: 0,
-                        });
-                        self.push_event(t0, EvKind::Ready(w));
-                    }
                     self.detailed_warps += self.launch.warps_per_wg as u64;
+                    WarpSeed::Detailed
                 }
                 WgMode::BbSampled => {
                     let (traces, n) = run_wg_functional(
@@ -1113,395 +1000,23 @@ impl<'a> KernelRun<'a> {
                         self.cfg.max_insts_per_warp,
                     )?;
                     self.functional_insts += n;
-                    for (i, trace) in traces.iter().enumerate() {
-                        let w = self.warps.len() as u32;
-                        let dur = ctrl.predict_warp_bb(trace).max(1);
-                        self.warps.push(WarpRt {
-                            global_id: wg_id as u64 * self.launch.warps_per_wg as u64 + i as u64,
-                            wg: wg_rt,
-                            cu: cu as u32,
-                            simd: i as u32 % self.cfg.simds_per_cu,
-                            state: None,
-                            issue_cycle: t0,
-                            insts: 0,
-                            bb_open: false,
-                            bb_id: BasicBlockId(0),
-                            bb_start: t0,
-                            bb_insts: 0,
-                            done: false,
-                            // The whole predicted span counts as Issued:
-                            // a predicted warp models useful execution,
-                            // not a stall.
-                            acct_from: t0,
-                            ready_at: t0 + dur,
-                            pending: StallClass::Issued.index() as u8,
-                            pending_queue: 0,
-                        });
-                        self.push_event(t0 + dur, EvKind::PredRetire(w));
-                    }
+                    let durs = traces
+                        .iter()
+                        .map(|trace| ctrl.predict_warp_bb(trace).max(1))
+                        .collect();
                     self.predicted_warps += self.launch.warps_per_wg as u64;
+                    WarpSeed::Predicted(durs)
                 }
                 WgMode::WarpSampled => {
-                    for i in 0..self.launch.warps_per_wg {
-                        let w = self.warps.len() as u32;
-                        let dur = ctrl.predict_warp_avg().max(1);
-                        self.warps.push(WarpRt {
-                            global_id: wg_id as u64 * self.launch.warps_per_wg as u64 + i as u64,
-                            wg: wg_rt,
-                            cu: cu as u32,
-                            simd: i % self.cfg.simds_per_cu,
-                            state: None,
-                            issue_cycle: t0,
-                            insts: 0,
-                            bb_open: false,
-                            bb_id: BasicBlockId(0),
-                            bb_start: t0,
-                            bb_insts: 0,
-                            done: false,
-                            acct_from: t0,
-                            ready_at: t0 + dur,
-                            pending: StallClass::Issued.index() as u8,
-                            pending_queue: 0,
-                        });
-                        self.push_event(t0 + dur, EvKind::PredRetire(w));
-                    }
+                    let durs = (0..self.launch.warps_per_wg)
+                        .map(|_| ctrl.predict_warp_avg().max(1))
+                        .collect();
                     self.predicted_warps += self.launch.warps_per_wg as u64;
+                    WarpSeed::Predicted(durs)
                 }
-            }
-        }
-        Ok(())
-    }
-
-    fn handle_ready(
-        &mut self,
-        w: u32,
-        now: Cycle,
-        ctrl: &mut dyn SamplingController,
-    ) -> Result<(), SimError> {
-        let (cu, simd) = {
-            let warp = &self.warps[w as usize];
-            debug_assert!(!warp.done);
-            (warp.cu as usize, warp.simd as usize)
-        };
-        let port = cu * self.cfg.simds_per_cu as usize + simd;
-        if self.simd_free[port] > now {
-            let at = self.simd_free[port];
-            self.push_event(at, EvKind::Ready(w));
-            return Ok(());
-        }
-        self.simd_free[port] = now + 1;
-        // The warp issues this cycle: attribute everything since its
-        // last issue (the wait it just finished) to a stall class.
-        close_wait(&mut self.acct, &mut self.warps[w as usize], now);
-
-        // Execute one instruction with split field borrows.
-        let program = self.launch.kernel.program();
-        let bb_map = program.basic_blocks();
-        let env = self.env_for(w);
-        let warp = &mut self.warps[w as usize];
-        let wg = &mut self.wgs[warp.wg as usize];
-        let Some(state) = warp.state.as_deref_mut() else {
-            // A predicted warp received a Ready event: an engine bug,
-            // but one we surface as a typed error rather than a panic.
-            return Err(SimError::MissingWarpState {
-                warp_id: warp.global_id,
-            });
-        };
-        let pc = state.pc;
-
-        // Basic-block boundary: issuing the first instruction of a block
-        // closes the previous instance (paper's interval definition).
-        if let Some(id) = bb_map.block_starting_at(pc) {
-            if warp.bb_open {
-                let rec = BbRecord {
-                    warp: warp.global_id,
-                    bb: warp.bb_id,
-                    start: warp.bb_start,
-                    end: now,
-                    insts: warp.bb_insts,
-                };
-                ctrl.on_bb_record(&rec);
-                self.acct.record_bb(&rec);
-                self.hooks.bb_duration.record(rec.duration());
-                self.hooks.trace.emit_with(|| TraceEvent {
-                    ts: rec.start,
-                    dur: rec.duration(),
-                    kind: EventKind::BbInterval {
-                        warp: rec.warp,
-                        bb: rec.bb.0,
-                        insts: rec.insts,
-                    },
-                });
-            }
-            warp.bb_open = true;
-            warp.bb_id = id;
-            warp.bb_start = now;
-            warp.bb_insts = 0;
-        }
-        warp.bb_insts += 1;
-        warp.insts += 1;
-        if warp.insts > self.cfg.max_insts_per_warp {
-            return Err(SimError::InstLimitExceeded {
-                warp: warp.global_id,
-                limit: self.cfg.max_insts_per_warp,
-            });
-        }
-        // The issue cycle itself (attributed to the block whose interval
-        // starts at this issue).
-        self.acct
-            .span(cu, Some(warp.bb_id.0), StallClass::Issued, now, now + 1);
-        warp.acct_from = now + 1;
-
-        // Lazy LDS: sampled workgroups never execute, so the backing
-        // store is only materialized when a detailed warp first steps
-        // (minimum 4 bytes so zero-LDS kernels keep byte-accurate
-        // out-of-bounds faults).
-        if wg.lds.is_empty() {
-            wg.lds = vec![0u8; self.launch.lds_bytes.max(4) as usize];
-        }
-
-        let info = step(
-            state,
-            program,
-            self.mem,
-            &mut wg.lds,
-            &env,
-            &mut self.lines_scratch,
-        )?;
-        self.detailed_insts += 1;
-        self.last_progress = self.last_progress.max(now);
-        self.count_ipc(now);
-
-        let lat = self.lat;
-        // Queued warp-cycles of a memory wait (diffed around the
-        // hierarchy's queue-delay accumulator), charged to MemQueueFull
-        // instead of MemPending when the wait closes.
-        let mut queued = 0u64;
-        let latency = match info.effect {
-            StepEffect::Alu => {
-                if info.slow {
-                    self.slow_lat[info.class.index()]
-                } else {
-                    self.alu_lat[info.class.index()]
-                }
-            }
-            StepEffect::Mem { write } => {
-                let issue_at = now + lat.mem_issue;
-                let mut done = issue_at;
-                let kind = if write {
-                    AccessKind::Write
-                } else {
-                    AccessKind::Read
-                };
-                let q0 = self.hier.queue_cycles();
-                for i in 0..self.lines_scratch.len() {
-                    let c = self
-                        .hier
-                        .access_line(cu, self.lines_scratch[i], kind, issue_at);
-                    done = done.max(c);
-                }
-                queued = self.hier.queue_cycles() - q0;
-                if write {
-                    lat.store_issue // fire-and-forget
-                } else {
-                    done - now
-                }
-            }
-            StepEffect::ArgLoad { index } => {
-                let addr = ARG_BASE + 8 * index as u64;
-                let q0 = self.hier.queue_cycles();
-                let l = self.hier.scalar_access(cu, addr, now) - now;
-                queued = self.hier.queue_cycles() - q0;
-                l
-            }
-            StepEffect::Lds => lat.lds,
-            StepEffect::Barrier => lat.salu,
-            StepEffect::End => 1,
-        };
-        ctrl.on_inst_retire(info.class, latency);
-
-        // Classify what the warp waits on until its next event; the
-        // wait is attributed when it closes (next issue or retire).
-        {
-            let warp = &mut self.warps[w as usize];
-            warp.pending = match info.effect {
-                StepEffect::Mem { write: false } | StepEffect::ArgLoad { .. } => {
-                    StallClass::MemPending
-                }
-                StepEffect::Lds => StallClass::LdsConflict,
-                StepEffect::Barrier => StallClass::Barrier,
-                StepEffect::End => StallClass::Drained,
-                // ALU results and fire-and-forget store issue both wait
-                // on the scoreboard.
-                _ => StallClass::DepScoreboard,
-            }
-            .index() as u8;
-            warp.pending_queue = queued;
-            warp.ready_at = match info.effect {
-                StepEffect::Barrier => Cycle::MAX,
-                _ => now + latency.max(1),
             };
-        }
-
-        match info.effect {
-            StepEffect::End => {
-                self.retire_warp(w, now + 1, ctrl)?;
-            }
-            StepEffect::Barrier => {
-                let warps_per_wg = self.launch.warps_per_wg;
-                let warp = &mut self.warps[w as usize];
-                let warp_gid = warp.global_id;
-                let wg = &mut self.wgs[warp.wg as usize];
-                let wg_id = wg.id;
-                wg.barrier_arrived += 1;
-                wg.barrier_waiting.push(w);
-                let arrived = wg.barrier_arrived;
-                self.hooks.trace.emit_with(|| TraceEvent {
-                    ts: now,
-                    dur: 0,
-                    kind: EventKind::BarrierWait {
-                        wg: wg_id,
-                        warp: warp_gid,
-                        arrived,
-                        expected: warps_per_wg,
-                    },
-                });
-                // Strict CUDA-like semantics: the barrier releases only
-                // when every warp of the workgroup arrives. A warp that
-                // exits early can therefore never satisfy it — that is
-                // detected as a deadlock in retire_warp / run, not
-                // silently forgiven.
-                if wg.barrier_arrived == warps_per_wg {
-                    let release = now + lat.barrier_release;
-                    let waiting = std::mem::take(&mut wg.barrier_waiting);
-                    wg.barrier_arrived = 0;
-                    for ww in waiting {
-                        // Barrier time ends at release; anything past it
-                        // until the next issue is port contention.
-                        self.warps[ww as usize].ready_at = release;
-                        self.push_event(release, EvKind::Ready(ww));
-                    }
-                    self.hooks.trace.emit_with(|| TraceEvent {
-                        ts: release,
-                        dur: 0,
-                        kind: EventKind::BarrierRelease {
-                            wg: wg_id,
-                            released: warps_per_wg,
-                        },
-                    });
-                }
-            }
-            _ => {
-                self.push_event(now + latency.max(1), EvKind::Ready(w));
-            }
-        }
-        Ok(())
-    }
-
-    fn retire_warp(
-        &mut self,
-        w: u32,
-        now: Cycle,
-        ctrl: &mut dyn SamplingController,
-    ) -> Result<(), SimError> {
-        // Attribute the tail of the warp's residency (its final wait or
-        // predicted span) before retiring it.
-        close_wait(&mut self.acct, &mut self.warps[w as usize], now);
-        let (wg_idx, was_detailed) = {
-            let warp = &mut self.warps[w as usize];
-            debug_assert!(!warp.done);
-            warp.done = true;
-            warp.pending = StallClass::Drained.index() as u8;
-            warp.ready_at = Cycle::MAX;
-            let was_detailed = warp.state.is_some();
-            if was_detailed {
-                if warp.bb_open {
-                    let rec = BbRecord {
-                        warp: warp.global_id,
-                        bb: warp.bb_id,
-                        start: warp.bb_start,
-                        end: now,
-                        insts: warp.bb_insts,
-                    };
-                    ctrl.on_bb_record(&rec);
-                    self.acct.record_bb(&rec);
-                    self.hooks.bb_duration.record(rec.duration());
-                    self.hooks.trace.emit_with(|| TraceEvent {
-                        ts: rec.start,
-                        dur: rec.duration(),
-                        kind: EventKind::BbInterval {
-                            warp: rec.warp,
-                            bb: rec.bb.0,
-                            insts: rec.insts,
-                        },
-                    });
-                    warp.bb_open = false;
-                }
-                let rec = WarpRecord {
-                    warp: warp.global_id,
-                    issue: warp.issue_cycle,
-                    retire: now,
-                    insts: warp.insts,
-                };
-                ctrl.on_warp_retire(&rec);
-                self.hooks.warp_duration.record(rec.duration());
-                let cu = warp.cu;
-                self.hooks.trace.emit_with(|| TraceEvent {
-                    ts: rec.issue,
-                    dur: rec.duration(),
-                    kind: EventKind::WarpRetire {
-                        warp: rec.warp,
-                        cu,
-                        insts: rec.insts,
-                    },
-                });
-                warp.state = None;
-            }
-            (warp.wg, was_detailed)
-        };
-        let _ = was_detailed;
-        self.last_retire = self.last_retire.max(now);
-        self.last_progress = self.last_progress.max(now);
-
-        let (wg_done, bypassed_barrier) = {
-            let wg = &mut self.wgs[wg_idx as usize];
-            wg.live -= 1;
-            if wg.live == 0 {
-                wg.done = true;
-                wg.lds = Vec::new();
-                (true, false)
-            } else {
-                // Under strict barrier semantics a retired warp can
-                // never arrive, so siblings already parked at a barrier
-                // are stuck forever.
-                (false, !wg.barrier_waiting.is_empty())
-            }
-        };
-        if bypassed_barrier {
-            let snapshot = self.snapshot(now);
-            self.hooks.abort(AbortKind::Deadlock, &snapshot);
-            return Err(SimError::Deadlock { snapshot });
-        }
-
-        if wg_done {
-            let (cu, t0, first) = {
-                let wg = &self.wgs[wg_idx as usize];
-                (wg.cu as usize, wg.t0, wg.first_warp_rt as usize)
-            };
-            // The workgroup's residency window closes: charge each
-            // member's retire-to-completion gap as Drained and credit
-            // the CU's resident warp-cycles.
-            let n = self.launch.warps_per_wg as usize;
-            for i in first..first + n {
-                let from = self.warps[i].acct_from;
-                self.acct.span(cu, None, StallClass::Drained, from, now);
-                self.warps[i].acct_from = now;
-            }
-            self.acct.cu_resident[cu] += n as u64 * now.saturating_sub(t0);
-            self.cu_free_warps[cu] += self.launch.warps_per_wg;
-            self.cu_free_lds[cu] += self.launch.lds_bytes;
-            self.cu_wg_count[cu] -= 1;
-            self.dispatch(now, ctrl)?;
+            let shard = self.cu_shard[cu] as usize;
+            self.shards[shard].admit_wg(wg_id, cu as u32, mode, t0, now, seed, self.launch);
         }
         Ok(())
     }
@@ -1513,98 +1028,101 @@ impl<'a> KernelRun<'a> {
         let mut total = 0u64;
         let program = self.launch.kernel.program();
         let max_insts = self.cfg.max_insts_per_warp;
+        let mut scratch: Vec<u64> = Vec::new();
 
-        for wg_idx in 0..self.wgs.len() {
-            if self.wgs[wg_idx].done {
-                continue;
-            }
-            let wg_id = self.wgs[wg_idx].id;
-            let first = self.wgs[wg_idx].first_warp_rt as usize;
-            let n = self.launch.warps_per_wg as usize;
-            let waiting: Vec<u32> = self.wgs[wg_idx].barrier_waiting.clone();
-            let mut at_barrier: Vec<bool> = (0..n)
-                .map(|i| waiting.contains(&((first + i) as u32)))
-                .collect();
-            let mut lds = std::mem::take(&mut self.wgs[wg_idx].lds);
-            if lds.is_empty() {
-                // The workgroup aborted before any detailed warp
-                // stepped, so its lazy LDS was never materialized.
-                lds = vec![0u8; self.launch.lds_bytes.max(4) as usize];
-            }
-            loop {
-                let mut progressed = false;
-                for (i, at_barrier_i) in at_barrier.iter_mut().enumerate() {
-                    let w = first + i;
-                    let Some(mut state) = self.warps[w].state.take() else {
-                        continue;
-                    };
-                    if state.ended || *at_barrier_i {
-                        self.warps[w].state = Some(state);
-                        continue;
-                    }
-                    let env = LaunchEnv {
-                        args: &self.launch.args,
-                        wg_id,
-                        warp_in_wg: i as u32,
-                        warps_per_wg: self.launch.warps_per_wg,
-                        num_wgs: self.launch.num_wgs,
-                    };
-                    let mut steps = 0u64;
-                    loop {
-                        let info = step(
-                            &mut state,
-                            program,
-                            self.mem,
-                            &mut lds,
-                            &env,
-                            &mut self.lines_scratch,
-                        )?;
-                        steps += 1;
-                        progressed = true;
-                        match info.effect {
-                            StepEffect::End => break,
-                            StepEffect::Barrier => {
-                                *at_barrier_i = true;
-                                break;
+        for si in 0..self.shards.len() {
+            for wg_idx in 0..self.shards[si].wgs.len() {
+                if self.shards[si].wgs[wg_idx].done {
+                    continue;
+                }
+                let wg_id = self.shards[si].wgs[wg_idx].id;
+                let first = self.shards[si].wgs[wg_idx].first_warp_rt as usize;
+                let n = self.launch.warps_per_wg as usize;
+                let waiting: Vec<u32> = self.shards[si].wgs[wg_idx].barrier_waiting.clone();
+                let mut at_barrier: Vec<bool> = (0..n)
+                    .map(|i| waiting.contains(&((first + i) as u32)))
+                    .collect();
+                let mut lds = std::mem::take(&mut self.shards[si].wgs[wg_idx].lds);
+                if lds.is_empty() {
+                    // The workgroup aborted before any detailed warp
+                    // stepped, so its lazy LDS was never materialized.
+                    lds = vec![0u8; self.launch.lds_bytes.max(4) as usize];
+                }
+                loop {
+                    let mut progressed = false;
+                    for (i, at_barrier_i) in at_barrier.iter_mut().enumerate() {
+                        let w = first + i;
+                        let Some(mut state) = self.shards[si].warps[w].state.take() else {
+                            continue;
+                        };
+                        if state.ended || *at_barrier_i {
+                            self.shards[si].warps[w].state = Some(state);
+                            continue;
+                        }
+                        let env = LaunchEnv {
+                            args: &self.launch.args,
+                            wg_id,
+                            warp_in_wg: i as u32,
+                            warps_per_wg: self.launch.warps_per_wg,
+                            num_wgs: self.launch.num_wgs,
+                        };
+                        let mut steps = 0u64;
+                        loop {
+                            let info = step(
+                                &mut state,
+                                program,
+                                &mut *self.mem,
+                                &mut lds,
+                                &env,
+                                &mut scratch,
+                            )?;
+                            steps += 1;
+                            progressed = true;
+                            match info.effect {
+                                StepEffect::End => break,
+                                StepEffect::Barrier => {
+                                    *at_barrier_i = true;
+                                    break;
+                                }
+                                _ => {}
                             }
-                            _ => {}
+                            if self.shards[si].warps[w].insts + steps > max_insts {
+                                return Err(SimError::InstLimitExceeded {
+                                    warp: self.shards[si].warps[w].global_id,
+                                    limit: max_insts,
+                                });
+                            }
                         }
-                        if self.warps[w].insts + steps > max_insts {
-                            return Err(SimError::InstLimitExceeded {
-                                warp: self.warps[w].global_id,
-                                limit: max_insts,
-                            });
-                        }
+                        total += steps;
+                        self.shards[si].warps[w].insts += steps;
+                        self.shards[si].warps[w].state = Some(state);
                     }
-                    total += steps;
-                    self.warps[w].insts += steps;
-                    self.warps[w].state = Some(state);
-                }
-                let live = (0..n)
-                    .filter(|&i| {
-                        self.warps[first + i]
-                            .state
-                            .as_deref()
-                            .is_some_and(|s| !s.ended)
-                    })
-                    .count();
-                if live == 0 {
-                    break;
-                }
-                let arrived = (0..n)
-                    .filter(|&i| {
-                        at_barrier[i]
-                            && self.warps[first + i]
+                    let live = (0..n)
+                        .filter(|&i| {
+                            self.shards[si].warps[first + i]
                                 .state
                                 .as_deref()
                                 .is_some_and(|s| !s.ended)
-                    })
-                    .count();
-                if arrived == live || !progressed {
-                    at_barrier.iter_mut().for_each(|b| *b = false);
+                        })
+                        .count();
+                    if live == 0 {
+                        break;
+                    }
+                    let arrived = (0..n)
+                        .filter(|&i| {
+                            at_barrier[i]
+                                && self.shards[si].warps[first + i]
+                                    .state
+                                    .as_deref()
+                                    .is_some_and(|s| !s.ended)
+                        })
+                        .count();
+                    if arrived == live || !progressed {
+                        at_barrier.iter_mut().for_each(|b| *b = false);
+                    }
                 }
+                self.shards[si].wgs[wg_idx].done = true;
             }
-            self.wgs[wg_idx].done = true;
         }
 
         for wg_id in self.next_wg..self.launch.num_wgs {
@@ -1990,6 +1508,20 @@ mod tests {
             .expect("warp duration histogram registered");
         assert_eq!(hist.count, 4);
         assert!(hist.min > 0);
+    }
+
+    #[test]
+    fn serial_run_reports_spanning_shard_busy() {
+        let mut gpu = GpuSimulator::new(GpuConfig::tiny());
+        let launch = vadd_launch(&mut gpu, 2, 2);
+        let r = gpu.run_kernel(&launch).unwrap();
+        let snap = gpu.telemetry().snapshot();
+        assert_eq!(snap.counter("engine.shard.0.busy_cycles"), Some(r.cycles));
+        // Serial runs never execute epoch barriers.
+        assert_eq!(snap.counter("engine.epochs"), None);
+        let acct = r.accounting.expect("accounting present");
+        assert_eq!(acct.shards.len(), 1, "one spanning shard");
+        acct.check().expect("balance invariant");
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! The epoch-parallel execution modes of the sharded timing engine.
+//!
+//! One shard per CU (always — the partition never depends on the
+//! worker-thread count), advanced in lock-step quanta:
+//!
+//! 1. **Find the next epoch.** `next` is the minimum pending event
+//!    cycle across all shard calendars; the epoch spans
+//!    `[next, next + quantum)`. Idle gaps are skipped entirely, so the
+//!    engine stays event-driven even with a tiny quantum.
+//! 2. **Run shards.** Each shard drains its calendar inside the window
+//!    against a copy-on-write overlay of device memory
+//!    ([`crate::overlay::OverlayMem`]), queueing memory requests into
+//!    its port, controller callbacks into its [`CtrlBuf`], and
+//!    workgroup completions for the coordinator. With `threads > 1`
+//!    the shards are chunked across scoped worker threads; with one
+//!    thread they run inline — the barrier protocol below is identical
+//!    either way, which is what makes the deterministic mode's results
+//!    thread-count-invariant.
+//! 3. **Barrier.** The coordinator merges overlay writes into device
+//!    memory (shard order), services every port request against the
+//!    shared hierarchy in canonical `(req_cycle, cu, submission)`
+//!    order — an order that is invariant to how shards were chunked —
+//!    replays buffered controller callbacks sorted by
+//!    `(cycle, warp, seq)`, and dispatches freed workgroup slots in
+//!    `(cycle, wg)` order.
+//!
+//! **Deterministic mode** sizes the quantum at or below every
+//! cross-shard latency (see
+//! [`GpuConfig::resolved_quantum`](crate::GpuConfig::resolved_quantum)),
+//! so no response or dispatch can land inside the epoch that caused
+//! it: results are bit-identical across thread counts and to the
+//! serial engine up to same-cycle cross-CU tie order. **Relaxed mode**
+//! runs a larger quantum for fewer barriers and clamps any
+//! would-be-past wakeup forward to the epoch boundary, trading bounded
+//! timing error (counted in `engine.relaxed.clamped_cycles`) for
+//! speed.
+//!
+//! Cross-CU memory visibility is epoch-granular: a store becomes
+//! visible to other CUs at the next barrier. Same-epoch cross-CU
+//! read-after-write is not modeled (data-racy kernels would need
+//! cross-CU synchronization — a barrier — which crosses an epoch
+//! anyway).
+
+use crate::config::{EngineMode, WatchdogConfig};
+use crate::controller::SamplingController;
+use crate::engine::KernelRun;
+use crate::error::SimError;
+use crate::shard::{CtrlEv, ShardStop};
+use gpu_mem::{AddressSpace, Cycle};
+use gpu_telemetry::faults::{self, FaultSite};
+use gpu_telemetry::{AbortKind, EventKind, TraceEvent};
+use std::time::Duration;
+
+impl KernelRun<'_> {
+    /// The epoch loop (deterministic and relaxed modes). Returns the
+    /// cycle of the last epoch's start, mirroring the serial loop's
+    /// final `now`.
+    pub(crate) fn run_epochs(
+        &mut self,
+        wd: WatchdogConfig,
+        ctrl: &mut dyn SamplingController,
+    ) -> Result<Cycle, SimError> {
+        let quantum = self.cfg.resolved_quantum().max(1);
+        let threads = self.cfg.resolved_threads() as usize;
+        let relaxed = matches!(self.cfg.engine.mode, EngineMode::Relaxed);
+        let faults_on = faults::active();
+        let mut now = self.start;
+        let mut epoch_idx: u64 = 0;
+        let mut busy_before: Vec<u64> = Vec::with_capacity(self.shards.len());
+        let mut lines_buf: Vec<u64> = Vec::new();
+        let mut req_order: Vec<((Cycle, Cycle, u32), usize, usize)> = Vec::new();
+        let mut ctrl_evs: Vec<(Cycle, u64, u32, CtrlEv)> = Vec::new();
+        let mut completions: Vec<(Cycle, u32, usize, u32)> = Vec::new();
+
+        // Event-driven epoch placement: jump straight to the next
+        // pending event anywhere in the machine.
+        while let Some(next) = self
+            .shards
+            .iter()
+            .filter_map(|s| s.events.next_cycle())
+            .min()
+        {
+            now = next;
+            if now - self.start > wd.cycle_fuel {
+                let snapshot = self.snapshot(now);
+                self.hooks.abort(AbortKind::FuelExhausted, &snapshot);
+                return Err(SimError::FuelExhausted {
+                    fuel: wd.cycle_fuel,
+                    snapshot,
+                });
+            }
+            if now.saturating_sub(self.last_progress()) > wd.stall_cycles {
+                let snapshot = self.snapshot(now);
+                self.hooks.abort(AbortKind::Deadlock, &snapshot);
+                return Err(SimError::Deadlock { snapshot });
+            }
+            self.fire_windows(now, ctrl);
+            if self.abort_ipc.is_some() {
+                break;
+            }
+            if faults_on {
+                // Chaos hook: delay the barrier round-trip, exercising
+                // the engine's tolerance of slow worker scheduling.
+                faults::maybe_stall(
+                    FaultSite::EngineEpochStall,
+                    epoch_idx,
+                    Duration::from_millis(50),
+                );
+            }
+            let t_end = next + quantum;
+
+            busy_before.clear();
+            busy_before.extend(self.shards.iter().map(|s| s.busy_cycles));
+
+            // --- Run every shard over [next, t_end). -----------------
+            let mut stops: Vec<(usize, ShardStop)> = Vec::new();
+            if threads <= 1 || self.shards.len() <= 1 {
+                for (i, shard) in self.shards.iter_mut().enumerate() {
+                    if let Err(stop) = shard.run_epoch(next, t_end, self.mem, self.launch) {
+                        stops.push((i, stop));
+                        break;
+                    }
+                }
+            } else {
+                let mem: &AddressSpace = &*self.mem;
+                let launch = self.launch;
+                let chunk = self.shards.len().div_ceil(threads);
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for (ci, shards) in self.shards.chunks_mut(chunk).enumerate() {
+                        let base_idx = ci * chunk;
+                        handles.push(scope.spawn(move || {
+                            let mut local: Vec<(usize, ShardStop)> = Vec::new();
+                            for (i, shard) in shards.iter_mut().enumerate() {
+                                if let Err(stop) = shard.run_epoch(next, t_end, mem, launch) {
+                                    local.push((base_idx + i, stop));
+                                }
+                            }
+                            local
+                        }));
+                    }
+                    for h in handles {
+                        match h.join() {
+                            Ok(mut local) => stops.append(&mut local),
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        }
+                    }
+                });
+            }
+            if !stops.is_empty() {
+                // Deterministic error reporting: the lowest shard index
+                // wins regardless of which worker noticed first.
+                stops.sort_by_key(|&(i, _)| i);
+                let (_, stop) = stops.swap_remove(0);
+                return Err(self.stop_to_err(stop));
+            }
+
+            // --- Barrier. --------------------------------------------
+            // 1. Commit overlay writes to device memory, shard order.
+            //    (Within a shard the overlay already resolved ordering;
+            //    cross-shard same-epoch write conflicts are unmodeled,
+            //    like cross-CU same-epoch RAW.)
+            for si in 0..self.shards.len() {
+                let writes = std::mem::take(&mut self.shards[si].pending_writes);
+                for (addr, byte) in writes {
+                    self.mem.write_u8(addr, byte);
+                }
+            }
+
+            // 2. Service the ports in canonical order: request cycle,
+            //    then the issuing event's push moment (the serial
+            //    calendar is FIFO on push order within a cycle, and
+            //    pushes happen in cycle order — so the push cycle is the
+            //    serial tie-break between CUs), then CU, then per-shard
+            //    submission sequence. The key is independent of thread
+            //    chunking, so contention-induced queueing in the
+            //    hierarchy resolves identically at any thread count.
+            req_order.clear();
+            for (si, shard) in self.shards.iter().enumerate() {
+                for (ri, req) in shard.port.requests().iter().enumerate() {
+                    req_order.push(((req.req_cycle, shard.req_tags[ri], req.cu), ri, si));
+                }
+            }
+            req_order.sort_unstable_by_key(|&(key, ri, _)| (key, ri));
+            let requests = req_order.len() as u32;
+            for &(_, ri, si) in &req_order {
+                let req = self.shards[si].port.requests()[ri];
+                lines_buf.clear();
+                lines_buf.extend_from_slice(self.shards[si].port.request_lines(&req));
+                let resp = self.hier.service(&req, &lines_buf);
+                // Stores are fire-and-forget: the issuing warp already
+                // paid the issue latency and moved on; only loads have
+                // a parked warp waiting on the response.
+                if !req.write {
+                    self.clamped_cycles += self.shards[si].apply_response(&resp, t_end, relaxed);
+                }
+            }
+            for shard in &mut self.shards {
+                shard.port.clear_requests();
+                shard.req_tags.clear();
+            }
+
+            // 3. Replay buffered controller callbacks in canonical
+            //    (cycle, warp, seq) order. A warp lives in exactly one
+            //    shard, so the per-shard seq resolves all residual ties.
+            ctrl_evs.clear();
+            for shard in &mut self.shards {
+                ctrl_evs.append(&mut shard.ctrl_buf.evs);
+            }
+            ctrl_evs.sort_unstable_by_key(|&(cycle, gid, seq, _)| (cycle, gid, seq));
+            for (_, _, _, ev) in ctrl_evs.drain(..) {
+                match ev {
+                    CtrlEv::Bb(rec) => ctrl.on_bb_record(&rec),
+                    CtrlEv::Warp(rec) => ctrl.on_warp_retire(&rec),
+                    CtrlEv::Inst(class, latency) => ctrl.on_inst_retire(class, latency),
+                }
+            }
+
+            // 4. Free completed workgroups and refill CUs, in canonical
+            //    (cycle, wg) order so the round-robin dispatcher state
+            //    advances identically at any thread count.
+            completions.clear();
+            for (si, shard) in self.shards.iter_mut().enumerate() {
+                for (cycle, wg_local) in shard.completions.drain(..) {
+                    let wg_id = shard.wgs[wg_local as usize].id;
+                    completions.push((cycle, wg_id, si, wg_local));
+                }
+            }
+            completions.sort_unstable_by_key(|&(cycle, wg_id, _, _)| (cycle, wg_id));
+            for &(cycle, _, si, wg_local) in &completions {
+                self.free_wg_resources(si, wg_local);
+                // Deterministic mode needs no clamp: the dispatch
+                // latency is >= the quantum, so the new workgroup's t0
+                // lands at or past the boundary by construction. In
+                // relaxed mode the quantum can exceed it, so pull the
+                // dispatch decision forward to keep admitted events out
+                // of the already-simulated window.
+                let disp_at = if relaxed {
+                    cycle.max(t_end.saturating_sub(self.cfg.lat.dispatch))
+                } else {
+                    cycle
+                };
+                self.dispatch(disp_at, ctrl)?;
+            }
+
+            let busy_shards = self
+                .shards
+                .iter()
+                .zip(busy_before.iter())
+                .filter(|(s, &b)| s.busy_cycles > b)
+                .count() as u32;
+            self.hooks.trace.emit_with(|| TraceEvent {
+                ts: next,
+                dur: quantum,
+                kind: EventKind::EpochBarrier {
+                    epoch: epoch_idx,
+                    busy_shards,
+                    requests,
+                },
+            });
+            self.epochs += 1;
+            epoch_idx += 1;
+        }
+        Ok(now)
+    }
+}

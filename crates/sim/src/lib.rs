@@ -41,15 +41,17 @@ mod calendar;
 mod config;
 mod controller;
 mod engine;
+mod epoch;
 mod error;
 mod exec;
 mod functional;
 mod overlay;
 mod result;
+mod shard;
 mod warp;
 
 pub use calendar::CalendarQueue;
-pub use config::{GpuConfig, LatencyConfig};
+pub use config::{EngineConfig, EngineMode, GpuConfig, LatencyConfig, RELAXED_QUANTUM_DEFAULT};
 pub use controller::{
     BbRecord, KernelDirective, KernelStartAccess, NullController, Recorder, SamplingController,
     WarpRecord, WgMode,

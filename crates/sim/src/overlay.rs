@@ -73,6 +73,12 @@ impl<'a> OverlayMem<'a> {
     pub fn dirty_bytes(&self) -> usize {
         self.writes.len()
     }
+
+    /// Drains the shadowed bytes (unordered) so they can be merged into
+    /// the base address space at an epoch barrier.
+    pub fn take_writes(&mut self) -> Vec<(u64, u8)> {
+        self.writes.drain().collect()
+    }
 }
 
 impl DataMem for OverlayMem<'_> {

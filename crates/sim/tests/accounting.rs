@@ -5,7 +5,8 @@
 
 use gpu_isa::{CmpOp, Kernel, KernelBuilder, KernelLaunch, MemWidth, SAluOp, VAluOp, VectorSrc};
 use gpu_sim::{
-    Cycle, GpuConfig, GpuSimulator, KernelStartAccess, Recorder, SamplingController, WgMode,
+    Cycle, EngineMode, GpuConfig, GpuSimulator, KernelStartAccess, Recorder, SamplingController,
+    WgMode,
 };
 use gpu_telemetry::{CycleAccounting, StallClass};
 
@@ -224,6 +225,42 @@ fn skipped_kernel_has_no_accounting() {
     assert!(result.skipped);
     assert!(result.accounting.is_none());
     assert!(result.bb_stats.is_empty());
+}
+
+/// Per-shard stall attribution in the sharded engine: a two-CU
+/// deterministic run carries one `ShardAccounting` row per CU shard,
+/// every row balances (its stall classes sum to its resident
+/// warp-cycles), and the shard rows re-aggregate exactly to the CU
+/// totals — `CycleAccounting::check` enforces all three levels.
+#[test]
+fn two_shard_deterministic_accounting_balances() {
+    let cfg = GpuConfig::tiny()
+        .with_num_cus(2)
+        .with_engine_mode(EngineMode::Deterministic);
+    let mut gpu = GpuSimulator::new(cfg);
+    let launch = vadd_launch(&mut gpu, 8, 4);
+    let result = gpu.run_kernel(&launch).unwrap();
+    let a = acct(&result);
+    a.check().expect("per-shard + global stall-sum invariant");
+    assert_eq!(a.shards.len(), 2, "one accounting row per CU shard");
+    for s in &a.shards {
+        assert!(s.total() > 0, "shard {} attributed no warp-cycles", s.shard);
+        assert_eq!(s.total(), s.resident_warp_cycles);
+    }
+    let shard_sum: u64 = a.shards.iter().map(|s| s.total()).sum();
+    assert_eq!(shard_sum, a.resident_warp_cycles());
+
+    // The serial engine on the same machine shape agrees cycle for
+    // cycle (it spans all CUs with a single shard, so its report has
+    // exactly one row covering everything).
+    let mut serial = GpuSimulator::new(GpuConfig::tiny().with_num_cus(2));
+    let launch2 = vadd_launch(&mut serial, 8, 4);
+    let r2 = serial.run_kernel(&launch2).unwrap();
+    assert_eq!(result.cycles, r2.cycles);
+    let sa = acct(&r2);
+    sa.check().expect("serial invariant");
+    assert_eq!(sa.shards.len(), 1);
+    assert_eq!(sa.shards[0].total(), sa.resident_warp_cycles());
 }
 
 /// Simulated cycles must be bit-identical whether or not anyone looks

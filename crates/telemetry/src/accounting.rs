@@ -125,6 +125,30 @@ impl StallWindow {
     }
 }
 
+/// Per-shard stall totals: the same class/resident pair as
+/// [`CuAccounting`], attributed by one event domain of the sharded
+/// timing engine. The serial engine reports a single shard spanning
+/// all CUs; the epoch engines report one per CU shard. Each shard
+/// accumulates its counts independently of the per-CU arrays, so the
+/// cross-consistency check in [`CycleAccounting::check`] catches
+/// merge bugs in the parallel paths.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardAccounting {
+    /// Shard index (CU index in the epoch engines).
+    pub shard: u32,
+    /// Warp-cycles per [`StallClass`] attributed by this shard.
+    pub classes: [u64; STALL_CLASSES],
+    /// Resident warp-cycles credited by this shard.
+    pub resident_warp_cycles: u64,
+}
+
+impl ShardAccounting {
+    /// Sum over all classes.
+    pub fn total(&self) -> u64 {
+        self.classes.iter().sum()
+    }
+}
+
 /// The cycle-accounting snapshot attached to kernel results and run
 /// reports: per-CU stall totals plus a windowed timeline.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -137,6 +161,12 @@ pub struct CycleAccounting {
     pub cus: Vec<CuAccounting>,
     /// Stall mix per window, CU-aggregated, oldest first.
     pub timeline: Vec<StallWindow>,
+    /// Per-event-domain totals (diagnostic; skipped on the wire so
+    /// reports written before the sharded engine stay loadable —
+    /// deserialized snapshots simply carry no shard breakdown and
+    /// [`CycleAccounting::check`] tolerates the empty vector).
+    #[serde(skip)]
+    pub shards: Vec<ShardAccounting>,
 }
 
 impl CycleAccounting {
@@ -163,10 +193,14 @@ impl CycleAccounting {
     }
 
     /// Verifies the stall-sum invariant: every CU's class counts sum
-    /// exactly to its resident warp-cycles.
+    /// exactly to its resident warp-cycles, and — when a shard
+    /// breakdown is present — the same holds per shard *and* the shard
+    /// totals agree with the CU totals class-by-class (the shard
+    /// counts are accumulated independently by each event domain, so
+    /// agreement is evidence the parallel merge lost nothing).
     ///
     /// # Errors
-    /// Returns a rendered description of the first violating CU.
+    /// Returns a rendered description of the first violation.
     pub fn check(&self) -> Result<(), String> {
         for (i, cu) in self.cus.iter().enumerate() {
             let total = cu.total();
@@ -178,6 +212,40 @@ impl CycleAccounting {
                     total as i64 - cu.resident_warp_cycles as i64
                 ));
             }
+        }
+        if self.shards.is_empty() {
+            return Ok(());
+        }
+        let mut shard_classes = [0u64; STALL_CLASSES];
+        let mut shard_resident = 0u64;
+        for s in &self.shards {
+            let total = s.total();
+            if total != s.resident_warp_cycles {
+                return Err(format!(
+                    "shard {}: stall classes sum to {total} but resident warp-cycles are {} \
+                     (delta {})",
+                    s.shard,
+                    s.resident_warp_cycles,
+                    total as i64 - s.resident_warp_cycles as i64
+                ));
+            }
+            for (acc, c) in shard_classes.iter_mut().zip(s.classes.iter()) {
+                *acc += c;
+            }
+            shard_resident += s.resident_warp_cycles;
+        }
+        let cu_classes = self.totals();
+        if shard_classes != cu_classes {
+            return Err(format!(
+                "shard totals diverge from CU totals: shards {shard_classes:?} vs cus \
+                 {cu_classes:?}"
+            ));
+        }
+        if shard_resident != self.resident_warp_cycles() {
+            return Err(format!(
+                "shard resident warp-cycles {shard_resident} diverge from CU total {}",
+                self.resident_warp_cycles()
+            ));
         }
         Ok(())
     }
@@ -199,6 +267,17 @@ impl CycleAccounting {
                 *m += t;
             }
             mine.resident_warp_cycles += theirs.resident_warp_cycles;
+        }
+        for theirs in &other.shards {
+            match self.shards.iter_mut().find(|s| s.shard == theirs.shard) {
+                Some(mine) => {
+                    for (m, t) in mine.classes.iter_mut().zip(theirs.classes.iter()) {
+                        *m += t;
+                    }
+                    mine.resident_warp_cycles += theirs.resident_warp_cycles;
+                }
+                None => self.shards.push(*theirs),
+            }
         }
         self.timeline.extend(other.timeline.iter().copied());
     }
@@ -275,6 +354,7 @@ mod tests {
             window: 64,
             cus: vec![cu([10, 5, 0, 0, 3, 0, 2, 4]), cu([0; STALL_CLASSES])],
             timeline: Vec::new(),
+            shards: Vec::new(),
         };
         assert!(acc.check().is_ok());
         acc.cus[0].resident_warp_cycles += 1;
@@ -293,6 +373,7 @@ mod tests {
                 start: 0,
                 classes: [3, 0, 0, 0, 0, 0, 0, 0],
             }],
+            shards: Vec::new(),
         };
         let b = CycleAccounting {
             cycles: 70,
@@ -302,6 +383,7 @@ mod tests {
                 start: 64,
                 classes: [0, 0, 12, 0, 0, 0, 0, 0],
             }],
+            shards: Vec::new(),
         };
         let mut m = a.clone();
         m.merge(&b);
@@ -324,6 +406,83 @@ mod tests {
         assert_eq!(acc.totals(), [0; STALL_CLASSES]);
     }
 
+    fn shard(id: u32, classes: [u64; STALL_CLASSES]) -> ShardAccounting {
+        ShardAccounting {
+            shard: id,
+            classes,
+            resident_warp_cycles: classes.iter().sum(),
+        }
+    }
+
+    #[test]
+    fn shard_invariant_holds_per_shard_and_globally() {
+        let mut acc = CycleAccounting {
+            cycles: 100,
+            window: 64,
+            cus: vec![cu([10, 5, 0, 0, 0, 0, 0, 0]), cu([0, 0, 7, 0, 0, 0, 0, 0])],
+            timeline: Vec::new(),
+            shards: vec![
+                shard(0, [10, 5, 0, 0, 0, 0, 0, 0]),
+                shard(1, [0, 0, 7, 0, 0, 0, 0, 0]),
+            ],
+        };
+        assert!(acc.check().is_ok());
+
+        // A shard whose classes don't sum to its resident count fails.
+        acc.shards[1].resident_warp_cycles += 1;
+        let err = acc.check().unwrap_err();
+        assert!(err.contains("shard 1"), "{err}");
+        acc.shards[1].resident_warp_cycles -= 1;
+
+        // Shard totals must agree with CU totals class-by-class.
+        acc.shards[1].classes[StallClass::MemPending.index()] -= 1;
+        acc.shards[1].resident_warp_cycles -= 1;
+        let err = acc.check().unwrap_err();
+        assert!(err.contains("diverge from CU totals"), "{err}");
+    }
+
+    #[test]
+    fn merge_adds_matching_shards_and_adopts_new_ones() {
+        let mut a = CycleAccounting {
+            cycles: 10,
+            window: 64,
+            cus: vec![cu([4, 0, 0, 0, 0, 0, 0, 0])],
+            timeline: Vec::new(),
+            shards: vec![shard(0, [4, 0, 0, 0, 0, 0, 0, 0])],
+        };
+        let b = CycleAccounting {
+            cycles: 10,
+            window: 64,
+            cus: vec![cu([2, 0, 0, 0, 0, 0, 0, 0]), cu([0, 3, 0, 0, 0, 0, 0, 0])],
+            timeline: Vec::new(),
+            shards: vec![
+                shard(0, [2, 0, 0, 0, 0, 0, 0, 0]),
+                shard(1, [0, 3, 0, 0, 0, 0, 0, 0]),
+            ],
+        };
+        a.merge(&b);
+        assert_eq!(a.shards.len(), 2);
+        assert_eq!(a.shards[0].classes[0], 6);
+        assert_eq!(a.shards[1].classes[1], 3);
+        assert!(a.check().is_ok());
+    }
+
+    #[test]
+    fn shards_are_not_serialized() {
+        let acc = CycleAccounting {
+            cycles: 10,
+            window: 4,
+            cus: vec![cu([1, 0, 0, 0, 0, 0, 0, 0])],
+            timeline: Vec::new(),
+            shards: vec![shard(0, [1, 0, 0, 0, 0, 0, 0, 0])],
+        };
+        let text = serde_json::to_string(&acc).unwrap();
+        assert!(!text.contains("shards"), "{text}");
+        let back: CycleAccounting = serde_json::from_str(&text).unwrap();
+        assert!(back.shards.is_empty());
+        assert!(back.check().is_ok(), "deserialized form must still check");
+    }
+
     #[test]
     fn accounting_roundtrips_through_json() {
         let acc = CycleAccounting {
@@ -334,6 +493,7 @@ mod tests {
                 start: 0,
                 classes: [1, 0, 0, 0, 0, 0, 0, 1],
             }],
+            shards: Vec::new(),
         };
         let text = serde_json::to_string(&acc).unwrap();
         let back: CycleAccounting = serde_json::from_str(&text).unwrap();

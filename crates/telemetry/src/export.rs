@@ -136,6 +136,15 @@ fn args(kind: &EventKind) -> Value {
         EventKind::OccupancySample { resident_warps } => {
             obj(vec![("resident_warps", u(*resident_warps))])
         }
+        EventKind::EpochBarrier {
+            epoch,
+            busy_shards,
+            requests,
+        } => obj(vec![
+            ("epoch", u(*epoch)),
+            ("busy_shards", u(u64::from(*busy_shards))),
+            ("requests", u(u64::from(*requests))),
+        ]),
     }
 }
 
@@ -151,6 +160,7 @@ fn track(kind: &EventKind) -> u64 {
         EventKind::IpcWindow { .. } => 5,
         EventKind::WatchdogAbort { .. } | EventKind::ControllerDecision { .. } => 6,
         EventKind::StallSample { .. } | EventKind::OccupancySample { .. } => 7,
+        EventKind::EpochBarrier { .. } => 8,
     }
 }
 

@@ -68,11 +68,15 @@ pub enum FaultSite {
     ControllerNan,
     /// Run-journal line lands torn (truncated mid-line).
     JournalTorn,
+    /// Epoch barrier of the sharded timing engine stalls for a beat
+    /// (wall-clock only; simulated results must be unaffected, which is
+    /// exactly what the chaos gate verifies).
+    EngineEpochStall,
 }
 
 impl FaultSite {
     /// Every site, for enumeration in docs/tests.
-    pub const ALL: [FaultSite; 10] = [
+    pub const ALL: [FaultSite; 11] = [
         FaultSite::RefcacheReadCorrupt,
         FaultSite::RefcacheWriteTorn,
         FaultSite::RefcacheWriteIoErr,
@@ -83,6 +87,7 @@ impl FaultSite {
         FaultSite::ControllerZeroCycle,
         FaultSite::ControllerNan,
         FaultSite::JournalTorn,
+        FaultSite::EngineEpochStall,
     ];
 
     /// The stable configuration name.
@@ -98,6 +103,7 @@ impl FaultSite {
             FaultSite::ControllerZeroCycle => "controller.zero_cycle",
             FaultSite::ControllerNan => "controller.nan",
             FaultSite::JournalTorn => "journal.torn",
+            FaultSite::EngineEpochStall => "engine.epoch.stall",
         }
     }
 
@@ -118,6 +124,7 @@ impl FaultSite {
             FaultSite::ControllerZeroCycle => 7,
             FaultSite::ControllerNan => 8,
             FaultSite::JournalTorn => 9,
+            FaultSite::EngineEpochStall => 10,
         }
     }
 }
@@ -241,7 +248,8 @@ static PLAN: RwLock<Option<Arc<FaultPlan>>> = RwLock::new(None);
 static ENV_INIT: Once = Once::new();
 /// Per-site count of injections actually performed (diagnostics and
 /// test assertions; monotone for the process lifetime unless reset).
-static INJECTED: [AtomicU64; 10] = [
+static INJECTED: [AtomicU64; 11] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

@@ -42,7 +42,8 @@ mod report;
 mod trace;
 
 pub use accounting::{
-    BbErrorRow, CuAccounting, CycleAccounting, StallClass, StallWindow, STALL_CLASSES,
+    BbErrorRow, CuAccounting, CycleAccounting, ShardAccounting, StallClass, StallWindow,
+    STALL_CLASSES,
 };
 pub use registry::{
     percentile_from_buckets, Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram,

@@ -196,6 +196,16 @@ pub enum EventKind {
         /// Mean resident warps in the window.
         resident_warps: u64,
     },
+    /// One epoch of the sharded timing engine completed its barrier.
+    /// The event's `ts` is the epoch start and `dur` its quantum.
+    EpochBarrier {
+        /// Epoch ordinal within the kernel launch.
+        epoch: u64,
+        /// Shards that processed at least one event this epoch.
+        busy_shards: u32,
+        /// Memory requests drained across the port boundary.
+        requests: u32,
+    },
 }
 
 impl EventKind {
@@ -216,6 +226,7 @@ impl EventKind {
             EventKind::ControllerDecision { .. } => "controller_decision",
             EventKind::StallSample { .. } => "stall_mix",
             EventKind::OccupancySample { .. } => "occupancy",
+            EventKind::EpochBarrier { .. } => "epoch_barrier",
         }
     }
 

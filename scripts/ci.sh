@@ -57,6 +57,41 @@ else
   cargo run -q --release -p photon-bench --bin bench_hot -- --jobs 2 --iters 1 --check
 fi
 
+echo "==> engine-parallel gate (PHOTON_SKIP_PAR_ENGINE=1 to skip)"
+if [[ "${PHOTON_SKIP_PAR_ENGINE:-}" == "1" ]]; then
+  echo "    skipped (PHOTON_SKIP_PAR_ENGINE=1)"
+else
+  # Deterministic epoch engine: the golden-cycles suite must pass
+  # bit-for-bit at 1 and 4 worker threads. PHOTON_ENGINE_THREADS
+  # steers the auto-sized thread count for any test not pinning one.
+  PHOTON_ENGINE_THREADS=1 cargo test -q -p gpu-sim --test golden_cycles
+  PHOTON_ENGINE_THREADS=4 cargo test -q -p gpu-sim --test golden_cycles
+
+  # Relaxed epoch engine: rerun the smoke grid on the relaxed engine
+  # and hold it to the documented bound against the serial smoke
+  # report — stall-class shares and simulated cycles within 10%
+  # (profile diff), accounting invariants intact (profile check).
+  par_tmp="$(mktemp -d)"
+  cp results/BENCH_smoke.json "$par_tmp/BENCH_smoke_serial.json"
+  cargo run -q --release -p photon-bench --features telemetry --bin report -- smoke --jobs 2 \
+    --no-journal --engine relaxed --engine-threads 4
+  cargo run -q --release -p photon-bench --bin profile -- diff \
+    "$par_tmp/BENCH_smoke_serial.json" results/BENCH_smoke.json 0.10
+  cargo run -q --release -p photon-bench --bin profile -- check
+
+  # Chaos: epoch-barrier stalls injected into a deterministic 4-thread
+  # smoke run must be absorbed (slow workers cost wall time, never
+  # results); the accounting invariants must survive.
+  cargo run -q --release -p photon-bench --features telemetry --bin report -- smoke --jobs 2 \
+    --no-journal --engine deterministic --engine-threads 4 \
+    --faults "engine.epoch.stall:0.001:7"
+  cargo run -q --release -p photon-bench --bin profile -- check
+
+  # Restore the serial smoke report for the gates below.
+  cp "$par_tmp/BENCH_smoke_serial.json" results/BENCH_smoke.json
+  rm -rf "$par_tmp"
+fi
+
 echo "==> chaos gate: smoke under a fixed fault seed (PHOTON_SKIP_CHAOS=1 to skip)"
 if [[ "${PHOTON_SKIP_CHAOS:-}" == "1" ]]; then
   echo "    skipped (PHOTON_SKIP_CHAOS=1)"
