@@ -18,7 +18,7 @@
 //! carry per-BB prediction-error attribution.
 
 use photon_bench::harness::results_dir;
-use photon_bench::profile::{check_report, diff_reports, render_report};
+use photon_bench::profile::{check_report, diff_reports, mem_signature, render_report};
 use photon_bench::report::load_report;
 use std::path::{Path, PathBuf};
 
@@ -60,6 +60,9 @@ fn main() {
             };
             let base = load(Path::new(&args[1]));
             let cur = load(Path::new(&args[2]));
+            // Memory-model signature first: informational, never fails
+            // the diff — it is the review artifact for fidelity changes.
+            print!("{}", mem_signature(&base, &cur));
             let flagged = diff_reports(&base, &cur, threshold);
             if flagged.is_empty() {
                 println!(

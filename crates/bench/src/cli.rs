@@ -33,7 +33,9 @@ pub fn usage(bin: &str, extra: &str) -> String {
          \x20                 serial | deterministic | relaxed\n\
          \x20 --engine-threads N  worker threads per simulation for the epoch\n\
          \x20                 engines (PHOTON_ENGINE_THREADS=N does the same;\n\
-         \x20                 default: available parallelism, capped at the CU count)"
+         \x20                 default: available parallelism, capped at the CU count)\n\
+         \x20 --mem-fidelity M  memory-model override for every run in the grid:\n\
+         \x20                 legacy | detailed (MSHRs, NoC bank queues, DRAM banks)"
     )
 }
 
@@ -125,6 +127,18 @@ pub fn parse_exec_options(args: &mut Vec<String>) -> Result<ExecOptions, String>
                     v.parse::<u32>()
                         .map_err(|_| format!("--engine-threads: not a number: {v}"))?,
                 );
+            }
+            "--mem-fidelity" => {
+                let v = it.next().ok_or("--mem-fidelity needs a value")?;
+                opts.mem_fidelity = Some(match v.as_str() {
+                    "legacy" => gpu_mem::MemFidelityMode::Legacy,
+                    "detailed" => gpu_mem::MemFidelityMode::Detailed,
+                    _ => {
+                        return Err(format!(
+                            "--mem-fidelity: unknown mode {v} (legacy | detailed)"
+                        ))
+                    }
+                });
             }
             _ => rest.push(a),
         }

@@ -70,6 +70,11 @@ pub struct ExecOptions {
     pub engine_mode: Option<gpu_sim::EngineMode>,
     /// Worker-thread override for the epoch engines (`--engine-threads`).
     pub engine_threads: Option<u32>,
+    /// Memory-fidelity override applied to every spec's machine config
+    /// (`--mem-fidelity legacy|detailed`). `None` leaves the specs
+    /// untouched; `Detailed` swaps in [`gpu_mem::MemFidelityConfig::
+    /// detailed`]'s knobs, `Legacy` forces the legacy miss path.
+    pub mem_fidelity: Option<gpu_mem::MemFidelityMode>,
 }
 
 impl Default for ExecOptions {
@@ -86,6 +91,7 @@ impl Default for ExecOptions {
             resume: false,
             engine_mode: None,
             engine_threads: None,
+            mem_fidelity: None,
         }
     }
 }
@@ -198,7 +204,10 @@ pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> ExecReport {
     // on the spec (deduplication, the reference cache, the journal)
     // sees the machine that actually ran.
     let overridden: Vec<RunSpec>;
-    let specs: &[RunSpec] = if opts.engine_mode.is_some() || opts.engine_threads.is_some() {
+    let specs: &[RunSpec] = if opts.engine_mode.is_some()
+        || opts.engine_threads.is_some()
+        || opts.mem_fidelity.is_some()
+    {
         overridden = specs
             .iter()
             .map(|s| {
@@ -208,6 +217,15 @@ pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> ExecReport {
                 }
                 if let Some(threads) = opts.engine_threads {
                     s.gpu.engine.threads = threads;
+                }
+                match opts.mem_fidelity {
+                    Some(gpu_mem::MemFidelityMode::Detailed) => {
+                        s.gpu.mem.fidelity = gpu_mem::MemFidelityConfig::detailed();
+                    }
+                    Some(gpu_mem::MemFidelityMode::Legacy) => {
+                        s.gpu.mem.fidelity.mode = gpu_mem::MemFidelityMode::Legacy;
+                    }
+                    None => {}
                 }
                 s
             })

@@ -204,6 +204,79 @@ pub fn diff_reports(base: &RunReport, cur: &RunReport, threshold: f64) -> Vec<St
     flagged
 }
 
+/// Renders the memory-model signature of a base→current report pair:
+/// per method, the `mem_pending` / `mem_queue_full` shares of resident
+/// warp-cycles, and per hierarchy level the queue-delay p50/p95 from
+/// the published `mem.<level>.queue_delay` histograms. This is the
+/// review artifact for memory-model changes — `profile diff` prints it
+/// unconditionally (informational; only the threshold flags fail the
+/// diff), so a fidelity upgrade's stall-share footprint is visible in
+/// CI logs even when it stays inside the bound.
+pub fn mem_signature(base: &RunReport, cur: &RunReport) -> String {
+    let share = |run: &MethodRun, class: StallClass| -> String {
+        match &run.accounting {
+            Some(a) => pct(a.totals()[class.index()], a.resident_warp_cycles()),
+            None => "-".to_string(),
+        }
+    };
+    let mut t = Table::new(&[
+        "workload",
+        "method",
+        "mem_pending",
+        "mem_queue_full",
+        "(base -> cur)",
+    ]);
+    for cur_run in &cur.runs {
+        let base_run = base.runs.iter().find(|r| r.method == cur_run.method);
+        let fmt = |class: StallClass| {
+            format!(
+                "{} -> {}",
+                base_run.map_or("-".to_string(), |r| share(r, class)),
+                share(cur_run, class)
+            )
+        };
+        t.row(vec![
+            cur.workload.clone(),
+            cur_run.method.clone(),
+            fmt(StallClass::MemPending),
+            fmt(StallClass::MemQueueFull),
+            String::new(),
+        ]);
+    }
+    let mut out = t.render();
+    let mut q = Table::new(&[
+        "queue-delay histogram",
+        "count",
+        "p50",
+        "p95",
+        "(base -> cur)",
+    ]);
+    for h in &cur.metrics.histograms {
+        if !h.name.ends_with(".queue_delay") {
+            continue;
+        }
+        let b = base.metrics.histograms.iter().find(|x| x.name == h.name);
+        let col = |f: fn(&gpu_telemetry::HistogramSnapshot) -> u64| {
+            format!(
+                "{} -> {}",
+                b.map_or("-".to_string(), |x| f(x).to_string()),
+                f(h)
+            )
+        };
+        q.row(vec![
+            h.name.clone(),
+            col(|x| x.count),
+            col(|x| x.p50),
+            col(|x| x.p95),
+            String::new(),
+        ]);
+    }
+    if !q.is_empty() {
+        out.push_str(&q.render());
+    }
+    out
+}
+
 /// Validates a report's accounting data for `profile check`:
 ///
 /// - every run carrying accounting satisfies the stall-sum invariant
@@ -403,6 +476,35 @@ mod tests {
         assert!(diff_reports(&base, &base, 0.05).is_empty());
         // Issued moving is never flagged as a regression.
         assert!(diff_reports(&cur, &base, 0.05).is_empty());
+    }
+
+    #[test]
+    fn mem_signature_shows_share_movement_and_queue_percentiles() {
+        let base = report(vec![run(
+            "photon",
+            Some(acct([80, 0, 15, 5, 0, 0, 0, 0])),
+            vec![],
+        )]);
+        let mut cur = report(vec![run(
+            "photon",
+            Some(acct([60, 0, 20, 20, 0, 0, 0, 0])),
+            vec![],
+        )]);
+        let reg = gpu_telemetry::Registry::default();
+        reg.histogram("mem.l2.queue_delay").record_n(100, 10);
+        cur.metrics.histograms = reg.snapshot().histograms;
+        let s = mem_signature(&base, &cur);
+        assert!(s.contains("mem_pending"), "{s}");
+        assert!(s.contains("15.0% -> 20.0%"), "{s}");
+        assert!(s.contains("5.0% -> 20.0%"), "{s}");
+        assert!(s.contains("mem.l2.queue_delay"), "{s}");
+        // Base has no histogram; the movement column degrades to "-".
+        assert!(s.contains("- -> 10"), "{s}");
+        // A method missing from the base still renders.
+        let lone = report(vec![run("pka", None, vec![])]);
+        let s2 = mem_signature(&report(vec![]), &lone);
+        assert!(s2.contains("pka"), "{s2}");
+        assert!(s2.contains("- -> -"), "{s2}");
     }
 
     #[test]

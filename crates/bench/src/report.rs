@@ -234,10 +234,12 @@ pub fn histogram_summary(reports: &[RunReport]) -> Table {
 /// Renders every counter and gauge carried by the reports' metric
 /// snapshots that describes executor health — abandoned worker threads,
 /// quarantined cache entries, watchdog aborts, refused IPC aborts,
-/// timing-engine shard load (`engine.shard.<i>.busy_cycles`) and epoch
-/// imbalance — so `report show` surfaces leaks, guardrail activity,
-/// and lopsided shard partitions. Zero-valued entries are kept: "0
-/// abandoned threads" is the healthy reading, not noise.
+/// timing-engine shard load (`engine.shard.<i>.busy_cycles`), epoch
+/// imbalance, and detailed-fidelity memory health (per-bank L2 queue
+/// occupancy peaks, DRAM row-buffer hit rate) — so `report show`
+/// surfaces leaks, guardrail activity, lopsided shard partitions, and
+/// memory-model contention. Zero-valued entries are kept: "0 abandoned
+/// threads" is the healthy reading, not noise.
 pub fn gauge_summary(reports: &[RunReport]) -> Table {
     const HEALTH: &[&str] = &[
         "exec.abandoned_threads",
@@ -248,11 +250,12 @@ pub fn gauge_summary(reports: &[RunReport]) -> Table {
         "sim.ipc_abort.refused",
         "engine.epochs",
         "engine.relaxed.clamped_cycles",
+        "mem.dram.row_hit_rate",
     ];
-    // Per-instance metric families are matched on prefix: shard count
-    // depends on the machine config, so the names cannot be
-    // enumerated statically.
-    const HEALTH_PREFIXES: &[&str] = &["engine.shard.", "engine.epoch."];
+    // Per-instance metric families are matched on prefix: shard and
+    // L2-bank counts depend on the machine config, so the names cannot
+    // be enumerated statically.
+    const HEALTH_PREFIXES: &[&str] = &["engine.shard.", "engine.epoch.", "mem.l2.bank."];
     let is_health =
         |name: &str| HEALTH.contains(&name) || HEALTH_PREFIXES.iter().any(|p| name.starts_with(p));
     let mut t = Table::new(&["workload", "metric", "value"]);
@@ -415,6 +418,8 @@ mod tests {
         tel.counter("engine.shard.1.busy_cycles").add(100);
         tel.counter("engine.epochs").add(12);
         tel.gauge("engine.epoch.imbalance").set(1.6);
+        tel.gauge("mem.dram.row_hit_rate").set(0.75);
+        tel.gauge("mem.l2.bank.3.peak_queue").set(9.0);
         tel.counter("sim.unrelated.metric").add(1);
         let report = build_report(
             "vgg",
@@ -433,6 +438,8 @@ mod tests {
         assert!(rendered.contains("engine.epochs"), "{rendered}");
         assert!(rendered.contains("engine.epoch.imbalance"), "{rendered}");
         assert!(rendered.contains("1.60"), "{rendered}");
+        assert!(rendered.contains("mem.dram.row_hit_rate"), "{rendered}");
+        assert!(rendered.contains("mem.l2.bank.3.peak_queue"), "{rendered}");
         assert!(!rendered.contains("unrelated"), "{rendered}");
     }
 

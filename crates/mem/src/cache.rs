@@ -104,14 +104,48 @@ impl Cache {
     }
 
     /// Looks up (and on miss, fills) the line containing `addr`.
+    ///
+    /// This is the legacy-fidelity composition of [`Cache::lookup`] and
+    /// [`Cache::fill`]: the line is installed at lookup time even though
+    /// the real fill is still in flight. The detailed miss path keeps
+    /// the two halves apart and fills when the data actually arrives.
     pub fn access(&mut self, addr: u64, _kind: AccessKind, now: Cycle) -> CacheAccess {
+        if self.lookup(addr, now) {
+            CacheAccess::Hit
+        } else {
+            CacheAccess::Miss {
+                evicted: self.fill(addr, now),
+            }
+        }
+    }
+
+    /// Probes the tag array for the line containing `addr` without
+    /// modifying it on a miss. A hit refreshes the line's LRU stamp.
+    pub fn lookup(&mut self, addr: u64, now: Cycle) -> bool {
+        let line = addr >> self.line_shift;
+        let set_idx = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        if let Some(way) = self.sets[set_idx]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == tag)
+        {
+            way.last_use = now;
+            return true;
+        }
+        false
+    }
+
+    /// Installs the line containing `addr` (a fill completing at `now`),
+    /// returning whether a valid line was displaced. Refreshes the LRU
+    /// stamp instead if the line is already present.
+    pub fn fill(&mut self, addr: u64, now: Cycle) -> bool {
         let line = addr >> self.line_shift;
         let set_idx = (line & self.set_mask) as usize;
         let tag = line >> self.set_mask.count_ones();
         let set = &mut self.sets[set_idx];
         if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
             way.last_use = now;
-            return CacheAccess::Hit;
+            return false;
         }
         // LRU victim: prefer an invalid way, else the least recently
         // used (first on ties, matching min_by_key). Written as a fold
@@ -133,7 +167,7 @@ impl Cache {
             victim.valid = true;
             victim.last_use = now;
         }
-        CacheAccess::Miss { evicted }
+        evicted
     }
 
     /// Invalidates every line (e.g. at kernel boundaries, matching the
@@ -198,5 +232,28 @@ mod tests {
     #[should_panic(expected = "at least one set")]
     fn degenerate_geometry_panics() {
         let _ = Cache::new(&CacheConfig::new(64, 2, 64, 8, 1));
+    }
+
+    #[test]
+    fn lookup_does_not_fill() {
+        let mut c = small();
+        assert!(!c.lookup(0x100, 0));
+        // A second probe still misses: lookup never installed the line.
+        assert!(!c.lookup(0x100, 1));
+        assert!(!c.fill(0x100, 2));
+        assert!(c.lookup(0x100, 3));
+    }
+
+    #[test]
+    fn fill_refreshes_lru_for_present_lines() {
+        let mut c = small();
+        // Two lines in one set (stride 256), then a racing re-fill of
+        // the older one: it must refresh, so the third line evicts b.
+        c.fill(0, 0);
+        c.fill(256, 1);
+        assert!(!c.fill(0, 2), "re-fill of a present line displaces nothing");
+        assert!(c.fill(512, 3), "third line must evict");
+        assert!(c.lookup(0, 4), "refreshed line survived");
+        assert!(!c.lookup(256, 5), "stale line was the victim");
     }
 }

@@ -50,6 +50,125 @@ pub struct DramConfig {
     pub capacity_bytes: u64,
 }
 
+/// Outstanding-miss (MSHR) file geometry for one cache level: how many
+/// distinct lines may be in flight, and how many same-line misses each
+/// entry can absorb before the level back-pressures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MshrConfig {
+    /// MSHR entries (distinct outstanding miss lines).
+    pub entries: u64,
+    /// Additional same-line misses one entry can merge; a further miss
+    /// stalls until the fill returns (a `mem_queue_full`-class delay).
+    pub merge_slots: u64,
+}
+
+impl MshrConfig {
+    /// Creates an MSHR file configuration.
+    pub fn new(entries: u64, merge_slots: u64) -> Self {
+        MshrConfig {
+            entries,
+            merge_slots,
+        }
+    }
+}
+
+/// CU→L2-bank crossbar (NoC) contention model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Crossbar traversal latency charged on every L2 request.
+    pub latency: u64,
+    /// Bounded per-bank request queue depth; arrivals at a full queue
+    /// wait for a slot (a `mem_queue_full`-class delay).
+    pub queue_depth: u64,
+}
+
+/// DRAM bank-level parallelism and row-buffer timing (detailed fidelity
+/// only; the legacy model keeps one flat `DramConfig::latency`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramBankConfig {
+    /// Independent banks per channel (HBM: 16).
+    pub banks_per_channel: u64,
+    /// Row-buffer (page) size in bytes.
+    pub row_bytes: u64,
+    /// Column access when the row is already open.
+    pub row_hit_latency: u64,
+    /// Activate + column access when the bank is idle.
+    pub row_empty_latency: u64,
+    /// Precharge + activate + column access on an open-row conflict.
+    pub row_conflict_latency: u64,
+}
+
+/// Which timing model the hierarchy runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemFidelityMode {
+    /// The original model: fill-at-lookup tag arrays, scalar per-bank
+    /// `next_free` reservations, flat DRAM latency. Bit-identical to the
+    /// pre-MSHR engine — the `golden_cycles` reference.
+    Legacy,
+    /// Explicit outstanding-miss state: per-level MSHR files with
+    /// fill-time tag installation and miss merging, banked L2 behind a
+    /// bounded NoC queue, DRAM bank-level parallelism with row-buffer
+    /// timing, and Fibonacci-mixed bank/channel selection.
+    Detailed,
+}
+
+/// Fidelity toggle plus the knobs the detailed model adds. The knobs are
+/// carried (and serialized) in both modes so switching modes never
+/// changes the config schema; legacy mode simply ignores them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemFidelityConfig {
+    /// Active timing model.
+    pub mode: MemFidelityMode,
+    /// Per-CU vector L1 MSHR file.
+    pub l1v_mshr: MshrConfig,
+    /// Per-group scalar cache MSHR file.
+    pub l1s_mshr: MshrConfig,
+    /// Per-bank L2 MSHR file.
+    pub l2_mshr: MshrConfig,
+    /// CU→L2-bank crossbar.
+    pub noc: NocConfig,
+    /// DRAM bank-level parallelism.
+    pub dram_banks: DramBankConfig,
+}
+
+impl MemFidelityConfig {
+    /// The legacy model with the detailed knobs at their defaults
+    /// (ignored while `mode` is [`MemFidelityMode::Legacy`]).
+    pub fn legacy() -> Self {
+        MemFidelityConfig {
+            mode: MemFidelityMode::Legacy,
+            ..Self::detailed()
+        }
+    }
+
+    /// The detailed model with GCN/HBM-shaped defaults: 64×8 MSHRs per
+    /// L1 and per L2 bank (streaming kernels keep ~50 fills in flight
+    /// per CU across the ~400-cycle L2/DRAM round trip; smaller files
+    /// throttle well below the legacy model's implicit infinity), an
+    /// 8-cycle crossbar with 16-deep bank queues, and 16 banks/channel
+    /// of 2 KB rows (hit 40 / empty 220 / conflict 300 cycles — the
+    /// empty-row case matches the legacy flat latency).
+    pub fn detailed() -> Self {
+        MemFidelityConfig {
+            mode: MemFidelityMode::Detailed,
+            l1v_mshr: MshrConfig::new(64, 8),
+            l1s_mshr: MshrConfig::new(64, 8),
+            l2_mshr: MshrConfig::new(64, 8),
+            noc: NocConfig {
+                latency: 8,
+                queue_depth: 16,
+            },
+            dram_banks: DramBankConfig {
+                banks_per_channel: 16,
+                row_bytes: 2048,
+                row_hit_latency: 40,
+                row_empty_latency: 220,
+                row_conflict_latency: 300,
+            },
+        }
+    }
+}
+
 /// Configuration of the full memory hierarchy of one GPU.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemHierarchyConfig {
@@ -65,6 +184,8 @@ pub struct MemHierarchyConfig {
     pub dram: DramConfig,
     /// Number of CUs (one L1V each).
     pub num_cus: u64,
+    /// Timing-model fidelity (legacy vs detailed miss path).
+    pub fidelity: MemFidelityConfig,
 }
 
 impl MemHierarchyConfig {
@@ -85,6 +206,7 @@ impl MemHierarchyConfig {
                 capacity_bytes: 4 << 30,
             },
             num_cus: 64,
+            fidelity: MemFidelityConfig::legacy(),
         }
     }
 
@@ -104,7 +226,21 @@ impl MemHierarchyConfig {
                 capacity_bytes: 32u64 << 30,
             },
             num_cus: 120,
+            fidelity: MemFidelityConfig::legacy(),
         }
+    }
+
+    /// Whether the detailed miss path (MSHRs, NoC queues, DRAM banks)
+    /// is active.
+    pub fn is_detailed(&self) -> bool {
+        self.fidelity.mode == MemFidelityMode::Detailed
+    }
+
+    /// Returns the configuration with the detailed fidelity model and
+    /// its default knobs enabled.
+    pub fn with_detailed_fidelity(mut self) -> Self {
+        self.fidelity = MemFidelityConfig::detailed();
+        self
     }
 }
 
@@ -127,5 +263,26 @@ mod tests {
         assert_eq!(mi.l2_banks, 32);
         assert_eq!(mi.l2.size_bytes * mi.l2_banks, 8 * 1024 * 1024);
         assert_eq!(mi.dram.capacity_bytes, 32u64 << 30);
+    }
+
+    #[test]
+    fn fidelity_defaults_to_legacy_and_toggle_flips_it() {
+        let cfg = MemHierarchyConfig::r9_nano();
+        assert_eq!(cfg.fidelity.mode, MemFidelityMode::Legacy);
+        assert!(!cfg.is_detailed());
+        let det = cfg.with_detailed_fidelity();
+        assert!(det.is_detailed());
+        assert!(det.fidelity.l1v_mshr.entries > 0);
+        assert!(det.fidelity.noc.queue_depth > 0);
+        assert!(det.fidelity.dram_banks.banks_per_channel > 0);
+        // Conflict > empty > hit: the row buffer must matter.
+        let d = &det.fidelity.dram_banks;
+        assert!(d.row_hit_latency < d.row_empty_latency);
+        assert!(d.row_empty_latency < d.row_conflict_latency);
+        // Legacy carries the same knobs, so the schema never changes.
+        assert_eq!(
+            MemFidelityConfig::legacy().noc,
+            MemFidelityConfig::detailed().noc
+        );
     }
 }

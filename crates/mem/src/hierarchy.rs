@@ -1,10 +1,13 @@
 //! Queueing timing model of the cache/DRAM hierarchy.
 
 use crate::cache::{AccessKind, Cache, CacheAccess};
-use crate::config::MemHierarchyConfig;
+use crate::config::{MemHierarchyConfig, MshrConfig};
 use crate::stats::{MemStats, QueueDelayHist, QueueDelays};
 use crate::Cycle;
-use gpu_telemetry::{CacheLevel, Counter, EventKind, Histogram, Telemetry, Trace, TraceEvent};
+use gpu_telemetry::{
+    CacheLevel, Counter, EventKind, Gauge, Histogram, Telemetry, Trace, TraceEvent,
+};
+use std::collections::VecDeque;
 
 /// Cache line size used throughout the hierarchy.
 pub const LINE_BYTES: u64 = 64;
@@ -42,7 +45,10 @@ pub fn coalesce_lines(addrs: impl IntoIterator<Item = u64>, width_bytes: u64) ->
 #[inline]
 pub fn push_lines(out: &mut Vec<u64>, a: u64, width_bytes: u64) {
     let first = a / LINE_BYTES;
-    let last = (a + width_bytes - 1) / LINE_BYTES;
+    // Saturate instead of wrapping: an access whose last byte would
+    // pass the top of the address space clamps to the final line rather
+    // than spanning the whole 2^64 range (or underflowing on width 0).
+    let last = a.saturating_add(width_bytes.saturating_sub(1)) / LINE_BYTES;
     out.extend(first..=last);
 }
 
@@ -56,12 +62,15 @@ pub fn coalesce_lines_into(out: &mut Vec<u64>) {
 }
 
 /// Registry handles for one cache level (`mem.<level>.{hits,misses,
-/// evictions}`).
+/// evictions,mshr_merges}`).
 #[derive(Debug, Clone)]
 struct LevelCounters {
     hits: Counter,
     misses: Counter,
     evictions: Counter,
+    /// Misses coalesced into an outstanding same-line fill; the level's
+    /// downstream traffic is `misses - mshr_merges`.
+    merges: Counter,
 }
 
 impl LevelCounters {
@@ -70,6 +79,7 @@ impl LevelCounters {
             hits: tel.counter(&format!("mem.{level}.hits")),
             misses: tel.counter(&format!("mem.{level}.misses")),
             evictions: tel.counter(&format!("mem.{level}.evictions")),
+            merges: tel.counter(&format!("mem.{level}.mshr_merges")),
         }
     }
 
@@ -90,6 +100,283 @@ impl LevelCounters {
             }
         }
     }
+
+    /// Records a miss that coalesced into an in-flight fill: a miss in
+    /// the hit/miss accounting, but no downstream transaction.
+    fn record_merge(&self) {
+        self.misses.inc();
+        self.merges.inc();
+    }
+}
+
+/// Fibonacci multiplicative mix for bank/channel selection: power-of-two
+/// strides (the common GPU access pattern) would alias onto a single
+/// bank or channel under plain modulo. Multiplying by the golden-ratio
+/// constant spreads every stride class into the *high* bits of the
+/// product (an odd multiplier preserves trailing zeros, so the low bits
+/// of the product alone would still alias); the final fold xors them
+/// back down so every bit window of the result is usable with `%`.
+#[inline]
+fn fib_mix(x: u64) -> u64 {
+    let m = (x ^ (x >> 31)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    m ^ (m >> 32)
+}
+
+/// One outstanding miss: the line in flight, when its fill returns, and
+/// how many extra same-line misses merged into it.
+#[derive(Debug, Clone, Copy)]
+struct MshrEntry {
+    line: u64,
+    fill_at: Cycle,
+    merges: u64,
+}
+
+/// A miss-status-holding-register file for one cache: tracks lines with
+/// fills in flight so same-line misses merge instead of re-fetching, and
+/// so tags are installed when the data arrives, not when the miss is
+/// discovered.
+///
+/// Entries are expired lazily at access time. Expiry tolerates the
+/// slightly non-monotone `now` the epoch coordinator produces (vector
+/// and scalar requests with equal `req_cycle` differ by the engine's
+/// issue latency): a not-yet-expired entry simply stays in flight a few
+/// cycles longer, and all arithmetic saturates.
+#[derive(Debug)]
+struct MshrFile {
+    entries: Vec<MshrEntry>,
+    capacity: usize,
+    merge_slots: u64,
+}
+
+impl MshrFile {
+    fn new(cfg: &MshrConfig) -> Self {
+        MshrFile {
+            entries: Vec::new(),
+            capacity: (cfg.entries as usize).max(1),
+            merge_slots: cfg.merge_slots,
+        }
+    }
+
+    /// A file that never back-pressures — the legacy model's
+    /// counting-only shadow of outstanding fills (tags are still filled
+    /// at lookup time there, so the file has no timing effect).
+    fn unbounded() -> Self {
+        MshrFile {
+            entries: Vec::new(),
+            capacity: usize::MAX,
+            merge_slots: u64::MAX,
+        }
+    }
+
+    /// Removes every entry whose fill has completed by `now`, handing
+    /// each `(line, fill_at)` to `install` (the detailed path installs
+    /// the tag at fill time; the legacy shadow discards it).
+    fn expire(&mut self, now: Cycle, mut install: impl FnMut(u64, Cycle)) {
+        let mut i = 0;
+        while i < self.entries.len() {
+            if self.entries[i].fill_at <= now {
+                let e = self.entries.swap_remove(i);
+                install(e.line, e.fill_at);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn find_mut(&mut self, line: u64) -> Option<&mut MshrEntry> {
+        self.entries.iter_mut().find(|e| e.line == line)
+    }
+
+    fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// The earliest cycle at which an entry frees (MSHR-full
+    /// back-pressure waits for this).
+    fn earliest_fill(&self) -> Option<Cycle> {
+        self.entries.iter().map(|e| e.fill_at).min()
+    }
+
+    /// Allocates an entry (or refreshes the fill time of an existing
+    /// one — the legacy shadow can re-miss a line it already tracks when
+    /// the tag was evicted under the in-flight window).
+    fn alloc(&mut self, line: u64, fill_at: Cycle) {
+        if let Some(e) = self.find_mut(line) {
+            e.fill_at = e.fill_at.max(fill_at);
+        } else {
+            self.entries.push(MshrEntry {
+                line,
+                fill_at,
+                merges: 0,
+            });
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Bounded request queue in front of one L2 bank. A request occupies a
+/// slot from admission until the bank *starts* servicing it; service
+/// starts are monotone (the bank's `next_free` only grows), so the
+/// queue drains FIFO and admission is O(1) amortized.
+#[derive(Debug, Default)]
+struct BankQueue {
+    /// Service-start cycles of admitted requests, oldest first.
+    starts: VecDeque<Cycle>,
+    /// Highest occupancy observed (per-bank telemetry).
+    peak: u64,
+}
+
+impl BankQueue {
+    /// Admits a request arriving at `arrive` into a queue bounded at
+    /// `depth`: returns the cycle the request actually gets a slot
+    /// (later than `arrive` when the queue is full).
+    fn admit(&mut self, arrive: Cycle, depth: usize) -> Cycle {
+        while self.starts.front().is_some_and(|&s| s <= arrive) {
+            self.starts.pop_front();
+        }
+        if self.starts.len() >= depth {
+            // The slot frees when the oldest of the last `depth`
+            // occupants reaches the bank.
+            self.starts[self.starts.len() - depth].max(arrive)
+        } else {
+            arrive
+        }
+    }
+
+    /// Records an admitted request's service start and tracks peak
+    /// occupancy.
+    fn push(&mut self, start: Cycle) {
+        self.starts.push_back(start);
+        self.peak = self.peak.max(self.starts.len() as u64);
+    }
+}
+
+/// One DRAM bank: its open row (if any) and when it can accept the next
+/// command.
+#[derive(Debug, Clone, Copy, Default)]
+struct DramBank {
+    open_row: Option<u64>,
+    free: Cycle,
+}
+
+/// What the tag/MSHR stage of one cache level decided.
+enum StageOut {
+    /// The access completes at this cycle with no downstream traffic.
+    Done(Cycle),
+    /// Fresh miss: the caller sends it downstream entering at this cycle
+    /// and allocates an MSHR entry with the eventual completion.
+    Downstream(Cycle),
+}
+
+/// Runs the tag + outstanding-miss stage of one cache level for an
+/// access the level accepted at `t`.
+///
+/// Legacy mode preserves the original fill-at-lookup timing bit-for-bit
+/// and only fixes the counting: an access that "hits" a line whose fill
+/// is still in flight is recorded as a merged miss, not a hit. Detailed
+/// mode separates lookup from fill — tags install when the fill returns,
+/// same-line misses merge into the outstanding entry (completing at fill
+/// time, never earlier than a hit), and exhausted merge slots or MSHR
+/// entries back-pressure, recording the wait as a queue delay the engine
+/// charges to `mem_queue_full`.
+#[allow(clippy::too_many_arguments)]
+fn tag_stage(
+    cache: &mut Cache,
+    mshr: &mut MshrFile,
+    delays: &mut QueueDelayHist,
+    ctr: &LevelCounters,
+    trace: &Trace,
+    level: CacheLevel,
+    detailed: bool,
+    addr: u64,
+    kind: AccessKind,
+    hit_latency: u64,
+    t: Cycle,
+) -> StageOut {
+    let line = addr / LINE_BYTES;
+    let emit = |hit: bool, evicted: bool| {
+        trace.emit_with(|| TraceEvent {
+            ts: t,
+            dur: 0,
+            kind: EventKind::CacheAccess {
+                level,
+                hit,
+                evicted,
+            },
+        });
+    };
+    if !detailed {
+        mshr.expire(t, |_, _| {});
+        return match cache.access(addr, kind, t) {
+            CacheAccess::Hit => {
+                if mshr.find_mut(line).is_some() {
+                    // The line's fill is still in flight: the legacy tag
+                    // array made this look like a hit, but it is a
+                    // coalesced miss. Timing is unchanged (that is what
+                    // keeps golden_cycles bit-identical); only the
+                    // accounting flips.
+                    ctr.record_merge();
+                    emit(false, false);
+                } else {
+                    ctr.hits.inc();
+                    emit(true, false);
+                }
+                StageOut::Done(t + hit_latency)
+            }
+            CacheAccess::Miss { evicted } => {
+                ctr.record(CacheAccess::Miss { evicted });
+                emit(false, evicted);
+                StageOut::Downstream(t + hit_latency)
+            }
+        };
+    }
+    mshr.expire(t, |l, at| {
+        if cache.fill(l * LINE_BYTES, at) {
+            ctr.evictions.inc();
+        }
+    });
+    if cache.lookup(addr, t) {
+        ctr.hits.inc();
+        emit(true, false);
+        return StageOut::Done(t + hit_latency);
+    }
+    let merge_slots = mshr.merge_slots;
+    if let Some(e) = mshr.find_mut(line) {
+        ctr.record_merge();
+        emit(false, false);
+        // Completing no earlier than a hit keeps responses out of their
+        // own engine epoch (the deterministic-mode quantum bound).
+        let done = e.fill_at.max(t + hit_latency);
+        if e.merges < merge_slots {
+            e.merges += 1;
+        } else {
+            // Merge slots exhausted: the access stalls at the level until
+            // the fill drains the entry.
+            delays.record(e.fill_at.saturating_sub(t));
+        }
+        return StageOut::Done(done);
+    }
+    let mut enter = t;
+    if mshr.is_full() {
+        // No free entry: back-pressure until the earliest fill returns,
+        // then retire it so the allocation below has a slot.
+        let free_at = mshr.earliest_fill().unwrap_or(t).max(t);
+        delays.record(free_at - t);
+        enter = free_at;
+        mshr.expire(enter, |l, at| {
+            if cache.fill(l * LINE_BYTES, at) {
+                ctr.evictions.inc();
+            }
+        });
+    }
+    // Evictions happen at fill time in detailed mode, so the miss itself
+    // never displaces a line.
+    ctr.misses.inc();
+    emit(false, false);
+    StageOut::Downstream(enter + hit_latency)
 }
 
 /// The timing model of one GPU's memory system.
@@ -106,6 +393,8 @@ impl LevelCounters {
 #[derive(Debug)]
 pub struct MemoryHierarchy {
     config: MemHierarchyConfig,
+    /// Cached `config.is_detailed()` for the hot path.
+    detailed: bool,
     l1v: Vec<Cache>,
     l1v_free: Vec<Cycle>,
     l1s: Vec<Cache>,
@@ -113,10 +402,31 @@ pub struct MemoryHierarchy {
     l2: Vec<Cache>,
     l2_free: Vec<Cycle>,
     dram_free: Vec<Cycle>,
+    // Outstanding-miss state. In detailed mode these are real MSHR
+    // files (merging, fill-time tag install, exhaustion back-pressure);
+    // in legacy mode they are unbounded counting shadows that only fix
+    // the double-hit accounting of fill-at-lookup tags.
+    l1v_mshr: Vec<MshrFile>,
+    l1s_mshr: Vec<MshrFile>,
+    l2_mshr: Vec<MshrFile>,
+    /// Bounded per-bank L2 request queues (detailed mode).
+    l2_queues: Vec<BankQueue>,
+    /// Per-(channel, bank) DRAM state (detailed mode), indexed
+    /// `channel * banks_per_channel + bank`.
+    dram_banks: Vec<DramBank>,
     l1v_ctr: LevelCounters,
     l1s_ctr: LevelCounters,
     l2_ctr: LevelCounters,
     dram_ctr: Counter,
+    row_hits: Counter,
+    row_misses: Counter,
+    row_conflicts: Counter,
+    /// `mem.dram.row_hit_rate`, refreshed on publish (registered in
+    /// detailed mode only so legacy health tables stay noise-free).
+    row_hit_rate: Option<Gauge>,
+    /// `mem.l2.bank.<i>.peak_queue`, refreshed on publish (detailed
+    /// mode; empty in legacy so health tables stay noise-free).
+    bank_peak_gauges: Vec<Gauge>,
     // Queueing-delay accounting: flat per-level histograms updated on
     // the hot path (no locks, no allocation), plus the state last
     // published into the registry histograms so `publish_queue_delays`
@@ -141,7 +451,25 @@ impl MemoryHierarchy {
         let n_scalar = n_cu.div_ceil(CUS_PER_SCALAR_CACHE);
         let n_l2 = config.l2_banks as usize;
         let n_ch = config.dram.channels as usize;
+        let detailed = config.is_detailed();
+        let mshr = |cfg: &MshrConfig, n: usize| -> Vec<MshrFile> {
+            (0..n)
+                .map(|_| {
+                    if detailed {
+                        MshrFile::new(cfg)
+                    } else {
+                        MshrFile::unbounded()
+                    }
+                })
+                .collect()
+        };
+        let n_dram_banks = if detailed {
+            n_ch * config.fidelity.dram_banks.banks_per_channel.max(1) as usize
+        } else {
+            0
+        };
         MemoryHierarchy {
+            detailed,
             l1v: (0..n_cu).map(|_| Cache::new(&config.l1v)).collect(),
             l1v_free: vec![0; n_cu],
             l1s: (0..n_scalar).map(|_| Cache::new(&config.l1s)).collect(),
@@ -149,10 +477,24 @@ impl MemoryHierarchy {
             l2: (0..n_l2).map(|_| Cache::new(&config.l2)).collect(),
             l2_free: vec![0; n_l2],
             dram_free: vec![0; n_ch],
+            l1v_mshr: mshr(&config.fidelity.l1v_mshr, n_cu),
+            l1s_mshr: mshr(&config.fidelity.l1s_mshr, n_scalar),
+            l2_mshr: mshr(&config.fidelity.l2_mshr, n_l2),
+            l2_queues: (0..if detailed { n_l2 } else { 0 })
+                .map(|_| BankQueue::default())
+                .collect(),
+            dram_banks: vec![DramBank::default(); n_dram_banks],
             l1v_ctr: LevelCounters::new(tel, "l1v"),
             l1s_ctr: LevelCounters::new(tel, "l1s"),
             l2_ctr: LevelCounters::new(tel, "l2"),
             dram_ctr: tel.counter("mem.dram.accesses"),
+            row_hits: tel.counter("mem.dram.row_hits"),
+            row_misses: tel.counter("mem.dram.row_misses"),
+            row_conflicts: tel.counter("mem.dram.row_conflicts"),
+            row_hit_rate: detailed.then(|| tel.gauge("mem.dram.row_hit_rate")),
+            bank_peak_gauges: (0..if detailed { n_l2 } else { 0 })
+                .map(|i| tel.gauge(&format!("mem.l2.bank.{i}.peak_queue")))
+                .collect(),
             delays: QueueDelays::default(),
             published: QueueDelays::default(),
             qdelay_hists: [
@@ -171,43 +513,136 @@ impl MemoryHierarchy {
         &self.config
     }
 
-    fn trace_access(&self, level: CacheLevel, hit: bool, evicted: bool, ts: Cycle) {
-        self.trace.emit_with(|| TraceEvent {
-            ts,
-            dur: 0,
-            kind: EventKind::CacheAccess {
-                level,
-                hit,
-                evicted,
-            },
-        });
-    }
-
+    /// The L2-and-below stage. Legacy mode keeps the original scalar
+    /// per-bank reservation and flat DRAM channel timing bit-for-bit;
+    /// detailed mode routes through the NoC/bank queues and the DRAM
+    /// bank model.
     fn l2_and_beyond(&mut self, line_addr: u64, kind: AccessKind, ready: Cycle) -> Cycle {
+        if self.detailed {
+            return self.l2_and_beyond_detailed(line_addr, kind, ready);
+        }
         let bank = (line_addr % self.config.l2_banks) as usize;
         let t = ready.max(self.l2_free[bank]);
         self.delays.l2.record(t - ready);
         self.l2_free[bank] = t + self.config.l2.service_interval;
-        let access = self.l2[bank].access(line_addr * LINE_BYTES, kind, t);
-        let (hit, evicted) = self.l2_ctr.record(access);
-        self.trace_access(CacheLevel::L2, hit, evicted, t);
-        if hit {
-            t + self.config.l2.hit_latency
-        } else {
-            let ch = ((line_addr / self.config.l2_banks) % self.config.dram.channels) as usize;
-            let td = (t + self.config.l2.hit_latency).max(self.dram_free[ch]);
-            self.delays
-                .dram
-                .record(td - (t + self.config.l2.hit_latency));
-            self.dram_free[ch] = td + self.config.dram.service_interval;
-            self.dram_ctr.inc();
-            self.trace.emit_with(|| TraceEvent {
-                ts: td,
-                dur: 0,
-                kind: EventKind::DramAccess { channel: ch as u32 },
-            });
-            td + self.config.dram.latency
+        let hit_latency = self.config.l2.hit_latency;
+        match tag_stage(
+            &mut self.l2[bank],
+            &mut self.l2_mshr[bank],
+            &mut self.delays.l2,
+            &self.l2_ctr,
+            &self.trace,
+            CacheLevel::L2,
+            false,
+            line_addr * LINE_BYTES,
+            kind,
+            hit_latency,
+            t,
+        ) {
+            StageOut::Done(done) => done,
+            StageOut::Downstream(enter) => {
+                let ch = ((line_addr / self.config.l2_banks) % self.config.dram.channels) as usize;
+                let td = enter.max(self.dram_free[ch]);
+                self.delays.dram.record(td - enter);
+                self.dram_free[ch] = td + self.config.dram.service_interval;
+                self.dram_ctr.inc();
+                self.trace.emit_with(|| TraceEvent {
+                    ts: td,
+                    dur: 0,
+                    kind: EventKind::DramAccess { channel: ch as u32 },
+                });
+                let done = td + self.config.dram.latency;
+                self.l2_mshr[bank].alloc(line_addr, done);
+                done
+            }
         }
+    }
+
+    /// Detailed L2 stage: Fibonacci-mixed bank selection, crossbar
+    /// latency, a bounded per-bank queue, then the tag/MSHR stage and
+    /// (on a fresh miss) the DRAM bank model.
+    fn l2_and_beyond_detailed(&mut self, line_addr: u64, kind: AccessKind, ready: Cycle) -> Cycle {
+        let bank = (fib_mix(line_addr) % self.config.l2_banks.max(1)) as usize;
+        let arrive = ready + self.config.fidelity.noc.latency;
+        let depth = self.config.fidelity.noc.queue_depth.max(1) as usize;
+        let admit = self.l2_queues[bank].admit(arrive, depth);
+        let start = admit.max(self.l2_free[bank]);
+        // Queue-full wait plus bank busy wait, in one delay the engine
+        // charges to `mem_queue_full`.
+        self.delays.l2.record(start - arrive);
+        self.l2_free[bank] = start + self.config.l2.service_interval;
+        self.l2_queues[bank].push(start);
+        let hit_latency = self.config.l2.hit_latency;
+        match tag_stage(
+            &mut self.l2[bank],
+            &mut self.l2_mshr[bank],
+            &mut self.delays.l2,
+            &self.l2_ctr,
+            &self.trace,
+            CacheLevel::L2,
+            true,
+            line_addr * LINE_BYTES,
+            kind,
+            hit_latency,
+            start,
+        ) {
+            StageOut::Done(done) => done,
+            StageOut::Downstream(enter) => {
+                let done = self.dram_detailed(line_addr, enter);
+                self.l2_mshr[bank].alloc(line_addr, done);
+                done
+            }
+        }
+    }
+
+    /// Detailed DRAM stage: channel and bank picked from disjoint
+    /// windows of the Fibonacci mix of the 256 B *chunk* (so
+    /// power-of-two strides spread across channels, while consecutive
+    /// lines in a chunk still share a bank and keep its row open),
+    /// per-bank open-row tracking with hit/empty/conflict latencies,
+    /// and a per-channel data bus serializing one line per service
+    /// interval.
+    fn dram_detailed(&mut self, line_addr: u64, ready: Cycle) -> Cycle {
+        let channels = self.config.dram.channels.max(1);
+        let banks = self.config.fidelity.dram_banks.banks_per_channel.max(1);
+        // HBM-style pseudo-channel interleave granularity: 4 lines.
+        let m = fib_mix(line_addr >> 2);
+        let ch = ((m >> 20) % channels) as usize;
+        let bank = ((m >> 40) % banks) as usize;
+        let lines_per_row = (self.config.fidelity.dram_banks.row_bytes / LINE_BYTES).max(1);
+        let row = line_addr / lines_per_row;
+        let idx = ch * banks as usize + bank;
+        let DramBank { open_row, free } = self.dram_banks[idx];
+        let t = ready.max(free);
+        let lat = match open_row {
+            Some(r) if r == row => {
+                self.row_hits.inc();
+                self.config.fidelity.dram_banks.row_hit_latency
+            }
+            Some(_) => {
+                self.row_conflicts.inc();
+                self.config.fidelity.dram_banks.row_conflict_latency
+            }
+            None => {
+                self.row_misses.inc();
+                self.config.fidelity.dram_banks.row_empty_latency
+            }
+        };
+        // Banks overlap; the channel's data bus serializes transfers.
+        let done = (t + lat).max(self.dram_free[ch]);
+        self.delays.dram.record(done - ready - lat);
+        self.dram_free[ch] = done + self.config.dram.service_interval;
+        self.dram_banks[idx] = DramBank {
+            open_row: Some(row),
+            free: done,
+        };
+        self.dram_ctr.inc();
+        self.trace.emit_with(|| TraceEvent {
+            ts: done,
+            dur: 0,
+            kind: EventKind::DramAccess { channel: ch as u32 },
+        });
+        done
     }
 
     /// Issues one line transaction from CU `cu`'s vector path at cycle
@@ -225,13 +660,27 @@ impl MemoryHierarchy {
         let t = now.max(self.l1v_free[cu]);
         self.delays.l1v.record(t - now);
         self.l1v_free[cu] = t + self.config.l1v.service_interval;
-        let access = self.l1v[cu].access(line_addr * LINE_BYTES, kind, t);
-        let (hit, evicted) = self.l1v_ctr.record(access);
-        self.trace_access(CacheLevel::L1V, hit, evicted, t);
-        if hit {
-            t + self.config.l1v.hit_latency
-        } else {
-            self.l2_and_beyond(line_addr, kind, t + self.config.l1v.hit_latency)
+        let hit_latency = self.config.l1v.hit_latency;
+        let detailed = self.detailed;
+        match tag_stage(
+            &mut self.l1v[cu],
+            &mut self.l1v_mshr[cu],
+            &mut self.delays.l1v,
+            &self.l1v_ctr,
+            &self.trace,
+            CacheLevel::L1V,
+            detailed,
+            line_addr * LINE_BYTES,
+            kind,
+            hit_latency,
+            t,
+        ) {
+            StageOut::Done(done) => done,
+            StageOut::Downstream(enter) => {
+                let done = self.l2_and_beyond(line_addr, kind, enter);
+                self.l1v_mshr[cu].alloc(line_addr, done);
+                done
+            }
         }
     }
 
@@ -242,22 +691,36 @@ impl MemoryHierarchy {
         let t = now.max(self.l1s_free[group]);
         self.delays.l1s.record(t - now);
         self.l1s_free[group] = t + self.config.l1s.service_interval;
-        let access = self.l1s[group].access(addr, AccessKind::Read, t);
-        let (hit, evicted) = self.l1s_ctr.record(access);
-        self.trace_access(CacheLevel::L1S, hit, evicted, t);
-        if hit {
-            t + self.config.l1s.hit_latency
-        } else {
-            self.l2_and_beyond(
-                addr / LINE_BYTES,
-                AccessKind::Read,
-                t + self.config.l1s.hit_latency,
-            )
+        let hit_latency = self.config.l1s.hit_latency;
+        let detailed = self.detailed;
+        match tag_stage(
+            &mut self.l1s[group],
+            &mut self.l1s_mshr[group],
+            &mut self.delays.l1s,
+            &self.l1s_ctr,
+            &self.trace,
+            CacheLevel::L1S,
+            detailed,
+            addr,
+            AccessKind::Read,
+            hit_latency,
+            t,
+        ) {
+            StageOut::Done(done) => done,
+            StageOut::Downstream(enter) => {
+                let line = addr / LINE_BYTES;
+                let done = self.l2_and_beyond(line, AccessKind::Read, enter);
+                self.l1s_mshr[group].alloc(line, done);
+                done
+            }
         }
     }
 
     /// Invalidates all cache tags (kernel boundary), keeping the clock
-    /// monotonic.
+    /// monotonic. Outstanding-miss state is dropped with the tags (a
+    /// drained kernel has no warp waiting on those fills); DRAM row
+    /// buffers keep their open rows — row state is physical, not
+    /// per-kernel.
     pub fn flush_caches(&mut self) {
         for c in self
             .l1v
@@ -266,6 +729,14 @@ impl MemoryHierarchy {
             .chain(self.l2.iter_mut())
         {
             c.flush();
+        }
+        for m in self
+            .l1v_mshr
+            .iter_mut()
+            .chain(self.l1s_mshr.iter_mut())
+            .chain(self.l2_mshr.iter_mut())
+        {
+            m.clear();
         }
     }
 
@@ -286,18 +757,27 @@ impl MemoryHierarchy {
 
     /// Publishes queue delays accumulated since the last publish into
     /// the registry histograms (`mem.<level>.queue_delay`), using each
-    /// bucket's floor as the representative value. Called at kernel end
-    /// (cold path) so the hot path never touches a locked histogram.
+    /// bucket's midpoint as the representative value (the floor would
+    /// systematically underestimate percentiles). Called at kernel end
+    /// (cold path) so the hot path never touches a locked histogram;
+    /// detailed-fidelity health gauges (per-bank peak queue occupancy,
+    /// DRAM row-buffer hit rate) refresh here too.
     pub fn publish_queue_delays(&mut self) {
         let delta = self.delays.since(&self.published);
         for ((_, hist), handle) in delta.levels().iter().zip(self.qdelay_hists.iter()) {
             for (i, n) in hist.buckets.iter().enumerate() {
                 if *n > 0 {
-                    handle.record_n(QueueDelayHist::bucket_floor(i), *n);
+                    handle.record_n(QueueDelayHist::bucket_mid(i), *n);
                 }
             }
         }
         self.published = self.delays;
+        for (q, g) in self.l2_queues.iter().zip(self.bank_peak_gauges.iter()) {
+            g.set(q.peak as f64);
+        }
+        if let Some(g) = &self.row_hit_rate {
+            g.set(self.stats().dram_row_hit_rate());
+        }
     }
 
     /// Services one vector transaction — the line set of a coalesced
@@ -389,6 +869,12 @@ impl MemoryHierarchy {
             l2_misses: self.l2_ctr.misses.get(),
             l2_evictions: self.l2_ctr.evictions.get(),
             dram_accesses: self.dram_ctr.get(),
+            l1v_mshr_merges: self.l1v_ctr.merges.get(),
+            l1s_mshr_merges: self.l1s_ctr.merges.get(),
+            l2_mshr_merges: self.l2_ctr.merges.get(),
+            dram_row_hits: self.row_hits.get(),
+            dram_row_misses: self.row_misses.get(),
+            dram_row_conflicts: self.row_conflicts.get(),
         }
     }
 }
@@ -711,5 +1197,238 @@ mod tests {
         assert_eq!(coalesce_lines([60u64], 4), vec![0]); // last byte is 63
         assert_eq!(coalesce_lines([60u64], 8), vec![0, 1]);
         assert_eq!(coalesce_lines([0u64, 64, 128], 4), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn push_lines_handles_straddle_wrap_and_width_edge_cases() {
+        // Straddling a line boundary touches both lines.
+        let mut v = Vec::new();
+        push_lines(&mut v, 62, 4);
+        assert_eq!(v, vec![0, 1]);
+        // An access whose last byte would pass the top of the address
+        // space saturates to the final line instead of wrapping to 0
+        // (which would enumerate the entire 2^64 range).
+        let top_line = u64::MAX / LINE_BYTES;
+        v.clear();
+        push_lines(&mut v, u64::MAX - 10, 100);
+        assert_eq!(v, vec![top_line]);
+        v.clear();
+        push_lines(&mut v, u64::MAX, 8);
+        assert_eq!(v, vec![top_line]);
+        // Width 0 must not underflow; it touches the line of `a`.
+        v.clear();
+        push_lines(&mut v, 130, 0);
+        assert_eq!(v, vec![2]);
+        // Dedup is order-insensitive: unsorted duplicates coalesce to a
+        // sorted unique set.
+        assert_eq!(coalesce_lines([128u64, 0, 64, 0, 128], 4), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn legacy_same_line_burst_counts_merged_misses_not_hits() {
+        // Two warps miss the same line in one burst. The legacy tag array
+        // fills at lookup, so the second access used to be *counted* as a
+        // hit while the fill was still in flight. Timing is unchanged
+        // (second completes at hit latency — the known legacy skew) but
+        // the accounting must say: 2 misses, 0 hits, 1 merge, 1 DRAM
+        // access.
+        let mut h = MemoryHierarchy::new(small_config());
+        let d1 = h.access_line(0, 42, AccessKind::Read, 0);
+        let d2 = h.access_line(0, 42, AccessKind::Read, 0);
+        let s = h.stats();
+        assert_eq!(s.l1v_misses, 2);
+        assert_eq!(s.l1v_hits, 0);
+        assert_eq!(s.l1v_mshr_merges, 1);
+        assert_eq!(s.dram_accesses, 1);
+        // Legacy timing skew preserved: the merged access completes at
+        // hit latency, long before the real fill.
+        assert!(d2 < d1, "legacy merged access keeps fill-at-lookup timing");
+        // Once the fill lands, the next access is a true hit.
+        let d3 = h.access_line(0, 42, AccessKind::Read, d1);
+        assert_eq!(h.stats().l1v_hits, 1);
+        assert_eq!(d3, d1 + h.config().l1v.hit_latency);
+    }
+
+    fn detailed_config() -> MemHierarchyConfig {
+        small_config().with_detailed_fidelity()
+    }
+
+    #[test]
+    fn detailed_same_line_misses_issue_one_dram_access() {
+        // N same-line misses from one CU: the first allocates an L1V MSHR
+        // entry, the rest merge and complete at fill time. Exactly one
+        // DRAM access.
+        let mut h = MemoryHierarchy::new(detailed_config());
+        let hit_lat = h.config().l1v.hit_latency;
+        let first = h.access_line(0, 42, AccessKind::Read, 0);
+        let mut merged = Vec::new();
+        for _ in 0..4 {
+            merged.push(h.access_line(0, 42, AccessKind::Read, 0));
+        }
+        let s = h.stats();
+        assert_eq!(s.l1v_misses, 5);
+        assert_eq!(s.l1v_mshr_merges, 4);
+        assert_eq!(s.dram_accesses, 1, "merged misses must not re-fetch");
+        for (i, d) in merged.iter().enumerate() {
+            assert!(
+                *d >= first,
+                "merged miss {i} completed at {d}, before the fill at {first}"
+            );
+            assert!(*d >= hit_lat, "never faster than a hit");
+        }
+    }
+
+    #[test]
+    fn detailed_cross_cu_same_line_misses_merge_at_l2() {
+        // Same line from two CUs in one burst: both miss their private
+        // L1V, but the second merges into the L2 MSHR entry — one DRAM
+        // access total.
+        let mut h = MemoryHierarchy::new(detailed_config());
+        let d0 = h.access_line(0, 42, AccessKind::Read, 0);
+        let d1 = h.access_line(1, 42, AccessKind::Read, 0);
+        let s = h.stats();
+        assert_eq!(s.l1v_misses, 2);
+        assert_eq!(s.l1v_mshr_merges, 0, "different CUs, different L1 MSHRs");
+        assert_eq!(s.l2_misses, 2);
+        assert_eq!(s.l2_mshr_merges, 1);
+        assert_eq!(s.dram_accesses, 1);
+        assert!(d1 >= d0.min(d1), "{d0} {d1}");
+    }
+
+    #[test]
+    fn detailed_fill_lands_tag_at_fill_time() {
+        // Between miss and fill the line is NOT in the tag array: a
+        // same-line access merges (miss) rather than hitting. After the
+        // fill it is a genuine hit.
+        let mut h = MemoryHierarchy::new(detailed_config());
+        let fill = h.access_line(0, 7, AccessKind::Read, 0);
+        h.access_line(0, 7, AccessKind::Read, fill / 2);
+        assert_eq!(h.stats().l1v_hits, 0);
+        assert_eq!(h.stats().l1v_mshr_merges, 1);
+        let d = h.access_line(0, 7, AccessKind::Read, fill);
+        assert_eq!(h.stats().l1v_hits, 1);
+        assert_eq!(d, fill + h.config().l1v.hit_latency);
+    }
+
+    #[test]
+    fn detailed_mshr_exhaustion_back_pressures() {
+        let mut cfg = detailed_config();
+        cfg.fidelity.l1v_mshr = MshrConfig::new(1, 0);
+        let mut h = MemoryHierarchy::new(cfg);
+        let q0 = h.queue_cycles();
+        // Two distinct-line misses in one cycle: the single MSHR entry
+        // forces the second to wait for the first fill.
+        let d1 = h.access_line(0, 10, AccessKind::Read, 0);
+        let d2 = h.access_line(0, 2_000_000, AccessKind::Read, 0);
+        assert!(
+            d2 > d1,
+            "second miss must stall behind the lone MSHR entry: {d2} !> {d1}"
+        );
+        assert!(
+            h.queue_cycles() > q0,
+            "MSHR-full wait must be visible as queue delay"
+        );
+        // Zero merge slots: a same-line miss still merges for counting
+        // but records the stall as queue delay.
+        let q1 = h.queue_cycles();
+        h.access_line(0, 2_000_000, AccessKind::Read, d1);
+        assert!(h.queue_cycles() > q1);
+        assert_eq!(h.stats().l1v_mshr_merges, 1);
+    }
+
+    #[test]
+    fn detailed_spreads_strided_traffic_over_all_channels() {
+        // Stride-`l2_banks` lines alias onto one channel under the old
+        // `(line / l2_banks) % channels` mapping; the Fibonacci mix must
+        // spread them across every DRAM channel.
+        let mut h = MemoryHierarchy::new(detailed_config());
+        let banks = h.config().l2_banks;
+        let channels = h.config().dram.channels as usize;
+        for i in 0..256u64 {
+            h.access_line(0, i * banks, AccessKind::Read, i * 4000);
+        }
+        let busy = h.dram_free.iter().filter(|&&f| f > 0).count();
+        assert_eq!(
+            busy, channels,
+            "stride-{banks} traffic reached {busy}/{channels} channels"
+        );
+        // L2 banks spread too.
+        let l2_busy = h.l2_free.iter().filter(|&&f| f > 0).count();
+        assert!(
+            l2_busy > 1,
+            "stride-{banks} traffic stuck on {l2_busy} L2 bank(s)"
+        );
+    }
+
+    #[test]
+    fn detailed_row_buffer_hits_are_cheaper_and_counted() {
+        let mut h = MemoryHierarchy::new(detailed_config());
+        // Line 0 opens its row; line 1 lives on the same 2 KB row but
+        // must reach DRAM (flush L1/L2 tags in between, keeping the open
+        // row — row state is physical).
+        let d0 = h.access_line(0, 0, AccessKind::Read, 0);
+        h.flush_caches();
+        let t1 = d0 + 1000;
+        let d1 = h.access_line(0, 0, AccessKind::Read, t1) - t1;
+        let s = h.stats();
+        assert_eq!(s.dram_accesses, 2);
+        assert_eq!(s.dram_row_misses, 1, "first access finds the bank idle");
+        assert_eq!(s.dram_row_hits, 1, "re-access finds the row open");
+        assert!(
+            d1 < d0,
+            "open-row access ({d1}) must beat the cold one ({d0})"
+        );
+    }
+
+    #[test]
+    fn detailed_never_degrades_counters_registered_in_legacy() {
+        // Legacy mode must not register detailed-only gauges (health
+        // tables stay noise-free); detailed mode must.
+        let tel = Telemetry::default();
+        let mut h = MemoryHierarchy::with_telemetry(small_config(), &tel);
+        h.access_line(0, 1, AccessKind::Read, 0);
+        h.publish_queue_delays();
+        let snap = tel.snapshot();
+        assert!(!snap
+            .gauges
+            .iter()
+            .any(|g| g.name == "mem.dram.row_hit_rate"));
+        assert!(!snap
+            .gauges
+            .iter()
+            .any(|g| g.name.starts_with("mem.l2.bank.")));
+
+        let tel2 = Telemetry::default();
+        let mut hd = MemoryHierarchy::with_telemetry(detailed_config(), &tel2);
+        for i in 0..64u64 {
+            hd.access_line(0, i * 7, AccessKind::Read, i);
+        }
+        hd.publish_queue_delays();
+        let snap2 = tel2.snapshot();
+        assert!(snap2
+            .gauges
+            .iter()
+            .any(|g| g.name == "mem.dram.row_hit_rate"));
+        assert!(snap2
+            .gauges
+            .iter()
+            .any(|g| g.name.starts_with("mem.l2.bank.") && g.value > 0.0));
+    }
+
+    #[test]
+    fn bank_queue_bounds_admission_depth() {
+        let mut q = BankQueue::default();
+        // Fill a depth-2 queue with service starts in the future.
+        assert_eq!(q.admit(0, 2), 0);
+        q.push(10);
+        assert_eq!(q.admit(0, 2), 0);
+        q.push(20);
+        // Queue full: the next arrival waits until the oldest of the
+        // last 2 occupants starts service (cycle 10).
+        assert_eq!(q.admit(0, 2), 10);
+        q.push(30);
+        assert_eq!(q.peak, 3);
+        // Arrivals after starts drain see a free queue again.
+        assert_eq!(q.admit(35, 2), 35);
     }
 }

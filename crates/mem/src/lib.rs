@@ -38,7 +38,10 @@ mod stats;
 pub use addr::{AddressSpace, U64HashBuilder, U64Hasher};
 pub use alloc::{AllocError, BumpAllocator};
 pub use cache::{AccessKind, Cache, CacheAccess};
-pub use config::{CacheConfig, DramConfig, MemHierarchyConfig};
+pub use config::{
+    CacheConfig, DramBankConfig, DramConfig, MemFidelityConfig, MemFidelityMode,
+    MemHierarchyConfig, MshrConfig, NocConfig,
+};
 pub use hierarchy::{
     coalesce_lines, coalesce_lines_into, push_lines, MemPort, MemRequest, MemResponse,
     MemoryHierarchy, LINE_BYTES,

@@ -30,6 +30,22 @@ pub struct MemStats {
     pub l2_evictions: u64,
     /// Lines fetched from DRAM.
     pub dram_accesses: u64,
+    /// L1V misses coalesced into an outstanding same-line fill (no
+    /// downstream traffic): `l1v_misses - l1v_mshr_merges` transactions
+    /// reached L2.
+    pub l1v_mshr_merges: u64,
+    /// L1S misses coalesced into an outstanding same-line fill.
+    pub l1s_mshr_merges: u64,
+    /// L2 misses coalesced into an outstanding same-line fill:
+    /// `l2_misses - l2_mshr_merges` transactions reached DRAM.
+    pub l2_mshr_merges: u64,
+    /// DRAM accesses that hit an open row buffer (detailed fidelity).
+    pub dram_row_hits: u64,
+    /// DRAM accesses that activated an idle bank (detailed fidelity).
+    pub dram_row_misses: u64,
+    /// DRAM accesses that closed a conflicting open row first (detailed
+    /// fidelity).
+    pub dram_row_conflicts: u64,
 }
 
 impl MemStats {
@@ -53,6 +69,17 @@ impl MemStats {
         }
     }
 
+    /// DRAM row-buffer hit rate in `[0, 1]`; zero when no accesses
+    /// occurred (always zero under legacy fidelity).
+    pub fn dram_row_hit_rate(&self) -> f64 {
+        let total = self.dram_row_hits + self.dram_row_misses + self.dram_row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.dram_row_hits as f64 / total as f64
+        }
+    }
+
     /// Field-wise difference `self - earlier` (for per-kernel deltas).
     ///
     /// # Panics
@@ -70,6 +97,12 @@ impl MemStats {
             l2_misses: self.l2_misses - earlier.l2_misses,
             l2_evictions: self.l2_evictions - earlier.l2_evictions,
             dram_accesses: self.dram_accesses - earlier.dram_accesses,
+            l1v_mshr_merges: self.l1v_mshr_merges - earlier.l1v_mshr_merges,
+            l1s_mshr_merges: self.l1s_mshr_merges - earlier.l1s_mshr_merges,
+            l2_mshr_merges: self.l2_mshr_merges - earlier.l2_mshr_merges,
+            dram_row_hits: self.dram_row_hits - earlier.dram_row_hits,
+            dram_row_misses: self.dram_row_misses - earlier.dram_row_misses,
+            dram_row_conflicts: self.dram_row_conflicts - earlier.dram_row_conflicts,
         }
     }
 }
@@ -107,12 +140,28 @@ impl QueueDelayHist {
         }
     }
 
-    /// Lower bound of bucket `i` (its representative value).
+    /// Lower bound of bucket `i`.
     pub fn bucket_floor(i: usize) -> u64 {
         if i == 0 {
             0
         } else {
             1u64 << (i - 1)
+        }
+    }
+
+    /// Midpoint of bucket `i` — the unbiased representative value for
+    /// publishing bucket counts into registry histograms. The floor
+    /// systematically underestimates (every delay in `[2^(i-1), 2^i)`
+    /// would be reported as `2^(i-1)`); the midpoint is off by at most
+    /// half the bucket width in either direction. The open-ended cap
+    /// bucket keeps its floor, the only defensible point estimate.
+    pub fn bucket_mid(i: usize) -> u64 {
+        let lo = Self::bucket_floor(i);
+        if i == 0 || i == QDELAY_BUCKETS - 1 {
+            lo
+        } else {
+            // Bucket spans [lo, 2*lo - 1].
+            lo + (lo - 1) / 2
         }
     }
 
@@ -241,6 +290,26 @@ mod tests {
         assert_eq!(QueueDelayHist::bucket_floor(0), 0);
         assert_eq!(QueueDelayHist::bucket_floor(2), 2);
         assert_eq!(QueueDelayHist::bucket_floor(16), 1 << 15);
+    }
+
+    #[test]
+    fn bucket_mid_centers_bounded_buckets() {
+        assert_eq!(QueueDelayHist::bucket_mid(0), 0);
+        assert_eq!(QueueDelayHist::bucket_mid(1), 1); // [1, 1]
+        assert_eq!(QueueDelayHist::bucket_mid(2), 2); // [2, 3]
+        assert_eq!(QueueDelayHist::bucket_mid(3), 5); // [4, 7]
+        assert_eq!(QueueDelayHist::bucket_mid(4), 11); // [8, 15]
+                                                       // A bucket's midpoint stays inside the bucket, so re-bucketing
+                                                       // the published value never shifts it into a neighbor.
+        for i in 0..QDELAY_BUCKETS {
+            assert_eq!(
+                QueueDelayHist::bucket_index(QueueDelayHist::bucket_mid(i)),
+                i,
+                "bucket {i}"
+            );
+        }
+        // The open-ended cap bucket keeps its floor.
+        assert_eq!(QueueDelayHist::bucket_mid(16), 1 << 15);
     }
 
     #[test]

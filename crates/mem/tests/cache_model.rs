@@ -80,7 +80,9 @@ proptest! {
         }
     }
 
-    /// Hit/miss counters are conserved: hits + misses == accesses.
+    /// Hit/miss counters are conserved: hits + misses == accesses at
+    /// every level, and a level's downstream traffic is its misses minus
+    /// the misses that merged into an in-flight fill.
     #[test]
     fn stats_are_conserved(lines in prop::collection::vec(0u64..1000, 1..200)) {
         let mut cfg = MemHierarchyConfig::r9_nano();
@@ -91,8 +93,31 @@ proptest! {
         }
         let s = h.stats();
         prop_assert_eq!(s.l1v_hits + s.l1v_misses, lines.len() as u64);
-        prop_assert_eq!(s.l2_hits + s.l2_misses, s.l1v_misses);
-        prop_assert_eq!(s.dram_accesses, s.l2_misses);
+        prop_assert_eq!(s.l2_hits + s.l2_misses, s.l1v_misses - s.l1v_mshr_merges);
+        prop_assert_eq!(s.dram_accesses, s.l2_misses - s.l2_mshr_merges);
+    }
+
+    /// The same conservation laws hold in detailed fidelity, where MSHR
+    /// merging and fill-time tag install change the timing; completions
+    /// also never precede the request.
+    #[test]
+    fn detailed_stats_are_conserved(lines in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut cfg = MemHierarchyConfig::r9_nano().with_detailed_fidelity();
+        cfg.num_cus = 1;
+        let mut h = MemoryHierarchy::new(cfg);
+        for (t, line) in lines.iter().enumerate() {
+            let now = t as u64 * 10;
+            let done = h.access_line(0, *line, AccessKind::Read, now);
+            prop_assert!(done > now, "completion {done} must follow request {now}");
+        }
+        let s = h.stats();
+        prop_assert_eq!(s.l1v_hits + s.l1v_misses, lines.len() as u64);
+        prop_assert_eq!(s.l2_hits + s.l2_misses, s.l1v_misses - s.l1v_mshr_merges);
+        prop_assert_eq!(s.dram_accesses, s.l2_misses - s.l2_mshr_merges);
+        prop_assert_eq!(
+            s.dram_row_hits + s.dram_row_misses + s.dram_row_conflicts,
+            s.dram_accesses
+        );
     }
 
     /// Flushing restores the cold state: the same stream repeated after

@@ -92,8 +92,7 @@ fn bucket_index(v: u64) -> usize {
     }
 }
 
-/// Lower bound of a bucket (its representative value in percentile
-/// estimates).
+/// Lower bound of a bucket.
 fn bucket_floor(i: usize) -> u64 {
     if i == 0 {
         0
@@ -102,8 +101,21 @@ fn bucket_floor(i: usize) -> u64 {
     }
 }
 
-/// Percentile estimate over log2 bucket counts: the [`bucket_floor`] of
-/// the bucket holding the observation at rank `ceil(p × count)`.
+/// Midpoint of a bucket — the representative value in percentile
+/// estimates. Bucket `i > 0` covers `[2^(i-1), 2^i - 1]`; the floor
+/// would systematically underestimate, so percentiles report the
+/// center. Bucket 0 holds only the value 0.
+fn bucket_mid(i: usize) -> u64 {
+    let lo = bucket_floor(i);
+    if i == 0 {
+        0
+    } else {
+        lo + (lo - 1) / 2
+    }
+}
+
+/// Percentile estimate over log2 bucket counts: the midpoint of the
+/// bucket holding the observation at rank `ceil(p × count)`.
 /// Resolution is the bucket width; `0` when `count` is 0. Public so
 /// report tools can recompute percentiles from snapshot bucket data.
 pub fn percentile_from_buckets(buckets: &[u64], count: u64, p: f64) -> u64 {
@@ -115,10 +127,10 @@ pub fn percentile_from_buckets(buckets: &[u64], count: u64, p: f64) -> u64 {
     for (i, n) in buckets.iter().enumerate() {
         seen += n;
         if seen >= rank {
-            return bucket_floor(i);
+            return bucket_mid(i);
         }
     }
-    bucket_floor(buckets.len().max(1) - 1)
+    bucket_mid(buckets.len().max(1) - 1)
 }
 
 /// A log2-bucketed histogram handle for latency/duration distributions.
@@ -459,7 +471,7 @@ mod tests {
         assert_eq!(s.min, 0);
         assert_eq!(s.max, 1000);
         assert_eq!(s.sum, 1106);
-        // p50 falls into the [2,4) bucket; floors are powers of two.
+        // p50 falls into the [2,3] bucket, whose midpoint is 2.
         assert_eq!(s.p50, 2);
         assert!(s.p99 >= 512);
     }
@@ -483,6 +495,15 @@ mod tests {
         assert_eq!(bucket_index(u64::MAX), 64);
         assert_eq!(bucket_floor(2), 2);
         assert_eq!(bucket_floor(64), 1u64 << 63);
+        // Midpoints center each [2^(i-1), 2^i - 1] range and stay
+        // inside their own bucket.
+        assert_eq!(bucket_mid(0), 0);
+        assert_eq!(bucket_mid(1), 1);
+        assert_eq!(bucket_mid(3), 5);
+        assert_eq!(bucket_mid(10), 767);
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_mid(i)), i);
+        }
     }
 
     #[test]
@@ -551,14 +572,16 @@ mod tests {
         let h = &merged.histograms[0];
         assert_eq!(h.count, 100);
         assert_eq!(h.p50, 2);
-        assert_eq!(h.p95, 512);
+        // 512 lands in the [512, 1023] bucket; percentiles report the
+        // bucket midpoint, not its floor.
+        assert_eq!(h.p95, 767);
         assert_eq!(h.buckets.iter().sum::<u64>(), 100);
 
         // Without bucket data the merge falls back to max-of-parts.
         let mut no_buckets = a.snapshot();
         no_buckets.histograms[0].buckets.clear();
         no_buckets.merge(&b.snapshot());
-        assert_eq!(no_buckets.histograms[0].p50, 512);
+        assert_eq!(no_buckets.histograms[0].p50, 767);
         assert!(no_buckets.histograms[0].buckets.is_empty());
     }
 

@@ -92,6 +92,41 @@ else
   rm -rf "$par_tmp"
 fi
 
+echo "==> mem-fidelity gate (PHOTON_SKIP_MEM_FIDELITY=1 to skip)"
+if [[ "${PHOTON_SKIP_MEM_FIDELITY:-}" == "1" ]]; then
+  echo "    skipped (PHOTON_SKIP_MEM_FIDELITY=1)"
+else
+  mem_tmp="$(mktemp -d)"
+  cp results/BENCH_smoke.json "$mem_tmp/BENCH_smoke_legacy.json"
+
+  # Detailed memory model: rerun the smoke grid with MSHRs, banked-L2
+  # NoC queues, and DRAM bank timing switched on. Detailed mode is
+  # slower than legacy by design (real contention costs cycles), so
+  # legacy->detailed is not held to a cycle bound; the diff is printed
+  # for its memory signature — the stall-share and queue-delay movement
+  # that reviews a fidelity change (see DESIGN.md, "Memory model").
+  cargo run -q --release -p photon-bench --features telemetry --bin report -- smoke --jobs 2 \
+    --no-journal --mem-fidelity detailed
+  cargo run -q --release -p photon-bench --bin profile -- diff \
+    "$mem_tmp/BENCH_smoke_legacy.json" results/BENCH_smoke.json 0.95 \
+    || echo "    (legacy->detailed cycle drift is expected; the tables above are the review artifact)"
+
+  # The hard checks: accounting must stay balanced under the extra
+  # queue-delay charges, and a cold rerun must reproduce the detailed
+  # run bit-for-bit — the detailed path is deterministic, not merely
+  # plausible. 1% is the tightest bound profile diff accepts.
+  cargo run -q --release -p photon-bench --bin profile -- check
+  cp results/BENCH_smoke.json "$mem_tmp/BENCH_smoke_detailed.json"
+  cargo run -q --release -p photon-bench --features telemetry --bin report -- smoke --jobs 2 \
+    --no-journal --no-cache --mem-fidelity detailed
+  cargo run -q --release -p photon-bench --bin profile -- diff \
+    "$mem_tmp/BENCH_smoke_detailed.json" results/BENCH_smoke.json 0.01
+
+  # Restore the legacy smoke report for the gates below.
+  cp "$mem_tmp/BENCH_smoke_legacy.json" results/BENCH_smoke.json
+  rm -rf "$mem_tmp"
+fi
+
 echo "==> chaos gate: smoke under a fixed fault seed (PHOTON_SKIP_CHAOS=1 to skip)"
 if [[ "${PHOTON_SKIP_CHAOS:-}" == "1" ]]; then
   echo "    skipped (PHOTON_SKIP_CHAOS=1)"
