@@ -7,6 +7,7 @@
 //! $ report smoke --require-cached   # fail unless every Full run was a cache hit
 //! $ report show                     # table over every results/BENCH_*.json
 //! $ report check                    # compare against results/baselines/, exit 1 on regression
+//! $ report flightrec PATH           # load + verify a flight-recorder dump, print its story
 //! ```
 
 use gpu_telemetry::MetricsSnapshot;
@@ -21,7 +22,7 @@ use photon_bench::{run_specs, ExecOptions};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: report <smoke|show|check> [--require-cached]\n{}",
+        "usage: report <smoke|show|check|flightrec PATH> [--require-cached]\n{}",
         exec_usage("report smoke", " [--require-cached]")
     );
     std::process::exit(2);
@@ -183,6 +184,44 @@ fn check() {
     std::process::exit(1);
 }
 
+/// Loads a flight-recorder dump (verifying its checksum frame — a
+/// corrupt dump is quarantined and fails the command) and prints what
+/// tripped it: trigger, job, per-phase durations, and every failed
+/// span with its detail. The CI serve gate greps this output for the
+/// injected fault site.
+fn flightrec_show(path: &str) {
+    let rec = match photon_bench::flightrec::load(std::path::Path::new(path)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "flight record {} ({}) trigger={} wall={:.3}s",
+        rec.job, rec.label, rec.trigger, rec.wall_secs
+    );
+    if !rec.detail.is_empty() {
+        println!("  detail: {}", rec.detail);
+    }
+    println!("  spans: {}", rec.spans.len());
+    for p in &rec.tree.phases {
+        println!(
+            "  phase {:<14} count={:<4} total={:.3}ms",
+            p.phase,
+            p.count,
+            p.total_us as f64 / 1000.0
+        );
+    }
+    let failed = rec.tree.failed_spans();
+    if failed.is_empty() {
+        println!("  no failed spans");
+    }
+    for s in failed {
+        println!("  FAILED {} {:?}: {}", s.kind.name(), s.label, s.detail);
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_exec_options(&mut args) {
@@ -202,6 +241,7 @@ fn main() {
         (Some("smoke"), 1) => smoke(opts, require_cached),
         (Some("show"), 1) => show(),
         (Some("check"), 1) => check(),
+        (Some("flightrec"), 2) => flightrec_show(&args[1]),
         _ => usage(),
     }
 }

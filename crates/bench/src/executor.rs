@@ -25,6 +25,7 @@ use crate::journal::{journal_key, Journal};
 use crate::refcache::{reference_key, RefCache};
 use crate::specs::{Method, RunSpec};
 use gpu_telemetry::faults::{self, FaultSite};
+use gpu_telemetry::span::{self, SpanKind};
 use gpu_telemetry::{MetricsSnapshot, Telemetry, TraceLog};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -318,6 +319,12 @@ pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> ExecReport {
                     metrics: entry.metrics.clone(),
                 };
             }
+            // Root job span for this unique spec: CLI grids leave the
+            // same evidence trail as serve jobs (same job id — the
+            // journal key). Replays above are bookkeeping, not runs, and
+            // get no span.
+            let jctx = span::start_job(jkey, &spec.label());
+            let _jscope = span::enter(jctx);
             let record = |outcome: &RunOutcome, metrics: &MetricsSnapshot| {
                 if let Some(j) = &journal {
                     // Transient skips are deliberately not journaled:
@@ -327,13 +334,14 @@ pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> ExecReport {
                     }
                 }
             };
-            if spec.method == Method::Full {
+            let resolved = if spec.method == Method::Full {
                 // Single-flight through the cache: a hit answers from
                 // memory/disk, a miss leads the simulation (storing the
                 // completed measurement before followers wake), and a
                 // concurrent identical computation — e.g. photon-serve
                 // sharing this cache instance — is joined, not repeated.
                 let key = reference_key(spec);
+                let probe = span::guard(jctx, SpanKind::CacheProbe, &spec.workload.name());
                 let mut led: Option<(RunOutcome, MetricsSnapshot, TraceLog)> = None;
                 let (m, _origin) = cache.get_or_compute_full(key, &spec.workload.name(), || {
                     let out = execute_spec_retrying(spec, opts, jkey, &retried, None);
@@ -346,35 +354,44 @@ pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> ExecReport {
                     led = Some(out);
                     meas
                 });
+                probe.finish(
+                    true,
+                    if led.is_none() && m.is_some() {
+                        "hit"
+                    } else {
+                        "miss"
+                    },
+                );
                 if let Some((outcome, metrics, trace)) = led {
                     record(&outcome, &metrics);
-                    return Resolved::Ran {
+                    Resolved::Ran {
                         outcome,
                         metrics,
                         trace,
-                    };
-                }
-                match m {
-                    Some(m) => {
-                        cache_hits.fetch_add(1, Ordering::Relaxed);
-                        let outcome = RunOutcome::Completed(m.clone());
-                        record(&outcome, &MetricsSnapshot::default());
-                        Resolved::Cached(m)
                     }
-                    None => {
-                        // Coalesced onto a leader (in another executor
-                        // sharing this cache) whose run failed: fall back
-                        // to running it ourselves so this grid still gets
-                        // a first-hand outcome.
-                        let (outcome, metrics, trace) =
-                            execute_spec_retrying(spec, opts, jkey, &retried, None);
-                        executed.fetch_add(1, Ordering::Relaxed);
-                        full_executed.fetch_add(1, Ordering::Relaxed);
-                        record(&outcome, &metrics);
-                        Resolved::Ran {
-                            outcome,
-                            metrics,
-                            trace,
+                } else {
+                    match m {
+                        Some(m) => {
+                            cache_hits.fetch_add(1, Ordering::Relaxed);
+                            let outcome = RunOutcome::Completed(m.clone());
+                            record(&outcome, &MetricsSnapshot::default());
+                            Resolved::Cached(m)
+                        }
+                        None => {
+                            // Coalesced onto a leader (in another executor
+                            // sharing this cache) whose run failed: fall back
+                            // to running it ourselves so this grid still gets
+                            // a first-hand outcome.
+                            let (outcome, metrics, trace) =
+                                execute_spec_retrying(spec, opts, jkey, &retried, None);
+                            executed.fetch_add(1, Ordering::Relaxed);
+                            full_executed.fetch_add(1, Ordering::Relaxed);
+                            record(&outcome, &metrics);
+                            Resolved::Ran {
+                                outcome,
+                                metrics,
+                                trace,
+                            }
                         }
                     }
                 }
@@ -388,7 +405,17 @@ pub fn run_specs(specs: &[RunSpec], opts: &ExecOptions) -> ExecReport {
                     metrics,
                     trace,
                 }
-            }
+            };
+            let (ok, detail) = match &resolved {
+                Resolved::Cached(_) => (true, String::from("cache-hit")),
+                Resolved::Journaled { .. } => (true, String::new()),
+                Resolved::Ran { outcome, .. } => match outcome {
+                    RunOutcome::Completed(_) => (true, String::new()),
+                    RunOutcome::Skipped { reason, .. } => (false, reason.clone()),
+                },
+            };
+            span::close(jctx.span, ok, &detail);
+            resolved
         },
     );
     stats.cache_hits = cache_hits.into_inner();
@@ -581,10 +608,19 @@ fn execute_spec(
     // Long enough to trip the timeout with margin, short enough that
     // the abandoned sleeper exits soon after.
     let stall = opts.timeout.saturating_mul(2);
+    // The run thread inherits the caller's trace context (thread-locals
+    // don't cross the spawn) and wraps the attempt in a `sim` span, so
+    // a failed attempt's span names its failure — including the fault
+    // site of an injected panic.
+    let parent_ctx = span::current();
+    let attempt_label = format!("{} attempt {}", spec.label(), fault_key ^ journal_key(spec));
     let (tx, rx) = channel();
     let spawn = std::thread::Builder::new()
         .name(format!("run-{}", spec.label()))
         .spawn(move || {
+            let _scope = parent_ctx.map(span::enter);
+            let sim_span = parent_ctx.map(|ctx| span::guard(ctx, SpanKind::Sim, &attempt_label));
+            let _sim_scope = sim_span.as_ref().map(|g| span::enter(g.ctx()));
             if faults::active() {
                 faults::maybe_stall(FaultSite::ExecStall, fault_key, stall);
             }
@@ -605,6 +641,13 @@ fn execute_spec(
                     &telemetry,
                 )
             }));
+            if let Some(g) = sim_span {
+                match &res {
+                    Ok(Ok(_)) => g.finish(true, ""),
+                    Ok(Err(e)) => g.finish(false, &format!("simulation error: {e}")),
+                    Err(payload) => g.finish(false, &panic_reason(payload.as_ref())),
+                }
+            }
             let snapshot = telemetry.snapshot();
             let trace = telemetry.take_events();
             // The receiver may already have timed out and moved on.

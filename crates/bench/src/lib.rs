@@ -14,6 +14,7 @@
 pub mod cli;
 pub mod executor;
 pub mod figures;
+pub mod flightrec;
 pub mod harness;
 pub mod hotpath;
 pub mod journal;
@@ -26,6 +27,7 @@ pub mod specs;
 pub use executor::{
     parallel_map, run_spec_observed, run_specs, ExecOptions, ExecReport, ExecStats, RunResult,
 };
+pub use flightrec::{FlightRecord, FLIGHTREC_SCHEMA_VERSION};
 pub use harness::{
     results_dir, run_app_method, run_benchmark, try_run_app_method, AppBuilder, FailureKind,
     Measurement, RunOutcome, Table,

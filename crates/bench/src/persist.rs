@@ -163,22 +163,51 @@ pub fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
     Ok(())
 }
 
-/// [`atomic_write`] of a checksum-framed payload.
+/// [`atomic_write`] of a checksum-framed payload. When the writing
+/// thread is inside a traced job ([`gpu_telemetry::span::enter`]), the
+/// write is wrapped in a `persist` span carrying the destination path
+/// and any I/O failure.
 ///
 /// # Errors
 /// Returns the first I/O error.
 pub fn atomic_write_framed(path: &Path, payload: &str) -> std::io::Result<()> {
-    atomic_write(path, &frame(payload))
+    use gpu_telemetry::span::{self, SpanKind};
+    let guard =
+        span::current().map(|ctx| span::guard(ctx, SpanKind::Persist, &path.display().to_string()));
+    let result = atomic_write(path, &frame(payload));
+    if let Some(g) = guard {
+        match &result {
+            Ok(()) => g.finish(true, ""),
+            Err(e) => g.finish(false, &e.to_string()),
+        }
+    }
+    result
 }
 
-/// Quarantines a corrupt artifact by renaming it to `<name>.corrupt`
-/// (an existing quarantine at that name is replaced — the newest corpse
-/// is the interesting one). Returns the quarantine path on success;
-/// warns and returns `None` when the rename itself fails.
+/// How many `.corrupt` corpses [`quarantine`] keeps per basename: the
+/// newest at `<name>.corrupt`, the previous one at `<name>.corrupt.1`,
+/// anything older deleted.
+pub const QUARANTINE_KEEP: usize = 2;
+
+/// Quarantines a corrupt artifact by renaming it to `<name>.corrupt`.
+/// An existing quarantine is rotated to `<name>.corrupt.1` (replacing
+/// any older corpse there), so repeated corruption of one artifact
+/// keeps the newest [`QUARANTINE_KEEP`] corpses instead of either
+/// replacing the only one or accumulating without bound. Returns the
+/// quarantine path on success; warns and returns `None` when the rename
+/// itself fails.
 pub fn quarantine(path: &Path) -> Option<PathBuf> {
     let mut name = path.file_name()?.to_os_string();
     name.push(".corrupt");
     let dest = path.with_file_name(name);
+    if dest.exists() {
+        let mut aged = dest.file_name()?.to_os_string();
+        aged.push(".1");
+        let aged = dest.with_file_name(aged);
+        // Replacing `.corrupt.1` drops the oldest corpse; a failed
+        // rotation falls through to the plain replace below.
+        let _ = std::fs::rename(&dest, &aged);
+    }
     match std::fs::rename(path, &dest) {
         Ok(()) => Some(dest),
         Err(e) => {
@@ -272,6 +301,49 @@ mod tests {
             dest.file_name().unwrap().to_string_lossy(),
             "entry.json.corrupt"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repeated_quarantines_keep_only_the_newest_two_corpses() {
+        let dir = temp_path("qrot");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("entry.json");
+        for gen in 0..4 {
+            std::fs::write(&path, format!("garbage-{gen}")).unwrap();
+            quarantine(&path).unwrap();
+        }
+        // Newest corpse at .corrupt, previous at .corrupt.1, older gone.
+        let newest = std::fs::read_to_string(dir.join("entry.json.corrupt")).unwrap();
+        let aged = std::fs::read_to_string(dir.join("entry.json.corrupt.1")).unwrap();
+        assert_eq!(newest, "garbage-3");
+        assert_eq!(aged, "garbage-2");
+        let corpses = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".corrupt"))
+            .count();
+        assert_eq!(corpses, QUARANTINE_KEEP);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn framed_write_emits_a_persist_span_inside_a_traced_job() {
+        use gpu_telemetry::span::{self, SpanKind};
+        let dir = temp_path("pspan");
+        let job = 0xbeef_0000_0000_0001;
+        let root = span::start_job(job, "persist-span");
+        let scope = span::enter(root);
+        atomic_write_framed(&dir.join("a.json"), "{\"v\":1}").unwrap();
+        drop(scope);
+        span::close(root.span, true, "");
+        let records = span::job_records(job);
+        let persist = records
+            .iter()
+            .find(|r| r.kind == SpanKind::Persist)
+            .expect("persist span recorded");
+        assert!(persist.ok);
+        assert!(persist.label.ends_with("a.json"), "{}", persist.label);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

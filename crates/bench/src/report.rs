@@ -231,6 +231,12 @@ pub fn histogram_summary(reports: &[RunReport]) -> Table {
     t
 }
 
+/// `engine.epoch.imbalance` (max/mean shard busy-cycles) above this
+/// ratio earns a warning row in [`gauge_summary`]: the busiest shard is
+/// doing more than twice the average work, so epoch barriers wait on a
+/// straggler.
+pub const IMBALANCE_WARN_RATIO: f64 = 2.0;
+
 /// Renders every counter and gauge carried by the reports' metric
 /// snapshots that describes executor health — abandoned worker threads,
 /// quarantined cache entries, watchdog aborts, refused IPC aborts,
@@ -267,6 +273,21 @@ pub fn gauge_summary(reports: &[RunReport]) -> Table {
                     g.name.clone(),
                     format!("{:.2}", g.value),
                 ]);
+                // The imbalance gauge is max/mean shard busy-cycles; a
+                // raw number invites misreading, so interpret it: past
+                // the warning ratio, one shard is doing more than twice
+                // the average work and epoch barriers are dominated by
+                // that straggler.
+                if g.name == "engine.epoch.imbalance" && g.value > IMBALANCE_WARN_RATIO {
+                    t.row(vec![
+                        r.workload.clone(),
+                        "  WARNING".to_string(),
+                        format!(
+                            "shard imbalance {:.2} > {IMBALANCE_WARN_RATIO}x mean busy-cycles; epoch barriers are straggler-bound",
+                            g.value
+                        ),
+                    ]);
+                }
             }
         }
         for c in &r.metrics.counters {
@@ -441,6 +462,23 @@ mod tests {
         assert!(rendered.contains("mem.dram.row_hit_rate"), "{rendered}");
         assert!(rendered.contains("mem.l2.bank.3.peak_queue"), "{rendered}");
         assert!(!rendered.contains("unrelated"), "{rendered}");
+        // 1.6 is under the warning ratio: no interpretation row.
+        assert!(!rendered.contains("WARNING"), "{rendered}");
+    }
+
+    #[test]
+    fn gauge_summary_warns_on_epoch_imbalance_past_the_ratio() {
+        let tel = gpu_telemetry::Telemetry::default();
+        tel.gauge("engine.epoch.imbalance").set(3.4);
+        let report = build_report(
+            "vgg",
+            &[RunOutcome::Completed(meas("Full", 1000, 2.0))],
+            tel.snapshot(),
+        );
+        let rendered = gauge_summary(std::slice::from_ref(&report)).render();
+        assert!(rendered.contains("WARNING"), "{rendered}");
+        assert!(rendered.contains("straggler"), "{rendered}");
+        assert!(rendered.contains("3.40"), "{rendered}");
     }
 
     #[test]

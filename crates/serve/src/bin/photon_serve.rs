@@ -18,10 +18,13 @@ use std::path::PathBuf;
 fn usage() -> String {
     format!(
         "usage: photon-serve [--port N] [--workers N] [--queue N] [--pending PATH]\n\
+         \x20                    [--flightrec DIR | --no-flightrec]\n\
          \x20 --port N       TCP port on 127.0.0.1 (default 7847; 0 = ephemeral)\n\
          \x20 --workers N    simulation worker threads (default 2)\n\
          \x20 --queue N      admission bound on queued jobs (default 64)\n\
          \x20 --pending PATH drain/resume journal (default results/serve_pending.jsonl)\n\
+         \x20 --flightrec DIR   flight-recorder dump directory (default results/flightrec)\n\
+         \x20 --no-flightrec    disable flight-recorder dumps\n\
          {}",
         cli::usage("photon-serve", "")
     )
@@ -46,6 +49,7 @@ fn main() {
     let mut port: u16 = 7847;
     let mut opts = ServeOptions {
         exec,
+        flightrec: Some(photon_bench::flightrec::default_dir()),
         ..ServeOptions::default()
     };
     let mut pending = photon_bench::results_dir().join("serve_pending.jsonl");
@@ -80,6 +84,16 @@ fn main() {
                     parse_fail("--pending", &v);
                 }
                 pending = PathBuf::from(v);
+            }
+            "--flightrec" => {
+                let v = it.next().unwrap_or_default();
+                if v.is_empty() {
+                    parse_fail("--flightrec", &v);
+                }
+                opts.flightrec = Some(PathBuf::from(v));
+            }
+            "--no-flightrec" => {
+                opts.flightrec = None;
             }
             "--help" | "-h" => {
                 println!("{}", usage());

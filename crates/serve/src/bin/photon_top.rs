@@ -1,0 +1,292 @@
+//! `photon-top` — a live operational view of a photon-serve server.
+//!
+//! ```console
+//! $ photon-top --addr 127.0.0.1:7847
+//! ```
+//!
+//! Redraws a terminal frame every `--interval` milliseconds showing
+//! lane depths, in-flight jobs with their current trace phase, cache
+//! hit / coalesce rates, per-shard busy-cycle balance of the most
+//! recent run, and the tail of the latency distributions — all from
+//! the `stats` op, so attaching photon-top costs the server one
+//! snapshot per frame and nothing when detached.
+//!
+//! `--once` prints a single frame without ANSI clearing and exits (the
+//! CI smoke mode); `--scrape` fetches the `metrics` op instead, parses
+//! the Prometheus exposition text back through
+//! [`gpu_telemetry::export::parse_prometheus_text`] (a malformed body
+//! is a hard failure), and prints it verbatim.
+
+use gpu_telemetry::export::parse_prometheus_text;
+use photon_serve::Client;
+use serde_json::Value;
+use std::time::Duration;
+
+fn usage() -> String {
+    "usage: photon-top [--addr HOST:PORT] [--interval MS] [--once] [--scrape]\n\
+     \x20 --addr HOST:PORT  server address (default 127.0.0.1:7847)\n\
+     \x20 --interval MS     refresh period in milliseconds (default 1000)\n\
+     \x20 --once            print one frame and exit (no ANSI clearing)\n\
+     \x20 --scrape          fetch the `metrics` op, verify it parses as\n\
+     \x20                   Prometheus text exposition format, print it"
+        .to_string()
+}
+
+struct Args {
+    addr: String,
+    interval: Duration,
+    once: bool,
+    scrape: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7847".to_string(),
+        interval: Duration::from_millis(1000),
+        once: false,
+        scrape: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                args.addr = it.next().unwrap_or_default();
+            }
+            "--interval" => {
+                let v = it.next().unwrap_or_default();
+                match v.parse::<u64>() {
+                    Ok(ms) => args.interval = Duration::from_millis(ms.max(50)),
+                    Err(_) => {
+                        eprintln!("--interval: bad value {v:?}\n{}", usage());
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--once" => args.once = true,
+            "--scrape" => args.scrape = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{}", usage());
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.addr.is_empty() {
+        eprintln!("--addr: missing value\n{}", usage());
+        std::process::exit(2);
+    }
+    args
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::String(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn num(v: &Value) -> f64 {
+    match v {
+        Value::U64(x) => *x as f64,
+        Value::I64(x) => *x as f64,
+        Value::F64(x) => *x,
+        _ => 0.0,
+    }
+}
+
+/// A named entry out of one of the snapshot's metric arrays.
+fn metric<'a>(stats: &'a Value, family: &str, name: &str) -> Option<&'a Value> {
+    let Some(Value::Array(entries)) = stats.get("metrics").and_then(|m| m.get(family)) else {
+        return None;
+    };
+    entries
+        .iter()
+        .find(|e| e.get("name").and_then(as_str) == Some(name))
+}
+
+fn counter(stats: &Value, name: &str) -> u64 {
+    metric(stats, "counters", name)
+        .and_then(|e| e.get("value"))
+        .map(num)
+        .unwrap_or(0.0) as u64
+}
+
+fn gauge(stats: &Value, name: &str) -> f64 {
+    metric(stats, "gauges", name)
+        .and_then(|e| e.get("value"))
+        .map(num)
+        .unwrap_or(0.0)
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+fn bar(frac: f64, width: usize) -> String {
+    let filled = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+fn histogram_row(stats: &Value, name: &str) -> String {
+    match metric(stats, "histograms", name) {
+        Some(h) => {
+            let f = |k: &str| h.get(k).map(num).unwrap_or(0.0);
+            format!(
+                "{name:<18} n={:<7} p50={:<7} p95={:<7} p99={:<7} max={}",
+                f("count"),
+                f("p50"),
+                f("p95"),
+                f("p99"),
+                f("max"),
+            )
+        }
+        None => format!("{name:<18} (no observations yet)"),
+    }
+}
+
+fn render_frame(stats: &Value) -> String {
+    let mut out = String::new();
+    let queued_i = gauge(stats, "serve.queue.interactive") as u64;
+    let queued_b = gauge(stats, "serve.queue.batch") as u64;
+    let running = gauge(stats, "serve.running") as u64;
+    let workers = stats.get("workers").map(num).unwrap_or(0.0) as u64;
+    let draining = matches!(stats.get("draining"), Some(Value::Bool(true)));
+    let faults = matches!(stats.get("faults_active"), Some(Value::Bool(true)));
+    out.push_str(&format!(
+        "photon-top  protocol v{}  workers {running}/{workers}{}{}\n",
+        stats.get("protocol_version").map(num).unwrap_or(0.0),
+        if draining { "  DRAINING" } else { "" },
+        if faults { "  FAULTS ARMED" } else { "" },
+    ));
+    out.push_str(&format!(
+        "lanes       interactive {queued_i:>4}  batch {queued_b:>4}  running {running:>4}\n"
+    ));
+
+    let submitted = counter(stats, "serve.submitted");
+    let coalesced = counter(stats, "serve.coalesced");
+    let cache_hits = counter(stats, "serve.cache_hits");
+    let completed = counter(stats, "serve.completed");
+    let failed = counter(stats, "serve.failed");
+    let dumps = counter(stats, "serve.flightrec_dumps");
+    out.push_str(&format!(
+        "jobs        submitted {submitted}  completed {completed}  failed {failed}  flightrec {dumps}\n"
+    ));
+    out.push_str(&format!(
+        "reuse       cache-hit {:.1}%  coalesced {:.1}%\n",
+        pct(cache_hits, submitted + cache_hits),
+        pct(coalesced, submitted + coalesced),
+    ));
+
+    out.push_str(&histogram_row(stats, "serve.latency_ms"));
+    out.push('\n');
+    out.push_str(&histogram_row(stats, "serve.queued_ms"));
+    out.push('\n');
+
+    // Per-shard busy cycles of the most recent completed run, as
+    // fill bars normalized to the busiest shard.
+    if let Some(Value::Array(gauges)) = stats.get("metrics").and_then(|m| m.get("gauges")) {
+        let shards: Vec<(&str, f64)> = gauges
+            .iter()
+            .filter_map(|g| {
+                let name = g.get("name").and_then(as_str)?;
+                name.starts_with("engine.shard.")
+                    .then(|| (name, g.get("value").map(num).unwrap_or(0.0)))
+            })
+            .collect();
+        if !shards.is_empty() {
+            let max = shards.iter().map(|&(_, v)| v).fold(0.0_f64, f64::max);
+            out.push_str(&format!(
+                "shards      imbalance {:.2}x mean (last run)\n",
+                gauge(stats, "engine.epoch.imbalance")
+            ));
+            for (name, v) in &shards {
+                let frac = if max > 0.0 { v / max } else { 0.0 };
+                out.push_str(&format!(
+                    "  {:<28} {} {:>12}\n",
+                    name,
+                    bar(frac, 30),
+                    *v as u64
+                ));
+            }
+        }
+    }
+
+    out.push_str("in-flight   job              state    phase          age\n");
+    match stats.get("jobs") {
+        Some(Value::Array(jobs)) if !jobs.is_empty() => {
+            for j in jobs {
+                let s = |k: &str| j.get(k).and_then(as_str).unwrap_or("-").to_string();
+                let age = j.get("age_ms").map(num).unwrap_or(0.0) / 1000.0;
+                out.push_str(&format!(
+                    "  {:<16} {:<8} {:<14} {:>6.1}s  {}\n",
+                    s("job"),
+                    s("state"),
+                    s("phase"),
+                    age,
+                    s("label"),
+                ));
+            }
+        }
+        _ => out.push_str("  (idle)\n"),
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let mut client = match Client::connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("photon-top: cannot connect to {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+
+    if args.scrape {
+        let text = match client.metrics() {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("photon-top: metrics op failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = parse_prometheus_text(&text) {
+            eprintln!("photon-top: exposition text does not parse: {e}");
+            std::process::exit(1);
+        }
+        print!("{text}");
+        return;
+    }
+
+    loop {
+        let stats = match client.stats() {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("photon-top: stats op failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let frame = render_frame(&stats);
+        if args.once {
+            print!("{frame}");
+            return;
+        }
+        // Clear + home, then the frame; plain ANSI keeps this free of
+        // any terminal library.
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(args.interval);
+    }
+}

@@ -5,15 +5,26 @@
 //! ## Grammar
 //!
 //! ```text
-//! request  = submit | status | wait | fetch | cancel | stats | shutdown
+//! request  = submit | status | wait | fetch | cancel | stats
+//!          | trace | metrics | shutdown
 //! submit   = {"op":"submit", "spec": <RunSpec JSON>, "tenant": <string>?}
 //! status   = {"op":"status", "job": <job id>}
 //! wait     = {"op":"wait",   "job": <job id>}
 //! fetch    = {"op":"fetch",  "job": <job id>}
 //! cancel   = {"op":"cancel", "job": <job id>}
 //! stats    = {"op":"stats"}
+//! trace    = {"op":"trace",  "job": <job id>}
+//! metrics  = {"op":"metrics"}
 //! shutdown = {"op":"shutdown"}
 //! ```
+//!
+//! `trace` (protocol v2) returns the job's span tree — the correlated
+//! trace minted at submit ([`mint_trace`]) and threaded through the
+//! scheduler, executor, and engine — with per-phase duration rollups.
+//! `metrics` (protocol v2) returns the server's registry rendered in
+//! Prometheus text exposition format 0.0.4; because the protocol is
+//! line-delimited JSON, the multi-line exposition text rides in the
+//! response's `"body"` field with `"content_type"` alongside.
 //!
 //! A job id is the spec's [`photon_bench::journal_key`] rendered as 16
 //! hex digits — identical submissions share one id by construction,
@@ -28,13 +39,15 @@
 //! `spec` accepts a [`RunSpec`]'s serde JSON rendering verbatim — the
 //! same text `serde_json::to_string(&spec)` produces.
 
+use gpu_telemetry::span::{self, TraceCtx};
 use photon_bench::RunSpec;
 use serde::Deserialize;
 use serde_json::Value;
 
 /// Version stamped into `stats` responses and the pending-jobs journal;
-/// bumped when the wire format changes incompatibly.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// bumped when the wire format changes incompatibly. v2 added the
+/// `trace` and `metrics` ops.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// One parsed request line.
 #[derive(Debug, Clone)]
@@ -68,8 +81,23 @@ pub enum Request {
     },
     /// Server-wide counters, gauges, and queue depths.
     Stats,
+    /// The job's correlated span tree with per-phase durations.
+    Trace {
+        /// Job id from a `submit` response.
+        job: u64,
+    },
+    /// The metrics registry in Prometheus text exposition format.
+    Metrics,
     /// Graceful drain: finish in-flight jobs, journal queued ones, exit.
     Shutdown,
+}
+
+/// Mints the trace context for a job at submit time: the root `job`
+/// span, keyed by the wire job id (= journal key), so every span the
+/// scheduler, executor, and engine emit downstream correlates back to
+/// the id the client holds.
+pub fn mint_trace(key: u64, label: &str) -> TraceCtx {
+    span::start_job(key, label)
 }
 
 /// Renders a job key as the wire job id (16 hex digits).
@@ -126,6 +154,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             job: job_field(&v)?,
         }),
         "stats" => Ok(Request::Stats),
+        "trace" => Ok(Request::Trace {
+            job: job_field(&v)?,
+        }),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op {other:?}")),
     }
@@ -174,6 +206,20 @@ mod tests {
             other => panic!("parsed {other:?}"),
         }
         assert_eq!(parse_job_id(&job_id(u64::MAX)), Some(u64::MAX));
+    }
+
+    #[test]
+    fn v2_ops_parse() {
+        let line = format!("{{\"op\":\"trace\",\"job\":\"{}\"}}", job_id(0x1234));
+        match parse_request(&line).unwrap() {
+            Request::Trace { job } => assert_eq!(job, 0x1234),
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(matches!(
+            parse_request("{\"op\":\"metrics\"}").unwrap(),
+            Request::Metrics
+        ));
+        assert!(parse_request("{\"op\":\"trace\"}").is_err());
     }
 
     #[test]

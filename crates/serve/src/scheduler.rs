@@ -41,8 +41,10 @@
 //! [`Scheduler::resume_pending_from`] re-enqueues them on the next
 //! start, so a SIGTERM'd server loses no accepted work.
 
-use crate::protocol::PROTOCOL_VERSION;
+use crate::protocol::{job_id, mint_trace, PROTOCOL_VERSION};
+use gpu_telemetry::span::{self, SpanKind, TraceCtx};
 use gpu_telemetry::{MetricsSnapshot, Telemetry};
+use photon_bench::flightrec::{self, Trigger};
 use photon_bench::harness::RunOutcome;
 use photon_bench::journal::journalable;
 use photon_bench::refcache::measurement_bytes;
@@ -53,7 +55,7 @@ use photon_bench::{
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use std::collections::{HashMap, VecDeque};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -74,6 +76,12 @@ pub struct ServeOptions {
     /// In-memory result-store byte budget (all methods, keyed by job
     /// id; LRU-bounded like the reference cache).
     pub result_budget: u64,
+    /// Flight-recorder dump directory. When set, a job that fails,
+    /// absorbs a failed span (e.g. a retried fault), or lands past the
+    /// live p99 latency dumps its span trail and metrics to
+    /// `<dir>/<job_id>.json` (checksum-framed). `None` disables dumps;
+    /// the span rings stay on regardless.
+    pub flightrec: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -87,9 +95,14 @@ impl Default for ServeOptions {
                 ..ExecOptions::default()
             },
             result_budget: 64 * 1024 * 1024,
+            flightrec: None,
         }
     }
 }
+
+/// Minimum completed-latency observations before the p99 trigger arms:
+/// with fewer samples the "p99" is noise and every other job would dump.
+const P99_MIN_SAMPLES: u64 = 20;
 
 /// Where a job stands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,6 +158,14 @@ struct Job {
     /// counters here and `status`/`wait` read them concurrently.
     progress: Telemetry,
     result: Option<Arc<JobResult>>,
+    /// Trace context minted at submit: the root `job` span every
+    /// downstream span (queued, sim, epoch-barrier, ...) hangs off.
+    ctx: TraceCtx,
+    /// The open `queued` span's id (0 once closed at dequeue).
+    queued_span: u64,
+    /// When the job entered its lane — `serve.queued_ms` and the
+    /// `stats` jobs view measure from here.
+    queued_at: Instant,
 }
 
 /// How many terminal (Done/Cancelled) jobs the `jobs` map retains.
@@ -329,6 +350,7 @@ impl Scheduler {
                 Phase::Queued | Phase::Running => {
                     job.subscribers += 1;
                     let phase = job.phase;
+                    span::emit(job.ctx, SpanKind::Coalesced, tenant, true, phase.name());
                     self.telemetry.counter("serve.coalesced").add(1);
                     self.tenant_counter(tenant, "submitted");
                     return Submitted::Coalesced { id, phase };
@@ -342,6 +364,15 @@ impl Scheduler {
         if let Some(result) = self.results.get(id) {
             // Known answer from an earlier (possibly evicted-from-jobs)
             // submission: materialize a Done job so fetch/status work.
+            let ctx = mint_trace(id, &spec.label());
+            span::emit(
+                ctx,
+                SpanKind::CacheProbe,
+                &spec.workload.name(),
+                true,
+                "store-hit",
+            );
+            span::close(ctx.span, true, "cache-hit");
             state.jobs.insert(
                 id,
                 Job {
@@ -351,6 +382,9 @@ impl Scheduler {
                     subscribers: 1,
                     progress: Telemetry::default(),
                     result: Some(result),
+                    ctx,
+                    queued_span: 0,
+                    queued_at: Instant::now(),
                 },
             );
             state.note_terminal(id);
@@ -371,6 +405,8 @@ impl Scheduler {
         } else {
             state.batch.push_back(id);
         }
+        let ctx = mint_trace(id, &spec.label());
+        let queued = span::open(ctx, SpanKind::Queued, lane);
         state.jobs.insert(
             id,
             Job {
@@ -380,6 +416,9 @@ impl Scheduler {
                 subscribers: 1,
                 progress: Telemetry::default(),
                 result: None,
+                ctx,
+                queued_span: queued.span,
+                queued_at: Instant::now(),
             },
         );
         self.telemetry.counter("serve.submitted").add(1);
@@ -469,6 +508,8 @@ impl Scheduler {
             return Some(false);
         }
         job.phase = Phase::Cancelled;
+        span::close(job.queued_span, false, "cancelled");
+        span::close(job.ctx.span, false, "cancelled");
         state.interactive.retain(|&q| q != id);
         state.batch.retain(|&q| q != id);
         state.note_terminal(id);
@@ -483,7 +524,7 @@ impl Scheduler {
     /// publish, repeat — until drain begins and the queues stop feeding.
     pub fn worker_loop(&self) {
         loop {
-            let (id, spec, progress) = {
+            let (id, spec, progress, ctx) = {
                 let mut state = self.lock_state();
                 let id = loop {
                     if self.draining.load(Ordering::SeqCst) {
@@ -508,14 +549,26 @@ impl Scheduler {
                     continue;
                 };
                 job.phase = Phase::Running;
-                let claimed = (id, job.spec.clone(), job.progress.clone());
+                let queued_ms = job.queued_at.elapsed().as_millis() as u64;
+                span::close(job.queued_span, true, "");
+                job.queued_span = 0;
+                self.telemetry
+                    .histogram("serve.queued_ms")
+                    .record(queued_ms);
+                let claimed = (id, job.spec.clone(), job.progress.clone(), job.ctx);
                 state.running += 1;
                 claimed
             };
             self.done_cv.notify_all();
 
             let started = Instant::now();
-            let result = self.run_job(id, &spec, &progress);
+            // Enter the job's trace context on this worker thread so
+            // every span the executor and engine emit (sim, persist,
+            // epoch-barrier, mem-service) attaches to this job.
+            let result = {
+                let _scope = span::enter(ctx);
+                self.run_job(id, &spec, &progress, ctx)
+            };
 
             let mut state = self.lock_state();
             state.running -= 1;
@@ -537,8 +590,98 @@ impl Scheduler {
                     .counter("serve.busy_ms")
                     .add(started.elapsed().as_millis() as u64);
                 self.tenant_counter(&tenant, "completed");
+                self.finish_trace(id, &spec, ctx, &result, started);
             }
             self.done_cv.notify_all();
+        }
+    }
+
+    /// Terminal trace bookkeeping for one finished job: closes the root
+    /// span, records the latency histogram, mirrors the run's engine
+    /// shard/imbalance telemetry into the server registry (so
+    /// `photon-top` can show the most recent run's shard balance), and
+    /// evaluates the flight-recorder triggers.
+    fn finish_trace(
+        &self,
+        id: u64,
+        spec: &RunSpec,
+        ctx: TraceCtx,
+        result: &JobResult,
+        started: Instant,
+    ) {
+        let ok = result.outcome.measurement().is_some();
+        let fail_reason = match &result.outcome {
+            RunOutcome::Skipped { reason, .. } => reason.clone(),
+            RunOutcome::Completed(_) => String::new(),
+        };
+        span::close(ctx.span, ok, &fail_reason);
+
+        // The p99 the trigger compares against is the distribution
+        // *before* this observation — a job cannot dodge the trigger by
+        // dragging its own tail bucket up.
+        let wall_ms = started.elapsed().as_millis() as u64;
+        let snap = self.telemetry.snapshot();
+        let (p99_ms, samples) = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "serve.latency_ms")
+            .map(|h| (h.p99, h.count))
+            .unwrap_or((0, 0));
+        self.telemetry.histogram("serve.latency_ms").record(wall_ms);
+
+        for (name, v) in result.metrics.counters_with_prefix("engine.shard.") {
+            self.telemetry.gauge(&name).set(v as f64);
+        }
+        if let Some(g) = result
+            .metrics
+            .gauges
+            .iter()
+            .find(|g| g.name == "engine.epoch.imbalance")
+        {
+            self.telemetry.gauge("engine.epoch.imbalance").set(g.value);
+        }
+
+        let Some(dir) = &self.opts.flightrec else {
+            return;
+        };
+        let spans = span::job_records(id);
+        let trigger = if !ok {
+            Some((Trigger::JobFailed, fail_reason))
+        } else if let Some(bad) = spans.iter().find(|s| !s.open && !s.ok) {
+            Some((Trigger::SpanFailed, bad.detail.clone()))
+        } else if samples >= P99_MIN_SAMPLES && wall_ms > p99_ms {
+            Some((
+                Trigger::P99Latency,
+                format!("wall {wall_ms} ms > p99 {p99_ms} ms over {samples} jobs"),
+            ))
+        } else {
+            None
+        };
+        let Some((trigger, detail)) = trigger else {
+            return;
+        };
+        let rec = flightrec::assemble(
+            id,
+            &spec.label(),
+            trigger,
+            &detail,
+            result.wall_secs,
+            &spans,
+            result.metrics.clone(),
+        );
+        match flightrec::dump(dir, &rec) {
+            Ok(path) => {
+                self.telemetry.counter("serve.flightrec_dumps").add(1);
+                eprintln!(
+                    "photon-serve: flight record ({}) {}",
+                    rec.trigger,
+                    path.display()
+                );
+            }
+            Err(e) => {
+                self.telemetry.counter("serve.flightrec_errors").add(1);
+                eprintln!("photon-serve: flight-record dump failed: {e}");
+            }
         }
     }
 
@@ -561,9 +704,22 @@ impl Scheduler {
         (outcome, metrics)
     }
 
-    fn run_job(&self, id: u64, spec: &RunSpec, progress: &Telemetry) -> Arc<JobResult> {
+    fn run_job(
+        &self,
+        id: u64,
+        spec: &RunSpec,
+        progress: &Telemetry,
+        ctx: TraceCtx,
+    ) -> Arc<JobResult> {
         let started = Instant::now();
+        // The result-store probe: closed "miss" the moment the compute
+        // closure is entered, "store-hit" if single-flight answered
+        // without computing (this thread coalesced onto a stored value).
+        let probe = span::open(ctx, SpanKind::CacheProbe, &spec.workload.name());
+        let mut probed_miss = false;
         let (result, _origin) = self.results.get_or_compute(id, || {
+            probed_miss = true;
+            span::close(probe.span, true, "miss");
             let jr = if spec.method == Method::Full {
                 let key = reference_key(spec);
                 let mut led: Option<(RunOutcome, MetricsSnapshot)> = None;
@@ -582,12 +738,21 @@ impl Scheduler {
                         origin: "executed",
                         wall_secs: started.elapsed().as_secs_f64(),
                     },
-                    (None, Some(m)) => JobResult {
-                        outcome: RunOutcome::Completed(m),
-                        metrics: MetricsSnapshot::default(),
-                        origin: "refcache",
-                        wall_secs: started.elapsed().as_secs_f64(),
-                    },
+                    (None, Some(m)) => {
+                        span::emit(
+                            ctx,
+                            SpanKind::CacheProbe,
+                            &spec.workload.name(),
+                            true,
+                            "refcache-hit",
+                        );
+                        JobResult {
+                            outcome: RunOutcome::Completed(m),
+                            metrics: MetricsSnapshot::default(),
+                            origin: "refcache",
+                            wall_secs: started.elapsed().as_secs_f64(),
+                        }
+                    }
                     (None, None) => {
                         // Coalesced onto a failing leader elsewhere:
                         // run it first-hand.
@@ -617,6 +782,9 @@ impl Scheduler {
                 .unwrap_or(256);
             (Some(Arc::new(jr)), bytes, cacheable)
         });
+        if !probed_miss {
+            span::close(probe.span, true, "store-hit");
+        }
         result.unwrap_or_else(|| {
             // Unreachable in practice: the compute above always returns
             // Some. Degrade to a structured failure rather than panic.
@@ -739,10 +907,41 @@ impl Scheduler {
             .collect()
     }
 
-    /// Server-wide stats: the metrics registry (counters incl.
-    /// per-tenant, `serve.*`, `exec.cancelled`), live queue/worker
-    /// gauges, and the result/reference store counters.
-    pub fn stats(&self) -> Value {
+    /// The correlated span trail of one job, as `(spans, tree)`, or
+    /// `None` when the job is unknown and no spans were ever recorded
+    /// for its id.
+    pub fn trace(&self, id: u64) -> Option<Value> {
+        let records = span::job_records(id);
+        let (label, state_name) = {
+            let state = self.lock_state();
+            match state.jobs.get(&id) {
+                Some(job) => (Some(job.spec.label()), Some(job.phase.name())),
+                None => (None, None),
+            }
+        };
+        if records.is_empty() && label.is_none() {
+            return None;
+        }
+        let tree = span::build_tree(id, &records);
+        Some(serde_json::json!({
+            "job": job_id(id),
+            "label": label,
+            "state": state_name,
+            "phase": tree.current_phase().map(|s| s.kind.name()),
+            "phases": tree.phases,
+            "failed": tree.failed_spans().iter().map(|s| serde_json::json!({
+                "kind": s.kind.name(),
+                "label": s.label,
+                "detail": s.detail,
+            })).collect::<Vec<Value>>(),
+            "spans": records,
+            "tree": tree.roots,
+        }))
+    }
+
+    /// Refreshes the live queue/worker gauges from scheduler state (the
+    /// `stats` and `metrics` ops both call this before snapshotting).
+    fn refresh_gauges(&self) -> (usize, usize, usize) {
         let (queued_i, queued_b, running) = {
             let state = self.lock_state();
             (state.interactive.len(), state.batch.len(), state.running)
@@ -754,6 +953,45 @@ impl Scheduler {
             .gauge("serve.queue.batch")
             .set(queued_b as f64);
         self.telemetry.gauge("serve.running").set(running as f64);
+        (queued_i, queued_b, running)
+    }
+
+    /// The server registry rendered in Prometheus text exposition
+    /// format 0.0.4 — the `metrics` op's body.
+    pub fn metrics_text(&self) -> String {
+        self.refresh_gauges();
+        gpu_telemetry::export::prometheus_text(&self.telemetry.snapshot())
+    }
+
+    /// Server-wide stats: the metrics registry (counters incl.
+    /// per-tenant, `serve.*`, `exec.cancelled`), live queue/worker
+    /// gauges, the in-flight jobs with their current trace phase, and
+    /// the result/reference store counters.
+    pub fn stats(&self) -> Value {
+        self.refresh_gauges();
+        let jobs: Vec<Value> = {
+            let state = self.lock_state();
+            state
+                .jobs
+                .iter()
+                .filter(|(_, j)| !j.phase.terminal())
+                .map(|(id, j)| {
+                    let recs = span::job_records(*id);
+                    let tree = span::build_tree(*id, &recs);
+                    serde_json::json!({
+                        "job": job_id(*id),
+                        "label": j.spec.label(),
+                        "tenant": j.tenant,
+                        "state": j.phase.name(),
+                        "phase": tree
+                            .current_phase()
+                            .map(|s| s.kind.name())
+                            .unwrap_or_else(|| j.phase.name()),
+                        "age_ms": j.queued_at.elapsed().as_millis() as u64,
+                    })
+                })
+                .collect()
+        };
         let cache_stats = self.cache.stats();
         // Mirror the disk-eviction count into the registry (counters
         // are monotonic: add the delta since the last stats call).
@@ -783,6 +1021,7 @@ impl Scheduler {
             "draining": self.draining(),
             "faults_active": gpu_telemetry::faults::active(),
             "faults_injected": faults_injected,
+            "jobs": jobs,
             "metrics": self.telemetry.snapshot(),
             "results_store": self.results.stats(),
             "refcache": cache_stats,

@@ -423,6 +423,20 @@ fn handle_connection(stream: TcpStream, scheduler: &Scheduler, shutdown: &Atomic
                 }
                 v
             }
+            Ok(Request::Trace { job }) => match scheduler.trace(job) {
+                Some(mut v) => {
+                    if let Value::Object(fields) = &mut v {
+                        fields.insert(0, ("ok".to_string(), Value::Bool(true)));
+                    }
+                    v
+                }
+                None => error_response(404, "unknown job (no spans recorded)"),
+            },
+            Ok(Request::Metrics) => serde_json::json!({
+                "ok": true,
+                "content_type": "text/plain; version=0.0.4",
+                "body": scheduler.metrics_text(),
+            }),
             Ok(Request::Shutdown) => {
                 shutdown.store(true, Ordering::SeqCst);
                 serde_json::json!({ "ok": true, "draining": true })

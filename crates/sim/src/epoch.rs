@@ -48,6 +48,7 @@ use crate::error::SimError;
 use crate::shard::{CtrlEv, ShardStop};
 use gpu_mem::{AddressSpace, Cycle};
 use gpu_telemetry::faults::{self, FaultSite};
+use gpu_telemetry::span::{self, SpanKind};
 use gpu_telemetry::{AbortKind, EventKind, TraceEvent};
 use std::time::Duration;
 
@@ -64,6 +65,15 @@ impl KernelRun<'_> {
         let threads = self.cfg.resolved_threads() as usize;
         let relaxed = matches!(self.cfg.engine.mode, EngineMode::Relaxed);
         let faults_on = faults::active();
+        // Job-trace hook: when this kernel runs inside a traced job
+        // (serve/executor), accumulate host time for the barrier and
+        // the memory-service section and emit one aggregate span each
+        // at the end. Untraced runs pay only this one `current()` call
+        // and an `is_some()` check per epoch — and since only host
+        // wall-time is observed, simulated cycles stay bit-identical.
+        let traced = span::current();
+        let mut barrier_host_us: u64 = 0;
+        let mut mem_host_us: u64 = 0;
         let mut now = self.start;
         let mut epoch_idx: u64 = 0;
         let mut busy_before: Vec<u64> = Vec::with_capacity(self.shards.len());
@@ -156,6 +166,7 @@ impl KernelRun<'_> {
             }
 
             // --- Barrier. --------------------------------------------
+            let bar_t0 = traced.map(|_| span::now_us());
             // 1. Commit overlay writes to device memory, shard order.
             //    (Within a shard the overlay already resolved ordering;
             //    cross-shard same-epoch write conflicts are unmodeled,
@@ -175,6 +186,7 @@ impl KernelRun<'_> {
             //    submission sequence. The key is independent of thread
             //    chunking, so contention-induced queueing in the
             //    hierarchy resolves identically at any thread count.
+            let mem_t0 = traced.map(|_| span::now_us());
             req_order.clear();
             for (si, shard) in self.shards.iter().enumerate() {
                 for (ri, req) in shard.port.requests().iter().enumerate() {
@@ -198,6 +210,9 @@ impl KernelRun<'_> {
             for shard in &mut self.shards {
                 shard.port.clear_requests();
                 shard.req_tags.clear();
+            }
+            if let Some(t0) = mem_t0 {
+                mem_host_us += span::now_us().saturating_sub(t0);
             }
 
             // 3. Replay buffered controller callbacks in canonical
@@ -258,8 +273,34 @@ impl KernelRun<'_> {
                     requests,
                 },
             });
+            if let Some(t0) = bar_t0 {
+                barrier_host_us += span::now_us().saturating_sub(t0);
+            }
             self.epochs += 1;
             epoch_idx += 1;
+        }
+        if let Some(ctx) = traced {
+            // One aggregate span per section per kernel, not one per
+            // epoch: the trail stays small and the ring holds the whole
+            // job. `barrier_host_us` includes the mem-service section;
+            // subtract it so the two spans partition the barrier time.
+            let end = span::now_us();
+            let bar = barrier_host_us.saturating_sub(mem_host_us);
+            let label = format!("{epoch_idx} epochs");
+            span::emit_timed(
+                ctx,
+                SpanKind::EpochBarrier,
+                &label,
+                end.saturating_sub(bar),
+                bar,
+            );
+            span::emit_timed(
+                ctx,
+                SpanKind::MemService,
+                &label,
+                end.saturating_sub(mem_host_us),
+                mem_host_us,
+            );
         }
         Ok(now)
     }

@@ -39,6 +39,7 @@ pub mod export;
 pub mod faults;
 mod registry;
 mod report;
+pub mod span;
 mod trace;
 
 pub use accounting::{
@@ -53,6 +54,7 @@ pub use report::{
     compare_reports, MethodRun, Regression, RunReport, SkippedRun, ERROR_REGRESSION_ABS,
     REPORT_SCHEMA_VERSION, SPEEDUP_REGRESSION_FRAC,
 };
+pub use span::{SpanGuard, SpanKind, SpanRecord, SpanTree, TraceCtx};
 pub use trace::{
     tracing_compiled, AbortKind, CacheLevel, EventKind, SampleMode, Trace, TraceEvent, TraceLog,
     Tracer, SCHEMA_VERSION,

@@ -5,6 +5,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Quarantine hygiene: a clean CI run must not leave new .corrupt
+# corpses behind in results/ (pre-existing ones are tolerated but never
+# allowed to grow — persist::quarantine rotates, keeping at most 2 per
+# basename). Snapshot now, compare at the end.
+corpses_snapshot() {
+  find results -maxdepth 2 -name '*.corrupt*' 2>/dev/null | sort || true
+}
+corpses_before="$(corpses_snapshot)"
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -140,6 +149,12 @@ else
   cargo run -q --release -p photon-bench --features telemetry --bin report -- smoke --jobs 2 \
     --faults "exec.panic:0.3:1207,refcache.read.corrupt:1.0:7,journal.torn:1.0:7"
   cargo run -q --release -p photon-bench --features telemetry --bin report -- check
+  # refcache.read.corrupt quarantines a real results/cache entry — that
+  # corpse is the guardrail firing, not a hygiene violation. Re-baseline
+  # the quarantine snapshot so the hygiene gate below still covers
+  # everything after this deliberate sabotage (the serve gate in
+  # particular must stay corpse-free).
+  corpses_before="$(corpses_snapshot)"
 fi
 
 echo "==> photon-serve gate: loadgen over a live server (PHOTON_SKIP_SERVE=1 to skip)"
@@ -171,11 +186,19 @@ else
   # zero failed fetches, a positive coalesce rate, and a warm p50 at
   # least 10x below cold. SIGTERM afterwards must drain and exit clean.
   ./target/release/photon-serve --port 0 --workers 2 --no-cache \
-    --pending "$serve_tmp/pending.jsonl" >"$serve_log" 2>&1 &
+    --pending "$serve_tmp/pending.jsonl" \
+    --flightrec "$serve_tmp/flightrec" >"$serve_log" 2>&1 &
   serve_pid=$!
   serve_wait_up
   timeout 300 ./target/release/photon-loadgen --addr "$addr" \
     --clients 4 --jobs-per-client 3 --check
+  # Live-view smoke: one non-interactive photon-top frame, and a
+  # `metrics` scrape that must round-trip through the exposition-format
+  # parser (photon-top --scrape exits nonzero on a parse failure).
+  ./target/release/photon-top --addr "$addr" --once | grep -q "photon-top" \
+    || { echo "    photon-top --once rendered no frame"; exit 1; }
+  ./target/release/photon-top --addr "$addr" --scrape | grep -q "photon_serve_submitted" \
+    || { echo "    metrics scrape did not round-trip"; exit 1; }
   serve_stop_clean
 
   # Fault-seeded variant: with panics injected into simulations, every
@@ -184,6 +207,7 @@ else
   # must still drain cleanly.
   ./target/release/photon-serve --port 0 --workers 2 --no-cache \
     --pending "$serve_tmp/pending_faults.jsonl" \
+    --flightrec "$serve_tmp/flightrec_faults" \
     --faults "exec.panic:0.3:1207" >"$serve_log" 2>&1 &
   serve_pid=$!
   serve_wait_up
@@ -201,7 +225,31 @@ else
     echo "    fault-seeded serve run injected no panics"; exit 1
   fi
   serve_stop_clean
+
+  # Flight recorder: the injected panics must have cut at least one
+  # dump; every dump must load (checksum-verified by `report
+  # flightrec`), and at least one must name the injected fault site.
+  dumps=("$serve_tmp"/flightrec_faults/*.json)
+  if [[ ! -e "${dumps[0]}" ]]; then
+    echo "    fault-seeded serve run produced no flight-recorder dump"; exit 1
+  fi
+  flight_out=""
+  for dump in "${dumps[@]}"; do
+    flight_out+="$(./target/release/report flightrec "$dump")"$'\n'
+  done
+  if ! grep -q "exec.panic" <<<"$flight_out"; then
+    echo "    no flight record names the injected fault site:"
+    echo "$flight_out"; exit 1
+  fi
   rm -rf "$serve_tmp"
+fi
+
+echo "==> quarantine hygiene: no new .corrupt corpses in results/"
+corpses_after="$(corpses_snapshot)"
+if [[ "$corpses_after" != "$corpses_before" ]]; then
+  echo "    quarantine corpses accumulated during this run:"
+  diff <(echo "$corpses_before") <(echo "$corpses_after") || true
+  exit 1
 fi
 
 echo "==> ci OK"
